@@ -1,0 +1,45 @@
+//! Criterion bench comparing interconnect models under identical TG
+//! traffic: the cost of simulating each fabric, and (via the recorded
+//! cycle counts) how much wall time the cycle-true NoC models add over
+//! the ideal transactional fabric — the trade-off that motivates the
+//! paper's "fast reference, accurate exploration" split.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntg_bench::trace_and_translate;
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let workload = Workload::MpMatrix { n: 12 };
+    let cores = 4;
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+
+    let mut group = c.benchmark_group("interconnects/mp_matrix_4p_tg");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for fabric in [
+        InterconnectChoice::Amba,
+        InterconnectChoice::Crossbar,
+        InterconnectChoice::Xpipes,
+        InterconnectChoice::Ideal,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(fabric),
+            &fabric,
+            |b, &fabric| {
+                b.iter(|| {
+                    let mut p = workload
+                        .build_tg_platform(images.clone(), fabric, false)
+                        .expect("build");
+                    let report = p.run(ntg_bench::MAX_CYCLES);
+                    assert!(report.completed);
+                    report.cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

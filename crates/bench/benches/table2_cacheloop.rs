@@ -1,0 +1,39 @@
+//! Criterion bench for Table 2, Cacheloop rows: ARM vs TG simulation
+//! throughput while scaling the processor count (the paper's 2P–12P
+//! sweep, where the TG gain *grows* with the core count).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntg_bench::trace_and_translate;
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let workload = Workload::Cacheloop { iterations: 5_000 };
+    let mut group = c.benchmark_group("table2/cacheloop");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for cores in [2usize, 4, 8, 12] {
+        let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+        group.bench_with_input(BenchmarkId::new("arm", cores), &cores, |b, &cores| {
+            b.iter(|| {
+                let mut p = workload
+                    .build_platform(cores, InterconnectChoice::Amba, false)
+                    .expect("build");
+                assert!(p.run(ntg_bench::MAX_CYCLES).completed);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("tg", cores), &cores, |b, &cores| {
+            let _ = cores;
+            b.iter(|| {
+                let mut p = workload
+                    .build_tg_platform(images.clone(), InterconnectChoice::Amba, false)
+                    .expect("build");
+                assert!(p.run(ntg_bench::MAX_CYCLES).completed);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Table 2, SP matrix row: simulation throughput of
+//! the ARM-core platform vs the TG platform (1 processor, AMBA).
+//!
+//! The paper's "Gain" column is the ratio of the two medians.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntg_bench::trace_and_translate;
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let workload = Workload::SpMatrix { n: 8 };
+    let images = trace_and_translate(workload, 1, InterconnectChoice::Amba);
+
+    let mut group = c.benchmark_group("table2/sp_matrix_1p");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("arm", |b| {
+        b.iter(|| {
+            let mut p = workload
+                .build_platform(1, InterconnectChoice::Amba, false)
+                .expect("build");
+            let report = p.run(ntg_bench::MAX_CYCLES);
+            assert!(report.completed);
+            report.cycles
+        })
+    });
+    group.bench_function("tg", |b| {
+        b.iter(|| {
+            let mut p = workload
+                .build_tg_platform(images.clone(), InterconnectChoice::Amba, false)
+                .expect("build");
+            let report = p.run(ntg_bench::MAX_CYCLES);
+            assert!(report.completed);
+            report.cycles
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

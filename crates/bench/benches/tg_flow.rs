@@ -1,0 +1,56 @@
+//! Criterion bench of the TG tool-flow stages themselves (the paper's
+//! one-time costs): trace serialisation, parsing, translation, assembly
+//! and image (de)serialisation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ntg_core::{assemble, tgp, TgImage, TraceTranslator, TranslationMode, TranslatorConfig};
+use ntg_platform::InterconnectChoice;
+use ntg_trace::MasterTrace;
+use ntg_workloads::Workload;
+
+fn traced_platform() -> (MasterTrace, TranslatorConfig) {
+    let workload = Workload::MpMatrix { n: 12 };
+    let mut p = workload
+        .build_platform(2, InterconnectChoice::Amba, true)
+        .expect("build");
+    assert!(p.run(ntg_bench::MAX_CYCLES).completed);
+    (
+        p.trace(0).expect("traced"),
+        p.translator_config(TranslationMode::Reactive),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let (trace, cfg) = traced_platform();
+    let translator = TraceTranslator::new(cfg);
+    let trc_text = trace.to_trc();
+    let program = translator.translate(&trace).expect("translate");
+    let image = assemble(&program).expect("assemble");
+    let tgp_text = tgp::to_tgp(&program);
+    let bin = image.to_bytes();
+
+    let mut group = c.benchmark_group("tg_flow");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("trc_serialise", |b| b.iter(|| trace.to_trc()));
+    group.bench_function("trc_parse", |b| {
+        b.iter(|| MasterTrace::from_trc(&trc_text).expect("parse"))
+    });
+    group.bench_function("translate", |b| {
+        b.iter(|| translator.translate(&trace).expect("translate"))
+    });
+    group.bench_function("assemble", |b| {
+        b.iter(|| assemble(&program).expect("assemble"))
+    });
+    group.bench_function("tgp_serialise", |b| b.iter(|| tgp::to_tgp(&program)));
+    group.bench_function("tgp_parse", |b| {
+        b.iter(|| tgp::from_tgp(&tgp_text).expect("parse"))
+    });
+    group.bench_function("bin_round_trip", |b| {
+        b.iter(|| TgImage::from_bytes(&bin).expect("decode"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

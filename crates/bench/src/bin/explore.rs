@@ -1,0 +1,70 @@
+//! Design-space exploration — the paper's whole *point*: translate once,
+//! then evaluate many interconnect candidates with fast TG simulations.
+//!
+//! One set of TG programs (traced on AMBA) is replayed on all four
+//! interconnect models; the table shows how completion time and traffic
+//! shift with the fabric.
+//!
+//! Usage: `cargo run --release -p ntg-bench --bin explore`
+
+use ntg_bench::trace_and_translate;
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+fn main() {
+    let workload = Workload::MpMatrix { n: 16 };
+    let cores = 4;
+    println!(
+        "Design-space exploration with TGs — {} {}P (traced once on AMBA)\n",
+        workload.name(),
+        cores
+    );
+
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    println!(
+        "{:<12} {:>14} {:>14} {:>12} {:>18}",
+        "fabric", "exec cycles", "transactions", "sim time", "latency mean/max"
+    );
+    for fabric in [
+        InterconnectChoice::Amba,
+        InterconnectChoice::AmbaFixedPriority,
+        InterconnectChoice::Crossbar,
+        InterconnectChoice::Xpipes,
+        InterconnectChoice::Ideal,
+    ] {
+        let mut p = workload
+            .build_tg_platform(images.clone(), fabric, false)
+            .expect("build TG platform");
+        // A bounded run instead of run_checked: some design points
+        // legitimately never finish — static-priority arbitration starves
+        // a spinlock holder behind higher-priority pollers, a classic
+        // livelock this exploration is meant to expose.
+        let report = p.run(5_000_000);
+        let latency = p
+            .interconnect_latency()
+            .map(|(mean, max)| format!("{mean:.1}/{max}"))
+            .unwrap_or_else(|| "-".into());
+        match report.execution_time() {
+            Some(cycles) => println!(
+                "{:<12} {:>14} {:>14} {:>11.3?} {:>18}",
+                fabric.to_string(),
+                cycles,
+                p.interconnect_transactions(),
+                report.wall_time,
+                latency,
+            ),
+            None => println!(
+                "{:<12} {:>14} {:>14} {:>11.3?} {:>18}  (livelock: pollers starve the lock holder)",
+                fabric.to_string(),
+                "DNF",
+                p.interconnect_transactions(),
+                report.wall_time,
+                latency,
+            ),
+        }
+    }
+    println!(
+        "\nEvery row reuses the same TG images: one reference simulation, \
+         many cheap cycle-true interconnect evaluations."
+    );
+}

@@ -1,0 +1,30 @@
+//! Reproduces the paper's **Table 2**: cumulative execution time (cycles)
+//! and simulation wall time for ARM-style CPU cores vs traffic
+//! generators, across the four benchmarks and the paper's processor
+//! sweep, all on the AMBA interconnect.
+//!
+//! Usage: `cargo run --release -p ntg-bench --bin table2 [--quick]`
+
+use ntg_bench::{format_table2, paper_workloads, quick_workloads, table2_row};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let workloads = if quick {
+        quick_workloads()
+    } else {
+        paper_workloads()
+    };
+    let repeats = if quick { 1 } else { 3 };
+
+    println!("Reproduction of Table 2 (DATE'05 TG paper) — interconnect: AMBA");
+    println!("workload scale: {}\n", if quick { "quick" } else { "paper" });
+
+    let mut rows = Vec::new();
+    for workload in workloads {
+        for cores in workload.paper_core_counts() {
+            eprintln!("running {} {}P ...", workload.name(), cores);
+            rows.push(table2_row(workload, cores, repeats));
+        }
+    }
+    println!("{}", format_table2(&rows));
+}

@@ -1,0 +1,259 @@
+//! TG assembler and disassembler: symbolic [`TgProgram`] ⇄ binary
+//! [`TgImage`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::image::TgImage;
+use crate::isa::TgInstr;
+use crate::program::{TgItem, TgProgram, TgSymInstr};
+
+/// Errors produced by [`assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TgAsmError {
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A branch referenced an undefined label.
+    UnknownLabel(String),
+    /// An `Idle` of zero cycles (use no instruction instead).
+    ZeroIdle {
+        /// Instruction index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TgAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgAsmError::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            TgAsmError::UnknownLabel(l) => write!(f, "label {l:?} is not defined"),
+            TgAsmError::ZeroIdle { index } => {
+                write!(f, "Idle(0) at instruction {index} is not executable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TgAsmError {}
+
+/// Assembles a symbolic program into an executable image, resolving
+/// labels to absolute instruction indices.
+///
+/// # Errors
+///
+/// Returns a [`TgAsmError`] for duplicate/unknown labels or `Idle(0)`.
+pub fn assemble(program: &TgProgram) -> Result<TgImage, TgAsmError> {
+    // Pass 1: label positions (in instruction indices).
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut idx: u32 = 0;
+    for item in &program.items {
+        match item {
+            TgItem::Label(name) => {
+                if labels.insert(name, idx).is_some() {
+                    return Err(TgAsmError::DuplicateLabel(name.clone()));
+                }
+            }
+            TgItem::Instr(_) => idx += 1,
+        }
+    }
+    // Pass 2: emit.
+    let lookup = |name: &str| -> Result<u32, TgAsmError> {
+        labels
+            .get(name)
+            .copied()
+            .ok_or_else(|| TgAsmError::UnknownLabel(name.to_owned()))
+    };
+    let mut instrs = Vec::with_capacity(idx as usize);
+    for item in &program.items {
+        let TgItem::Instr(sym) = item else { continue };
+        let index = instrs.len();
+        let instr = match sym {
+            TgSymInstr::Read(addr) => TgInstr::Read { addr: *addr },
+            TgSymInstr::Write(addr, data) => TgInstr::Write {
+                addr: *addr,
+                data: *data,
+            },
+            TgSymInstr::BurstRead(addr, count) => TgInstr::BurstRead {
+                addr: *addr,
+                count: *count,
+            },
+            TgSymInstr::BurstWrite(addr, data, count) => TgInstr::BurstWrite {
+                addr: *addr,
+                data: *data,
+                count: *count,
+            },
+            TgSymInstr::If(a, b, cond, label) => TgInstr::If {
+                a: *a,
+                b: *b,
+                cond: *cond,
+                target: lookup(label)?,
+            },
+            TgSymInstr::Jump(label) => TgInstr::Jump {
+                target: lookup(label)?,
+            },
+            TgSymInstr::SetRegister(reg, value) => TgInstr::SetRegister {
+                reg: *reg,
+                value: *value,
+            },
+            TgSymInstr::Idle(cycles) => {
+                if *cycles == 0 {
+                    return Err(TgAsmError::ZeroIdle { index });
+                }
+                TgInstr::Idle { cycles: *cycles }
+            }
+            TgSymInstr::IdleUntil(cycle) => TgInstr::IdleUntil { cycle: *cycle },
+            TgSymInstr::Halt => TgInstr::Halt,
+        };
+        instrs.push(instr);
+    }
+    Ok(TgImage {
+        master: program.master,
+        thread: program.thread,
+        inits: program.inits.clone(),
+        instrs,
+    })
+}
+
+/// Disassembles an image back into a symbolic program.
+///
+/// Branch targets become generated labels (`L<index>`), so
+/// `assemble(&disassemble(&img))` reproduces `img` exactly — the
+/// round-trip property the test suite and the paper's validation flow
+/// rely on.
+pub fn disassemble(image: &TgImage) -> TgProgram {
+    // Collect every branch target.
+    let mut targets: Vec<u32> = image
+        .instrs
+        .iter()
+        .filter_map(|i| match i {
+            TgInstr::If { target, .. } | TgInstr::Jump { target } => Some(*target),
+            _ => None,
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let label_of = |t: u32| format!("L{t}");
+
+    let mut program = TgProgram::new(image.master);
+    program.thread = image.thread;
+    program.inits = image.inits.clone();
+    for (idx, instr) in image.instrs.iter().enumerate() {
+        if targets.binary_search(&(idx as u32)).is_ok() {
+            program.label(label_of(idx as u32));
+        }
+        let sym = match instr {
+            TgInstr::Read { addr } => TgSymInstr::Read(*addr),
+            TgInstr::Write { addr, data } => TgSymInstr::Write(*addr, *data),
+            TgInstr::BurstRead { addr, count } => TgSymInstr::BurstRead(*addr, *count),
+            TgInstr::BurstWrite { addr, data, count } => {
+                TgSymInstr::BurstWrite(*addr, *data, *count)
+            }
+            TgInstr::If { a, b, cond, target } => {
+                TgSymInstr::If(*a, *b, *cond, label_of(*target))
+            }
+            TgInstr::Jump { target } => TgSymInstr::Jump(label_of(*target)),
+            TgInstr::SetRegister { reg, value } => TgSymInstr::SetRegister(*reg, *value),
+            TgInstr::Idle { cycles } => TgSymInstr::Idle(*cycles),
+            TgInstr::IdleUntil { cycle } => TgSymInstr::IdleUntil(*cycle),
+            TgInstr::Halt => TgSymInstr::Halt,
+        };
+        program.push(sym);
+    }
+    // A target one past the last instruction (e.g. a forward jump to the
+    // end) still needs its label.
+    if targets.binary_search(&(image.instrs.len() as u32)).is_ok() {
+        program.label(label_of(image.instrs.len() as u32));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{TgCond, TgReg, RDREG, TEMPREG};
+
+    fn poll_program() -> TgProgram {
+        let mut p = TgProgram::new(1);
+        p.inits.push((TgReg::new(2), 0xFF));
+        p.inits.push((TEMPREG, 1));
+        p.push(TgSymInstr::Idle(11));
+        p.label("semchk");
+        p.push(TgSymInstr::Read(TgReg::new(2)));
+        p.push(TgSymInstr::If(RDREG, TEMPREG, TgCond::Ne, "semchk".into()));
+        p.push(TgSymInstr::Halt);
+        p
+    }
+
+    #[test]
+    fn assembles_poll_loop() {
+        let img = assemble(&poll_program()).unwrap();
+        assert_eq!(img.instrs.len(), 4);
+        assert_eq!(
+            img.instrs[2],
+            TgInstr::If {
+                a: RDREG,
+                b: TEMPREG,
+                cond: TgCond::Ne,
+                target: 1,
+            }
+        );
+        img.validate_targets().unwrap();
+    }
+
+    #[test]
+    fn assemble_disassemble_round_trip() {
+        let img = assemble(&poll_program()).unwrap();
+        let back = disassemble(&img);
+        let img2 = assemble(&back).unwrap();
+        assert_eq!(img, img2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let mut p = TgProgram::new(0);
+        p.label("x").push(TgSymInstr::Halt).label("x");
+        assert_eq!(assemble(&p), Err(TgAsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let mut p = TgProgram::new(0);
+        p.push(TgSymInstr::Jump("nowhere".into()));
+        assert_eq!(
+            assemble(&p),
+            Err(TgAsmError::UnknownLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn zero_idle_rejected() {
+        let mut p = TgProgram::new(0);
+        p.push(TgSymInstr::Idle(0));
+        assert_eq!(assemble(&p), Err(TgAsmError::ZeroIdle { index: 0 }));
+    }
+
+    #[test]
+    fn forward_jump_to_end_round_trips() {
+        let mut p = TgProgram::new(0);
+        p.push(TgSymInstr::Jump("end".into()));
+        p.push(TgSymInstr::Idle(5));
+        p.label("end");
+        p.push(TgSymInstr::Halt);
+        let img = assemble(&p).unwrap();
+        assert_eq!(img.instrs[0], TgInstr::Jump { target: 2 });
+        let img2 = assemble(&disassemble(&img)).unwrap();
+        assert_eq!(img, img2);
+    }
+
+    #[test]
+    fn rewind_jump_like_paper_listing() {
+        // The paper's Figure 3(b) ends with `Jump(start)` to rewind.
+        let mut p = TgProgram::new(0);
+        p.label("start");
+        p.push(TgSymInstr::Idle(11));
+        p.push(TgSymInstr::Read(TgReg::new(2)));
+        p.push(TgSymInstr::Jump("start".into()));
+        let img = assemble(&p).unwrap();
+        assert_eq!(img.instrs[2], TgInstr::Jump { target: 0 });
+    }
+}

@@ -1,0 +1,88 @@
+//! `ntg-tgasm` — the TG assembler/disassembler as a command-line tool:
+//! `.tgp` → `.bin` (default) or `.bin` → `.tgp` (`-d`).
+//!
+//! ```text
+//! Usage: ntg-tgasm [-d] [-o <file>] <input>
+//! ```
+//!
+//! The paper's flow uses exactly this step: "an assembler is used to
+//! convert the symbolic TG program into a binary image (.bin) which can
+//! be loaded into the TG instruction memory and executed" (§5).
+
+use std::process::ExitCode;
+
+use ntg_core::tgp::{from_tgp, to_tgp};
+use ntg_core::{assemble, disassemble, TgImage};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ntg-tgasm: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut input = None;
+    let mut output = None;
+    let mut dis = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => output = args.next(),
+            "-d" | "--disassemble" => dis = true,
+            "--help" | "-h" => {
+                eprintln!("usage: ntg-tgasm [-d] [-o out] <input>");
+                return ExitCode::SUCCESS;
+            }
+            _ if input.is_none() => input = Some(arg),
+            _ => return fail(&format!("unexpected argument {arg:?}")),
+        }
+    }
+    let Some(input) = input else {
+        return fail("missing input file");
+    };
+    if dis {
+        // .bin → .tgp
+        let bytes = match std::fs::read(&input) {
+            Ok(b) => b,
+            Err(e) => return fail(&format!("cannot read {input}: {e}")),
+        };
+        let image = match TgImage::from_bytes(&bytes) {
+            Ok(i) => i,
+            Err(e) => return fail(&e.to_string()),
+        };
+        let listing = to_tgp(&disassemble(&image));
+        match output {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, listing) {
+                    return fail(&format!("cannot write {path}: {e}"));
+                }
+            }
+            None => print!("{listing}"),
+        }
+    } else {
+        // .tgp → .bin
+        let text = match std::fs::read_to_string(&input) {
+            Ok(t) => t,
+            Err(e) => return fail(&format!("cannot read {input}: {e}")),
+        };
+        let program = match from_tgp(&text) {
+            Ok(p) => p,
+            Err(e) => return fail(&e.to_string()),
+        };
+        let image = match assemble(&program) {
+            Ok(i) => i,
+            Err(e) => return fail(&e.to_string()),
+        };
+        let Some(path) = output else {
+            return fail("-o <file> is required when assembling (binary output)");
+        };
+        if let Err(e) = std::fs::write(&path, image.to_bytes()) {
+            return fail(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!(
+            "ntg-tgasm: wrote {} instructions ({} bytes)",
+            image.instrs.len(),
+            image.to_bytes().len()
+        );
+    }
+    ExitCode::SUCCESS
+}

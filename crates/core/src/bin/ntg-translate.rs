@@ -1,0 +1,99 @@
+//! `ntg-translate` — the trace-to-TG-program translator as a command-line
+//! tool: reads a `.trc` trace, writes a `.tgp` program.
+//!
+//! ```text
+//! Usage: ntg-translate [OPTIONS] <input.trc>
+//!
+//! Options:
+//!   -o <file>              output path (default: stdout)
+//!   --pollable <base:size> pollable address range, hex; repeatable
+//!   --mode <m>             clone | timeshift | reactive (default)
+//!   --loop                 end with Jump(start) instead of Halt
+//!   --poll-idle <n>        extra idle cycles inside Semchk loops
+//! ```
+
+use std::process::ExitCode;
+
+use ntg_core::tgp::to_tgp;
+use ntg_core::{TraceTranslator, TranslationMode, TranslatorConfig};
+use ntg_trace::MasterTrace;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("ntg-translate: {msg}");
+    ExitCode::FAILURE
+}
+
+fn parse_hex(s: &str) -> Option<u32> {
+    let s = s.strip_prefix("0x").unwrap_or(s);
+    u32::from_str_radix(s, 16).ok()
+}
+
+fn main() -> ExitCode {
+    let mut input = None;
+    let mut output = None;
+    let mut cfg = TranslatorConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-o" => output = args.next(),
+            "--pollable" => {
+                let Some(spec) = args.next() else {
+                    return fail("--pollable needs base:size");
+                };
+                let Some((base, size)) = spec.split_once(':') else {
+                    return fail("--pollable needs base:size");
+                };
+                let (Some(base), Some(size)) = (parse_hex(base), parse_hex(size)) else {
+                    return fail("--pollable values must be hex");
+                };
+                cfg.pollable.push((base, size));
+            }
+            "--mode" => {
+                cfg.mode = match args.next().as_deref() {
+                    Some("clone") => TranslationMode::Clone,
+                    Some("timeshift") => TranslationMode::Timeshift,
+                    Some("reactive") => TranslationMode::Reactive,
+                    _ => return fail("--mode must be clone|timeshift|reactive"),
+                };
+            }
+            "--loop" => cfg.loop_forever = true,
+            "--poll-idle" => {
+                let Some(n) = args.next().and_then(|s| s.parse().ok()) else {
+                    return fail("--poll-idle needs a number");
+                };
+                cfg.poll_idle = n;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: ntg-translate [-o out.tgp] [--pollable base:size]... [--mode m] [--loop] <input.trc>");
+                return ExitCode::SUCCESS;
+            }
+            _ if input.is_none() => input = Some(arg),
+            _ => return fail(&format!("unexpected argument {arg:?}")),
+        }
+    }
+    let Some(input) = input else {
+        return fail("missing input .trc file");
+    };
+    let text = match std::fs::read_to_string(&input) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {input}: {e}")),
+    };
+    let trace = match MasterTrace::from_trc(&text) {
+        Ok(t) => t,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let program = match TraceTranslator::new(cfg).translate(&trace) {
+        Ok(p) => p,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let listing = to_tgp(&program);
+    match output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, listing) {
+                return fail(&format!("cannot write {path}: {e}"));
+            }
+        }
+        None => print!("{listing}"),
+    }
+    ExitCode::SUCCESS
+}

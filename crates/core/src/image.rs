@@ -1,0 +1,253 @@
+//! The binary TG image (`.bin`) loaded into a TG's instruction memory.
+
+use std::fmt;
+
+use crate::isa::{TgInstr, TgReg};
+
+/// Magic number at the start of every `.bin` image (`"NTGB"`).
+pub const TG_IMAGE_MAGIC: [u8; 4] = *b"NTGB";
+/// Current image format version.
+pub const TG_IMAGE_VERSION: u32 = 1;
+
+/// A fully resolved, executable TG program.
+///
+/// Produced by [`assemble`](crate::assemble) from a symbolic
+/// [`TgProgram`](crate::TgProgram); loadable into a [`TgCore`]
+/// (simulation) or, in the paper's vision, into the instruction memory of
+/// a TG device on a NoC test chip. Serialises to a deterministic
+/// little-endian byte image.
+///
+/// [`TgCore`]: crate::TgCore
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TgImage {
+    /// The emulated master's id.
+    pub master: u16,
+    /// The emulated thread id.
+    pub thread: u16,
+    /// Register-file initialisation.
+    pub inits: Vec<(TgReg, u32)>,
+    /// The instruction stream; branch targets are indices into it.
+    pub instrs: Vec<TgInstr>,
+}
+
+/// Error produced when deserialising a `.bin` image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TgImageError {
+    /// The magic number or version did not match.
+    BadHeader,
+    /// The byte stream ended prematurely or had trailing bytes.
+    Truncated,
+    /// An instruction failed to decode.
+    BadInstruction {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A register-init entry named a register above 15.
+    BadRegister,
+    /// A branch target pointed outside the program.
+    BadTarget {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TgImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TgImageError::BadHeader => write!(f, "not a TG image (bad magic/version)"),
+            TgImageError::Truncated => write!(f, "truncated or oversized TG image"),
+            TgImageError::BadInstruction { index } => {
+                write!(f, "undecodable instruction at index {index}")
+            }
+            TgImageError::BadRegister => write!(f, "register init names an invalid register"),
+            TgImageError::BadTarget { index } => {
+                write!(f, "branch target out of range at index {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TgImageError {}
+
+impl TgImage {
+    /// Serialises the image to its on-disk byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(24 + self.inits.len() * 8 + self.instrs.len() * 12);
+        out.extend_from_slice(&TG_IMAGE_MAGIC);
+        out.extend_from_slice(&TG_IMAGE_VERSION.to_le_bytes());
+        out.extend_from_slice(&u32::from(self.master).to_le_bytes());
+        out.extend_from_slice(&u32::from(self.thread).to_le_bytes());
+        out.extend_from_slice(&(self.inits.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.instrs.len() as u32).to_le_bytes());
+        for (reg, value) in &self.inits {
+            out.extend_from_slice(&u32::from(reg.num()).to_le_bytes());
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        for instr in &self.instrs {
+            for w in instr.encode() {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialises an image, validating every instruction and branch
+    /// target.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TgImageError`] describing the first problem found.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TgImageError> {
+        fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, TgImageError> {
+            let end = *pos + 4;
+            let chunk = bytes.get(*pos..end).ok_or(TgImageError::Truncated)?;
+            *pos = end;
+            Ok(u32::from_le_bytes(chunk.try_into().expect("4 bytes")))
+        }
+        let magic = bytes.get(0..4).ok_or(TgImageError::Truncated)?;
+        if magic != TG_IMAGE_MAGIC {
+            return Err(TgImageError::BadHeader);
+        }
+        let mut pos = 4usize;
+        if take_u32(bytes, &mut pos)? != TG_IMAGE_VERSION {
+            return Err(TgImageError::BadHeader);
+        }
+        let master = take_u32(bytes, &mut pos)? as u16;
+        let thread = take_u32(bytes, &mut pos)? as u16;
+        let n_inits = take_u32(bytes, &mut pos)? as usize;
+        let n_instrs = take_u32(bytes, &mut pos)? as usize;
+        let mut inits = Vec::with_capacity(n_inits.min(1 << 16));
+        for _ in 0..n_inits {
+            let reg = take_u32(bytes, &mut pos)?;
+            let value = take_u32(bytes, &mut pos)?;
+            if reg > 15 {
+                return Err(TgImageError::BadRegister);
+            }
+            inits.push((TgReg::new(reg as u8), value));
+        }
+        let mut instrs = Vec::with_capacity(n_instrs.min(1 << 20));
+        for index in 0..n_instrs {
+            let words = [
+                take_u32(bytes, &mut pos)?,
+                take_u32(bytes, &mut pos)?,
+                take_u32(bytes, &mut pos)?,
+            ];
+            let instr =
+                TgInstr::decode(words).map_err(|_| TgImageError::BadInstruction { index })?;
+            instrs.push(instr);
+        }
+        if pos != bytes.len() {
+            return Err(TgImageError::Truncated);
+        }
+        let image = Self {
+            master,
+            thread,
+            inits,
+            instrs,
+        };
+        image.validate_targets()?;
+        Ok(image)
+    }
+
+    /// Checks that all branch targets land inside the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TgImageError::BadTarget`] naming the first bad branch.
+    pub fn validate_targets(&self) -> Result<(), TgImageError> {
+        for (index, instr) in self.instrs.iter().enumerate() {
+            let target = match instr {
+                TgInstr::If { target, .. } | TgInstr::Jump { target } => Some(*target),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if t as usize >= self.instrs.len() {
+                    return Err(TgImageError::BadTarget { index });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{TgCond, RDREG, TEMPREG};
+
+    fn sample() -> TgImage {
+        TgImage {
+            master: 4,
+            thread: 0,
+            inits: vec![(TgReg::new(2), 0x104), (TEMPREG, 1)],
+            instrs: vec![
+                TgInstr::Idle { cycles: 11 },
+                TgInstr::Read { addr: TgReg::new(2) },
+                TgInstr::If {
+                    a: RDREG,
+                    b: TEMPREG,
+                    cond: TgCond::Ne,
+                    target: 1,
+                },
+                TgInstr::Halt,
+            ],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        assert_eq!(TgImage::from_bytes(&bytes).unwrap(), img);
+    }
+
+    #[test]
+    fn bytes_are_deterministic() {
+        assert_eq!(sample().to_bytes(), sample().to_bytes());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(TgImage::from_bytes(&bytes), Err(TgImageError::BadHeader));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            TgImage::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(TgImageError::Truncated)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.push(0);
+        assert_eq!(TgImage::from_bytes(&bytes), Err(TgImageError::Truncated));
+    }
+
+    #[test]
+    fn out_of_range_target_rejected() {
+        let mut img = sample();
+        img.instrs[2] = TgInstr::Jump { target: 99 };
+        let bytes = img.to_bytes();
+        assert_eq!(
+            TgImage::from_bytes(&bytes),
+            Err(TgImageError::BadTarget { index: 2 })
+        );
+    }
+
+    #[test]
+    fn empty_image_round_trips() {
+        let img = TgImage {
+            master: 0,
+            thread: 0,
+            inits: vec![],
+            instrs: vec![],
+        };
+        assert_eq!(TgImage::from_bytes(&img.to_bytes()).unwrap(), img);
+    }
+}

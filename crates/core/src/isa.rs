@@ -1,0 +1,410 @@
+//! The TG instruction set (the paper's Table 1) and its binary encoding.
+
+use std::fmt;
+
+/// A TG register, `r0`–`r15`.
+///
+/// `r0` is the special `rdreg` that captures the data word of every read
+/// response (paper §5: "Register rdreg is defined as special register
+/// where the value of RD transactions is stored").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TgReg(u8);
+
+impl TgReg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 16, "the TG has registers r0..r15");
+        TgReg(n)
+    }
+
+    /// The register number.
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+}
+
+/// `rdreg`: receives the data of every read response.
+pub const RDREG: TgReg = TgReg::new(0);
+/// `tempreg`: holds the expected value in translator-generated `Semchk`
+/// polling loops (a convention, not hardware-special).
+pub const TEMPREG: TgReg = TgReg::new(1);
+
+impl fmt::Display for TgReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            f.write_str("rdreg")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// Branch conditions for the `If` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TgCond {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b` (unsigned)
+    Ltu,
+    /// `a >= b` (unsigned)
+    Geu,
+}
+
+impl TgCond {
+    /// Evaluates the condition.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            TgCond::Eq => a == b,
+            TgCond::Ne => a != b,
+            TgCond::Ltu => a < b,
+            TgCond::Geu => a >= b,
+        }
+    }
+
+    /// The mnemonic used in `.tgp` listings.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            TgCond::Eq => "EQ",
+            TgCond::Ne => "NE",
+            TgCond::Ltu => "LTU",
+            TgCond::Geu => "GEU",
+        }
+    }
+
+    /// Parses a mnemonic.
+    pub fn from_mnemonic(s: &str) -> Option<Self> {
+        Some(match s {
+            "EQ" => TgCond::Eq,
+            "NE" => TgCond::Ne,
+            "LTU" => TgCond::Ltu,
+            "GEU" => TgCond::Geu,
+            _ => return None,
+        })
+    }
+}
+
+/// A TG instruction in executable (binary) form; branch targets are
+/// absolute instruction indices.
+///
+/// The OCP group and the sequencing group together are the paper's
+/// Table 1; `Halt` terminates simulation runs (the paper instead rewinds
+/// with `Jump(start)` on test chips — the translator can emit either) and
+/// `IdleUntil` is an extension used only by the *clone* fidelity level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TgInstr {
+    /// Blocking read from the address in `addr`; data lands in `rdreg`.
+    Read {
+        /// Address register.
+        addr: TgReg,
+    },
+    /// Posted write of `data` to the address in `addr`.
+    Write {
+        /// Address register.
+        addr: TgReg,
+        /// Data register.
+        data: TgReg,
+    },
+    /// Blocking burst read of `count` words from `addr`.
+    BurstRead {
+        /// Address register.
+        addr: TgReg,
+        /// Beat-count register (1..=255).
+        count: TgReg,
+    },
+    /// Posted burst write of `count` copies of `data` starting at `addr`.
+    BurstWrite {
+        /// Address register.
+        addr: TgReg,
+        /// Data register.
+        data: TgReg,
+        /// Beat-count register (1..=255).
+        count: TgReg,
+    },
+    /// Branch to `target` when `cond(a, b)` holds.
+    If {
+        /// Left operand register.
+        a: TgReg,
+        /// Right operand register.
+        b: TgReg,
+        /// Condition.
+        cond: TgCond,
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Unconditional branch.
+    Jump {
+        /// Absolute instruction index.
+        target: u32,
+    },
+    /// Load an immediate into a register.
+    SetRegister {
+        /// Destination register.
+        reg: TgReg,
+        /// Immediate value.
+        value: u32,
+    },
+    /// Wait for `cycles` cycles (≥ 1).
+    Idle {
+        /// Number of cycles.
+        cycles: u32,
+    },
+    /// Wait until the global cycle counter reaches `cycle` (no-op if
+    /// already past). Clone-mode extension.
+    IdleUntil {
+        /// Absolute cycle.
+        cycle: u64,
+    },
+    /// Stop the generator.
+    Halt,
+}
+
+/// Error produced when decoding an invalid TG instruction word triple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TgDecodeError {
+    /// The undecodable first word.
+    pub word0: u32,
+}
+
+impl fmt::Display for TgDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid TG instruction word {:#010x}", self.word0)
+    }
+}
+
+impl std::error::Error for TgDecodeError {}
+
+mod op {
+    pub const READ: u8 = 1;
+    pub const WRITE: u8 = 2;
+    pub const BURST_READ: u8 = 3;
+    pub const BURST_WRITE: u8 = 4;
+    pub const IF: u8 = 5;
+    pub const JUMP: u8 = 6;
+    pub const SET_REGISTER: u8 = 7;
+    pub const IDLE: u8 = 8;
+    pub const HALT: u8 = 9;
+    pub const IDLE_UNTIL: u8 = 10;
+}
+
+fn cond_code(c: TgCond) -> u8 {
+    match c {
+        TgCond::Eq => 0,
+        TgCond::Ne => 1,
+        TgCond::Ltu => 2,
+        TgCond::Geu => 3,
+    }
+}
+
+fn cond_from(code: u8) -> Option<TgCond> {
+    Some(match code {
+        0 => TgCond::Eq,
+        1 => TgCond::Ne,
+        2 => TgCond::Ltu,
+        3 => TgCond::Geu,
+        _ => return None,
+    })
+}
+
+fn pack(opc: u8, a: u8, b: u8, c: u8) -> u32 {
+    u32::from(opc) | (u32::from(a) << 8) | (u32::from(b) << 16) | (u32::from(c) << 24)
+}
+
+impl TgInstr {
+    /// Encodes the instruction to its fixed three-word binary form.
+    pub fn encode(&self) -> [u32; 3] {
+        match *self {
+            TgInstr::Read { addr } => [pack(op::READ, addr.num(), 0, 0), 0, 0],
+            TgInstr::Write { addr, data } => {
+                [pack(op::WRITE, addr.num(), data.num(), 0), 0, 0]
+            }
+            TgInstr::BurstRead { addr, count } => {
+                [pack(op::BURST_READ, addr.num(), count.num(), 0), 0, 0]
+            }
+            TgInstr::BurstWrite { addr, data, count } => [
+                pack(op::BURST_WRITE, addr.num(), data.num(), count.num()),
+                0,
+                0,
+            ],
+            TgInstr::If { a, b, cond, target } => {
+                [pack(op::IF, a.num(), b.num(), cond_code(cond)), target, 0]
+            }
+            TgInstr::Jump { target } => [pack(op::JUMP, 0, 0, 0), target, 0],
+            TgInstr::SetRegister { reg, value } => {
+                [pack(op::SET_REGISTER, reg.num(), 0, 0), value, 0]
+            }
+            TgInstr::Idle { cycles } => [pack(op::IDLE, 0, 0, 0), cycles, 0],
+            TgInstr::IdleUntil { cycle } => [
+                pack(op::IDLE_UNTIL, 0, 0, 0),
+                (cycle & 0xFFFF_FFFF) as u32,
+                (cycle >> 32) as u32,
+            ],
+            TgInstr::Halt => [pack(op::HALT, 0, 0, 0), 0, 0],
+        }
+    }
+
+    /// Decodes a three-word binary form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TgDecodeError`] for unknown opcodes, register fields
+    /// above 15 or condition codes above 3.
+    pub fn decode(words: [u32; 3]) -> Result<Self, TgDecodeError> {
+        let [w0, w1, w2] = words;
+        let opc = (w0 & 0xFF) as u8;
+        let fa = ((w0 >> 8) & 0xFF) as u8;
+        let fb = ((w0 >> 16) & 0xFF) as u8;
+        let fc = ((w0 >> 24) & 0xFF) as u8;
+        let err = TgDecodeError { word0: w0 };
+        let reg = |n: u8| -> Result<TgReg, TgDecodeError> {
+            if n < 16 {
+                Ok(TgReg::new(n))
+            } else {
+                Err(err)
+            }
+        };
+        Ok(match opc {
+            op::READ => TgInstr::Read { addr: reg(fa)? },
+            op::WRITE => TgInstr::Write {
+                addr: reg(fa)?,
+                data: reg(fb)?,
+            },
+            op::BURST_READ => TgInstr::BurstRead {
+                addr: reg(fa)?,
+                count: reg(fb)?,
+            },
+            op::BURST_WRITE => TgInstr::BurstWrite {
+                addr: reg(fa)?,
+                data: reg(fb)?,
+                count: reg(fc)?,
+            },
+            op::IF => TgInstr::If {
+                a: reg(fa)?,
+                b: reg(fb)?,
+                cond: cond_from(fc).ok_or(err)?,
+                target: w1,
+            },
+            op::JUMP => TgInstr::Jump { target: w1 },
+            op::SET_REGISTER => TgInstr::SetRegister {
+                reg: reg(fa)?,
+                value: w1,
+            },
+            op::IDLE => TgInstr::Idle { cycles: w1 },
+            op::IDLE_UNTIL => TgInstr::IdleUntil {
+                cycle: u64::from(w1) | (u64::from(w2) << 32),
+            },
+            op::HALT => TgInstr::Halt,
+            _ => return Err(err),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TgInstr> {
+        let r = TgReg::new;
+        vec![
+            TgInstr::Read { addr: r(2) },
+            TgInstr::Write {
+                addr: r(2),
+                data: r(3),
+            },
+            TgInstr::BurstRead {
+                addr: r(4),
+                count: r(5),
+            },
+            TgInstr::BurstWrite {
+                addr: r(4),
+                data: r(6),
+                count: r(5),
+            },
+            TgInstr::If {
+                a: RDREG,
+                b: TEMPREG,
+                cond: TgCond::Ne,
+                target: 17,
+            },
+            TgInstr::If {
+                a: r(7),
+                b: r(8),
+                cond: TgCond::Geu,
+                target: 0,
+            },
+            TgInstr::Jump { target: 42 },
+            TgInstr::SetRegister {
+                reg: r(15),
+                value: 0xDEAD_BEEF,
+            },
+            TgInstr::Idle { cycles: 11 },
+            TgInstr::IdleUntil {
+                cycle: 0x1_2345_6789,
+            },
+            TgInstr::Halt,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for i in samples() {
+            assert_eq!(TgInstr::decode(i.encode()), Ok(i), "round trip for {i:?}");
+        }
+    }
+
+    #[test]
+    fn distinct_encodings() {
+        let enc: Vec<[u32; 3]> = samples().iter().map(TgInstr::encode).collect();
+        let mut sorted = enc.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), enc.len());
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(TgInstr::decode([0xFF, 0, 0]).is_err());
+        assert!(TgInstr::decode([0, 0, 0]).is_err(), "opcode 0 is reserved");
+    }
+
+    #[test]
+    fn bad_register_field_rejected() {
+        // Read with addr register 16.
+        let w0 = pack(op::READ, 16, 0, 0);
+        assert!(TgInstr::decode([w0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn bad_condition_rejected() {
+        let w0 = pack(op::IF, 0, 1, 9);
+        assert!(TgInstr::decode([w0, 5, 0]).is_err());
+    }
+
+    #[test]
+    fn idle_until_spans_64_bits() {
+        let i = TgInstr::IdleUntil { cycle: u64::MAX };
+        assert_eq!(TgInstr::decode(i.encode()), Ok(i));
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(TgCond::Ne.eval(0, 1));
+        assert!(!TgCond::Ne.eval(1, 1));
+        assert!(TgCond::Eq.eval(1, 1));
+        assert!(TgCond::Ltu.eval(1, 2));
+        assert!(TgCond::Geu.eval(2, 2));
+        assert_eq!(TgCond::from_mnemonic("NE"), Some(TgCond::Ne));
+        assert_eq!(TgCond::from_mnemonic("XX"), None);
+    }
+
+    #[test]
+    fn rdreg_displays_by_name() {
+        assert_eq!(RDREG.to_string(), "rdreg");
+        assert_eq!(TgReg::new(5).to_string(), "r5");
+    }
+}

@@ -1,0 +1,362 @@
+//! Preemptive multitasking on one TG socket (the paper's §7 future
+//! work).
+//!
+//! The paper closes with: "Research will also include analysis of the
+//! behavior of a system in which multiple tasks run on a single
+//! processor and are dynamically scheduled by an OS, either based upon
+//! timeslices (preemptive multitasking) or upon transition to a sleep
+//! state… Context switching-related issues will need to be modeled."
+//!
+//! [`TgMultiCore`] implements the timeslice variant: several TG programs
+//! (one per task) share a single OCP master socket under round-robin
+//! scheduling with a fixed quantum and a modelled context-switch penalty.
+//! Preemption only happens at instruction boundaries while the running
+//! task is not blocked on an outstanding OCP transaction — hardware
+//! cannot retract a request that is already driving the wires.
+
+use ntg_ocp::MasterPort;
+use ntg_sim::{Component, Cycle};
+
+use crate::image::TgImage;
+use crate::tgcore::{TgCore, TgFault, TgStats};
+
+/// Scheduler parameters for [`TgMultiCore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimesliceConfig {
+    /// Cycles a task may run before it becomes preemptible.
+    pub quantum: u32,
+    /// Idle cycles charged for every context switch (register save,
+    /// scheduler work).
+    pub switch_penalty: u32,
+}
+
+impl Default for TimesliceConfig {
+    /// 100-cycle quantum, 20-cycle switch penalty.
+    fn default() -> Self {
+        Self {
+            quantum: 100,
+            switch_penalty: 20,
+        }
+    }
+}
+
+/// Scheduling statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Context switches performed.
+    pub switches: u64,
+    /// Cycles spent in switch penalties.
+    pub switch_cycles: u64,
+}
+
+/// Several TG programs time-sliced onto one OCP master socket.
+///
+/// Each task is a full [`TgCore`] sharing the socket's [`MasterPort`];
+/// only the scheduled task ticks, so the port is never contended. The
+/// multicore halts when every task has halted.
+///
+/// # Example
+///
+/// See `crates/core/tests/multitask.rs` for a full system test; the
+/// shape is:
+///
+/// ```ignore
+/// let mt = TgMultiCore::new("tg0", port, vec![task_a, task_b],
+///                           TimesliceConfig::default());
+/// ```
+pub struct TgMultiCore {
+    name: String,
+    tasks: Vec<TgCore>,
+    current: usize,
+    slice_left: u32,
+    switching: u32,
+    cfg: TimesliceConfig,
+    stats: SchedulerStats,
+}
+
+impl TgMultiCore {
+    /// Creates a multitasking TG running `images` as tasks, round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is empty or the quantum is zero.
+    pub fn new(
+        name: impl Into<String>,
+        port: MasterPort,
+        images: Vec<TgImage>,
+        cfg: TimesliceConfig,
+    ) -> Self {
+        assert!(!images.is_empty(), "need at least one task");
+        assert!(cfg.quantum > 0, "quantum must be non-zero");
+        let name = name.into();
+        let tasks = images
+            .into_iter()
+            .enumerate()
+            .map(|(i, image)| TgCore::new(format!("{name}.task{i}"), port.clone(), image))
+            .collect();
+        Self {
+            name,
+            tasks,
+            current: 0,
+            slice_left: cfg.quantum,
+            switching: 0,
+            cfg,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Whether every task has halted.
+    pub fn halted(&self) -> bool {
+        self.tasks.iter().all(TgCore::halted)
+    }
+
+    /// The halt cycle of the last task to finish, if all have.
+    pub fn halt_cycle(&self) -> Option<Cycle> {
+        self.tasks
+            .iter()
+            .map(TgCore::halt_cycle)
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
+    }
+
+    /// The first fault in any task, if one occurred.
+    pub fn fault(&self) -> Option<TgFault> {
+        self.tasks.iter().find_map(TgCore::fault)
+    }
+
+    /// Per-task execution statistics.
+    pub fn task_stats(&self) -> Vec<TgStats> {
+        self.tasks.iter().map(TgCore::stats).collect()
+    }
+
+    /// Per-task halt cycles (None for still-running tasks).
+    pub fn task_halt_cycles(&self) -> Vec<Option<Cycle>> {
+        self.tasks.iter().map(TgCore::halt_cycle).collect()
+    }
+
+    /// Scheduler statistics.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Index of the task currently owning the socket.
+    pub fn current_task(&self) -> usize {
+        self.current
+    }
+
+    /// Rotates to the next runnable task (if any other exists).
+    fn preempt(&mut self) {
+        let n = self.tasks.len();
+        let next = (1..=n)
+            .map(|k| (self.current + k) % n)
+            .find(|&i| !self.tasks[i].halted());
+        if let Some(next) = next {
+            if next != self.current {
+                self.current = next;
+                self.switching = self.cfg.switch_penalty;
+                self.stats.switches += 1;
+            }
+        }
+        self.slice_left = self.cfg.quantum;
+    }
+}
+
+impl Component for TgMultiCore {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        if self.halted() {
+            return;
+        }
+        if self.switching > 0 {
+            self.switching -= 1;
+            self.stats.switch_cycles += 1;
+            return;
+        }
+        // If the current task halted, hand over immediately (no penalty
+        // refund: the switch still costs).
+        if self.tasks[self.current].halted() {
+            self.preempt();
+            if self.switching > 0 {
+                self.switching -= 1;
+                self.stats.switch_cycles += 1;
+                return;
+            }
+        }
+        self.tasks[self.current].tick(now);
+        self.slice_left = self.slice_left.saturating_sub(1);
+        if self.slice_left == 0 {
+            if self.tasks[self.current].is_blocked() {
+                // Cannot retract an in-flight request; retry next cycle.
+                self.slice_left = 1;
+            } else {
+                self.preempt();
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.halted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::isa::TgReg;
+    use crate::program::{TgProgram, TgSymInstr};
+    use ntg_mem::MemoryDevice;
+    use ntg_ocp::{channel, MasterId};
+
+    /// A task that writes `value` to `addr` then idles a bit, `n` times.
+    fn writer_task(addr: u32, value: u32, n: usize) -> TgImage {
+        let mut p = TgProgram::new(0);
+        p.inits.push((TgReg::new(2), addr));
+        p.inits.push((TgReg::new(3), value));
+        for _ in 0..n {
+            p.push(TgSymInstr::Write(TgReg::new(2), TgReg::new(3)));
+            p.push(TgSymInstr::Idle(30));
+        }
+        p.push(TgSymInstr::Halt);
+        assemble(&p).unwrap()
+    }
+
+    fn run(mt: &mut TgMultiCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
+        for now in 0..max {
+            mt.tick(now);
+            mem.tick(now);
+            if mt.halted() {
+                return now;
+            }
+        }
+        panic!("multitask TG did not halt");
+    }
+
+    #[test]
+    fn two_tasks_interleave_and_complete() {
+        let (mport, sport) = channel("tg", MasterId(0));
+        let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
+        let mut mt = TgMultiCore::new(
+            "tg",
+            mport,
+            vec![
+                writer_task(0x1000, 0xAAAA, 4),
+                writer_task(0x1004, 0xBBBB, 4),
+            ],
+            TimesliceConfig {
+                quantum: 40,
+                switch_penalty: 5,
+            },
+        );
+        run(&mut mt, &mut mem, 10_000);
+        assert_eq!(mem.peek(0x1000), 0xAAAA);
+        assert_eq!(mem.peek(0x1004), 0xBBBB);
+        assert!(
+            mt.scheduler_stats().switches >= 2,
+            "tasks must actually interleave: {:?}",
+            mt.scheduler_stats()
+        );
+        assert!(mt.fault().is_none());
+    }
+
+    #[test]
+    fn context_switch_penalty_lengthens_the_run() {
+        let build = |penalty: u32| {
+            let (mport, sport) = channel("tg", MasterId(0));
+            let mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
+            let mt = TgMultiCore::new(
+                "tg",
+                mport,
+                vec![
+                    writer_task(0x1000, 1, 6),
+                    writer_task(0x1004, 2, 6),
+                ],
+                TimesliceConfig {
+                    quantum: 25,
+                    switch_penalty: penalty,
+                },
+            );
+            (mt, mem)
+        };
+        let (mut cheap, mut mem1) = build(0);
+        let t_cheap = run(&mut cheap, &mut mem1, 100_000);
+        let (mut costly, mut mem2) = build(40);
+        let t_costly = run(&mut costly, &mut mem2, 100_000);
+        assert!(
+            t_costly > t_cheap,
+            "switch penalty must cost cycles: {t_cheap} vs {t_costly}"
+        );
+        assert_eq!(
+            costly.scheduler_stats().switch_cycles,
+            costly.scheduler_stats().switches * 40
+        );
+    }
+
+    #[test]
+    fn preemption_never_interrupts_a_blocked_transaction() {
+        // Quantum of 1: the scheduler wants to switch every cycle, but
+        // must defer while a write waits for acceptance. If it switched
+        // mid-transaction the other task's assert would panic the
+        // channel ("already pending").
+        let (mport, sport) = channel("tg", MasterId(0));
+        let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
+        let mut mt = TgMultiCore::new(
+            "tg",
+            mport,
+            vec![
+                writer_task(0x1000, 7, 5),
+                writer_task(0x1004, 8, 5),
+            ],
+            TimesliceConfig {
+                quantum: 1,
+                switch_penalty: 0,
+            },
+        );
+        run(&mut mt, &mut mem, 100_000);
+        assert_eq!(mem.peek(0x1000), 7);
+        assert_eq!(mem.peek(0x1004), 8);
+    }
+
+    #[test]
+    fn single_task_never_switches() {
+        let (mport, sport) = channel("tg", MasterId(0));
+        let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
+        let mut mt = TgMultiCore::new(
+            "tg",
+            mport,
+            vec![writer_task(0x1000, 3, 3)],
+            TimesliceConfig {
+                quantum: 5,
+                switch_penalty: 10,
+            },
+        );
+        run(&mut mt, &mut mem, 10_000);
+        assert_eq!(mt.scheduler_stats().switches, 0);
+    }
+
+    #[test]
+    fn halt_cycle_is_the_last_task_finish() {
+        let (mport, sport) = channel("tg", MasterId(0));
+        let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
+        let mut mt = TgMultiCore::new(
+            "tg",
+            mport,
+            vec![writer_task(0x1000, 1, 1), writer_task(0x1004, 2, 8)],
+            TimesliceConfig::default(),
+        );
+        run(&mut mt, &mut mem, 100_000);
+        let finishes = mt.task_halt_cycles();
+        assert_eq!(mt.halt_cycle(), finishes.iter().flatten().copied().max());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_task_list_rejected() {
+        let (mport, _sport) = channel("tg", MasterId(0));
+        let _ = TgMultiCore::new("tg", mport, vec![], TimesliceConfig::default());
+    }
+}

@@ -1,0 +1,416 @@
+//! The `.tgp` symbolic text format (the paper's Figure 3(b)).
+//!
+//! ```text
+//! ; ntg TG program v1
+//! MASTER[2,0]
+//! REGISTER r2 0x00000104
+//! REGISTER tempreg 0x00000001
+//! BEGIN
+//!   Idle(11)
+//! Semchk:
+//!   Read(r2)
+//!   If(rdreg, tempreg, NE, Semchk)
+//!   Halt
+//! END
+//! ```
+//!
+//! Serialisation is deterministic: equal programs print to identical
+//! text, which is how the paper's validation experiment ("a check across
+//! .tgp programs showed no difference at all") is reproduced byte for
+//! byte.
+
+use std::fmt::Write as _;
+
+use crate::isa::{TgCond, TgReg};
+use crate::program::{TgItem, TgProgram, TgSymInstr};
+
+/// A `.tgp` parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TgpParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TgpParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ".tgp line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TgpParseError {}
+
+fn reg_name(reg: TgReg) -> String {
+    match reg.num() {
+        0 => "rdreg".into(),
+        1 => "tempreg".into(),
+        n => format!("r{n}"),
+    }
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<TgReg, TgpParseError> {
+    match s {
+        "rdreg" => return Ok(TgReg::new(0)),
+        "tempreg" => return Ok(TgReg::new(1)),
+        _ => {}
+    }
+    let err = || TgpParseError {
+        line,
+        reason: format!("invalid register {s:?}"),
+    };
+    let n: u8 = s.strip_prefix('r').ok_or_else(err)?.parse().map_err(|_| err())?;
+    if n > 15 {
+        return Err(err());
+    }
+    Ok(TgReg::new(n))
+}
+
+fn parse_value(s: &str, line: usize) -> Result<u32, TgpParseError> {
+    let r = if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    r.map_err(|_| TgpParseError {
+        line,
+        reason: format!("invalid value {s:?}"),
+    })
+}
+
+/// Serialises a program to `.tgp` text.
+pub fn to_tgp(program: &TgProgram) -> String {
+    let mut out = String::new();
+    out.push_str("; ntg TG program v1\n");
+    let _ = writeln!(out, "MASTER[{},{}]", program.master, program.thread);
+    for (reg, value) in &program.inits {
+        let _ = writeln!(out, "REGISTER {} {:#010x}", reg_name(*reg), value);
+    }
+    out.push_str("BEGIN\n");
+    for item in &program.items {
+        match item {
+            TgItem::Label(name) => {
+                let _ = writeln!(out, "{name}:");
+            }
+            TgItem::Instr(i) => {
+                let _ = match i {
+                    TgSymInstr::Read(a) => writeln!(out, "  Read({})", reg_name(*a)),
+                    TgSymInstr::Write(a, d) => {
+                        writeln!(out, "  Write({}, {})", reg_name(*a), reg_name(*d))
+                    }
+                    TgSymInstr::BurstRead(a, c) => {
+                        writeln!(out, "  BurstRead({}, {})", reg_name(*a), reg_name(*c))
+                    }
+                    TgSymInstr::BurstWrite(a, d, c) => writeln!(
+                        out,
+                        "  BurstWrite({}, {}, {})",
+                        reg_name(*a),
+                        reg_name(*d),
+                        reg_name(*c)
+                    ),
+                    TgSymInstr::If(a, b, cond, target) => writeln!(
+                        out,
+                        "  If({}, {}, {}, {})",
+                        reg_name(*a),
+                        reg_name(*b),
+                        cond.mnemonic(),
+                        target
+                    ),
+                    TgSymInstr::Jump(target) => writeln!(out, "  Jump({target})"),
+                    TgSymInstr::SetRegister(r, v) => {
+                        writeln!(out, "  SetRegister({}, {:#010x})", reg_name(*r), v)
+                    }
+                    TgSymInstr::Idle(n) => writeln!(out, "  Idle({n})"),
+                    TgSymInstr::IdleUntil(n) => writeln!(out, "  IdleUntil({n})"),
+                    TgSymInstr::Halt => writeln!(out, "  Halt"),
+                };
+            }
+        }
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Parses `.tgp` text.
+///
+/// # Errors
+///
+/// Returns a [`TgpParseError`] naming the offending line.
+pub fn from_tgp(text: &str) -> Result<TgProgram, TgpParseError> {
+    let mut program = TgProgram::default();
+    let mut saw_master = false;
+    let mut in_body = false;
+    let mut saw_end = false;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with(';') {
+            continue;
+        }
+        let err = |reason: String| TgpParseError {
+            line: line_no,
+            reason,
+        };
+        if saw_end {
+            return Err(err("content after END".into()));
+        }
+        if let Some(rest) = line.strip_prefix("MASTER[") {
+            let inner = rest
+                .strip_suffix(']')
+                .ok_or_else(|| err("missing ] in MASTER header".into()))?;
+            let (m, t) = inner
+                .split_once(',')
+                .ok_or_else(|| err("MASTER header needs [id,thread]".into()))?;
+            program.master = m
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("invalid master id {m:?}")))?;
+            program.thread = t
+                .trim()
+                .parse()
+                .map_err(|_| err(format!("invalid thread id {t:?}")))?;
+            saw_master = true;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("REGISTER ") {
+            if in_body {
+                return Err(err("REGISTER after BEGIN".into()));
+            }
+            let mut parts = rest.split_whitespace();
+            let reg = parse_reg(
+                parts.next().ok_or_else(|| err("missing register".into()))?,
+                line_no,
+            )?;
+            let value = parse_value(
+                parts.next().ok_or_else(|| err("missing value".into()))?,
+                line_no,
+            )?;
+            program.inits.push((reg, value));
+            continue;
+        }
+        if line == "BEGIN" {
+            in_body = true;
+            continue;
+        }
+        if line == "END" {
+            saw_end = true;
+            continue;
+        }
+        if !in_body {
+            return Err(err(format!("unexpected {line:?} before BEGIN")));
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(err(format!("invalid label {label:?}")));
+            }
+            program.label(label);
+            continue;
+        }
+        // Instruction: Name(args...) or bare Halt.
+        let (name, args) = match line.find('(') {
+            Some(p) => {
+                let inner = line[p + 1..]
+                    .strip_suffix(')')
+                    .ok_or_else(|| err("missing )".into()))?;
+                (
+                    &line[..p],
+                    inner
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .collect::<Vec<_>>(),
+                )
+            }
+            None => (line, Vec::new()),
+        };
+        let want = |n: usize| -> Result<(), TgpParseError> {
+            if args.len() == n {
+                Ok(())
+            } else {
+                Err(TgpParseError {
+                    line: line_no,
+                    reason: format!("{name} expects {n} argument(s), found {}", args.len()),
+                })
+            }
+        };
+        let instr = match name {
+            "Read" => {
+                want(1)?;
+                TgSymInstr::Read(parse_reg(args[0], line_no)?)
+            }
+            "Write" => {
+                want(2)?;
+                TgSymInstr::Write(parse_reg(args[0], line_no)?, parse_reg(args[1], line_no)?)
+            }
+            "BurstRead" => {
+                want(2)?;
+                TgSymInstr::BurstRead(parse_reg(args[0], line_no)?, parse_reg(args[1], line_no)?)
+            }
+            "BurstWrite" => {
+                want(3)?;
+                TgSymInstr::BurstWrite(
+                    parse_reg(args[0], line_no)?,
+                    parse_reg(args[1], line_no)?,
+                    parse_reg(args[2], line_no)?,
+                )
+            }
+            "If" => {
+                want(4)?;
+                let cond = TgCond::from_mnemonic(args[2]).ok_or_else(|| TgpParseError {
+                    line: line_no,
+                    reason: format!("unknown condition {:?}", args[2]),
+                })?;
+                TgSymInstr::If(
+                    parse_reg(args[0], line_no)?,
+                    parse_reg(args[1], line_no)?,
+                    cond,
+                    args[3].to_owned(),
+                )
+            }
+            "Jump" => {
+                want(1)?;
+                TgSymInstr::Jump(args[0].to_owned())
+            }
+            "SetRegister" => {
+                want(2)?;
+                TgSymInstr::SetRegister(parse_reg(args[0], line_no)?, parse_value(args[1], line_no)?)
+            }
+            "Idle" => {
+                want(1)?;
+                TgSymInstr::Idle(parse_value(args[0], line_no)?)
+            }
+            "IdleUntil" => {
+                want(1)?;
+                let v: u64 = args[0].parse().map_err(|_| TgpParseError {
+                    line: line_no,
+                    reason: format!("invalid cycle {:?}", args[0]),
+                })?;
+                TgSymInstr::IdleUntil(v)
+            }
+            "Halt" => {
+                want(0)?;
+                TgSymInstr::Halt
+            }
+            _ => {
+                return Err(err(format!("unknown instruction {name:?}")));
+            }
+        };
+        program.push(instr);
+    }
+    if !saw_end {
+        return Err(TgpParseError {
+            line: text.lines().count(),
+            reason: "missing END".into(),
+        });
+    }
+    if !saw_master {
+        return Err(TgpParseError {
+            line: 1,
+            reason: "missing MASTER header".into(),
+        });
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{RDREG, TEMPREG};
+
+    fn sample() -> TgProgram {
+        let mut p = TgProgram::new(2);
+        p.inits.push((TgReg::new(2), 0x104));
+        p.inits.push((TEMPREG, 1));
+        p.label("start");
+        p.push(TgSymInstr::Idle(11));
+        p.push(TgSymInstr::Read(TgReg::new(2)));
+        p.push(TgSymInstr::SetRegister(TgReg::new(3), 0x111));
+        p.push(TgSymInstr::Write(TgReg::new(2), TgReg::new(3)));
+        p.push(TgSymInstr::BurstRead(TgReg::new(2), TgReg::new(4)));
+        p.push(TgSymInstr::BurstWrite(
+            TgReg::new(2),
+            TgReg::new(3),
+            TgReg::new(4),
+        ));
+        p.label("Semchk");
+        p.push(TgSymInstr::Read(TgReg::new(2)));
+        p.push(TgSymInstr::If(RDREG, TEMPREG, TgCond::Ne, "Semchk".into()));
+        p.push(TgSymInstr::IdleUntil(1_000_000));
+        p.push(TgSymInstr::Jump("start".into()));
+        p.push(TgSymInstr::Halt);
+        p
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = sample();
+        let text = to_tgp(&p);
+        let back = from_tgp(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn serialisation_is_deterministic() {
+        assert_eq!(to_tgp(&sample()), to_tgp(&sample()));
+    }
+
+    #[test]
+    fn prints_named_special_registers() {
+        let text = to_tgp(&sample());
+        assert!(text.contains("If(rdreg, tempreg, NE, Semchk)"));
+        assert!(text.contains("REGISTER tempreg 0x00000001"));
+    }
+
+    #[test]
+    fn parses_paper_style_listing() {
+        let text = "\
+; Master Core
+MASTER[0,0]
+REGISTER rdreg 0x00000000
+REGISTER r2 0x00000104
+BEGIN
+start:
+  Idle(11)
+  Read(r2)
+Semchk:
+  Read(r2)
+  If(rdreg, tempreg, NE, Semchk)
+  Jump(start)
+END
+";
+        let p = from_tgp(text).unwrap();
+        assert_eq!(p.master, 0);
+        assert_eq!(p.len_instrs(), 5);
+    }
+
+    #[test]
+    fn register_after_begin_is_error() {
+        let text = "MASTER[0,0]\nBEGIN\nREGISTER r2 0\nEND\n";
+        assert!(from_tgp(text).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_is_error() {
+        let text = "MASTER[0,0]\nBEGIN\n  Read(r1, r2)\nEND\n";
+        let e = from_tgp(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.reason.contains("expects 1"));
+    }
+
+    #[test]
+    fn unknown_instruction_is_error() {
+        let text = "MASTER[0,0]\nBEGIN\n  Frobnicate(r1)\nEND\n";
+        assert!(from_tgp(text).is_err());
+    }
+
+    #[test]
+    fn missing_end_is_error() {
+        assert!(from_tgp("MASTER[0,0]\nBEGIN\n").is_err());
+    }
+
+    #[test]
+    fn register_out_of_range_is_error() {
+        let text = "MASTER[0,0]\nBEGIN\n  Read(r16)\nEND\n";
+        assert!(from_tgp(text).is_err());
+    }
+}

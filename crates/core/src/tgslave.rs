@@ -1,0 +1,340 @@
+//! Slave traffic generators (the paper's §4, TG entities 2 and 3).
+//!
+//! The paper defines three TG entities: the programmable *master* TG
+//! (entity 1, [`TgCore`](crate::TgCore)), "a TG emulating a shared
+//! memory (an OCP slave) … [which] must contain a data structure
+//! modeling an actual shared memory" (entity 2), and "a TG emulating a
+//! slave memory … able to respond, possibly with dummy values" (entity
+//! 3). Only the master TG is needed inside a simulation environment —
+//! the simulator provides real slaves — but on a NoC *test chip* every
+//! socket must be a TG, so this module implements the slave entities
+//! too: "both slave TG modules are much simpler in design with respect
+//! to the master TG, as their logic basically just involves a small
+//! state machine to handle OCP transactions".
+//!
+//! [`TgSlave`] covers all slave flavours through [`TgSlaveBehavior`]:
+//!
+//! * [`Memory`](TgSlaveBehavior::Memory) — entity 2: a real backing
+//!   store, so data-dependent control flow in master TGs (semaphore
+//!   polling, flag barriers) behaves exactly as with a real memory;
+//! * [`Dummy`](TgSlaveBehavior::Dummy) — entity 3: no storage; reads
+//!   return a configurable pattern (cheapest possible silicon);
+//! * [`Semaphore`](TgSlaveBehavior::Semaphore) — the hardware
+//!   test-and-set bank, needed on a test chip for reactive traffic.
+
+use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_sim::{Component, Cycle};
+
+/// What a [`TgSlave`] does with the transactions it receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TgSlaveBehavior {
+    /// Entity 2: backed by a real data store.
+    Memory,
+    /// Entity 3: reads return `pattern ^ addr` (recognisably fake but
+    /// address-dependent); writes are absorbed.
+    Dummy {
+        /// Base pattern for generated read data.
+        pattern: u32,
+    },
+    /// Test-and-set semaphore cells (reset to 1/free).
+    Semaphore,
+}
+
+enum State {
+    Idle,
+    Busy { done_at: Cycle },
+}
+
+/// A slave traffic generator: a small OCP state machine with optional
+/// backing store.
+///
+/// Timing matches the platform's real devices: a request visible in
+/// cycle *t* is accepted — with its read response pushed — after
+/// `wait_states + beats` cycles, and writes complete silently at
+/// acceptance.
+pub struct TgSlave {
+    name: String,
+    base: u32,
+    behavior: TgSlaveBehavior,
+    store: Vec<u32>,
+    wait_states: Cycle,
+    port: SlavePort,
+    state: State,
+    reads: u64,
+    writes: u64,
+    errors: u64,
+}
+
+impl TgSlave {
+    /// Creates a slave TG covering `[base, base + size_bytes)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base`/`size_bytes` are not word-aligned or size is
+    /// zero.
+    pub fn new(
+        name: impl Into<String>,
+        base: u32,
+        size_bytes: u32,
+        behavior: TgSlaveBehavior,
+        port: SlavePort,
+    ) -> Self {
+        assert!(
+            base.is_multiple_of(4) && size_bytes.is_multiple_of(4) && size_bytes > 0,
+            "slave TG must be word-aligned and non-empty"
+        );
+        let words = (size_bytes / 4) as usize;
+        let store = match behavior {
+            TgSlaveBehavior::Memory => vec![0; words],
+            TgSlaveBehavior::Semaphore => vec![1; words],
+            TgSlaveBehavior::Dummy { .. } => Vec::new(),
+        };
+        Self {
+            name: name.into(),
+            base,
+            behavior,
+            store,
+            wait_states: 1,
+            port,
+            state: State::Idle,
+            reads: 0,
+            writes: 0,
+            errors: 0,
+        }
+    }
+
+    /// Overrides the wait states (default 1).
+    pub fn set_wait_states(&mut self, wait_states: Cycle) {
+        self.wait_states = wait_states;
+    }
+
+    /// The behaviour this slave was built with.
+    pub fn behavior(&self) -> TgSlaveBehavior {
+        self.behavior
+    }
+
+    /// Host-side view of a stored word (Memory/Semaphore only).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dummy slaves or out-of-range addresses.
+    pub fn peek(&self, addr: u32) -> u32 {
+        assert!(
+            !matches!(self.behavior, TgSlaveBehavior::Dummy { .. }),
+            "dummy slave TGs store nothing"
+        );
+        self.store[self.index(addr).expect("peek out of range")]
+    }
+
+    /// Reads serviced so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes serviced so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Error responses produced so far.
+    pub fn errors(&self) -> u64 {
+        self.errors
+    }
+
+    fn index(&self, addr: u32) -> Option<usize> {
+        if !addr.is_multiple_of(4) || addr < self.base {
+            return None;
+        }
+        let idx = ((addr - self.base) / 4) as usize;
+        let words = match self.behavior {
+            TgSlaveBehavior::Dummy { .. } => usize::MAX, // dummy: any address
+            _ => self.store.len(),
+        };
+        (idx < words).then_some(idx)
+    }
+
+    fn service(&mut self, req: &OcpRequest) -> Option<OcpResponse> {
+        let beats = req.beats();
+        let in_range = (0..beats).all(|b| self.index(req.addr + b * 4).is_some());
+        if !in_range || (matches!(self.behavior, TgSlaveBehavior::Semaphore) && beats != 1) {
+            self.errors += 1;
+            return req
+                .cmd
+                .expects_response()
+                .then(|| OcpResponse::error(req.tag));
+        }
+        match (req.cmd, self.behavior) {
+            (OcpCmd::Read | OcpCmd::BurstRead, TgSlaveBehavior::Dummy { pattern }) => {
+                self.reads += 1;
+                let data = (0..beats).map(|b| pattern ^ (req.addr + b * 4)).collect();
+                Some(OcpResponse::ok(data, req.tag))
+            }
+            (OcpCmd::Read, TgSlaveBehavior::Semaphore) => {
+                self.reads += 1;
+                let idx = self.index(req.addr).expect("range checked");
+                let value = self.store[idx];
+                if value == 1 {
+                    self.store[idx] = 0;
+                }
+                Some(OcpResponse::ok(vec![value], req.tag))
+            }
+            (OcpCmd::Read | OcpCmd::BurstRead, TgSlaveBehavior::Memory) => {
+                self.reads += 1;
+                let data = (0..beats)
+                    .map(|b| {
+                        self.store[self.index(req.addr + b * 4).expect("range checked")]
+                    })
+                    .collect();
+                Some(OcpResponse::ok(data, req.tag))
+            }
+            (OcpCmd::BurstRead, TgSlaveBehavior::Semaphore) => {
+                unreachable!("semaphore bursts rejected above")
+            }
+            (OcpCmd::Write | OcpCmd::BurstWrite, behavior) => {
+                self.writes += 1;
+                match behavior {
+                    TgSlaveBehavior::Dummy { .. } => {}
+                    TgSlaveBehavior::Semaphore => {
+                        let idx = self.index(req.addr).expect("range checked");
+                        self.store[idx] = req.data.first().copied().unwrap_or(0) & 1;
+                    }
+                    TgSlaveBehavior::Memory => {
+                        for (b, w) in req.data.iter().enumerate() {
+                            let idx = self
+                                .index(req.addr + (b as u32) * 4)
+                                .expect("range checked");
+                            self.store[idx] = *w;
+                        }
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+impl Component for TgSlave {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        match &self.state {
+            State::Idle => {
+                if let Some((_, beats, _)) = self.port.peek_meta(now) {
+                    let done_at = now + self.wait_states + Cycle::from(beats);
+                    self.state = State::Busy { done_at };
+                }
+            }
+            State::Busy { done_at } => {
+                if now >= *done_at {
+                    self.state = State::Idle;
+                    let req = self
+                        .port
+                        .accept_request(now)
+                        .expect("request stays asserted during service");
+                    if let Some(resp) = self.service(&req) {
+                        self.port.push_response(resp, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        matches!(self.state, State::Idle) && self.port.is_quiet()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_ocp::{channel, MasterId, MasterPort};
+
+    fn transact(
+        slave: &mut TgSlave,
+        m: &MasterPort,
+        req: OcpRequest,
+        start: Cycle,
+    ) -> Option<OcpResponse> {
+        let expects = req.cmd.expects_response();
+        m.assert_request(req, start);
+        for now in start..start + 100 {
+            slave.tick(now);
+            if expects {
+                if let Some(resp) = m.take_response(now) {
+                    return Some(resp);
+                }
+            } else if m.take_accept(now).is_some() {
+                return None;
+            }
+        }
+        panic!("transaction did not complete");
+    }
+
+    #[test]
+    fn memory_behavior_stores_and_returns() {
+        let (m, s) = channel("l", MasterId(0));
+        let mut sl = TgSlave::new("mem", 0x100, 0x40, TgSlaveBehavior::Memory, s);
+        transact(&mut sl, &m, OcpRequest::write(0x108, 0xAA55), 0);
+        let r = transact(&mut sl, &m, OcpRequest::read(0x108), 20).unwrap();
+        assert_eq!(r.word(), 0xAA55);
+        assert_eq!(sl.peek(0x108), 0xAA55);
+    }
+
+    #[test]
+    fn dummy_behavior_answers_everything_with_pattern() {
+        let (m, s) = channel("l", MasterId(0));
+        let mut sl = TgSlave::new(
+            "dummy",
+            0x100,
+            0x40,
+            TgSlaveBehavior::Dummy { pattern: 0xF0F0 },
+            s,
+        );
+        let r = transact(&mut sl, &m, OcpRequest::read(0x104), 0).unwrap();
+        assert_eq!(r.word(), 0xF0F0 ^ 0x104);
+        // Even far outside its nominal size: a dummy always answers.
+        let r = transact(&mut sl, &m, OcpRequest::read(0xBEEF_0000), 20).unwrap();
+        assert_eq!(r.word(), 0xF0F0 ^ 0xBEEF_0000);
+        transact(&mut sl, &m, OcpRequest::write(0x104, 1), 40);
+        assert_eq!(sl.writes(), 1);
+    }
+
+    #[test]
+    fn semaphore_behavior_is_test_and_set() {
+        let (m, s) = channel("l", MasterId(0));
+        let mut sl = TgSlave::new("sem", 0x0, 0x10, TgSlaveBehavior::Semaphore, s);
+        let first = transact(&mut sl, &m, OcpRequest::read(0x4), 0).unwrap();
+        assert_eq!(first.word(), 1, "first read acquires");
+        let second = transact(&mut sl, &m, OcpRequest::read(0x4), 20).unwrap();
+        assert_eq!(second.word(), 0, "second read fails");
+        transact(&mut sl, &m, OcpRequest::write(0x4, 1), 40);
+        assert_eq!(sl.peek(0x4), 1, "write releases");
+    }
+
+    #[test]
+    fn semaphore_rejects_bursts() {
+        let (m, s) = channel("l", MasterId(0));
+        let mut sl = TgSlave::new("sem", 0x0, 0x10, TgSlaveBehavior::Semaphore, s);
+        let r = transact(&mut sl, &m, OcpRequest::burst_read(0x0, 2), 0).unwrap();
+        assert_eq!(r.status, ntg_ocp::OcpStatus::Error);
+        assert_eq!(sl.errors(), 1);
+    }
+
+    #[test]
+    fn memory_rejects_out_of_range() {
+        let (m, s) = channel("l", MasterId(0));
+        let mut sl = TgSlave::new("mem", 0x100, 0x10, TgSlaveBehavior::Memory, s);
+        let r = transact(&mut sl, &m, OcpRequest::read(0x200), 0).unwrap();
+        assert_eq!(r.status, ntg_ocp::OcpStatus::Error);
+    }
+
+    #[test]
+    #[should_panic(expected = "store nothing")]
+    fn dummy_peek_panics() {
+        let (_m, s) = channel("l", MasterId(0));
+        let sl = TgSlave::new("d", 0, 4, TgSlaveBehavior::Dummy { pattern: 0 }, s);
+        let _ = sl.peek(0);
+    }
+}

@@ -1,0 +1,669 @@
+//! The trace-to-TG-program translator (paper §5).
+//!
+//! Consumes a [`MasterTrace`] collected at an OCP interface plus
+//! *platform knowledge* — which address ranges are pollable and the clock
+//! period — and emits a symbolic [`TgProgram`]:
+//!
+//! * register-file `REGISTER` initialisation covering the first
+//!   transaction's operands (zero execution cycles, as in the paper's
+//!   Figure 3(b));
+//! * `SetRegister` instructions only when an operand register's value
+//!   must change;
+//! * `Idle` waits sized as `gap − setup`, where the gap runs from the
+//!   previous transaction's *unblock* instant (response for reads, accept
+//!   for posted writes) to the next request's assert instant, minus one
+//!   cycle for the unblock-to-execute transition and one cycle per setup
+//!   instruction — negative results clamp to zero, which is the
+//!   "minimal timing mismatch" error source the paper discusses;
+//! * in [`TranslationMode::Reactive`], maximal runs of single-word reads
+//!   to one pollable address collapse into a canonical `Semchk` loop that
+//!   re-reads until the *final observed value* appears. The canonical
+//!   loop is independent of how many failed polls the reference run
+//!   happened to contain — which is exactly why programs translated from
+//!   traces on different interconnects are identical (the paper's first
+//!   experiment).
+
+use ntg_ocp::OcpCmd;
+use ntg_sim::{ClockConfig, Cycle};
+use ntg_trace::{MasterTrace, TraceError, Transaction};
+
+use crate::isa::{TgCond, TgReg, RDREG, TEMPREG};
+use crate::program::{TgProgram, TgSymInstr};
+
+/// The operand-register convention used by generated programs.
+mod regs {
+    use crate::isa::TgReg;
+    /// Address operand.
+    pub const ADDR: TgReg = TgReg::new(2);
+    /// Write-data operand.
+    pub const DATA: TgReg = TgReg::new(3);
+    /// Burst-count operand.
+    pub const COUNT: TgReg = TgReg::new(4);
+}
+
+/// The paper's three traffic-modelling fidelity levels (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TranslationMode {
+    /// Replay requests at their recorded absolute cycle times
+    /// (`IdleUntil`); latency changes do not propagate.
+    Clone,
+    /// Tie each request to the completion of the previous one; latency
+    /// changes shift subsequent traffic.
+    Timeshift,
+    /// Timeshifting plus `Semchk` regeneration of polling — the paper's
+    /// full TG model.
+    #[default]
+    Reactive,
+}
+
+/// Platform knowledge handed to the translator.
+#[derive(Debug, Clone, Default)]
+pub struct TranslatorConfig {
+    /// `(base, size)` of every pollable address range (semaphores,
+    /// synchronisation flags) — see
+    /// [`AddressMap::pollable_ranges`](ntg_mem::AddressMap::pollable_ranges).
+    pub pollable: Vec<(u32, u32)>,
+    /// Fidelity level.
+    pub mode: TranslationMode,
+    /// End the program with `Jump(start)` instead of `Halt` (hardware
+    /// test-chip style, paper Figure 3(b)).
+    pub loop_forever: bool,
+    /// Extra idle cycles inserted inside each `Semchk` loop to slow down
+    /// re-polling (0 matches a tight two-instruction CPU poll loop).
+    pub poll_idle: u32,
+}
+
+/// Errors produced by translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TranslationError {
+    /// The trace was malformed.
+    Trace(TraceError),
+    /// The trace declared a zero clock period.
+    BadPeriod,
+}
+
+impl std::fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslationError::Trace(e) => write!(f, "trace error: {e}"),
+            TranslationError::BadPeriod => write!(f, "trace declares a zero clock period"),
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+impl From<TraceError> for TranslationError {
+    fn from(e: TraceError) -> Self {
+        TranslationError::Trace(e)
+    }
+}
+
+/// One unit of emission: a plain transaction or a collapsed polling run.
+#[derive(Debug)]
+enum Group<'a> {
+    Single(&'a Transaction),
+    Poll {
+        addr: u32,
+        expected: u32,
+        first_req_at: Cycle,
+        last: &'a Transaction,
+    },
+}
+
+/// The trace-to-program translator.
+///
+/// # Example
+///
+/// ```
+/// use ntg_core::{TraceTranslator, TranslatorConfig};
+/// use ntg_trace::MasterTrace;
+///
+/// let trc = "MASTER 0\nPERIOD_NS 5\nREQ RD 0x00000104 @55\nACK @60\n\
+///            RESP 0x088000f0 @75\nEND\n";
+/// let trace = MasterTrace::from_trc(trc)?;
+/// let translator = TraceTranslator::new(TranslatorConfig::default());
+/// let program = translator.translate(&trace)?;
+/// assert_eq!(program.master, 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceTranslator {
+    cfg: TranslatorConfig,
+}
+
+impl TraceTranslator {
+    /// Creates a translator with the given platform knowledge.
+    pub fn new(cfg: TranslatorConfig) -> Self {
+        Self { cfg }
+    }
+
+    fn is_pollable(&self, addr: u32) -> bool {
+        self.cfg
+            .pollable
+            .iter()
+            .any(|&(base, size)| addr >= base && (addr - base) < size)
+    }
+
+    fn is_poll_read(&self, tx: &Transaction) -> bool {
+        tx.cmd == OcpCmd::Read && tx.burst == 1 && self.is_pollable(tx.addr)
+    }
+
+    /// Groups transactions, collapsing polling runs in reactive mode.
+    fn group<'a>(&self, txs: &'a [Transaction]) -> Vec<Group<'a>> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < txs.len() {
+            let tx = &txs[i];
+            if self.cfg.mode == TranslationMode::Reactive && self.is_poll_read(tx) {
+                let mut j = i;
+                while j + 1 < txs.len()
+                    && self.is_poll_read(&txs[j + 1])
+                    && txs[j + 1].addr == tx.addr
+                {
+                    j += 1;
+                }
+                out.push(Group::Poll {
+                    addr: tx.addr,
+                    expected: txs[j].resp_word(),
+                    first_req_at: 0, // filled by caller with cycle conversion
+                    last: &txs[j],
+                });
+                // Patch first_req_at now that we know the clock — done in
+                // translate(); store ns in the meantime.
+                if let Some(Group::Poll { first_req_at, .. }) = out.last_mut() {
+                    *first_req_at = tx.req_at;
+                }
+                i = j + 1;
+            } else {
+                out.push(Group::Single(tx));
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Translates `trace` into a symbolic TG program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TranslationError`] if the trace is malformed or
+    /// declares a zero period.
+    pub fn translate(&self, trace: &MasterTrace) -> Result<TgProgram, TranslationError> {
+        if trace.period_ns == 0 {
+            return Err(TranslationError::BadPeriod);
+        }
+        let clk = ClockConfig::new(trace.period_ns);
+        let txs = trace.transactions()?;
+        let groups = self.group(&txs);
+
+        let mut program = TgProgram::new(trace.master);
+        if self.cfg.loop_forever {
+            program.label("start");
+        }
+        // Tracked operand-register contents (None = unknown).
+        let mut cur_addr: Option<u32> = None;
+        let mut cur_data: Option<u32> = None;
+        let mut cur_count: Option<u32> = None;
+        let mut cur_temp: Option<u32> = None;
+        // Unblock cycle of the previous group and its trailing overhead
+        // (1 for the `If` that closes a poll loop).
+        let mut prev_unblock: Option<Cycle> = None;
+        let mut prev_overhead: Cycle = 0;
+        let mut poll_label = 0usize;
+
+        for (gi, group) in groups.iter().enumerate() {
+            // Figure out the register setup this group needs.
+            let mut setup: Vec<(TgReg, u32)> = Vec::new();
+            let (req_at_ns, unblock_ns) = match group {
+                Group::Single(tx) => {
+                    if cur_addr != Some(tx.addr) {
+                        setup.push((regs::ADDR, tx.addr));
+                    }
+                    if tx.cmd.is_write() {
+                        let word = tx.data.first().copied().unwrap_or(0);
+                        if cur_data != Some(word) {
+                            setup.push((regs::DATA, word));
+                        }
+                    }
+                    if tx.burst != 1 && cur_count != Some(u32::from(tx.burst)) {
+                        setup.push((regs::COUNT, u32::from(tx.burst)));
+                    }
+                    (tx.req_at, tx.unblock_at())
+                }
+                Group::Poll {
+                    addr,
+                    expected,
+                    first_req_at,
+                    last,
+                } => {
+                    if cur_addr != Some(*addr) {
+                        setup.push((regs::ADDR, *addr));
+                    }
+                    if cur_temp != Some(*expected) {
+                        setup.push((TEMPREG, *expected));
+                    }
+                    (*first_req_at, last.unblock_at())
+                }
+            };
+
+            // First group: hoist setup into REGISTER initialisation.
+            let hoisted = gi == 0;
+            if hoisted {
+                for (reg, value) in &setup {
+                    program.inits.push((*reg, *value));
+                }
+            }
+            let m = if hoisted { 0 } else { setup.len() as Cycle };
+            if !hoisted {
+                for (reg, value) in &setup {
+                    program.push(TgSymInstr::SetRegister(*reg, *value));
+                }
+            }
+            // Apply register tracking.
+            for (reg, value) in &setup {
+                match *reg {
+                    r if r == regs::ADDR => cur_addr = Some(*value),
+                    r if r == regs::DATA => cur_data = Some(*value),
+                    r if r == regs::COUNT => cur_count = Some(*value),
+                    r if r == TEMPREG => cur_temp = Some(*value),
+                    _ => {}
+                }
+            }
+
+            let t = clk.ns_to_cycles(req_at_ns);
+            match self.cfg.mode {
+                TranslationMode::Clone => {
+                    program.push(TgSymInstr::IdleUntil(t));
+                }
+                TranslationMode::Timeshift | TranslationMode::Reactive => {
+                    // Negative gaps (a setup sequence longer than the
+                    // core's compute gap) clamp to zero: the TG issues a
+                    // cycle or two late. This is the paper's "minimal
+                    // timing mismatch" error source; bus-pipeline
+                    // quantisation usually re-absorbs it.
+                    let raw = match prev_unblock {
+                        None => t as i64 - m as i64,
+                        Some(u) => t as i64 - (u + 1 + m + prev_overhead) as i64,
+                    };
+                    if raw > 0 {
+                        program.push(TgSymInstr::Idle(raw as u32));
+                    }
+                }
+            }
+
+            // The transaction(s) themselves.
+            prev_overhead = 0;
+            match group {
+                Group::Single(tx) => {
+                    match tx.cmd {
+                        OcpCmd::Read => program.push(TgSymInstr::Read(regs::ADDR)),
+                        OcpCmd::Write => {
+                            program.push(TgSymInstr::Write(regs::ADDR, regs::DATA))
+                        }
+                        OcpCmd::BurstRead => {
+                            program.push(TgSymInstr::BurstRead(regs::ADDR, regs::COUNT))
+                        }
+                        OcpCmd::BurstWrite => program.push(TgSymInstr::BurstWrite(
+                            regs::ADDR,
+                            regs::DATA,
+                            regs::COUNT,
+                        )),
+                    };
+                }
+                Group::Poll { .. } => {
+                    let label = format!("Semchk{poll_label}");
+                    poll_label += 1;
+                    program.label(label.clone());
+                    if self.cfg.poll_idle > 0 {
+                        program.push(TgSymInstr::Idle(self.cfg.poll_idle));
+                    }
+                    program.push(TgSymInstr::Read(regs::ADDR));
+                    program.push(TgSymInstr::If(RDREG, TEMPREG, TgCond::Ne, label));
+                    // The closing `If` executes after the successful
+                    // response; the next group's idle must account for
+                    // it.
+                    prev_overhead = 1;
+                }
+            }
+            prev_unblock = Some(clk.ns_to_cycles(unblock_ns));
+        }
+
+        // Trailing compute time: the core may run long after its last
+        // transaction (Cacheloop in the extreme). The completion
+        // timestamp recorded in the trace sizes the final idle wait so
+        // the TG halts in the same cycle the core did.
+        if let Some(halt_ns) = trace.halt_at {
+            let h = clk.ns_to_cycles(halt_ns);
+            match self.cfg.mode {
+                TranslationMode::Clone => {
+                    if h > 0 {
+                        program.push(TgSymInstr::IdleUntil(h));
+                    }
+                }
+                TranslationMode::Timeshift | TranslationMode::Reactive => {
+                    let raw = match prev_unblock {
+                        None => h as i64,
+                        Some(u) => h as i64 - (u + 1 + prev_overhead) as i64,
+                    };
+                    if raw > 0 {
+                        program.push(TgSymInstr::Idle(raw as u32));
+                    }
+                }
+            }
+        }
+        if self.cfg.loop_forever {
+            program.push(TgSymInstr::Jump("start".into()));
+        } else {
+            program.push(TgSymInstr::Halt);
+        }
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::TgItem;
+
+    fn translate(trc: &str, cfg: TranslatorConfig) -> TgProgram {
+        let trace = MasterTrace::from_trc(trc).unwrap();
+        TraceTranslator::new(cfg).translate(&trace).unwrap()
+    }
+
+    /// The paper's Figure 3(a) opening: RD @55, resp @75, WR @90, RD
+    /// @140 (all ns, 5 ns cycle).
+    const FIG3_HEAD: &str = "\
+MASTER 0
+PERIOD_NS 5
+REQ RD 0x00000104 @55
+ACK @60
+RESP 0x088000f0 @75
+REQ WR 0x00000020 0x00000111 @90
+ACK @95
+REQ RD 0x00000031 @140
+ACK @145
+RESP 0x00002236 @165
+END
+";
+
+    #[test]
+    fn figure3_head_translates_like_the_paper() {
+        let p = translate(FIG3_HEAD, TranslatorConfig::default());
+        // First transaction's address is hoisted into REGISTER inits.
+        assert!(p.inits.contains(&(regs::ADDR, 0x104)));
+        let instrs: Vec<_> = p.instrs().cloned().collect();
+        // Idle(11) — first request at cycle 11 (55 ns / 5), paper: "the
+        // TG has no instruction to perform until the 11th cycle".
+        assert_eq!(instrs[0], TgSymInstr::Idle(11));
+        assert_eq!(instrs[1], TgSymInstr::Read(regs::ADDR));
+        // WR @90: response consumed at 75 ns (cycle 15); two setups
+        // (addr, data); idle = 18 - 15 - 1 - 2 = 0 → no Idle emitted.
+        assert_eq!(instrs[2], TgSymInstr::SetRegister(regs::ADDR, 0x20));
+        assert_eq!(instrs[3], TgSymInstr::SetRegister(regs::DATA, 0x111));
+        assert_eq!(instrs[4], TgSymInstr::Write(regs::ADDR, regs::DATA));
+        // RD @140 (cycle 28): write accepted at 95 ns (cycle 19); one
+        // setup; idle = 28 - 19 - 1 - 1 = 7.
+        assert_eq!(instrs[5], TgSymInstr::SetRegister(regs::ADDR, 0x31));
+        assert_eq!(instrs[6], TgSymInstr::Idle(7));
+        assert_eq!(instrs[7], TgSymInstr::Read(regs::ADDR));
+        assert_eq!(instrs[8], TgSymInstr::Halt);
+        assert_eq!(instrs.len(), 9);
+    }
+
+    const POLL_TRACE: &str = "\
+MASTER 0
+PERIOD_NS 5
+REQ RD 0x000000ff @210
+ACK @215
+RESP 0x00000000 @270
+REQ RD 0x000000ff @285
+ACK @290
+RESP 0x00000000 @310
+REQ RD 0x000000ff @315
+ACK @320
+RESP 0x00000001 @330
+END
+";
+
+    fn poll_cfg() -> TranslatorConfig {
+        TranslatorConfig {
+            pollable: vec![(0xF0, 0x20)],
+            ..TranslatorConfig::default()
+        }
+    }
+
+    #[test]
+    fn polling_collapses_to_semchk_loop() {
+        let p = translate(POLL_TRACE, poll_cfg());
+        let instrs: Vec<_> = p.instrs().cloned().collect();
+        // Inits hoisted: addr + expected value.
+        assert!(p.inits.contains(&(regs::ADDR, 0xFF)));
+        assert!(p.inits.contains(&(TEMPREG, 1)));
+        assert_eq!(
+            instrs,
+            vec![
+                TgSymInstr::Idle(42),
+                TgSymInstr::Read(regs::ADDR),
+                TgSymInstr::If(RDREG, TEMPREG, TgCond::Ne, "Semchk0".into()),
+                TgSymInstr::Halt,
+            ]
+        );
+        assert!(p.items.contains(&TgItem::Label("Semchk0".into())));
+    }
+
+    #[test]
+    fn semchk_is_independent_of_poll_count() {
+        // The same semaphore acquired instantly (one successful read)
+        // must produce the same program as three polls — that is what
+        // makes translation interconnect-invariant.
+        let quick = "\
+MASTER 0
+PERIOD_NS 5
+REQ RD 0x000000ff @210
+ACK @215
+RESP 0x00000001 @240
+END
+";
+        let a = translate(POLL_TRACE, poll_cfg());
+        let b = translate(quick, poll_cfg());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn non_pollable_reads_are_not_collapsed() {
+        let p = translate(POLL_TRACE, TranslatorConfig::default());
+        let reads = p
+            .instrs()
+            .filter(|i| matches!(i, TgSymInstr::Read(_)))
+            .count();
+        assert_eq!(reads, 3, "without platform knowledge, replay verbatim");
+    }
+
+    #[test]
+    fn timeshift_mode_never_emits_semchk() {
+        let cfg = TranslatorConfig {
+            mode: TranslationMode::Timeshift,
+            ..poll_cfg()
+        };
+        let p = translate(POLL_TRACE, cfg);
+        assert!(p.items.iter().all(|i| !matches!(i, TgItem::Label(_))));
+        assert_eq!(
+            p.instrs()
+                .filter(|i| matches!(i, TgSymInstr::Read(_)))
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn clone_mode_uses_absolute_idles() {
+        let cfg = TranslatorConfig {
+            mode: TranslationMode::Clone,
+            ..TranslatorConfig::default()
+        };
+        let p = translate(FIG3_HEAD, cfg);
+        let untils: Vec<u64> = p
+            .instrs()
+            .filter_map(|i| match i {
+                TgSymInstr::IdleUntil(c) => Some(*c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(untils, vec![11, 18, 28]);
+        assert!(p.instrs().all(|i| !matches!(i, TgSymInstr::Idle(_))));
+    }
+
+    #[test]
+    fn burst_reads_set_count_once() {
+        let trc = "\
+MASTER 0
+PERIOD_NS 5
+REQ BRD 0x00000100 len=4 @10
+ACK @15
+RESP 0x1,0x2,0x3,0x4 @40
+REQ BRD 0x00000200 len=4 @100
+ACK @105
+RESP 0x1,0x2,0x3,0x4 @130
+END
+";
+        let p = translate(trc, TranslatorConfig::default());
+        let count_sets = p
+            .instrs()
+            .filter(|i| matches!(i, TgSymInstr::SetRegister(r, _) if *r == regs::COUNT))
+            .count();
+        // First burst's count is hoisted; the second reuses it.
+        assert_eq!(count_sets, 0);
+        assert!(p.inits.contains(&(regs::COUNT, 4)));
+        assert_eq!(
+            p.instrs()
+                .filter(|i| matches!(i, TgSymInstr::BurstRead(_, _)))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unchanged_write_data_is_not_reset() {
+        let trc = "\
+MASTER 0
+PERIOD_NS 5
+REQ WR 0x00000020 0x00000007 @10
+ACK @15
+REQ WR 0x00000024 0x00000007 @50
+ACK @55
+END
+";
+        let p = translate(trc, TranslatorConfig::default());
+        let data_sets = p
+            .instrs()
+            .filter(|i| matches!(i, TgSymInstr::SetRegister(r, _) if *r == regs::DATA))
+            .count();
+        assert_eq!(data_sets, 0, "same data value, register reused");
+        let addr_sets = p
+            .instrs()
+            .filter(|i| matches!(i, TgSymInstr::SetRegister(r, _) if *r == regs::ADDR))
+            .count();
+        assert_eq!(addr_sets, 1, "second write needs a new address only");
+    }
+
+    #[test]
+    fn loop_forever_emits_rewind_jump() {
+        let cfg = TranslatorConfig {
+            loop_forever: true,
+            ..TranslatorConfig::default()
+        };
+        let p = translate(FIG3_HEAD, cfg);
+        assert_eq!(p.items.first(), Some(&TgItem::Label("start".into())));
+        assert!(matches!(
+            p.instrs().last(),
+            Some(TgSymInstr::Jump(t)) if t == "start"
+        ));
+        assert!(p.instrs().all(|i| !matches!(i, TgSymInstr::Halt)));
+    }
+
+    #[test]
+    fn empty_trace_is_just_halt() {
+        let p = translate("MASTER 5\nPERIOD_NS 5\nEND\n", TranslatorConfig::default());
+        assert_eq!(p.master, 5);
+        let instrs: Vec<_> = p.instrs().cloned().collect();
+        assert_eq!(instrs, vec![TgSymInstr::Halt]);
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        let trace = MasterTrace::new(0, 0);
+        let err = TraceTranslator::default().translate(&trace).unwrap_err();
+        assert_eq!(err, TranslationError::BadPeriod);
+    }
+
+    #[test]
+    fn poll_idle_paces_the_semchk_loop() {
+        let cfg = TranslatorConfig {
+            poll_idle: 3,
+            ..poll_cfg()
+        };
+        let p = translate(POLL_TRACE, cfg);
+        let instrs: Vec<_> = p.instrs().cloned().collect();
+        // Loop body: Idle(3); Read; If — the pad slows re-polling.
+        let pos = instrs
+            .iter()
+            .position(|i| matches!(i, TgSymInstr::Read(_)))
+            .unwrap();
+        assert_eq!(instrs[pos - 1], TgSymInstr::Idle(3));
+        assert!(matches!(instrs[pos + 1], TgSymInstr::If(..)));
+        // The label sits before the pad so the Idle is inside the loop.
+        let items = &p.items;
+        let label_idx = items
+            .iter()
+            .position(|i| matches!(i, crate::program::TgItem::Label(l) if l == "Semchk0"))
+            .unwrap();
+        assert!(matches!(
+            items[label_idx + 1],
+            crate::program::TgItem::Instr(TgSymInstr::Idle(3))
+        ));
+    }
+
+    #[test]
+    fn burst_write_data_uses_first_word() {
+        let trc = "\
+MASTER 0
+PERIOD_NS 5
+REQ BWR 0x00000100 0x7,0x7,0x7 len=3 @10
+ACK @30
+END
+";
+        let p = translate(trc, TranslatorConfig::default());
+        assert!(p.inits.contains(&(regs::DATA, 7)));
+        assert!(p.inits.contains(&(regs::COUNT, 3)));
+        assert!(p
+            .instrs()
+            .any(|i| matches!(i, TgSymInstr::BurstWrite(..))));
+    }
+
+    #[test]
+    fn halt_stamp_generates_trailing_idle() {
+        let trc = "\
+MASTER 0
+PERIOD_NS 5
+REQ WR 0x00000100 0x1 @10
+ACK @20
+HALT @500
+END
+";
+        let p = translate(trc, TranslatorConfig::default());
+        let instrs: Vec<_> = p.instrs().cloned().collect();
+        // Write accepted at cycle 4; halt at cycle 100: idle = 100-4-1.
+        assert_eq!(
+            instrs.last(),
+            Some(&TgSymInstr::Halt)
+        );
+        assert_eq!(instrs[instrs.len() - 2], TgSymInstr::Idle(95));
+    }
+
+    #[test]
+    fn translated_program_assembles() {
+        let p = translate(POLL_TRACE, poll_cfg());
+        crate::asm::assemble(&p).expect("generated programs always assemble");
+    }
+}

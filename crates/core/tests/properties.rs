@@ -1,0 +1,320 @@
+//! Property-based tests for the TG ISA, program formats and translator.
+
+use ntg_core::tgp::{from_tgp, to_tgp};
+use ntg_core::{
+    assemble, disassemble, TgCond, TgImage, TgInstr, TgItem, TgReg, TgSymInstr,
+    TraceTranslator, TranslationMode, TranslatorConfig,
+};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = TgReg> {
+    (0u8..16).prop_map(TgReg::new)
+}
+
+fn cond() -> impl Strategy<Value = TgCond> {
+    prop_oneof![
+        Just(TgCond::Eq),
+        Just(TgCond::Ne),
+        Just(TgCond::Ltu),
+        Just(TgCond::Geu),
+    ]
+}
+
+fn any_tg_instr(max_target: u32) -> impl Strategy<Value = TgInstr> {
+    prop_oneof![
+        reg().prop_map(|addr| TgInstr::Read { addr }),
+        (reg(), reg()).prop_map(|(addr, data)| TgInstr::Write { addr, data }),
+        (reg(), reg()).prop_map(|(addr, count)| TgInstr::BurstRead { addr, count }),
+        (reg(), reg(), reg())
+            .prop_map(|(addr, data, count)| TgInstr::BurstWrite { addr, data, count }),
+        (reg(), reg(), cond(), 0..max_target)
+            .prop_map(|(a, b, cond, target)| TgInstr::If { a, b, cond, target }),
+        (0..max_target).prop_map(|target| TgInstr::Jump { target }),
+        (reg(), any::<u32>()).prop_map(|(reg, value)| TgInstr::SetRegister { reg, value }),
+        (1u32..1_000_000).prop_map(|cycles| TgInstr::Idle { cycles }),
+        any::<u64>().prop_map(|cycle| TgInstr::IdleUntil { cycle }),
+        Just(TgInstr::Halt),
+    ]
+}
+
+proptest! {
+    /// Every TG instruction survives binary encode/decode.
+    #[test]
+    fn tg_isa_round_trip(instr in any_tg_instr(1 << 20)) {
+        prop_assert_eq!(TgInstr::decode(instr.encode()), Ok(instr));
+    }
+
+    /// Arbitrary word triples never panic the decoder, and successful
+    /// decodes re-encode to a fixpoint.
+    #[test]
+    fn tg_decode_never_panics(w0 in any::<u32>(), w1 in any::<u32>(), w2 in any::<u32>()) {
+        if let Ok(instr) = TgInstr::decode([w0, w1, w2]) {
+            prop_assert_eq!(TgInstr::decode(instr.encode()), Ok(instr));
+        }
+    }
+}
+
+/// An arbitrary valid TG image (targets inside the program).
+fn any_image() -> impl Strategy<Value = TgImage> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            any::<u16>(),
+            prop::collection::vec((reg(), any::<u32>()), 0..8),
+            prop::collection::vec(any_tg_instr(n as u32), n),
+        )
+            .prop_map(|(master, inits, instrs)| TgImage {
+                master,
+                thread: 0,
+                inits,
+                instrs,
+            })
+    })
+}
+
+proptest! {
+    /// Images survive byte serialisation.
+    #[test]
+    fn image_bytes_round_trip(image in any_image()) {
+        // Targets generated may exceed the instruction count when n is
+        // small; clamp them into range first so the image is valid.
+        let mut image = image;
+        let len = image.instrs.len() as u32;
+        for i in &mut image.instrs {
+            match i {
+                TgInstr::If { target, .. } | TgInstr::Jump { target } => {
+                    *target %= len;
+                }
+                _ => {}
+            }
+        }
+        let bytes = image.to_bytes();
+        prop_assert_eq!(TgImage::from_bytes(&bytes), Ok(image));
+    }
+
+    /// Disassembling and re-assembling any valid image is the identity.
+    #[test]
+    fn disassemble_assemble_fixpoint(image in any_image()) {
+        let mut image = image;
+        let len = image.instrs.len() as u32;
+        for i in &mut image.instrs {
+            match i {
+                TgInstr::If { target, .. } | TgInstr::Jump { target } => {
+                    *target %= len;
+                }
+                _ => {}
+            }
+        }
+        // Idle(0) is not representable symbolically; keep images valid.
+        for i in &mut image.instrs {
+            if let TgInstr::Idle { cycles } = i {
+                if *cycles == 0 {
+                    *cycles = 1;
+                }
+            }
+        }
+        let program = disassemble(&image);
+        let back = assemble(&program).expect("disassembly must assemble");
+        prop_assert_eq!(back, image);
+    }
+
+    /// `.tgp` text round-trips through print/parse for any program the
+    /// disassembler can produce.
+    #[test]
+    fn tgp_text_round_trip(image in any_image()) {
+        let mut image = image;
+        let len = image.instrs.len() as u32;
+        for i in &mut image.instrs {
+            match i {
+                TgInstr::If { target, .. } | TgInstr::Jump { target } => {
+                    *target %= len;
+                }
+                TgInstr::Idle { cycles } if *cycles == 0 => *cycles = 1,
+                _ => {}
+            }
+        }
+        let program = disassemble(&image);
+        let text = to_tgp(&program);
+        let back = from_tgp(&text).expect("printed programs parse");
+        prop_assert_eq!(back, program);
+    }
+}
+
+/// A well-formed synthetic trace: alternating transactions with
+/// monotonically increasing timestamps.
+fn any_trace() -> impl Strategy<Value = ntg_trace::MasterTrace> {
+    let tx = (
+        any::<bool>(),               // write?
+        0u32..0x100,                 // word index
+        any::<u32>(),                // data
+        1u64..40,                    // gap to request
+        1u64..20,                    // accept delay
+        1u64..30,                    // response delay
+    );
+    prop::collection::vec(tx, 0..25).prop_map(|txs| {
+        use ntg_trace::TraceEvent;
+        let mut trace = ntg_trace::MasterTrace::new(0, 5);
+        let mut now = 0u64;
+        for (is_write, word, data, gap, acc, resp) in txs {
+            now += gap * 5;
+            let addr = 0x1000 + word * 4;
+            if is_write {
+                trace.events.push(TraceEvent::Request {
+                    cmd: ntg_ocp::OcpCmd::Write,
+                    addr,
+                    data: vec![data],
+                    burst: 1,
+                    at: now,
+                });
+                now += acc * 5;
+                trace.events.push(TraceEvent::Accept { at: now });
+            } else {
+                trace.events.push(TraceEvent::Request {
+                    cmd: ntg_ocp::OcpCmd::Read,
+                    addr,
+                    data: vec![],
+                    burst: 1,
+                    at: now,
+                });
+                now += acc * 5;
+                trace.events.push(TraceEvent::Accept { at: now });
+                now += resp * 5;
+                trace.events.push(TraceEvent::Response {
+                    data: vec![data],
+                    at: now,
+                });
+            }
+        }
+        trace.halt_at = Some(now + 100);
+        trace
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `.trc` text round-trips (exercised here because the generator
+    /// lives with the translator tests).
+    #[test]
+    fn trc_round_trip(trace in any_trace()) {
+        let text = trace.to_trc();
+        prop_assert_eq!(ntg_trace::MasterTrace::from_trc(&text).expect("parse"), trace);
+    }
+
+    /// Translation of any well-formed trace succeeds, is deterministic,
+    /// and the resulting program always assembles with every OCP
+    /// transaction of the trace represented.
+    #[test]
+    fn translation_total_and_deterministic(trace in any_trace(), mode_sel in 0u8..3) {
+        let mode = match mode_sel {
+            0 => TranslationMode::Clone,
+            1 => TranslationMode::Timeshift,
+            _ => TranslationMode::Reactive,
+        };
+        let cfg = TranslatorConfig { mode, ..TranslatorConfig::default() };
+        let translator = TraceTranslator::new(cfg);
+        let p1 = translator.translate(&trace).expect("translates");
+        let p2 = translator.translate(&trace).expect("translates");
+        prop_assert_eq!(&p1, &p2, "translation must be deterministic");
+        assemble(&p1).expect("translated programs assemble");
+        // Transaction conservation: one OCP instruction per transaction
+        // (no polling ranges configured, so nothing collapses).
+        let ocp_instrs = p1
+            .instrs()
+            .filter(|i| matches!(
+                i,
+                TgSymInstr::Read(_) | TgSymInstr::Write(..)
+                    | TgSymInstr::BurstRead(..) | TgSymInstr::BurstWrite(..)
+            ))
+            .count();
+        let txs = trace.transactions().expect("well-formed").len();
+        prop_assert_eq!(ocp_instrs, txs);
+        // Exactly one terminator, at the end.
+        prop_assert!(matches!(p1.instrs().last(), Some(TgSymInstr::Halt)));
+    }
+
+    /// In timeshift/reactive modes the sum of idle cycles never exceeds
+    /// the trace's halt time (the TG cannot wait longer than the core
+    /// ran).
+    #[test]
+    fn idle_budget_is_bounded(trace in any_trace()) {
+        let translator = TraceTranslator::new(TranslatorConfig::default());
+        let program = translator.translate(&trace).expect("translates");
+        let total_idle: u64 = program
+            .instrs()
+            .map(|i| match i {
+                TgSymInstr::Idle(n) => u64::from(*n),
+                _ => 0,
+            })
+            .sum();
+        let halt_cycles = trace.halt_at.unwrap() / 5;
+        prop_assert!(
+            total_idle <= halt_cycles,
+            "idle {} exceeds halt cycle {}",
+            total_idle,
+            halt_cycles
+        );
+    }
+}
+
+/// Deterministic label generation: collapsing polls yields Semchk labels
+/// numbered in order.
+#[test]
+fn semchk_labels_are_sequential() {
+    let trc = "\
+MASTER 0
+PERIOD_NS 5
+REQ RD 0x000000f0 @10
+ACK @15
+RESP 0x00000001 @30
+REQ WR 0x00001000 0x1 @60
+ACK @65
+REQ RD 0x000000f4 @100
+ACK @105
+RESP 0x00000001 @120
+END
+";
+    let trace = ntg_trace::MasterTrace::from_trc(trc).unwrap();
+    let translator = TraceTranslator::new(TranslatorConfig {
+        pollable: vec![(0xF0, 0x10)],
+        mode: TranslationMode::Reactive,
+        ..TranslatorConfig::default()
+    });
+    let program = translator.translate(&trace).unwrap();
+    let labels: Vec<_> = program
+        .items
+        .iter()
+        .filter_map(|i| match i {
+            TgItem::Label(l) => Some(l.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(labels, vec!["Semchk0", "Semchk1"]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The `.tgp` parser never panics, whatever bytes it is fed.
+    #[test]
+    fn tgp_parser_never_panics(text in "\\PC{0,400}") {
+        let _ = from_tgp(&text);
+    }
+
+    /// Nor does the binary image decoder.
+    #[test]
+    fn image_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TgImage::from_bytes(&bytes);
+    }
+
+    /// A parsed `.tgp` re-prints to something that parses to the same
+    /// program (printer/parser fixpoint on *arbitrary accepted* input,
+    /// not just printer output).
+    #[test]
+    fn accepted_tgp_round_trips(text in "\\PC{0,300}") {
+        if let Ok(program) = from_tgp(&text) {
+            let printed = to_tgp(&program);
+            let again = from_tgp(&printed).expect("printed output must parse");
+            prop_assert_eq!(again, program);
+        }
+    }
+}

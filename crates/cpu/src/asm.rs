@@ -1,0 +1,588 @@
+//! A small assembler DSL for writing Srisc programs in Rust.
+//!
+//! The benchmark programs in `ntg-workloads` are written with this DSL:
+//! instructions are appended through builder methods, control flow uses
+//! string labels, and [`Asm::assemble`] resolves labels and produces the
+//! binary image that is loaded into a core's private memory.
+//!
+//! # Example
+//!
+//! ```
+//! use ntg_cpu::asm::Asm;
+//! use ntg_cpu::isa::{R1, R2};
+//!
+//! let mut a = Asm::new();
+//! a.li(R1, 0);
+//! a.li(R2, 10);
+//! a.label("loop");
+//! a.addi(R1, R1, 1);
+//! a.bne(R1, R2, "loop");
+//! a.halt();
+//! let program = a.assemble(0x0100_0000)?;
+//! assert_eq!(program.entry(), 0x0100_0000);
+//! # Ok::<(), ntg_cpu::AsmError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{encode, Cond, Instr, Reg, IMM18_RANGE, OFF26_RANGE, R0};
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    BranchTo(Cond, Reg, Reg, String),
+    JumpTo { link: bool, target: String },
+    LiLabel(Reg, String),
+    Word(u32),
+    /// Pad with `nop`s until the position is a multiple of this many
+    /// words.
+    Align(u32),
+}
+
+impl Item {
+    /// Size in words given the current position (alignment padding is
+    /// position-dependent).
+    fn size_words_at(&self, pos: u32) -> u32 {
+        match self {
+            Item::LiLabel(..) => 2,
+            Item::Align(words) => (words - pos % words) % words,
+            _ => 1,
+        }
+    }
+}
+
+/// Errors produced by [`Asm::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A branch, jump or `li_label` referenced an undefined label.
+    UnknownLabel(String),
+    /// A branch target is too far away for its offset field.
+    OffsetOutOfRange {
+        /// The target label.
+        label: String,
+        /// The required offset in instructions.
+        offset: i64,
+    },
+    /// The origin address was not word-aligned.
+    MisalignedOrigin(u32),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            AsmError::UnknownLabel(l) => write!(f, "label {l:?} is not defined"),
+            AsmError::OffsetOutOfRange { label, offset } => {
+                write!(f, "branch to {label:?} needs offset {offset}, out of range")
+            }
+            AsmError::MisalignedOrigin(a) => write!(f, "origin {a:#x} is not word-aligned"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// An assembled Srisc program: binary words plus the resolved label map.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    origin: u32,
+    words: Vec<u32>,
+    labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// The address the program was assembled at (and starts executing
+    /// from).
+    pub fn entry(&self) -> u32 {
+        self.origin
+    }
+
+    /// The binary image, one encoded instruction or data word per entry.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// The program size in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.words.len() * 4) as u32
+    }
+
+    /// The absolute address of a label, if defined.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+}
+
+/// The assembler: collects instructions, labels and data, then assembles.
+///
+/// All instruction methods append one instruction (except [`Asm::li`] and
+/// [`Asm::li_label`], which always expand to exactly two) and return
+/// `&mut Self` for chaining. See the [module documentation](self) for an
+/// example.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    labels: Vec<(String, usize)>,
+}
+
+macro_rules! rrr {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, rd: Reg, rs: Reg, rt: Reg) -> &mut Self {
+                self.items.push(Item::Fixed(Instr::$variant(rd, rs, rt)));
+                self
+            }
+        )*
+    };
+}
+
+macro_rules! rri {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Panics
+            ///
+            /// Panics if `imm` is outside the signed 18-bit range.
+            pub fn $name(&mut self, rd: Reg, rs: Reg, imm: i32) -> &mut Self {
+                assert!(
+                    IMM18_RANGE.contains(&imm),
+                    "{} immediate {} out of range", stringify!($name), imm
+                );
+                self.items.push(Item::Fixed(Instr::$variant(rd, rs, imm)));
+                self
+            }
+        )*
+    };
+}
+
+macro_rules! shift {
+    ($($(#[$doc:meta])* $name:ident => $variant:ident),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            ///
+            /// # Panics
+            ///
+            /// Panics if `shamt > 31`.
+            pub fn $name(&mut self, rd: Reg, rs: Reg, shamt: u8) -> &mut Self {
+                assert!(shamt < 32, "shift amount {} out of range", shamt);
+                self.items.push(Item::Fixed(Instr::$variant(rd, rs, shamt)));
+                self
+            }
+        )*
+    };
+}
+
+macro_rules! branch {
+    ($($(#[$doc:meta])* $name:ident => $cond:expr),* $(,)?) => {
+        $(
+            $(#[$doc])*
+            pub fn $name(&mut self, rs: Reg, rt: Reg, target: impl Into<String>) -> &mut Self {
+                self.items.push(Item::BranchTo($cond, rs, rt, target.into()));
+                self
+            }
+        )*
+    };
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        self.labels.push((name.into(), self.items.len()));
+        self
+    }
+
+    /// Appends a raw data word.
+    pub fn word(&mut self, value: u32) -> &mut Self {
+        self.items.push(Item::Word(value));
+        self
+    }
+
+    /// Appends several raw data words.
+    pub fn words(&mut self, values: &[u32]) -> &mut Self {
+        for v in values {
+            self.items.push(Item::Word(*v));
+        }
+        self
+    }
+
+    /// Pads with `nop`s so the next item starts at a multiple of
+    /// `words` (relative to the assembly origin, which must itself be
+    /// aligned accordingly). Used to keep polling loops inside a single
+    /// instruction-cache line so no refill can interrupt a poll run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is zero.
+    pub fn align(&mut self, words: u32) -> &mut Self {
+        assert!(words > 0, "alignment must be non-zero");
+        self.items.push(Item::Align(words));
+        self
+    }
+
+    /// Appends an arbitrary pre-built instruction.
+    pub fn instr(&mut self, instr: Instr) -> &mut Self {
+        self.items.push(Item::Fixed(instr));
+        self
+    }
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.items.push(Item::Fixed(Instr::Nop));
+        self
+    }
+
+    /// `halt` — stops the core.
+    pub fn halt(&mut self) -> &mut Self {
+        self.items.push(Item::Fixed(Instr::Halt));
+        self
+    }
+
+    rrr! {
+        /// `rd = rs + rt`
+        add => Add,
+        /// `rd = rs - rt`
+        sub => Sub,
+        /// `rd = rs & rt`
+        and => And,
+        /// `rd = rs | rt`
+        or => Or,
+        /// `rd = rs ^ rt`
+        xor => Xor,
+        /// `rd = rs << (rt & 31)`
+        sll => Sll,
+        /// `rd = rs >> (rt & 31)` (logical)
+        srl => Srl,
+        /// `rd = rs >> (rt & 31)` (arithmetic)
+        sra => Sra,
+        /// `rd = rs * rt`
+        mul => Mul,
+        /// `rd = (rs < rt) ? 1 : 0` (signed)
+        slt => Slt,
+        /// `rd = (rs < rt) ? 1 : 0` (unsigned)
+        sltu => Sltu,
+    }
+
+    rri! {
+        /// `rd = rs + imm`
+        addi => Addi,
+        /// `rd = rs & imm`
+        andi => Andi,
+        /// `rd = rs | imm`
+        ori => Ori,
+        /// `rd = rs ^ imm`
+        xori => Xori,
+        /// `rd = (rs < imm) ? 1 : 0` (signed)
+        slti => Slti,
+        /// `rd = mem[rs + imm]`
+        ldw => Ldw,
+        /// `mem[rs + imm] = rd`
+        stw => Stw,
+    }
+
+    shift! {
+        /// `rd = rs << shamt`
+        slli => Slli,
+        /// `rd = rs >> shamt` (logical)
+        srli => Srli,
+        /// `rd = rs >> shamt` (arithmetic)
+        srai => Srai,
+    }
+
+    /// `rd = imm16` (zero-extended).
+    pub fn movi(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.items.push(Item::Fixed(Instr::Movi(rd, imm)));
+        self
+    }
+
+    /// `rd = (rd & 0xFFFF) | (imm16 << 16)`.
+    pub fn movhi(&mut self, rd: Reg, imm: u16) -> &mut Self {
+        self.items.push(Item::Fixed(Instr::Movhi(rd, imm)));
+        self
+    }
+
+    /// Loads a full 32-bit constant; always expands to `movi` + `movhi`
+    /// (two instructions, two cycles) so program sizes are predictable.
+    pub fn li(&mut self, rd: Reg, value: u32) -> &mut Self {
+        self.movi(rd, (value & 0xFFFF) as u16);
+        self.movhi(rd, (value >> 16) as u16);
+        self
+    }
+
+    /// Loads the absolute address of `label`; expands like [`Asm::li`].
+    pub fn li_label(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.items.push(Item::LiLabel(rd, label.into()));
+        self
+    }
+
+    /// `rd = rs` (encoded as `add rd, rs, r0`).
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.add(rd, rs, R0)
+    }
+
+    branch! {
+        /// Branch if `rs == rt`.
+        beq => Cond::Eq,
+        /// Branch if `rs != rt`.
+        bne => Cond::Ne,
+        /// Branch if `rs < rt` (signed).
+        blt => Cond::Lt,
+        /// Branch if `rs >= rt` (signed).
+        bge => Cond::Ge,
+        /// Branch if `rs < rt` (unsigned).
+        bltu => Cond::Ltu,
+        /// Branch if `rs >= rt` (unsigned).
+        bgeu => Cond::Geu,
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn j(&mut self, target: impl Into<String>) -> &mut Self {
+        self.items.push(Item::JumpTo {
+            link: false,
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Jump to `target`, leaving the return address in `r15`.
+    pub fn jal(&mut self, target: impl Into<String>) -> &mut Self {
+        self.items.push(Item::JumpTo {
+            link: true,
+            target: target.into(),
+        });
+        self
+    }
+
+    /// Jump to the address in `rs`.
+    pub fn jr(&mut self, rs: Reg) -> &mut Self {
+        self.items.push(Item::Fixed(Instr::Jr(rs)));
+        self
+    }
+
+    /// The current size of the program in words (before assembly),
+    /// assuming an alignment-compatible origin.
+    pub fn size_words(&self) -> u32 {
+        let mut pos = 0;
+        for item in &self.items {
+            pos += item.size_words_at(pos);
+        }
+        pos
+    }
+
+    /// Assembles the program at byte address `origin`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] for duplicate or unknown labels,
+    /// out-of-range branch offsets, or a misaligned origin.
+    pub fn assemble(&self, origin: u32) -> Result<Program, AsmError> {
+        if !origin.is_multiple_of(4) {
+            return Err(AsmError::MisalignedOrigin(origin));
+        }
+        // Pass 1: label addresses.
+        let mut offsets = Vec::with_capacity(self.items.len());
+        let mut pos: u32 = 0;
+        for item in &self.items {
+            offsets.push(pos);
+            pos += item.size_words_at(pos);
+        }
+        offsets.push(pos);
+        let mut labels: HashMap<String, u32> = HashMap::new();
+        for (name, idx) in &self.labels {
+            let addr = origin + offsets[*idx] * 4;
+            if labels.insert(name.clone(), addr).is_some() {
+                return Err(AsmError::DuplicateLabel(name.clone()));
+            }
+        }
+        // Pass 2: emit.
+        let lookup = |name: &String| -> Result<u32, AsmError> {
+            labels
+                .get(name)
+                .copied()
+                .ok_or_else(|| AsmError::UnknownLabel(name.clone()))
+        };
+        let mut words = Vec::with_capacity(pos as usize);
+        for (idx, item) in self.items.iter().enumerate() {
+            let here = origin + offsets[idx] * 4;
+            match item {
+                Item::Fixed(instr) => words.push(encode(instr)),
+                Item::Word(w) => words.push(*w),
+                Item::Align(a) => {
+                    let pad = (a - offsets[idx] % a) % a;
+                    for _ in 0..pad {
+                        words.push(encode(&Instr::Nop));
+                    }
+                }
+                Item::LiLabel(rd, name) => {
+                    let addr = lookup(name)?;
+                    words.push(encode(&Instr::Movi(*rd, (addr & 0xFFFF) as u16)));
+                    words.push(encode(&Instr::Movhi(*rd, (addr >> 16) as u16)));
+                }
+                Item::BranchTo(cond, rs, rt, name) => {
+                    let target = lookup(name)?;
+                    let off = instr_offset(here, target);
+                    if !IMM18_RANGE.contains(&(off as i32)) || i64::from(off as i32) != off {
+                        return Err(AsmError::OffsetOutOfRange {
+                            label: name.clone(),
+                            offset: off,
+                        });
+                    }
+                    words.push(encode(&Instr::Branch(*cond, *rs, *rt, off as i32)));
+                }
+                Item::JumpTo { link, target: name } => {
+                    let target = lookup(name)?;
+                    let off = instr_offset(here, target);
+                    if !OFF26_RANGE.contains(&(off as i32)) || i64::from(off as i32) != off {
+                        return Err(AsmError::OffsetOutOfRange {
+                            label: name.clone(),
+                            offset: off,
+                        });
+                    }
+                    let instr = if *link {
+                        Instr::Jal(off as i32)
+                    } else {
+                        Instr::J(off as i32)
+                    };
+                    words.push(encode(&instr));
+                }
+            }
+        }
+        Ok(Program {
+            origin,
+            words,
+            labels,
+        })
+    }
+}
+
+/// Offset in instructions from the instruction *after* `here` to `target`.
+fn instr_offset(here: u32, target: u32) -> i64 {
+    (i64::from(target) - (i64::from(here) + 4)) / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{decode, R1, R2, R3};
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new();
+        a.li(R1, 0); // 2 words: 0x0, 0x4
+        a.label("top"); // 0x8
+        a.addi(R1, R1, 1); // 0x8
+        a.beq(R1, R2, "done"); // 0xC
+        a.j("top"); // 0x10
+        a.label("done"); // 0x14
+        a.halt(); // 0x14
+        let p = a.assemble(0).unwrap();
+        assert_eq!(p.label("top"), Some(8));
+        assert_eq!(p.label("done"), Some(0x14));
+        // beq at 0xC: offset = (0x14 - 0x10)/4 = 1
+        assert_eq!(
+            decode(p.words()[3]).unwrap(),
+            Instr::Branch(Cond::Eq, R1, R2, 1)
+        );
+        // j at 0x10: offset = (0x8 - 0x14)/4 = -3
+        assert_eq!(decode(p.words()[4]).unwrap(), Instr::J(-3));
+    }
+
+    #[test]
+    fn li_expands_to_two_instructions() {
+        let mut a = Asm::new();
+        a.li(R3, 0xDEAD_BEEF);
+        let p = a.assemble(0).unwrap();
+        assert_eq!(p.words().len(), 2);
+        assert_eq!(decode(p.words()[0]).unwrap(), Instr::Movi(R3, 0xBEEF));
+        assert_eq!(decode(p.words()[1]).unwrap(), Instr::Movhi(R3, 0xDEAD));
+    }
+
+    #[test]
+    fn li_label_resolves_to_absolute_address() {
+        let mut a = Asm::new();
+        a.li_label(R1, "data");
+        a.halt();
+        a.label("data");
+        a.word(42);
+        let p = a.assemble(0x0100_0000).unwrap();
+        assert_eq!(p.label("data"), Some(0x0100_000C));
+        assert_eq!(decode(p.words()[0]).unwrap(), Instr::Movi(R1, 0x000C));
+        assert_eq!(decode(p.words()[1]).unwrap(), Instr::Movhi(R1, 0x0100));
+        assert_eq!(p.words()[3], 42);
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let mut a = Asm::new();
+        a.label("x").nop().label("x");
+        assert_eq!(
+            a.assemble(0).unwrap_err(),
+            AsmError::DuplicateLabel("x".into())
+        );
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        let mut a = Asm::new();
+        a.j("nowhere");
+        assert_eq!(
+            a.assemble(0).unwrap_err(),
+            AsmError::UnknownLabel("nowhere".into())
+        );
+    }
+
+    #[test]
+    fn misaligned_origin_is_error() {
+        let mut a = Asm::new();
+        a.nop();
+        assert_eq!(a.assemble(2).unwrap_err(), AsmError::MisalignedOrigin(2));
+    }
+
+    #[test]
+    fn branch_out_of_range_is_error() {
+        let mut a = Asm::new();
+        a.label("top");
+        for _ in 0..(1 << 17) + 2 {
+            a.nop();
+        }
+        a.beq(R1, R2, "top");
+        assert!(matches!(
+            a.assemble(0).unwrap_err(),
+            AsmError::OffsetOutOfRange { .. }
+        ));
+    }
+
+    #[test]
+    fn size_words_accounts_for_li_expansion() {
+        let mut a = Asm::new();
+        a.li(R1, 5).nop().word(7);
+        assert_eq!(a.size_words(), 4);
+    }
+
+    #[test]
+    fn label_at_end_of_program_is_valid() {
+        let mut a = Asm::new();
+        a.nop();
+        a.label("end");
+        let p = a.assemble(0x100).unwrap();
+        assert_eq!(p.label("end"), Some(0x104));
+        assert_eq!(p.size_bytes(), 4);
+    }
+
+    #[test]
+    fn data_words_are_emitted_verbatim() {
+        let mut a = Asm::new();
+        a.words(&[1, 2, 3]);
+        let p = a.assemble(0).unwrap();
+        assert_eq!(p.words(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,378 @@
+//! Set-associative write-through caches with LRU replacement.
+//!
+//! Used for both the instruction and the data cache of a [`CpuCore`].
+//! Lines are filled by burst reads over the interconnect; writes go
+//! through to memory (no write-allocate) and update a present line in
+//! place, so no writebacks ever occur and no coherence machinery is
+//! needed — matching the MPARM configuration the paper measures, where
+//! shared memory is simply uncacheable.
+//!
+//! [`CpuCore`]: crate::CpuCore
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets; must be a power of two.
+    pub sets: u32,
+    /// Associativity; at least 1.
+    pub ways: u32,
+    /// Words per line; must be a power of two (typically 4).
+    pub words_per_line: u32,
+}
+
+impl CacheConfig {
+    /// A small direct-mapped configuration handy in tests.
+    pub fn tiny() -> Self {
+        Self {
+            sets: 4,
+            ways: 1,
+            words_per_line: 4,
+        }
+    }
+
+    /// The default core configuration: 1 KiB, 2-way, 16-byte lines.
+    pub fn default_l1() -> Self {
+        Self {
+            sets: 32,
+            ways: 2,
+            words_per_line: 4,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity_bytes(&self) -> u32 {
+        self.sets * self.ways * self.words_per_line * 4
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.words_per_line * 4
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.sets.is_power_of_two(),
+            "cache sets must be a power of two"
+        );
+        assert!(self.ways >= 1, "cache must have at least one way");
+        assert!(
+            self.words_per_line.is_power_of_two(),
+            "words per line must be a power of two"
+        );
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::default_l1()
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Read accesses that hit.
+    pub read_hits: u64,
+    /// Read accesses that missed.
+    pub read_misses: u64,
+    /// Write-through updates that found the line present.
+    pub write_hits: u64,
+    /// Write-through updates that found no line (no-allocate).
+    pub write_misses: u64,
+    /// Lines installed.
+    pub fills: u64,
+    /// Valid lines displaced by fills.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    valid: bool,
+    tag: u32,
+    data: Vec<u32>,
+    last_used: u64,
+}
+
+/// A set-associative write-through cache.
+///
+/// # Example
+///
+/// ```
+/// use ntg_cpu::cache::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::tiny());
+/// assert_eq!(c.read(0x100), None); // cold miss
+/// c.fill(c.line_addr(0x100), &[1, 2, 3, 4]);
+/// assert_eq!(c.read(0x104), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`CacheConfig`]).
+    pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
+        let line = Line {
+            valid: false,
+            tag: 0,
+            data: vec![0; cfg.words_per_line as usize],
+            last_used: 0,
+        };
+        Self {
+            cfg,
+            lines: vec![line; (cfg.sets * cfg.ways) as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The line-aligned base address of the line containing `addr`.
+    pub fn line_addr(&self, addr: u32) -> u32 {
+        addr & !(self.cfg.line_bytes() - 1)
+    }
+
+    fn set_index(&self, addr: u32) -> u32 {
+        (addr / self.cfg.line_bytes()) & (self.cfg.sets - 1)
+    }
+
+    fn tag(&self, addr: u32) -> u32 {
+        addr / self.cfg.line_bytes() / self.cfg.sets
+    }
+
+    fn word_index(&self, addr: u32) -> usize {
+        ((addr / 4) & (self.cfg.words_per_line - 1)) as usize
+    }
+
+    fn find(&self, addr: u32) -> Option<usize> {
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = (set * self.cfg.ways) as usize;
+        (base..base + self.cfg.ways as usize)
+            .find(|&i| self.lines[i].valid && self.lines[i].tag == tag)
+    }
+
+    /// Whether the line containing `addr` is present (no statistics, no
+    /// LRU update).
+    pub fn contains(&self, addr: u32) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Reads the word at `addr`, if its line is present.
+    ///
+    /// Records a read hit or miss and touches the LRU state.
+    pub fn read(&mut self, addr: u32) -> Option<u32> {
+        match self.find(addr) {
+            Some(i) => {
+                self.clock += 1;
+                self.lines[i].last_used = self.clock;
+                self.stats.read_hits += 1;
+                Some(self.lines[i].data[self.word_index(addr)])
+            }
+            None => {
+                self.stats.read_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Write-through update: stores `value` into a present line.
+    ///
+    /// Returns whether the line was present. Never allocates.
+    pub fn write_update(&mut self, addr: u32, value: u32) -> bool {
+        match self.find(addr) {
+            Some(i) => {
+                self.clock += 1;
+                self.lines[i].last_used = self.clock;
+                let w = self.word_index(addr);
+                self.lines[i].data[w] = value;
+                self.stats.write_hits += 1;
+                true
+            }
+            None => {
+                self.stats.write_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Installs a line fetched from memory, evicting the set's LRU way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_addr` is not line-aligned or `words` does not match
+    /// the configured line size.
+    pub fn fill(&mut self, line_addr: u32, words: &[u32]) {
+        assert_eq!(
+            line_addr,
+            self.line_addr(line_addr),
+            "fill address must be line-aligned"
+        );
+        assert_eq!(
+            words.len(),
+            self.cfg.words_per_line as usize,
+            "fill data must be exactly one line"
+        );
+        let set = self.set_index(line_addr);
+        let tag = self.tag(line_addr);
+        let base = (set * self.cfg.ways) as usize;
+        let range = base..base + self.cfg.ways as usize;
+        // Prefer an invalid way; otherwise evict the least recently used.
+        let victim = range
+            .clone()
+            .find(|&i| !self.lines[i].valid)
+            .unwrap_or_else(|| {
+                range
+                    .min_by_key(|&i| self.lines[i].last_used)
+                    .expect("sets have at least one way")
+            });
+        if self.lines[victim].valid {
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        let line = &mut self.lines[victim];
+        line.valid = true;
+        line.tag = tag;
+        line.data.copy_from_slice(words);
+        line.last_used = self.clock;
+        self.stats.fills += 1;
+    }
+
+    /// Invalidates every line (does not reset statistics).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_cache_misses_then_hits_after_fill() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        assert_eq!(c.read(0x40), None);
+        c.fill(0x40, &[10, 11, 12, 13]);
+        assert_eq!(c.read(0x40), Some(10));
+        assert_eq!(c.read(0x4C), Some(13));
+        let s = c.stats();
+        assert_eq!(s.read_misses, 1);
+        assert_eq!(s.read_hits, 2);
+        assert_eq!(s.fills, 1);
+    }
+
+    #[test]
+    fn write_update_only_touches_present_lines() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        assert!(!c.write_update(0x40, 9), "no-allocate on write miss");
+        c.fill(0x40, &[0; 4]);
+        assert!(c.write_update(0x44, 9));
+        assert_eq!(c.read(0x44), Some(9));
+        let s = c.stats();
+        assert_eq!(s.write_misses, 1);
+        assert_eq!(s.write_hits, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts() {
+        let cfg = CacheConfig {
+            sets: 4,
+            ways: 1,
+            words_per_line: 4,
+        };
+        let mut c = Cache::new(cfg);
+        // 0x00 and 0x40 map to set 0 (line 16B, 4 sets → 64B stride).
+        c.fill(0x00, &[1; 4]);
+        c.fill(0x40, &[2; 4]);
+        assert_eq!(c.read(0x00), None, "conflicting line was evicted");
+        assert_eq!(c.read(0x40), Some(2));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn two_way_set_keeps_both_then_evicts_lru() {
+        let cfg = CacheConfig {
+            sets: 2,
+            ways: 2,
+            words_per_line: 4,
+        };
+        let mut c = Cache::new(cfg);
+        // All of these map to set 0 (stride 32B).
+        c.fill(0x00, &[1; 4]);
+        c.fill(0x20, &[2; 4]);
+        assert!(c.contains(0x00) && c.contains(0x20));
+        // Touch 0x00 so 0x20 becomes LRU.
+        assert_eq!(c.read(0x00), Some(1));
+        c.fill(0x40, &[3; 4]);
+        assert!(c.contains(0x00), "recently used line survives");
+        assert!(!c.contains(0x20), "LRU line evicted");
+        assert!(c.contains(0x40));
+    }
+
+    #[test]
+    fn line_addr_masks_offset_bits() {
+        let c = Cache::new(CacheConfig::tiny());
+        assert_eq!(c.line_addr(0x4C), 0x40);
+        assert_eq!(c.line_addr(0x40), 0x40);
+        assert_eq!(c.line_addr(0x3F), 0x30);
+    }
+
+    #[test]
+    fn invalidate_all_clears_contents() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        c.fill(0x40, &[1; 4]);
+        c.invalidate_all();
+        assert!(!c.contains(0x40));
+        assert_eq!(c.stats().fills, 1, "stats survive invalidation");
+    }
+
+    #[test]
+    fn distinct_tags_in_same_set_do_not_alias() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        c.fill(0x40, &[7; 4]);
+        assert_eq!(c.read(0x140), None, "same set, different tag");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_geometry_rejected() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            words_per_line: 4,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "line-aligned")]
+    fn misaligned_fill_rejected() {
+        let mut c = Cache::new(CacheConfig::tiny());
+        c.fill(0x44, &[0; 4]);
+    }
+
+    #[test]
+    fn capacity_matches_geometry() {
+        assert_eq!(CacheConfig::default_l1().capacity_bytes(), 1024);
+        assert_eq!(CacheConfig::tiny().line_bytes(), 16);
+    }
+}

@@ -1,0 +1,340 @@
+//! A zero-time functional Srisc interpreter (golden model).
+//!
+//! Executes the same binary programs as the cycle-true [`CpuCore`], but
+//! against a flat memory with no caches, no bus and no notion of time.
+//! Two uses:
+//!
+//! * **differential testing** — the property suite runs random programs
+//!   on both models and requires identical architectural results;
+//! * **fast functional reference** — the paper notes the reference
+//!   simulation "does not yet need to be accurately modeled" at the
+//!   interconnect level; this is the logical extreme of that idea for
+//!   pure software bring-up.
+//!
+//! [`CpuCore`]: crate::CpuCore
+
+use std::collections::HashMap;
+
+use crate::isa::{decode, Instr, Reg, R15};
+
+/// Why the interpreter stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterpStop {
+    /// `halt` executed.
+    Halted,
+    /// The step budget ran out.
+    OutOfFuel,
+    /// The fetched word did not decode.
+    IllegalInstruction {
+        /// Program counter of the bad fetch.
+        pc: u32,
+    },
+    /// A load/store address was not word-aligned.
+    MisalignedAccess {
+        /// The offending address.
+        addr: u32,
+    },
+}
+
+/// The functional interpreter: registers, pc and a sparse flat memory.
+///
+/// # Example
+///
+/// ```
+/// use ntg_cpu::asm::Asm;
+/// use ntg_cpu::interp::{Interp, InterpStop};
+/// use ntg_cpu::isa::{R1, R2};
+///
+/// let mut a = Asm::new();
+/// a.li(R1, 20);
+/// a.li(R2, 22);
+/// a.add(R1, R1, R2);
+/// a.halt();
+/// let program = a.assemble(0x1000)?;
+///
+/// let mut interp = Interp::new();
+/// interp.load(&program);
+/// assert_eq!(interp.run(1_000), InterpStop::Halted);
+/// assert_eq!(interp.reg(R1), 42);
+/// # Ok::<(), ntg_cpu::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Interp {
+    regs: [u32; 16],
+    pc: u32,
+    mem: HashMap<u32, u32>,
+    instructions: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter with zeroed registers and empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads a program image and sets the pc to its entry point.
+    pub fn load(&mut self, program: &crate::asm::Program) {
+        for (i, w) in program.words().iter().enumerate() {
+            self.mem
+                .insert(program.entry() + (i as u32) * 4, *w);
+        }
+        self.pc = program.entry();
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.num() as usize]
+    }
+
+    /// Writes a register (`r0` stays zero).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if r.num() != 0 {
+            self.regs[r.num() as usize] = value;
+        }
+    }
+
+    /// The current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Overrides the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Reads a memory word (unmapped words read as zero).
+    pub fn mem_word(&self, addr: u32) -> u32 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Writes a memory word.
+    pub fn set_mem_word(&mut self, addr: u32, value: u32) {
+        self.mem.insert(addr, value);
+    }
+
+    /// Instructions retired so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns `None` to continue, or the stop reason.
+    pub fn step(&mut self) -> Option<InterpStop> {
+        let word = self.mem_word(self.pc);
+        let Ok(instr) = decode(word) else {
+            return Some(InterpStop::IllegalInstruction { pc: self.pc });
+        };
+        self.instructions += 1;
+        use Instr::*;
+        let next = self.pc.wrapping_add(4);
+        let jump = |off: i32| next.wrapping_add((off as u32).wrapping_mul(4));
+        match instr {
+            Nop => self.pc = next,
+            Halt => return Some(InterpStop::Halted),
+            Add(d, s, t) => {
+                self.set_reg(d, self.reg(s).wrapping_add(self.reg(t)));
+                self.pc = next;
+            }
+            Sub(d, s, t) => {
+                self.set_reg(d, self.reg(s).wrapping_sub(self.reg(t)));
+                self.pc = next;
+            }
+            And(d, s, t) => {
+                self.set_reg(d, self.reg(s) & self.reg(t));
+                self.pc = next;
+            }
+            Or(d, s, t) => {
+                self.set_reg(d, self.reg(s) | self.reg(t));
+                self.pc = next;
+            }
+            Xor(d, s, t) => {
+                self.set_reg(d, self.reg(s) ^ self.reg(t));
+                self.pc = next;
+            }
+            Sll(d, s, t) => {
+                self.set_reg(d, self.reg(s) << (self.reg(t) & 31));
+                self.pc = next;
+            }
+            Srl(d, s, t) => {
+                self.set_reg(d, self.reg(s) >> (self.reg(t) & 31));
+                self.pc = next;
+            }
+            Sra(d, s, t) => {
+                self.set_reg(d, ((self.reg(s) as i32) >> (self.reg(t) & 31)) as u32);
+                self.pc = next;
+            }
+            Mul(d, s, t) => {
+                self.set_reg(d, self.reg(s).wrapping_mul(self.reg(t)));
+                self.pc = next;
+            }
+            Slt(d, s, t) => {
+                self.set_reg(d, ((self.reg(s) as i32) < (self.reg(t) as i32)) as u32);
+                self.pc = next;
+            }
+            Sltu(d, s, t) => {
+                self.set_reg(d, (self.reg(s) < self.reg(t)) as u32);
+                self.pc = next;
+            }
+            Addi(d, s, imm) => {
+                self.set_reg(d, self.reg(s).wrapping_add(imm as u32));
+                self.pc = next;
+            }
+            Andi(d, s, imm) => {
+                self.set_reg(d, self.reg(s) & (imm as u32));
+                self.pc = next;
+            }
+            Ori(d, s, imm) => {
+                self.set_reg(d, self.reg(s) | (imm as u32));
+                self.pc = next;
+            }
+            Xori(d, s, imm) => {
+                self.set_reg(d, self.reg(s) ^ (imm as u32));
+                self.pc = next;
+            }
+            Slli(d, s, sh) => {
+                self.set_reg(d, self.reg(s) << sh);
+                self.pc = next;
+            }
+            Srli(d, s, sh) => {
+                self.set_reg(d, self.reg(s) >> sh);
+                self.pc = next;
+            }
+            Srai(d, s, sh) => {
+                self.set_reg(d, ((self.reg(s) as i32) >> sh) as u32);
+                self.pc = next;
+            }
+            Slti(d, s, imm) => {
+                self.set_reg(d, ((self.reg(s) as i32) < imm) as u32);
+                self.pc = next;
+            }
+            Movi(d, imm) => {
+                self.set_reg(d, u32::from(imm));
+                self.pc = next;
+            }
+            Movhi(d, imm) => {
+                let low = self.reg(d) & 0xFFFF;
+                self.set_reg(d, low | (u32::from(imm) << 16));
+                self.pc = next;
+            }
+            Ldw(rd, rs, imm) => {
+                let addr = self.reg(rs).wrapping_add(imm as u32);
+                if !addr.is_multiple_of(4) {
+                    return Some(InterpStop::MisalignedAccess { addr });
+                }
+                self.set_reg(rd, self.mem_word(addr));
+                self.pc = next;
+            }
+            Stw(rd, rs, imm) => {
+                let addr = self.reg(rs).wrapping_add(imm as u32);
+                if !addr.is_multiple_of(4) {
+                    return Some(InterpStop::MisalignedAccess { addr });
+                }
+                let value = self.reg(rd);
+                self.set_mem_word(addr, value);
+                self.pc = next;
+            }
+            Branch(cond, rs, rt, off) => {
+                self.pc = if cond.eval(self.reg(rs), self.reg(rt)) {
+                    jump(off)
+                } else {
+                    next
+                };
+            }
+            J(off) => self.pc = jump(off),
+            Jal(off) => {
+                self.set_reg(R15, next);
+                self.pc = jump(off);
+            }
+            Jr(rs) => self.pc = self.reg(rs),
+        }
+        None
+    }
+
+    /// Runs until `halt`, a fault, or `fuel` instructions.
+    pub fn run(&mut self, fuel: u64) -> InterpStop {
+        for _ in 0..fuel {
+            if let Some(stop) = self.step() {
+                return stop;
+            }
+        }
+        InterpStop::OutOfFuel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::isa::{R1, R2, R3};
+
+    #[test]
+    fn computes_like_the_doc_example() {
+        let mut a = Asm::new();
+        a.li(R1, 0);
+        a.li(R2, 10);
+        a.label("l");
+        a.addi(R1, R1, 3);
+        a.slti(R3, R1, 30);
+        a.bne(R3, crate::isa::R0, "l");
+        a.halt();
+        let p = a.assemble(0).unwrap();
+        let mut i = Interp::new();
+        i.load(&p);
+        assert_eq!(i.run(1000), InterpStop::Halted);
+        assert_eq!(i.reg(R1), 30);
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let mut a = Asm::new();
+        a.li(R1, 777);
+        a.li(R2, 0x4000);
+        a.stw(R1, R2, 8);
+        a.ldw(R3, R2, 8);
+        a.halt();
+        let p = a.assemble(0).unwrap();
+        let mut i = Interp::new();
+        i.load(&p);
+        assert_eq!(i.run(100), InterpStop::Halted);
+        assert_eq!(i.reg(R3), 777);
+        assert_eq!(i.mem_word(0x4008), 777);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let p = a.assemble(0).unwrap();
+        let mut i = Interp::new();
+        i.load(&p);
+        assert_eq!(i.run(50), InterpStop::OutOfFuel);
+        assert_eq!(i.instructions(), 50);
+    }
+
+    #[test]
+    fn illegal_instruction_is_reported() {
+        let mut i = Interp::new();
+        i.set_mem_word(0, 0xFFFF_FFFF);
+        assert_eq!(i.run(10), InterpStop::IllegalInstruction { pc: 0 });
+    }
+
+    #[test]
+    fn misaligned_access_is_reported() {
+        let mut a = Asm::new();
+        a.li(R2, 2);
+        a.ldw(R1, R2, 0);
+        let p = a.assemble(0).unwrap();
+        let mut i = Interp::new();
+        i.load(&p);
+        assert_eq!(i.run(10), InterpStop::MisalignedAccess { addr: 2 });
+    }
+
+    #[test]
+    fn unmapped_memory_reads_zero() {
+        let i = Interp::new();
+        assert_eq!(i.mem_word(0xDEAD_0000), 0);
+    }
+}

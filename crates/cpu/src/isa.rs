@@ -1,0 +1,581 @@
+//! The Srisc instruction set: in-memory form, binary encoding, decoding.
+//!
+//! Srisc is a 32-bit word-addressed load/store machine with sixteen
+//! general-purpose registers (`r0` reads as zero; writes to it are
+//! discarded). Every instruction encodes to exactly one 32-bit word, so
+//! programs can be stored in simulated memory and fetched/decoded
+//! cycle-by-cycle like a real instruction-set simulator would.
+//!
+//! # Encoding
+//!
+//! Bits `[31:26]` hold the opcode. The remaining fields depend on the
+//! format:
+//!
+//! | format | fields |
+//! |--------|--------|
+//! | R-type ALU | `rd[25:22] rs[21:18] rt[17:14]` |
+//! | I-type ALU / memory | `rd[25:22] rs[21:18] imm18[17:0]` (signed; shifts use a 5-bit shift amount) |
+//! | move-immediate | `rd[25:22] imm16[15:0]` |
+//! | branch | `rs[25:22] rt[21:18] off18[17:0]` (signed instruction offset) |
+//! | jump | `off26[25:0]` (signed instruction offset) |
+//! | jump-register | `rs[25:22]` |
+//!
+//! Branch/jump offsets are counted in *instructions*, relative to the
+//! instruction following the branch.
+
+use std::fmt;
+
+/// A general-purpose register, `r0`–`r15`. `r0` is hardwired to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 15`.
+    pub const fn new(n: u8) -> Self {
+        assert!(n < 16, "Srisc has registers r0..r15");
+        Reg(n)
+    }
+
+    /// The register number, `0..=15`.
+    pub const fn num(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// `r0`: hardwired zero.
+pub const R0: Reg = Reg::new(0);
+/// `r1`, caller-saved scratch by convention.
+pub const R1: Reg = Reg::new(1);
+/// `r2`.
+pub const R2: Reg = Reg::new(2);
+/// `r3`.
+pub const R3: Reg = Reg::new(3);
+/// `r4`.
+pub const R4: Reg = Reg::new(4);
+/// `r5`.
+pub const R5: Reg = Reg::new(5);
+/// `r6`.
+pub const R6: Reg = Reg::new(6);
+/// `r7`.
+pub const R7: Reg = Reg::new(7);
+/// `r8`.
+pub const R8: Reg = Reg::new(8);
+/// `r9`.
+pub const R9: Reg = Reg::new(9);
+/// `r10`.
+pub const R10: Reg = Reg::new(10);
+/// `r11`.
+pub const R11: Reg = Reg::new(11);
+/// `r12`.
+pub const R12: Reg = Reg::new(12);
+/// `r13`, stack pointer by convention.
+pub const R13: Reg = Reg::new(13);
+/// `r14`, platform scratch by convention.
+pub const R14: Reg = Reg::new(14);
+/// `r15`, link register (written by `jal`).
+pub const R15: Reg = Reg::new(15);
+
+/// Branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `rs == rt`
+    Eq,
+    /// `rs != rt`
+    Ne,
+    /// `rs < rt`, signed
+    Lt,
+    /// `rs >= rt`, signed
+    Ge,
+    /// `rs < rt`, unsigned
+    Ltu,
+    /// `rs >= rt`, unsigned
+    Geu,
+}
+
+impl Cond {
+    /// Evaluates the condition on two register values.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => (a as i32) < (b as i32),
+            Cond::Ge => (a as i32) >= (b as i32),
+            Cond::Ltu => a < b,
+            Cond::Geu => a >= b,
+        }
+    }
+
+    fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "beq",
+            Cond::Ne => "bne",
+            Cond::Lt => "blt",
+            Cond::Ge => "bge",
+            Cond::Ltu => "bltu",
+            Cond::Geu => "bgeu",
+        }
+    }
+}
+
+/// A decoded Srisc instruction.
+///
+/// Construct these through the [`Asm`](crate::Asm) DSL for real programs;
+/// direct construction is used in tests and by the decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop the core; records the completion cycle.
+    Halt,
+    /// `rd = rs + rt`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs - rt`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs & rt`
+    And(Reg, Reg, Reg),
+    /// `rd = rs | rt`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs ^ rt`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs << (rt & 31)`
+    Sll(Reg, Reg, Reg),
+    /// `rd = rs >> (rt & 31)` (logical)
+    Srl(Reg, Reg, Reg),
+    /// `rd = rs >> (rt & 31)` (arithmetic)
+    Sra(Reg, Reg, Reg),
+    /// `rd = rs * rt` (low 32 bits)
+    Mul(Reg, Reg, Reg),
+    /// `rd = (rs < rt) ? 1 : 0`, signed
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs < rt) ? 1 : 0`, unsigned
+    Sltu(Reg, Reg, Reg),
+    /// `rd = rs + imm` (signed 18-bit immediate)
+    Addi(Reg, Reg, i32),
+    /// `rd = rs & imm` (immediate sign-extended)
+    Andi(Reg, Reg, i32),
+    /// `rd = rs | imm` (immediate sign-extended)
+    Ori(Reg, Reg, i32),
+    /// `rd = rs ^ imm` (immediate sign-extended)
+    Xori(Reg, Reg, i32),
+    /// `rd = rs << shamt`
+    Slli(Reg, Reg, u8),
+    /// `rd = rs >> shamt` (logical)
+    Srli(Reg, Reg, u8),
+    /// `rd = rs >> shamt` (arithmetic)
+    Srai(Reg, Reg, u8),
+    /// `rd = (rs < imm) ? 1 : 0`, signed
+    Slti(Reg, Reg, i32),
+    /// `rd = imm16` (zero-extended)
+    Movi(Reg, u16),
+    /// `rd = (rd & 0xFFFF) | (imm16 << 16)`
+    Movhi(Reg, u16),
+    /// `rd = mem[rs + imm]` (word)
+    Ldw(Reg, Reg, i32),
+    /// `mem[rs + imm] = rd` (word)
+    Stw(Reg, Reg, i32),
+    /// Conditional branch; offset counted in instructions from the next
+    /// instruction.
+    Branch(Cond, Reg, Reg, i32),
+    /// Unconditional jump; offset as for branches (26-bit signed).
+    J(i32),
+    /// Jump and link: `r15 = return address`, then jump.
+    Jal(i32),
+    /// Jump to the address in `rs`.
+    Jr(Reg),
+}
+
+/// Error produced when decoding an invalid instruction word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The undecodable word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid Srisc instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const IMM18_MIN: i32 = -(1 << 17);
+const IMM18_MAX: i32 = (1 << 17) - 1;
+const OFF26_MIN: i32 = -(1 << 25);
+const OFF26_MAX: i32 = (1 << 25) - 1;
+
+/// Valid range of 18-bit signed immediates/offsets: `-131072..=131071`.
+pub const IMM18_RANGE: std::ops::RangeInclusive<i32> = IMM18_MIN..=IMM18_MAX;
+/// Valid range of 26-bit signed jump offsets.
+pub const OFF26_RANGE: std::ops::RangeInclusive<i32> = OFF26_MIN..=OFF26_MAX;
+
+mod op {
+    pub const NOP: u32 = 0;
+    pub const HALT: u32 = 1;
+    pub const ADD: u32 = 2;
+    pub const SUB: u32 = 3;
+    pub const AND: u32 = 4;
+    pub const OR: u32 = 5;
+    pub const XOR: u32 = 6;
+    pub const SLL: u32 = 7;
+    pub const SRL: u32 = 8;
+    pub const SRA: u32 = 9;
+    pub const MUL: u32 = 10;
+    pub const SLT: u32 = 11;
+    pub const SLTU: u32 = 12;
+    pub const ADDI: u32 = 13;
+    pub const ANDI: u32 = 14;
+    pub const ORI: u32 = 15;
+    pub const XORI: u32 = 16;
+    pub const SLLI: u32 = 17;
+    pub const SRLI: u32 = 18;
+    pub const SRAI: u32 = 19;
+    pub const SLTI: u32 = 20;
+    pub const MOVI: u32 = 21;
+    pub const MOVHI: u32 = 22;
+    pub const LDW: u32 = 23;
+    pub const STW: u32 = 24;
+    pub const BEQ: u32 = 25;
+    pub const BNE: u32 = 26;
+    pub const BLT: u32 = 27;
+    pub const BGE: u32 = 28;
+    pub const BLTU: u32 = 29;
+    pub const BGEU: u32 = 30;
+    pub const J: u32 = 31;
+    pub const JAL: u32 = 32;
+    pub const JR: u32 = 33;
+}
+
+fn imm18(v: i32) -> u32 {
+    assert!(
+        (IMM18_MIN..=IMM18_MAX).contains(&v),
+        "immediate {v} out of 18-bit signed range"
+    );
+    (v as u32) & 0x3FFFF
+}
+
+fn off26(v: i32) -> u32 {
+    assert!(
+        (OFF26_MIN..=OFF26_MAX).contains(&v),
+        "jump offset {v} out of 26-bit signed range"
+    );
+    (v as u32) & 0x03FF_FFFF
+}
+
+fn sext18(v: u32) -> i32 {
+    ((v << 14) as i32) >> 14
+}
+
+fn sext26(v: u32) -> i32 {
+    ((v << 6) as i32) >> 6
+}
+
+fn r(op: u32, rd: Reg, rs: Reg, rt: Reg) -> u32 {
+    (op << 26)
+        | (u32::from(rd.num()) << 22)
+        | (u32::from(rs.num()) << 18)
+        | (u32::from(rt.num()) << 14)
+}
+
+fn i(op: u32, rd: Reg, rs: Reg, imm: i32) -> u32 {
+    (op << 26) | (u32::from(rd.num()) << 22) | (u32::from(rs.num()) << 18) | imm18(imm)
+}
+
+fn sh(op: u32, rd: Reg, rs: Reg, shamt: u8) -> u32 {
+    assert!(shamt < 32, "shift amount {shamt} out of range");
+    (op << 26)
+        | (u32::from(rd.num()) << 22)
+        | (u32::from(rs.num()) << 18)
+        | u32::from(shamt)
+}
+
+/// Encodes an instruction to its 32-bit binary form.
+///
+/// # Panics
+///
+/// Panics if an immediate, offset or shift amount is out of range for its
+/// field. The [`Asm`](crate::Asm) DSL validates ranges before encoding.
+pub fn encode(instr: &Instr) -> u32 {
+    use Instr::*;
+    match *instr {
+        Nop => op::NOP << 26,
+        Halt => op::HALT << 26,
+        Add(rd, rs, rt) => r(op::ADD, rd, rs, rt),
+        Sub(rd, rs, rt) => r(op::SUB, rd, rs, rt),
+        And(rd, rs, rt) => r(op::AND, rd, rs, rt),
+        Or(rd, rs, rt) => r(op::OR, rd, rs, rt),
+        Xor(rd, rs, rt) => r(op::XOR, rd, rs, rt),
+        Sll(rd, rs, rt) => r(op::SLL, rd, rs, rt),
+        Srl(rd, rs, rt) => r(op::SRL, rd, rs, rt),
+        Sra(rd, rs, rt) => r(op::SRA, rd, rs, rt),
+        Mul(rd, rs, rt) => r(op::MUL, rd, rs, rt),
+        Slt(rd, rs, rt) => r(op::SLT, rd, rs, rt),
+        Sltu(rd, rs, rt) => r(op::SLTU, rd, rs, rt),
+        Addi(rd, rs, imm) => i(op::ADDI, rd, rs, imm),
+        Andi(rd, rs, imm) => i(op::ANDI, rd, rs, imm),
+        Ori(rd, rs, imm) => i(op::ORI, rd, rs, imm),
+        Xori(rd, rs, imm) => i(op::XORI, rd, rs, imm),
+        Slli(rd, rs, shamt) => sh(op::SLLI, rd, rs, shamt),
+        Srli(rd, rs, shamt) => sh(op::SRLI, rd, rs, shamt),
+        Srai(rd, rs, shamt) => sh(op::SRAI, rd, rs, shamt),
+        Slti(rd, rs, imm) => i(op::SLTI, rd, rs, imm),
+        Movi(rd, imm) => (op::MOVI << 26) | (u32::from(rd.num()) << 22) | u32::from(imm),
+        Movhi(rd, imm) => (op::MOVHI << 26) | (u32::from(rd.num()) << 22) | u32::from(imm),
+        Ldw(rd, rs, imm) => i(op::LDW, rd, rs, imm),
+        Stw(rd, rs, imm) => i(op::STW, rd, rs, imm),
+        Branch(cond, rs, rt, off) => {
+            let opc = match cond {
+                Cond::Eq => op::BEQ,
+                Cond::Ne => op::BNE,
+                Cond::Lt => op::BLT,
+                Cond::Ge => op::BGE,
+                Cond::Ltu => op::BLTU,
+                Cond::Geu => op::BGEU,
+            };
+            (opc << 26)
+                | (u32::from(rs.num()) << 22)
+                | (u32::from(rt.num()) << 18)
+                | imm18(off)
+        }
+        J(off) => (op::J << 26) | off26(off),
+        Jal(off) => (op::JAL << 26) | off26(off),
+        Jr(rs) => (op::JR << 26) | (u32::from(rs.num()) << 22),
+    }
+}
+
+/// Decodes a 32-bit word into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the opcode is unknown or a shift amount is
+/// out of range. (All register fields are 4 bits wide, so they are always
+/// valid.)
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let opc = word >> 26;
+    let rd = Reg::new(((word >> 22) & 0xF) as u8);
+    let rs = Reg::new(((word >> 18) & 0xF) as u8);
+    let rt = Reg::new(((word >> 14) & 0xF) as u8);
+    let imm = sext18(word & 0x3FFFF);
+    let imm16 = (word & 0xFFFF) as u16;
+    let shamt = word & 0x3FFFF;
+    let shift = || -> Result<u8, DecodeError> {
+        if shamt < 32 {
+            Ok(shamt as u8)
+        } else {
+            Err(DecodeError { word })
+        }
+    };
+    Ok(match opc {
+        op::NOP => Nop,
+        op::HALT => Halt,
+        op::ADD => Add(rd, rs, rt),
+        op::SUB => Sub(rd, rs, rt),
+        op::AND => And(rd, rs, rt),
+        op::OR => Or(rd, rs, rt),
+        op::XOR => Xor(rd, rs, rt),
+        op::SLL => Sll(rd, rs, rt),
+        op::SRL => Srl(rd, rs, rt),
+        op::SRA => Sra(rd, rs, rt),
+        op::MUL => Mul(rd, rs, rt),
+        op::SLT => Slt(rd, rs, rt),
+        op::SLTU => Sltu(rd, rs, rt),
+        op::ADDI => Addi(rd, rs, imm),
+        op::ANDI => Andi(rd, rs, imm),
+        op::ORI => Ori(rd, rs, imm),
+        op::XORI => Xori(rd, rs, imm),
+        op::SLLI => Slli(rd, rs, shift()?),
+        op::SRLI => Srli(rd, rs, shift()?),
+        op::SRAI => Srai(rd, rs, shift()?),
+        op::SLTI => Slti(rd, rs, imm),
+        op::MOVI => Movi(rd, imm16),
+        op::MOVHI => Movhi(rd, imm16),
+        op::LDW => Ldw(rd, rs, imm),
+        op::STW => Stw(rd, rs, imm),
+        op::BEQ | op::BNE | op::BLT | op::BGE | op::BLTU | op::BGEU => {
+            let cond = match opc {
+                op::BEQ => Cond::Eq,
+                op::BNE => Cond::Ne,
+                op::BLT => Cond::Lt,
+                op::BGE => Cond::Ge,
+                op::BLTU => Cond::Ltu,
+                _ => Cond::Geu,
+            };
+            // Branch packs rs in the rd field and rt in the rs field.
+            Branch(cond, rd, rs, imm)
+        }
+        op::J => J(sext26(word & 0x03FF_FFFF)),
+        op::JAL => Jal(sext26(word & 0x03FF_FFFF)),
+        op::JR => Jr(rd),
+        _ => return Err(DecodeError { word }),
+    })
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+            Add(d, s, t) => write!(f, "add {d}, {s}, {t}"),
+            Sub(d, s, t) => write!(f, "sub {d}, {s}, {t}"),
+            And(d, s, t) => write!(f, "and {d}, {s}, {t}"),
+            Or(d, s, t) => write!(f, "or {d}, {s}, {t}"),
+            Xor(d, s, t) => write!(f, "xor {d}, {s}, {t}"),
+            Sll(d, s, t) => write!(f, "sll {d}, {s}, {t}"),
+            Srl(d, s, t) => write!(f, "srl {d}, {s}, {t}"),
+            Sra(d, s, t) => write!(f, "sra {d}, {s}, {t}"),
+            Mul(d, s, t) => write!(f, "mul {d}, {s}, {t}"),
+            Slt(d, s, t) => write!(f, "slt {d}, {s}, {t}"),
+            Sltu(d, s, t) => write!(f, "sltu {d}, {s}, {t}"),
+            Addi(d, s, v) => write!(f, "addi {d}, {s}, {v}"),
+            Andi(d, s, v) => write!(f, "andi {d}, {s}, {v}"),
+            Ori(d, s, v) => write!(f, "ori {d}, {s}, {v}"),
+            Xori(d, s, v) => write!(f, "xori {d}, {s}, {v}"),
+            Slli(d, s, v) => write!(f, "slli {d}, {s}, {v}"),
+            Srli(d, s, v) => write!(f, "srli {d}, {s}, {v}"),
+            Srai(d, s, v) => write!(f, "srai {d}, {s}, {v}"),
+            Slti(d, s, v) => write!(f, "slti {d}, {s}, {v}"),
+            Movi(d, v) => write!(f, "movi {d}, {v:#x}"),
+            Movhi(d, v) => write!(f, "movhi {d}, {v:#x}"),
+            Ldw(d, s, v) => write!(f, "ldw {d}, [{s}{v:+}]"),
+            Stw(d, s, v) => write!(f, "stw {d}, [{s}{v:+}]"),
+            Branch(c, s, t, off) => write!(f, "{} {s}, {t}, {off:+}", c.mnemonic()),
+            J(off) => write!(f, "j {off:+}"),
+            Jal(off) => write!(f, "jal {off:+}"),
+            Jr(s) => write!(f, "jr {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        vec![
+            Nop,
+            Halt,
+            Add(R1, R2, R3),
+            Sub(R15, R0, R7),
+            And(R4, R4, R4),
+            Or(R1, R2, R3),
+            Xor(R9, R10, R11),
+            Sll(R1, R2, R3),
+            Srl(R1, R2, R3),
+            Sra(R1, R2, R3),
+            Mul(R5, R6, R7),
+            Slt(R1, R2, R3),
+            Sltu(R1, R2, R3),
+            Addi(R1, R2, -1),
+            Addi(R1, R2, IMM18_MAX),
+            Addi(R1, R2, IMM18_MIN),
+            Andi(R1, R2, 0xFF),
+            Ori(R1, R2, 0x7F),
+            Xori(R1, R2, -3),
+            Slli(R1, R2, 31),
+            Srli(R1, R2, 0),
+            Srai(R1, R2, 17),
+            Slti(R1, R2, -42),
+            Movi(R3, 0xFFFF),
+            Movhi(R3, 0x0102),
+            Ldw(R1, R13, 64),
+            Stw(R2, R13, -64),
+            Branch(Cond::Eq, R1, R2, -5),
+            Branch(Cond::Ne, R1, R0, 100),
+            Branch(Cond::Lt, R3, R4, 0),
+            Branch(Cond::Ge, R3, R4, 1),
+            Branch(Cond::Ltu, R3, R4, -1),
+            Branch(Cond::Geu, R3, R4, 2),
+            J(-1000),
+            Jal(1000),
+            Jr(R15),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for instr in all_sample_instrs() {
+            let word = encode(&instr);
+            let back = decode(word).unwrap_or_else(|e| panic!("{instr}: {e}"));
+            assert_eq!(back, instr, "round trip failed for {instr} ({word:#010x})");
+        }
+    }
+
+    #[test]
+    fn distinct_instructions_encode_distinctly() {
+        let words: Vec<u32> = all_sample_instrs().iter().map(encode).collect();
+        let mut sorted = words.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), words.len(), "encoding collision");
+    }
+
+    #[test]
+    fn unknown_opcode_is_error() {
+        let word = 63 << 26;
+        assert_eq!(decode(word), Err(DecodeError { word }));
+    }
+
+    #[test]
+    fn oversized_shift_amount_is_error() {
+        // SLLI with shamt field = 32.
+        let word = (17 << 26) | 32;
+        assert!(decode(word).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 18-bit signed range")]
+    fn encode_rejects_oversized_immediate() {
+        let _ = encode(&Instr::Addi(R1, R1, 1 << 17));
+    }
+
+    #[test]
+    #[should_panic(expected = "shift amount")]
+    fn encode_rejects_oversized_shift() {
+        let _ = encode(&Instr::Slli(R1, R1, 32));
+    }
+
+    #[test]
+    fn cond_eval_covers_signedness() {
+        assert!(Cond::Lt.eval(u32::MAX, 0), "-1 < 0 signed");
+        assert!(!Cond::Ltu.eval(u32::MAX, 0), "max !< 0 unsigned");
+        assert!(Cond::Ge.eval(0, u32::MAX), "0 >= -1 signed");
+        assert!(Cond::Geu.eval(u32::MAX, 1));
+        assert!(Cond::Eq.eval(5, 5));
+        assert!(Cond::Ne.eval(5, 6));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Instr::Add(R1, R2, R3).to_string(), "add r1, r2, r3");
+        assert_eq!(Instr::Ldw(R1, R13, 8).to_string(), "ldw r1, [r13+8]");
+        assert_eq!(
+            Instr::Branch(Cond::Ne, R1, R0, -2).to_string(),
+            "bne r1, r0, -2"
+        );
+    }
+
+    #[test]
+    fn r0_is_reg_zero() {
+        assert_eq!(R0.num(), 0);
+        assert_eq!(R15.num(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "r0..r15")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(16);
+    }
+}

@@ -1,0 +1,34 @@
+//! Memory-side devices for the `ntg` platform: address decoding, RAM
+//! slaves and the hardware semaphore bank.
+//!
+//! The MPARM platform the paper builds on exposes two kinds of memory to
+//! each master — private (one owner) and shared (visible to all) — plus a
+//! bank of hardware semaphores used for inter-processor synchronisation.
+//! All three are OCP slaves behind the interconnect; this crate implements
+//! them:
+//!
+//! * [`AddressMap`] — the system's memory map: named regions with a target
+//!   slave, a cacheability attribute (shared memory and semaphores are
+//!   never cached — MPARM has no cache coherence) and a *pollable* flag
+//!   that the trace-to-TG translator uses to recognise synchronisation
+//!   polling (the paper's §3 requirement that the TG "must be able to
+//!   recognize polling accesses, i.e. a knowledge of what addressing
+//!   ranges represent pollable resources").
+//! * [`MemoryDevice`] — a word-addressed RAM slave with configurable wait
+//!   states and per-beat burst timing.
+//! * [`SemaphoreBank`] — test-and-set cells: a read returns the current
+//!   value and atomically clears the cell, so a read of `1` means the
+//!   lock was acquired; writing `1` releases it. This matches the paper's
+//!   Figure 2(b)/Figure 3 polling traces (failed polls read `0`, the
+//!   successful poll reads `1`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod map;
+mod memory;
+mod semaphore;
+
+pub use map::{AddressMap, MapError, Region, RegionKind};
+pub use memory::MemoryDevice;
+pub use semaphore::SemaphoreBank;

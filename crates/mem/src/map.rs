@@ -1,0 +1,317 @@
+//! The system address map: regions, attributes and decoding.
+
+use std::fmt;
+
+use ntg_ocp::SlaveId;
+
+/// What kind of resource a region exposes; determines default attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Memory owned by exactly one master. Cacheable, not pollable.
+    PrivateMemory,
+    /// Memory visible to all masters. Uncached (no coherence), not
+    /// pollable.
+    SharedMemory,
+    /// Hardware semaphores. Uncached and pollable.
+    Semaphore,
+    /// Shared synchronisation flags/mailboxes polled by masters (barrier
+    /// flags and similar). Uncached and pollable.
+    SyncFlags,
+}
+
+impl RegionKind {
+    /// Whether masters may cache data from this kind of region.
+    pub fn cacheable(self) -> bool {
+        matches!(self, RegionKind::PrivateMemory)
+    }
+
+    /// Whether the trace translator must treat repeated reads in this
+    /// region as reactive polling.
+    pub fn pollable(self) -> bool {
+        matches!(self, RegionKind::Semaphore | RegionKind::SyncFlags)
+    }
+}
+
+/// One named address range mapped to a slave.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Human-readable name ("private0", "shared", "sem", …).
+    pub name: String,
+    /// First byte address. Word aligned.
+    pub base: u32,
+    /// Size in bytes. Word aligned, non-zero.
+    pub size: u32,
+    /// The slave that services accesses in this range.
+    pub slave: SlaveId,
+    /// The resource kind (determines cacheable/pollable attributes).
+    pub kind: RegionKind,
+}
+
+impl Region {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && (addr - self.base) < self.size
+    }
+
+    /// The first address *after* the region.
+    pub fn end(&self) -> u64 {
+        u64::from(self.base) + u64::from(self.size)
+    }
+}
+
+/// Errors returned when constructing an [`AddressMap`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// Region base or size was not word-aligned, or size was zero.
+    Misaligned {
+        /// The offending region's name.
+        region: String,
+    },
+    /// Two regions overlap.
+    Overlap {
+        /// Name of the first overlapping region.
+        a: String,
+        /// Name of the second overlapping region.
+        b: String,
+    },
+    /// The region would extend beyond the 32-bit address space.
+    OutOfAddressSpace {
+        /// The offending region's name.
+        region: String,
+    },
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Misaligned { region } => {
+                write!(f, "region {region} is misaligned or empty")
+            }
+            MapError::Overlap { a, b } => write!(f, "regions {a} and {b} overlap"),
+            MapError::OutOfAddressSpace { region } => {
+                write!(f, "region {region} exceeds the 32-bit address space")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// The full system memory map.
+///
+/// Regions are validated (aligned, in-range, non-overlapping) as they are
+/// added, so a constructed map always decodes unambiguously.
+///
+/// # Example
+///
+/// ```
+/// use ntg_mem::{AddressMap, RegionKind};
+/// use ntg_ocp::SlaveId;
+///
+/// let mut map = AddressMap::new();
+/// map.add("private0", 0x0100_0000, 0x10_0000, SlaveId(0),
+///         RegionKind::PrivateMemory)?;
+/// map.add("sem", 0x1A00_0000, 0x400, SlaveId(1), RegionKind::Semaphore)?;
+///
+/// assert_eq!(map.slave_for(0x0100_0004), Some(SlaveId(0)));
+/// assert!(map.is_pollable(0x1A00_0000));
+/// assert!(!map.is_cacheable(0x1A00_0000));
+/// # Ok::<(), ntg_mem::MapError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AddressMap {
+    regions: Vec<Region>,
+}
+
+impl AddressMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a region after validating alignment and overlap.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MapError`] if the region is misaligned, empty, leaves
+    /// the 32-bit address space, or overlaps an existing region.
+    pub fn add(
+        &mut self,
+        name: impl Into<String>,
+        base: u32,
+        size: u32,
+        slave: SlaveId,
+        kind: RegionKind,
+    ) -> Result<(), MapError> {
+        let name = name.into();
+        if !base.is_multiple_of(4) || !size.is_multiple_of(4) || size == 0 {
+            return Err(MapError::Misaligned { region: name });
+        }
+        if u64::from(base) + u64::from(size) > 1 << 32 {
+            return Err(MapError::OutOfAddressSpace { region: name });
+        }
+        let region = Region {
+            name,
+            base,
+            size,
+            slave,
+            kind,
+        };
+        for r in &self.regions {
+            let disjoint = region.end() <= u64::from(r.base) || u64::from(region.base) >= r.end();
+            if !disjoint {
+                return Err(MapError::Overlap {
+                    a: r.name.clone(),
+                    b: region.name,
+                });
+            }
+        }
+        self.regions.push(region);
+        Ok(())
+    }
+
+    /// Finds the region containing `addr`.
+    pub fn decode(&self, addr: u32) -> Option<&Region> {
+        self.regions.iter().find(|r| r.contains(addr))
+    }
+
+    /// The slave servicing `addr`, if mapped.
+    pub fn slave_for(&self, addr: u32) -> Option<SlaveId> {
+        self.decode(addr).map(|r| r.slave)
+    }
+
+    /// Whether `addr` is mapped and may be cached by masters.
+    pub fn is_cacheable(&self, addr: u32) -> bool {
+        self.decode(addr).is_some_and(|r| r.kind.cacheable())
+    }
+
+    /// Whether `addr` is mapped and belongs to a pollable region.
+    pub fn is_pollable(&self, addr: u32) -> bool {
+        self.decode(addr).is_some_and(|r| r.kind.pollable())
+    }
+
+    /// Iterates over all regions in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Region> {
+        self.regions.iter()
+    }
+
+    /// The `(base, size)` pairs of every pollable region — the "platform
+    /// knowledge" handed to the trace-to-TG translator.
+    pub fn pollable_ranges(&self) -> Vec<(u32, u32)> {
+        self.regions
+            .iter()
+            .filter(|r| r.kind.pollable())
+            .map(|r| (r.base, r.size))
+            .collect()
+    }
+
+    /// Whether a whole (possibly burst) access `[addr, addr + bytes)` sits
+    /// inside a single region.
+    pub fn covers(&self, addr: u32, bytes: u32) -> bool {
+        self.decode(addr).is_some_and(|r| {
+            u64::from(addr) + u64::from(bytes) <= r.end() && addr >= r.base
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMap {
+        let mut m = AddressMap::new();
+        m.add("p0", 0x1000, 0x1000, SlaveId(0), RegionKind::PrivateMemory)
+            .unwrap();
+        m.add("shared", 0x8000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
+            .unwrap();
+        m.add("sem", 0xA000, 0x100, SlaveId(2), RegionKind::Semaphore)
+            .unwrap();
+        m.add("sync", 0xB000, 0x100, SlaveId(1), RegionKind::SyncFlags)
+            .unwrap();
+        m
+    }
+
+    #[test]
+    fn decode_hits_and_misses() {
+        let m = map();
+        assert_eq!(m.decode(0x1000).unwrap().name, "p0");
+        assert_eq!(m.decode(0x1FFC).unwrap().name, "p0");
+        assert!(m.decode(0x2000).is_none());
+        assert!(m.decode(0x0FFC).is_none());
+        assert_eq!(m.slave_for(0x8000), Some(SlaveId(1)));
+        assert_eq!(m.slave_for(0xFFFF_FFFC), None);
+    }
+
+    #[test]
+    fn attributes_follow_region_kind() {
+        let m = map();
+        assert!(m.is_cacheable(0x1000));
+        assert!(!m.is_cacheable(0x8000), "shared memory is uncached");
+        assert!(!m.is_pollable(0x8000));
+        assert!(m.is_pollable(0xA000));
+        assert!(m.is_pollable(0xB000), "sync flags are pollable");
+        assert!(!m.is_cacheable(0xA000));
+    }
+
+    #[test]
+    fn pollable_ranges_lists_sem_and_sync() {
+        let m = map();
+        assert_eq!(m.pollable_ranges(), vec![(0xA000, 0x100), (0xB000, 0x100)]);
+    }
+
+    #[test]
+    fn overlap_rejected() {
+        let mut m = map();
+        let err = m
+            .add("bad", 0x1800, 0x1000, SlaveId(3), RegionKind::SharedMemory)
+            .unwrap_err();
+        assert!(matches!(err, MapError::Overlap { .. }));
+        // Adjacent is fine.
+        m.add("ok", 0x2000, 0x100, SlaveId(3), RegionKind::SharedMemory)
+            .unwrap();
+    }
+
+    #[test]
+    fn misaligned_and_empty_rejected() {
+        let mut m = AddressMap::new();
+        assert!(matches!(
+            m.add("x", 0x2, 0x100, SlaveId(0), RegionKind::SharedMemory),
+            Err(MapError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.add("x", 0x0, 0x0, SlaveId(0), RegionKind::SharedMemory),
+            Err(MapError::Misaligned { .. })
+        ));
+        assert!(matches!(
+            m.add("x", 0x0, 0x6, SlaveId(0), RegionKind::SharedMemory),
+            Err(MapError::Misaligned { .. })
+        ));
+    }
+
+    #[test]
+    fn address_space_end_is_usable() {
+        let mut m = AddressMap::new();
+        m.add(
+            "top",
+            0xFFFF_F000,
+            0x1000,
+            SlaveId(0),
+            RegionKind::SharedMemory,
+        )
+        .unwrap();
+        assert!(m.decode(0xFFFF_FFFC).is_some());
+        let mut m2 = AddressMap::new();
+        assert!(matches!(
+            m2.add("x", 0xFFFF_F000, 0x2000, SlaveId(0), RegionKind::SharedMemory),
+            Err(MapError::OutOfAddressSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn covers_checks_burst_extent() {
+        let m = map();
+        assert!(m.covers(0x1FF0, 16));
+        assert!(!m.covers(0x1FF0, 20), "burst crosses region end");
+        assert!(!m.covers(0x2000, 4), "unmapped");
+    }
+}

@@ -1,0 +1,835 @@
+//! The ×pipes-like wormhole packet-switched 2D-mesh NoC.
+
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use ntg_mem::AddressMap;
+use ntg_ocp::{MasterPort, OcpRequest, OcpResponse, SlavePort};
+use ntg_sim::stats::Histogram;
+use ntg_sim::{Component, Cycle};
+
+use crate::{Interconnect, InterconnectKind};
+
+/// Router port indices.
+const NORTH: usize = 0;
+const EAST: usize = 1;
+const SOUTH: usize = 2;
+const WEST: usize = 3;
+const LOCAL: usize = 4;
+
+fn opposite(port: usize) -> usize {
+    match port {
+        NORTH => SOUTH,
+        SOUTH => NORTH,
+        EAST => WEST,
+        WEST => EAST,
+        _ => unreachable!("local port has no opposite"),
+    }
+}
+
+/// Static configuration of a [`XpipesNoc`].
+///
+/// Each master and each slave is attached through a network interface
+/// (NI) to the local port of one mesh node; at most one NI per node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XpipesConfig {
+    /// Mesh width (columns).
+    pub width: u16,
+    /// Mesh height (rows).
+    pub height: u16,
+    /// Node index (row-major) of each master NI.
+    pub master_nodes: Vec<u16>,
+    /// Node index (row-major) of each slave NI.
+    pub slave_nodes: Vec<u16>,
+    /// Router input FIFO depth in flits.
+    pub input_fifo_flits: usize,
+}
+
+impl XpipesConfig {
+    /// Default router input FIFO depth.
+    pub const DEFAULT_FIFO_FLITS: usize = 4;
+
+    /// Builds the smallest near-square mesh that fits `n_masters` +
+    /// `n_slaves` NIs, attaching masters first in row-major order, then
+    /// slaves.
+    pub fn auto(n_masters: usize, n_slaves: usize) -> Self {
+        let total = (n_masters + n_slaves).max(1) as u16;
+        let mut width = 1u16;
+        while width * width < total {
+            width += 1;
+        }
+        let height = total.div_ceil(width);
+        Self {
+            width,
+            height,
+            master_nodes: (0..n_masters as u16).collect(),
+            slave_nodes: (n_masters as u16..total).collect(),
+            input_fifo_flits: Self::DEFAULT_FIFO_FLITS,
+        }
+    }
+
+    fn nodes(&self) -> u16 {
+        self.width * self.height
+    }
+
+    fn validate(&self, n_masters: usize, n_slaves: usize) {
+        assert!(self.width >= 1 && self.height >= 1, "mesh must be non-empty");
+        assert!(self.input_fifo_flits >= 1, "FIFOs must hold at least one flit");
+        assert_eq!(self.master_nodes.len(), n_masters, "one node per master");
+        assert_eq!(self.slave_nodes.len(), n_slaves, "one node per slave");
+        let mut seen = vec![false; self.nodes() as usize];
+        for &n in self.master_nodes.iter().chain(self.slave_nodes.iter()) {
+            assert!(n < self.nodes(), "node {n} outside the mesh");
+            assert!(!seen[n as usize], "node {n} hosts two NIs");
+            seen[n as usize] = true;
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flit {
+    pid: u32,
+    is_head: bool,
+    is_tail: bool,
+    dst: u16,
+}
+
+#[derive(Debug)]
+enum Payload {
+    Req { req: OcpRequest, src_master: usize },
+    Resp { resp: OcpResponse, dst_master: usize },
+}
+
+#[derive(Debug)]
+struct Packet {
+    payload: Payload,
+    injected_at: Cycle,
+}
+
+struct Router {
+    inputs: [VecDeque<Flit>; 5],
+    out_reg: [Option<Flit>; 5],
+    out_owner: [Option<usize>; 5],
+    rr: [usize; 5],
+}
+
+impl Router {
+    fn new() -> Self {
+        Self {
+            inputs: Default::default(),
+            out_reg: [None; 5],
+            out_owner: [None; 5],
+            rr: [0; 5],
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.inputs.iter().all(VecDeque::is_empty) && self.out_reg.iter().all(Option::is_none)
+    }
+}
+
+struct MasterNi {
+    link: SlavePort,
+    node: u16,
+    tx: VecDeque<Flit>,
+}
+
+struct SlaveNi {
+    link: MasterPort,
+    node: u16,
+    /// Fully reassembled request packets awaiting device service.
+    pending: VecDeque<u32>,
+    /// Request forwarded to the device: `(src_master, expects_response)`.
+    busy: Option<(usize, bool)>,
+    tx: VecDeque<Flit>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Attach {
+    None,
+    Master(usize),
+    Slave(usize),
+}
+
+/// Aggregate NoC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NocStats {
+    /// Packets injected (requests + responses).
+    pub packets: u64,
+    /// Individual flit link traversals.
+    pub flit_hops: u64,
+}
+
+/// A wormhole-switched 2D-mesh NoC with XY routing, in the spirit of
+/// ×pipes.
+///
+/// Requests are packetised at the issuing master's network interface
+/// (head flit + one address/command flit + one flit per write-data word),
+/// routed dimension-ordered (X first) through input-buffered routers, and
+/// reassembled at the target slave's NI, which then performs the OCP
+/// transaction against the device and — for reads — sends a response
+/// packet back. Links carry one flit per cycle; a hop costs two cycles
+/// (switch + link); backpressure is by input-FIFO occupancy, so congested
+/// packets stall in place like real wormhole flow control.
+///
+/// Posted writes unblock the master as soon as its NI accepts the
+/// request, which is earlier than on the [`AmbaBus`](crate::AmbaBus) —
+/// exactly the kind of architecture-dependent timing difference the
+/// paper's reactive traffic generators must absorb.
+pub struct XpipesNoc {
+    name: String,
+    cfg: XpipesConfig,
+    map: Rc<AddressMap>,
+    routers: Vec<Router>,
+    master_nis: Vec<MasterNi>,
+    slave_nis: Vec<SlaveNi>,
+    attach: Vec<Attach>,
+    packets: HashMap<u32, Packet>,
+    rx_progress: HashMap<u32, u32>,
+    next_pid: u32,
+    stats: NocStats,
+    packet_latency: Histogram,
+    transactions: u64,
+    decode_errors: u64,
+}
+
+impl XpipesNoc {
+    /// Creates the NoC.
+    ///
+    /// Indexing conventions match [`AmbaBus::new`](crate::AmbaBus::new);
+    /// `cfg` supplies the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent with the number of masters/slaves
+    /// (see [`XpipesConfig`]).
+    pub fn new(
+        name: impl Into<String>,
+        masters: Vec<SlavePort>,
+        slaves: Vec<MasterPort>,
+        map: Rc<AddressMap>,
+        cfg: XpipesConfig,
+    ) -> Self {
+        cfg.validate(masters.len(), slaves.len());
+        let mut attach = vec![Attach::None; cfg.nodes() as usize];
+        let master_nis: Vec<MasterNi> = masters
+            .into_iter()
+            .zip(cfg.master_nodes.iter())
+            .map(|(link, &node)| MasterNi {
+                link,
+                node,
+                tx: VecDeque::new(),
+            })
+            .collect();
+        let slave_nis: Vec<SlaveNi> = slaves
+            .into_iter()
+            .zip(cfg.slave_nodes.iter())
+            .map(|(link, &node)| SlaveNi {
+                link,
+                node,
+                pending: VecDeque::new(),
+                busy: None,
+                tx: VecDeque::new(),
+            })
+            .collect();
+        for (i, ni) in master_nis.iter().enumerate() {
+            attach[ni.node as usize] = Attach::Master(i);
+        }
+        for (i, ni) in slave_nis.iter().enumerate() {
+            attach[ni.node as usize] = Attach::Slave(i);
+        }
+        let routers = (0..cfg.nodes()).map(|_| Router::new()).collect();
+        Self {
+            name: name.into(),
+            cfg,
+            map,
+            routers,
+            master_nis,
+            slave_nis,
+            attach,
+            packets: HashMap::new(),
+            rx_progress: HashMap::new(),
+            next_pid: 0,
+            stats: NocStats::default(),
+            packet_latency: Histogram::new("packet_latency_cycles"),
+            transactions: 0,
+            decode_errors: 0,
+        }
+    }
+
+    /// Accumulated NoC statistics.
+    pub fn stats(&self) -> NocStats {
+        self.stats
+    }
+
+    /// Packet latency histogram (injection of the head flit to delivery
+    /// of the tail flit, in cycles).
+    pub fn packet_latency(&self) -> &Histogram {
+        &self.packet_latency
+    }
+
+    /// XY route: which output port a flit at `node` heading for
+    /// `flit.dst` takes.
+    fn route(&self, node: u16, dst: u16) -> usize {
+        let w = self.cfg.width;
+        let (x, y) = (node % w, node / w);
+        let (dx, dy) = (dst % w, dst / w);
+        if dx > x {
+            EAST
+        } else if dx < x {
+            WEST
+        } else if dy > y {
+            SOUTH
+        } else if dy < y {
+            NORTH
+        } else {
+            LOCAL
+        }
+    }
+
+    fn neighbor(&self, node: u16, port: usize) -> u16 {
+        let w = self.cfg.width;
+        match port {
+            NORTH => node - w,
+            SOUTH => node + w,
+            EAST => node + 1,
+            WEST => node - 1,
+            _ => unreachable!("local port has no neighbor"),
+        }
+    }
+
+    fn make_flits(pid: u32, len: u32, dst: u16) -> VecDeque<Flit> {
+        (0..len)
+            .map(|i| Flit {
+                pid,
+                is_head: i == 0,
+                is_tail: i == len - 1,
+                dst,
+            })
+            .collect()
+    }
+
+    /// Link stage: move output-register flits into downstream input
+    /// FIFOs (or deliver locally), honouring backpressure.
+    fn link_stage(&mut self, now: Cycle) {
+        for r in 0..self.routers.len() {
+            for p in 0..5 {
+                let Some(flit) = self.routers[r].out_reg[p] else {
+                    continue;
+                };
+                if p == LOCAL {
+                    if self.deliver_local(r as u16, flit, now) {
+                        self.routers[r].out_reg[p] = None;
+                    }
+                } else {
+                    let nbr = self.neighbor(r as u16, p) as usize;
+                    let inp = opposite(p);
+                    if self.routers[nbr].inputs[inp].len() < self.cfg.input_fifo_flits {
+                        self.routers[nbr].inputs[inp].push_back(flit);
+                        self.routers[r].out_reg[p] = None;
+                        self.stats.flit_hops += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Delivers a flit to the NI on `node`. Returns false on
+    /// backpressure.
+    fn deliver_local(&mut self, node: u16, flit: Flit, now: Cycle) -> bool {
+        match self.attach[node as usize] {
+            Attach::None => panic!("flit routed to node {node} which has no NI"),
+            Attach::Master(i) => {
+                // Master NIs always sink response flits.
+                if flit.is_tail {
+                    let packet = self
+                        .packets
+                        .remove(&flit.pid)
+                        .expect("tail of unknown packet");
+                    self.rx_progress.remove(&flit.pid);
+                    self.packet_latency.record(now - packet.injected_at);
+                    let Payload::Resp { resp, dst_master } = packet.payload else {
+                        panic!("request packet delivered to a master NI")
+                    };
+                    debug_assert_eq!(dst_master, i);
+                    self.master_nis[i].link.push_response(resp, now);
+                } else {
+                    *self.rx_progress.entry(flit.pid).or_insert(0) += 1;
+                }
+                true
+            }
+            Attach::Slave(i) => {
+                // Bounded reassembly: refuse new flits while two complete
+                // packets already wait, creating wormhole backpressure.
+                if self.slave_nis[i].pending.len() >= 2 {
+                    return false;
+                }
+                if flit.is_tail {
+                    self.rx_progress.remove(&flit.pid);
+                    self.slave_nis[i].pending.push_back(flit.pid);
+                } else {
+                    *self.rx_progress.entry(flit.pid).or_insert(0) += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// Switch stage: move one flit per input from input FIFOs into output
+    /// registers, wormhole style.
+    fn switch_stage(&mut self) {
+        for r in 0..self.routers.len() {
+            let mut input_used = [false; 5];
+            for p in 0..5 {
+                let router = &mut self.routers[r];
+                if router.out_reg[p].is_some() {
+                    continue;
+                }
+                // Continue an owned packet first.
+                if let Some(owner) = router.out_owner[p] {
+                    if input_used[owner] {
+                        continue;
+                    }
+                    if let Some(&flit) = router.inputs[owner].front() {
+                        debug_assert!(!flit.is_head || router.out_owner[p].is_some());
+                        router.inputs[owner].pop_front();
+                        router.out_reg[p] = Some(flit);
+                        input_used[owner] = true;
+                        if flit.is_tail {
+                            router.out_owner[p] = None;
+                        }
+                    }
+                    continue;
+                }
+                // Otherwise arbitrate among heads requesting this output.
+                let start = router.rr[p];
+                let want = |flit: &Flit, me: &Self| me.route(r as u16, flit.dst) == p;
+                let claimed = (0..5).map(|k| (start + k) % 5).find(|&inp| {
+                    !input_used[inp]
+                        && matches!(
+                            self.routers[r].inputs[inp].front(),
+                            Some(f) if f.is_head && want(f, self)
+                        )
+                });
+                if let Some(inp) = claimed {
+                    let router = &mut self.routers[r];
+                    let flit = router.inputs[inp].pop_front().expect("front checked");
+                    router.out_reg[p] = Some(flit);
+                    input_used[inp] = true;
+                    if !flit.is_tail {
+                        router.out_owner[p] = Some(inp);
+                    }
+                    router.rr[p] = (inp + 1) % 5;
+                }
+            }
+        }
+    }
+
+    /// NI stage: accept fresh requests, feed injection FIFOs, talk to
+    /// devices.
+    fn ni_stage(&mut self, now: Cycle) {
+        // Master NIs: accept a new request once the previous packet fully
+        // left the NI.
+        for i in 0..self.master_nis.len() {
+            if self.master_nis[i].tx.is_empty() {
+                if let Some((addr, _, _)) = self.master_nis[i].link.peek_meta(now) {
+                    match self.map.slave_for(addr) {
+                        None => {
+                            let req = self.master_nis[i]
+                                .link
+                                .accept_request(now)
+                                .expect("peeked request is still there");
+                            self.decode_errors += 1;
+                            if req.cmd.expects_response() {
+                                self.master_nis[i]
+                                    .link
+                                    .push_response(OcpResponse::error(req.tag), now);
+                            }
+                        }
+                        Some(slave) => {
+                            let req = self.master_nis[i]
+                                .link
+                                .accept_request(now)
+                                .expect("peeked request is still there");
+                            self.transactions += 1;
+                            let dst = self.slave_nis[slave.0 as usize].node;
+                            let len = 2 + req.data.len() as u32;
+                            let pid = self.next_pid;
+                            self.next_pid += 1;
+                            self.packets.insert(
+                                pid,
+                                Packet {
+                                    payload: Payload::Req {
+                                        req,
+                                        src_master: i,
+                                    },
+                                    injected_at: now,
+                                },
+                            );
+                            self.master_nis[i].tx = Self::make_flits(pid, len, dst);
+                            self.stats.packets += 1;
+                        }
+                    }
+                }
+            }
+            // Inject at most one flit per cycle.
+            let node = self.master_nis[i].node as usize;
+            if !self.master_nis[i].tx.is_empty()
+                && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
+            {
+                let flit = self.master_nis[i].tx.pop_front().expect("non-empty");
+                self.routers[node].inputs[LOCAL].push_back(flit);
+            }
+        }
+        // Slave NIs: service reassembled requests through the device
+        // link; packetise read responses.
+        for i in 0..self.slave_nis.len() {
+            // Completion?
+            if let Some((src_master, expects)) = self.slave_nis[i].busy {
+                if expects {
+                    if let Some(resp) = self.slave_nis[i].link.take_response(now) {
+                        let dst = self.master_nis[src_master].node;
+                        let len = 1 + resp.data.len() as u32;
+                        let pid = self.next_pid;
+                        self.next_pid += 1;
+                        self.packets.insert(
+                            pid,
+                            Packet {
+                                payload: Payload::Resp {
+                                    resp,
+                                    dst_master: src_master,
+                                },
+                                injected_at: now,
+                            },
+                        );
+                        debug_assert!(self.slave_nis[i].tx.is_empty());
+                        self.slave_nis[i].tx = Self::make_flits(pid, len, dst);
+                        self.stats.packets += 1;
+                        self.slave_nis[i].busy = None;
+                    }
+                } else if self.slave_nis[i].link.take_accept(now).is_some() {
+                    self.slave_nis[i].busy = None;
+                }
+            }
+            // Start the next pending request once the link and the
+            // response path are free.
+            if self.slave_nis[i].busy.is_none()
+                && self.slave_nis[i].tx.is_empty()
+                && !self.slave_nis[i].link.request_pending()
+            {
+                if let Some(pid) = self.slave_nis[i].pending.pop_front() {
+                    let packet = self.packets.remove(&pid).expect("pending packet exists");
+                    self.packet_latency.record(now.saturating_sub(packet.injected_at));
+                    let Payload::Req { req, src_master } = packet.payload else {
+                        panic!("response packet delivered to a slave NI")
+                    };
+                    let expects = req.cmd.expects_response();
+                    self.slave_nis[i].link.forward_request(req, now);
+                    self.slave_nis[i].busy = Some((src_master, expects));
+                }
+            }
+            // Inject at most one response flit per cycle.
+            let node = self.slave_nis[i].node as usize;
+            if !self.slave_nis[i].tx.is_empty()
+                && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
+            {
+                let flit = self.slave_nis[i].tx.pop_front().expect("non-empty");
+                self.routers[node].inputs[LOCAL].push_back(flit);
+            }
+        }
+    }
+}
+
+impl Component for XpipesNoc {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.link_stage(now);
+        self.switch_stage();
+        self.ni_stage(now);
+    }
+
+    fn is_idle(&self) -> bool {
+        self.packets.is_empty()
+            && self.routers.iter().all(Router::is_empty)
+            && self.master_nis.iter().all(|ni| ni.tx.is_empty() && ni.link.is_quiet())
+            && self.slave_nis.iter().all(|ni| {
+                ni.tx.is_empty() && ni.pending.is_empty() && ni.busy.is_none() && ni.link.is_quiet()
+            })
+    }
+}
+
+impl Interconnect for XpipesNoc {
+    fn kind(&self) -> InterconnectKind {
+        InterconnectKind::Xpipes
+    }
+
+    fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    fn latency_summary(&self) -> Option<(f64, u64)> {
+        Some((self.packet_latency.mean()?, self.packet_latency.max()?))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use ntg_mem::{MemoryDevice, RegionKind};
+    use ntg_ocp::{channel, MasterId, OcpRequest, OcpStatus, SlaveId};
+
+    struct Rig {
+        noc: XpipesNoc,
+        mems: Vec<MemoryDevice>,
+        cpus: Vec<MasterPort>,
+    }
+
+    fn rig(n_masters: usize) -> Rig {
+        let mut map = AddressMap::new();
+        map.add("m0", 0x1000, 0x1000, SlaveId(0), RegionKind::SharedMemory)
+            .unwrap();
+        map.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
+            .unwrap();
+        let mut cpus = Vec::new();
+        let mut net_masters = Vec::new();
+        for i in 0..n_masters {
+            let (m, s) = channel(format!("cpu{i}"), MasterId(i as u16));
+            cpus.push(m);
+            net_masters.push(s);
+        }
+        let mut mems = Vec::new();
+        let mut net_slaves = Vec::new();
+        for (i, base) in [(0u16, 0x1000u32), (1, 0x2000)] {
+            let (m, s) = channel(format!("slave{i}"), MasterId(0));
+            net_slaves.push(m);
+            mems.push(MemoryDevice::new(format!("mem{i}"), base, 0x1000, s));
+        }
+        let cfg = XpipesConfig::auto(n_masters, 2);
+        let noc = XpipesNoc::new("xpipes", net_masters, net_slaves, Rc::new(map), cfg);
+        Rig { noc, mems, cpus }
+    }
+
+    fn step(r: &mut Rig, now: Cycle) {
+        r.noc.tick(now);
+        for m in &mut r.mems {
+            m.tick(now);
+        }
+    }
+
+    #[test]
+    fn auto_config_builds_a_valid_mesh() {
+        let cfg = XpipesConfig::auto(12, 14);
+        assert!(u32::from(cfg.nodes()) >= 26);
+        assert_eq!(cfg.master_nodes.len(), 12);
+        assert_eq!(cfg.slave_nodes.len(), 14);
+    }
+
+    #[test]
+    fn read_round_trips_through_the_mesh() {
+        let mut r = rig(1);
+        r.mems[0].poke(0x1010, 4242);
+        r.cpus[0].assert_request(OcpRequest::read(0x1010), 0);
+        for now in 0..100 {
+            step(&mut r, now);
+            if let Some(resp) = r.cpus[0].take_response(now) {
+                assert_eq!(resp.data, vec![4242]);
+                assert!(
+                    now > 6,
+                    "NoC must be slower than the bus for one hop ({now})"
+                );
+                assert!(r.noc.stats().packets == 2, "request + response");
+                return;
+            }
+        }
+        panic!("no response");
+    }
+
+    #[test]
+    fn posted_write_unblocks_at_the_ni() {
+        let mut r = rig(1);
+        r.cpus[0].assert_request(OcpRequest::write(0x2000, 31), 0);
+        let mut accepted_at = None;
+        for now in 0..100 {
+            step(&mut r, now);
+            if accepted_at.is_none() && r.cpus[0].take_accept(now).is_some() {
+                accepted_at = Some(now);
+            }
+        }
+        assert_eq!(accepted_at, Some(2), "NI accepts before network transit");
+        assert_eq!(r.mems[1].peek(0x2000), 31, "write still lands remotely");
+    }
+
+    #[test]
+    fn burst_read_reassembles_whole_line() {
+        let mut r = rig(1);
+        r.mems[0].load_words(0x1000, &[5, 6, 7, 8]);
+        r.cpus[0].assert_request(OcpRequest::burst_read(0x1000, 4), 0);
+        for now in 0..200 {
+            step(&mut r, now);
+            if let Some(resp) = r.cpus[0].take_response(now) {
+                assert_eq!(resp.data, vec![5, 6, 7, 8]);
+                return;
+            }
+        }
+        panic!("no response");
+    }
+
+    #[test]
+    fn two_masters_different_slaves_overlap() {
+        let mut r = rig(2);
+        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        let mut done = [None, None];
+        for now in 0..200 {
+            step(&mut r, now);
+            for c in 0..2 {
+                if done[c].is_none() && r.cpus[c].take_response(now).is_some() {
+                    done[c] = Some(now);
+                }
+            }
+        }
+        let (a, b) = (done[0].unwrap(), done[1].unwrap());
+        // With per-slave paths the two reads overlap almost fully; they
+        // must not be serialised end-to-end.
+        assert!(b < a + 6, "reads should overlap: {a} vs {b}");
+    }
+
+    #[test]
+    fn unmapped_read_errors_without_touching_the_mesh() {
+        let mut r = rig(1);
+        r.cpus[0].assert_request(OcpRequest::read(0xDEAD_0000), 0);
+        for now in 0..20 {
+            step(&mut r, now);
+            if let Some(resp) = r.cpus[0].take_response(now) {
+                assert_eq!(resp.status, OcpStatus::Error);
+                assert_eq!(r.noc.stats().packets, 0);
+                return;
+            }
+        }
+        panic!("no response");
+    }
+
+    #[test]
+    fn heavy_same_slave_traffic_all_completes() {
+        let mut r = rig(2);
+        let mut remaining = [10u32, 10];
+        let mut completions = 0u32;
+        for now in 0..5_000 {
+            for c in 0..2 {
+                if r.cpus[c].take_response(now).is_some() {
+                    completions += 1;
+                }
+                if !r.cpus[c].request_pending() && remaining[c] > 0 {
+                    r.cpus[c].assert_request(OcpRequest::read(0x1000 + c as u32 * 8), now);
+                    remaining[c] -= 1;
+                }
+            }
+            step(&mut r, now);
+        }
+        assert_eq!(completions, 20, "wormhole contention must not deadlock");
+        assert!(r.noc.is_idle());
+    }
+
+    #[test]
+    fn write_data_flits_lengthen_packets() {
+        let mut r = rig(1);
+        r.cpus[0].assert_request(OcpRequest::burst_write(0x1000, vec![1, 2, 3, 4]), 0);
+        for now in 0..200 {
+            step(&mut r, now);
+            r.cpus[0].take_accept(now);
+        }
+        assert_eq!(r.mems[0].peek(0x100C), 4);
+        // 6 flits request (head + cmd + 4 data), no response packet.
+        assert_eq!(r.noc.stats().packets, 1);
+        assert!(r.noc.is_idle());
+    }
+
+    #[test]
+    fn xy_routing_goes_x_first() {
+        // 3×3 mesh; master at node 0 (0,0), slaves at nodes 4 (1,1) and
+        // 8 (2,2). The route function is internal, but its effect is
+        // observable: traffic to both slaves must arrive (tested above);
+        // here we check the topology helpers via auto-config shapes.
+        let cfg = XpipesConfig::auto(1, 2);
+        assert_eq!(cfg.width, 2);
+        assert_eq!(cfg.height, 2);
+        let cfg = XpipesConfig::auto(5, 4);
+        assert_eq!(cfg.width, 3, "9 NIs need a 3-wide mesh");
+        assert_eq!(cfg.height, 3);
+    }
+
+    #[test]
+    fn single_node_mesh_is_rejected_with_two_nis() {
+        let cfg = XpipesConfig::auto(0, 1);
+        assert_eq!(cfg.nodes(), 1);
+        // 1 master + 1 slave cannot share node 0.
+        let bad = XpipesConfig {
+            width: 1,
+            height: 1,
+            master_nodes: vec![0],
+            slave_nodes: vec![0],
+            input_fifo_flits: 2,
+        };
+        let map = Rc::new(AddressMap::new());
+        let (_, s) = channel("cpu", MasterId(0));
+        let (m, _) = channel("slave", MasterId(0));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            XpipesNoc::new("bad", vec![s], vec![m], map, bad)
+        }));
+        assert!(r.is_err(), "two NIs on one node must be rejected");
+    }
+
+    #[test]
+    fn min_fifo_depth_still_delivers() {
+        // FIFO depth 1: maximal backpressure, still no deadlock.
+        let mut mapm = AddressMap::new();
+        mapm.add("m0", 0x1000, 0x1000, SlaveId(0), RegionKind::SharedMemory)
+            .unwrap();
+        mapm.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
+            .unwrap();
+        let (cpu, s0) = channel("cpu0", MasterId(0));
+        let (m0, sl0) = channel("sl0", MasterId(0));
+        let (m1, sl1) = channel("sl1", MasterId(0));
+        let mut mem0 = MemoryDevice::new("mem0", 0x1000, 0x1000, sl0);
+        let mut mem1 = MemoryDevice::new("mem1", 0x2000, 0x1000, sl1);
+        let mut cfg = XpipesConfig::auto(1, 2);
+        cfg.input_fifo_flits = 1;
+        let mut noc = XpipesNoc::new("tight", vec![s0], vec![m0, m1], Rc::new(mapm), cfg);
+        mem0.poke(0x1004, 99);
+        cpu.assert_request(OcpRequest::burst_read(0x1000, 4), 0);
+        for now in 0..500 {
+            noc.tick(now);
+            mem0.tick(now);
+            mem1.tick(now);
+            if let Some(resp) = cpu.take_response(now) {
+                assert_eq!(resp.data[1], 99);
+                return;
+            }
+        }
+        panic!("depth-1 FIFOs must still deliver");
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts two NIs")]
+    fn overlapping_attachment_rejected() {
+        let cfg = XpipesConfig {
+            width: 2,
+            height: 2,
+            master_nodes: vec![0],
+            slave_nodes: vec![0],
+            input_fifo_flits: 4,
+        };
+        let map = Rc::new(AddressMap::new());
+        let (_, s) = channel("cpu", MasterId(0));
+        let (m, _) = channel("slave", MasterId(0));
+        let _ = XpipesNoc::new("bad", vec![s], vec![m], map, cfg);
+    }
+}

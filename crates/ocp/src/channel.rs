@@ -1,0 +1,390 @@
+//! The single-slot handshaked channel connecting a master to the network.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use ntg_sim::Cycle;
+
+use crate::observer::ChannelObserver;
+use crate::types::{MasterId, OcpRequest, OcpResponse};
+
+#[derive(Debug)]
+struct PendingRequest {
+    req: OcpRequest,
+    asserted_at: Cycle,
+}
+
+/// Shared state of one OCP link.
+///
+/// Created through [`channel`]; user code interacts with the
+/// [`MasterPort`]/[`SlavePort`] endpoints rather than with the channel
+/// directly. All visibility rules (a value written in cycle *t* is only
+/// observable from cycle *t + 1*) are enforced here, centrally.
+pub struct OcpChannel {
+    name: String,
+    master: MasterId,
+    req: Option<PendingRequest>,
+    /// Set when a request is accepted; consumed by the master.
+    accept: Option<(u64, Cycle)>,
+    resp: VecDeque<(OcpResponse, Cycle)>,
+    next_tag: u64,
+    observer: Option<Box<dyn ChannelObserver>>,
+}
+
+impl std::fmt::Debug for OcpChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OcpChannel")
+            .field("name", &self.name)
+            .field("master", &self.master)
+            .field("req", &self.req)
+            .field("accept", &self.accept)
+            .field("resp_queued", &self.resp.len())
+            .finish()
+    }
+}
+
+/// Creates a connected master/slave endpoint pair for one OCP link.
+///
+/// `name` identifies the link in diagnostics and traces; `master` is
+/// stamped into every request asserted through the returned
+/// [`MasterPort`].
+pub fn channel(name: impl Into<String>, master: MasterId) -> (MasterPort, SlavePort) {
+    let inner = Rc::new(RefCell::new(OcpChannel {
+        name: name.into(),
+        master,
+        req: None,
+        accept: None,
+        resp: VecDeque::new(),
+        next_tag: 0,
+        observer: None,
+    }));
+    (
+        MasterPort {
+            inner: inner.clone(),
+        },
+        SlavePort { inner },
+    )
+}
+
+/// The core-side endpoint of an OCP link.
+///
+/// Owned by a CPU core or traffic generator. Cloning yields another handle
+/// to the same link (used to hand one half to a write buffer, say).
+#[derive(Clone)]
+pub struct MasterPort {
+    inner: Rc<RefCell<OcpChannel>>,
+}
+
+/// The network-side endpoint of an OCP link.
+///
+/// Owned by an interconnect (for master links) or by a slave device (for
+/// slave links).
+#[derive(Clone)]
+pub struct SlavePort {
+    inner: Rc<RefCell<OcpChannel>>,
+}
+
+impl MasterPort {
+    /// The link name supplied to [`channel`].
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// The master identity stamped into requests asserted here.
+    pub fn master(&self) -> MasterId {
+        self.inner.borrow().master
+    }
+
+    /// Installs a trace observer on this link, replacing any previous one.
+    pub fn set_observer(&self, observer: Box<dyn ChannelObserver>) {
+        self.inner.borrow_mut().observer = Some(observer);
+    }
+
+    /// Removes and returns the installed observer, if any.
+    pub fn take_observer(&self) -> Option<Box<dyn ChannelObserver>> {
+        self.inner.borrow_mut().observer.take()
+    }
+
+    /// Asserts `req` on the request wires in cycle `now`.
+    ///
+    /// The request keeps driving the wires until the network accepts it.
+    /// The port stamps the master id and a fresh sequence tag; the stamped
+    /// tag is returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous request has not been accepted yet — a
+    /// single-threaded blocking master can never legally do this, so it is
+    /// a programming error in the master model.
+    pub fn assert_request(&self, mut req: OcpRequest, now: Cycle) -> u64 {
+        let mut ch = self.inner.borrow_mut();
+        assert!(
+            ch.req.is_none(),
+            "master {} asserted a request while one is already pending on {}",
+            ch.master,
+            ch.name
+        );
+        req.master = ch.master;
+        req.tag = ch.next_tag;
+        ch.next_tag += 1;
+        let tag = req.tag;
+        if let Some(obs) = ch.observer.as_mut() {
+            obs.on_request(now, &req);
+        }
+        ch.req = Some(PendingRequest {
+            req,
+            asserted_at: now,
+        });
+        tag
+    }
+
+    /// Asserts `req` without re-stamping its master id or tag.
+    ///
+    /// Used by interconnects to forward a request received on a master
+    /// link onto a slave link while preserving its identity for response
+    /// matching and tracing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous request has not been accepted yet.
+    pub fn forward_request(&self, req: OcpRequest, now: Cycle) {
+        let mut ch = self.inner.borrow_mut();
+        assert!(
+            ch.req.is_none(),
+            "forwarded a request while one is already pending on {}",
+            ch.name
+        );
+        if let Some(obs) = ch.observer.as_mut() {
+            obs.on_request(now, &req);
+        }
+        ch.req = Some(PendingRequest {
+            req,
+            asserted_at: now,
+        });
+    }
+
+    /// Whether a request is still driving the wires (not yet accepted).
+    pub fn request_pending(&self) -> bool {
+        self.inner.borrow().req.is_some()
+    }
+
+    /// Consumes the acceptance event, if one is visible in cycle `now`.
+    ///
+    /// Returns the accepted request's tag. An acceptance performed by the
+    /// network in cycle *t* becomes visible in cycle *t + 1*.
+    pub fn take_accept(&self, now: Cycle) -> Option<u64> {
+        let mut ch = self.inner.borrow_mut();
+        match ch.accept {
+            Some((tag, at)) if at < now => {
+                ch.accept = None;
+                Some(tag)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes the oldest response, if one is visible in cycle `now`.
+    ///
+    /// A response pushed by the network in cycle *t* becomes visible in
+    /// cycle *t + 1*.
+    pub fn take_response(&self, now: Cycle) -> Option<OcpResponse> {
+        let mut ch = self.inner.borrow_mut();
+        match ch.resp.front() {
+            Some((_, at)) if *at < now => {
+                let (resp, _) = ch.resp.pop_front().expect("front checked above");
+                // A response subsumes the acceptance of the same request:
+                // a master blocking on the response would otherwise leave
+                // the acceptance event behind to confuse its next posted
+                // write.
+                if matches!(ch.accept, Some((tag, _)) if tag == resp.tag) {
+                    ch.accept = None;
+                }
+                if let Some(obs) = ch.observer.as_mut() {
+                    obs.on_response_consumed(now, &resp);
+                }
+                Some(resp)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the link is completely quiet (no request, acceptance or
+    /// response in flight).
+    pub fn is_quiet(&self) -> bool {
+        let ch = self.inner.borrow();
+        ch.req.is_none() && ch.accept.is_none() && ch.resp.is_empty()
+    }
+}
+
+impl SlavePort {
+    /// The link name supplied to [`channel`].
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Looks at the pending request without accepting it.
+    ///
+    /// Returns `None` if there is no request or if it was asserted in this
+    /// very cycle (assert-to-visible is one cycle).
+    pub fn peek_request(&self, now: Cycle) -> Option<OcpRequest> {
+        let ch = self.inner.borrow();
+        match &ch.req {
+            Some(p) if p.asserted_at < now => Some(p.req.clone()),
+            _ => None,
+        }
+    }
+
+    /// Whether a request is visible in cycle `now` (clone-free; what
+    /// arbiters scan every cycle).
+    pub fn has_request(&self, now: Cycle) -> bool {
+        let ch = self.inner.borrow();
+        matches!(&ch.req, Some(p) if p.asserted_at < now)
+    }
+
+    /// The visible request's `(addr, beats, expects_response)` without
+    /// cloning its payload. Used by address decoders and slave timing.
+    pub fn peek_meta(&self, now: Cycle) -> Option<(u32, u32, bool)> {
+        let ch = self.inner.borrow();
+        match &ch.req {
+            Some(p) if p.asserted_at < now => Some((
+                p.req.addr,
+                p.req.beats(),
+                p.req.cmd.expects_response(),
+            )),
+            _ => None,
+        }
+    }
+
+    /// Accepts the pending request, freeing the request wires.
+    ///
+    /// Returns `None` under the same conditions as
+    /// [`SlavePort::peek_request`]. Acceptance is recorded so the master
+    /// can unblock (posted-write semantics) and reported to the observer.
+    pub fn accept_request(&self, now: Cycle) -> Option<OcpRequest> {
+        let mut ch = self.inner.borrow_mut();
+        let visible = matches!(&ch.req, Some(p) if p.asserted_at < now);
+        if !visible {
+            return None;
+        }
+        let p = ch.req.take().expect("visibility checked above");
+        // Acceptance is an edge notification: a master that does not care
+        // about acceptances (it only ever waits on responses) may leave a
+        // stale one behind, which the next acceptance simply replaces.
+        ch.accept = Some((p.req.tag, now));
+        if let Some(obs) = ch.observer.as_mut() {
+            obs.on_accept(now, &p.req);
+        }
+        Some(p.req)
+    }
+
+    /// Pushes a response towards the master in cycle `now`.
+    pub fn push_response(&self, resp: OcpResponse, now: Cycle) {
+        let mut ch = self.inner.borrow_mut();
+        if let Some(obs) = ch.observer.as_mut() {
+            obs.on_response(now, &resp);
+        }
+        ch.resp.push_back((resp, now));
+    }
+
+    /// Whether the link is completely quiet; see [`MasterPort::is_quiet`].
+    pub fn is_quiet(&self) -> bool {
+        let ch = self.inner.borrow();
+        ch.req.is_none() && ch.accept.is_none() && ch.resp.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{OcpCmd, OcpStatus};
+
+    #[test]
+    fn request_invisible_in_assert_cycle() {
+        let (m, s) = channel("l", MasterId(0));
+        m.assert_request(OcpRequest::read(0x10), 5);
+        assert!(s.peek_request(5).is_none());
+        assert!(s.accept_request(5).is_none());
+        assert!(s.peek_request(6).is_some());
+    }
+
+    #[test]
+    fn accept_frees_wires_and_notifies_master_next_cycle() {
+        let (m, s) = channel("l", MasterId(2));
+        let tag = m.assert_request(OcpRequest::write(0x20, 1), 0);
+        assert!(m.request_pending());
+        let req = s.accept_request(1).expect("visible at cycle 1");
+        assert_eq!(req.master, MasterId(2));
+        assert!(!m.request_pending());
+        // Acceptance performed in cycle 1 is not visible in cycle 1…
+        assert_eq!(m.take_accept(1), None);
+        // …but is in cycle 2, exactly once.
+        assert_eq!(m.take_accept(2), Some(tag));
+        assert_eq!(m.take_accept(3), None);
+    }
+
+    #[test]
+    fn response_visible_one_cycle_after_push() {
+        let (m, s) = channel("l", MasterId(0));
+        m.assert_request(OcpRequest::read(0x10), 0);
+        s.accept_request(1);
+        s.push_response(OcpResponse::ok(vec![42], 0), 4);
+        assert!(m.take_response(4).is_none());
+        let r = m.take_response(5).expect("visible at 5");
+        assert_eq!(r.data, vec![42]);
+        assert_eq!(r.status, OcpStatus::Ok);
+        assert!(m.take_response(6).is_none());
+    }
+
+    #[test]
+    fn tags_increase_monotonically() {
+        let (m, s) = channel("l", MasterId(0));
+        let t0 = m.assert_request(OcpRequest::read(0), 0);
+        s.accept_request(1);
+        m.take_accept(2);
+        let t1 = m.assert_request(OcpRequest::read(4), 2);
+        assert_eq!(t1, t0 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already pending")]
+    fn double_assert_panics() {
+        let (m, _s) = channel("l", MasterId(0));
+        m.assert_request(OcpRequest::read(0), 0);
+        m.assert_request(OcpRequest::read(4), 1);
+    }
+
+    #[test]
+    fn quiet_reflects_all_in_flight_state() {
+        let (m, s) = channel("l", MasterId(0));
+        assert!(m.is_quiet() && s.is_quiet());
+        m.assert_request(OcpRequest::read(0), 0);
+        assert!(!m.is_quiet());
+        s.accept_request(1);
+        assert!(!m.is_quiet(), "unconsumed acceptance keeps link busy");
+        m.take_accept(2);
+        assert!(m.is_quiet());
+        s.push_response(OcpResponse::ok(vec![1], 0), 3);
+        assert!(!s.is_quiet());
+        m.take_response(4);
+        assert!(m.is_quiet() && s.is_quiet());
+    }
+
+    #[test]
+    fn responses_preserve_fifo_order() {
+        let (m, s) = channel("l", MasterId(0));
+        s.push_response(OcpResponse::ok(vec![1], 0), 0);
+        s.push_response(OcpResponse::ok(vec![2], 1), 1);
+        assert_eq!(m.take_response(5).unwrap().word(), 1);
+        assert_eq!(m.take_response(5).unwrap().word(), 2);
+    }
+
+    #[test]
+    fn burst_request_round_trips_through_channel() {
+        let (m, s) = channel("l", MasterId(1));
+        m.assert_request(OcpRequest::burst_read(0x100, 4), 0);
+        let req = s.accept_request(1).unwrap();
+        assert_eq!(req.cmd, OcpCmd::BurstRead);
+        assert_eq!(req.beats(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Observer hook for capturing interface activity (used by `ntg-trace`).
+
+use ntg_sim::Cycle;
+
+use crate::types::{OcpRequest, OcpResponse};
+
+/// Receives notifications about every event on one OCP link.
+///
+/// The trace-collection machinery in `ntg-trace` implements this trait to
+/// record `.trc` files at the master interface boundary, exactly where the
+/// paper collects its traces. Observers must not influence simulated
+/// behaviour — they see events but cannot alter them.
+///
+/// Event timestamps follow the channel's definitions: `on_request` fires
+/// at the assert cycle, `on_accept` at the accept cycle, `on_response` at
+/// the push cycle (all *producer*-side instants; consumers see the values
+/// one cycle later).
+pub trait ChannelObserver {
+    /// A master asserted `req` in cycle `now`.
+    fn on_request(&mut self, now: Cycle, req: &OcpRequest);
+
+    /// The network accepted `req` in cycle `now`.
+    fn on_accept(&mut self, now: Cycle, req: &OcpRequest);
+
+    /// The network pushed `resp` towards the master in cycle `now`.
+    fn on_response(&mut self, now: Cycle, resp: &OcpResponse);
+
+    /// The master consumed `resp` in cycle `now`.
+    ///
+    /// Most observers only need the push instant; the default does
+    /// nothing.
+    fn on_response_consumed(&mut self, now: Cycle, resp: &OcpResponse) {
+        let _ = (now, resp);
+    }
+}
+
+/// An observer that discards every event.
+///
+/// Useful as a placeholder and for measuring observer-hook overhead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl ChannelObserver for NullObserver {
+    fn on_request(&mut self, _now: Cycle, _req: &OcpRequest) {}
+    fn on_accept(&mut self, _now: Cycle, _req: &OcpRequest) {}
+    fn on_response(&mut self, _now: Cycle, _resp: &OcpResponse) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::channel;
+    use crate::types::{MasterId, OcpCmd};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct Log {
+        events: Vec<(String, Cycle)>,
+    }
+
+    struct SharedLog(Rc<RefCell<Log>>);
+
+    impl ChannelObserver for SharedLog {
+        fn on_request(&mut self, now: Cycle, req: &OcpRequest) {
+            self.0
+                .borrow_mut()
+                .events
+                .push((format!("req-{}", req.cmd), now));
+        }
+        fn on_accept(&mut self, now: Cycle, req: &OcpRequest) {
+            self.0
+                .borrow_mut()
+                .events
+                .push((format!("ack-{}", req.cmd), now));
+        }
+        fn on_response(&mut self, now: Cycle, _resp: &OcpResponse) {
+            self.0.borrow_mut().events.push(("resp".into(), now));
+        }
+    }
+
+    #[test]
+    fn observer_sees_producer_side_timestamps() {
+        let log = Rc::new(RefCell::new(Log::default()));
+        let (m, s) = channel("l", MasterId(0));
+        m.set_observer(Box::new(SharedLog(log.clone())));
+
+        m.assert_request(crate::OcpRequest::read(0x40), 3);
+        s.accept_request(4);
+        s.push_response(crate::OcpResponse::ok(vec![9], 0), 8);
+        m.take_response(9);
+
+        let events = log.borrow().events.clone();
+        assert_eq!(
+            events,
+            vec![
+                (format!("req-{}", OcpCmd::Read), 3),
+                (format!("ack-{}", OcpCmd::Read), 4),
+                ("resp".into(), 8),
+            ]
+        );
+    }
+
+    #[test]
+    fn null_observer_is_inert() {
+        let (m, s) = channel("l", MasterId(0));
+        m.set_observer(Box::new(NullObserver));
+        m.assert_request(crate::OcpRequest::write(0, 1), 0);
+        assert!(s.accept_request(1).is_some());
+        assert!(m.take_observer().is_some());
+        assert!(m.take_observer().is_none());
+    }
+}

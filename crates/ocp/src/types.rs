@@ -1,0 +1,278 @@
+//! Transaction vocabulary: commands, requests, responses and identifiers.
+
+use std::fmt;
+
+/// Identifies an OCP master (a CPU core or traffic generator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MasterId(pub u16);
+
+impl fmt::Display for MasterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Identifies an OCP slave (a memory, semaphore bank, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SlaveId(pub u16);
+
+impl fmt::Display for SlaveId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// The four OCP transaction commands used by the platform.
+///
+/// These are exactly the transaction kinds the paper's traffic generator
+/// can issue (its Table 1): single and burst variants of read and write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OcpCmd {
+    /// Blocking single-word read.
+    Read,
+    /// Posted single-word write.
+    Write,
+    /// Blocking incrementing burst read (cache line refills).
+    BurstRead,
+    /// Posted incrementing burst write.
+    BurstWrite,
+}
+
+impl OcpCmd {
+    /// Whether this command carries write data towards the slave.
+    pub fn is_write(self) -> bool {
+        matches!(self, OcpCmd::Write | OcpCmd::BurstWrite)
+    }
+
+    /// Whether the master blocks until a data response arrives.
+    ///
+    /// Writes are posted: the master only waits for the request to be
+    /// *accepted*, never for a response.
+    pub fn expects_response(self) -> bool {
+        !self.is_write()
+    }
+
+    /// The short mnemonic used in `.trc` trace files.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OcpCmd::Read => "RD",
+            OcpCmd::Write => "WR",
+            OcpCmd::BurstRead => "BRD",
+            OcpCmd::BurstWrite => "BWR",
+        }
+    }
+}
+
+impl fmt::Display for OcpCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Completion status carried by an [`OcpResponse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OcpStatus {
+    /// The transaction completed normally.
+    #[default]
+    Ok,
+    /// The address decoded to no slave, or the slave rejected the access.
+    Error,
+}
+
+/// One OCP request as seen at a master interface.
+///
+/// Word-addressed 32-bit data bus; burst transactions cover `burst`
+/// consecutive words starting at `addr`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OcpRequest {
+    /// The transaction command.
+    pub cmd: OcpCmd,
+    /// Byte address of the first (or only) word. Must be word-aligned.
+    pub addr: u32,
+    /// Write payload: one word per beat for writes, empty for reads.
+    pub data: Vec<u32>,
+    /// Number of beats (words). `1` for single transactions.
+    pub burst: u8,
+    /// The issuing master. Stamped by the [`MasterPort`] when asserted.
+    ///
+    /// [`MasterPort`]: crate::MasterPort
+    pub master: MasterId,
+    /// Per-master monotonically increasing sequence number, stamped by the
+    /// port; lets responses be matched to requests in traces and tests.
+    pub tag: u64,
+}
+
+impl OcpRequest {
+    /// Builds a single-word blocking read.
+    pub fn read(addr: u32) -> Self {
+        Self {
+            cmd: OcpCmd::Read,
+            addr,
+            data: Vec::new(),
+            burst: 1,
+            master: MasterId::default(),
+            tag: 0,
+        }
+    }
+
+    /// Builds a single-word posted write.
+    pub fn write(addr: u32, data: u32) -> Self {
+        Self {
+            cmd: OcpCmd::Write,
+            addr,
+            data: vec![data],
+            burst: 1,
+            master: MasterId::default(),
+            tag: 0,
+        }
+    }
+
+    /// Builds an incrementing burst read of `beats` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is zero.
+    pub fn burst_read(addr: u32, beats: u8) -> Self {
+        assert!(beats > 0, "burst length must be non-zero");
+        Self {
+            cmd: OcpCmd::BurstRead,
+            addr,
+            data: Vec::new(),
+            burst: beats,
+            master: MasterId::default(),
+            tag: 0,
+        }
+    }
+
+    /// Builds an incrementing burst write; one beat per data word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty or longer than 255 beats.
+    pub fn burst_write(addr: u32, data: Vec<u32>) -> Self {
+        assert!(
+            !data.is_empty() && data.len() <= u8::MAX as usize,
+            "burst write must carry 1..=255 words"
+        );
+        let burst = data.len() as u8;
+        Self {
+            cmd: OcpCmd::BurstWrite,
+            addr,
+            data,
+            burst,
+            master: MasterId::default(),
+            tag: 0,
+        }
+    }
+
+    /// The number of data beats on the bus for this request.
+    pub fn beats(&self) -> u32 {
+        u32::from(self.burst)
+    }
+
+    /// The last byte address touched by this (possibly burst) request.
+    pub fn end_addr(&self) -> u32 {
+        self.addr + (self.beats() - 1) * 4 + 3
+    }
+}
+
+/// One OCP response as seen at a master interface.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OcpResponse {
+    /// Read payload: one word per beat. Empty for error responses.
+    pub data: Vec<u32>,
+    /// Completion status.
+    pub status: OcpStatus,
+    /// Copied from the request this response answers.
+    pub tag: u64,
+}
+
+impl OcpResponse {
+    /// Builds a successful response carrying `data`.
+    pub fn ok(data: Vec<u32>, tag: u64) -> Self {
+        Self {
+            data,
+            status: OcpStatus::Ok,
+            tag,
+        }
+    }
+
+    /// Builds an error response.
+    pub fn error(tag: u64) -> Self {
+        Self {
+            data: Vec::new(),
+            status: OcpStatus::Error,
+            tag,
+        }
+    }
+
+    /// First data word, or zero if the response carries none.
+    pub fn word(&self) -> u32 {
+        self.data.first().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_classification() {
+        assert!(OcpCmd::Write.is_write());
+        assert!(OcpCmd::BurstWrite.is_write());
+        assert!(!OcpCmd::Read.is_write());
+        assert!(OcpCmd::Read.expects_response());
+        assert!(OcpCmd::BurstRead.expects_response());
+        assert!(!OcpCmd::Write.expects_response());
+    }
+
+    #[test]
+    fn mnemonics_match_trace_format() {
+        assert_eq!(OcpCmd::Read.mnemonic(), "RD");
+        assert_eq!(OcpCmd::Write.mnemonic(), "WR");
+        assert_eq!(OcpCmd::BurstRead.mnemonic(), "BRD");
+        assert_eq!(OcpCmd::BurstWrite.mnemonic(), "BWR");
+    }
+
+    #[test]
+    fn constructors_fill_fields() {
+        let r = OcpRequest::read(0x104);
+        assert_eq!(r.cmd, OcpCmd::Read);
+        assert_eq!(r.burst, 1);
+        assert!(r.data.is_empty());
+
+        let w = OcpRequest::write(0x20, 0x111);
+        assert_eq!(w.data, vec![0x111]);
+
+        let br = OcpRequest::burst_read(0x100, 4);
+        assert_eq!(br.beats(), 4);
+        assert_eq!(br.end_addr(), 0x100 + 12 + 3);
+
+        let bw = OcpRequest::burst_write(0x100, vec![1, 2, 3]);
+        assert_eq!(bw.burst, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_length_burst_read_rejected() {
+        let _ = OcpRequest::burst_read(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=255")]
+    fn empty_burst_write_rejected() {
+        let _ = OcpRequest::burst_write(0, Vec::new());
+    }
+
+    #[test]
+    fn response_word_defaults_to_zero() {
+        assert_eq!(OcpResponse::error(1).word(), 0);
+        assert_eq!(OcpResponse::ok(vec![7, 8], 2).word(), 7);
+    }
+
+    #[test]
+    fn ids_display_compactly() {
+        assert_eq!(MasterId(3).to_string(), "M3");
+        assert_eq!(SlaveId(1).to_string(), "S1");
+    }
+}

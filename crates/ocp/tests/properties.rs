@@ -1,0 +1,76 @@
+//! Property-based tests of the OCP channel handshake invariants.
+
+use ntg_ocp::{channel, MasterId, OcpRequest, OcpResponse};
+use proptest::prelude::*;
+
+proptest! {
+    /// Visibility rule: whatever cycle a request is asserted in, it is
+    /// invisible that cycle and visible every later cycle until accepted.
+    #[test]
+    fn request_visibility_boundary(assert_at in 0u64..1000, probe in 0u64..1010) {
+        let (m, s) = channel("l", MasterId(0));
+        m.assert_request(OcpRequest::read(0x10), assert_at);
+        let visible = s.peek_request(probe).is_some();
+        prop_assert_eq!(visible, probe > assert_at);
+    }
+
+    /// Acceptance and response events obey the same one-cycle rule.
+    #[test]
+    fn completion_visibility_boundary(at in 0u64..1000, probe in 0u64..1010) {
+        let (m, s) = channel("l", MasterId(0));
+        m.assert_request(OcpRequest::read(0x10), 0);
+        prop_assume!(at > 0);
+        s.accept_request(at);
+        prop_assert_eq!(m.take_accept(probe).is_some(), probe > at);
+        let (m2, s2) = channel("l2", MasterId(0));
+        let _ = m2;
+        s2.push_response(OcpResponse::ok(vec![1], 0), at);
+        prop_assert_eq!(m2.take_response(probe).is_some(), probe > at);
+    }
+
+    /// Tags increase strictly monotonically over any sequence of
+    /// transactions, and each response matches its request's tag.
+    #[test]
+    fn tags_monotonic(n in 1usize..50) {
+        let (m, s) = channel("l", MasterId(3));
+        let mut now = 0u64;
+        let mut last_tag = None;
+        for i in 0..n {
+            let tag = m.assert_request(OcpRequest::read(i as u32 * 4), now);
+            if let Some(prev) = last_tag {
+                prop_assert_eq!(tag, prev + 1);
+            }
+            last_tag = Some(tag);
+            let req = s.accept_request(now + 1).expect("visible");
+            prop_assert_eq!(req.tag, tag);
+            prop_assert_eq!(req.master, MasterId(3));
+            s.push_response(OcpResponse::ok(vec![0], req.tag), now + 2);
+            let resp = m.take_response(now + 3).expect("visible");
+            prop_assert_eq!(resp.tag, tag);
+            now += 4;
+        }
+    }
+
+    /// A link returns to quiet after any completed transaction, whatever
+    /// the timing offsets involved.
+    #[test]
+    fn quiet_after_completion(d1 in 1u64..10, d2 in 1u64..10, write in any::<bool>()) {
+        let (m, s) = channel("l", MasterId(0));
+        let req = if write {
+            OcpRequest::write(0x20, 9)
+        } else {
+            OcpRequest::read(0x20)
+        };
+        let expects = req.cmd.expects_response();
+        m.assert_request(req, 0);
+        let req = s.accept_request(d1).expect("visible after d1 >= 1");
+        if expects {
+            s.push_response(OcpResponse::ok(vec![5], req.tag), d1 + d2);
+            prop_assert!(m.take_response(d1 + d2 + 1).is_some());
+        } else {
+            prop_assert!(m.take_accept(d1 + 1).is_some());
+        }
+        prop_assert!(m.is_quiet(), "link must be quiet after completion");
+        prop_assert!(s.is_quiet());
+    }
+}

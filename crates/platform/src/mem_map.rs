@@ -1,0 +1,136 @@
+//! The platform's fixed memory map.
+//!
+//! Mirrors the MPARM layout in spirit: every master owns a private
+//! memory (cacheable), and all masters share an uncached shared memory, a
+//! synchronisation-flag region (uncached, *pollable*) and a hardware
+//! semaphore bank (uncached, pollable, test-and-set semantics).
+//!
+//! | region | base | size |
+//! |--------|------|------|
+//! | private memory of core *i* | `0x0100_0000 + i × 0x0010_0000` | configurable (≤ 1 MiB) |
+//! | shared memory | `0x1900_0000` | configurable |
+//! | sync flags | `0x1A00_0000` | configurable |
+//! | semaphores | `0x1B00_0000` | one word per semaphore |
+
+use ntg_mem::{AddressMap, MapError, RegionKind};
+use ntg_ocp::SlaveId;
+
+/// Base address of core 0's private memory.
+pub const PRIVATE_BASE: u32 = 0x0100_0000;
+/// Address stride between consecutive cores' private memories.
+pub const PRIVATE_STRIDE: u32 = 0x0010_0000;
+/// Base address of the shared memory.
+pub const SHARED_BASE: u32 = 0x1900_0000;
+/// Base address of the synchronisation-flag region.
+pub const SYNC_BASE: u32 = 0x1A00_0000;
+/// Base address of the semaphore bank.
+pub const SEM_BASE: u32 = 0x1B00_0000;
+
+/// Base address of core `core`'s private memory.
+pub const fn private_base(core: usize) -> u32 {
+    PRIVATE_BASE + (core as u32) * PRIVATE_STRIDE
+}
+
+/// Byte address of semaphore cell `n`.
+pub const fn semaphore(n: u32) -> u32 {
+    SEM_BASE + n * 4
+}
+
+/// Byte address of sync-flag word `n`.
+pub const fn sync_flag(n: u32) -> u32 {
+    SYNC_BASE + n * 4
+}
+
+/// Slave index of core `core`'s private memory (slave ids are assigned
+/// private memories first, then shared, sync, semaphores).
+pub const fn private_slave(core: usize) -> SlaveId {
+    SlaveId(core as u16)
+}
+
+/// Builds the [`AddressMap`] for a platform with `cores` masters.
+///
+/// # Errors
+///
+/// Propagates [`MapError`] if the sizes are invalid (misaligned, zero, or
+/// large enough to overlap the next region).
+pub fn build_map(
+    cores: usize,
+    private_bytes: u32,
+    shared_bytes: u32,
+    sync_bytes: u32,
+    semaphores: u32,
+) -> Result<AddressMap, MapError> {
+    let mut map = AddressMap::new();
+    for core in 0..cores {
+        map.add(
+            format!("private{core}"),
+            private_base(core),
+            private_bytes,
+            private_slave(core),
+            RegionKind::PrivateMemory,
+        )?;
+    }
+    let n = cores as u16;
+    map.add(
+        "shared",
+        SHARED_BASE,
+        shared_bytes,
+        SlaveId(n),
+        RegionKind::SharedMemory,
+    )?;
+    map.add(
+        "sync",
+        SYNC_BASE,
+        sync_bytes,
+        SlaveId(n + 1),
+        RegionKind::SyncFlags,
+    )?;
+    map.add(
+        "sem",
+        SEM_BASE,
+        semaphores * 4,
+        SlaveId(n + 2),
+        RegionKind::Semaphore,
+    )?;
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_for_four_cores_decodes_all_regions() {
+        let map = build_map(4, 0x10000, 0x10000, 0x1000, 32).unwrap();
+        assert_eq!(map.slave_for(private_base(0)), Some(SlaveId(0)));
+        assert_eq!(map.slave_for(private_base(3)), Some(SlaveId(3)));
+        assert_eq!(map.slave_for(SHARED_BASE), Some(SlaveId(4)));
+        assert_eq!(map.slave_for(SYNC_BASE), Some(SlaveId(5)));
+        assert_eq!(map.slave_for(semaphore(31)), Some(SlaveId(6)));
+        assert_eq!(map.slave_for(semaphore(32)), None);
+    }
+
+    #[test]
+    fn attributes_are_mparm_like() {
+        let map = build_map(2, 0x10000, 0x10000, 0x1000, 8).unwrap();
+        assert!(map.is_cacheable(private_base(1)));
+        assert!(!map.is_cacheable(SHARED_BASE));
+        assert!(!map.is_pollable(SHARED_BASE));
+        assert!(map.is_pollable(SYNC_BASE));
+        assert!(map.is_pollable(semaphore(0)));
+        assert_eq!(map.pollable_ranges().len(), 2);
+    }
+
+    #[test]
+    fn oversized_private_memory_rejected() {
+        // 2 MiB private memory would overlap core 1's region.
+        assert!(build_map(2, 0x20_0000, 0x1000, 0x1000, 8).is_err());
+    }
+
+    #[test]
+    fn twelve_cores_fit() {
+        // The paper scales to 12 processors; the map must too.
+        let map = build_map(12, PRIVATE_STRIDE, 0x10000, 0x1000, 64).unwrap();
+        assert_eq!(map.slave_for(private_base(11)), Some(SlaveId(11)));
+    }
+}

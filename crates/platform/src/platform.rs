@@ -1,0 +1,766 @@
+//! Platform assembly and the run loop.
+
+use std::fmt;
+use std::rc::Rc;
+use std::time::Instant;
+
+use ntg_core::{StochasticConfig, StochasticTg, TgCore, TgImage, TgMultiCore, TimesliceConfig, TranslationMode, TranslatorConfig};
+use ntg_cpu::{CpuConfig, CpuCore, Program};
+use ntg_mem::{AddressMap, MapError, MemoryDevice, SemaphoreBank};
+use ntg_noc::{
+    AmbaBus, Arbitration, CrossbarBus, IdealInterconnect, Interconnect, XpipesConfig, XpipesNoc,
+};
+use ntg_ocp::{channel, MasterId};
+use ntg_sim::{ClockConfig, Component, Cycle};
+use ntg_trace::{shared_trace, MasterTrace, SharedTrace, TraceMonitor};
+
+use crate::mem_map;
+use crate::report::{MasterReport, RunReport};
+
+/// Which interconnect model the platform instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterconnectChoice {
+    /// Shared AMBA-like bus.
+    #[default]
+    Amba,
+    /// AMBA-like bus with static priority arbitration.
+    AmbaFixedPriority,
+    /// ×pipes-like mesh NoC with an auto-generated topology.
+    Xpipes,
+    /// STBus-like crossbar.
+    Crossbar,
+    /// Fixed-latency ideal fabric.
+    Ideal,
+}
+
+impl fmt::Display for InterconnectChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InterconnectChoice::Amba => "amba",
+            InterconnectChoice::AmbaFixedPriority => "amba-fixed",
+            InterconnectChoice::Xpipes => "xpipes",
+            InterconnectChoice::Crossbar => "crossbar",
+            InterconnectChoice::Ideal => "ideal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What kind of master occupies a socket.
+pub enum MasterKind {
+    /// A Srisc core running an assembled program.
+    Cpu(Program),
+    /// A traffic generator replaying a TG image.
+    Tg(TgImage),
+    /// Several TG programs time-sliced onto one socket (the paper's §7
+    /// future-work scenario).
+    TgMulti(Vec<TgImage>, TimesliceConfig),
+    /// A stochastic traffic source (the related-work baseline the paper
+    /// argues is unreliable for NoC optimisation).
+    Stochastic(StochasticConfig),
+}
+
+// TgCore is itself a fair-sized struct, so the size gap to the boxed
+// variants is inherent and acceptable for a handful of masters.
+#[allow(clippy::large_enum_variant)]
+enum Master {
+    // Boxed: a CpuCore (two caches) is several times larger than a
+    // TgCore, and masters live in a Vec.
+    Cpu(Box<CpuCore>),
+    Tg(TgCore),
+    TgMulti(Box<TgMultiCore>),
+    Stochastic(Box<StochasticTg>),
+}
+
+impl Master {
+    fn as_component(&mut self) -> &mut dyn Component {
+        match self {
+            Master::Cpu(c) => c.as_mut(),
+            Master::Tg(t) => t,
+            Master::TgMulti(m) => m.as_mut(),
+            Master::Stochastic(s) => s.as_mut(),
+        }
+    }
+
+    fn halted(&self) -> bool {
+        match self {
+            Master::Cpu(c) => c.halted(),
+            Master::Tg(t) => t.halted(),
+            Master::TgMulti(m) => m.halted(),
+            Master::Stochastic(s) => s.halted(),
+        }
+    }
+
+    fn halt_cycle(&self) -> Option<Cycle> {
+        match self {
+            Master::Cpu(c) => c.halt_cycle(),
+            Master::Tg(t) => t.halt_cycle(),
+            Master::TgMulti(m) => m.halt_cycle(),
+            Master::Stochastic(s) => s.halt_cycle(),
+        }
+    }
+
+    fn fault(&self) -> Option<String> {
+        match self {
+            Master::Cpu(c) => c.fault().map(|f| format!("{f:?}")),
+            Master::Tg(t) => t.fault().map(|f| format!("{f:?}")),
+            Master::TgMulti(m) => m.fault().map(|f| format!("{f:?}")),
+            Master::Stochastic(_) => None,
+        }
+    }
+
+    fn report(&self) -> MasterReport {
+        match self {
+            Master::Cpu(c) => MasterReport::Cpu(c.stats()),
+            Master::Tg(t) => MasterReport::Tg(t.stats()),
+            // Summed over tasks: the socket's total traffic.
+            Master::TgMulti(m) => {
+                let mut total = ntg_core::TgStats::default();
+                for s in m.task_stats() {
+                    total.instructions += s.instructions;
+                    total.reads += s.reads;
+                    total.writes += s.writes;
+                    total.burst_reads += s.burst_reads;
+                    total.burst_writes += s.burst_writes;
+                    total.idle_cycles += s.idle_cycles;
+                }
+                MasterReport::Tg(total)
+            }
+            Master::Stochastic(s) => MasterReport::Stochastic {
+                issued: s.issued(),
+                errors: s.errors(),
+            },
+        }
+    }
+}
+
+enum Slave {
+    Mem(MemoryDevice),
+    Sem(SemaphoreBank),
+}
+
+impl Slave {
+    fn as_component(&mut self) -> &mut dyn Component {
+        match self {
+            Slave::Mem(m) => m,
+            Slave::Sem(s) => s,
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        match self {
+            Slave::Mem(m) => m.is_idle(),
+            Slave::Sem(s) => s.is_idle(),
+        }
+    }
+}
+
+/// Errors produced while building a platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// No masters were added.
+    NoMasters,
+    /// A CPU program's entry/extent does not fit its core's private
+    /// memory.
+    ProgramOutsidePrivate {
+        /// The core index.
+        core: usize,
+    },
+    /// The memory map could not be built.
+    Map(MapError),
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoMasters => write!(f, "platform has no masters"),
+            PlatformError::ProgramOutsidePrivate { core } => {
+                write!(f, "program for core {core} does not fit its private memory")
+            }
+            PlatformError::Map(e) => write!(f, "memory map: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<MapError> for PlatformError {
+    fn from(e: MapError) -> Self {
+        PlatformError::Map(e)
+    }
+}
+
+/// Builder for a [`Platform`].
+///
+/// # Example
+///
+/// ```
+/// use ntg_cpu::Asm;
+/// use ntg_platform::{mem_map, PlatformBuilder};
+///
+/// let mut asm = Asm::new();
+/// asm.halt();
+/// let program = asm.assemble(mem_map::private_base(0))?;
+///
+/// let mut platform = PlatformBuilder::new().add_cpu(program).build()?;
+/// let report = platform.run(10_000);
+/// assert!(report.completed);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct PlatformBuilder {
+    clock: ClockConfig,
+    interconnect: InterconnectChoice,
+    cpu_config: CpuConfig,
+    private_bytes: u32,
+    shared_bytes: u32,
+    sync_bytes: u32,
+    semaphores: u32,
+    tracing: bool,
+    masters: Vec<MasterKind>,
+    shared_preload: Vec<(u32, Vec<u32>)>,
+}
+
+impl Default for PlatformBuilder {
+    fn default() -> Self {
+        Self {
+            clock: ClockConfig::default(),
+            interconnect: InterconnectChoice::default(),
+            cpu_config: CpuConfig::default(),
+            private_bytes: 0x1_0000,
+            shared_bytes: 0x1_0000,
+            sync_bytes: 0x1000,
+            semaphores: 64,
+            tracing: false,
+            masters: Vec::new(),
+            shared_preload: Vec::new(),
+        }
+    }
+}
+
+impl PlatformBuilder {
+    /// Creates a builder with MPARM-like defaults: AMBA bus, 5 ns clock,
+    /// 64 KiB private memories, 64 KiB shared memory, 64 semaphores,
+    /// tracing off.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Selects the interconnect model.
+    pub fn interconnect(&mut self, choice: InterconnectChoice) -> &mut Self {
+        self.interconnect = choice;
+        self
+    }
+
+    /// Overrides the clock (default 5 ns, as in the paper).
+    pub fn clock(&mut self, clock: ClockConfig) -> &mut Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Overrides the CPU core configuration (cache geometries).
+    pub fn cpu_config(&mut self, cfg: CpuConfig) -> &mut Self {
+        self.cpu_config = cfg;
+        self
+    }
+
+    /// Overrides the per-core private memory size in bytes.
+    pub fn private_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.private_bytes = bytes;
+        self
+    }
+
+    /// Overrides the shared memory size in bytes.
+    pub fn shared_bytes(&mut self, bytes: u32) -> &mut Self {
+        self.shared_bytes = bytes;
+        self
+    }
+
+    /// Enables or disables OCP trace collection at every master
+    /// interface.
+    pub fn tracing(&mut self, on: bool) -> &mut Self {
+        self.tracing = on;
+        self
+    }
+
+    /// Adds a CPU master running `program` (must be assembled at its
+    /// core's [`private_base`](mem_map::private_base)).
+    pub fn add_cpu(&mut self, program: Program) -> &mut Self {
+        self.masters.push(MasterKind::Cpu(program));
+        self
+    }
+
+    /// Adds a traffic-generator master replaying `image`.
+    pub fn add_tg(&mut self, image: TgImage) -> &mut Self {
+        self.masters.push(MasterKind::Tg(image));
+        self
+    }
+
+    /// Adds a multitasking TG socket running several images under
+    /// round-robin timeslicing (the paper's §7 future-work scenario).
+    pub fn add_tg_multitask(
+        &mut self,
+        images: Vec<TgImage>,
+        cfg: TimesliceConfig,
+    ) -> &mut Self {
+        self.masters.push(MasterKind::TgMulti(images, cfg));
+        self
+    }
+
+    /// Adds a stochastic traffic source (the related-work baseline).
+    pub fn add_stochastic(&mut self, cfg: StochasticConfig) -> &mut Self {
+        self.masters.push(MasterKind::Stochastic(cfg));
+        self
+    }
+
+    /// Adds an arbitrary master socket.
+    pub fn add_master(&mut self, master: MasterKind) -> &mut Self {
+        self.masters.push(master);
+        self
+    }
+
+    /// Preloads words into shared memory before the run.
+    pub fn preload_shared(&mut self, addr: u32, words: Vec<u32>) -> &mut Self {
+        self.shared_preload.push((addr, words));
+        self
+    }
+
+    /// Builds the platform.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlatformError`] if no masters were added, a program
+    /// does not fit its private memory, or the map is invalid.
+    pub fn build(&self) -> Result<Platform, PlatformError> {
+        if self.masters.is_empty() {
+            return Err(PlatformError::NoMasters);
+        }
+        let n = self.masters.len();
+        let map = Rc::new(mem_map::build_map(
+            n,
+            self.private_bytes,
+            self.shared_bytes,
+            self.sync_bytes,
+            self.semaphores,
+        )?);
+
+        // Slave devices (ids: privates, shared, sync, semaphores).
+        let mut slaves = Vec::new();
+        let mut net_slave_ports = Vec::new();
+        for core in 0..n {
+            let (m, s) = channel(format!("link-priv{core}"), MasterId(0));
+            net_slave_ports.push(m);
+            slaves.push(Slave::Mem(MemoryDevice::new(
+                format!("private{core}"),
+                mem_map::private_base(core),
+                self.private_bytes,
+                s,
+            )));
+        }
+        let (m, s) = channel("link-shared", MasterId(0));
+        net_slave_ports.push(m);
+        let mut shared = MemoryDevice::new("shared", mem_map::SHARED_BASE, self.shared_bytes, s);
+        for (addr, words) in &self.shared_preload {
+            shared.load_words(*addr, words);
+        }
+        slaves.push(Slave::Mem(shared));
+        let (m, s) = channel("link-sync", MasterId(0));
+        net_slave_ports.push(m);
+        slaves.push(Slave::Mem(MemoryDevice::new(
+            "sync",
+            mem_map::SYNC_BASE,
+            self.sync_bytes,
+            s,
+        )));
+        let (m, s) = channel("link-sem", MasterId(0));
+        net_slave_ports.push(m);
+        slaves.push(Slave::Sem(SemaphoreBank::new(
+            "sem",
+            mem_map::SEM_BASE,
+            self.semaphores,
+            s,
+        )));
+
+        // Masters and their links.
+        let mut masters = Vec::new();
+        let mut net_master_ports = Vec::new();
+        let mut traces = Vec::new();
+        for (core, kind) in self.masters.iter().enumerate() {
+            let (mport, sport) = channel(format!("link-m{core}"), MasterId(core as u16));
+            net_master_ports.push(sport);
+            if self.tracing {
+                let trace = shared_trace(core as u16, self.clock);
+                mport.set_observer(Box::new(TraceMonitor::new(trace.clone(), self.clock)));
+                traces.push(Some(trace));
+            } else {
+                traces.push(None);
+            }
+            let master = match kind {
+                MasterKind::Cpu(program) => {
+                    let base = mem_map::private_base(core);
+                    let end = u64::from(base) + u64::from(self.private_bytes);
+                    let fits = program.entry() >= base
+                        && u64::from(program.entry()) + u64::from(program.size_bytes()) <= end;
+                    if !fits {
+                        return Err(PlatformError::ProgramOutsidePrivate { core });
+                    }
+                    let Slave::Mem(priv_mem) = &mut slaves[core] else {
+                        unreachable!("slave {core} is this core's private memory")
+                    };
+                    priv_mem.load_words(program.entry(), program.words());
+                    let sp = base + self.private_bytes - 4;
+                    Master::Cpu(Box::new(CpuCore::new(
+                        format!("cpu{core}"),
+                        mport,
+                        map.clone(),
+                        self.cpu_config,
+                        program.entry(),
+                        sp,
+                    )))
+                }
+                MasterKind::Tg(image) => Master::Tg(TgCore::new(
+                    format!("tg{core}"),
+                    mport,
+                    image.clone(),
+                )),
+                MasterKind::TgMulti(images, cfg) => Master::TgMulti(Box::new(
+                    TgMultiCore::new(format!("tgmulti{core}"), mport, images.clone(), *cfg),
+                )),
+                MasterKind::Stochastic(cfg) => Master::Stochastic(Box::new(
+                    StochasticTg::new(format!("stg{core}"), mport, cfg.clone()),
+                )),
+            };
+            masters.push(master);
+        }
+
+        let interconnect: Box<dyn Interconnect> = match self.interconnect {
+            InterconnectChoice::Amba => Box::new(AmbaBus::new(
+                "amba",
+                net_master_ports,
+                net_slave_ports,
+                map.clone(),
+            )),
+            InterconnectChoice::AmbaFixedPriority => {
+                let mut bus =
+                    AmbaBus::new("amba", net_master_ports, net_slave_ports, map.clone());
+                bus.set_arbitration(Arbitration::FixedPriority);
+                Box::new(bus)
+            }
+            InterconnectChoice::Crossbar => Box::new(CrossbarBus::new(
+                "crossbar",
+                net_master_ports,
+                net_slave_ports,
+                map.clone(),
+            )),
+            InterconnectChoice::Xpipes => {
+                let cfg = XpipesConfig::auto(n, net_slave_ports.len());
+                Box::new(XpipesNoc::new(
+                    "xpipes",
+                    net_master_ports,
+                    net_slave_ports,
+                    map.clone(),
+                    cfg,
+                ))
+            }
+            InterconnectChoice::Ideal => Box::new(IdealInterconnect::new(
+                "ideal",
+                net_master_ports,
+                net_slave_ports,
+                map.clone(),
+            )),
+        };
+
+        Ok(Platform {
+            clock: self.clock,
+            map,
+            masters,
+            interconnect,
+            slaves,
+            traces,
+            now: 0,
+        })
+    }
+}
+
+/// A fully assembled platform, ready to simulate.
+pub struct Platform {
+    clock: ClockConfig,
+    map: Rc<AddressMap>,
+    masters: Vec<Master>,
+    interconnect: Box<dyn Interconnect>,
+    slaves: Vec<Slave>,
+    traces: Vec<Option<SharedTrace>>,
+    now: Cycle,
+}
+
+impl Platform {
+    /// The platform's clock.
+    pub fn clock(&self) -> ClockConfig {
+        self.clock
+    }
+
+    /// The system address map.
+    pub fn map(&self) -> &AddressMap {
+        &self.map
+    }
+
+    /// The number of masters.
+    pub fn num_masters(&self) -> usize {
+        self.masters.len()
+    }
+
+    /// Runs until every master has halted and all traffic has drained,
+    /// or `max_cycles` is reached.
+    ///
+    /// The (comparatively expensive) termination predicate is evaluated
+    /// every 16 cycles, so up to 15 extra idle cycles may be simulated
+    /// after the system quiesces; per-master halt cycles — and therefore
+    /// [`RunReport::execution_time`] — are exact.
+    pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
+        let start = Instant::now();
+        let mut completed = false;
+        while self.now < max_cycles {
+            if self.now.is_multiple_of(16)
+                && self.masters.iter().all(Master::halted)
+                && self.interconnect.is_idle()
+                && self.slaves.iter().all(Slave::is_idle)
+            {
+                completed = true;
+                break;
+            }
+            let now = self.now;
+            for m in &mut self.masters {
+                m.as_component().tick(now);
+            }
+            self.interconnect.tick(now);
+            for s in &mut self.slaves {
+                s.as_component().tick(now);
+            }
+            self.now += 1;
+        }
+        if !completed
+            && self.masters.iter().all(Master::halted)
+            && self.interconnect.is_idle()
+            && self.slaves.iter().all(Slave::is_idle)
+        {
+            completed = true;
+        }
+        let wall_time = start.elapsed();
+        RunReport {
+            completed,
+            cycles: self.now,
+            finish_cycles: self.masters.iter().map(Master::halt_cycle).collect(),
+            wall_time,
+            masters: self.masters.iter().map(Master::report).collect(),
+            faults: self.masters.iter().filter_map(Master::fault).collect(),
+        }
+    }
+
+    /// The trace recorded at master `core`'s interface, if tracing was
+    /// enabled.
+    ///
+    /// The returned trace carries the core's completion timestamp
+    /// (`HALT`) when the master has halted, which the translator needs to
+    /// reproduce trailing compute time (think Cacheloop, which computes
+    /// for millions of cycles after its last bus transaction).
+    pub fn trace(&self, core: usize) -> Option<MasterTrace> {
+        let shared = self.traces.get(core).and_then(|t| t.as_ref())?;
+        let mut trace = shared.borrow().clone();
+        trace.halt_at = self.masters[core]
+            .halt_cycle()
+            .map(|c| self.clock.cycles_to_ns(c));
+        Some(trace)
+    }
+
+    /// All recorded traces (empty if tracing was off).
+    pub fn traces(&self) -> Vec<MasterTrace> {
+        (0..self.masters.len())
+            .filter_map(|c| self.trace(c))
+            .collect()
+    }
+
+    /// The translator configuration matching this platform's memory map
+    /// — the "platform knowledge" of the paper (§3): pollable ranges.
+    pub fn translator_config(&self, mode: TranslationMode) -> TranslatorConfig {
+        TranslatorConfig {
+            pollable: self.map.pollable_ranges(),
+            mode,
+            loop_forever: false,
+            poll_idle: 0,
+        }
+    }
+
+    /// Host-side view of a shared-memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside shared memory.
+    pub fn peek_shared(&self, addr: u32) -> u32 {
+        let idx = self.masters.len(); // shared memory slave index
+        let Slave::Mem(m) = &self.slaves[idx] else {
+            unreachable!("slave {idx} is the shared memory")
+        };
+        m.peek(addr)
+    }
+
+    /// Host-side view of a private-memory word of `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside that core's private memory.
+    pub fn peek_private(&self, core: usize, addr: u32) -> u32 {
+        let Slave::Mem(m) = &self.slaves[core] else {
+            unreachable!("slave {core} is a private memory")
+        };
+        m.peek(addr)
+    }
+
+    /// Host-side view of semaphore cell `n`.
+    pub fn peek_semaphore(&self, n: usize) -> u32 {
+        let idx = self.masters.len() + 2;
+        let Slave::Sem(s) = &self.slaves[idx] else {
+            unreachable!("last slave is the semaphore bank")
+        };
+        s.peek_cell(n)
+    }
+
+    /// Scheduler statistics of a multitasking TG socket, if master
+    /// `core` is one.
+    pub fn scheduler_stats(&self, core: usize) -> Option<ntg_core::SchedulerStats> {
+        match &self.masters[core] {
+            Master::TgMulti(m) => Some(m.scheduler_stats()),
+            _ => None,
+        }
+    }
+
+    /// `(mean, max)` of the interconnect's characteristic latency metric
+    /// in cycles, if the model records one (bus occupancy / packet
+    /// latency).
+    pub fn interconnect_latency(&self) -> Option<(f64, u64)> {
+        self.interconnect.latency_summary()
+    }
+
+    /// Total transactions the interconnect carried.
+    pub fn interconnect_transactions(&self) -> u64 {
+        self.interconnect.transactions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_cpu::isa::{R1, R2};
+    use ntg_cpu::Asm;
+
+    fn store_program(core: usize, value: u32) -> Program {
+        let mut a = Asm::new();
+        a.li(R1, value);
+        a.li(R2, mem_map::SHARED_BASE + (core as u32) * 4);
+        a.stw(R1, R2, 0);
+        a.halt();
+        a.assemble(mem_map::private_base(core)).unwrap()
+    }
+
+    #[test]
+    fn single_core_runs_to_completion() {
+        let mut p = PlatformBuilder::new()
+            .add_cpu(store_program(0, 42))
+            .build()
+            .unwrap();
+        let report = p.run(100_000);
+        assert!(report.completed);
+        assert!(report.faults.is_empty());
+        assert_eq!(p.peek_shared(mem_map::SHARED_BASE), 42);
+        assert!(report.execution_time().unwrap() > 0);
+    }
+
+    #[test]
+    fn four_cores_all_write_their_slots() {
+        for choice in [
+            InterconnectChoice::Amba,
+            InterconnectChoice::Crossbar,
+            InterconnectChoice::Xpipes,
+            InterconnectChoice::Ideal,
+        ] {
+            let mut b = PlatformBuilder::new();
+            b.interconnect(choice);
+            for core in 0..4 {
+                b.add_cpu(store_program(core, 100 + core as u32));
+            }
+            let mut p = b.build().unwrap();
+            let report = p.run(1_000_000);
+            assert!(report.completed, "{choice} did not complete");
+            for core in 0..4 {
+                assert_eq!(
+                    p.peek_shared(mem_map::SHARED_BASE + core as u32 * 4),
+                    100 + core as u32,
+                    "{choice} core {core}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracing_captures_each_master() {
+        let mut b = PlatformBuilder::new();
+        b.tracing(true);
+        b.add_cpu(store_program(0, 1));
+        b.add_cpu(store_program(1, 2));
+        let mut p = b.build().unwrap();
+        p.run(100_000);
+        let traces = p.traces();
+        assert_eq!(traces.len(), 2);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.master, i as u16);
+            let txs = t.transactions().unwrap();
+            // At least: icache refills + the store.
+            assert!(!txs.is_empty());
+            assert!(txs.iter().any(|tx| tx.cmd.is_write()));
+        }
+    }
+
+    #[test]
+    fn no_masters_is_an_error() {
+        assert_eq!(
+            PlatformBuilder::new().build().err(),
+            Some(PlatformError::NoMasters)
+        );
+    }
+
+    #[test]
+    fn misplaced_program_is_an_error() {
+        // Program assembled for core 1's base, loaded into core 0's
+        // socket.
+        let program = store_program(1, 7);
+        let err = PlatformBuilder::new().add_cpu(program).build().err();
+        assert_eq!(err, Some(PlatformError::ProgramOutsidePrivate { core: 0 }));
+    }
+
+    #[test]
+    fn incomplete_run_reports_unfinished_masters() {
+        // An infinite loop never halts.
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j("spin");
+        let program = a.assemble(mem_map::private_base(0)).unwrap();
+        let mut p = PlatformBuilder::new().add_cpu(program).build().unwrap();
+        let report = p.run(5_000);
+        assert!(!report.completed);
+        assert_eq!(report.finish_cycles, vec![None]);
+        assert_eq!(report.execution_time(), None);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let build = || {
+            let mut b = PlatformBuilder::new();
+            for core in 0..3 {
+                b.add_cpu(store_program(core, core as u32));
+            }
+            b.build().unwrap()
+        };
+        let r1 = build().run(1_000_000);
+        let r2 = build().run(1_000_000);
+        assert_eq!(r1.finish_cycles, r2.finish_cycles);
+        assert_eq!(r1.cycles, r2.cycles);
+    }
+}

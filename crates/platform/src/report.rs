@@ -1,0 +1,108 @@
+//! Results of a platform run.
+
+use std::time::Duration;
+
+use ntg_core::TgStats;
+use ntg_cpu::CpuStats;
+use ntg_sim::Cycle;
+
+/// Per-master statistics, depending on what kind of master it was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MasterReport {
+    /// A CPU core's statistics.
+    Cpu(CpuStats),
+    /// A traffic generator's statistics.
+    Tg(TgStats),
+    /// A stochastic source: transactions issued.
+    Stochastic {
+        /// Transactions issued.
+        issued: u64,
+        /// Error responses received.
+        errors: u64,
+    },
+}
+
+/// The outcome of [`Platform::run`](crate::Platform::run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Whether every master halted (and all traffic drained) before the
+    /// cycle limit.
+    pub completed: bool,
+    /// Cycles actually simulated.
+    pub cycles: Cycle,
+    /// Each master's halt cycle (`None` if it never halted).
+    pub finish_cycles: Vec<Option<Cycle>>,
+    /// Host wall-clock time spent simulating.
+    pub wall_time: Duration,
+    /// Per-master execution statistics.
+    pub masters: Vec<MasterReport>,
+    /// Human-readable fault descriptions, one per faulted master.
+    pub faults: Vec<String>,
+}
+
+impl RunReport {
+    /// The system completion time in cycles: the latest halt cycle.
+    ///
+    /// This is the "Cumulative Execution Time" column of the paper's
+    /// Table 2.
+    ///
+    /// Returns `None` if any master never halted.
+    pub fn execution_time(&self) -> Option<Cycle> {
+        self.finish_cycles.iter().copied().collect::<Option<Vec<_>>>()?.into_iter().max()
+    }
+
+    /// Simulated cycles per wall-clock second — the throughput measure
+    /// behind the paper's "Simulation Time" columns.
+    pub fn cycles_per_second(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs > 0.0 {
+            self.cycles as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_time_is_max_halt() {
+        let r = RunReport {
+            completed: true,
+            cycles: 120,
+            finish_cycles: vec![Some(100), Some(110), Some(90)],
+            wall_time: Duration::from_millis(10),
+            masters: vec![],
+            faults: vec![],
+        };
+        assert_eq!(r.execution_time(), Some(110));
+    }
+
+    #[test]
+    fn execution_time_none_when_incomplete() {
+        let r = RunReport {
+            completed: false,
+            cycles: 120,
+            finish_cycles: vec![Some(100), None],
+            wall_time: Duration::from_millis(10),
+            masters: vec![],
+            faults: vec![],
+        };
+        assert_eq!(r.execution_time(), None);
+    }
+
+    #[test]
+    fn throughput_is_finite_for_nonzero_time() {
+        let r = RunReport {
+            completed: true,
+            cycles: 1_000,
+            finish_cycles: vec![],
+            wall_time: Duration::from_millis(100),
+            masters: vec![],
+            faults: vec![],
+        };
+        assert!((r.cycles_per_second() - 10_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Clock-period bookkeeping and cycle/nanosecond conversion.
+
+use crate::Cycle;
+
+/// A timestamp in nanoseconds of simulated time.
+pub type Nanos = u64;
+
+/// Clock configuration shared by every component of a platform.
+///
+/// The reproduced paper runs all cores and traffic generators off the same
+/// clock with a 5 ns period ("We assume each TG cycle to take 5ns, the same
+/// as the IP core for which the trace is collected", §5); trace files store
+/// nanosecond timestamps while the simulator internally counts cycles.
+///
+/// # Example
+///
+/// ```
+/// use ntg_sim::ClockConfig;
+///
+/// let clk = ClockConfig::default(); // 5 ns, as in the paper
+/// assert_eq!(clk.cycles_to_ns(11), 55);
+/// assert_eq!(clk.ns_to_cycles(55), 11);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockConfig {
+    period_ns: u64,
+}
+
+impl ClockConfig {
+    /// Creates a clock with the given period in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_ns` is zero.
+    pub fn new(period_ns: u64) -> Self {
+        assert!(period_ns > 0, "clock period must be non-zero");
+        Self { period_ns }
+    }
+
+    /// The clock period in nanoseconds.
+    pub fn period_ns(&self) -> u64 {
+        self.period_ns
+    }
+
+    /// Converts a cycle count to nanoseconds.
+    pub fn cycles_to_ns(&self, cycles: Cycle) -> Nanos {
+        cycles * self.period_ns
+    }
+
+    /// Converts a nanosecond timestamp to cycles, rounding down.
+    ///
+    /// Timestamps produced by [`ClockConfig::cycles_to_ns`] always convert
+    /// back exactly; foreign timestamps that fall between clock edges are
+    /// attributed to the edge before them.
+    pub fn ns_to_cycles(&self, ns: Nanos) -> Cycle {
+        ns / self.period_ns
+    }
+}
+
+impl Default for ClockConfig {
+    /// The paper's 5 ns (200 MHz) clock.
+    fn default() -> Self {
+        Self::new(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        assert_eq!(ClockConfig::default().period_ns(), 5);
+    }
+
+    #[test]
+    fn round_trip_is_exact_on_edges() {
+        let clk = ClockConfig::new(7);
+        for c in [0u64, 1, 11, 1_000_000] {
+            assert_eq!(clk.ns_to_cycles(clk.cycles_to_ns(c)), c);
+        }
+    }
+
+    #[test]
+    fn off_edge_timestamps_round_down() {
+        let clk = ClockConfig::new(5);
+        assert_eq!(clk.ns_to_cycles(54), 10);
+        assert_eq!(clk.ns_to_cycles(55), 11);
+        assert_eq!(clk.ns_to_cycles(56), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = ClockConfig::new(0);
+    }
+}

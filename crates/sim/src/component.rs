@@ -1,0 +1,78 @@
+//! The [`Component`] trait implemented by every simulated hardware block.
+
+use crate::Cycle;
+
+/// A clocked hardware block.
+///
+/// A component is ticked exactly once per simulated cycle, in the order it
+/// was registered with the engine. All externally visible state changes a
+/// component makes during `tick` must go through handshaked channels so
+/// they only become observable to other components in the following cycle;
+/// this is what keeps the simulation independent of tick order.
+///
+/// # Example
+///
+/// ```
+/// use ntg_sim::{Component, Cycle};
+///
+/// /// Counts cycles and goes idle after ten of them.
+/// struct TenCycles { n: u64 }
+///
+/// impl Component for TenCycles {
+///     fn name(&self) -> &str { "ten-cycles" }
+///     fn tick(&mut self, _now: Cycle) {
+///         if self.n < 10 { self.n += 1; }
+///     }
+///     fn is_idle(&self) -> bool { self.n == 10 }
+/// }
+/// ```
+pub trait Component {
+    /// A short, human-readable instance name used in diagnostics.
+    fn name(&self) -> &str;
+
+    /// Advances the component by one clock cycle.
+    ///
+    /// `now` is the index of the cycle being executed; the first call in a
+    /// simulation receives `now == 0`.
+    fn tick(&mut self, now: Cycle);
+
+    /// Reports whether the component has no pending work.
+    ///
+    /// The engine may stop early once *every* component reports idle (see
+    /// [`Simulator::run_until_idle`]). A component with outstanding
+    /// requests, buffered responses or in-flight packets must return
+    /// `false`. The default conservatively reports "never idle", which is
+    /// always safe.
+    ///
+    /// [`Simulator::run_until_idle`]: crate::Simulator::run_until_idle
+    fn is_idle(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Component for Nop {
+        fn name(&self) -> &str {
+            "nop"
+        }
+        fn tick(&mut self, _now: Cycle) {}
+    }
+
+    #[test]
+    fn default_is_idle_is_false() {
+        let n = Nop;
+        assert!(!n.is_idle());
+        assert_eq!(n.name(), "nop");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut boxed: Box<dyn Component> = Box::new(Nop);
+        boxed.tick(0);
+        assert_eq!(boxed.name(), "nop");
+    }
+}

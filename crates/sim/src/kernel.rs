@@ -1,0 +1,255 @@
+//! The generic cycle-driven simulation engine.
+
+use crate::{Component, Cycle};
+
+/// Why a [`Simulator`] run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RunOutcome {
+    /// Every component reported [`Component::is_idle`] before the cycle
+    /// limit was reached.
+    Idle,
+    /// The caller-supplied predicate became true.
+    Predicate,
+    /// The cycle limit was exhausted first.
+    CycleLimit,
+}
+
+/// A deterministic cycle-driven simulation engine.
+///
+/// Owns a set of boxed [`Component`]s and ticks each of them once per
+/// cycle, in registration order. Platform-level harnesses that know their
+/// components' concrete types (such as `ntg-platform`) may instead run
+/// their own tick loop; this engine is the general-purpose entry point for
+/// user-assembled systems.
+///
+/// # Example
+///
+/// ```
+/// use ntg_sim::{Component, Cycle, RunOutcome, Simulator};
+///
+/// struct Pulse { remaining: u64 }
+/// impl Component for Pulse {
+///     fn name(&self) -> &str { "pulse" }
+///     fn tick(&mut self, _now: Cycle) {
+///         self.remaining = self.remaining.saturating_sub(1);
+///     }
+///     fn is_idle(&self) -> bool { self.remaining == 0 }
+/// }
+///
+/// let mut sim = Simulator::new();
+/// sim.add(Box::new(Pulse { remaining: 3 }));
+/// assert_eq!(sim.run_until_idle(100), RunOutcome::Idle);
+/// assert_eq!(sim.now(), 3);
+/// ```
+#[derive(Default)]
+pub struct Simulator {
+    components: Vec<Box<dyn Component>>,
+    now: Cycle,
+}
+
+impl Simulator {
+    /// Creates an empty simulator at cycle zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component. Components are ticked in registration order.
+    ///
+    /// Returns the component's index, which can be used with
+    /// [`Simulator::component`].
+    pub fn add(&mut self, component: Box<dyn Component>) -> usize {
+        self.components.push(component);
+        self.components.len() - 1
+    }
+
+    /// The index of the next cycle to execute (equivalently: how many
+    /// cycles have fully executed so far).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The number of registered components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components are registered.
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Borrows the component registered with index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn component(&self, idx: usize) -> &dyn Component {
+        self.components[idx].as_ref()
+    }
+
+    /// Executes exactly one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for c in &mut self.components {
+            c.tick(now);
+        }
+        self.now += 1;
+    }
+
+    /// Executes exactly `cycles` cycles.
+    pub fn run_for(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs until every component reports idle, or until `max_cycles`
+    /// further cycles have executed.
+    ///
+    /// Idleness is checked *between* cycles, so at least the in-flight
+    /// cycle always completes.
+    pub fn run_until_idle(&mut self, max_cycles: Cycle) -> RunOutcome {
+        self.run_until(max_cycles, |_| false)
+    }
+
+    /// Runs until `stop` returns true (checked between cycles), every
+    /// component is idle, or `max_cycles` further cycles have executed —
+    /// whichever comes first.
+    pub fn run_until(
+        &mut self,
+        max_cycles: Cycle,
+        mut stop: impl FnMut(&Simulator) -> bool,
+    ) -> RunOutcome {
+        for _ in 0..max_cycles {
+            if stop(self) {
+                return RunOutcome::Predicate;
+            }
+            if self.all_idle() {
+                return RunOutcome::Idle;
+            }
+            self.step();
+        }
+        if stop(self) {
+            RunOutcome::Predicate
+        } else if self.all_idle() {
+            RunOutcome::Idle
+        } else {
+            RunOutcome::CycleLimit
+        }
+    }
+
+    fn all_idle(&self) -> bool {
+        !self.components.is_empty() && self.components.iter().all(|c| c.is_idle())
+    }
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.now)
+            .field(
+                "components",
+                &self.components.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    struct Recorder {
+        id: usize,
+        order: Rc<Cell<u64>>,
+        seen: Vec<(Cycle, u64)>,
+        idle_after: Cycle,
+    }
+
+    impl Component for Recorder {
+        fn name(&self) -> &str {
+            "recorder"
+        }
+        fn tick(&mut self, now: Cycle) {
+            let seq = self.order.get();
+            self.order.set(seq + 1);
+            self.seen.push((now, seq));
+            let _ = self.id;
+        }
+        fn is_idle(&self) -> bool {
+            self.seen.len() as Cycle >= self.idle_after
+        }
+    }
+
+    #[test]
+    fn ticks_in_registration_order() {
+        let order = Rc::new(Cell::new(0));
+        let mut sim = Simulator::new();
+        for id in 0..3 {
+            sim.add(Box::new(Recorder {
+                id,
+                order: order.clone(),
+                seen: Vec::new(),
+                idle_after: u64::MAX,
+            }));
+        }
+        sim.run_for(2);
+        // Within each cycle the global sequence numbers must follow the
+        // registration order: component 0 first, then 1, then 2.
+        assert_eq!(order.get(), 6);
+        assert_eq!(sim.now(), 2);
+    }
+
+    #[test]
+    fn run_until_idle_stops_early() {
+        let order = Rc::new(Cell::new(0));
+        let mut sim = Simulator::new();
+        sim.add(Box::new(Recorder {
+            id: 0,
+            order,
+            seen: Vec::new(),
+            idle_after: 5,
+        }));
+        assert_eq!(sim.run_until_idle(1_000), RunOutcome::Idle);
+        assert_eq!(sim.now(), 5);
+    }
+
+    #[test]
+    fn run_until_respects_cycle_limit() {
+        let order = Rc::new(Cell::new(0));
+        let mut sim = Simulator::new();
+        sim.add(Box::new(Recorder {
+            id: 0,
+            order,
+            seen: Vec::new(),
+            idle_after: u64::MAX,
+        }));
+        assert_eq!(sim.run_until_idle(10), RunOutcome::CycleLimit);
+        assert_eq!(sim.now(), 10);
+    }
+
+    #[test]
+    fn predicate_stops_between_cycles() {
+        let order = Rc::new(Cell::new(0));
+        let mut sim = Simulator::new();
+        sim.add(Box::new(Recorder {
+            id: 0,
+            order,
+            seen: Vec::new(),
+            idle_after: u64::MAX,
+        }));
+        let outcome = sim.run_until(100, |s| s.now() == 7);
+        assert_eq!(outcome, RunOutcome::Predicate);
+        assert_eq!(sim.now(), 7);
+    }
+
+    #[test]
+    fn empty_simulator_never_reports_idle() {
+        let mut sim = Simulator::new();
+        assert!(sim.is_empty());
+        assert_eq!(sim.run_until_idle(5), RunOutcome::CycleLimit);
+        assert_eq!(sim.now(), 5);
+    }
+}

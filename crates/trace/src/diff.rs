@@ -1,0 +1,274 @@
+//! Structured comparison of two traces.
+//!
+//! Diffing traces is how this flow is debugged and validated: the paper
+//! itself validates trace collection "by collecting traces with IP cores
+//! running on different interconnects, and verifying the resulting .tgp
+//! and .bin programs to match" — and when they do *not* match, the first
+//! question is where the transaction streams diverged.
+
+use ntg_ocp::OcpCmd;
+
+use crate::event::{MasterTrace, TraceError, Transaction};
+
+/// How two traces first differ.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDivergence {
+    /// Transaction `index` differs structurally (command, address, data
+    /// or burst length) — the cores did different *things*.
+    Transaction {
+        /// Index of the first differing transaction.
+        index: usize,
+        /// Short description of the difference.
+        detail: String,
+    },
+    /// Transaction `index` matches structurally but its timing differs —
+    /// same behaviour, different interconnect schedule.
+    Timing {
+        /// Index of the first time-shifted transaction.
+        index: usize,
+        /// Request-time delta in nanoseconds (b − a).
+        request_delta_ns: i64,
+    },
+    /// One trace has more transactions than the other.
+    Length {
+        /// Transactions in the first trace.
+        a: usize,
+        /// Transactions in the second trace.
+        b: usize,
+    },
+    /// The completion timestamps differ (or only one trace has one).
+    Halt {
+        /// First trace's completion time.
+        a: Option<u64>,
+        /// Second trace's completion time.
+        b: Option<u64>,
+    },
+}
+
+/// Compares two traces transaction by transaction.
+///
+/// Returns `None` when they are identical (including timing), otherwise
+/// the *first* divergence, with structural differences reported in
+/// preference to timing ones at the same index.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] if either trace is malformed.
+pub fn diff(a: &MasterTrace, b: &MasterTrace) -> Result<Option<TraceDivergence>, TraceError> {
+    let ta = a.transactions()?;
+    let tb = b.transactions()?;
+    for (index, (x, y)) in ta.iter().zip(&tb).enumerate() {
+        if let Some(detail) = structural_difference(x, y) {
+            return Ok(Some(TraceDivergence::Transaction { index, detail }));
+        }
+        if x.req_at != y.req_at {
+            return Ok(Some(TraceDivergence::Timing {
+                index,
+                request_delta_ns: y.req_at as i64 - x.req_at as i64,
+            }));
+        }
+        if x.accept_at != y.accept_at || x.resp_at != y.resp_at {
+            return Ok(Some(TraceDivergence::Timing {
+                index,
+                request_delta_ns: 0,
+            }));
+        }
+    }
+    if ta.len() != tb.len() {
+        return Ok(Some(TraceDivergence::Length {
+            a: ta.len(),
+            b: tb.len(),
+        }));
+    }
+    if a.halt_at != b.halt_at {
+        return Ok(Some(TraceDivergence::Halt {
+            a: a.halt_at,
+            b: b.halt_at,
+        }));
+    }
+    Ok(None)
+}
+
+/// Compares only the *behavioural* content (commands, addresses, write
+/// data, burst lengths), ignoring all timing — the invariant that must
+/// hold for traces of the same program on different interconnects,
+/// modulo polling repetition.
+///
+/// Polling repetition is normalised away by collapsing consecutive
+/// identical-read runs to the configured pollable ranges, mirroring what
+/// the translator does.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] if either trace is malformed.
+pub fn behavioural_diff(
+    a: &MasterTrace,
+    b: &MasterTrace,
+    pollable: &[(u32, u32)],
+) -> Result<Option<TraceDivergence>, TraceError> {
+    let na = normalise(a.transactions()?, pollable);
+    let nb = normalise(b.transactions()?, pollable);
+    for (index, (x, y)) in na.iter().zip(&nb).enumerate() {
+        if let Some(detail) = structural_difference(x, y) {
+            return Ok(Some(TraceDivergence::Transaction { index, detail }));
+        }
+    }
+    if na.len() != nb.len() {
+        return Ok(Some(TraceDivergence::Length {
+            a: na.len(),
+            b: nb.len(),
+        }));
+    }
+    Ok(None)
+}
+
+fn is_pollable(addr: u32, ranges: &[(u32, u32)]) -> bool {
+    ranges
+        .iter()
+        .any(|&(base, size)| addr >= base && (addr - base) < size)
+}
+
+/// Collapses consecutive single reads to the same pollable address into
+/// one representative (keeping the final, successful one).
+fn normalise(txs: Vec<Transaction>, pollable: &[(u32, u32)]) -> Vec<Transaction> {
+    let mut out: Vec<Transaction> = Vec::with_capacity(txs.len());
+    for tx in txs {
+        let is_poll = tx.cmd == OcpCmd::Read && tx.burst == 1 && is_pollable(tx.addr, pollable);
+        if is_poll {
+            if let Some(prev) = out.last_mut() {
+                if prev.cmd == OcpCmd::Read && prev.burst == 1 && prev.addr == tx.addr {
+                    *prev = tx; // keep the last poll of the run
+                    continue;
+                }
+            }
+        }
+        out.push(tx);
+    }
+    out
+}
+
+fn structural_difference(x: &Transaction, y: &Transaction) -> Option<String> {
+    if x.cmd != y.cmd {
+        return Some(format!("command {} vs {}", x.cmd, y.cmd));
+    }
+    if x.addr != y.addr {
+        return Some(format!("address {:#010x} vs {:#010x}", x.addr, y.addr));
+    }
+    if x.burst != y.burst {
+        return Some(format!("burst {} vs {}", x.burst, y.burst));
+    }
+    if x.data != y.data {
+        return Some(format!("write data {:x?} vs {:x?}", x.data, y.data));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn read(addr: u32, t: u64, value: u32) -> [TraceEvent; 3] {
+        [
+            TraceEvent::Request {
+                cmd: OcpCmd::Read,
+                addr,
+                data: vec![],
+                burst: 1,
+                at: t,
+            },
+            TraceEvent::Accept { at: t + 5 },
+            TraceEvent::Response {
+                data: vec![value],
+                at: t + 20,
+            },
+        ]
+    }
+
+    fn trace_of(groups: &[[TraceEvent; 3]]) -> MasterTrace {
+        let mut t = MasterTrace::new(0, 5);
+        for g in groups {
+            t.events.extend(g.iter().cloned());
+        }
+        t
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let a = trace_of(&[read(0x10, 0, 1), read(0x20, 100, 2)]);
+        assert_eq!(diff(&a, &a.clone()).unwrap(), None);
+    }
+
+    #[test]
+    fn structural_difference_wins_over_timing() {
+        let a = trace_of(&[read(0x10, 0, 1)]);
+        let b = trace_of(&[read(0x14, 50, 1)]);
+        match diff(&a, &b).unwrap() {
+            Some(TraceDivergence::Transaction { index: 0, detail }) => {
+                assert!(detail.contains("address"));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timing_difference_is_reported_with_delta() {
+        let a = trace_of(&[read(0x10, 0, 1), read(0x20, 100, 2)]);
+        let b = trace_of(&[read(0x10, 0, 1), read(0x20, 140, 2)]);
+        assert_eq!(
+            diff(&a, &b).unwrap(),
+            Some(TraceDivergence::Timing {
+                index: 1,
+                request_delta_ns: 40
+            })
+        );
+    }
+
+    #[test]
+    fn length_difference_detected() {
+        let a = trace_of(&[read(0x10, 0, 1)]);
+        let b = trace_of(&[read(0x10, 0, 1), read(0x20, 100, 2)]);
+        assert_eq!(
+            diff(&a, &b).unwrap(),
+            Some(TraceDivergence::Length { a: 1, b: 2 })
+        );
+    }
+
+    #[test]
+    fn halt_difference_detected() {
+        let mut a = trace_of(&[read(0x10, 0, 1)]);
+        let mut b = a.clone();
+        a.halt_at = Some(500);
+        b.halt_at = Some(600);
+        assert_eq!(
+            diff(&a, &b).unwrap(),
+            Some(TraceDivergence::Halt {
+                a: Some(500),
+                b: Some(600)
+            })
+        );
+    }
+
+    #[test]
+    fn behavioural_diff_ignores_poll_repetition() {
+        // a: three polls then success; b: a single successful poll.
+        let a = trace_of(&[
+            read(0xF0, 0, 0),
+            read(0xF0, 50, 0),
+            read(0xF0, 100, 1),
+            read(0x20, 200, 9),
+        ]);
+        let b = trace_of(&[read(0xF0, 10, 1), read(0x20, 300, 9)]);
+        assert_eq!(
+            behavioural_diff(&a, &b, &[(0xF0, 0x10)]).unwrap(),
+            None,
+            "poll repetition must be normalised away"
+        );
+        // …but without the pollable range, the streams diverge at the
+        // second transaction (a keeps polling where b already moved on).
+        assert!(matches!(
+            behavioural_diff(&a, &b, &[]).unwrap(),
+            Some(TraceDivergence::Transaction { index: 1, .. })
+        ));
+    }
+}

@@ -1,0 +1,355 @@
+//! The in-memory trace event model.
+
+use std::fmt;
+
+use ntg_ocp::OcpCmd;
+use ntg_sim::Nanos;
+
+/// One event observed at an OCP master interface.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// The master asserted a request.
+    Request {
+        /// Transaction command.
+        cmd: OcpCmd,
+        /// Byte address.
+        addr: u32,
+        /// Write payload (empty for reads).
+        data: Vec<u32>,
+        /// Number of beats.
+        burst: u8,
+        /// Assert time.
+        at: Nanos,
+    },
+    /// The network accepted the most recent request (posted writes
+    /// unblock here).
+    Accept {
+        /// Accept time.
+        at: Nanos,
+    },
+    /// A response was delivered towards the master.
+    Response {
+        /// Read payload.
+        data: Vec<u32>,
+        /// Delivery time.
+        at: Nanos,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    pub fn at(&self) -> Nanos {
+        match self {
+            TraceEvent::Request { at, .. }
+            | TraceEvent::Accept { at }
+            | TraceEvent::Response { at, .. } => *at,
+        }
+    }
+}
+
+/// One complete transaction reconstructed from a trace.
+///
+/// This is the unit the trace-to-TG-program translator consumes. The
+/// *unblock* instant — the moment the master resumed execution — is the
+/// response time for reads and the accept time for posted writes; idle
+/// gaps between transactions are measured from it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Transaction {
+    /// Transaction command.
+    pub cmd: OcpCmd,
+    /// Byte address.
+    pub addr: u32,
+    /// Write payload (empty for reads).
+    pub data: Vec<u32>,
+    /// Number of beats.
+    pub burst: u8,
+    /// Request assert time.
+    pub req_at: Nanos,
+    /// Request accept time.
+    pub accept_at: Nanos,
+    /// Response delivery time (reads only).
+    pub resp_at: Option<Nanos>,
+    /// Response payload (reads only).
+    pub resp_data: Vec<u32>,
+}
+
+impl Transaction {
+    /// The instant the master resumed execution after this transaction.
+    pub fn unblock_at(&self) -> Nanos {
+        self.resp_at.unwrap_or(self.accept_at)
+    }
+
+    /// First response word (zero if none) — the value a polling loop
+    /// tests.
+    pub fn resp_word(&self) -> u32 {
+        self.resp_data.first().copied().unwrap_or(0)
+    }
+}
+
+/// A malformed event sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// An `Accept`/`Response` appeared with no request open, a second
+    /// request opened before the first completed, or the trace ended
+    /// mid-transaction.
+    Structure {
+        /// Index of the offending event (trace length if at end).
+        index: usize,
+        /// Human-readable description.
+        reason: &'static str,
+    },
+    /// Timestamps went backwards.
+    TimeTravel {
+        /// Index of the offending event.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Structure { index, reason } => {
+                write!(f, "malformed trace at event {index}: {reason}")
+            }
+            TraceError::TimeTravel { index } => {
+                write!(f, "timestamps not monotonic at event {index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// The event stream recorded at one master's OCP interface.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MasterTrace {
+    /// The master this trace belongs to.
+    pub master: u16,
+    /// The clock period used to convert cycles to the nanosecond
+    /// timestamps stored in the events.
+    pub period_ns: u64,
+    /// Events in chronological order.
+    pub events: Vec<TraceEvent>,
+    /// When the core finished executing its application (`HALT` in
+    /// `.trc`).
+    ///
+    /// A core may compute for a long time after its *last* bus
+    /// transaction (the paper's Cacheloop does almost nothing else); the
+    /// completion timestamp lets the translator emit the trailing idle
+    /// wait, so the TG's execution time matches the core's.
+    pub halt_at: Option<Nanos>,
+}
+
+impl MasterTrace {
+    /// Creates an empty trace for `master` with the given clock period.
+    pub fn new(master: u16, period_ns: u64) -> Self {
+        Self {
+            master,
+            period_ns,
+            events: Vec::new(),
+            halt_at: None,
+        }
+    }
+
+    /// Groups the event stream into complete [`Transaction`]s.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the stream is not a well-formed
+    /// sequence of request → accept (→ response for reads) groups with
+    /// monotonic timestamps.
+    pub fn transactions(&self) -> Result<Vec<Transaction>, TraceError> {
+        let mut out = Vec::new();
+        let mut open: Option<Transaction> = None;
+        let mut last_at: Nanos = 0;
+        for (index, ev) in self.events.iter().enumerate() {
+            if ev.at() < last_at {
+                return Err(TraceError::TimeTravel { index });
+            }
+            last_at = ev.at();
+            match ev {
+                TraceEvent::Request {
+                    cmd,
+                    addr,
+                    data,
+                    burst,
+                    at,
+                } => {
+                    if open.is_some() {
+                        return Err(TraceError::Structure {
+                            index,
+                            reason: "request while another transaction is open",
+                        });
+                    }
+                    open = Some(Transaction {
+                        cmd: *cmd,
+                        addr: *addr,
+                        data: data.clone(),
+                        burst: *burst,
+                        req_at: *at,
+                        accept_at: 0,
+                        resp_at: None,
+                        resp_data: Vec::new(),
+                    });
+                }
+                TraceEvent::Accept { at } => {
+                    let Some(t) = open.as_mut() else {
+                        return Err(TraceError::Structure {
+                            index,
+                            reason: "accept without an open request",
+                        });
+                    };
+                    if t.accept_at != 0 {
+                        return Err(TraceError::Structure {
+                            index,
+                            reason: "double accept",
+                        });
+                    }
+                    t.accept_at = *at;
+                    if !t.cmd.expects_response() {
+                        out.push(open.take().expect("checked above"));
+                    }
+                }
+                TraceEvent::Response { data, at } => {
+                    let Some(t) = open.as_mut() else {
+                        return Err(TraceError::Structure {
+                            index,
+                            reason: "response without an open request",
+                        });
+                    };
+                    if t.accept_at == 0 {
+                        return Err(TraceError::Structure {
+                            index,
+                            reason: "response before accept",
+                        });
+                    }
+                    t.resp_at = Some(*at);
+                    t.resp_data = data.clone();
+                    out.push(open.take().expect("checked above"));
+                }
+            }
+        }
+        if open.is_some() {
+            return Err(TraceError::Structure {
+                index: self.events.len(),
+                reason: "trace ends mid-transaction",
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_group(addr: u32, t0: Nanos, value: u32) -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Request {
+                cmd: OcpCmd::Read,
+                addr,
+                data: vec![],
+                burst: 1,
+                at: t0,
+            },
+            TraceEvent::Accept { at: t0 + 5 },
+            TraceEvent::Response {
+                data: vec![value],
+                at: t0 + 20,
+            },
+        ]
+    }
+
+    #[test]
+    fn groups_reads_and_posted_writes() {
+        let mut tr = MasterTrace::new(0, 5);
+        tr.events.extend(read_group(0x104, 55, 0x88));
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Write,
+            addr: 0x20,
+            data: vec![0x111],
+            burst: 1,
+            at: 90,
+        });
+        tr.events.push(TraceEvent::Accept { at: 95 });
+        let txs = tr.transactions().unwrap();
+        assert_eq!(txs.len(), 2);
+        assert_eq!(txs[0].unblock_at(), 75);
+        assert_eq!(txs[0].resp_word(), 0x88);
+        assert_eq!(txs[1].unblock_at(), 95, "write unblocks at accept");
+        assert_eq!(txs[1].resp_at, None);
+    }
+
+    #[test]
+    fn rejects_overlapping_requests() {
+        let mut tr = MasterTrace::new(0, 5);
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Read,
+            addr: 0,
+            data: vec![],
+            burst: 1,
+            at: 0,
+        });
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Read,
+            addr: 4,
+            data: vec![],
+            burst: 1,
+            at: 5,
+        });
+        assert!(matches!(
+            tr.transactions(),
+            Err(TraceError::Structure { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_response_before_accept() {
+        let mut tr = MasterTrace::new(0, 5);
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Read,
+            addr: 0,
+            data: vec![],
+            burst: 1,
+            at: 0,
+        });
+        tr.events.push(TraceEvent::Response {
+            data: vec![1],
+            at: 10,
+        });
+        assert!(tr.transactions().is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_transaction() {
+        let mut tr = MasterTrace::new(0, 5);
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Read,
+            addr: 0,
+            data: vec![],
+            burst: 1,
+            at: 0,
+        });
+        assert!(matches!(
+            tr.transactions(),
+            Err(TraceError::Structure { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_time_travel() {
+        let mut tr = MasterTrace::new(0, 5);
+        tr.events.extend(read_group(0, 100, 1));
+        tr.events.extend(read_group(4, 50, 1));
+        assert!(matches!(
+            tr.transactions(),
+            Err(TraceError::TimeTravel { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_trace_has_no_transactions() {
+        let tr = MasterTrace::new(3, 5);
+        assert_eq!(tr.transactions().unwrap(), Vec::new());
+    }
+}

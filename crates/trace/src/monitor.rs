@@ -1,0 +1,131 @@
+//! Live trace capture at an OCP master interface.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ntg_ocp::{ChannelObserver, OcpRequest, OcpResponse};
+use ntg_sim::{ClockConfig, Cycle};
+
+use crate::event::{MasterTrace, TraceEvent};
+
+/// Shared handle to a trace being recorded.
+///
+/// The platform keeps one of these per traced master and reads the trace
+/// out after the simulation finishes, while the [`TraceMonitor`] writing
+/// into it lives inside the OCP channel.
+pub type SharedTrace = Rc<RefCell<MasterTrace>>;
+
+/// Creates an empty [`SharedTrace`] for `master`.
+pub fn shared_trace(master: u16, clock: ClockConfig) -> SharedTrace {
+    Rc::new(RefCell::new(MasterTrace::new(master, clock.period_ns())))
+}
+
+/// A [`ChannelObserver`] that appends every interface event to a
+/// [`SharedTrace`], converting cycles to nanoseconds.
+///
+/// Install it on the master port whose interface should be traced:
+///
+/// ```
+/// use ntg_ocp::{channel, MasterId, OcpRequest};
+/// use ntg_sim::ClockConfig;
+/// use ntg_trace::{shared_trace, TraceMonitor};
+///
+/// let (master, slave) = channel("cpu0", MasterId(0));
+/// let trace = shared_trace(0, ClockConfig::default());
+/// master.set_observer(Box::new(TraceMonitor::new(trace.clone(),
+///                                                ClockConfig::default())));
+/// master.assert_request(OcpRequest::read(0x104), 11); // cycle 11
+/// assert_eq!(trace.borrow().events.len(), 1);
+/// assert_eq!(trace.borrow().events[0].at(), 55); // 11 × 5 ns
+/// ```
+pub struct TraceMonitor {
+    sink: SharedTrace,
+    clock: ClockConfig,
+}
+
+impl TraceMonitor {
+    /// Creates a monitor appending to `sink`.
+    pub fn new(sink: SharedTrace, clock: ClockConfig) -> Self {
+        Self { sink, clock }
+    }
+}
+
+impl ChannelObserver for TraceMonitor {
+    fn on_request(&mut self, now: Cycle, req: &OcpRequest) {
+        self.sink.borrow_mut().events.push(TraceEvent::Request {
+            cmd: req.cmd,
+            addr: req.addr,
+            data: req.data.clone(),
+            burst: req.burst,
+            at: self.clock.cycles_to_ns(now),
+        });
+    }
+
+    fn on_accept(&mut self, now: Cycle, _req: &OcpRequest) {
+        self.sink.borrow_mut().events.push(TraceEvent::Accept {
+            at: self.clock.cycles_to_ns(now),
+        });
+    }
+
+    fn on_response(&mut self, now: Cycle, resp: &OcpResponse) {
+        self.sink.borrow_mut().events.push(TraceEvent::Response {
+            data: resp.data.clone(),
+            at: self.clock.cycles_to_ns(now),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_ocp::{channel, MasterId, OcpCmd};
+
+    #[test]
+    fn records_full_transaction_with_ns_timestamps() {
+        let (m, s) = channel("cpu0", MasterId(0));
+        let trace = shared_trace(0, ClockConfig::default());
+        m.set_observer(Box::new(TraceMonitor::new(
+            trace.clone(),
+            ClockConfig::default(),
+        )));
+
+        m.assert_request(OcpRequest::read(0x104), 11);
+        s.accept_request(12);
+        s.push_response(OcpResponse::ok(vec![0xF0], 0), 15);
+        m.take_response(16);
+
+        let tr = trace.borrow();
+        assert_eq!(tr.events.len(), 3);
+        assert_eq!(
+            tr.events[0],
+            TraceEvent::Request {
+                cmd: OcpCmd::Read,
+                addr: 0x104,
+                data: vec![],
+                burst: 1,
+                at: 55,
+            }
+        );
+        assert_eq!(tr.events[1], TraceEvent::Accept { at: 60 });
+        assert_eq!(
+            tr.events[2],
+            TraceEvent::Response {
+                data: vec![0xF0],
+                at: 75,
+            }
+        );
+        let txs = tr.transactions().unwrap();
+        assert_eq!(txs.len(), 1);
+        assert_eq!(txs[0].unblock_at(), 75);
+    }
+
+    #[test]
+    fn uninstalled_monitor_records_nothing() {
+        let (m, s) = channel("cpu0", MasterId(0));
+        let trace = shared_trace(0, ClockConfig::default());
+        // No observer installed: channel runs silently.
+        m.assert_request(OcpRequest::write(0, 1), 0);
+        s.accept_request(1);
+        assert!(trace.borrow().events.is_empty());
+    }
+}

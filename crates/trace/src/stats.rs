@@ -1,0 +1,124 @@
+//! Summary statistics over a recorded trace.
+
+use ntg_ocp::OcpCmd;
+use ntg_sim::stats::Histogram;
+
+use crate::event::{MasterTrace, TraceError};
+
+/// Aggregate statistics of one master's trace.
+///
+/// # Example
+///
+/// ```
+/// use ntg_trace::{MasterTrace, TraceStats};
+///
+/// let text = "MASTER 0\nPERIOD_NS 5\nREQ WR 0x00000020 0x1 @10\nACK @20\nEND\n";
+/// let trace = MasterTrace::from_trc(text)?;
+/// let stats = TraceStats::from_trace(&trace)?;
+/// assert_eq!(stats.writes, 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Single reads.
+    pub reads: u64,
+    /// Posted writes.
+    pub writes: u64,
+    /// Burst reads (cache refills).
+    pub burst_reads: u64,
+    /// Burst writes.
+    pub burst_writes: u64,
+    /// Network round-trip latency of reads (response − request), ns.
+    pub read_latency_ns: Histogram,
+    /// Idle gaps between a transaction's unblock and the next request,
+    /// ns.
+    pub idle_gap_ns: Histogram,
+    /// Total words moved (request + response payloads).
+    pub data_words: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] if the trace is malformed.
+    pub fn from_trace(trace: &MasterTrace) -> Result<Self, TraceError> {
+        let txs = trace.transactions()?;
+        let mut s = Self {
+            reads: 0,
+            writes: 0,
+            burst_reads: 0,
+            burst_writes: 0,
+            read_latency_ns: Histogram::new("read_latency_ns"),
+            idle_gap_ns: Histogram::new("idle_gap_ns"),
+            data_words: 0,
+        };
+        let mut prev_unblock = None;
+        for t in &txs {
+            match t.cmd {
+                OcpCmd::Read => s.reads += 1,
+                OcpCmd::Write => s.writes += 1,
+                OcpCmd::BurstRead => s.burst_reads += 1,
+                OcpCmd::BurstWrite => s.burst_writes += 1,
+            }
+            s.data_words += (t.data.len() + t.resp_data.len()) as u64;
+            if let Some(resp_at) = t.resp_at {
+                s.read_latency_ns.record(resp_at - t.req_at);
+            }
+            if let Some(u) = prev_unblock {
+                s.idle_gap_ns.record(t.req_at.saturating_sub(u));
+            }
+            prev_unblock = Some(t.unblock_at());
+        }
+        Ok(s)
+    }
+
+    /// Total transactions of all kinds.
+    pub fn transactions(&self) -> u64 {
+        self.reads + self.writes + self.burst_reads + self.burst_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_latencies() {
+        let text = "\
+MASTER 0
+PERIOD_NS 5
+REQ RD 0x00000104 @55
+ACK @60
+RESP 0x088000f0 @75
+REQ WR 0x00000020 0x00000111 @90
+ACK @95
+REQ BRD 0x00000100 len=4 @140
+ACK @145
+RESP 0x1,0x2,0x3,0x4 @170
+END
+";
+        let tr = MasterTrace::from_trc(text).unwrap();
+        let s = TraceStats::from_trace(&tr).unwrap();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.burst_reads, 1);
+        assert_eq!(s.transactions(), 3);
+        assert_eq!(s.data_words, 1 + 1 + 4);
+        assert_eq!(s.read_latency_ns.count(), 2);
+        assert_eq!(s.read_latency_ns.min(), Some(20));
+        assert_eq!(s.read_latency_ns.max(), Some(30));
+        // Gaps: 90-75 = 15, 140-95 = 45.
+        assert_eq!(s.idle_gap_ns.count(), 2);
+        assert_eq!(s.idle_gap_ns.sum(), 60);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let tr = MasterTrace::new(0, 5);
+        let s = TraceStats::from_trace(&tr).unwrap();
+        assert_eq!(s.transactions(), 0);
+        assert_eq!(s.read_latency_ns.count(), 0);
+    }
+}

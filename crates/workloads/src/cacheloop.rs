@@ -1,0 +1,83 @@
+//! Cacheloop: idle loops inside the instruction cache (Table 2).
+//!
+//! After the first few instruction-cache refills the loop executes
+//! entirely from the cache with *no* bus traffic — the paper uses it to
+//! measure TG speedup scaling with the processor count in the absence of
+//! interconnect congestion ("Cacheloop … always executes from the local
+//! caches without any bus traffic").
+
+use ntg_cpu::isa::{R1, R2, R3, R4};
+use ntg_cpu::{Asm, Program};
+use ntg_platform::mem_map;
+
+/// Builds the Cacheloop program: `iterations` passes over a short
+/// register-only loop body.
+pub fn program(core: usize, iterations: u32) -> Program {
+    let mut a = Asm::new();
+    a.li(R1, 0);
+    a.li(R2, iterations);
+    a.li(R3, 0x1234_5678);
+    a.li(R4, 0);
+    a.label("loop");
+    // Register-only body: fits one or two cache lines.
+    a.xor(R4, R4, R3);
+    a.slli(R3, R3, 1);
+    a.ori(R3, R3, 1);
+    a.addi(R1, R1, 1);
+    a.bne(R1, R2, "loop");
+    a.halt();
+    a.assemble(mem_map::private_base(core))
+        .expect("Cacheloop program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_platform::{InterconnectChoice, PlatformBuilder, MasterReport};
+
+    #[test]
+    fn generates_almost_no_bus_traffic() {
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Amba);
+        b.add_cpu(program(0, 2_000));
+        let mut p = b.build().unwrap();
+        let report = p.run(1_000_000);
+        assert!(report.completed);
+        let MasterReport::Cpu(stats) = report.masters[0] else {
+            panic!("expected a CPU master")
+        };
+        assert!(
+            stats.refills <= 4,
+            "only startup refills expected, saw {}",
+            stats.refills
+        );
+        assert_eq!(stats.bus_reads, 0);
+        assert_eq!(stats.bus_writes, 0);
+        // ~5 instructions per iteration plus prologue.
+        assert!(stats.instructions > 10_000);
+    }
+
+    #[test]
+    fn runtime_is_independent_of_core_count() {
+        // The paper's motivation: Cacheloop has no contention, so adding
+        // cores barely changes per-core completion time.
+        let run = |cores: usize| {
+            let mut b = PlatformBuilder::new();
+            b.interconnect(InterconnectChoice::Amba);
+            for core in 0..cores {
+                b.add_cpu(program(core, 1_000));
+            }
+            let mut p = b.build().unwrap();
+            let report = p.run(1_000_000);
+            assert!(report.completed);
+            report.execution_time().unwrap()
+        };
+        let one = run(1);
+        let four = run(4);
+        let slowdown = four as f64 / one as f64;
+        assert!(
+            slowdown < 1.05,
+            "cacheloop must not contend: {one} vs {four}"
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Shared assembly idioms: spin-lock mutexes and flag barriers.
+//!
+//! Both primitives poll with the tight two-instruction loop
+//! (`ldw`; `bne`) whose re-poll period matches the translated TG's
+//! `Read`; `If` loop exactly, so replay pacing is cycle-identical.
+
+use ntg_cpu::isa::{R10, R11, R12};
+use ntg_cpu::Asm;
+use ntg_platform::mem_map;
+
+/// How many flag words one barrier row reserves (max core count).
+pub const BARRIER_STRIDE: u32 = 16;
+
+/// Emits a semaphore acquire: spins on the test-and-set cell `sem` until
+/// a read returns 1. Clobbers `r10`–`r12`.
+///
+/// `tag` must be unique within the program (label generation).
+pub fn mutex_acquire(a: &mut Asm, sem: u32, tag: &str) {
+    a.li(R10, mem_map::semaphore(sem));
+    a.li(R11, 1);
+    // The two-instruction poll loop must sit inside one I-cache line so
+    // no refill can interrupt a poll run (the trace translator collapses
+    // each *uninterrupted* run into one Semchk loop).
+    a.align(4);
+    a.label(format!("acq_{tag}"));
+    a.ldw(R12, R10, 0);
+    a.bne(R12, R11, format!("acq_{tag}"));
+}
+
+/// Emits a semaphore release (writes 1 to the cell). Clobbers
+/// `r10`/`r11`.
+pub fn mutex_release(a: &mut Asm, sem: u32) {
+    a.li(R10, mem_map::semaphore(sem));
+    a.li(R11, 1);
+    a.stw(R11, R10, 0);
+}
+
+/// Emits a flag barrier across `cores` cores.
+///
+/// Core `core` writes 1 to its own flag in barrier row `barrier`, then
+/// polls every other core's flag until it reads 1. Each core writes only
+/// its own flag (value 1), so the traffic's data values are
+/// interleaving-independent. Barrier rows are single-use; use a fresh
+/// `barrier` id per synchronisation point. Clobbers `r10`–`r12`.
+pub fn barrier(a: &mut Asm, core: usize, cores: usize, barrier: u32, tag: &str) {
+    let flag = |c: usize| mem_map::sync_flag(barrier * BARRIER_STRIDE + c as u32);
+    a.li(R11, 1);
+    a.li(R10, flag(core));
+    a.stw(R11, R10, 0);
+    for other in 0..cores {
+        if other == core {
+            continue;
+        }
+        a.li(R10, flag(other));
+        a.align(4); // poll loop inside one I-cache line, as in mutex_acquire
+        a.label(format!("bar_{tag}_{other}"));
+        a.ldw(R12, R10, 0);
+        a.bne(R12, R11, format!("bar_{tag}_{other}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_platform::{InterconnectChoice, PlatformBuilder};
+
+    #[test]
+    fn barrier_synchronises_three_cores() {
+        // Each core spins a different amount, then barriers, then writes
+        // a completion stamp. All stamps must come after every flag set.
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Amba);
+        for core in 0..3 {
+            let mut a = Asm::new();
+            // Unequal compute before the barrier.
+            let spins = 50 * (core as i32 + 1);
+            a.li(ntg_cpu::isa::R1, 0);
+            a.li(ntg_cpu::isa::R2, spins as u32);
+            a.label("spin");
+            a.addi(ntg_cpu::isa::R1, ntg_cpu::isa::R1, 1);
+            a.bne(ntg_cpu::isa::R1, ntg_cpu::isa::R2, "spin");
+            barrier(&mut a, core, 3, 0, "b0");
+            a.halt();
+            b.add_cpu(a.assemble(mem_map::private_base(core)).unwrap());
+        }
+        let mut p = b.build().unwrap();
+        let report = p.run(1_000_000);
+        assert!(report.completed, "barrier must not deadlock");
+        let finishes: Vec<_> = report.finish_cycles.iter().flatten().copied().collect();
+        // All cores leave the barrier within a small window even though
+        // their compute phases differ by hundreds of cycles.
+        let spread = finishes.iter().max().unwrap() - finishes.iter().min().unwrap();
+        assert!(spread < 120, "cores left the barrier far apart: {finishes:?}");
+    }
+
+    #[test]
+    fn mutex_provides_exclusion() {
+        // Two cores increment a shared counter 20 times each under the
+        // lock; without exclusion some increments would be lost.
+        let counter = mem_map::SHARED_BASE + 0x100;
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Amba);
+        for core in 0..2 {
+            let mut a = Asm::new();
+            a.li(ntg_cpu::isa::R1, 0);
+            a.li(ntg_cpu::isa::R2, 20);
+            a.label("loop");
+            mutex_acquire(&mut a, 0, "m");
+            a.li(ntg_cpu::isa::R3, counter);
+            a.ldw(ntg_cpu::isa::R4, ntg_cpu::isa::R3, 0);
+            a.addi(ntg_cpu::isa::R4, ntg_cpu::isa::R4, 1);
+            a.stw(ntg_cpu::isa::R4, ntg_cpu::isa::R3, 0);
+            mutex_release(&mut a, 0);
+            a.addi(ntg_cpu::isa::R1, ntg_cpu::isa::R1, 1);
+            a.bne(ntg_cpu::isa::R1, ntg_cpu::isa::R2, "loop");
+            a.halt();
+            b.add_cpu(a.assemble(mem_map::private_base(core)).unwrap());
+        }
+        let mut p = b.build().unwrap();
+        let report = p.run(5_000_000);
+        assert!(report.completed);
+        assert_eq!(p.peek_shared(counter), 40, "all increments preserved");
+        assert_eq!(p.peek_semaphore(0), 1, "lock released at the end");
+    }
+}

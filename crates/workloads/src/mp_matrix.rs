@@ -1,0 +1,250 @@
+//! MP matrix: multiprocessor matrix manipulation (Table 2).
+//!
+//! Weak-scaling workload in the paper's spirit: every processor runs the
+//! same matrix job, so total bus load grows with the processor count and
+//! the AMBA bus progressively saturates — which is exactly what makes
+//! the paper's cumulative execution time *grow* from 2 to 12 processors
+//! and its speedup peak around the middle of the sweep.
+//!
+//! Per core: copy the shared input matrices into private memory
+//! (uncached shared reads + write-through private stores, all bus
+//! traffic), multiply out of the private copies (cache refills +
+//! write-through result stores), perform a semaphore-protected mailbox
+//! update after every output row (lock contention → reactive traffic),
+//! publish a checksum to the core's own shared slot, and synchronise on
+//! a final flag barrier.
+
+use ntg_cpu::isa::{R1, R11, R12, R13, R14, R2, R3, R4, R5, R6, R7, R8, R9};
+use ntg_cpu::{Asm, Program};
+use ntg_platform::{mem_map, Platform, PlatformBuilder};
+
+use crate::common::{barrier, mutex_acquire, mutex_release};
+
+/// Shared-memory layout (offsets from `SHARED_BASE`).
+const CSUM_OFF: u32 = 0x0000; // one word per core
+const MAILBOX_OFF: u32 = 0x0080;
+const A_OFF: u32 = 0x1000;
+const B_OFF: u32 = 0x2000;
+
+/// Private-memory layout (offsets from the core's base).
+const A_PRIV: u32 = 0x8000;
+const B_PRIV: u32 = 0x9000;
+const C_PRIV: u32 = 0xA000;
+
+/// The semaphore protecting the mailbox.
+const MAILBOX_SEM: u32 = 0;
+
+fn a_val(i: u32) -> u32 {
+    i.wrapping_mul(13).wrapping_add(7)
+}
+
+fn b_val(i: u32) -> u32 {
+    i.wrapping_mul(5).wrapping_add(11)
+}
+
+/// Address of core `c`'s checksum slot.
+pub fn checksum_addr(core: usize) -> u32 {
+    mem_map::SHARED_BASE + CSUM_OFF + (core as u32) * 4
+}
+
+/// Host-side golden model: the checksum every core must produce.
+pub fn golden_checksum(n: u32) -> u32 {
+    let nn = (n * n) as usize;
+    let a: Vec<u32> = (0..nn as u32).map(a_val).collect();
+    let b: Vec<u32> = (0..nn as u32).map(b_val).collect();
+    let idx = |r: u32, c: u32| (r * n + c) as usize;
+    let mut sum: u32 = 0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: u32 = 0;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[idx(i, k)].wrapping_mul(b[idx(k, j)]));
+            }
+            sum = sum.wrapping_add(acc);
+        }
+    }
+    sum
+}
+
+/// Preloads A and B into shared memory.
+pub fn preload(builder: &mut PlatformBuilder, n: u32) {
+    let nn = n * n;
+    builder.preload_shared(
+        mem_map::SHARED_BASE + A_OFF,
+        (0..nn).map(a_val).collect(),
+    );
+    builder.preload_shared(
+        mem_map::SHARED_BASE + B_OFF,
+        (0..nn).map(b_val).collect(),
+    );
+}
+
+/// Builds the MP matrix program for `core` of `cores`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or the matrices exceed their 4 KiB slots.
+pub fn program(core: usize, cores: usize, n: u32) -> Program {
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(n * n * 4 <= 0x1000, "matrix exceeds its 4 KiB slot");
+    let shared = mem_map::SHARED_BASE;
+    let base = mem_map::private_base(core);
+    let mut a = Asm::new();
+
+    // r14 = n, r13 = n*n.
+    a.li(R14, n);
+    a.li(R13, n * n);
+
+    // Copy-in: A and B from shared to private.
+    a.li(R7, shared + A_OFF);
+    a.li(R8, base + A_PRIV);
+    a.li(R1, 0);
+    a.label("copy_a");
+    a.slli(R11, R1, 2);
+    a.add(R12, R11, R7);
+    a.ldw(R5, R12, 0);
+    a.add(R12, R11, R8);
+    a.stw(R5, R12, 0);
+    a.addi(R1, R1, 1);
+    a.bne(R1, R13, "copy_a");
+    a.li(R7, shared + B_OFF);
+    a.li(R8, base + B_PRIV);
+    a.li(R1, 0);
+    a.label("copy_b");
+    a.slli(R11, R1, 2);
+    a.add(R12, R11, R7);
+    a.ldw(R5, R12, 0);
+    a.add(R12, R11, R8);
+    a.stw(R5, R12, 0);
+    a.addi(R1, R1, 1);
+    a.bne(R1, R13, "copy_b");
+
+    // Multiply out of the private copies; r13 becomes the checksum.
+    a.li(R7, base + A_PRIV);
+    a.li(R8, base + B_PRIV);
+    a.li(R9, base + C_PRIV);
+    a.li(R13, 0);
+    a.li(R1, 0); // i
+    a.label("iloop");
+    a.li(R2, 0); // j
+    a.label("jloop");
+    a.li(R4, 0); // acc
+    a.li(R3, 0); // k
+    a.label("kloop");
+    a.mul(R11, R1, R14);
+    a.add(R11, R11, R3);
+    a.slli(R11, R11, 2);
+    a.add(R11, R11, R7);
+    a.ldw(R5, R11, 0);
+    a.mul(R11, R3, R14);
+    a.add(R11, R11, R2);
+    a.slli(R11, R11, 2);
+    a.add(R11, R11, R8);
+    a.ldw(R6, R11, 0);
+    a.mul(R5, R5, R6);
+    a.add(R4, R4, R5);
+    a.addi(R3, R3, 1);
+    a.bne(R3, R14, "kloop");
+    a.mul(R11, R1, R14);
+    a.add(R11, R11, R2);
+    a.slli(R11, R11, 2);
+    a.add(R11, R11, R9);
+    a.stw(R4, R11, 0);
+    a.add(R13, R13, R4);
+    a.addi(R2, R2, 1);
+    a.bne(R2, R14, "jloop");
+    // Row done: semaphore-protected mailbox touch.
+    mutex_acquire(&mut a, MAILBOX_SEM, "row");
+    a.li(R11, shared + MAILBOX_OFF);
+    a.ldw(R12, R11, 0);
+    a.li(R12, core as u32 + 1);
+    a.stw(R12, R11, 0);
+    mutex_release(&mut a, MAILBOX_SEM);
+    a.addi(R1, R1, 1);
+    a.bne(R1, R14, "iloop");
+
+    // Publish the checksum and synchronise.
+    a.li(R11, checksum_addr(core));
+    a.stw(R13, R11, 0);
+    barrier(&mut a, core, cores, 0, "end");
+    a.halt();
+
+    a.assemble(base).expect("MP matrix program assembles")
+}
+
+/// Checks every core's checksum against the golden model.
+pub fn verify(platform: &Platform, cores: usize, n: u32) -> Result<(), String> {
+    let want = golden_checksum(n);
+    for core in 0..cores {
+        let got = platform.peek_shared(checksum_addr(core));
+        if got != want {
+            return Err(format!(
+                "MP matrix core {core}: checksum {got:#x}, expected {want:#x}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_platform::InterconnectChoice;
+
+    fn run(cores: usize, n: u32) -> Platform {
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Amba);
+        for core in 0..cores {
+            b.add_cpu(program(core, cores, n));
+        }
+        preload(&mut b, n);
+        let mut p = b.build().unwrap();
+        let report = p.run(50_000_000);
+        assert!(report.completed, "MP matrix did not complete");
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        p
+    }
+
+    #[test]
+    fn two_cores_produce_the_golden_checksum() {
+        let p = run(2, 6);
+        verify(&p, 2, 6).unwrap();
+    }
+
+    #[test]
+    fn three_cores_also_verify() {
+        let p = run(3, 6);
+        verify(&p, 3, 6).unwrap();
+    }
+
+    #[test]
+    fn golden_checksum_is_core_count_independent() {
+        // Weak scaling: every core computes the same product.
+        assert_eq!(golden_checksum(6), golden_checksum(6));
+        assert_ne!(golden_checksum(6), golden_checksum(7));
+    }
+
+    #[test]
+    fn execution_time_grows_with_core_count() {
+        // The paper's saturation effect: more cores, more bus load,
+        // longer per-core completion.
+        let time = |cores: usize| {
+            let mut b = PlatformBuilder::new();
+            b.interconnect(InterconnectChoice::Amba);
+            for core in 0..cores {
+                b.add_cpu(program(core, cores, 6));
+            }
+            preload(&mut b, 6);
+            let mut p = b.build().unwrap();
+            let report = p.run(50_000_000);
+            assert!(report.completed);
+            report.execution_time().unwrap()
+        };
+        let two = time(2);
+        let six = time(6);
+        assert!(
+            six > two,
+            "bus saturation must lengthen the run: 2P={two} 6P={six}"
+        );
+    }
+}

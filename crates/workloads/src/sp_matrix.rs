@@ -1,0 +1,185 @@
+//! SP matrix: single-processor matrix manipulation (Table 2, first row).
+//!
+//! Initialises two `n × n` matrices in private (cacheable) memory,
+//! multiplies them, and writes a checksum of the product into shared
+//! memory. Traffic: instruction-cache refills, write-through stores to
+//! private memory, data-cache refill bursts, one shared write.
+
+use ntg_cpu::isa::{R1, R10, R11, R12, R2, R3, R4, R5, R6, R7, R8, R9};
+use ntg_cpu::{Asm, Program};
+use ntg_platform::{mem_map, Platform};
+
+/// Private-memory offsets for the three matrices (from the core's base).
+const A_OFF: u32 = 0x8000;
+const B_OFF: u32 = 0x9000;
+const C_OFF: u32 = 0xA000;
+
+/// Initial values: `A[i] = 7 i + 3`, `B[i] = 11 i + 5` (mod 2³²).
+fn a_val(i: u32) -> u32 {
+    i.wrapping_mul(7).wrapping_add(3)
+}
+
+fn b_val(i: u32) -> u32 {
+    i.wrapping_mul(11).wrapping_add(5)
+}
+
+/// Host-side golden model: the checksum the program must produce.
+pub fn golden_checksum(n: u32) -> u32 {
+    let idx = |r: u32, c: u32| (r * n + c) as usize;
+    let nn = (n * n) as usize;
+    let a: Vec<u32> = (0..nn as u32).map(a_val).collect();
+    let b: Vec<u32> = (0..nn as u32).map(b_val).collect();
+    let mut sum: u32 = 0;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc: u32 = 0;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[idx(i, k)].wrapping_mul(b[idx(k, j)]));
+            }
+            sum = sum.wrapping_add(acc);
+        }
+    }
+    sum
+}
+
+/// The shared-memory address receiving the checksum.
+pub fn checksum_addr() -> u32 {
+    mem_map::SHARED_BASE
+}
+
+/// Builds the SP matrix program.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or the matrices exceed their private-memory slots.
+pub fn program(core: usize, n: u32) -> Program {
+    assert!(n > 0, "matrix must be non-empty");
+    assert!(n * n * 4 <= 0x1000, "matrix exceeds its 4 KiB slot");
+    let base = mem_map::private_base(core);
+    let mut a = Asm::new();
+
+    // r7/r8/r9 = A/B/C bases, r12 = n, r10 = n*n.
+    a.li(R7, base + A_OFF);
+    a.li(R8, base + B_OFF);
+    a.li(R9, base + C_OFF);
+    a.li(R12, n);
+    a.li(R10, n * n);
+
+    // Initialisation: A[i] = 7i+3, B[i] = 11i+5.
+    a.li(R1, 0);
+    a.label("init");
+    a.slli(R11, R1, 2);
+    a.li(R5, 7);
+    a.mul(R5, R1, R5);
+    a.addi(R5, R5, 3);
+    a.add(R6, R11, R7);
+    a.stw(R5, R6, 0);
+    a.li(R5, 11);
+    a.mul(R5, R1, R5);
+    a.addi(R5, R5, 5);
+    a.add(R6, R11, R8);
+    a.stw(R5, R6, 0);
+    a.addi(R1, R1, 1);
+    a.bne(R1, R10, "init");
+
+    // Multiplication: C = A × B.
+    a.li(R1, 0); // i
+    a.label("iloop");
+    a.li(R2, 0); // j
+    a.label("jloop");
+    a.li(R4, 0); // acc
+    a.li(R3, 0); // k
+    a.label("kloop");
+    // r5 = A[i*n + k]
+    a.mul(R11, R1, R12);
+    a.add(R11, R11, R3);
+    a.slli(R11, R11, 2);
+    a.add(R11, R11, R7);
+    a.ldw(R5, R11, 0);
+    // r6 = B[k*n + j]
+    a.mul(R11, R3, R12);
+    a.add(R11, R11, R2);
+    a.slli(R11, R11, 2);
+    a.add(R11, R11, R8);
+    a.ldw(R6, R11, 0);
+    a.mul(R5, R5, R6);
+    a.add(R4, R4, R5);
+    a.addi(R3, R3, 1);
+    a.bne(R3, R12, "kloop");
+    // C[i*n + j] = acc
+    a.mul(R11, R1, R12);
+    a.add(R11, R11, R2);
+    a.slli(R11, R11, 2);
+    a.add(R11, R11, R9);
+    a.stw(R4, R11, 0);
+    a.addi(R2, R2, 1);
+    a.bne(R2, R12, "jloop");
+    a.addi(R1, R1, 1);
+    a.bne(R1, R12, "iloop");
+
+    // Checksum of C into shared memory.
+    a.li(R1, 0);
+    a.li(R4, 0);
+    a.label("csum");
+    a.slli(R11, R1, 2);
+    a.add(R11, R11, R9);
+    a.ldw(R5, R11, 0);
+    a.add(R4, R4, R5);
+    a.addi(R1, R1, 1);
+    a.bne(R1, R10, "csum");
+    a.li(R11, checksum_addr());
+    a.stw(R4, R11, 0);
+    a.halt();
+
+    a.assemble(base).expect("SP matrix program assembles")
+}
+
+/// Checks the checksum in shared memory against the golden model.
+pub fn verify(platform: &Platform, n: u32) -> Result<(), String> {
+    let got = platform.peek_shared(checksum_addr());
+    let want = golden_checksum(n);
+    if got == want {
+        Ok(())
+    } else {
+        Err(format!("SP matrix checksum {got:#x}, expected {want:#x}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_platform::{InterconnectChoice, PlatformBuilder};
+
+    #[test]
+    fn computes_the_golden_checksum() {
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Amba);
+        b.add_cpu(program(0, 4));
+        let mut p = b.build().unwrap();
+        let report = p.run(5_000_000);
+        assert!(report.completed);
+        assert!(report.faults.is_empty(), "{:?}", report.faults);
+        verify(&p, 4).unwrap();
+    }
+
+    #[test]
+    fn golden_model_is_plausible() {
+        // Hand-checked 1×1 case: A=[3], B=[5] → C=[15].
+        assert_eq!(golden_checksum(1), 15);
+    }
+
+    #[test]
+    fn larger_matrix_still_verifies() {
+        let mut b = PlatformBuilder::new();
+        b.add_cpu(program(0, 8));
+        let mut p = b.build().unwrap();
+        assert!(p.run(20_000_000).completed);
+        verify(&p, 8).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "4 KiB slot")]
+    fn oversized_matrix_rejected() {
+        let _ = program(0, 64);
+    }
+}

@@ -1,0 +1,78 @@
+//! Hand-written traffic generators: the paper's §7 suggests using the TG
+//! "in association with manually written programs to generate traffic
+//! patterns typical of IP cores still in the design phase".
+//!
+//! Here a synthetic streaming DMA-like master is written directly in
+//! `.tgp` text, parsed, assembled and run against real memory on two
+//! interconnects — no CPU model or trace involved. Like the paper's
+//! test-chip programs it loops forever (`Jump(stream)`), so we measure
+//! achieved bandwidth over a fixed simulation window instead of waiting
+//! for completion.
+//!
+//! Run with: `cargo run --release --example custom_traffic`
+
+use ntg::platform::{InterconnectChoice, PlatformBuilder};
+use ntg::tg::{assemble, tgp};
+
+/// A burst-streaming master: reads a 4-word line from shared memory,
+/// writes one result word, idles a while, repeats forever.
+const STREAMER: &str = r"
+; hand-written synthetic streamer (no trace involved)
+MASTER[0,0]
+REGISTER r2 0x19001000    ; source line (shared memory)
+REGISTER r3 0x00000042    ; payload
+REGISTER r4 0x00000004    ; burst length
+REGISTER r5 0x19002000    ; destination
+BEGIN
+stream:
+  BurstRead(r2, r4)
+  Write(r5, r3)
+  Idle(10)
+  Jump(stream)
+END
+";
+
+const WINDOW: u64 = 20_000;
+
+fn main() {
+    let program = tgp::from_tgp(STREAMER).expect("valid .tgp");
+    println!(
+        "parsed hand-written .tgp: {} instructions, {} register inits\n",
+        program.len_instrs(),
+        program.inits.len()
+    );
+    let image = assemble(&program).expect("assembles");
+
+    println!(
+        "{:<9} {:>14} {:>18}",
+        "fabric", "transactions", "words/1k cycles"
+    );
+    for fabric in [
+        InterconnectChoice::Amba,
+        InterconnectChoice::Crossbar,
+        InterconnectChoice::Xpipes,
+        InterconnectChoice::Ideal,
+    ] {
+        let mut b = PlatformBuilder::new();
+        b.interconnect(fabric);
+        b.add_tg(image.clone());
+        let mut p = b.build().expect("build");
+        let report = p.run(WINDOW); // endless generator: fixed window
+        assert!(!report.completed, "the streamer never halts by design");
+        let tx = p.interconnect_transactions();
+        // Each loop iteration moves 4 read words + 1 written word.
+        let words = tx * 5 / 2;
+        println!(
+            "{:<9} {:>14} {:>18.1}",
+            fabric.to_string(),
+            tx,
+            words as f64 / (WINDOW as f64 / 1000.0),
+        );
+        assert_eq!(p.peek_shared(0x1900_2000), 0x42, "payload landed");
+    }
+    println!(
+        "\nThe same synthetic master runs unmodified on every interconnect \
+         model — a traffic stimulus for fabrics whose IP cores do not \
+         exist yet (paper §7)."
+    );
+}

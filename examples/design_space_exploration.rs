@@ -1,0 +1,77 @@
+//! Design-space exploration — the paper's headline use case: collect one
+//! reference trace, then evaluate several cycle-true interconnect
+//! candidates quickly by simulating traffic generators instead of cores.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use ntg::platform::InterconnectChoice;
+use ntg::tg::{assemble, TraceTranslator, TranslationMode};
+use ntg::workloads::Workload;
+
+fn main() {
+    let workload = Workload::MpMatrix { n: 16 };
+    let cores = 4;
+
+    // One reference simulation with tracing (the expensive step, paid
+    // once).
+    let mut reference = workload
+        .build_platform(cores, InterconnectChoice::Amba, true)
+        .expect("build reference");
+    let ref_report = reference.run(100_000_000);
+    assert!(ref_report.completed);
+    println!(
+        "reference: {} {}P on AMBA, {} cycles (wall {:?})\n",
+        workload.name(),
+        cores,
+        ref_report.execution_time().expect("halted"),
+        ref_report.wall_time
+    );
+
+    let translator =
+        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let images: Vec<_> = (0..cores)
+        .map(|c| {
+            assemble(&translator.translate(&reference.trace(c).expect("traced")).expect("translate"))
+                .expect("assemble")
+        })
+        .collect();
+
+    // Fast cycle-true evaluation of each candidate fabric.
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "fabric", "cycles", "sim wall", "verdict"
+    );
+    let mut best: Option<(InterconnectChoice, u64)> = None;
+    for fabric in [
+        InterconnectChoice::Amba,
+        InterconnectChoice::Crossbar,
+        InterconnectChoice::Xpipes,
+        InterconnectChoice::Ideal,
+    ] {
+        let mut p = workload
+            .build_tg_platform(images.clone(), fabric, false)
+            .expect("build candidate");
+        let report = p.run(100_000_000);
+        assert!(report.completed);
+        let cycles = report.execution_time().expect("halted");
+        // Functional check: the TGs must reproduce the golden memory
+        // image on every fabric.
+        workload.verify(&p, cores).expect("golden result");
+        let improves = best.map(|(_, c)| cycles < c).unwrap_or(true);
+        if improves {
+            best = Some((fabric, cycles));
+        }
+        println!(
+            "{:<10} {:>12} {:>11.3?} {:>12}",
+            fabric.to_string(),
+            cycles,
+            report.wall_time,
+            if improves { "best so far" } else { "" }
+        );
+    }
+    let (fabric, cycles) = best.expect("at least one candidate");
+    println!(
+        "\npick: {fabric} at {cycles} cycles — chosen from cycle-true \
+         simulations that each cost a fraction of the reference run."
+    );
+}

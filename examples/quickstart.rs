@@ -1,0 +1,76 @@
+//! Quickstart: the complete traffic-generator flow in ~60 lines.
+//!
+//! 1. write a small program for a Srisc CPU core;
+//! 2. run the *reference* simulation with OCP tracing enabled;
+//! 3. translate the trace into a TG program and assemble it;
+//! 4. replay with a traffic generator instead of the core;
+//! 5. compare cycle counts — the TG reproduces the core's communication
+//!    behaviour cycle-accurately while simulating much faster.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ntg::cpu::isa::{R1, R2, R3};
+use ntg::cpu::Asm;
+use ntg::platform::{mem_map, InterconnectChoice, PlatformBuilder};
+use ntg::tg::{assemble, tgp, TraceTranslator, TranslationMode};
+
+fn main() {
+    // 1. A tiny workload: compute, store to shared memory, read it back.
+    let mut a = Asm::new();
+    a.li(R1, 0);
+    a.li(R2, 1000);
+    a.label("loop");
+    a.addi(R1, R1, 1);
+    a.bne(R1, R2, "loop");
+    a.li(R3, mem_map::SHARED_BASE);
+    a.stw(R1, R3, 0);
+    a.ldw(R2, R3, 0);
+    a.halt();
+    let program = a.assemble(mem_map::private_base(0)).expect("assemble");
+
+    // 2. Reference simulation (CPU core, AMBA bus, tracing on).
+    let mut reference = PlatformBuilder::new()
+        .interconnect(InterconnectChoice::Amba)
+        .tracing(true)
+        .add_cpu(program)
+        .build()
+        .expect("build reference platform");
+    let ref_report = reference.run(1_000_000);
+    assert!(ref_report.completed);
+    let trace = reference.trace(0).expect("tracing was enabled");
+    println!(
+        "reference: {} cycles, {} OCP events recorded",
+        ref_report.execution_time().expect("core halted"),
+        trace.events.len()
+    );
+
+    // 3. Translate and assemble.
+    let translator =
+        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let tg_program = translator.translate(&trace).expect("translate");
+    println!("\n--- derived TG program (.tgp) ---\n{}", tgp::to_tgp(&tg_program));
+    let image = assemble(&tg_program).expect("assemble TG program");
+
+    // 4. Replay with a traffic generator in the core's socket.
+    let mut replay = PlatformBuilder::new()
+        .interconnect(InterconnectChoice::Amba)
+        .add_tg(image)
+        .build()
+        .expect("build TG platform");
+    let tg_report = replay.run(1_000_000);
+    assert!(tg_report.completed);
+
+    // 5. Compare.
+    let r = ref_report.execution_time().expect("halted");
+    let t = tg_report.execution_time().expect("halted");
+    println!("reference core : {r} cycles");
+    println!("traffic gen    : {t} cycles");
+    println!(
+        "cycle error    : {:.3}%",
+        (t as f64 - r as f64).abs() / r as f64 * 100.0
+    );
+    println!(
+        "shared word    : {:#x} (written through the TG's replayed store)",
+        replay.peek_shared(mem_map::SHARED_BASE)
+    );
+}

@@ -1,0 +1,44 @@
+//! `ntg` — traffic-generator-based fast Network-on-Chip simulation.
+//!
+//! A from-scratch Rust reproduction of *Mahadevan, Angiolini, Storgaard,
+//! Olsen, Sparsø, Madsen: "A Network Traffic Generator Model for Fast
+//! Network-on-Chip Simulation", DATE 2005* (DOI 10.1109/DATE.2005.22),
+//! including every substrate the paper depends on: a cycle-true
+//! multiprocessor SoC simulation platform in the style of MPARM, OCP-like
+//! core/network interfaces, AMBA-, ×pipes- and STBus-like interconnect
+//! models, CPU cores with caches, memories and hardware semaphores — plus
+//! the paper's contribution, the programmable **Traffic Generator (TG)**
+//! and its trace → program flow.
+//!
+//! This umbrella crate re-exports the individual `ntg-*` crates under
+//! short module names so applications need a single dependency:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`sim`] | `ntg-sim` | cycle-driven simulation kernel |
+//! | [`ocp`] | `ntg-ocp` | OCP-style interface protocol and channels |
+//! | [`mem`] | `ntg-mem` | address map, RAM slaves, semaphore bank |
+//! | [`cpu`] | `ntg-cpu` | Srisc core model, caches, assembler DSL |
+//! | [`noc`] | `ntg-noc` | AMBA / ×pipes / crossbar / ideal interconnects |
+//! | [`trace`] | `ntg-trace` | OCP trace capture and `.trc` format |
+//! | [`tg`] | `ntg-core` | TG ISA, assembler, translator, TG core |
+//! | [`platform`] | `ntg-platform` | MPARM-like platform assembly |
+//! | [`workloads`] | `ntg-workloads` | the four paper benchmarks |
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for the complete reference → trace →
+//! translate → TG-replay flow on a two-core platform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ntg_cpu as cpu;
+pub use ntg_core as tg;
+pub use ntg_mem as mem;
+pub use ntg_noc as noc;
+pub use ntg_ocp as ocp;
+pub use ntg_platform as platform;
+pub use ntg_sim as sim;
+pub use ntg_trace as trace;
+pub use ntg_workloads as workloads;

@@ -1,0 +1,107 @@
+//! Whole-pipeline determinism: the entire evaluation methodology rests
+//! on identical runs producing identical cycle counts and byte-identical
+//! artifacts.
+
+use ntg::platform::InterconnectChoice;
+use ntg::tg::{assemble, tgp, TraceTranslator, TranslationMode};
+use ntg::workloads::Workload;
+
+const MAX: u64 = 200_000_000;
+
+fn workloads() -> Vec<(Workload, usize)> {
+    vec![
+        (Workload::SpMatrix { n: 6 }, 1),
+        (Workload::MpMatrix { n: 8 }, 3),
+        (Workload::Des { blocks_per_core: 2 }, 2),
+    ]
+}
+
+#[test]
+fn repeated_reference_runs_are_cycle_identical() {
+    for (w, cores) in workloads() {
+        let run = || {
+            let mut p = w
+                .build_platform(cores, InterconnectChoice::Amba, false)
+                .expect("build");
+            let r = p.run(MAX);
+            assert!(r.completed);
+            (r.cycles, r.finish_cycles.clone())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "{}: nondeterministic reference run", w.name());
+    }
+}
+
+#[test]
+fn repeated_traced_runs_produce_byte_identical_artifacts() {
+    for (w, cores) in workloads() {
+        let artifacts = || {
+            let mut p = w
+                .build_platform(cores, InterconnectChoice::Amba, true)
+                .expect("build");
+            assert!(p.run(MAX).completed);
+            let translator =
+                TraceTranslator::new(p.translator_config(TranslationMode::Reactive));
+            (0..cores)
+                .map(|c| {
+                    let trace = p.trace(c).expect("traced");
+                    let program = translator.translate(&trace).expect("translate");
+                    let image = assemble(&program).expect("assemble");
+                    (trace.to_trc(), tgp::to_tgp(&program), image.to_bytes())
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = artifacts();
+        let b = artifacts();
+        assert_eq!(a, b, "{}: artifacts differ across identical runs", w.name());
+    }
+}
+
+#[test]
+fn tg_replay_is_cycle_identical_across_runs() {
+    let w = Workload::MpMatrix { n: 8 };
+    let cores = 3;
+    let mut p = w
+        .build_platform(cores, InterconnectChoice::Amba, true)
+        .expect("build");
+    assert!(p.run(MAX).completed);
+    let translator = TraceTranslator::new(p.translator_config(TranslationMode::Reactive));
+    let images: Vec<_> = (0..cores)
+        .map(|c| assemble(&translator.translate(&p.trace(c).unwrap()).unwrap()).unwrap())
+        .collect();
+    let replay = || {
+        let mut p = w
+            .build_tg_platform(images.clone(), InterconnectChoice::Xpipes, false)
+            .expect("build");
+        let r = p.run(MAX);
+        assert!(r.completed);
+        r.finish_cycles.clone()
+    };
+    assert_eq!(replay(), replay());
+}
+
+#[test]
+fn interconnect_choice_changes_cycles_but_not_results() {
+    // Different fabrics must change timing (otherwise the DSE is vacuous)
+    // while the memory results stay golden.
+    let w = Workload::MpMatrix { n: 8 };
+    let cores = 3;
+    let mut cycle_counts = Vec::new();
+    for fabric in [
+        InterconnectChoice::Amba,
+        InterconnectChoice::Crossbar,
+        InterconnectChoice::Xpipes,
+    ] {
+        let mut p = w.build_platform(cores, fabric, false).expect("build");
+        let r = p.run(MAX);
+        assert!(r.completed);
+        w.verify(&p, cores).expect("golden result on every fabric");
+        cycle_counts.push(r.execution_time().unwrap());
+    }
+    cycle_counts.dedup();
+    assert!(
+        cycle_counts.len() > 1,
+        "all fabrics produced identical timing — implausible"
+    );
+}

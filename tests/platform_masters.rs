@@ -1,0 +1,159 @@
+//! Platform-level tests for the non-CPU master kinds: plain TGs,
+//! multitasking TG sockets and stochastic sources coexisting in one
+//! system.
+
+use ntg::platform::{mem_map, InterconnectChoice, MasterReport, PlatformBuilder};
+use ntg::tg::{
+    assemble, GapDistribution, StochasticConfig, TgProgram, TgReg, TgSymInstr, TimesliceConfig,
+};
+
+/// A tiny hand-built TG image: write `value`, read it back, halt.
+fn writer_image(addr: u32, value: u32) -> ntg::tg::TgImage {
+    let mut p = TgProgram::new(0);
+    p.inits.push((TgReg::new(2), addr));
+    p.inits.push((TgReg::new(3), value));
+    p.push(TgSymInstr::Write(TgReg::new(2), TgReg::new(3)));
+    p.push(TgSymInstr::Idle(5));
+    p.push(TgSymInstr::Read(TgReg::new(2)));
+    p.push(TgSymInstr::Halt);
+    assemble(&p).expect("assemble")
+}
+
+#[test]
+fn mixed_master_kinds_coexist() {
+    // Socket 0: plain TG. Socket 1: multitasking TG (two tasks).
+    // Socket 2: stochastic source. All on one AMBA bus.
+    let mut b = PlatformBuilder::new();
+    b.interconnect(InterconnectChoice::Amba);
+    b.add_tg(writer_image(mem_map::SHARED_BASE, 0x111));
+    b.add_tg_multitask(
+        vec![
+            writer_image(mem_map::SHARED_BASE + 8, 0x222),
+            writer_image(mem_map::SHARED_BASE + 16, 0x333),
+        ],
+        TimesliceConfig {
+            quantum: 30,
+            switch_penalty: 5,
+        },
+    );
+    b.add_stochastic(StochasticConfig {
+        seed: 7,
+        ranges: vec![(mem_map::SHARED_BASE + 0x1000, 0x100)],
+        write_fraction: 0.5,
+        burst_fraction: 0.1,
+        gap: GapDistribution::Fixed { gap: 4 },
+        transactions: 50,
+    });
+    let mut p = b.build().expect("build");
+    let report = p.run(1_000_000);
+    assert!(report.completed, "all master kinds must drain");
+    assert!(report.faults.is_empty(), "{:?}", report.faults);
+
+    assert_eq!(p.peek_shared(mem_map::SHARED_BASE), 0x111);
+    assert_eq!(p.peek_shared(mem_map::SHARED_BASE + 8), 0x222);
+    assert_eq!(p.peek_shared(mem_map::SHARED_BASE + 16), 0x333);
+
+    // Reports carry the right per-kind statistics.
+    match report.masters[0] {
+        MasterReport::Tg(s) => assert_eq!(s.writes, 1),
+        ref other => panic!("socket 0: {other:?}"),
+    }
+    match report.masters[1] {
+        MasterReport::Tg(s) => assert_eq!(s.writes, 2, "both tasks wrote"),
+        ref other => panic!("socket 1: {other:?}"),
+    }
+    match report.masters[2] {
+        MasterReport::Stochastic { issued, errors } => {
+            assert_eq!(issued, 50);
+            assert_eq!(errors, 0);
+        }
+        ref other => panic!("socket 2: {other:?}"),
+    }
+    assert!(p.scheduler_stats(1).is_some());
+    assert!(p.scheduler_stats(0).is_none());
+}
+
+#[test]
+fn stochastic_sources_are_deterministic_in_a_platform() {
+    let run = || {
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Xpipes);
+        for i in 0..3u64 {
+            b.add_stochastic(StochasticConfig {
+                seed: 100 + i,
+                ranges: vec![(mem_map::SHARED_BASE, 0x400)],
+                write_fraction: 0.3,
+                burst_fraction: 0.2,
+                gap: GapDistribution::Geometric { mean: 6 },
+                transactions: 80,
+            });
+        }
+        let mut p = b.build().expect("build");
+        let r = p.run(1_000_000);
+        assert!(r.completed);
+        r.finish_cycles.clone()
+    };
+    assert_eq!(run(), run(), "seeded stochastic platform must be deterministic");
+}
+
+#[test]
+fn stochastic_load_scales_contention() {
+    // Denser stochastic traffic (smaller gaps) must lengthen everyone's
+    // completion on a shared bus.
+    let time = |gap: u32| {
+        let mut b = PlatformBuilder::new();
+        b.interconnect(InterconnectChoice::Amba);
+        for i in 0..4u64 {
+            b.add_stochastic(StochasticConfig {
+                seed: i,
+                ranges: vec![(mem_map::SHARED_BASE, 0x400)],
+                write_fraction: 0.5,
+                burst_fraction: 0.0,
+                gap: GapDistribution::Fixed { gap },
+                transactions: 100,
+            });
+        }
+        let mut p = b.build().expect("build");
+        let r = p.run(1_000_000);
+        assert!(r.completed);
+        r.execution_time().unwrap()
+    };
+    let dense = time(1);
+    let sparse = time(40);
+    assert!(
+        sparse > dense,
+        "sparser traffic takes longer overall: dense={dense} sparse={sparse}"
+    );
+    // But dense traffic saturates the bus: throughput (transactions per
+    // cycle) must be higher than sparse, completion per transaction
+    // slower than the unloaded latency.
+    assert!(dense > 400 * 4 / 2, "bus must serialise dense traffic");
+}
+
+#[test]
+fn add_master_accepts_explicit_kinds() {
+    use ntg::platform::MasterKind;
+    let mut b = PlatformBuilder::new();
+    b.interconnect(InterconnectChoice::Amba);
+    b.add_master(MasterKind::Tg(writer_image(mem_map::SHARED_BASE + 0x40, 5)));
+    let mut p = b.build().expect("build");
+    assert!(p.run(100_000).completed);
+    assert_eq!(p.peek_shared(mem_map::SHARED_BASE + 0x40), 5);
+}
+
+#[test]
+fn workload_verify_rejects_an_unrun_platform() {
+    use ntg::workloads::Workload;
+    // Build but do not run: memory is still zeroed, so golden-model
+    // verification must fail loudly rather than pass vacuously.
+    let w = Workload::SpMatrix { n: 4 };
+    let p = w
+        .build_platform(1, InterconnectChoice::Amba, false)
+        .expect("build");
+    assert!(w.verify(&p, 1).is_err(), "verify must catch missing results");
+    let w = Workload::Des { blocks_per_core: 1 };
+    let p = w
+        .build_platform(1, InterconnectChoice::Amba, false)
+        .expect("build");
+    assert!(w.verify(&p, 1).is_err());
+}

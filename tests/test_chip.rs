@@ -1,0 +1,167 @@
+//! The paper's hardware vision: a NoC *test chip* populated entirely by
+//! traffic generators — master TGs in the core sockets and slave TGs in
+//! the memory sockets ("allows a straightforward path towards deployment
+//! of the TG device on a silicon NoC test chip", §1; slave TG entities,
+//! §4).
+//!
+//! This test hand-wires such a chip around the AMBA bus model: programs
+//! translated from a real CPU reference run drive master TGs, while
+//! [`TgSlave`]s stand in for every memory and the semaphore bank. The
+//! all-TG chip must reproduce the reference timing just as well as the
+//! simulation-grade replay does.
+
+use std::rc::Rc;
+
+use ntg::cpu::isa::{R0, R1, R2, R3, R4};
+use ntg::cpu::Asm;
+use ntg::noc::AmbaBus;
+use ntg::ocp::{channel, MasterId};
+use ntg::platform::{mem_map, InterconnectChoice, PlatformBuilder};
+use ntg::sim::Component;
+use ntg::tg::{assemble, TgCore, TgSlave, TgSlaveBehavior, TraceTranslator, TranslationMode};
+
+/// Two contending cores: compute, then fight over a semaphore, then
+/// write a result word.
+fn program(core: usize) -> ntg::cpu::Program {
+    let mut a = Asm::new();
+    a.li(R4, 30 + core as u32 * 17);
+    a.label("spin");
+    a.addi(R4, R4, -1);
+    a.bne(R4, R0, "spin");
+    a.li(R2, mem_map::semaphore(0));
+    a.li(R1, 1);
+    a.align(4);
+    a.label("acq");
+    a.ldw(R3, R2, 0);
+    a.bne(R3, R1, "acq");
+    a.li(R4, 60);
+    a.label("hold");
+    a.addi(R4, R4, -1);
+    a.bne(R4, R0, "hold");
+    a.stw(R1, R2, 0); // release
+    a.li(R2, mem_map::SHARED_BASE + core as u32 * 4);
+    a.li(R3, 0xD0 + core as u32);
+    a.stw(R3, R2, 0);
+    a.halt();
+    a.assemble(mem_map::private_base(core)).unwrap()
+}
+
+#[test]
+fn all_tg_test_chip_matches_the_reference() {
+    const CORES: usize = 2;
+    // 1. Reference simulation on the real platform, traced.
+    let mut b = PlatformBuilder::new();
+    b.interconnect(InterconnectChoice::Amba).tracing(true);
+    for core in 0..CORES {
+        b.add_cpu(program(core));
+    }
+    let mut reference = b.build().unwrap();
+    let ref_report = reference.run(1_000_000);
+    assert!(ref_report.completed);
+    let ref_cycles = ref_report.execution_time().unwrap();
+
+    let translator =
+        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let images: Vec<_> = (0..CORES)
+        .map(|c| {
+            assemble(&translator.translate(&reference.trace(c).unwrap()).unwrap()).unwrap()
+        })
+        .collect();
+
+    // 2. Hand-wire the all-TG chip: master TGs + slave TGs on an AMBA
+    //    bus with the same memory map.
+    let map = Rc::new(
+        ntg::platform::mem_map::build_map(CORES, 0x1_0000, 0x1_0000, 0x1000, 64).unwrap(),
+    );
+    let mut masters = Vec::new();
+    let mut net_masters = Vec::new();
+    for (i, image) in images.into_iter().enumerate() {
+        let (m, s) = channel(format!("tg{i}"), MasterId(i as u16));
+        net_masters.push(s);
+        masters.push(TgCore::new(format!("tg{i}"), m, image));
+    }
+    let mut slaves: Vec<TgSlave> = Vec::new();
+    let mut net_slaves = Vec::new();
+    // Private "memories": the master TGs never depend on read data from
+    // their private ranges (instruction fetches were absorbed into the
+    // trace as bursts), so cheap dummy responders suffice — exactly the
+    // paper's entity 3.
+    for core in 0..CORES {
+        let (m, s) = channel(format!("priv{core}"), MasterId(0));
+        net_slaves.push(m);
+        slaves.push(TgSlave::new(
+            format!("priv{core}"),
+            mem_map::private_base(core),
+            0x1_0000,
+            TgSlaveBehavior::Dummy { pattern: 0 },
+            s,
+        ));
+    }
+    // Shared memory and sync flags need real storage (entity 2), and the
+    // semaphore bank needs test-and-set semantics, or the reactive
+    // Semchk loops would misbehave.
+    let (m, s) = channel("shared", MasterId(0));
+    net_slaves.push(m);
+    slaves.push(TgSlave::new(
+        "shared",
+        mem_map::SHARED_BASE,
+        0x1_0000,
+        TgSlaveBehavior::Memory,
+        s,
+    ));
+    let (m, s) = channel("sync", MasterId(0));
+    net_slaves.push(m);
+    slaves.push(TgSlave::new(
+        "sync",
+        mem_map::SYNC_BASE,
+        0x1000,
+        TgSlaveBehavior::Memory,
+        s,
+    ));
+    let (m, s) = channel("sem", MasterId(0));
+    net_slaves.push(m);
+    slaves.push(TgSlave::new(
+        "sem",
+        mem_map::SEM_BASE,
+        64 * 4,
+        TgSlaveBehavior::Semaphore,
+        s,
+    ));
+    let mut bus = AmbaBus::new("amba", net_masters, net_slaves, map);
+
+    // 3. Run the chip.
+    let mut chip_cycles = None;
+    for now in 0..1_000_000u64 {
+        for tg in &mut masters {
+            tg.tick(now);
+        }
+        bus.tick(now);
+        for sl in &mut slaves {
+            sl.tick(now);
+        }
+        if masters.iter().all(TgCore::halted) {
+            chip_cycles = masters.iter().map(|t| t.halt_cycle().unwrap()).max();
+            break;
+        }
+    }
+    let chip_cycles = chip_cycles.expect("test chip must complete");
+    for tg in &masters {
+        assert!(tg.fault().is_none(), "{:?}", tg.fault());
+    }
+
+    // 4. The chip's timing matches the reference (same bus, same slave
+    //    timing model).
+    let err = (chip_cycles as f64 - ref_cycles as f64).abs() / ref_cycles as f64 * 100.0;
+    assert!(
+        err < 2.0,
+        "test chip diverges: ref {ref_cycles}, chip {chip_cycles} ({err:.2}%)"
+    );
+
+    // 5. The shared-memory slave TG holds the replayed result words.
+    let shared = &slaves[CORES];
+    assert_eq!(shared.peek(mem_map::SHARED_BASE), 0xD0);
+    assert_eq!(shared.peek(mem_map::SHARED_BASE + 4), 0xD1);
+    // The semaphore ends up released.
+    let sem = &slaves[CORES + 2];
+    assert_eq!(sem.peek(mem_map::SEM_BASE), 1);
+}
