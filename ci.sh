@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Offline CI for the ntg workspace: formatting, lints, build, tests.
+# Everything here runs with no network access and no external crates.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> workspace tests"
+cargo test --workspace -q
+
+echo "CI OK"

@@ -13,45 +13,17 @@
 //! For the cross-interconnect replay there is no ground-truth "error"
 //! against the AMBA reference — instead we compare against a *native*
 //! CPU run on ×pipes, which is exactly the simulation the TG is supposed
-//! to substitute.
+//! to substitute. The `ntg-explore` engine does that pairing itself:
+//! each TG job's `error_pct` is computed against the CPU job with the
+//! same (workload, cores, interconnect), and the trace is collected once
+//! and translated once per fidelity level (three image-cache misses).
 //!
 //! Usage: `cargo run --release -p ntg-bench --bin ablation_reactivity`
 
-use ntg_bench::{run_checked, translate_programs};
-use ntg_core::{assemble, TranslationMode};
+use ntg_core::TranslationMode;
+use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, MasterChoice, RunOptions};
 use ntg_platform::InterconnectChoice;
 use ntg_workloads::Workload;
-
-fn replay_cycles(
-    workload: Workload,
-    cores: usize,
-    mode: TranslationMode,
-    fabric: InterconnectChoice,
-) -> u64 {
-    let images: Vec<_> = translate_programs(workload, cores, InterconnectChoice::Amba, mode)
-        .iter()
-        .map(|p| assemble(p).expect("assemble"))
-        .collect();
-    let mut p = workload
-        .build_tg_platform(images, fabric, false)
-        .expect("build TG platform");
-    let report = p.run(ntg_bench::MAX_CYCLES);
-    assert!(report.completed, "{mode:?} on {fabric} did not complete");
-    report.execution_time().expect("all TGs halted")
-}
-
-fn native_cycles(workload: Workload, cores: usize, fabric: InterconnectChoice) -> u64 {
-    let mut p = workload
-        .build_platform(cores, fabric, false)
-        .expect("build");
-    run_checked(&mut p, "native")
-        .execution_time()
-        .expect("halted")
-}
-
-fn pct(reference: u64, value: u64) -> f64 {
-    (value as f64 - reference as f64).abs() / reference as f64 * 100.0
-}
 
 fn main() {
     let workload = Workload::MpMatrix { n: 16 };
@@ -62,36 +34,56 @@ fn main() {
         cores
     );
 
-    let modes = [
+    let mut spec = CampaignSpec::new("ablation-reactivity");
+    spec.workloads = vec![workload];
+    spec.cores = CoreSelection::List(vec![cores]);
+    spec.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Xpipes];
+    spec.masters = vec![MasterChoice::Cpu, MasterChoice::Tg];
+    spec.modes = vec![
         TranslationMode::Clone,
         TranslationMode::Timeshift,
         TranslationMode::Reactive,
     ];
 
-    let amba_ref = native_cycles(workload, cores, InterconnectChoice::Amba);
-    println!("native CPU cycles on AMBA  : {amba_ref}");
-    let xpipes_ref = native_cycles(workload, cores, InterconnectChoice::Xpipes);
-    println!("native CPU cycles on xpipes: {xpipes_ref}\n");
+    let outcome = run_campaign(&spec, &RunOptions::default()).expect("campaign ran");
+    for r in &outcome.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.key, r.error);
+        assert!(r.completed, "{} did not complete", r.key);
+    }
 
-    println!("replay on AMBA (same interconnect as the trace):");
-    for mode in modes {
-        let cycles = replay_cycles(workload, cores, mode, InterconnectChoice::Amba);
+    for fabric in ["amba", "xpipes"] {
+        let native = outcome
+            .results
+            .iter()
+            .find(|r| r.master == "cpu" && r.interconnect == fabric)
+            .expect("native reference ran");
         println!(
-            "  {mode:<10?} {cycles:>10} cycles   error vs native {:>6.2}%",
-            pct(amba_ref, cycles)
+            "native CPU cycles on {fabric}: {}",
+            native.cycles.expect("completed")
         );
     }
 
+    println!("\nreplay on AMBA (same interconnect as the trace):");
+    print_modes(&outcome.results, "amba");
     println!("\nreplay on xpipes (different interconnect — the DSE case):");
-    for mode in modes {
-        let cycles = replay_cycles(workload, cores, mode, InterconnectChoice::Xpipes);
-        println!(
-            "  {mode:<10?} {cycles:>10} cycles   error vs native {:>6.2}%",
-            pct(xpipes_ref, cycles)
-        );
-    }
+    print_modes(&outcome.results, "xpipes");
     println!(
         "\nExpected shape (paper §3): reactive ≤ timeshift ≤ clone in error, \
          with the gap widening on the foreign interconnect."
     );
+    println!("{}", outcome.cache.summary_line());
+}
+
+fn print_modes(results: &[ntg_explore::JobResult], fabric: &str) {
+    for r in results
+        .iter()
+        .filter(|r| r.master == "tg" && r.interconnect == fabric)
+    {
+        println!(
+            "  {:<10} {:>10} cycles   error vs native {:>6.2}%",
+            r.mode.as_deref().unwrap_or("-"),
+            r.cycles.expect("completed"),
+            r.error_pct.expect("engine paired the native reference"),
+        );
+    }
 }

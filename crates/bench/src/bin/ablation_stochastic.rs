@@ -10,13 +10,16 @@
 //! both stand-ins are asked the DSE question the TG flow exists for:
 //! *how does each interconnect rank for this application?*
 //!
+//! A thin frontend over the `ntg-explore` campaign engine: one campaign
+//! with cpu/tg/stochastic masters across three fabrics. The engine
+//! derives the stochastic calibration from the cached reference trace
+//! (one trace build serves all nine jobs) and computes each stand-in's
+//! error against the native CPU run on the same fabric.
+//!
 //! Usage: `cargo run --release -p ntg-bench --bin ablation_stochastic`
 
-use ntg_bench::{run_checked, trace_and_translate};
-use ntg_core::{GapDistribution, StochasticConfig};
-use ntg_ocp::OcpCmd;
-use ntg_platform::{InterconnectChoice, PlatformBuilder};
-use ntg_trace::TraceStats;
+use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, JobResult, MasterChoice, RunOptions};
+use ntg_platform::InterconnectChoice;
 use ntg_workloads::Workload;
 
 const FABRICS: [InterconnectChoice; 3] = [
@@ -29,44 +32,37 @@ fn main() {
     let workload = Workload::MpMatrix { n: 16 };
     let cores = 4;
 
-    // Reference CPU run on AMBA: the ground truth, plus the statistics a
-    // stochastic modeller would calibrate against.
-    let mut reference = workload
-        .build_platform(cores, InterconnectChoice::Amba, true)
-        .expect("build");
-    run_checked(&mut reference, "reference");
-    let traces: Vec<_> = (0..cores).map(|c| reference.trace(c).expect("traced")).collect();
-    let per_core_cfg: Vec<StochasticConfig> = traces
-        .iter()
-        .enumerate()
-        .map(|(i, t)| {
-            let stats = TraceStats::from_trace(t).expect("stats");
-            let txs = stats.transactions();
-            let mean_gap_cycles =
-                (stats.idle_gap_ns.mean().unwrap_or(0.0) / 5.0).round() as u32;
-            // Address ranges actually touched: private band + shared +
-            // semaphores (approximated from the platform map).
-            let ranges = reference
-                .map()
-                .iter()
-                .map(|r| (r.base, r.size))
-                .collect();
-            let reads = stats.reads + stats.burst_reads;
-            let writes = stats.writes + stats.burst_writes;
-            StochasticConfig {
-                seed: 0xC0FFEE + i as u64,
-                ranges,
-                write_fraction: writes as f64 / (reads + writes).max(1) as f64,
-                burst_fraction: (stats.burst_reads + stats.burst_writes) as f64
-                    / txs.max(1) as f64,
-                gap: GapDistribution::Geometric {
-                    mean: mean_gap_cycles.max(1),
-                },
-                transactions: txs,
-            }
-        })
-        .collect();
-    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let mut spec = CampaignSpec::new("ablation-stochastic");
+    spec.workloads = vec![workload];
+    spec.cores = CoreSelection::List(vec![cores]);
+    spec.interconnects = FABRICS.to_vec();
+    spec.masters = vec![
+        MasterChoice::Cpu,
+        MasterChoice::Tg,
+        MasterChoice::Stochastic,
+    ];
+
+    let outcome = run_campaign(&spec, &RunOptions::default()).expect("campaign ran");
+    for r in &outcome.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.key, r.error);
+        assert!(r.completed, "{} did not complete", r.key);
+    }
+    let cycles_of = |master: &str, fabric: &str| -> u64 {
+        outcome
+            .results
+            .iter()
+            .find(|r| r.master == master && r.interconnect == fabric)
+            .and_then(|r| r.cycles)
+            .expect("job completed")
+    };
+    let err_of = |master: &str, fabric: &str| -> f64 {
+        outcome
+            .results
+            .iter()
+            .find(|r| r.master == master && r.interconnect == fabric)
+            .and_then(|r| r.error_pct)
+            .expect("engine paired the native reference")
+    };
 
     println!(
         "Stochastic baseline vs trace-driven TGs — {} {}P\n",
@@ -78,38 +74,21 @@ fn main() {
         "fabric", "CPU (truth)", "TG replay", "stochastic", "TG err", "stoch err"
     );
     let mut truth_order = Vec::new();
-    let mut stoch_order = Vec::new();
     let mut tg_order = Vec::new();
+    let mut stoch_order = Vec::new();
     for fabric in FABRICS {
-        // Ground truth: real cores.
-        let mut p = workload.build_platform(cores, fabric, false).expect("build");
-        let truth = run_checked(&mut p, "cpu").execution_time().expect("halted");
-        // Trace-driven TGs.
-        let mut p = workload
-            .build_tg_platform(images.clone(), fabric, false)
-            .expect("build");
-        let tg = run_checked(&mut p, "tg").execution_time().expect("halted");
-        // Calibrated stochastic sources.
-        let mut b = PlatformBuilder::new();
-        b.interconnect(fabric);
-        for cfg in &per_core_cfg {
-            b.add_stochastic(cfg.clone());
-        }
-        workload.preload(&mut b, cores);
-        let mut p = b.build().expect("build");
-        let stoch = run_checked(&mut p, "stochastic")
-            .execution_time()
-            .expect("halted");
-
-        let err = |v: u64| (v as f64 - truth as f64).abs() / truth as f64 * 100.0;
+        let f = fabric.to_string();
+        let truth = cycles_of("cpu", &f);
+        let tg = cycles_of("tg", &f);
+        let stoch = cycles_of("stochastic", &f);
         println!(
             "{:<10} {:>14} {:>14} {:>14} {:>11.2}% {:>11.2}%",
-            fabric.to_string(),
+            f,
             truth,
             tg,
             stoch,
-            err(tg),
-            err(stoch)
+            err_of("tg", &f),
+            err_of("stochastic", &f)
         );
         truth_order.push((fabric, truth));
         tg_order.push((fabric, tg));
@@ -127,27 +106,36 @@ fn main() {
     println!("  ground truth : {truth_rank:?}");
     println!(
         "  TG replay    : {tg_rank:?}  {}",
-        if tg_rank == truth_rank { "(matches)" } else { "(MISRANKED)" }
+        if tg_rank == truth_rank {
+            "(matches)"
+        } else {
+            "(MISRANKED)"
+        }
     );
     println!(
         "  stochastic   : {stoch_rank:?}  {}",
-        if stoch_rank == truth_rank { "(matches)" } else { "(MISRANKED)" }
+        if stoch_rank == truth_rank {
+            "(matches)"
+        } else {
+            "(MISRANKED)"
+        }
     );
+
+    let tg_worst = worst_err(&outcome.results, "tg");
+    let stoch_worst = worst_err(&outcome.results, "stochastic");
     println!(
         "\nThe stochastic model carries the right aggregate load but no \
-         program structure and no reactivity ({} reads of semaphores in the \
-         real trace adapt to each fabric) — the paper's §2 argument, \
-         quantified.",
-        traces
-            .iter()
-            .map(|t| {
-                t.transactions()
-                    .unwrap()
-                    .iter()
-                    .filter(|tx| tx.cmd == OcpCmd::Read
-                        && tx.addr >= 0x1B00_0000)
-                    .count()
-            })
-            .sum::<usize>()
+         program structure and no reactivity — worst-case completion-time \
+         error {stoch_worst:.1}% vs the reactive TG's {tg_worst:.1}% — the \
+         paper's §2 argument, quantified."
     );
+    println!("{}", outcome.cache.summary_line());
+}
+
+fn worst_err(results: &[JobResult], master: &str) -> f64 {
+    results
+        .iter()
+        .filter(|r| r.master == master)
+        .filter_map(|r| r.error_pct)
+        .fold(0.0, f64::max)
 }

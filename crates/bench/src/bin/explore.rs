@@ -1,14 +1,16 @@
 //! Design-space exploration — the paper's whole *point*: translate once,
 //! then evaluate many interconnect candidates with fast TG simulations.
 //!
-//! One set of TG programs (traced on AMBA) is replayed on all four
-//! interconnect models; the table shows how completion time and traffic
-//! shift with the fabric.
+//! A thin frontend over the `ntg-explore` campaign engine: one TG-only
+//! campaign across all five fabrics. The engine's artifact cache
+//! guarantees the property this experiment demonstrates — one traced
+//! reference simulation, one translation, then every fabric reuses the
+//! same TG images (the cache summary proves it).
 //!
 //! Usage: `cargo run --release -p ntg-bench --bin explore`
 
-use ntg_bench::trace_and_translate;
-use ntg_platform::InterconnectChoice;
+use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, MasterChoice, RunOptions};
+use ntg_platform::ALL_INTERCONNECTS;
 use ntg_workloads::Workload;
 
 fn main() {
@@ -20,46 +22,38 @@ fn main() {
         cores
     );
 
-    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let mut spec = CampaignSpec::new("explore");
+    spec.workloads = vec![workload];
+    spec.cores = CoreSelection::List(vec![cores]);
+    spec.interconnects = ALL_INTERCONNECTS.to_vec();
+    spec.masters = vec![MasterChoice::Tg];
+    // A bounded run instead of a checked one: some design points
+    // legitimately never finish — static-priority arbitration starves a
+    // spinlock holder behind higher-priority pollers, a classic livelock
+    // this exploration is meant to expose.
+    spec.max_cycles = 5_000_000;
+
+    let outcome = run_campaign(&spec, &RunOptions::default()).expect("campaign ran");
+
     println!(
         "{:<12} {:>14} {:>14} {:>12} {:>18}",
         "fabric", "exec cycles", "transactions", "sim time", "latency mean/max"
     );
-    for fabric in [
-        InterconnectChoice::Amba,
-        InterconnectChoice::AmbaFixedPriority,
-        InterconnectChoice::Crossbar,
-        InterconnectChoice::Xpipes,
-        InterconnectChoice::Ideal,
-    ] {
-        let mut p = workload
-            .build_tg_platform(images.clone(), fabric, false)
-            .expect("build TG platform");
-        // A bounded run instead of run_checked: some design points
-        // legitimately never finish — static-priority arbitration starves
-        // a spinlock holder behind higher-priority pollers, a classic
-        // livelock this exploration is meant to expose.
-        let report = p.run(5_000_000);
-        let latency = p
-            .interconnect_latency()
-            .map(|(mean, max)| format!("{mean:.1}/{max}"))
-            .unwrap_or_else(|| "-".into());
-        match report.execution_time() {
+    for r in &outcome.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.key, r.error);
+        let latency = match (r.latency_mean, r.latency_max) {
+            (Some(mean), Some(max)) => format!("{mean:.1}/{max}"),
+            _ => "-".into(),
+        };
+        let sim_time = format!("{:.3?}", std::time::Duration::from_secs_f64(r.wall_secs));
+        match r.cycles {
             Some(cycles) => println!(
-                "{:<12} {:>14} {:>14} {:>11.3?} {:>18}",
-                fabric.to_string(),
-                cycles,
-                p.interconnect_transactions(),
-                report.wall_time,
-                latency,
+                "{:<12} {:>14} {:>14} {:>12} {:>18}",
+                r.interconnect, cycles, r.transactions, sim_time, latency,
             ),
             None => println!(
-                "{:<12} {:>14} {:>14} {:>11.3?} {:>18}  (livelock: pollers starve the lock holder)",
-                fabric.to_string(),
-                "DNF",
-                p.interconnect_transactions(),
-                report.wall_time,
-                latency,
+                "{:<12} {:>14} {:>14} {:>12} {:>18}  (livelock: pollers starve the lock holder)",
+                r.interconnect, "DNF", r.transactions, sim_time, latency,
             ),
         }
     }
@@ -67,4 +61,5 @@ fn main() {
         "\nEvery row reuses the same TG images: one reference simulation, \
          many cheap cycle-true interconnect evaluations."
     );
+    println!("{}", outcome.cache.summary_line());
 }

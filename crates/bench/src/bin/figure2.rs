@@ -47,7 +47,7 @@ fn private_slave_pattern() {
     a.li(R1, 0x111);
     a.stw(R1, R2, 0); // WR
     a.ldw(R3, R2, 0); // RD (blocking)
-    // Compute gap.
+                      // Compute gap.
     a.li(R4, 20);
     a.label("gap");
     a.addi(R4, R4, -1);
@@ -99,10 +99,7 @@ fn semaphore_contention_pattern() {
     b.add_cpu(make(1, 4, 30)); // M2: arrives second, polls
     let mut p = b.build().unwrap();
     assert!(p.run(100_000).completed);
-    print_timeline(
-        "Figure 2(b): M1 locks the semaphore",
-        &p.trace(0).unwrap(),
-    );
+    print_timeline("Figure 2(b): M1 locks the semaphore", &p.trace(0).unwrap());
     print_timeline(
         "Figure 2(b): M2 polls until M1 unlocks",
         &p.trace(1).unwrap(),

@@ -36,7 +36,7 @@ fn main() {
     a.bne(R4, R0, "g2");
     a.li(R2, shared + 0x30);
     a.ldw(R3, R2, 0); // RD
-    // Poll the semaphore (locked by master 1 for a while).
+                      // Poll the semaphore (locked by master 1 for a while).
     a.li(R2, sem);
     a.li(R1, 1);
     a.label("poll");
@@ -71,7 +71,10 @@ fn main() {
 
     println!("Reproduction of Figure 3 (DATE'05 TG paper)\n");
     println!("=== (a) collected trace (.trc) ===\n{}", trace.to_trc());
-    println!("=== (b) derived TG program (.tgp) ===\n{}", tgp::to_tgp(&program));
+    println!(
+        "=== (b) derived TG program (.tgp) ===\n{}",
+        tgp::to_tgp(&program)
+    );
     println!(
         "Note the Semchk loop: any number of failed polls in (a) collapses \
          into the canonical Read/If pair in (b)."

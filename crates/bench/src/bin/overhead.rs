@@ -38,7 +38,9 @@ fn main() {
     let traced_wall = traced_report.wall_time;
 
     // Trace size and translation cost.
-    let traces: Vec<_> = (0..cores).map(|c| traced.trace(c).expect("traced")).collect();
+    let traces: Vec<_> = (0..cores)
+        .map(|c| traced.trace(c).expect("traced"))
+        .collect();
     let trc_bytes: usize = traces.iter().map(|t| t.to_trc().len()).sum();
     let translator = TraceTranslator::new(traced.translator_config(TranslationMode::Reactive));
     let (images, translate_wall) = time(|| {

@@ -3,28 +3,76 @@
 //! generators, across the four benchmarks and the paper's processor
 //! sweep, all on the AMBA interconnect.
 //!
-//! Usage: `cargo run --release -p ntg-bench --bin table2 [--quick]`
+//! A thin frontend over the `ntg-explore` campaign engine: the sweep is
+//! declared as a [`CampaignSpec`], the engine runs it (tracing each
+//! workload/core-count once, translating once, caching the TG images),
+//! and this binary formats the CPU/TG result pairs as the paper's table.
+//!
+//! Usage: `cargo run --release -p ntg-bench --bin table2 [--quick] [--threads N]`
 
-use ntg_bench::{format_table2, paper_workloads, quick_workloads, table2_row};
+use std::time::Duration;
+
+use ntg_bench::{format_table2, paper_workloads, quick_workloads, Table2Row};
+use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, RunOptions};
+use ntg_workloads::Workload;
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let workloads = if quick {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+
+    let mut spec = CampaignSpec::new(if quick { "table2-quick" } else { "table2" });
+    spec.workloads = if quick {
         quick_workloads()
     } else {
         paper_workloads()
     };
-    let repeats = if quick { 1 } else { 3 };
+    spec.cores = CoreSelection::Paper;
+    spec.repeats = if quick { 1 } else { 3 };
 
     println!("Reproduction of Table 2 (DATE'05 TG paper) — interconnect: AMBA");
-    println!("workload scale: {}\n", if quick { "quick" } else { "paper" });
+    println!(
+        "workload scale: {}\n",
+        if quick { "quick" } else { "paper" }
+    );
 
+    let outcome = run_campaign(
+        &spec,
+        &RunOptions {
+            threads,
+            quiet: false,
+            ..RunOptions::default()
+        },
+    )
+    .expect("campaign ran");
+
+    // Pair each (workload, cores)'s CPU and TG results into a table row.
     let mut rows = Vec::new();
-    for workload in workloads {
-        for cores in workload.paper_core_counts() {
-            eprintln!("running {} {}P ...", workload.name(), cores);
-            rows.push(table2_row(workload, cores, repeats));
+    for cpu in outcome.results.iter().filter(|r| r.master == "cpu") {
+        let tg = outcome
+            .results
+            .iter()
+            .find(|r| r.master == "tg" && r.workload == cpu.workload && r.cores == cpu.cores)
+            .expect("every CPU job has a TG counterpart");
+        for r in [cpu, tg] {
+            assert!(r.error.is_none(), "{}: {:?}", r.key, r.error);
+            assert_eq!(r.verified, Some(true), "{} must verify", r.key);
         }
+        let workload: Workload = cpu.workload.parse().expect("own spec string parses");
+        rows.push(Table2Row {
+            bench: workload.name(),
+            cores: cpu.cores,
+            arm_cycles: cpu.cycles.expect("cpu run completed"),
+            tg_cycles: tg.cycles.expect("tg run completed"),
+            arm_wall: Duration::from_secs_f64(cpu.wall_secs),
+            tg_wall: Duration::from_secs_f64(tg.wall_secs),
+        });
     }
     println!("{}", format_table2(&rows));
+    println!("{}", outcome.cache.summary_line());
 }

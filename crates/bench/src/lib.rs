@@ -163,7 +163,11 @@ pub fn translate_programs(
 pub fn run_checked(platform: &mut Platform, what: &str) -> RunReport {
     let report = platform.run(MAX_CYCLES);
     assert!(report.completed, "{what}: did not complete");
-    assert!(report.faults.is_empty(), "{what}: faults {:?}", report.faults);
+    assert!(
+        report.faults.is_empty(),
+        "{what}: faults {:?}",
+        report.faults
+    );
     report
 }
 
@@ -176,18 +180,17 @@ pub fn replay(
     let mut p = workload
         .build_tg_platform(images, interconnect, false)
         .expect("build TG platform");
-    run_checked(&mut p, &format!("{} replay on {interconnect}", workload.name()))
+    run_checked(
+        &mut p,
+        &format!("{} replay on {interconnect}", workload.name()),
+    )
 }
 
 /// Formats a slice of rows as the paper's Table 2.
 pub fn format_table2(rows: &[Table2Row]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "#IPs | Cumulative Execution Time          | Simulation Time\n",
-    );
-    out.push_str(
-        "     | ARM          TG           Error    | ARM        TG         Gain\n",
-    );
+    out.push_str("#IPs | Cumulative Execution Time          | Simulation Time\n");
+    out.push_str("     | ARM          TG           Error    | ARM        TG         Gain\n");
     let mut last_bench = "";
     for r in rows {
         if r.bench != last_bench {
@@ -219,7 +222,9 @@ pub fn paper_workloads() -> Vec<Workload> {
         Workload::SpMatrix { n: 16 },
         Workload::Cacheloop { iterations: 60_000 },
         Workload::MpMatrix { n: 24 },
-        Workload::Des { blocks_per_core: 24 },
+        Workload::Des {
+            blocks_per_core: 24,
+        },
     ]
 }
 

@@ -148,9 +148,7 @@ pub fn disassemble(image: &TgImage) -> TgProgram {
             TgInstr::BurstWrite { addr, data, count } => {
                 TgSymInstr::BurstWrite(*addr, *data, *count)
             }
-            TgInstr::If { a, b, cond, target } => {
-                TgSymInstr::If(*a, *b, *cond, label_of(*target))
-            }
+            TgInstr::If { a, b, cond, target } => TgSymInstr::If(*a, *b, *cond, label_of(*target)),
             TgInstr::Jump { target } => TgSymInstr::Jump(label_of(*target)),
             TgInstr::SetRegister { reg, value } => TgSymInstr::SetRegister(*reg, *value),
             TgInstr::Idle { cycles } => TgSymInstr::Idle(*cycles),

@@ -182,7 +182,9 @@ mod tests {
             inits: vec![(TgReg::new(2), 0x104), (TEMPREG, 1)],
             instrs: vec![
                 TgInstr::Idle { cycles: 11 },
-                TgInstr::Read { addr: TgReg::new(2) },
+                TgInstr::Read {
+                    addr: TgReg::new(2),
+                },
                 TgInstr::If {
                     a: RDREG,
                     b: TEMPREG,

@@ -220,9 +220,7 @@ impl TgInstr {
     pub fn encode(&self) -> [u32; 3] {
         match *self {
             TgInstr::Read { addr } => [pack(op::READ, addr.num(), 0, 0), 0, 0],
-            TgInstr::Write { addr, data } => {
-                [pack(op::WRITE, addr.num(), data.num(), 0), 0, 0]
-            }
+            TgInstr::Write { addr, data } => [pack(op::WRITE, addr.num(), data.num(), 0), 0, 0],
             TgInstr::BurstRead { addr, count } => {
                 [pack(op::BURST_READ, addr.num(), count.num(), 0), 0, 0]
             }

@@ -50,17 +50,18 @@ mod image;
 mod isa;
 mod multitask;
 mod program;
+pub mod rng;
 mod stochastic;
 mod tgcore;
-mod tgslave;
 pub mod tgp;
+mod tgslave;
 pub mod translate;
 
 pub use asm::{assemble, disassemble, TgAsmError};
 pub use image::{TgImage, TgImageError};
 pub use isa::{TgCond, TgDecodeError, TgInstr, TgReg, RDREG, TEMPREG};
-pub use program::{TgItem, TgProgram, TgSymInstr};
 pub use multitask::{SchedulerStats, TgMultiCore, TimesliceConfig};
+pub use program::{TgItem, TgProgram, TgSymInstr};
 pub use stochastic::{GapDistribution, StochasticConfig, StochasticTg};
 pub use tgcore::{TgCore, TgFault, TgStats};
 pub use tgslave::{TgSlave, TgSlaveBehavior};

@@ -271,10 +271,7 @@ mod tests {
             let mt = TgMultiCore::new(
                 "tg",
                 mport,
-                vec![
-                    writer_task(0x1000, 1, 6),
-                    writer_task(0x1004, 2, 6),
-                ],
+                vec![writer_task(0x1000, 1, 6), writer_task(0x1004, 2, 6)],
                 TimesliceConfig {
                     quantum: 25,
                     switch_penalty: penalty,
@@ -307,10 +304,7 @@ mod tests {
         let mut mt = TgMultiCore::new(
             "tg",
             mport,
-            vec![
-                writer_task(0x1000, 7, 5),
-                writer_task(0x1004, 8, 5),
-            ],
+            vec![writer_task(0x1000, 7, 5), writer_task(0x1004, 8, 5)],
             TimesliceConfig {
                 quantum: 1,
                 switch_penalty: 0,

@@ -19,10 +19,9 @@
 //! *reactivity*: it never polls, so synchronisation dynamics are absent
 //! from its traffic.
 
+use crate::rng::Xoshiro256;
 use ntg_ocp::{MasterPort, OcpRequest, OcpStatus};
 use ntg_sim::{Component, Cycle};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Inter-arrival (idle-gap) distribution between transactions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,12 +47,13 @@ pub enum GapDistribution {
 }
 
 impl GapDistribution {
-    fn sample(&self, rng: &mut StdRng) -> u32 {
+    fn sample(&self, rng: &mut Xoshiro256) -> u32 {
         match *self {
-            GapDistribution::Uniform { min, max } => rng.gen_range(min..=max.max(min)),
+            GapDistribution::Uniform { min, max } => rng.range_u32(min, max),
             GapDistribution::Geometric { mean } => {
                 let p = 1.0 / f64::from(mean.max(1));
-                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                // Clamp away from 0 so ln(u) stays finite.
+                let u = rng.f64().max(f64::EPSILON);
                 (u.ln() / (1.0 - p).ln()).floor() as u32
             }
             GapDistribution::Fixed { gap } => gap,
@@ -112,7 +112,7 @@ pub struct StochasticTg {
     name: String,
     port: MasterPort,
     cfg: StochasticConfig,
-    rng: StdRng,
+    rng: Xoshiro256,
     state: State,
     issued: u64,
     errors: u64,
@@ -135,11 +135,10 @@ impl StochasticTg {
             );
         }
         assert!(
-            (0.0..=1.0).contains(&cfg.write_fraction)
-                && (0.0..=1.0).contains(&cfg.burst_fraction),
+            (0.0..=1.0).contains(&cfg.write_fraction) && (0.0..=1.0).contains(&cfg.burst_fraction),
             "fractions must be within [0, 1]"
         );
-        let rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = Xoshiro256::seed_from_u64(cfg.seed);
         Self {
             name: name.into(),
             port,
@@ -174,25 +173,27 @@ impl StochasticTg {
     }
 
     fn pick_addr(&mut self, burst_words: u32) -> u32 {
-        let (base, size) = self.cfg.ranges[self.rng.gen_range(0..self.cfg.ranges.len())];
+        let idx = self.rng.below(self.cfg.ranges.len() as u64) as usize;
+        let (base, size) = self.cfg.ranges[idx];
         let words = size / 4;
         let span = words.saturating_sub(burst_words - 1).max(1);
-        base + self.rng.gen_range(0..span) * 4
+        base + self.rng.below(u64::from(span)) as u32 * 4
     }
 
     fn issue(&mut self, now: Cycle) {
-        let is_write = self.rng.gen_bool(self.cfg.write_fraction);
-        let is_burst = self.rng.gen_bool(self.cfg.burst_fraction);
+        let is_write = self.rng.bool(self.cfg.write_fraction);
+        let is_burst = self.rng.bool(self.cfg.burst_fraction);
         let req = match (is_write, is_burst) {
             (false, false) => OcpRequest::read(self.pick_addr(1)),
             (false, true) => OcpRequest::burst_read(self.pick_addr(4), 4),
             (true, false) => {
                 let addr = self.pick_addr(1);
-                OcpRequest::write(addr, self.rng.gen())
+                let data = self.rng.next_u32();
+                OcpRequest::write(addr, data)
             }
             (true, true) => {
                 let addr = self.pick_addr(4);
-                let data = (0..4).map(|_| self.rng.gen()).collect();
+                let data = (0..4).map(|_| self.rng.next_u32()).collect();
                 OcpRequest::burst_write(addr, data)
             }
         };
@@ -318,7 +319,10 @@ mod tests {
             transactions: 150,
             ..StochasticConfig::default()
         };
-        let (_, _, t1) = run_to_halt(StochasticConfig { seed: 1, ..base.clone() });
+        let (_, _, t1) = run_to_halt(StochasticConfig {
+            seed: 1,
+            ..base.clone()
+        });
         let (_, _, t2) = run_to_halt(StochasticConfig { seed: 2, ..base });
         assert_ne!(t1, t2, "different seeds should differ (overwhelmingly)");
     }

@@ -220,7 +220,13 @@ impl TgCore {
             TgInstr::BurstRead { addr, count } => {
                 let n = reg(count);
                 if n == 0 || n > 255 {
-                    self.stop_with_fault(now, TgFault::BadBurstCount { pc: self.pc, value: n });
+                    self.stop_with_fault(
+                        now,
+                        TgFault::BadBurstCount {
+                            pc: self.pc,
+                            value: n,
+                        },
+                    );
                     return;
                 }
                 self.port
@@ -232,7 +238,13 @@ impl TgCore {
             TgInstr::BurstWrite { addr, data, count } => {
                 let n = reg(count);
                 if n == 0 || n > 255 {
-                    self.stop_with_fault(now, TgFault::BadBurstCount { pc: self.pc, value: n });
+                    self.stop_with_fault(
+                        now,
+                        TgFault::BadBurstCount {
+                            pc: self.pc,
+                            value: n,
+                        },
+                    );
                     return;
                 }
                 let payload = vec![reg(data); n as usize];
@@ -431,10 +443,7 @@ mod tests {
             tg.tick(now);
             mem.tick(now);
         }
-        assert_eq!(
-            tg.fault(),
-            Some(TgFault::BadBurstCount { pc: 0, value: 0 })
-        );
+        assert_eq!(tg.fault(), Some(TgFault::BadBurstCount { pc: 0, value: 0 }));
     }
 
     #[test]

@@ -59,7 +59,11 @@ fn parse_reg(s: &str, line: usize) -> Result<TgReg, TgpParseError> {
         line,
         reason: format!("invalid register {s:?}"),
     };
-    let n: u8 = s.strip_prefix('r').ok_or_else(err)?.parse().map_err(|_| err())?;
+    let n: u8 = s
+        .strip_prefix('r')
+        .ok_or_else(err)?
+        .parse()
+        .map_err(|_| err())?;
     if n > 15 {
         return Err(err());
     }
@@ -273,7 +277,10 @@ pub fn from_tgp(text: &str) -> Result<TgProgram, TgpParseError> {
             }
             "SetRegister" => {
                 want(2)?;
-                TgSymInstr::SetRegister(parse_reg(args[0], line_no)?, parse_value(args[1], line_no)?)
+                TgSymInstr::SetRegister(
+                    parse_reg(args[0], line_no)?,
+                    parse_value(args[1], line_no)?,
+                )
             }
             "Idle" => {
                 want(1)?;

@@ -181,9 +181,7 @@ impl TgSlave {
             (OcpCmd::Read | OcpCmd::BurstRead, TgSlaveBehavior::Memory) => {
                 self.reads += 1;
                 let data = (0..beats)
-                    .map(|b| {
-                        self.store[self.index(req.addr + b * 4).expect("range checked")]
-                    })
+                    .map(|b| self.store[self.index(req.addr + b * 4).expect("range checked")])
                     .collect();
                 Some(OcpResponse::ok(data, req.tag))
             }

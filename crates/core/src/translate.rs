@@ -56,6 +56,31 @@ pub enum TranslationMode {
     Reactive,
 }
 
+impl std::fmt::Display for TranslationMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TranslationMode::Clone => "clone",
+            TranslationMode::Timeshift => "timeshift",
+            TranslationMode::Reactive => "reactive",
+        })
+    }
+}
+
+impl std::str::FromStr for TranslationMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "clone" => Ok(TranslationMode::Clone),
+            "timeshift" => Ok(TranslationMode::Timeshift),
+            "reactive" => Ok(TranslationMode::Reactive),
+            _ => Err(format!(
+                "unknown translation mode `{s}` (expected clone, timeshift or reactive)"
+            )),
+        }
+    }
+}
+
 /// Platform knowledge handed to the translator.
 #[derive(Debug, Clone, Default)]
 pub struct TranslatorConfig {
@@ -71,6 +96,43 @@ pub struct TranslatorConfig {
     /// Extra idle cycles inserted inside each `Semchk` loop to slow down
     /// re-polling (0 matches a tight two-instruction CPU poll loop).
     pub poll_idle: u32,
+}
+
+impl TranslatorConfig {
+    /// A stable 64-bit fingerprint of every field that influences
+    /// translation output.
+    ///
+    /// Two configurations with equal keys produce identical TG programs
+    /// from identical traces, so the key is usable as a cache key for
+    /// translated artifacts (the `ntg-explore` campaign engine keys its
+    /// TG-binary cache on `(workload, cores, trace fabric, cache_key)`).
+    ///
+    /// The hash is FNV-1a with fixed field ordering — stable across
+    /// processes, platforms and releases (unlike `std`'s `DefaultHasher`,
+    /// whose algorithm is explicitly unspecified).
+    pub fn cache_key(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        let mode = match self.mode {
+            TranslationMode::Clone => 0u8,
+            TranslationMode::Timeshift => 1,
+            TranslationMode::Reactive => 2,
+        };
+        eat(&[mode, u8::from(self.loop_forever)]);
+        eat(&self.poll_idle.to_le_bytes());
+        eat(&(self.pollable.len() as u64).to_le_bytes());
+        for &(base, size) in &self.pollable {
+            eat(&base.to_le_bytes());
+            eat(&size.to_le_bytes());
+        }
+        h
+    }
 }
 
 /// Errors produced by translation.
@@ -298,9 +360,7 @@ impl TraceTranslator {
                 Group::Single(tx) => {
                     match tx.cmd {
                         OcpCmd::Read => program.push(TgSymInstr::Read(regs::ADDR)),
-                        OcpCmd::Write => {
-                            program.push(TgSymInstr::Write(regs::ADDR, regs::DATA))
-                        }
+                        OcpCmd::Write => program.push(TgSymInstr::Write(regs::ADDR, regs::DATA)),
                         OcpCmd::BurstRead => {
                             program.push(TgSymInstr::BurstRead(regs::ADDR, regs::COUNT))
                         }
@@ -365,6 +425,26 @@ impl TraceTranslator {
 mod tests {
     use super::*;
     use crate::program::TgItem;
+
+    #[test]
+    fn cache_key_is_stable_and_discriminating() {
+        let base = TranslatorConfig {
+            pollable: vec![(0x100, 0x40)],
+            mode: TranslationMode::Reactive,
+            loop_forever: false,
+            poll_idle: 0,
+        };
+        assert_eq!(base.cache_key(), base.clone().cache_key());
+        let mut other = base.clone();
+        other.mode = TranslationMode::Clone;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.poll_idle = 3;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = base.clone();
+        other.pollable.push((0x200, 0x10));
+        assert_ne!(base.cache_key(), other.cache_key());
+    }
 
     fn translate(trc: &str, cfg: TranslatorConfig) -> TgProgram {
         let trace = MasterTrace::from_trc(trc).unwrap();
@@ -636,9 +716,7 @@ END
         let p = translate(trc, TranslatorConfig::default());
         assert!(p.inits.contains(&(regs::DATA, 7)));
         assert!(p.inits.contains(&(regs::COUNT, 3)));
-        assert!(p
-            .instrs()
-            .any(|i| matches!(i, TgSymInstr::BurstWrite(..))));
+        assert!(p.instrs().any(|i| matches!(i, TgSymInstr::BurstWrite(..))));
     }
 
     #[test]
@@ -654,10 +732,7 @@ END
         let p = translate(trc, TranslatorConfig::default());
         let instrs: Vec<_> = p.instrs().cloned().collect();
         // Write accepted at cycle 4; halt at cycle 100: idle = 100-4-1.
-        assert_eq!(
-            instrs.last(),
-            Some(&TgSymInstr::Halt)
-        );
+        assert_eq!(instrs.last(), Some(&TgSymInstr::Halt));
         assert_eq!(instrs[instrs.len() - 2], TgSymInstr::Idle(95));
     }
 

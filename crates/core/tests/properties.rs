@@ -2,8 +2,8 @@
 
 use ntg_core::tgp::{from_tgp, to_tgp};
 use ntg_core::{
-    assemble, disassemble, TgCond, TgImage, TgInstr, TgItem, TgReg, TgSymInstr,
-    TraceTranslator, TranslationMode, TranslatorConfig,
+    assemble, disassemble, TgCond, TgImage, TgInstr, TgItem, TgReg, TgSymInstr, TraceTranslator,
+    TranslationMode, TranslatorConfig,
 };
 use proptest::prelude::*;
 
@@ -25,10 +25,17 @@ fn any_tg_instr(max_target: u32) -> impl Strategy<Value = TgInstr> {
         reg().prop_map(|addr| TgInstr::Read { addr }),
         (reg(), reg()).prop_map(|(addr, data)| TgInstr::Write { addr, data }),
         (reg(), reg()).prop_map(|(addr, count)| TgInstr::BurstRead { addr, count }),
-        (reg(), reg(), reg())
-            .prop_map(|(addr, data, count)| TgInstr::BurstWrite { addr, data, count }),
-        (reg(), reg(), cond(), 0..max_target)
-            .prop_map(|(a, b, cond, target)| TgInstr::If { a, b, cond, target }),
+        (reg(), reg(), reg()).prop_map(|(addr, data, count)| TgInstr::BurstWrite {
+            addr,
+            data,
+            count
+        }),
+        (reg(), reg(), cond(), 0..max_target).prop_map(|(a, b, cond, target)| TgInstr::If {
+            a,
+            b,
+            cond,
+            target
+        }),
         (0..max_target).prop_map(|target| TgInstr::Jump { target }),
         (reg(), any::<u32>()).prop_map(|(reg, value)| TgInstr::SetRegister { reg, value }),
         (1u32..1_000_000).prop_map(|cycles| TgInstr::Idle { cycles }),
@@ -143,12 +150,12 @@ proptest! {
 /// monotonically increasing timestamps.
 fn any_trace() -> impl Strategy<Value = ntg_trace::MasterTrace> {
     let tx = (
-        any::<bool>(),               // write?
-        0u32..0x100,                 // word index
-        any::<u32>(),                // data
-        1u64..40,                    // gap to request
-        1u64..20,                    // accept delay
-        1u64..30,                    // response delay
+        any::<bool>(), // write?
+        0u32..0x100,   // word index
+        any::<u32>(),  // data
+        1u64..40,      // gap to request
+        1u64..20,      // accept delay
+        1u64..30,      // response delay
     );
     prop::collection::vec(tx, 0..25).prop_map(|txs| {
         use ntg_trace::TraceEvent;

@@ -32,7 +32,10 @@ use crate::isa::{encode, Cond, Instr, Reg, IMM18_RANGE, OFF26_RANGE, R0};
 enum Item {
     Fixed(Instr),
     BranchTo(Cond, Reg, Reg, String),
-    JumpTo { link: bool, target: String },
+    JumpTo {
+        link: bool,
+        target: String,
+    },
     LiLabel(Reg, String),
     Word(u32),
     /// Pad with `nop`s until the position is a multiple of this many

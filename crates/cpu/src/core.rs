@@ -10,15 +10,13 @@ use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::isa::{decode, Instr, Reg};
 
 /// Static configuration of a [`CpuCore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CpuConfig {
     /// Instruction-cache geometry.
     pub icache: CacheConfig,
     /// Data-cache geometry.
     pub dcache: CacheConfig,
 }
-
 
 /// Execution statistics of one core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -210,7 +208,11 @@ impl CpuCore {
                 self.state = State::Ready;
                 Some(Some(resp.word()))
             }
-            State::WaitDFill { line_addr, rd, addr } => {
+            State::WaitDFill {
+                line_addr,
+                rd,
+                addr,
+            } => {
                 let resp = self.port.take_response(now)?;
                 if resp.status != ntg_ocp::OcpStatus::Ok {
                     self.stop_with_fault(now, CpuFault::BusError { pc: self.pc });

@@ -75,8 +75,7 @@ impl Interp {
     /// Loads a program image and sets the pc to its entry point.
     pub fn load(&mut self, program: &crate::asm::Program) {
         for (i, w) in program.words().iter().enumerate() {
-            self.mem
-                .insert(program.entry() + (i as u32) * 4, *w);
+            self.mem.insert(program.entry() + (i as u32) * 4, *w);
         }
         self.pc = program.entry();
     }

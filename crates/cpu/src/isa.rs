@@ -293,10 +293,7 @@ fn i(op: u32, rd: Reg, rs: Reg, imm: i32) -> u32 {
 
 fn sh(op: u32, rd: Reg, rs: Reg, shamt: u8) -> u32 {
     assert!(shamt < 32, "shift amount {shamt} out of range");
-    (op << 26)
-        | (u32::from(rd.num()) << 22)
-        | (u32::from(rs.num()) << 18)
-        | u32::from(shamt)
+    (op << 26) | (u32::from(rd.num()) << 22) | (u32::from(rs.num()) << 18) | u32::from(shamt)
 }
 
 /// Encodes an instruction to its 32-bit binary form.
@@ -342,10 +339,7 @@ pub fn encode(instr: &Instr) -> u32 {
                 Cond::Ltu => op::BLTU,
                 Cond::Geu => op::BGEU,
             };
-            (opc << 26)
-                | (u32::from(rs.num()) << 22)
-                | (u32::from(rt.num()) << 18)
-                | imm18(off)
+            (opc << 26) | (u32::from(rs.num()) << 22) | (u32::from(rt.num()) << 18) | imm18(off)
         }
         J(off) => (op::J << 26) | off26(off),
         Jal(off) => (op::JAL << 26) | off26(off),

@@ -150,7 +150,11 @@ fn run_both(program: &ntg_cpu::Program) -> (Interp, CpuCore) {
         }
     }
     assert!(cpu.halted(), "cycle-true core must halt");
-    assert!(cpu.fault().is_none(), "no faults expected: {:?}", cpu.fault());
+    assert!(
+        cpu.fault().is_none(),
+        "no faults expected: {:?}",
+        cpu.fault()
+    );
     (interp, cpu)
 }
 

@@ -1,0 +1,319 @@
+//! `ntg-sweep` — declarative design-space-exploration campaigns.
+//!
+//! Expands a cartesian sweep spec (workloads × core counts ×
+//! interconnects × master kinds × translation modes) into jobs, runs
+//! them on a worker pool with trace/TG-image caching, and writes a
+//! byte-reproducible JSONL result file (see `ntg_explore` docs).
+//!
+//! ```text
+//! ntg-sweep --preset quick --threads 4 --out quick.jsonl
+//! ntg-sweep --workloads mp_matrix:16 --cores 4 --fabrics all \
+//!           --masters cpu,tg --out fabrics.jsonl
+//! ntg-sweep --preset table2 --resume --out table2.jsonl
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, MasterChoice, RunOptions};
+use ntg_platform::{InterconnectChoice, ALL_INTERCONNECTS};
+use ntg_workloads::Workload;
+
+const USAGE: &str = "\
+ntg-sweep — run a design-space-exploration campaign
+
+USAGE:
+    ntg-sweep [--preset NAME] [OPTIONS]
+
+PRESETS (a starting point; later options override):
+    table2     paper Table 2: 4 workloads, paper core sweeps, CPU vs TG on AMBA
+    quick      small smoke campaign: 2 workloads x {2,4}P x {amba,xpipes}, CPU vs TG
+    fabrics    paper §1 exploration: mp_matrix:16 4P across all interconnects
+    ablation   mp_matrix:16 4P: cpu/tg/stochastic x all modes x 3 fabrics
+
+OPTIONS:
+    --name NAME          campaign name (default: preset name or `sweep`)
+    --workloads LIST     comma-separated workload specs, e.g. mp_matrix:16,cacheloop:5000
+    --cores LIST|paper   comma-separated core counts, or `paper` for each
+                         workload's Table-2 sweep
+    --fabrics LIST|all   interconnects to evaluate (amba, amba-fixed,
+                         crossbar, xpipes, ideal)
+    --masters LIST       master kinds: cpu, tg, stochastic
+    --modes LIST         translation modes for TG jobs: clone, timeshift, reactive
+    --trace-fabric F     interconnect reference traces are collected on (default amba)
+    --seed N             campaign base seed (default 1)
+    --max-cycles N       simulated-cycle bound per run (default 2000000000)
+    --repeats N          timing repeats per job (default 1)
+    --threads N          worker threads (default 1)
+    --out PATH           result file (default <name>.jsonl)
+    --resume             keep matching results from an earlier partial run
+    --dry-run            print the expanded job list and exit
+    --quiet              suppress per-job progress on stderr
+    -h, --help           this text
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ntg-sweep: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut spec: Option<CampaignSpec> = None;
+    let mut name: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut opts = RunOptions {
+        threads: 1,
+        out: None,
+        resume: false,
+        quiet: false,
+    };
+    let mut dry_run = false;
+
+    let mut it = args.into_iter();
+    // The spec starts from a preset if `--preset` comes first; any axis
+    // flag before a default spec creates one.
+    let take = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let p = take(&mut it, "--preset")?;
+                if spec.is_some() {
+                    return Err("--preset must come before axis options".into());
+                }
+                spec = Some(preset(&p)?);
+            }
+            "--name" => name = Some(take(&mut it, "--name")?),
+            "--workloads" => {
+                spec.get_or_insert_with(default_spec).workloads =
+                    parse_list(&take(&mut it, "--workloads")?, |s| s.parse::<Workload>())?;
+            }
+            "--cores" => {
+                let v = take(&mut it, "--cores")?;
+                spec.get_or_insert_with(default_spec).cores = if v == "paper" {
+                    CoreSelection::Paper
+                } else {
+                    CoreSelection::List(parse_list(&v, |s| {
+                        s.parse::<usize>().map_err(|e| format!("core count: {e}"))
+                    })?)
+                };
+            }
+            "--fabrics" => {
+                let v = take(&mut it, "--fabrics")?;
+                spec.get_or_insert_with(default_spec).interconnects = if v == "all" {
+                    ALL_INTERCONNECTS.to_vec()
+                } else {
+                    parse_list(&v, |s| s.parse::<InterconnectChoice>())?
+                };
+            }
+            "--masters" => {
+                spec.get_or_insert_with(default_spec).masters =
+                    parse_list(&take(&mut it, "--masters")?, |s| s.parse::<MasterChoice>())?;
+            }
+            "--modes" => {
+                spec.get_or_insert_with(default_spec).modes =
+                    parse_list(&take(&mut it, "--modes")?, |s| s.parse())?;
+            }
+            "--trace-fabric" => {
+                spec.get_or_insert_with(default_spec).trace_interconnect =
+                    take(&mut it, "--trace-fabric")?.parse()?;
+            }
+            "--seed" => {
+                spec.get_or_insert_with(default_spec).base_seed = take(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--max-cycles" => {
+                spec.get_or_insert_with(default_spec).max_cycles = take(&mut it, "--max-cycles")?
+                    .parse()
+                    .map_err(|e| format!("--max-cycles: {e}"))?;
+            }
+            "--repeats" => {
+                spec.get_or_insert_with(default_spec).repeats = take(&mut it, "--repeats")?
+                    .parse()
+                    .map_err(|e| format!("--repeats: {e}"))?;
+            }
+            "--threads" => {
+                opts.threads = take(&mut it, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(take(&mut it, "--out")?)),
+            "--resume" => opts.resume = true,
+            "--dry-run" => dry_run = true,
+            "--quiet" => opts.quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown option `{other}` (see --help)")),
+        }
+    }
+
+    let mut spec = spec.ok_or("nothing to do: give --preset or axis options (see --help)")?;
+    if let Some(n) = name {
+        spec.name = n;
+    }
+    if spec.workloads.is_empty() {
+        return Err("no workloads selected".into());
+    }
+
+    let jobs = spec.expand();
+    if dry_run {
+        println!(
+            "campaign `{}` ({} jobs, fingerprint {:016x}):",
+            spec.name,
+            jobs.len(),
+            spec.fingerprint()
+        );
+        for j in &jobs {
+            println!("  [{:>3}] {}", j.id, j.key());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    opts.out = Some(out.unwrap_or_else(|| PathBuf::from(format!("{}.jsonl", spec.name))));
+    let outcome = run_campaign(&spec, &opts)?;
+
+    // Result table: deterministic columns only; timings live in the
+    // sidecar.
+    println!(
+        "campaign `{}`: {} jobs ({} run, {} resumed) in {:.2}s",
+        outcome.header.name,
+        outcome.results.len(),
+        outcome.executed,
+        outcome.resumed,
+        outcome.wall_secs
+    );
+    println!("{}", outcome.cache.summary_line());
+    println!(
+        "\n{:<44} {:>14} {:>9} {:>9} {:>6}",
+        "configuration", "cycles", "err%", "verified", "cache"
+    );
+    let mut failures = 0;
+    for r in &outcome.results {
+        let cycles = match (r.error.as_ref(), r.cycles) {
+            (Some(_), _) => {
+                failures += 1;
+                "FAILED".to_string()
+            }
+            (None, Some(c)) => c.to_string(),
+            (None, None) => "bound".to_string(),
+        };
+        let err_pct = r
+            .error_pct
+            .map(|e| format!("{e:.2}"))
+            .unwrap_or_else(|| "-".into());
+        let verified = match r.verified {
+            Some(true) => "ok",
+            Some(false) => "MISMATCH",
+            None => "-",
+        };
+        let cache = match (r.trace_cache_hit, r.image_cache_hit) {
+            (Some(t), Some(i)) => format!("{}{}", hit_char(t), hit_char(i)),
+            (Some(t), None) => hit_char(t).to_string(),
+            _ => "-".into(),
+        };
+        println!(
+            "{:<44} {cycles:>14} {err_pct:>9} {verified:>9} {cache:>6}",
+            r.key
+        );
+    }
+    if let Some(out) = &opts.out {
+        println!("\nresults: {}", out.display());
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ntg-sweep: {failures} job(s) failed");
+        ExitCode::FAILURE
+    })
+}
+
+fn hit_char(hit: bool) -> char {
+    if hit {
+        'H'
+    } else {
+        'M'
+    }
+}
+
+fn default_spec() -> CampaignSpec {
+    CampaignSpec::new("sweep")
+}
+
+fn parse_list<T>(s: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .map(parse)
+        .collect()
+}
+
+fn preset(name: &str) -> Result<CampaignSpec, String> {
+    let mut spec = CampaignSpec::new(name);
+    match name {
+        // The paper's Table 2: every workload over its own core sweep,
+        // reference CPUs vs reactive TGs on the AMBA-like bus.
+        "table2" => {
+            spec.workloads = vec![
+                Workload::SpMatrix { n: 16 },
+                Workload::Cacheloop { iterations: 60_000 },
+                Workload::MpMatrix { n: 24 },
+                Workload::Des {
+                    blocks_per_core: 24,
+                },
+            ];
+            spec.cores = CoreSelection::Paper;
+            spec.repeats = 3;
+        }
+        // A fast smoke campaign that still exercises trace/image reuse:
+        // 16 jobs, 4 distinct traces, each translated once.
+        "quick" => {
+            spec.workloads = vec![
+                Workload::MpMatrix { n: 8 },
+                Workload::Cacheloop { iterations: 500 },
+            ];
+            spec.cores = CoreSelection::List(vec![2, 4]);
+            spec.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Xpipes];
+        }
+        // The §1 motivation: one TG program set evaluated across every
+        // interconnect. Bounded low — static-priority arbitration can
+        // legitimately livelock, which is a finding, not an error.
+        "fabrics" => {
+            spec.workloads = vec![Workload::MpMatrix { n: 16 }];
+            spec.cores = CoreSelection::List(vec![4]);
+            spec.interconnects = ALL_INTERCONNECTS.to_vec();
+            spec.max_cycles = 5_000_000;
+        }
+        // Fidelity ablation: all translation modes plus the stochastic
+        // related-work baseline, across three fabrics.
+        "ablation" => {
+            spec.workloads = vec![Workload::MpMatrix { n: 16 }];
+            spec.cores = CoreSelection::List(vec![4]);
+            spec.interconnects = vec![
+                InterconnectChoice::Amba,
+                InterconnectChoice::Crossbar,
+                InterconnectChoice::Xpipes,
+            ];
+            spec.masters = vec![
+                MasterChoice::Cpu,
+                MasterChoice::Tg,
+                MasterChoice::Stochastic,
+            ];
+            spec.modes = vec![
+                ntg_core::TranslationMode::Clone,
+                ntg_core::TranslationMode::Timeshift,
+                ntg_core::TranslationMode::Reactive,
+            ];
+        }
+        other => return Err(format!("unknown preset `{other}` (see --help)")),
+    }
+    Ok(spec)
+}

@@ -1,0 +1,352 @@
+//! The TG artifact cache — trace once, translate once, replay many
+//! times.
+//!
+//! The paper's economics (§6, Table 2) rest on amortisation: the
+//! expensive cycle-true reference simulation and the trace translation
+//! are one-time costs, after which every interconnect candidate is a
+//! cheap TG replay. This module makes that amortisation explicit and
+//! *verifiable* inside a campaign:
+//!
+//! * the **trace level** caches, per `(workload, cores, trace fabric)`,
+//!   the traced reference run's outputs: the per-core OCP traces, the
+//!   pollable ranges the translator needs, and the stochastic-baseline
+//!   calibration derived from the traces;
+//! * the **image level** caches, per `(workload, cores, trace fabric,
+//!   translator cache key)`, the translated and assembled TG binaries.
+//!
+//! Both levels have *build-once* semantics under concurrency: the first
+//! job to need an artifact builds it while holding that key's slot lock;
+//! concurrent jobs needing the same key block on the slot (jobs for
+//! other keys proceed), then read the finished artifact. Hit/miss
+//! counters let tests and the CLI assert "each trace was collected and
+//! translated exactly once".
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ntg_core::{GapDistribution, StochasticConfig, TgImage};
+use ntg_platform::InterconnectChoice;
+use ntg_trace::{MasterTrace, TraceStats};
+use ntg_workloads::Workload;
+
+use crate::spec::MasterChoice;
+
+/// Key of the trace level: one traced reference run.
+pub type TraceKey = (Workload, usize, InterconnectChoice);
+
+/// Key of the image level: a trace key plus
+/// [`TranslatorConfig::cache_key`](ntg_core::TranslatorConfig::cache_key).
+pub type ImageKey = (Workload, usize, InterconnectChoice, u64);
+
+/// Everything the traced reference run produces that later jobs reuse.
+#[derive(Debug, Clone)]
+pub struct TraceArtifact {
+    /// Per-core OCP traces (with halt timestamps).
+    pub traces: Vec<MasterTrace>,
+    /// Pollable address ranges of the traced platform (translator
+    /// "platform knowledge").
+    pub pollable: Vec<(u32, u32)>,
+    /// Per-core stochastic-baseline configurations calibrated to the
+    /// trace's aggregate load (seed field left 0; jobs fill in their
+    /// derived seed).
+    pub calibration: Vec<StochasticConfig>,
+    /// Execution time of the traced run in cycles.
+    pub ref_cycles: u64,
+}
+
+impl TraceArtifact {
+    /// Calibrates the per-core stochastic baseline from traces, exactly
+    /// like the `ablation_stochastic` experiment: same transaction
+    /// count, same mean gap, same read/write/burst mix, addresses drawn
+    /// from the platform's mapped ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed trace.
+    pub fn calibrate(
+        traces: &[MasterTrace],
+        period_ns: u64,
+        ranges: &[(u32, u32)],
+    ) -> Result<Vec<StochasticConfig>, String> {
+        traces
+            .iter()
+            .map(|t| {
+                let stats = TraceStats::from_trace(t).map_err(|e| format!("trace stats: {e:?}"))?;
+                let txs = stats.transactions();
+                let mean_gap_cycles = (stats.idle_gap_ns.mean().unwrap_or(0.0)
+                    / period_ns.max(1) as f64)
+                    .round() as u32;
+                let reads = stats.reads + stats.burst_reads;
+                let writes = stats.writes + stats.burst_writes;
+                Ok(StochasticConfig {
+                    seed: 0,
+                    ranges: ranges.to_vec(),
+                    write_fraction: writes as f64 / (reads + writes).max(1) as f64,
+                    burst_fraction: (stats.burst_reads + stats.burst_writes) as f64
+                        / txs.max(1) as f64,
+                    gap: GapDistribution::Geometric {
+                        mean: mean_gap_cycles.max(1),
+                    },
+                    transactions: txs,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One key's slot: taken (locked) by the builder, then holds the built
+/// artifact for every later reader.
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// A concurrent build-once map: the first `get_or_build` for a key runs
+/// the builder; concurrent calls for the same key wait and share the
+/// result. Errors are not cached — a later call retries the build.
+struct OnceMap<K, V> {
+    slots: Mutex<HashMap<K, Slot<V>>>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V> OnceMap<K, V> {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns `(artifact, was_hit)`.
+    fn get_or_build(
+        &self,
+        key: &K,
+        build: impl FnOnce() -> Result<V, String>,
+    ) -> Result<(Arc<V>, bool), String> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache map poisoned");
+            slots.entry(key.clone()).or_default().clone()
+        };
+        let mut guard = slot.lock().expect("cache slot poisoned");
+        if let Some(v) = guard.as_ref() {
+            return Ok((v.clone(), true));
+        }
+        let v = Arc::new(build()?);
+        *guard = Some(v.clone());
+        Ok((v, false))
+    }
+}
+
+impl<K, V> Default for OnceMap<K, V> {
+    fn default() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+/// A point-in-time copy of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Trace-level lookups served from cache.
+    pub trace_hits: u64,
+    /// Trace-level builds (reference runs executed).
+    pub trace_misses: u64,
+    /// Image-level lookups served from cache.
+    pub image_hits: u64,
+    /// Image-level builds (translations + assemblies executed).
+    pub image_misses: u64,
+}
+
+impl CacheSnapshot {
+    /// Formats the counters for CLI summaries.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "cache: traces {} built / {} reused, TG binaries {} built / {} reused",
+            self.trace_misses, self.trace_hits, self.image_misses, self.image_hits
+        )
+    }
+}
+
+/// The campaign-wide artifact cache.
+pub struct ArtifactCache {
+    traces: OnceMap<TraceKey, TraceArtifact>,
+    images: OnceMap<ImageKey, Vec<TgImage>>,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    image_hits: AtomicU64,
+    image_misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            traces: OnceMap::new(),
+            images: OnceMap::new(),
+            trace_hits: AtomicU64::new(0),
+            trace_misses: AtomicU64::new(0),
+            image_hits: AtomicU64::new(0),
+            image_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Trace-level lookup. Returns the artifact and whether it was a
+    /// cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (not cached; a later job retries).
+    pub fn traces(
+        &self,
+        key: &TraceKey,
+        build: impl FnOnce() -> Result<TraceArtifact, String>,
+    ) -> Result<(Arc<TraceArtifact>, bool), String> {
+        let (v, hit) = self.traces.get_or_build(key, build)?;
+        self.count(hit, &self.trace_hits, &self.trace_misses);
+        Ok((v, hit))
+    }
+
+    /// Image-level lookup. Returns the assembled TG binaries and whether
+    /// they came from cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error (not cached; a later job retries).
+    pub fn images(
+        &self,
+        key: &ImageKey,
+        build: impl FnOnce() -> Result<Vec<TgImage>, String>,
+    ) -> Result<(Arc<Vec<TgImage>>, bool), String> {
+        let (v, hit) = self.images.get_or_build(key, build)?;
+        self.count(hit, &self.image_hits, &self.image_misses);
+        Ok((v, hit))
+    }
+
+    fn count(&self, hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
+        if hit {
+            hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current counter values.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            image_hits: self.image_hits.load(Ordering::Relaxed),
+            image_misses: self.image_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Which artifact levels a job of this master kind consumes — used
+    /// by the runner to decide which hit flags a result records.
+    pub fn levels_used(master: MasterChoice) -> (bool, bool) {
+        match master {
+            MasterChoice::Cpu => (false, false),
+            MasterChoice::Tg => (true, true),
+            MasterChoice::Stochastic => (true, false),
+        }
+    }
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn build_once_then_hit() {
+        let cache = ArtifactCache::new();
+        let key = (
+            Workload::SpMatrix { n: 4 },
+            1,
+            InterconnectChoice::Amba,
+            7u64,
+        );
+        let builds = AtomicUsize::new(0);
+        for i in 0..3 {
+            let (v, hit) = cache
+                .images(&key, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    Ok(vec![])
+                })
+                .unwrap();
+            assert_eq!(v.len(), 0);
+            assert_eq!(hit, i > 0);
+        }
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let snap = cache.snapshot();
+        assert_eq!((snap.image_misses, snap.image_hits), (1, 2));
+    }
+
+    #[test]
+    fn distinct_keys_build_independently() {
+        let cache = ArtifactCache::new();
+        let k1 = (
+            Workload::SpMatrix { n: 4 },
+            1,
+            InterconnectChoice::Amba,
+            1u64,
+        );
+        let k2 = (
+            Workload::SpMatrix { n: 4 },
+            1,
+            InterconnectChoice::Amba,
+            2u64,
+        );
+        cache.images(&k1, || Ok(vec![])).unwrap();
+        let (_, hit) = cache.images(&k2, || Ok(vec![])).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.snapshot().image_misses, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ArtifactCache::new();
+        let key = (
+            Workload::SpMatrix { n: 4 },
+            1,
+            InterconnectChoice::Amba,
+            7u64,
+        );
+        assert!(cache.images(&key, || Err("boom".into())).is_err());
+        let (_, hit) = cache.images(&key, || Ok(vec![])).unwrap();
+        assert!(!hit, "error must not have populated the slot");
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = Arc::new(ArtifactCache::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let key = (
+            Workload::SpMatrix { n: 4 },
+            1,
+            InterconnectChoice::Amba,
+            9u64,
+        );
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = cache.clone();
+                let builds = builds.clone();
+                s.spawn(move || {
+                    cache
+                        .images(&key, || {
+                            builds.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(std::time::Duration::from_millis(10));
+                            Ok(vec![])
+                        })
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::SeqCst), 1);
+        let snap = cache.snapshot();
+        assert_eq!(snap.image_misses, 1);
+        assert_eq!(snap.image_hits, 7);
+    }
+}

@@ -1,0 +1,339 @@
+//! Declarative campaign specifications and their expansion into jobs.
+//!
+//! A [`CampaignSpec`] names a cartesian grid — workloads × core counts ×
+//! interconnects × master kinds × translation modes — and
+//! [`CampaignSpec::expand`] turns it into a flat, **deterministically
+//! ordered** list of [`JobSpec`]s:
+//!
+//! * expansion order is the nested iteration order of the spec's lists
+//!   (workload, then cores, then interconnect, then master, then mode),
+//!   so job ids are stable for a given spec;
+//! * the mode axis only multiplies TG jobs — CPU and stochastic masters
+//!   have no translation step, so they collapse to one job per
+//!   (workload, cores, interconnect);
+//! * each job's seed is derived from the campaign's base seed and a
+//!   stable hash of the job *key* (not the job index), so inserting a
+//!   new axis value reshuffles ids but never reseeds existing configs.
+
+use ntg_core::rng::derive_seed;
+use ntg_core::TranslationMode;
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+/// What kind of master occupies every socket of a job's platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MasterChoice {
+    /// Cycle-true Srisc CPU cores running the workload — the reference.
+    Cpu,
+    /// Traffic generators replaying the translated trace.
+    Tg,
+    /// The related-work stochastic baseline, auto-calibrated to the
+    /// reference trace's aggregate load (see `ablation_stochastic`).
+    Stochastic,
+}
+
+impl std::fmt::Display for MasterChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MasterChoice::Cpu => "cpu",
+            MasterChoice::Tg => "tg",
+            MasterChoice::Stochastic => "stochastic",
+        })
+    }
+}
+
+impl std::str::FromStr for MasterChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "cpu" => Ok(MasterChoice::Cpu),
+            "tg" => Ok(MasterChoice::Tg),
+            "stochastic" => Ok(MasterChoice::Stochastic),
+            _ => Err(format!(
+                "unknown master kind `{s}` (expected cpu, tg or stochastic)"
+            )),
+        }
+    }
+}
+
+/// How the core-count axis is chosen.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreSelection {
+    /// An explicit list, applied to every workload.
+    List(Vec<usize>),
+    /// Each workload's own Table-2 sweep
+    /// ([`Workload::paper_core_counts`]).
+    Paper,
+}
+
+/// A declarative sweep campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name (recorded in the result header).
+    pub name: String,
+    /// Workloads to sweep.
+    pub workloads: Vec<Workload>,
+    /// Core counts to sweep.
+    pub cores: CoreSelection,
+    /// Interconnects to evaluate.
+    pub interconnects: Vec<InterconnectChoice>,
+    /// Master kinds to evaluate.
+    pub masters: Vec<MasterChoice>,
+    /// Translation fidelity levels (multiplies TG jobs only).
+    pub modes: Vec<TranslationMode>,
+    /// The interconnect reference traces are collected on (the paper
+    /// traces on AMBA and explores elsewhere).
+    pub trace_interconnect: InterconnectChoice,
+    /// Base seed; per-job seeds are derived from it.
+    pub base_seed: u64,
+    /// Simulated-cycle bound per run (a job that hits it is recorded as
+    /// not completed — a legitimate exploration outcome, not an error).
+    pub max_cycles: u64,
+    /// Timing repeats per job; wall time is the minimum over repeats
+    /// (cycle counts are deterministic and identical across repeats).
+    pub repeats: usize,
+}
+
+impl CampaignSpec {
+    /// A campaign with the given name and engine defaults: AMBA traces,
+    /// seed 1, a 2-billion-cycle bound, one timing repeat, reactive
+    /// mode, CPU+TG masters on AMBA. Fill in the axes you sweep.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            workloads: Vec::new(),
+            cores: CoreSelection::List(vec![1]),
+            interconnects: vec![InterconnectChoice::Amba],
+            masters: vec![MasterChoice::Cpu, MasterChoice::Tg],
+            modes: vec![TranslationMode::Reactive],
+            trace_interconnect: InterconnectChoice::Amba,
+            base_seed: 1,
+            max_cycles: 2_000_000_000,
+            repeats: 1,
+        }
+    }
+
+    /// Expands the grid into deterministically ordered jobs.
+    pub fn expand(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::new();
+        for &workload in &self.workloads {
+            let core_counts = match &self.cores {
+                CoreSelection::List(l) => l.clone(),
+                CoreSelection::Paper => workload.paper_core_counts(),
+            };
+            for &cores in &core_counts {
+                for &interconnect in &self.interconnects {
+                    for &master in &self.masters {
+                        // Only TG jobs have a translation step; CPU and
+                        // stochastic masters collapse the mode axis.
+                        let modes: Vec<Option<TranslationMode>> = match master {
+                            MasterChoice::Tg => self.modes.iter().copied().map(Some).collect(),
+                            _ => vec![None],
+                        };
+                        for mode in modes {
+                            let id = jobs.len();
+                            let mut job = JobSpec {
+                                id,
+                                workload,
+                                cores,
+                                interconnect,
+                                master,
+                                mode,
+                                seed: 0,
+                                max_cycles: self.max_cycles,
+                                repeats: self.repeats.max(1),
+                            };
+                            job.seed = derive_seed(self.base_seed, fnv1a(job.key().as_bytes()));
+                            jobs.push(job);
+                        }
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// A stable fingerprint of everything that defines the campaign's
+    /// results: the expanded job list (keys and seeds) plus the global
+    /// run parameters. Resuming from a partial result file first checks
+    /// the recorded fingerprint so stale results are never silently
+    /// merged into a different campaign.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = String::new();
+        acc.push_str(&self.trace_interconnect.to_string());
+        acc.push('|');
+        acc.push_str(&self.max_cycles.to_string());
+        acc.push('|');
+        acc.push_str(&self.repeats.max(1).to_string());
+        for job in self.expand() {
+            acc.push('|');
+            acc.push_str(&job.key());
+            acc.push('#');
+            acc.push_str(&job.seed.to_string());
+        }
+        fnv1a(acc.as_bytes())
+    }
+}
+
+/// One fully specified simulation job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Stable index in expansion order — the JSONL ordering key.
+    pub id: usize,
+    /// The workload.
+    pub workload: Workload,
+    /// Number of masters.
+    pub cores: usize,
+    /// Interconnect under evaluation.
+    pub interconnect: InterconnectChoice,
+    /// Master kind.
+    pub master: MasterChoice,
+    /// Translation mode (`Some` only for TG jobs).
+    pub mode: Option<TranslationMode>,
+    /// Per-job seed (used by stochastic masters; derived, not configured).
+    pub seed: u64,
+    /// Simulated-cycle bound.
+    pub max_cycles: u64,
+    /// Timing repeats.
+    pub repeats: usize,
+}
+
+impl JobSpec {
+    /// The job's human-readable identity, e.g.
+    /// `mp_matrix:16|4P|xpipes|tg|reactive`. Unique within a campaign;
+    /// also the input of per-job seed derivation.
+    pub fn key(&self) -> String {
+        let mode = match self.mode {
+            Some(m) => m.to_string(),
+            None => "-".to_string(),
+        };
+        format!(
+            "{}|{}P|{}|{}|{}",
+            self.workload, self.cores, self.interconnect, self.master, mode
+        )
+    }
+}
+
+/// FNV-1a over a byte string — the stable hash used for job seeds and
+/// campaign fingerprints.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> CampaignSpec {
+        let mut s = CampaignSpec::new("test");
+        s.workloads = vec![
+            Workload::SpMatrix { n: 4 },
+            Workload::Cacheloop { iterations: 100 },
+        ];
+        s.cores = CoreSelection::List(vec![1, 2]);
+        s.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Ideal];
+        s.masters = vec![MasterChoice::Cpu, MasterChoice::Tg];
+        s.modes = vec![TranslationMode::Reactive, TranslationMode::Clone];
+        s
+    }
+
+    #[test]
+    fn expansion_counts_modes_only_for_tg() {
+        let jobs = small_spec().expand();
+        // 2 workloads × 2 cores × 2 fabrics × (1 cpu + 2 tg modes) = 24.
+        assert_eq!(jobs.len(), 24);
+        let cpu = jobs
+            .iter()
+            .filter(|j| j.master == MasterChoice::Cpu)
+            .count();
+        let tg = jobs.iter().filter(|j| j.master == MasterChoice::Tg).count();
+        assert_eq!((cpu, tg), (8, 16));
+        assert!(jobs
+            .iter()
+            .all(|j| (j.master == MasterChoice::Tg) == j.mode.is_some()));
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_ids_are_positional() {
+        let a = small_spec().expand();
+        let b = small_spec().expand();
+        assert_eq!(a, b);
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+        // Keys are unique.
+        let mut keys: Vec<_> = a.iter().map(JobSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), a.len());
+    }
+
+    #[test]
+    fn paper_core_selection_follows_each_workload() {
+        let mut s = CampaignSpec::new("paper");
+        s.workloads = vec![
+            Workload::SpMatrix { n: 4 },
+            Workload::Des { blocks_per_core: 1 },
+        ];
+        s.cores = CoreSelection::Paper;
+        s.masters = vec![MasterChoice::Cpu];
+        let jobs = s.expand();
+        let sp: Vec<usize> = jobs
+            .iter()
+            .filter(|j| matches!(j.workload, Workload::SpMatrix { .. }))
+            .map(|j| j.cores)
+            .collect();
+        let des: Vec<usize> = jobs
+            .iter()
+            .filter(|j| matches!(j.workload, Workload::Des { .. }))
+            .map(|j| j.cores)
+            .collect();
+        assert_eq!(sp, vec![1]);
+        assert_eq!(des, vec![3, 4, 6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn seeds_are_stable_per_key_not_per_position() {
+        let full = small_spec().expand();
+        let mut reduced_spec = small_spec();
+        reduced_spec.workloads.remove(0); // shifts every id
+        let reduced = reduced_spec.expand();
+        for j in &reduced {
+            let same = full.iter().find(|f| f.key() == j.key()).unwrap();
+            assert_eq!(same.seed, j.seed, "{}", j.key());
+            assert_ne!(same.id, j.id); // ids shifted, seeds did not
+        }
+    }
+
+    #[test]
+    fn fingerprint_tracks_spec_changes() {
+        let base = small_spec();
+        assert_eq!(base.fingerprint(), small_spec().fingerprint());
+        let mut other = small_spec();
+        other.max_cycles += 1;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut other = small_spec();
+        other.base_seed += 1;
+        assert_ne!(base.fingerprint(), other.fingerprint());
+        let mut other = small_spec();
+        other.interconnects.pop();
+        assert_ne!(base.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn master_choice_round_trips() {
+        for m in [
+            MasterChoice::Cpu,
+            MasterChoice::Tg,
+            MasterChoice::Stochastic,
+        ] {
+            assert_eq!(m.to_string().parse::<MasterChoice>().unwrap(), m);
+        }
+        assert!("arm".parse::<MasterChoice>().is_err());
+    }
+}

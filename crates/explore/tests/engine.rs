@@ -1,0 +1,231 @@
+//! End-to-end campaign engine tests: determinism across worker-thread
+//! counts, exactly-once artifact building, and resume-from-partial.
+
+use std::fs;
+
+use ntg_explore::{
+    parse_results, partial_path, run_campaign, CampaignSpec, CoreSelection, MasterChoice,
+    RunOptions,
+};
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+/// A small but representative campaign: 2 workloads × 2 core counts ×
+/// 2 fabrics × (cpu + tg) = 16 jobs, 4 distinct traces.
+fn small_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("engine-test");
+    spec.workloads = vec![
+        Workload::MpMatrix { n: 8 },
+        Workload::Cacheloop { iterations: 500 },
+    ];
+    spec.cores = CoreSelection::List(vec![2, 4]);
+    spec.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Xpipes];
+    spec
+}
+
+fn tmp_out(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ntg-explore-tests");
+    fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = fs::remove_file(&path);
+    let _ = fs::remove_file(partial_path(&path));
+    path
+}
+
+#[test]
+fn jsonl_is_byte_identical_across_thread_counts() {
+    let spec = small_spec();
+    let out1 = tmp_out("threads1.jsonl");
+    let out4 = tmp_out("threads4.jsonl");
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 1,
+            out: Some(out1.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            out: Some(out4.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let a = fs::read(&out1).unwrap();
+    let b = fs::read(&out4).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "canonical files must not depend on worker count");
+}
+
+#[test]
+fn each_trace_and_translation_happens_exactly_once() {
+    let spec = small_spec();
+    let outcome = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    // 2 workloads × 2 core counts share one trace interconnect → 4
+    // distinct traces; every TG job uses the same translator config →
+    // 4 distinct image sets. 8 TG jobs consume both levels.
+    assert_eq!(outcome.cache.trace_misses, 4);
+    assert_eq!(outcome.cache.trace_hits, 4);
+    assert_eq!(outcome.cache.image_misses, 4);
+    assert_eq!(outcome.cache.image_hits, 4);
+    // The per-result flags agree with the counters.
+    let tg_results: Vec<_> = outcome
+        .results
+        .iter()
+        .filter(|r| r.master == "tg")
+        .collect();
+    assert_eq!(tg_results.len(), 8);
+    assert_eq!(
+        tg_results
+            .iter()
+            .filter(|r| r.image_cache_hit == Some(false))
+            .count(),
+        4
+    );
+    // And every job completed and verified (TG replays reproduce the
+    // golden memory image).
+    for r in &outcome.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.key, r.error);
+        assert!(r.completed, "{}", r.key);
+        assert_eq!(r.verified, Some(true), "{}", r.key);
+    }
+}
+
+#[test]
+fn resume_completes_only_missing_jobs_and_matches_full_run() {
+    let spec = small_spec();
+    // Full run → the ground-truth canonical file.
+    let full = tmp_out("resume-full.jsonl");
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            out: Some(full.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let full_bytes = fs::read(&full).unwrap();
+
+    // Simulate an interrupted run: a journal holding the header and the
+    // first half of the results.
+    let out = tmp_out("resume-half.jsonl");
+    let text = String::from_utf8(full_bytes.clone()).unwrap();
+    let half: Vec<&str> = text.lines().take(1 + 8).collect();
+    fs::write(partial_path(&out), half.join("\n") + "\n").unwrap();
+
+    let outcome = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            out: Some(out.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.resumed, 8);
+    assert_eq!(outcome.executed, 8);
+    assert_eq!(fs::read(&out).unwrap(), full_bytes);
+    assert!(
+        !partial_path(&out).exists(),
+        "journal is removed on finalise"
+    );
+}
+
+#[test]
+fn resume_rejects_a_mismatched_fingerprint() {
+    let spec = small_spec();
+    let out = tmp_out("resume-stale.jsonl");
+    // A journal from a *different* campaign (other seed → other
+    // fingerprint and seeds).
+    let mut other = small_spec();
+    other.base_seed += 1;
+    run_campaign(
+        &other,
+        &RunOptions {
+            threads: 2,
+            out: Some(out.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    fs::rename(&out, partial_path(&out)).unwrap();
+
+    let outcome = run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            out: Some(out.clone()),
+            resume: true,
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.resumed, 0, "stale results must not be adopted");
+    assert_eq!(outcome.executed, 16);
+}
+
+#[test]
+fn stochastic_jobs_share_the_reference_trace() {
+    let mut spec = small_spec();
+    spec.workloads = vec![Workload::MpMatrix { n: 8 }];
+    spec.cores = CoreSelection::List(vec![2]);
+    spec.interconnects = vec![InterconnectChoice::Amba];
+    spec.masters = vec![
+        MasterChoice::Cpu,
+        MasterChoice::Tg,
+        MasterChoice::Stochastic,
+    ];
+    let outcome = run_campaign(&spec, &RunOptions::default()).unwrap();
+    assert_eq!(outcome.results.len(), 3);
+    // One trace build serves both the TG and the stochastic job.
+    assert_eq!(outcome.cache.trace_misses, 1);
+    assert_eq!(outcome.cache.trace_hits, 1);
+    let stoch = outcome
+        .results
+        .iter()
+        .find(|r| r.master == "stochastic")
+        .unwrap();
+    assert!(stoch.error.is_none(), "{:?}", stoch.error);
+    assert!(stoch.completed);
+    // Stochastic traffic has no golden model to check.
+    assert_eq!(stoch.verified, None);
+}
+
+#[test]
+fn canonical_file_parses_back_and_is_sorted_by_id() {
+    let spec = small_spec();
+    let out = tmp_out("parse-back.jsonl");
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 4,
+            out: Some(out.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let loaded = parse_results(&fs::read_to_string(&out).unwrap(), false).unwrap();
+    assert_eq!(loaded.header.name, "engine-test");
+    assert_eq!(loaded.header.fingerprint, spec.fingerprint());
+    assert_eq!(loaded.results.len(), 16);
+    let ids: Vec<usize> = loaded.results.iter().map(|r| r.id).collect();
+    assert_eq!(ids, (0..16).collect::<Vec<_>>());
+    // error_pct is present exactly for non-CPU jobs with a CPU
+    // reference.
+    for r in &loaded.results {
+        assert_eq!(r.error_pct.is_some(), r.master != "cpu", "{}", r.key);
+    }
+}

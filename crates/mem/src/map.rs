@@ -208,9 +208,8 @@ impl AddressMap {
     /// Whether a whole (possibly burst) access `[addr, addr + bytes)` sits
     /// inside a single region.
     pub fn covers(&self, addr: u32, bytes: u32) -> bool {
-        self.decode(addr).is_some_and(|r| {
-            u64::from(addr) + u64::from(bytes) <= r.end() && addr >= r.base
-        })
+        self.decode(addr)
+            .is_some_and(|r| u64::from(addr) + u64::from(bytes) <= r.end() && addr >= r.base)
     }
 }
 
@@ -222,8 +221,14 @@ mod tests {
         let mut m = AddressMap::new();
         m.add("p0", 0x1000, 0x1000, SlaveId(0), RegionKind::PrivateMemory)
             .unwrap();
-        m.add("shared", 0x8000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
-            .unwrap();
+        m.add(
+            "shared",
+            0x8000,
+            0x1000,
+            SlaveId(1),
+            RegionKind::SharedMemory,
+        )
+        .unwrap();
         m.add("sem", 0xA000, 0x100, SlaveId(2), RegionKind::Semaphore)
             .unwrap();
         m.add("sync", 0xB000, 0x100, SlaveId(1), RegionKind::SyncFlags)
@@ -302,7 +307,13 @@ mod tests {
         assert!(m.decode(0xFFFF_FFFC).is_some());
         let mut m2 = AddressMap::new();
         assert!(matches!(
-            m2.add("x", 0xFFFF_F000, 0x2000, SlaveId(0), RegionKind::SharedMemory),
+            m2.add(
+                "x",
+                0xFFFF_F000,
+                0x2000,
+                SlaveId(0),
+                RegionKind::SharedMemory
+            ),
             Err(MapError::OutOfAddressSpace { .. })
         ));
     }

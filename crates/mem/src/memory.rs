@@ -155,7 +155,10 @@ impl MemoryDevice {
         let all_in_range = (0..beats).all(|b| self.index(req.addr + b * 4).is_some());
         if !all_in_range {
             self.errors += 1;
-            return req.cmd.expects_response().then(|| OcpResponse::error(req.tag));
+            return req
+                .cmd
+                .expects_response()
+                .then(|| OcpResponse::error(req.tag));
         }
         match req.cmd {
             OcpCmd::Read | OcpCmd::BurstRead => {
@@ -191,8 +194,7 @@ impl Component for MemoryDevice {
         match &self.state {
             State::Idle => {
                 if let Some((_, beats, _)) = self.port.peek_meta(now) {
-                    let done_at =
-                        now + self.wait_states + Cycle::from(beats) * self.beat_cycles;
+                    let done_at = now + self.wait_states + Cycle::from(beats) * self.beat_cycles;
                     self.state = State::Busy { done_at };
                 }
             }
@@ -318,12 +320,7 @@ mod tests {
     fn out_of_range_burst_write_touches_nothing() {
         let (mut mem, m) = device();
         mem.poke(0x10FC, 7);
-        run_write(
-            &mut mem,
-            &m,
-            OcpRequest::burst_write(0x10FC, vec![1, 2]),
-            0,
-        );
+        run_write(&mut mem, &m, OcpRequest::burst_write(0x10FC, vec![1, 2]), 0);
         assert_eq!(mem.peek(0x10FC), 7, "partial burst must not apply");
         assert_eq!(mem.errors(), 1);
     }

@@ -50,7 +50,10 @@ impl SemaphoreBank {
     ///
     /// Panics if `base` is not word-aligned or `cells` is zero.
     pub fn new(name: impl Into<String>, base: u32, cells: u32, port: SlavePort) -> Self {
-        assert!(base.is_multiple_of(4), "semaphore bank base must be word-aligned");
+        assert!(
+            base.is_multiple_of(4),
+            "semaphore bank base must be word-aligned"
+        );
         assert!(cells > 0, "semaphore bank must have at least one cell");
         Self {
             name: name.into(),
@@ -123,7 +126,10 @@ impl SemaphoreBank {
     fn service(&mut self, req: &OcpRequest) -> Option<OcpResponse> {
         if req.burst != 1 || self.index(req.addr).is_none() {
             self.errors += 1;
-            return req.cmd.expects_response().then(|| OcpResponse::error(req.tag));
+            return req
+                .cmd
+                .expects_response()
+                .then(|| OcpResponse::error(req.tag));
         }
         let idx = self.index(req.addr).expect("checked above");
         match req.cmd {

@@ -73,8 +73,14 @@ impl XpipesConfig {
     }
 
     fn validate(&self, n_masters: usize, n_slaves: usize) {
-        assert!(self.width >= 1 && self.height >= 1, "mesh must be non-empty");
-        assert!(self.input_fifo_flits >= 1, "FIFOs must hold at least one flit");
+        assert!(
+            self.width >= 1 && self.height >= 1,
+            "mesh must be non-empty"
+        );
+        assert!(
+            self.input_fifo_flits >= 1,
+            "FIFOs must hold at least one flit"
+        );
         assert_eq!(self.master_nodes.len(), n_masters, "one node per master");
         assert_eq!(self.slave_nodes.len(), n_slaves, "one node per slave");
         let mut seen = vec![false; self.nodes() as usize];
@@ -96,8 +102,14 @@ struct Flit {
 
 #[derive(Debug)]
 enum Payload {
-    Req { req: OcpRequest, src_master: usize },
-    Resp { resp: OcpResponse, dst_master: usize },
+    Req {
+        req: OcpRequest,
+        src_master: usize,
+    },
+    Resp {
+        resp: OcpResponse,
+        dst_master: usize,
+    },
 }
 
 #[derive(Debug)]
@@ -459,10 +471,7 @@ impl XpipesNoc {
                             self.packets.insert(
                                 pid,
                                 Packet {
-                                    payload: Payload::Req {
-                                        req,
-                                        src_master: i,
-                                    },
+                                    payload: Payload::Req { req, src_master: i },
                                     injected_at: now,
                                 },
                             );
@@ -519,7 +528,8 @@ impl XpipesNoc {
             {
                 if let Some(pid) = self.slave_nis[i].pending.pop_front() {
                     let packet = self.packets.remove(&pid).expect("pending packet exists");
-                    self.packet_latency.record(now.saturating_sub(packet.injected_at));
+                    self.packet_latency
+                        .record(now.saturating_sub(packet.injected_at));
                     let Payload::Req { req, src_master } = packet.payload else {
                         panic!("response packet delivered to a slave NI")
                     };
@@ -554,7 +564,10 @@ impl Component for XpipesNoc {
     fn is_idle(&self) -> bool {
         self.packets.is_empty()
             && self.routers.iter().all(Router::is_empty)
-            && self.master_nis.iter().all(|ni| ni.tx.is_empty() && ni.link.is_quiet())
+            && self
+                .master_nis
+                .iter()
+                .all(|ni| ni.tx.is_empty() && ni.link.is_quiet())
             && self.slave_nis.iter().all(|ni| {
                 ni.tx.is_empty() && ni.pending.is_empty() && ni.busy.is_none() && ni.link.is_quiet()
             })

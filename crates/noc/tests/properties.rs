@@ -25,15 +25,20 @@ struct Op {
 
 fn ops(max: usize) -> impl Strategy<Value = Vec<Op>> {
     prop::collection::vec(
-        (any::<bool>(), 0usize..N_SLAVES, 0u32..64, any::<u32>(), 0u8..6).prop_map(
-            |(write, slave, word, value, gap)| Op {
+        (
+            any::<bool>(),
+            0usize..N_SLAVES,
+            0u32..64,
+            any::<u32>(),
+            0u8..6,
+        )
+            .prop_map(|(write, slave, word, value, gap)| Op {
                 write,
                 slave,
                 word,
                 value,
                 gap,
-            },
-        ),
+            }),
         1..max,
     )
 }
@@ -81,7 +86,12 @@ fn build(kind: &str, n_masters: usize) -> Rig {
             map,
             XpipesConfig::auto(n_masters, N_SLAVES),
         )),
-        "ideal" => Box::new(IdealInterconnect::new("ideal", net_masters, net_slaves, map)),
+        "ideal" => Box::new(IdealInterconnect::new(
+            "ideal",
+            net_masters,
+            net_slaves,
+            map,
+        )),
         _ => unreachable!("unknown interconnect"),
     };
     Rig { net, mems, cpus }

@@ -247,11 +247,9 @@ impl SlavePort {
     pub fn peek_meta(&self, now: Cycle) -> Option<(u32, u32, bool)> {
         let ch = self.inner.borrow();
         match &ch.req {
-            Some(p) if p.asserted_at < now => Some((
-                p.req.addr,
-                p.req.beats(),
-                p.req.cmd.expects_response(),
-            )),
+            Some(p) if p.asserted_at < now => {
+                Some((p.req.addr, p.req.beats(), p.req.cmd.expects_response()))
+            }
             _ => None,
         }
     }

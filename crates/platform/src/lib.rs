@@ -32,5 +32,6 @@ mod report;
 
 pub use platform::{
     InterconnectChoice, MasterKind, Platform, PlatformBuilder, PlatformError,
+    TraceTranslationError, ALL_INTERCONNECTS,
 };
 pub use report::{MasterReport, RunReport};

@@ -4,7 +4,10 @@ use std::fmt;
 use std::rc::Rc;
 use std::time::Instant;
 
-use ntg_core::{StochasticConfig, StochasticTg, TgCore, TgImage, TgMultiCore, TimesliceConfig, TranslationMode, TranslatorConfig};
+use ntg_core::{
+    StochasticConfig, StochasticTg, TgCore, TgImage, TgMultiCore, TgProgram, TimesliceConfig,
+    TraceTranslator, TranslationError, TranslationMode, TranslatorConfig,
+};
 use ntg_cpu::{CpuConfig, CpuCore, Program};
 use ntg_mem::{AddressMap, MapError, MemoryDevice, SemaphoreBank};
 use ntg_noc::{
@@ -18,7 +21,7 @@ use crate::mem_map;
 use crate::report::{MasterReport, RunReport};
 
 /// Which interconnect model the platform instantiates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InterconnectChoice {
     /// Shared AMBA-like bus.
     #[default]
@@ -45,6 +48,35 @@ impl fmt::Display for InterconnectChoice {
         f.write_str(s)
     }
 }
+
+impl std::str::FromStr for InterconnectChoice {
+    type Err = String;
+
+    /// Parses the names printed by [`Display`] (`amba`, `amba-fixed`,
+    /// `xpipes`, `crossbar`, `ideal`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "amba" => Ok(InterconnectChoice::Amba),
+            "amba-fixed" => Ok(InterconnectChoice::AmbaFixedPriority),
+            "xpipes" => Ok(InterconnectChoice::Xpipes),
+            "crossbar" => Ok(InterconnectChoice::Crossbar),
+            "ideal" => Ok(InterconnectChoice::Ideal),
+            _ => Err(format!(
+                "unknown interconnect `{s}` (expected amba, amba-fixed, xpipes, crossbar or ideal)"
+            )),
+        }
+    }
+}
+
+/// All interconnect models, in the order the exploration experiments
+/// sweep them.
+pub const ALL_INTERCONNECTS: [InterconnectChoice; 5] = [
+    InterconnectChoice::Amba,
+    InterconnectChoice::AmbaFixedPriority,
+    InterconnectChoice::Crossbar,
+    InterconnectChoice::Xpipes,
+    InterconnectChoice::Ideal,
+];
 
 /// What kind of master occupies a socket.
 pub enum MasterKind {
@@ -154,6 +186,32 @@ impl Slave {
         }
     }
 }
+
+/// Errors produced by [`Platform::translate_traces`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceTranslationError {
+    /// Tracing was not enabled on this master, so there is nothing to
+    /// translate.
+    TracingDisabled {
+        /// The core index.
+        core: usize,
+    },
+    /// The recorded trace could not be translated.
+    Translation(TranslationError),
+}
+
+impl fmt::Display for TraceTranslationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceTranslationError::TracingDisabled { core } => {
+                write!(f, "tracing was not enabled on master {core}")
+            }
+            TraceTranslationError::Translation(e) => write!(f, "translation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceTranslationError {}
 
 /// Errors produced while building a platform.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -297,11 +355,7 @@ impl PlatformBuilder {
 
     /// Adds a multitasking TG socket running several images under
     /// round-robin timeslicing (the paper's §7 future-work scenario).
-    pub fn add_tg_multitask(
-        &mut self,
-        images: Vec<TgImage>,
-        cfg: TimesliceConfig,
-    ) -> &mut Self {
+    pub fn add_tg_multitask(&mut self, images: Vec<TgImage>, cfg: TimesliceConfig) -> &mut Self {
         self.masters.push(MasterKind::TgMulti(images, cfg));
         self
     }
@@ -394,41 +448,42 @@ impl PlatformBuilder {
             } else {
                 traces.push(None);
             }
-            let master = match kind {
-                MasterKind::Cpu(program) => {
-                    let base = mem_map::private_base(core);
-                    let end = u64::from(base) + u64::from(self.private_bytes);
-                    let fits = program.entry() >= base
-                        && u64::from(program.entry()) + u64::from(program.size_bytes()) <= end;
-                    if !fits {
-                        return Err(PlatformError::ProgramOutsidePrivate { core });
+            let master =
+                match kind {
+                    MasterKind::Cpu(program) => {
+                        let base = mem_map::private_base(core);
+                        let end = u64::from(base) + u64::from(self.private_bytes);
+                        let fits = program.entry() >= base
+                            && u64::from(program.entry()) + u64::from(program.size_bytes()) <= end;
+                        if !fits {
+                            return Err(PlatformError::ProgramOutsidePrivate { core });
+                        }
+                        let Slave::Mem(priv_mem) = &mut slaves[core] else {
+                            unreachable!("slave {core} is this core's private memory")
+                        };
+                        priv_mem.load_words(program.entry(), program.words());
+                        let sp = base + self.private_bytes - 4;
+                        Master::Cpu(Box::new(CpuCore::new(
+                            format!("cpu{core}"),
+                            mport,
+                            map.clone(),
+                            self.cpu_config,
+                            program.entry(),
+                            sp,
+                        )))
                     }
-                    let Slave::Mem(priv_mem) = &mut slaves[core] else {
-                        unreachable!("slave {core} is this core's private memory")
-                    };
-                    priv_mem.load_words(program.entry(), program.words());
-                    let sp = base + self.private_bytes - 4;
-                    Master::Cpu(Box::new(CpuCore::new(
-                        format!("cpu{core}"),
+                    MasterKind::Tg(image) => {
+                        Master::Tg(TgCore::new(format!("tg{core}"), mport, image.clone()))
+                    }
+                    MasterKind::TgMulti(images, cfg) => Master::TgMulti(Box::new(
+                        TgMultiCore::new(format!("tgmulti{core}"), mport, images.clone(), *cfg),
+                    )),
+                    MasterKind::Stochastic(cfg) => Master::Stochastic(Box::new(StochasticTg::new(
+                        format!("stg{core}"),
                         mport,
-                        map.clone(),
-                        self.cpu_config,
-                        program.entry(),
-                        sp,
-                    )))
-                }
-                MasterKind::Tg(image) => Master::Tg(TgCore::new(
-                    format!("tg{core}"),
-                    mport,
-                    image.clone(),
-                )),
-                MasterKind::TgMulti(images, cfg) => Master::TgMulti(Box::new(
-                    TgMultiCore::new(format!("tgmulti{core}"), mport, images.clone(), *cfg),
-                )),
-                MasterKind::Stochastic(cfg) => Master::Stochastic(Box::new(
-                    StochasticTg::new(format!("stg{core}"), mport, cfg.clone()),
-                )),
-            };
+                        cfg.clone(),
+                    ))),
+                };
             masters.push(master);
         }
 
@@ -440,8 +495,7 @@ impl PlatformBuilder {
                 map.clone(),
             )),
             InterconnectChoice::AmbaFixedPriority => {
-                let mut bus =
-                    AmbaBus::new("amba", net_master_ports, net_slave_ports, map.clone());
+                let mut bus = AmbaBus::new("amba", net_master_ports, net_slave_ports, map.clone());
                 bus.set_arbitration(Arbitration::FixedPriority);
                 Box::new(bus)
             }
@@ -552,6 +606,9 @@ impl Platform {
             wall_time,
             masters: self.masters.iter().map(Master::report).collect(),
             faults: self.masters.iter().filter_map(Master::fault).collect(),
+            transactions: self.interconnect.transactions(),
+            latency: self.interconnect.latency_summary(),
+            tg_reused: None,
         }
     }
 
@@ -587,6 +644,72 @@ impl Platform {
             loop_forever: false,
             poll_idle: 0,
         }
+    }
+
+    /// Translates every master's recorded trace into a symbolic TG
+    /// program — step 2 of the paper flow, after a traced reference run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceTranslationError::TracingDisabled`] if tracing was
+    /// not enabled on some master, or the underlying
+    /// [`TranslationError`] for a malformed trace.
+    pub fn translate_traces(
+        &self,
+        mode: TranslationMode,
+    ) -> Result<Vec<TgProgram>, TraceTranslationError> {
+        let translator = TraceTranslator::new(self.translator_config(mode));
+        (0..self.masters.len())
+            .map(|core| {
+                let trace = self
+                    .trace(core)
+                    .ok_or(TraceTranslationError::TracingDisabled { core })?;
+                translator
+                    .translate(&trace)
+                    .map_err(TraceTranslationError::Translation)
+            })
+            .collect()
+    }
+
+    /// Replays one set of **already-assembled** TG images across several
+    /// interconnect candidates — the paper's design-space-exploration
+    /// loop (§1) without re-tracing or re-translating per run.
+    ///
+    /// `configure` is applied to each fresh builder before the images are
+    /// added (use it for preloads, clock or memory-size overrides).
+    /// Every returned [`RunReport`] has
+    /// [`tg_reused`](RunReport::tg_reused) set: `Some(false)` for the
+    /// first fabric (the images' first use), `Some(true)` for every
+    /// subsequent one — the per-run cache-hit accounting the campaign
+    /// engine (`ntg-explore`) aggregates.
+    ///
+    /// Runs are *bounded*, not checked: a design point may legitimately
+    /// never complete (e.g. static-priority arbitration starving a lock
+    /// holder), which shows up as `completed == false`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlatformError`] from the per-fabric builds.
+    pub fn explore(
+        images: &[TgImage],
+        fabrics: &[InterconnectChoice],
+        max_cycles: Cycle,
+        mut configure: impl FnMut(&mut PlatformBuilder),
+    ) -> Result<Vec<(InterconnectChoice, RunReport)>, PlatformError> {
+        let mut out = Vec::with_capacity(fabrics.len());
+        for (i, &fabric) in fabrics.iter().enumerate() {
+            let mut b = PlatformBuilder::new();
+            configure(&mut b);
+            b.interconnect(fabric);
+            for image in images {
+                b.add_tg(image.clone());
+            }
+            let mut platform = b.build()?;
+            let mut report = platform.run(max_cycles);
+            report.tg_reused = Some(i > 0);
+            out.push((fabric, report));
+        }
+        Ok(out)
     }
 
     /// Host-side view of a shared-memory word.

@@ -38,6 +38,20 @@ pub struct RunReport {
     pub masters: Vec<MasterReport>,
     /// Human-readable fault descriptions, one per faulted master.
     pub faults: Vec<String>,
+    /// Total transactions the interconnect carried.
+    pub transactions: u64,
+    /// `(mean, max)` of the interconnect's characteristic latency metric
+    /// in cycles, if the model records one.
+    pub latency: Option<(f64, u64)>,
+    /// Whether the TG images this run replayed were **reused** from a
+    /// previously translated/assembled artifact instead of being
+    /// re-translated for this run.
+    ///
+    /// `None` for runs without TG provenance information (plain CPU
+    /// runs, directly built platforms); set by
+    /// [`Platform::explore`](crate::Platform::explore) and by the
+    /// `ntg-explore` campaign engine's TG artifact cache.
+    pub tg_reused: Option<bool>,
 }
 
 impl RunReport {
@@ -48,7 +62,12 @@ impl RunReport {
     ///
     /// Returns `None` if any master never halted.
     pub fn execution_time(&self) -> Option<Cycle> {
-        self.finish_cycles.iter().copied().collect::<Option<Vec<_>>>()?.into_iter().max()
+        self.finish_cycles
+            .iter()
+            .copied()
+            .collect::<Option<Vec<_>>>()?
+            .into_iter()
+            .max()
     }
 
     /// Simulated cycles per wall-clock second — the throughput measure
@@ -76,6 +95,9 @@ mod tests {
             wall_time: Duration::from_millis(10),
             masters: vec![],
             faults: vec![],
+            transactions: 0,
+            latency: None,
+            tg_reused: None,
         };
         assert_eq!(r.execution_time(), Some(110));
     }
@@ -89,6 +111,9 @@ mod tests {
             wall_time: Duration::from_millis(10),
             masters: vec![],
             faults: vec![],
+            transactions: 0,
+            latency: None,
+            tg_reused: None,
         };
         assert_eq!(r.execution_time(), None);
     }
@@ -102,6 +127,9 @@ mod tests {
             wall_time: Duration::from_millis(100),
             masters: vec![],
             faults: vec![],
+            transactions: 0,
+            latency: None,
+            tg_reused: None,
         };
         assert!((r.cycles_per_second() - 10_000.0).abs() < 1.0);
     }

@@ -52,9 +52,7 @@ fn fmt_words(words: &[u32]) -> String {
 }
 
 fn parse_words(s: &str, line: usize) -> Result<Vec<u32>, TrcParseError> {
-    s.split(',')
-        .map(|w| parse_u32(w.trim(), line))
-        .collect()
+    s.split(',').map(|w| parse_u32(w.trim(), line)).collect()
 }
 
 fn parse_u32(s: &str, line: usize) -> Result<u32, TrcParseError> {
@@ -152,9 +150,7 @@ impl MasterTrace {
             match head {
                 "MASTER" => {
                     let v = parts.next().ok_or_else(|| err("missing master id"))?;
-                    trace.master = v
-                        .parse()
-                        .map_err(|_| err("invalid master id"))?;
+                    trace.master = v.parse().map_err(|_| err("invalid master id"))?;
                     saw_master = true;
                 }
                 "PERIOD_NS" => {
@@ -373,7 +369,9 @@ END
     }
 }
 
-#[cfg(test)]
+// Property tests need the external `proptest` crate; see the
+// `external-deps` feature note in this crate's Cargo.toml.
+#[cfg(all(test, feature = "external-deps"))]
 mod robustness {
     use super::*;
     use proptest::prelude::*;

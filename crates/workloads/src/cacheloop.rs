@@ -33,7 +33,7 @@ pub fn program(core: usize, iterations: u32) -> Program {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntg_platform::{InterconnectChoice, PlatformBuilder, MasterReport};
+    use ntg_platform::{InterconnectChoice, MasterReport, PlatformBuilder};
 
     #[test]
     fn generates_almost_no_bus_traffic() {

@@ -90,7 +90,10 @@ mod tests {
         // All cores leave the barrier within a small window even though
         // their compute phases differ by hundreds of cycles.
         let spread = finishes.iter().max().unwrap() - finishes.iter().min().unwrap();
-        assert!(spread < 120, "cores left the barrier far apart: {finishes:?}");
+        assert!(
+            spread < 120,
+            "cores left the barrier far apart: {finishes:?}"
+        );
     }
 
     #[test]

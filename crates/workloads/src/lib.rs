@@ -69,6 +69,45 @@ pub enum Workload {
     },
 }
 
+/// The compact `name:param` spec notation (`sp_matrix:16`,
+/// `cacheloop:60000`, `mp_matrix:24`, `des:24`) used by campaign specs,
+/// JSONL results and the `ntg-sweep` CLI.
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Workload::SpMatrix { n } => write!(f, "sp_matrix:{n}"),
+            Workload::Cacheloop { iterations } => write!(f, "cacheloop:{iterations}"),
+            Workload::MpMatrix { n } => write!(f, "mp_matrix:{n}"),
+            Workload::Des { blocks_per_core } => write!(f, "des:{blocks_per_core}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Workload {
+    type Err = String;
+
+    /// Parses the `name:param` notation produced by [`Display`].
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (name, param) = s
+            .split_once(':')
+            .ok_or_else(|| format!("workload spec `{s}` is not `name:param`"))?;
+        let param: u32 = param
+            .parse()
+            .map_err(|_| format!("workload spec `{s}`: `{param}` is not a number"))?;
+        match name {
+            "sp_matrix" => Ok(Workload::SpMatrix { n: param }),
+            "cacheloop" => Ok(Workload::Cacheloop { iterations: param }),
+            "mp_matrix" => Ok(Workload::MpMatrix { n: param }),
+            "des" => Ok(Workload::Des {
+                blocks_per_core: param,
+            }),
+            _ => Err(format!(
+                "unknown workload `{name}` (expected sp_matrix, cacheloop, mp_matrix or des)"
+            )),
+        }
+    }
+}
+
 impl Workload {
     /// The benchmark's name as used in the paper's Table 2.
     pub fn name(&self) -> &'static str {
@@ -188,6 +227,24 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for w in [
+            Workload::SpMatrix { n: 16 },
+            Workload::Cacheloop { iterations: 60_000 },
+            Workload::MpMatrix { n: 24 },
+            Workload::Des {
+                blocks_per_core: 24,
+            },
+        ] {
+            let s = w.to_string();
+            assert_eq!(s.parse::<Workload>().unwrap(), w, "{s}");
+        }
+        assert!("nope:1".parse::<Workload>().is_err());
+        assert!("sp_matrix".parse::<Workload>().is_err());
+        assert!("sp_matrix:x".parse::<Workload>().is_err());
+    }
 
     #[test]
     fn names_match_table2() {

@@ -69,14 +69,8 @@ pub fn golden_checksum(n: u32) -> u32 {
 /// Preloads A and B into shared memory.
 pub fn preload(builder: &mut PlatformBuilder, n: u32) {
     let nn = n * n;
-    builder.preload_shared(
-        mem_map::SHARED_BASE + A_OFF,
-        (0..nn).map(a_val).collect(),
-    );
-    builder.preload_shared(
-        mem_map::SHARED_BASE + B_OFF,
-        (0..nn).map(b_val).collect(),
-    );
+    builder.preload_shared(mem_map::SHARED_BASE + A_OFF, (0..nn).map(a_val).collect());
+    builder.preload_shared(mem_map::SHARED_BASE + B_OFF, (0..nn).map(b_val).collect());
 }
 
 /// Builds the MP matrix program for `core` of `cores`.

@@ -27,12 +27,15 @@ fn main() {
         ref_report.wall_time
     );
 
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     let images: Vec<_> = (0..cores)
         .map(|c| {
-            assemble(&translator.translate(&reference.trace(c).expect("traced")).expect("translate"))
-                .expect("assemble")
+            assemble(
+                &translator
+                    .translate(&reference.trace(c).expect("traced"))
+                    .expect("translate"),
+            )
+            .expect("assemble")
         })
         .collect();
 

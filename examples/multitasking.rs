@@ -12,7 +12,9 @@
 use ntg::cpu::isa::{R0, R1, R2, R3};
 use ntg::cpu::Asm;
 use ntg::platform::{mem_map, InterconnectChoice, PlatformBuilder};
-use ntg::tg::{assemble, TgItem, TgProgram, TgSymInstr, TimesliceConfig, TraceTranslator, TranslationMode};
+use ntg::tg::{
+    assemble, TgItem, TgProgram, TgSymInstr, TimesliceConfig, TraceTranslator, TranslationMode,
+};
 
 /// Relocates a task's private-memory references onto socket 0's private
 /// region: the tasks originally ran on different cores, but under the
@@ -69,8 +71,7 @@ fn main() {
         ref_report.execution_time().unwrap()
     );
 
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     // Both tasks will run on socket 0, so their traces are translated
     // as-is; addresses already refer to their original slots.
     let images: Vec<_> = (0..2)

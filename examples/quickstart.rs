@@ -45,10 +45,12 @@ fn main() {
     );
 
     // 3. Translate and assemble.
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     let tg_program = translator.translate(&trace).expect("translate");
-    println!("\n--- derived TG program (.tgp) ---\n{}", tgp::to_tgp(&tg_program));
+    println!(
+        "\n--- derived TG program (.tgp) ---\n{}",
+        tgp::to_tgp(&tg_program)
+    );
     let image = assemble(&tg_program).expect("assemble TG program");
 
     // 4. Replay with a traffic generator in the core's socket.

@@ -44,10 +44,7 @@ fn count_polls(trace: &MasterTrace) -> usize {
         .count()
 }
 
-fn run_traced(
-    build: impl Fn(&mut PlatformBuilder),
-    fabric: InterconnectChoice,
-) -> (Platform, u64) {
+fn run_traced(build: impl Fn(&mut PlatformBuilder), fabric: InterconnectChoice) -> (Platform, u64) {
     let mut b = PlatformBuilder::new();
     b.interconnect(fabric).tracing(true);
     build(&mut b);
@@ -72,8 +69,7 @@ fn main() {
     println!("reference (AMBA): {ref_cycles} cycles, M1 polled {ref_polls}x");
 
     // Translate both masters.
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     let images: Vec<_> = (0..2)
         .map(|c| {
             let p = translator

@@ -24,6 +24,7 @@
 //! | [`tg`] | `ntg-core` | TG ISA, assembler, translator, TG core |
 //! | [`platform`] | `ntg-platform` | MPARM-like platform assembly |
 //! | [`workloads`] | `ntg-workloads` | the four paper benchmarks |
+//! | [`explore`] | `ntg-explore` | sweep campaigns, TG artifact cache, JSONL results |
 //!
 //! # Quickstart
 //!
@@ -33,8 +34,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub use ntg_cpu as cpu;
 pub use ntg_core as tg;
+pub use ntg_cpu as cpu;
+pub use ntg_explore as explore;
 pub use ntg_mem as mem;
 pub use ntg_noc as noc;
 pub use ntg_ocp as ocp;

@@ -41,8 +41,7 @@ fn repeated_traced_runs_produce_byte_identical_artifacts() {
                 .build_platform(cores, InterconnectChoice::Amba, true)
                 .expect("build");
             assert!(p.run(MAX).completed);
-            let translator =
-                TraceTranslator::new(p.translator_config(TranslationMode::Reactive));
+            let translator = TraceTranslator::new(p.translator_config(TranslationMode::Reactive));
             (0..cores)
                 .map(|c| {
                     let trace = p.trace(c).expect("traced");

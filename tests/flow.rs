@@ -50,8 +50,7 @@ fn reference_and_replay(
     assert!(ref_report.completed, "reference must complete");
     assert!(ref_report.faults.is_empty(), "{:?}", ref_report.faults);
 
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     let mut b = PlatformBuilder::new();
     b.interconnect(replay_choice);
     for core in 0..cores {
@@ -196,8 +195,7 @@ fn long_compute_heavy_program_is_nearly_exact() {
     let ref_report = reference.run(10_000_000);
     assert!(ref_report.completed);
 
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     let tgp = translator.translate(&reference.trace(0).unwrap()).unwrap();
     let mut b = PlatformBuilder::new();
     b.interconnect(InterconnectChoice::Amba);

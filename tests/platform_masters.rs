@@ -93,7 +93,11 @@ fn stochastic_sources_are_deterministic_in_a_platform() {
         assert!(r.completed);
         r.finish_cycles.clone()
     };
-    assert_eq!(run(), run(), "seeded stochastic platform must be deterministic");
+    assert_eq!(
+        run(),
+        run(),
+        "seeded stochastic platform must be deterministic"
+    );
 }
 
 #[test]
@@ -150,7 +154,10 @@ fn workload_verify_rejects_an_unrun_platform() {
     let p = w
         .build_platform(1, InterconnectChoice::Amba, false)
         .expect("build");
-    assert!(w.verify(&p, 1).is_err(), "verify must catch missing results");
+    assert!(
+        w.verify(&p, 1).is_err(),
+        "verify must catch missing results"
+    );
     let w = Workload::Des { blocks_per_core: 1 };
     let p = w
         .build_platform(1, InterconnectChoice::Amba, false)

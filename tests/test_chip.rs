@@ -60,19 +60,15 @@ fn all_tg_test_chip_matches_the_reference() {
     assert!(ref_report.completed);
     let ref_cycles = ref_report.execution_time().unwrap();
 
-    let translator =
-        TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
+    let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
     let images: Vec<_> = (0..CORES)
-        .map(|c| {
-            assemble(&translator.translate(&reference.trace(c).unwrap()).unwrap()).unwrap()
-        })
+        .map(|c| assemble(&translator.translate(&reference.trace(c).unwrap()).unwrap()).unwrap())
         .collect();
 
     // 2. Hand-wire the all-TG chip: master TGs + slave TGs on an AMBA
     //    bus with the same memory map.
-    let map = Rc::new(
-        ntg::platform::mem_map::build_map(CORES, 0x1_0000, 0x1_0000, 0x1000, 64).unwrap(),
-    );
+    let map =
+        Rc::new(ntg::platform::mem_map::build_map(CORES, 0x1_0000, 0x1_0000, 0x1000, 64).unwrap());
     let mut masters = Vec::new();
     let mut net_masters = Vec::new();
     for (i, image) in images.into_iter().enumerate() {

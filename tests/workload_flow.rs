@@ -58,8 +58,7 @@ fn every_workload_replays_accurately_on_amba() {
         w.verify(&p, cores)
             .unwrap_or_else(|e| panic!("{} TG golden mismatch: {e}", w.name()));
         let tg_cycles = report.execution_time().expect("halted");
-        let err =
-            (tg_cycles as f64 - ref_cycles as f64).abs() / ref_cycles as f64 * 100.0;
+        let err = (tg_cycles as f64 - ref_cycles as f64).abs() / ref_cycles as f64 * 100.0;
         assert!(
             err < 2.0,
             "{} {cores}P error {err:.2}% (ref {ref_cycles}, tg {tg_cycles})",
@@ -76,8 +75,7 @@ fn every_workload_translates_identically_across_fabrics() {
         let programs_on = |fabric: InterconnectChoice| -> Vec<String> {
             let mut p = w.build_platform(cores, fabric, true).expect("build");
             assert!(p.run(MAX).completed);
-            let translator =
-                TraceTranslator::new(p.translator_config(TranslationMode::Reactive));
+            let translator = TraceTranslator::new(p.translator_config(TranslationMode::Reactive));
             (0..cores)
                 .map(|c| {
                     tgp::to_tgp(
@@ -124,9 +122,7 @@ fn tg_is_never_slower_to_simulate_for_nontrivial_runs() {
     let w = Workload::MpMatrix { n: 16 };
     let cores = 4;
     let (images, _) = reference(w, cores, InterconnectChoice::Amba);
-    let best = |f: &dyn Fn() -> std::time::Duration| {
-        (0..3).map(|_| f()).min().expect("three runs")
-    };
+    let best = |f: &dyn Fn() -> std::time::Duration| (0..3).map(|_| f()).min().expect("three runs");
     let arm = best(&|| {
         let mut p = w
             .build_platform(cores, InterconnectChoice::Amba, false)
@@ -156,7 +152,9 @@ fn test_scale_helper_matches_flow() {
         Workload::SpMatrix { n: 32 },
         Workload::Cacheloop { iterations: 1 },
         Workload::MpMatrix { n: 32 },
-        Workload::Des { blocks_per_core: 99 },
+        Workload::Des {
+            blocks_per_core: 99,
+        },
     ] {
         let w = base.test_scale();
         let cores = 2.min(w.paper_core_counts()[0]).max(1);
@@ -191,6 +189,8 @@ fn clock_period_scales_trace_timestamps() {
     assert_eq!(t5.halt_at.unwrap() * 2, t10.halt_at.unwrap());
     // And translation is period-independent in cycles: identical programs.
     let tr = ntg::tg::TraceTranslator::default();
-    assert_eq!(tr.translate(&t5).unwrap().instrs().count(),
-               tr.translate(&t10).unwrap().instrs().count());
+    assert_eq!(
+        tr.translate(&t5).unwrap().instrs().count(),
+        tr.translate(&t10).unwrap().instrs().count()
+    );
 }
