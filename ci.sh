@@ -18,4 +18,20 @@ cargo test -q
 echo "==> workspace tests"
 cargo test --workspace -q
 
+# Bench smoke: the quick Table 2 preset exercises the whole
+# trace → translate → replay flow (with event-horizon cycle skipping on
+# by default; NTG_NO_SKIP=1 is the escape hatch), and a sweep dry-run
+# checks campaign expansion. Bounded so a hang fails fast instead of
+# wedging CI. The root manifest is a package as well as a workspace, so
+# the tier-1 build above does not refresh member binaries — build them
+# explicitly or the smoke runs a stale ntg-sweep/table2.
+echo "==> cargo build --release --workspace (smoke binaries)"
+cargo build --release --workspace
+
+echo "==> bench smoke: table2 --quick"
+timeout 300 ./target/release/table2 --quick --threads 2 > /dev/null
+
+echo "==> bench smoke: ntg-sweep --dry-run"
+timeout 60 ./target/release/ntg-sweep --preset quick --dry-run > /dev/null
+
 echo "CI OK"

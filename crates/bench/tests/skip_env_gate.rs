@@ -1,0 +1,47 @@
+//! The `NTG_NO_SKIP` escape hatch must disable cycle skipping without
+//! changing any canonical campaign output.
+//!
+//! This lives in its own integration-test binary (its own process): the
+//! gate is read from the environment when each platform is built, so the
+//! test mutates the process environment and must not share it with
+//! concurrently running tests.
+
+use ntg_explore::{CampaignSpec, CoreSelection, RunOptions};
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+fn tiny_campaign() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("skip-env-gate");
+    spec.workloads = vec![
+        Workload::SpMatrix { n: 6 },
+        Workload::Cacheloop { iterations: 500 },
+    ];
+    spec.cores = CoreSelection::List(vec![1]);
+    spec.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Crossbar];
+    spec
+}
+
+#[test]
+fn campaign_jsonl_is_identical_with_and_without_skipping() {
+    let spec = tiny_campaign();
+    let opts = RunOptions::default();
+
+    std::env::set_var("NTG_NO_SKIP", "1");
+    let plain = ntg_explore::run_campaign(&spec, &opts).expect("plain campaign");
+    std::env::remove_var("NTG_NO_SKIP");
+    let skipping = ntg_explore::run_campaign(&spec, &opts).expect("skipping campaign");
+
+    let lines = |r: &ntg_explore::CampaignOutcome| -> Vec<String> {
+        r.results.iter().map(|j| j.render_line()).collect()
+    };
+    assert_eq!(lines(&plain), lines(&skipping), "canonical JSONL differs");
+    // The gate really was honoured on both sides.
+    assert!(
+        plain.results.iter().all(|j| j.skipped_cycles == 0),
+        "NTG_NO_SKIP=1 still skipped"
+    );
+    assert!(
+        skipping.results.iter().any(|j| j.skipped_cycles > 0),
+        "skipping never engaged"
+    );
+}

@@ -1,0 +1,120 @@
+//! Event-horizon cycle skipping must be a pure wall-time optimisation:
+//! every reported cycle count, statistic and recorded trace is
+//! bit-identical with skipping on and off. This suite pins that down
+//! across the paper's four workloads and three contended interconnects,
+//! for both the CPU reference platform and the TG replay.
+
+use ntg_bench::{quick_workloads, MAX_CYCLES};
+use ntg_core::{assemble, TraceTranslator, TranslationMode};
+use ntg_platform::{InterconnectChoice, Platform, RunReport};
+use ntg_workloads::Workload;
+
+const FABRICS: [InterconnectChoice; 3] = [
+    InterconnectChoice::Amba,
+    InterconnectChoice::Xpipes,
+    InterconnectChoice::Crossbar,
+];
+
+fn cores_for(w: Workload) -> usize {
+    match w {
+        Workload::SpMatrix { .. } => 1,
+        _ => 2,
+    }
+}
+
+/// Runs `platform` with skipping forced on or off and returns the
+/// report plus every recorded `.trc` stream.
+fn run(mut platform: Platform, skip: bool) -> (RunReport, Vec<String>) {
+    platform.set_cycle_skipping(skip);
+    let report = platform.run(MAX_CYCLES);
+    assert!(report.completed, "run did not complete");
+    assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
+    let trcs = platform.traces().iter().map(|t| t.to_trc()).collect();
+    (report, trcs)
+}
+
+fn assert_equivalent(what: &str, on: &(RunReport, Vec<String>), off: &(RunReport, Vec<String>)) {
+    let (ron, trc_on) = on;
+    let (roff, trc_off) = off;
+    assert_eq!(ron.cycles, roff.cycles, "{what}: simulated cycles");
+    assert_eq!(
+        ron.finish_cycles, roff.finish_cycles,
+        "{what}: per-master halt cycles"
+    );
+    assert_eq!(
+        ron.execution_time(),
+        roff.execution_time(),
+        "{what}: cumulative execution time"
+    );
+    assert_eq!(ron.transactions, roff.transactions, "{what}: transactions");
+    assert_eq!(ron.latency, roff.latency, "{what}: latency summary");
+    assert_eq!(trc_on, trc_off, "{what}: .trc streams");
+    // The counters partition the run, and the skip-off run ticked
+    // every single cycle.
+    assert_eq!(
+        ron.skipped_cycles + ron.ticked_cycles,
+        ron.cycles,
+        "{what}: counters partition the run"
+    );
+    assert_eq!(roff.skipped_cycles, 0, "{what}: skip-off jumped");
+    assert_eq!(roff.ticked_cycles, roff.cycles, "{what}: skip-off ticks");
+}
+
+#[test]
+fn cpu_runs_are_bit_identical_across_fabrics() {
+    // No engagement canary here: CPU runs are compute-bound and at test
+    // scale every idle window is short enough for the horizon-poll
+    // backoff to absorb it, which is the intended behaviour. The TG
+    // replay test below pins down that skipping actually engages.
+    for workload in quick_workloads() {
+        let workload = workload.test_scale();
+        let cores = cores_for(workload);
+        for fabric in FABRICS {
+            let build = || {
+                workload
+                    .build_platform(cores, fabric, true)
+                    .expect("build platform")
+            };
+            let on = run(build(), true);
+            let off = run(build(), false);
+            assert_equivalent(&format!("{workload} {cores}P cpu {fabric}"), &on, &off);
+        }
+    }
+}
+
+#[test]
+fn tg_replays_are_bit_identical_across_fabrics() {
+    let mut total_skipped = 0;
+    for workload in quick_workloads() {
+        let workload = workload.test_scale();
+        let cores = cores_for(workload);
+        // Trace once on AMBA (translation is fabric-independent), then
+        // compare the replay on every fabric.
+        let mut traced = workload
+            .build_platform(cores, InterconnectChoice::Amba, true)
+            .expect("build traced platform");
+        let report = traced.run(MAX_CYCLES);
+        assert!(report.completed && report.faults.is_empty());
+        let translator = TraceTranslator::new(traced.translator_config(TranslationMode::Reactive));
+        let images: Vec<_> = (0..cores)
+            .map(|c| {
+                let program = translator
+                    .translate(&traced.trace(c).expect("tracing was on"))
+                    .expect("translate");
+                assemble(&program).expect("assemble")
+            })
+            .collect();
+        for fabric in FABRICS {
+            let build = || {
+                workload
+                    .build_tg_platform(images.clone(), fabric, true)
+                    .expect("build TG platform")
+            };
+            let on = run(build(), true);
+            let off = run(build(), false);
+            assert_equivalent(&format!("{workload} {cores}P tg {fabric}"), &on, &off);
+            total_skipped += on.0.skipped_cycles;
+        }
+    }
+    assert!(total_skipped > 0, "skipping never engaged anywhere");
+}

@@ -15,7 +15,7 @@
 //! cannot retract a request that is already driving the wires.
 
 use ntg_ocp::MasterPort;
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::image::TgImage;
 use crate::tgcore::{TgCore, TgFault, TgStats};
@@ -200,6 +200,56 @@ impl Component for TgMultiCore {
 
     fn is_idle(&self) -> bool {
         self.halted()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Activity {
+        if self.halted() {
+            // Tasks share one port; any task's quiet check covers it.
+            return if self.tasks[self.current].is_idle() {
+                Activity::Drained
+            } else {
+                Activity::Busy
+            };
+        }
+        if self.switching > 0 {
+            return Activity::IdleUntil(now + Cycle::from(self.switching));
+        }
+        if self.tasks[self.current].halted() {
+            // The hand-over happens inside tick.
+            return Activity::Busy;
+        }
+        // The running task's wake, clipped to the end of the timeslice:
+        // the tick that exhausts the slice performs the preemption and
+        // must execute for real.
+        if self.slice_left <= 1 {
+            return Activity::Busy;
+        }
+        let slice_end = now + Cycle::from(self.slice_left) - 1;
+        match self.tasks[self.current].next_activity(now) {
+            Activity::IdleUntil(w) if w.min(slice_end) > now => {
+                Activity::IdleUntil(w.min(slice_end))
+            }
+            _ => Activity::Busy,
+        }
+    }
+
+    fn skip(&mut self, now: Cycle, next: Cycle) {
+        if self.halted() {
+            return;
+        }
+        let n = (next - now) as u32;
+        if self.switching > 0 {
+            debug_assert!(Cycle::from(self.switching) >= next - now);
+            self.switching -= n;
+            self.stats.switch_cycles += u64::from(n);
+            return;
+        }
+        // Scheduled-task idle window: replicate the task's bookkeeping
+        // and the per-tick slice countdown. The hint above guarantees
+        // `next` stays short of the preempting tick, so `slice_left`
+        // never reaches zero here.
+        self.tasks[self.current].skip(now, next);
+        self.slice_left -= n;
     }
 }
 

@@ -21,7 +21,7 @@
 
 use crate::rng::Xoshiro256;
 use ntg_ocp::{MasterPort, OcpRequest, OcpStatus};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 /// Inter-arrival (idle-gap) distribution between transactions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -267,6 +267,39 @@ impl Component for StochasticTg {
 
     fn is_idle(&self) -> bool {
         self.halted() && self.port.is_quiet()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            State::Ready => Activity::Busy,
+            State::Halted => {
+                if self.port.is_quiet() {
+                    Activity::Drained
+                } else {
+                    Activity::Busy
+                }
+            }
+            State::Idling { remaining } => Activity::IdleUntil(now + Cycle::from(remaining)),
+            State::WaitResp | State::WaitAccept => match self.port.next_event_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                None => Activity::waiting(),
+            },
+        }
+    }
+
+    fn skip(&mut self, now: Cycle, next: Cycle) {
+        if let State::Idling { remaining } = self.state {
+            let n = (next - now) as u32;
+            debug_assert!(n <= remaining);
+            if n == remaining {
+                self.state = State::Ready;
+            } else {
+                self.state = State::Idling {
+                    remaining: remaining - n,
+                };
+            }
+        }
     }
 }
 

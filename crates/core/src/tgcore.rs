@@ -2,7 +2,7 @@
 //! instruction set processor" (paper §4).
 
 use ntg_ocp::{MasterPort, OcpRequest, OcpStatus};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::image::TgImage;
 use crate::isa::TgInstr;
@@ -306,6 +306,51 @@ impl Component for TgCore {
 
     fn is_idle(&self) -> bool {
         self.halted() && self.port.is_quiet()
+    }
+
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            State::Ready => Activity::Busy,
+            State::Halted => {
+                if self.port.is_quiet() {
+                    Activity::Drained
+                } else {
+                    Activity::Busy
+                }
+            }
+            State::Idling { remaining } => Activity::IdleUntil(now + Cycle::from(remaining)),
+            // `cycle <= now` happens when a multi-core scheduler resumes a
+            // task past its deadline; the next tick executes immediately.
+            State::IdlingUntil { cycle } if cycle > now => Activity::IdleUntil(cycle),
+            State::IdlingUntil { .. } => Activity::Busy,
+            State::WaitResp | State::WaitAccept => match self.port.next_event_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                None => Activity::waiting(),
+            },
+        }
+    }
+
+    fn skip(&mut self, now: Cycle, next: Cycle) {
+        let n = next - now;
+        match self.state {
+            State::Idling { remaining } => {
+                debug_assert!(n <= Cycle::from(remaining));
+                self.stats.idle_cycles += n;
+                let left = remaining - n as u32;
+                if left == 0 {
+                    self.state = State::Ready;
+                } else {
+                    self.state = State::Idling { remaining: left };
+                }
+            }
+            State::IdlingUntil { cycle } => {
+                debug_assert!(next <= cycle);
+                self.stats.idle_cycles += n;
+            }
+            // Halted and blocked-wait ticks have no side effects.
+            _ => {}
+        }
     }
 }
 

@@ -23,7 +23,7 @@
 //!   test-and-set bank, needed on a test chip for reactive traffic.
 
 use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 /// What a [`TgSlave`] does with the transactions it receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,6 +241,23 @@ impl Component for TgSlave {
 
     fn is_idle(&self) -> bool {
         matches!(self.state, State::Idle) && self.port.is_quiet()
+    }
+
+    // Service ticks before `done_at` and idle ticks with no visible
+    // request have no side effects, so the default no-op `skip` is exact.
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),
+            State::Busy { .. } => Activity::Busy,
+            State::Idle => match self.port.request_visible_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                None if self.port.is_quiet() => Activity::Drained,
+                // Produced output queued for the fabric to collect;
+                // nothing for the device to do until then.
+                None => Activity::waiting(),
+            },
+        }
     }
 }
 

@@ -4,7 +4,7 @@ use std::rc::Rc;
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpRequest};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::isa::{decode, Instr, Reg};
@@ -455,6 +455,29 @@ impl Component for CpuCore {
 
     fn is_idle(&self) -> bool {
         self.halted() && self.port.is_quiet()
+    }
+
+    // Stall ticks only poll the port (no statistics change), so the
+    // default no-op `skip` is exact.
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            State::Ready => Activity::Busy,
+            State::Halted => {
+                if self.port.is_quiet() {
+                    Activity::Drained
+                } else {
+                    Activity::Busy
+                }
+            }
+            // Every remaining state blocks on the bus; stall ticks only
+            // poll, so with nothing queued this is a passive wait whose
+            // horizon the responder bounds.
+            _ => match self.port.next_event_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                None => Activity::waiting(),
+            },
+        }
     }
 }
 

@@ -136,6 +136,13 @@ pub struct JobResult {
     /// Host wall-clock seconds (minimum over repeats). **Not** part of
     /// the canonical line.
     pub wall_secs: f64,
+    /// Cycles fast-forwarded by event-horizon skipping. Goes to the
+    /// timings sidecar with [`wall_secs`](Self::wall_secs): skipping is
+    /// a host-side optimisation, so its split is **not** canonical.
+    pub skipped_cycles: u64,
+    /// Cycles simulated tick by tick. Timings sidecar only, like
+    /// [`skipped_cycles`](Self::skipped_cycles).
+    pub ticked_cycles: u64,
 }
 
 impl JobResult {
@@ -162,6 +169,8 @@ impl JobResult {
             image_cache_hit: None,
             error: Some(error),
             wall_secs: 0.0,
+            skipped_cycles: 0,
+            ticked_cycles: 0,
         }
     }
 
@@ -247,6 +256,8 @@ impl JobResult {
             image_cache_hit: opt_bool("image_cache_hit"),
             error: opt_str("error"),
             wall_secs: 0.0,
+            skipped_cycles: 0,
+            ticked_cycles: 0,
         })
     }
 }
@@ -324,6 +335,8 @@ mod tests {
             image_cache_hit: Some(false),
             error: None,
             wall_secs: 0.0,
+            skipped_cycles: 0,
+            ticked_cycles: 0,
         }
     }
 
@@ -384,6 +397,15 @@ mod tests {
         r.wall_secs = 1.0;
         let a = r.render_line();
         r.wall_secs = 99.0;
+        assert_eq!(r.render_line(), a);
+    }
+
+    #[test]
+    fn skip_split_is_not_in_the_canonical_line() {
+        let mut r = sample();
+        let a = r.render_line();
+        r.skipped_cycles = 1_000_000;
+        r.ticked_cycles = 234_580;
         assert_eq!(r.render_line(), a);
     }
 }

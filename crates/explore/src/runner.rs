@@ -350,6 +350,8 @@ fn write_timings(
                 ("id".into(), Json::Int(r.id as i64)),
                 ("key".into(), Json::Str(r.key.clone())),
                 ("wall_secs".into(), Json::Float(r.wall_secs)),
+                ("skipped_cycles".into(), Json::Int(r.skipped_cycles as i64)),
+                ("ticked_cycles".into(), Json::Int(r.ticked_cycles as i64)),
             ])
             .render(),
         );
@@ -562,5 +564,7 @@ fn finish(
         image_cache_hit: image_hit,
         error,
         wall_secs: report.wall_time.as_secs_f64(),
+        skipped_cycles: report.skipped_cycles,
+        ticked_cycles: report.ticked_cycles,
     }
 }

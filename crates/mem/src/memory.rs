@@ -1,7 +1,7 @@
 //! A word-addressed RAM slave with configurable access timing.
 
 use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 enum State {
     Idle,
@@ -215,6 +215,27 @@ impl Component for MemoryDevice {
 
     fn is_idle(&self) -> bool {
         matches!(self.state, State::Idle) && self.port.is_quiet()
+    }
+
+    // Ticks before `done_at` and idle ticks with no visible request have
+    // no side effects, so the default no-op `skip` is exact. A `Drained`
+    // hint is safe even though a master may later assert a request: hints
+    // are re-polled before every jump, and a master able to assert is
+    // itself not drained, so it bounds the horizon.
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),
+            State::Busy { .. } => Activity::Busy,
+            State::Idle => match self.port.request_visible_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                None if self.port.is_quiet() => Activity::Drained,
+                // Not quiet without a request: a produced response or
+                // acceptance is queued for the fabric to collect. The
+                // device itself does nothing until then.
+                None => Activity::waiting(),
+            },
+        }
     }
 }
 

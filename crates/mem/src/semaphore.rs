@@ -1,7 +1,7 @@
 //! The hardware semaphore bank (test-and-set cells).
 
 use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 enum State {
     Idle,
@@ -186,6 +186,23 @@ impl Component for SemaphoreBank {
 
     fn is_idle(&self) -> bool {
         matches!(self.state, State::Idle) && self.port.is_quiet()
+    }
+
+    // Same hint shape as `MemoryDevice`: service and idle ticks have no
+    // side effects, so the default no-op `skip` is exact.
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),
+            State::Busy { .. } => Activity::Busy,
+            State::Idle => match self.port.request_visible_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                None if self.port.is_quiet() => Activity::Drained,
+                // Produced output queued for the fabric to collect;
+                // nothing for the device to do until then.
+                None => Activity::waiting(),
+            },
+        }
     }
 }
 

@@ -5,7 +5,7 @@ use std::rc::Rc;
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpResponse, SlavePort};
 use ntg_sim::stats::Histogram;
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::{Interconnect, InterconnectKind};
 
@@ -225,6 +225,46 @@ impl Component for AmbaBus {
         matches!(self.state, BusState::Idle)
             && self.masters.iter().all(SlavePort::is_quiet)
             && self.slaves.iter().all(MasterPort::is_quiet)
+    }
+
+    fn next_activity(&self, now: Cycle) -> Activity {
+        match self.state {
+            BusState::Idle => {
+                let mut wake: Option<Cycle> = None;
+                for m in &self.masters {
+                    match m.request_visible_at() {
+                        Some(at) if at <= now => return Activity::Busy,
+                        Some(at) => wake = Some(wake.map_or(at, |w| w.min(at))),
+                        None => {}
+                    }
+                }
+                match wake {
+                    Some(at) => Activity::IdleUntil(at),
+                    None if self.is_idle() => Activity::Drained,
+                    None => Activity::Busy,
+                }
+            }
+            BusState::Granting { until, .. } if until > now => Activity::IdleUntil(until),
+            BusState::Granting { .. } => Activity::Busy,
+            // Owned until the slave completes: wake at the queued
+            // acceptance/response event, if the slave produced one.
+            BusState::WaitSlave { slave, .. } => match self.slaves[slave].next_event_at() {
+                Some(at) if at > now => Activity::IdleUntil(at),
+                Some(_) => Activity::Busy,
+                // Nothing queued yet: the slave device bounds the
+                // horizon; wait ticks only poll (and count occupancy,
+                // which `skip` replicates).
+                None => Activity::waiting(),
+            },
+        }
+    }
+
+    fn skip(&mut self, now: Cycle, next: Cycle) {
+        // Granting and WaitSlave ticks count bus occupancy; everything
+        // else they do is pure polling.
+        if !matches!(self.state, BusState::Idle) {
+            self.stats.busy_cycles += next - now;
+        }
     }
 }
 

@@ -4,7 +4,7 @@ use std::rc::Rc;
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpResponse, SlavePort};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::{Interconnect, InterconnectKind};
 
@@ -147,6 +147,47 @@ impl Component for CrossbarBus {
         self.lanes.iter().all(|l| matches!(l, LaneState::Idle))
             && self.masters.iter().all(SlavePort::is_quiet)
             && self.slaves.iter().all(MasterPort::is_quiet)
+    }
+
+    fn next_activity(&self, now: Cycle) -> Activity {
+        let mut wake: Option<Cycle> = None;
+        let merge = |wake: &mut Option<Cycle>, at: Cycle| {
+            *wake = Some(wake.map_or(at, |w| w.min(at)));
+        };
+        // A request visible now feeds reject_unmapped or a lane arbiter.
+        for m in &self.masters {
+            match m.request_visible_at() {
+                Some(at) if at <= now => return Activity::Busy,
+                Some(at) => merge(&mut wake, at),
+                None => {}
+            }
+        }
+        for (lane, state) in self.lanes.iter().enumerate() {
+            if matches!(state, LaneState::WaitSlave { .. }) {
+                match self.slaves[lane].next_event_at() {
+                    Some(at) if at > now => merge(&mut wake, at),
+                    Some(_) => return Activity::Busy,
+                    // Passive wait: the slave device bounds the horizon.
+                    None => merge(&mut wake, Cycle::MAX),
+                }
+            }
+        }
+        match wake {
+            Some(at) => Activity::IdleUntil(at),
+            None if self.is_idle() => Activity::Drained,
+            None => Activity::Busy,
+        }
+    }
+
+    fn skip(&mut self, now: Cycle, next: Cycle) {
+        // Each occupied lane counts one busy cycle per tick; the rest of
+        // a wait tick is pure polling.
+        let busy = self
+            .lanes
+            .iter()
+            .filter(|l| matches!(l, LaneState::WaitSlave { .. }))
+            .count() as u64;
+        self.busy_lane_cycles += busy * (next - now);
     }
 }
 

@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpRequest, OcpResponse, SlavePort};
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::{Interconnect, InterconnectKind};
 
@@ -136,6 +136,52 @@ impl Component for IdealInterconnect {
             && self.to_master.iter().all(VecDeque::is_empty)
             && self.masters.iter().all(SlavePort::is_quiet)
             && self.slaves.iter().all(MasterPort::is_quiet)
+    }
+
+    // Ticks have no side effects while nothing is visible or due, so the
+    // default no-op `skip` is exact.
+    fn next_activity(&self, now: Cycle) -> Activity {
+        let mut wake: Option<Cycle> = None;
+        let merge = |wake: &mut Option<Cycle>, at: Cycle| {
+            *wake = Some(wake.map_or(at, |w| w.min(at)));
+        };
+        for m in &self.masters {
+            match m.request_visible_at() {
+                Some(at) if at <= now => return Activity::Busy,
+                Some(at) => merge(&mut wake, at),
+                None => {}
+            }
+        }
+        for s in 0..self.slaves.len() {
+            if self.owners[s].front().is_some() {
+                // Waiting on the slave; a queued completion event gives
+                // the exact wake, an unfinished service does not.
+                match self.slaves[s].next_event_at() {
+                    Some(at) if at > now => merge(&mut wake, at),
+                    Some(_) => return Activity::Busy,
+                    // Passive wait: the slave device bounds the horizon.
+                    None => merge(&mut wake, Cycle::MAX),
+                }
+            } else if let Some(&(at, _, _)) = self.to_slave[s].front() {
+                if at <= now {
+                    return Activity::Busy;
+                }
+                merge(&mut wake, at);
+            }
+        }
+        for q in &self.to_master {
+            if let Some(&(at, _)) = q.front() {
+                if at <= now {
+                    return Activity::Busy;
+                }
+                merge(&mut wake, at);
+            }
+        }
+        match wake {
+            Some(at) => Activity::IdleUntil(at),
+            None if self.is_idle() => Activity::Drained,
+            None => Activity::Busy,
+        }
     }
 }
 

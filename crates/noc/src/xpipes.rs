@@ -6,7 +6,7 @@ use std::rc::Rc;
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::stats::Histogram;
-use ntg_sim::{Component, Cycle};
+use ntg_sim::{Activity, Component, Cycle};
 
 use crate::{Interconnect, InterconnectKind};
 
@@ -197,7 +197,6 @@ pub struct XpipesNoc {
     slave_nis: Vec<SlaveNi>,
     attach: Vec<Attach>,
     packets: HashMap<u32, Packet>,
-    rx_progress: HashMap<u32, u32>,
     next_pid: u32,
     stats: NocStats,
     packet_latency: Histogram,
@@ -260,7 +259,6 @@ impl XpipesNoc {
             slave_nis,
             attach,
             packets: HashMap::new(),
-            rx_progress: HashMap::new(),
             next_pid: 0,
             stats: NocStats::default(),
             packet_latency: Histogram::new("packet_latency_cycles"),
@@ -310,15 +308,17 @@ impl XpipesNoc {
         }
     }
 
-    fn make_flits(pid: u32, len: u32, dst: u16) -> VecDeque<Flit> {
-        (0..len)
-            .map(|i| Flit {
-                pid,
-                is_head: i == 0,
-                is_tail: i == len - 1,
-                dst,
-            })
-            .collect()
+    /// Packetises into `tx` in place, reusing the (empty) buffer's
+    /// capacity — NI injection queues are on the per-cycle hot path and
+    /// must not reallocate per packet.
+    fn refill_flits(tx: &mut VecDeque<Flit>, pid: u32, len: u32, dst: u16) {
+        debug_assert!(tx.is_empty());
+        tx.extend((0..len).map(|i| Flit {
+            pid,
+            is_head: i == 0,
+            is_tail: i == len - 1,
+            dst,
+        }));
     }
 
     /// Link stage: move output-register flits into downstream input
@@ -358,15 +358,12 @@ impl XpipesNoc {
                         .packets
                         .remove(&flit.pid)
                         .expect("tail of unknown packet");
-                    self.rx_progress.remove(&flit.pid);
                     self.packet_latency.record(now - packet.injected_at);
                     let Payload::Resp { resp, dst_master } = packet.payload else {
                         panic!("request packet delivered to a master NI")
                     };
                     debug_assert_eq!(dst_master, i);
                     self.master_nis[i].link.push_response(resp, now);
-                } else {
-                    *self.rx_progress.entry(flit.pid).or_insert(0) += 1;
                 }
                 true
             }
@@ -377,10 +374,7 @@ impl XpipesNoc {
                     return false;
                 }
                 if flit.is_tail {
-                    self.rx_progress.remove(&flit.pid);
                     self.slave_nis[i].pending.push_back(flit.pid);
-                } else {
-                    *self.rx_progress.entry(flit.pid).or_insert(0) += 1;
                 }
                 true
             }
@@ -475,7 +469,7 @@ impl XpipesNoc {
                                     injected_at: now,
                                 },
                             );
-                            self.master_nis[i].tx = Self::make_flits(pid, len, dst);
+                            Self::refill_flits(&mut self.master_nis[i].tx, pid, len, dst);
                             self.stats.packets += 1;
                         }
                     }
@@ -511,8 +505,7 @@ impl XpipesNoc {
                                 injected_at: now,
                             },
                         );
-                        debug_assert!(self.slave_nis[i].tx.is_empty());
-                        self.slave_nis[i].tx = Self::make_flits(pid, len, dst);
+                        Self::refill_flits(&mut self.slave_nis[i].tx, pid, len, dst);
                         self.stats.packets += 1;
                         self.slave_nis[i].busy = None;
                     }
@@ -571,6 +564,36 @@ impl Component for XpipesNoc {
             && self.slave_nis.iter().all(|ni| {
                 ni.tx.is_empty() && ni.pending.is_empty() && ni.busy.is_none() && ni.link.is_quiet()
             })
+    }
+
+    // Ticks are complete no-ops while the network is drained, so the
+    // default no-op `skip` is exact.
+    fn next_activity(&self, now: Cycle) -> Activity {
+        // Any flit, pending delivery, or outstanding slave transaction
+        // means the pipeline advances every cycle.
+        let in_flight = !self.packets.is_empty()
+            || self.routers.iter().any(|r| !r.is_empty())
+            || self.master_nis.iter().any(|ni| !ni.tx.is_empty())
+            || self
+                .slave_nis
+                .iter()
+                .any(|ni| !ni.tx.is_empty() || !ni.pending.is_empty() || ni.busy.is_some());
+        if in_flight {
+            return Activity::Busy;
+        }
+        let mut wake: Option<Cycle> = None;
+        for ni in &self.master_nis {
+            match ni.link.request_visible_at() {
+                Some(at) if at <= now => return Activity::Busy,
+                Some(at) => wake = Some(wake.map_or(at, |w| w.min(at))),
+                None => {}
+            }
+        }
+        match wake {
+            Some(at) => Activity::IdleUntil(at),
+            None if self.is_idle() => Activity::Drained,
+            None => Activity::Busy,
+        }
     }
 }
 

@@ -215,6 +215,24 @@ impl MasterPort {
         let ch = self.inner.borrow();
         ch.req.is_none() && ch.accept.is_none() && ch.resp.is_empty()
     }
+
+    /// The earliest cycle at which a queued completion event (an
+    /// acceptance or a response) becomes visible to this master.
+    ///
+    /// Returns `None` when neither kind of event is queued — the master
+    /// cannot tell from its port alone when it will next unblock. Used by
+    /// [`Component::next_activity`](ntg_sim::Component::next_activity)
+    /// implementations of blocked masters to hint the engine's cycle
+    /// skipper.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        let ch = self.inner.borrow();
+        let accept = ch.accept.map(|(_, at)| at + 1);
+        let resp = ch.resp.front().map(|&(_, at)| at + 1);
+        match (accept, resp) {
+            (Some(a), Some(r)) => Some(a.min(r)),
+            (a, r) => a.or(r),
+        }
+    }
 }
 
 impl SlavePort {
@@ -289,6 +307,16 @@ impl SlavePort {
     pub fn is_quiet(&self) -> bool {
         let ch = self.inner.borrow();
         ch.req.is_none() && ch.accept.is_none() && ch.resp.is_empty()
+    }
+
+    /// The cycle from which the pending request (if any) is visible on
+    /// this side of the link: one cycle after assertion.
+    ///
+    /// Unlike [`SlavePort::has_request`] this does not depend on `now`,
+    /// so arbiters can hint the engine's cycle skipper about requests
+    /// asserted this very cycle that only become actionable next cycle.
+    pub fn request_visible_at(&self) -> Option<Cycle> {
+        self.inner.borrow().req.as_ref().map(|p| p.asserted_at + 1)
     }
 }
 
@@ -375,6 +403,26 @@ mod tests {
         s.push_response(OcpResponse::ok(vec![2], 1), 1);
         assert_eq!(m.take_response(5).unwrap().word(), 1);
         assert_eq!(m.take_response(5).unwrap().word(), 2);
+    }
+
+    #[test]
+    fn visibility_helpers_report_event_cycles() {
+        let (m, s) = channel("l", MasterId(0));
+        assert_eq!(s.request_visible_at(), None);
+        assert_eq!(m.next_event_at(), None);
+        m.assert_request(OcpRequest::read(0x10), 5);
+        // Asserted at 5 → visible to the slave from 6.
+        assert_eq!(s.request_visible_at(), Some(6));
+        s.accept_request(6);
+        assert_eq!(s.request_visible_at(), None);
+        // Accepted at 6 → acceptance visible to the master from 7.
+        assert_eq!(m.next_event_at(), Some(7));
+        s.push_response(OcpResponse::ok(vec![1], 0), 6);
+        // Response also from 7; min of the two.
+        assert_eq!(m.next_event_at(), Some(7));
+        m.take_response(7);
+        m.take_accept(7);
+        assert_eq!(m.next_event_at(), None);
     }
 
     #[test]

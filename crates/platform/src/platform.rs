@@ -14,7 +14,7 @@ use ntg_noc::{
     AmbaBus, Arbitration, CrossbarBus, IdealInterconnect, Interconnect, XpipesConfig, XpipesNoc,
 };
 use ntg_ocp::{channel, MasterId};
-use ntg_sim::{ClockConfig, Component, Cycle};
+use ntg_sim::{Activity, ClockConfig, Component, Cycle};
 use ntg_trace::{shared_trace, MasterTrace, SharedTrace, TraceMonitor};
 
 use crate::mem_map;
@@ -114,6 +114,15 @@ impl Master {
         }
     }
 
+    fn as_component_ref(&self) -> &dyn Component {
+        match self {
+            Master::Cpu(c) => c.as_ref(),
+            Master::Tg(t) => t,
+            Master::TgMulti(m) => m.as_ref(),
+            Master::Stochastic(s) => s.as_ref(),
+        }
+    }
+
     fn halted(&self) -> bool {
         match self {
             Master::Cpu(c) => c.halted(),
@@ -173,6 +182,13 @@ enum Slave {
 
 impl Slave {
     fn as_component(&mut self) -> &mut dyn Component {
+        match self {
+            Slave::Mem(m) => m,
+            Slave::Sem(s) => s,
+        }
+    }
+
+    fn as_component_ref(&self) -> &dyn Component {
         match self {
             Slave::Mem(m) => m,
             Slave::Sem(s) => s,
@@ -531,6 +547,9 @@ impl PlatformBuilder {
             slaves,
             traces,
             now: 0,
+            skipping: ntg_sim::cycle_skipping_enabled(),
+            skipped_cycles: 0,
+            ticked_cycles: 0,
         })
     }
 }
@@ -544,6 +563,9 @@ pub struct Platform {
     slaves: Vec<Slave>,
     traces: Vec<Option<SharedTrace>>,
     now: Cycle,
+    skipping: bool,
+    skipped_cycles: Cycle,
+    ticked_cycles: Cycle,
 }
 
 impl Platform {
@@ -562,24 +584,100 @@ impl Platform {
         self.masters.len()
     }
 
+    /// Enables or disables event-horizon cycle skipping for this
+    /// platform, overriding the `NTG_NO_SKIP` environment default.
+    ///
+    /// Skipping is a pure wall-time optimisation: reported cycle counts,
+    /// statistics and traces are bit-identical either way (the
+    /// equivalence tests in `ntg-bench` pin this down).
+    pub fn set_cycle_skipping(&mut self, on: bool) {
+        self.skipping = on;
+    }
+
+    /// True when every master has halted and all traffic has drained.
+    fn quiesced(&self) -> bool {
+        self.masters.iter().all(Master::halted)
+            && self.interconnect.is_idle()
+            && self.slaves.iter().all(Slave::is_idle)
+    }
+
+    /// The earliest cycle at which any component may act, capped at
+    /// `end`, or `None` when some component is busy (or skipping is off)
+    /// and the platform must tick cycle by cycle.
+    fn horizon(&self, end: Cycle) -> Option<Cycle> {
+        if !self.skipping {
+            return None;
+        }
+        let now = self.now;
+        let mut h = end;
+        // Masters first: they are the only spontaneous actors, so a busy
+        // master is the common reason not to jump — bail out early.
+        for m in &self.masters {
+            match m.as_component_ref().next_activity(now) {
+                Activity::Busy => return None,
+                Activity::IdleUntil(w) => h = h.min(w),
+                Activity::Drained => {}
+            }
+        }
+        match self.interconnect.next_activity(now) {
+            Activity::Busy => return None,
+            Activity::IdleUntil(w) => h = h.min(w),
+            Activity::Drained => {}
+        }
+        for s in &self.slaves {
+            match s.as_component_ref().next_activity(now) {
+                Activity::Busy => return None,
+                Activity::IdleUntil(w) => h = h.min(w),
+                Activity::Drained => {}
+            }
+        }
+        (h > now).then_some(h)
+    }
+
     /// Runs until every master has halted and all traffic has drained,
     /// or `max_cycles` is reached.
     ///
-    /// The (comparatively expensive) termination predicate is evaluated
-    /// every 16 cycles, so up to 15 extra idle cycles may be simulated
-    /// after the system quiesces; per-master halt cycles — and therefore
-    /// [`RunReport::execution_time`] — are exact.
+    /// The termination predicate is evaluated exactly, every iteration —
+    /// the reported cycle count is the first quiescent cycle. Idle
+    /// stretches where no component has work before a known wake cycle
+    /// are fast-forwarded in one jump (event-horizon cycle skipping;
+    /// disable with `NTG_NO_SKIP=1` or
+    /// [`set_cycle_skipping`](Self::set_cycle_skipping)); skipping never
+    /// changes reported cycles, statistics or traces, only wall time.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
+        // Ceiling for the exponential horizon-poll backoff. While the
+        // platform stays busy each poll fails after touching every
+        // component; backing off caps that overhead at ~1/64th of a tick
+        // without affecting results — ticking through a skippable cycle
+        // is bit-identical to jumping it, we only defer the jump.
+        const MAX_POLL_BACKOFF: Cycle = 64;
         let start = Instant::now();
         let mut completed = false;
+        let mut poll_at = self.now;
+        let mut backoff: Cycle = 1;
         while self.now < max_cycles {
-            if self.now.is_multiple_of(16)
-                && self.masters.iter().all(Master::halted)
-                && self.interconnect.is_idle()
-                && self.slaves.iter().all(Slave::is_idle)
-            {
+            if self.quiesced() {
                 completed = true;
                 break;
+            }
+            if self.now >= poll_at {
+                if let Some(next) = self.horizon(max_cycles) {
+                    let now = self.now;
+                    for m in &mut self.masters {
+                        m.as_component().skip(now, next);
+                    }
+                    self.interconnect.skip(now, next);
+                    for s in &mut self.slaves {
+                        s.as_component().skip(now, next);
+                    }
+                    self.skipped_cycles += next - now;
+                    self.now = next;
+                    backoff = 1;
+                    poll_at = self.now;
+                    continue;
+                }
+                backoff = (backoff * 2).min(MAX_POLL_BACKOFF);
+                poll_at = self.now + backoff;
             }
             let now = self.now;
             for m in &mut self.masters {
@@ -589,13 +687,10 @@ impl Platform {
             for s in &mut self.slaves {
                 s.as_component().tick(now);
             }
+            self.ticked_cycles += 1;
             self.now += 1;
         }
-        if !completed
-            && self.masters.iter().all(Master::halted)
-            && self.interconnect.is_idle()
-            && self.slaves.iter().all(Slave::is_idle)
-        {
+        if !completed && self.quiesced() {
             completed = true;
         }
         let wall_time = start.elapsed();
@@ -609,6 +704,8 @@ impl Platform {
             transactions: self.interconnect.transactions(),
             latency: self.interconnect.latency_summary(),
             tg_reused: None,
+            skipped_cycles: self.skipped_cycles,
+            ticked_cycles: self.ticked_cycles,
         }
     }
 

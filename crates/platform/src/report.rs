@@ -52,6 +52,11 @@ pub struct RunReport {
     /// [`Platform::explore`](crate::Platform::explore) and by the
     /// `ntg-explore` campaign engine's TG artifact cache.
     pub tg_reused: Option<bool>,
+    /// Cycles fast-forwarded by event-horizon skipping (zero when
+    /// skipping is disabled). `skipped_cycles + ticked_cycles == cycles`.
+    pub skipped_cycles: Cycle,
+    /// Cycles simulated tick by tick.
+    pub ticked_cycles: Cycle,
 }
 
 impl RunReport {
@@ -98,6 +103,8 @@ mod tests {
             transactions: 0,
             latency: None,
             tg_reused: None,
+            skipped_cycles: 0,
+            ticked_cycles: 120,
         };
         assert_eq!(r.execution_time(), Some(110));
     }
@@ -114,6 +121,8 @@ mod tests {
             transactions: 0,
             latency: None,
             tg_reused: None,
+            skipped_cycles: 0,
+            ticked_cycles: 120,
         };
         assert_eq!(r.execution_time(), None);
     }
@@ -130,6 +139,8 @@ mod tests {
             transactions: 0,
             latency: None,
             tg_reused: None,
+            skipped_cycles: 0,
+            ticked_cycles: 1_000,
         };
         assert!((r.cycles_per_second() - 10_000.0).abs() < 1.0);
     }

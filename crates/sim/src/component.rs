@@ -2,6 +2,56 @@
 
 use crate::Cycle;
 
+/// A component's *wake hint*: what it would do if ticked over the coming
+/// cycles.
+///
+/// Hints let the engine fast-forward over quiescent stretches (see
+/// [`Simulator::run_until`](crate::Simulator::run_until)): when every
+/// component is either [`Drained`](Activity::Drained) or
+/// [`IdleUntil`](Activity::IdleUntil), no observable state can change
+/// before the earliest wake cycle, so the engine may jump `now` straight
+/// to that horizon after giving each component a [`Component::skip`]
+/// callback to replicate any per-tick bookkeeping.
+///
+/// Hints must be **conservative**: it is always correct to report
+/// [`Busy`](Activity::Busy) (the default), merely slower. Reporting
+/// `IdleUntil(w)` is a promise that the component will not act *of its
+/// own accord* before cycle `w`: absent any inbound event, ticking it at
+/// any cycle `t < w` is pure bookkeeping that [`Component::skip`]
+/// reproduces exactly. The engine guarantees no inbound event can arrive
+/// inside a jump, because the jump target is bounded by *every*
+/// component's hint — whoever would produce the event is itself `Busy`
+/// or bounds the horizon with a finite wake.
+///
+/// That guarantee makes the *passive wait* pattern sound: a component
+/// blocked on another's action (a master awaiting a response, a bus
+/// awaiting a slave) with nothing queued on its channels may report
+/// [`Activity::waiting()`] — an unbounded `IdleUntil` — instead of
+/// `Busy`, so it never blocks a jump whose horizon the eventual actor
+/// already bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activity {
+    /// The component may act this cycle (or its wake cycle is unknown);
+    /// it must be ticked normally.
+    Busy,
+    /// The component is idle and will not act before the given absolute
+    /// cycle. Ticks strictly before that cycle are skippable.
+    IdleUntil(Cycle),
+    /// The component is finished: no pending work now or ever (it is
+    /// idle in the [`Component::is_idle`] sense). Skippable forever.
+    Drained,
+}
+
+impl Activity {
+    /// A passive wait on some other component's action, with no known
+    /// bound of its own: the component never acts spontaneously, so it
+    /// does not limit the horizon. Sound only when every tick while
+    /// waiting is pure bookkeeping that [`Component::skip`] replicates.
+    pub const fn waiting() -> Self {
+        Activity::IdleUntil(Cycle::MAX)
+    }
+}
+
 /// A clocked hardware block.
 ///
 /// A component is ticked exactly once per simulated cycle, in the order it
@@ -48,6 +98,28 @@ pub trait Component {
     fn is_idle(&self) -> bool {
         false
     }
+
+    /// Reports when the component next needs a real [`Component::tick`].
+    ///
+    /// `now` is the cycle the engine is about to execute. The default
+    /// conservatively reports [`Activity::Busy`], which disables
+    /// skipping for this component and is always safe. See [`Activity`]
+    /// for the contract a non-`Busy` hint signs up to.
+    fn next_activity(&self, _now: Cycle) -> Activity {
+        Activity::Busy
+    }
+
+    /// Fast-forwards the component from cycle `now` to cycle `next`
+    /// without executing the intervening ticks.
+    ///
+    /// Called by the engine instead of `tick` for every cycle in
+    /// `[now, next)` when a horizon jump is taken. An implementation
+    /// must update its state and statistics exactly as `next - now`
+    /// consecutive idle ticks would have, so cycle counts stay
+    /// bit-identical with skipping on or off. The default is a no-op,
+    /// which is correct for components whose idle ticks have no side
+    /// effects.
+    fn skip(&mut self, _now: Cycle, _next: Cycle) {}
 }
 
 #[cfg(test)]
@@ -70,9 +142,20 @@ mod tests {
     }
 
     #[test]
+    fn default_activity_is_busy() {
+        let mut n = Nop;
+        assert_eq!(n.next_activity(0), Activity::Busy);
+        assert_eq!(n.next_activity(1_000), Activity::Busy);
+        // Default skip is a no-op and must not panic.
+        n.skip(0, 10);
+    }
+
+    #[test]
     fn trait_is_object_safe() {
         let mut boxed: Box<dyn Component> = Box::new(Nop);
         boxed.tick(0);
+        boxed.skip(1, 2);
         assert_eq!(boxed.name(), "nop");
+        assert_eq!(boxed.next_activity(1), Activity::Busy);
     }
 }

@@ -1,6 +1,6 @@
 //! The generic cycle-driven simulation engine.
 
-use crate::{Component, Cycle};
+use crate::{Activity, Component, Cycle};
 
 /// Why a [`Simulator`] run loop returned.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,16 +41,56 @@ pub enum RunOutcome {
 /// assert_eq!(sim.run_until_idle(100), RunOutcome::Idle);
 /// assert_eq!(sim.now(), 3);
 /// ```
-#[derive(Default)]
 pub struct Simulator {
     components: Vec<Box<dyn Component>>,
     now: Cycle,
+    skipping: bool,
+    skipped_cycles: Cycle,
+    ticked_cycles: Cycle,
+}
+
+impl Default for Simulator {
+    fn default() -> Self {
+        Self {
+            components: Vec::new(),
+            now: 0,
+            skipping: crate::cycle_skipping_enabled(),
+            skipped_cycles: 0,
+            ticked_cycles: 0,
+        }
+    }
 }
 
 impl Simulator {
     /// Creates an empty simulator at cycle zero.
+    ///
+    /// Event-horizon cycle skipping is enabled unless the `NTG_NO_SKIP`
+    /// environment variable disables it (see
+    /// [`cycle_skipping_enabled`](crate::cycle_skipping_enabled)); use
+    /// [`Simulator::set_cycle_skipping`] to override programmatically.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enables or disables event-horizon cycle skipping for this engine,
+    /// overriding the `NTG_NO_SKIP` environment default.
+    ///
+    /// Skipping never changes simulation results — components' wake hints
+    /// promise the jumped ticks were pure bookkeeping, replicated exactly
+    /// by [`Component::skip`] — it only changes how many host instructions
+    /// a quiescent stretch costs.
+    pub fn set_cycle_skipping(&mut self, on: bool) {
+        self.skipping = on;
+    }
+
+    /// Cycles fast-forwarded by horizon jumps instead of being ticked.
+    pub fn skipped_cycles(&self) -> Cycle {
+        self.skipped_cycles
+    }
+
+    /// Cycles executed tick by tick.
+    pub fn ticked_cycles(&self) -> Cycle {
+        self.ticked_cycles
     }
 
     /// Registers a component. Components are ticked in registration order.
@@ -94,6 +134,7 @@ impl Simulator {
             c.tick(now);
         }
         self.now += 1;
+        self.ticked_cycles += 1;
     }
 
     /// Executes exactly `cycles` cycles.
@@ -115,19 +156,44 @@ impl Simulator {
     /// Runs until `stop` returns true (checked between cycles), every
     /// component is idle, or `max_cycles` further cycles have executed —
     /// whichever comes first.
+    ///
+    /// # Cycle skipping
+    ///
+    /// When every component reports a non-[`Busy`](Activity::Busy) wake
+    /// hint (see [`Component::next_activity`]), the engine jumps `now`
+    /// straight to the earliest wake cycle — the *event horizon* — after
+    /// giving every component a [`Component::skip`] callback. Because
+    /// hints promise the jumped ticks were pure bookkeeping, outcomes and
+    /// cycle counts are bit-identical with skipping on or off. The one
+    /// caveat: `stop` is evaluated only at cycles the engine actually
+    /// visits (jump targets included). Predicates over component state are
+    /// unaffected — jumps never cross a cycle where observable state
+    /// changes — but a predicate over raw `now()` arithmetic may first
+    /// hold mid-jump and only be seen at the following visited cycle.
     pub fn run_until(
         &mut self,
         max_cycles: Cycle,
         mut stop: impl FnMut(&Simulator) -> bool,
     ) -> RunOutcome {
-        for _ in 0..max_cycles {
+        let end = self.now.saturating_add(max_cycles);
+        while self.now < end {
             if stop(self) {
                 return RunOutcome::Predicate;
             }
             if self.all_idle() {
                 return RunOutcome::Idle;
             }
-            self.step();
+            match self.horizon(end) {
+                Some(next) => {
+                    let now = self.now;
+                    for c in &mut self.components {
+                        c.skip(now, next);
+                    }
+                    self.skipped_cycles += next - now;
+                    self.now = next;
+                }
+                None => self.step(),
+            }
         }
         if stop(self) {
             RunOutcome::Predicate
@@ -136,6 +202,24 @@ impl Simulator {
         } else {
             RunOutcome::CycleLimit
         }
+    }
+
+    /// The earliest cycle any component needs a real tick, clamped to
+    /// `end`, or `None` if some component is busy (or skipping is off) and
+    /// the engine must execute the coming cycle normally.
+    fn horizon(&self, end: Cycle) -> Option<Cycle> {
+        if !self.skipping {
+            return None;
+        }
+        let mut h = end;
+        for c in &self.components {
+            match c.next_activity(self.now) {
+                Activity::Busy => return None,
+                Activity::IdleUntil(w) => h = h.min(w),
+                Activity::Drained => {}
+            }
+        }
+        (h > self.now).then_some(h)
     }
 
     fn all_idle(&self) -> bool {
@@ -251,5 +335,125 @@ mod tests {
         assert!(sim.is_empty());
         assert_eq!(sim.run_until_idle(5), RunOutcome::CycleLimit);
         assert_eq!(sim.now(), 5);
+    }
+
+    /// Works for `burst` cycles, sleeps for `gap` cycles, repeats
+    /// `rounds` times, then drains. Counts every cycle it observes so
+    /// skip equivalence can be asserted on the bookkeeping too.
+    struct Sleeper {
+        burst: u64,
+        gap: u64,
+        rounds: u64,
+        phase_left: u64,
+        working: bool,
+        observed: Cycle,
+    }
+
+    impl Sleeper {
+        fn new(burst: u64, gap: u64, rounds: u64) -> Self {
+            Self {
+                burst,
+                gap,
+                rounds,
+                phase_left: burst,
+                working: true,
+                observed: 0,
+            }
+        }
+    }
+
+    impl Component for Sleeper {
+        fn name(&self) -> &str {
+            "sleeper"
+        }
+        fn tick(&mut self, _now: Cycle) {
+            if self.rounds == 0 {
+                return;
+            }
+            self.observed += 1;
+            self.phase_left -= 1;
+            if self.phase_left == 0 {
+                if self.working {
+                    self.working = false;
+                    self.phase_left = self.gap;
+                } else {
+                    self.working = true;
+                    self.phase_left = self.burst;
+                    self.rounds -= 1;
+                }
+            }
+        }
+        fn is_idle(&self) -> bool {
+            self.rounds == 0
+        }
+        fn next_activity(&self, now: Cycle) -> Activity {
+            if self.rounds == 0 {
+                Activity::Drained
+            } else if self.working {
+                Activity::Busy
+            } else {
+                Activity::IdleUntil(now + self.phase_left)
+            }
+        }
+        fn skip(&mut self, now: Cycle, next: Cycle) {
+            if self.rounds == 0 {
+                return;
+            }
+            let n = next - now;
+            assert!(!self.working && n <= self.phase_left);
+            self.observed += n;
+            self.phase_left -= n;
+            if self.phase_left == 0 {
+                self.working = true;
+                self.phase_left = self.burst;
+                self.rounds -= 1;
+            }
+        }
+    }
+
+    fn run_sleepers(skipping: bool) -> (Cycle, Cycle, RunOutcome) {
+        let mut sim = Simulator::new();
+        sim.set_cycle_skipping(skipping);
+        sim.add(Box::new(Sleeper::new(3, 40, 4)));
+        sim.add(Box::new(Sleeper::new(5, 17, 6)));
+        let outcome = sim.run_until_idle(10_000);
+        (sim.now(), sim.skipped_cycles(), outcome)
+    }
+
+    #[test]
+    fn skipping_is_bit_identical_to_plain_ticking() {
+        let (now_on, skipped_on, out_on) = run_sleepers(true);
+        let (now_off, skipped_off, out_off) = run_sleepers(false);
+        assert_eq!(now_on, now_off);
+        assert_eq!(out_on, out_off);
+        assert_eq!(skipped_off, 0);
+        assert!(skipped_on > 0, "overlapping idle windows must be skipped");
+    }
+
+    #[test]
+    fn skip_counters_partition_the_run() {
+        let mut sim = Simulator::new();
+        sim.set_cycle_skipping(true);
+        sim.add(Box::new(Sleeper::new(2, 30, 3)));
+        sim.run_until_idle(1_000);
+        assert_eq!(sim.skipped_cycles() + sim.ticked_cycles(), sim.now());
+    }
+
+    #[test]
+    fn busy_component_disables_jumping() {
+        let order = Rc::new(Cell::new(0));
+        let mut sim = Simulator::new();
+        sim.set_cycle_skipping(true);
+        // Recorder's default next_activity is Busy, so every cycle ticks.
+        sim.add(Box::new(Recorder {
+            id: 0,
+            order,
+            seen: Vec::new(),
+            idle_after: u64::MAX,
+        }));
+        sim.add(Box::new(Sleeper::new(1, 50, 2)));
+        assert_eq!(sim.run_until_idle(10), RunOutcome::CycleLimit);
+        assert_eq!(sim.skipped_cycles(), 0);
+        assert_eq!(sim.ticked_cycles(), 10);
     }
 }

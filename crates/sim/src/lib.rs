@@ -50,8 +50,22 @@ mod kernel;
 pub mod stats;
 
 pub use clock::{ClockConfig, Nanos};
-pub use component::Component;
+pub use component::{Activity, Component};
 pub use kernel::{RunOutcome, Simulator};
+
+/// Whether event-horizon cycle skipping is enabled for this process.
+///
+/// Skipping is on by default. Setting the `NTG_NO_SKIP` environment
+/// variable to anything other than `""` or `"0"` disables it, forcing the
+/// plain tick-per-cycle loop — the escape hatch for bisecting a suspected
+/// skip regression. Results are bit-identical either way; only host wall
+/// time changes.
+pub fn cycle_skipping_enabled() -> bool {
+    match std::env::var_os("NTG_NO_SKIP") {
+        None => true,
+        Some(v) => v.is_empty() || v == "0",
+    }
+}
 
 /// A simulated clock-cycle index.
 ///
