@@ -34,4 +34,25 @@ timeout 300 ./target/release/table2 --quick --threads 2 > /dev/null
 echo "==> bench smoke: ntg-sweep --dry-run"
 timeout 60 ./target/release/ntg-sweep --preset quick --dry-run > /dev/null
 
+# Persistent-store smoke: the same tiny campaign twice against a scratch
+# store — the second run must pull every artifact from disk (zero
+# builds) and write byte-identical results.
+echo "==> store smoke: warm rerun hits the store"
+STORE_SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_SMOKE_DIR"' EXIT
+SWEEP="timeout 120 ./target/release/ntg-sweep --workloads mp_matrix:8 --cores 2 --fabrics amba --masters cpu,tg --quiet --store $STORE_SMOKE_DIR/store"
+$SWEEP --out "$STORE_SMOKE_DIR/cold.jsonl" | grep -q "traces 1 built"
+$SWEEP --out "$STORE_SMOKE_DIR/warm.jsonl" | grep -q "traces 0 built"
+cmp "$STORE_SMOKE_DIR/cold.jsonl" "$STORE_SMOKE_DIR/warm.jsonl"
+
+# Shard smoke: two shard processes sharing the store, merged back —
+# byte-identical to the single-process file above.
+echo "==> store smoke: shard + merge reproduces the single run"
+$SWEEP --out "$STORE_SMOKE_DIR/sharded.jsonl" --shard 1/2 > /dev/null
+$SWEEP --out "$STORE_SMOKE_DIR/sharded.jsonl" --shard 2/2 > /dev/null
+timeout 60 ./target/release/ntg-sweep merge --out "$STORE_SMOKE_DIR/sharded.jsonl" \
+    "$STORE_SMOKE_DIR/sharded.jsonl.shard-1-of-2" \
+    "$STORE_SMOKE_DIR/sharded.jsonl.shard-2-of-2" > /dev/null
+cmp "$STORE_SMOKE_DIR/sharded.jsonl" "$STORE_SMOKE_DIR/cold.jsonl"
+
 echo "CI OK"

@@ -65,4 +65,6 @@ pub use program::{TgItem, TgProgram, TgSymInstr};
 pub use stochastic::{GapDistribution, StochasticConfig, StochasticTg};
 pub use tgcore::{TgCore, TgFault, TgStats};
 pub use tgslave::{TgSlave, TgSlaveBehavior};
-pub use translate::{TraceTranslator, TranslationError, TranslationMode, TranslatorConfig};
+pub use translate::{
+    TraceTranslator, TranslationError, TranslationMode, TranslatorConfig, STORE_FORMAT_VERSION,
+};

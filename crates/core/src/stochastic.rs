@@ -93,6 +93,77 @@ impl Default for StochasticConfig {
     }
 }
 
+impl StochasticConfig {
+    /// Serialises the configuration for the persistent artifact store
+    /// (little-endian, deterministic; framing/versioning is the
+    /// caller's concern — store entries carry their own header and
+    /// checksum).
+    pub fn encode(&self, w: &mut ntg_trace::ByteWriter) {
+        w.u64(self.seed);
+        w.u32(self.ranges.len() as u32);
+        for &(base, size) in &self.ranges {
+            w.u32(base);
+            w.u32(size);
+        }
+        w.f64(self.write_fraction);
+        w.f64(self.burst_fraction);
+        match self.gap {
+            GapDistribution::Uniform { min, max } => {
+                w.u8(0);
+                w.u32(min);
+                w.u32(max);
+            }
+            GapDistribution::Geometric { mean } => {
+                w.u8(1);
+                w.u32(mean);
+            }
+            GapDistribution::Fixed { gap } => {
+                w.u8(2);
+                w.u32(gap);
+            }
+        }
+        w.u64(self.transactions);
+    }
+
+    /// Deserialises a configuration written by [`Self::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BinCodecError`](ntg_trace::BinCodecError) on a
+    /// truncated stream or an undefined distribution tag.
+    pub fn decode(r: &mut ntg_trace::ByteReader<'_>) -> Result<Self, ntg_trace::BinCodecError> {
+        let seed = r.u64()?;
+        let n_ranges = r.u32()? as usize;
+        let mut ranges = Vec::with_capacity(n_ranges.min(1 << 16));
+        for _ in 0..n_ranges {
+            let base = r.u32()?;
+            let size = r.u32()?;
+            ranges.push((base, size));
+        }
+        let write_fraction = r.f64()?;
+        let burst_fraction = r.f64()?;
+        let tag_at = r.offset();
+        let gap = match r.u8()? {
+            0 => GapDistribution::Uniform {
+                min: r.u32()?,
+                max: r.u32()?,
+            },
+            1 => GapDistribution::Geometric { mean: r.u32()? },
+            2 => GapDistribution::Fixed { gap: r.u32()? },
+            _ => return Err(ntg_trace::BinCodecError::BadTag { offset: tag_at }),
+        };
+        let transactions = r.u64()?;
+        Ok(Self {
+            seed,
+            ranges,
+            write_fraction,
+            burst_fraction,
+            gap,
+            transactions,
+        })
+    }
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum State {
     Idling { remaining: u32 },
@@ -414,5 +485,47 @@ mod tests {
                 ..StochasticConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn config_codec_round_trips() {
+        for cfg in [
+            StochasticConfig::default(),
+            StochasticConfig {
+                seed: u64::MAX,
+                ranges: vec![(0x1000, 0x200), (0x1b00_0000, 0x100)],
+                write_fraction: 0.375,
+                burst_fraction: 1.0,
+                gap: GapDistribution::Uniform { min: 0, max: 99 },
+                transactions: 0,
+            },
+            StochasticConfig {
+                gap: GapDistribution::Fixed { gap: 7 },
+                ..StochasticConfig::default()
+            },
+        ] {
+            let mut w = ntg_trace::ByteWriter::new();
+            cfg.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ntg_trace::ByteReader::new(&bytes);
+            let back = StochasticConfig::decode(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn config_decode_rejects_bad_gap_tag() {
+        let mut w = ntg_trace::ByteWriter::new();
+        StochasticConfig::default().encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // The gap tag sits right after seed(8) + len(4) + one range(8) +
+        // two f64 fractions(16).
+        bytes[36] = 9;
+        let mut r = ntg_trace::ByteReader::new(&bytes);
+        assert!(matches!(
+            StochasticConfig::decode(&mut r),
+            Err(ntg_trace::BinCodecError::BadTag { offset: 36 })
+        ));
     }
 }

@@ -30,6 +30,14 @@ use ntg_trace::{MasterTrace, TraceError, Transaction};
 use crate::isa::{TgCond, TgReg, RDREG, TEMPREG};
 use crate::program::{TgProgram, TgSymInstr};
 
+/// Version of the *on-disk artifact format family* — the trace binary
+/// codec, the calibration-config codec and the TG image layout taken
+/// together. Bump it whenever any of those encodings changes shape:
+/// [`TranslatorConfig::cache_key`] folds it in, so every persistent
+/// store entry keyed by an old version simply stops matching and is
+/// rebuilt, instead of being misread by the new decoder.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
 /// The operand-register convention used by generated programs.
 mod regs {
     use crate::isa::TgReg;
@@ -109,7 +117,9 @@ impl TranslatorConfig {
     ///
     /// The hash is FNV-1a with fixed field ordering — stable across
     /// processes, platforms and releases (unlike `std`'s `DefaultHasher`,
-    /// whose algorithm is explicitly unspecified).
+    /// whose algorithm is explicitly unspecified) — and salted with
+    /// [`STORE_FORMAT_VERSION`], so bumping the on-disk format retires
+    /// every stale persistent-store entry at the key level.
     pub fn cache_key(&self) -> u64 {
         const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -119,6 +129,7 @@ impl TranslatorConfig {
                 h = (h ^ u64::from(b)).wrapping_mul(PRIME);
             }
         };
+        eat(&STORE_FORMAT_VERSION.to_le_bytes());
         let mode = match self.mode {
             TranslationMode::Clone => 0u8,
             TranslationMode::Timeshift => 1,

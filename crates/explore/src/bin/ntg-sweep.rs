@@ -10,20 +10,32 @@
 //! ntg-sweep --workloads mp_matrix:16 --cores 4 --fabrics all \
 //!           --masters cpu,tg --out fabrics.jsonl
 //! ntg-sweep --preset table2 --resume --out table2.jsonl
+//! ntg-sweep --preset table2 --shard 1/2 --out table2.jsonl   # machine A
+//! ntg-sweep --preset table2 --shard 2/2 --out table2.jsonl   # machine B
+//! ntg-sweep merge --out table2.jsonl \
+//!           table2.jsonl.shard-1-of-2 table2.jsonl.shard-2-of-2
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, MasterChoice, RunOptions};
+use ntg_explore::{
+    merge_shards, run_campaign, shard_path, CampaignSpec, CoreSelection, DiskStore, MasterChoice,
+    RunOptions,
+};
 use ntg_platform::{InterconnectChoice, ALL_INTERCONNECTS};
 use ntg_workloads::Workload;
+
+/// Warn after a run when the persistent store outgrows this budget
+/// (override with `NTG_STORE_BUDGET`, in bytes).
+const DEFAULT_STORE_BUDGET: u64 = 1 << 30;
 
 const USAGE: &str = "\
 ntg-sweep — run a design-space-exploration campaign
 
 USAGE:
     ntg-sweep [--preset NAME] [OPTIONS]
+    ntg-sweep merge --out PATH SHARD_FILE...
 
 PRESETS (a starting point; later options override):
     table2     paper Table 2: 4 workloads, paper core sweeps, CPU vs TG on AMBA
@@ -47,6 +59,14 @@ OPTIONS:
     --threads N          worker threads (default 1)
     --out PATH           result file (default <name>.jsonl)
     --resume             keep matching results from an earlier partial run
+    --shard I/N          run only shard I of N (jobs are dealt round-robin by
+                         id); the result file gets a `.shard-I-of-N` suffix.
+                         Reassemble with `ntg-sweep merge`.
+    --store PATH         persistent artifact store for traces/TG binaries
+                         (default: $NTG_STORE, else ~/.cache/ntg)
+    --no-store           skip the persistent store for this run
+    --store-gc BYTES     prune the store to BYTES (least recently used
+                         artifacts first) and exit
     --dry-run            print the expanded job list and exit
     --quiet              suppress per-job progress on stderr
     -h, --help           this text
@@ -63,6 +83,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    if args.first().map(String::as_str) == Some("merge") {
+        return run_merge(args[1..].to_vec());
+    }
+
     let mut spec: Option<CampaignSpec> = None;
     let mut name: Option<String> = None;
     let mut out: Option<PathBuf> = None;
@@ -71,7 +95,12 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         out: None,
         resume: false,
         quiet: false,
+        store: None,
+        shard: None,
     };
+    let mut store_flag: Option<PathBuf> = None;
+    let mut no_store = false;
+    let mut store_gc: Option<u64> = None;
     let mut dry_run = false;
 
     let mut it = args.into_iter();
@@ -146,6 +175,16 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             }
             "--out" => out = Some(PathBuf::from(take(&mut it, "--out")?)),
             "--resume" => opts.resume = true,
+            "--shard" => opts.shard = Some(parse_shard(&take(&mut it, "--shard")?)?),
+            "--store" => store_flag = Some(PathBuf::from(take(&mut it, "--store")?)),
+            "--no-store" => no_store = true,
+            "--store-gc" => {
+                store_gc = Some(
+                    take(&mut it, "--store-gc")?
+                        .parse()
+                        .map_err(|e| format!("--store-gc: {e}"))?,
+                );
+            }
             "--dry-run" => dry_run = true,
             "--quiet" => opts.quiet = true,
             "-h" | "--help" => {
@@ -154,6 +193,27 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             }
             other => return Err(format!("unknown option `{other}` (see --help)")),
         }
+    }
+
+    let store_base = match (no_store, store_flag) {
+        (true, _) => None,
+        (false, Some(p)) => Some(p),
+        (false, None) => DiskStore::default_base(),
+    };
+
+    if let Some(budget) = store_gc {
+        let base = store_base
+            .ok_or("--store-gc: no store configured (give --store or set NTG_STORE/HOME)")?;
+        let store = DiskStore::open(&base)?;
+        let stats = store.gc(budget);
+        println!(
+            "store {}: pruned {} artifact(s), freed {} bytes, {} bytes remain",
+            store.root().display(),
+            stats.removed,
+            stats.freed_bytes,
+            stats.remaining_bytes
+        );
+        return Ok(ExitCode::SUCCESS);
     }
 
     let mut spec = spec.ok_or("nothing to do: give --preset or axis options (see --help)")?;
@@ -178,7 +238,14 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         return Ok(ExitCode::SUCCESS);
     }
 
-    opts.out = Some(out.unwrap_or_else(|| PathBuf::from(format!("{}.jsonl", spec.name))));
+    opts.store = store_base;
+    let base_out = out.unwrap_or_else(|| PathBuf::from(format!("{}.jsonl", spec.name)));
+    opts.out = Some(match opts.shard {
+        // Shards write next to the canonical path, never to it — the
+        // canonical file is `merge`'s to produce.
+        Some(shard) => shard_path(&base_out, shard),
+        None => base_out,
+    });
     let outcome = run_campaign(&spec, &opts)?;
 
     // Result table: deterministic columns only; timings live in the
@@ -227,6 +294,20 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     }
     if let Some(out) = &opts.out {
         println!("\nresults: {}", out.display());
+        if let Some((_, n)) = opts.shard {
+            println!("(shard file — assemble the campaign with `ntg-sweep merge` once all {n} shards are done)");
+        }
+    }
+    let budget = std::env::var("NTG_STORE_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_STORE_BUDGET);
+    if outcome.cache.store_bytes > budget {
+        eprintln!(
+            "ntg-sweep: warning: artifact store holds {} bytes (budget {budget}); \
+             prune with `ntg-sweep --store-gc {budget}`",
+            outcome.cache.store_bytes
+        );
     }
     Ok(if failures == 0 {
         ExitCode::SUCCESS
@@ -234,6 +315,55 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         eprintln!("ntg-sweep: {failures} job(s) failed");
         ExitCode::FAILURE
     })
+}
+
+/// `ntg-sweep merge --out PATH SHARD_FILE...`
+fn run_merge(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut out: Option<PathBuf> = None;
+    let mut shards: Vec<PathBuf> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or("--out needs a value".to_string())?,
+                ));
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("merge: unknown option `{flag}` (see --help)"));
+            }
+            path => shards.push(PathBuf::from(path)),
+        }
+    }
+    let out = out.ok_or("merge: --out is required")?;
+    let summary = merge_shards(&shards, &out)?;
+    println!(
+        "campaign `{}`: merged {} shard file(s) into {} ({} jobs)",
+        summary.header.name,
+        summary.shards,
+        out.display(),
+        summary.jobs
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses `I/N` for `--shard`; 1-based, `1 <= I <= N`.
+fn parse_shard(s: &str) -> Result<(usize, usize), String> {
+    let (i, n) = s
+        .split_once('/')
+        .ok_or(format!("--shard: expected I/N, got `{s}`"))?;
+    let i: usize = i.parse().map_err(|e| format!("--shard: {e}"))?;
+    let n: usize = n.parse().map_err(|e| format!("--shard: {e}"))?;
+    if n == 0 || i == 0 || i > n {
+        return Err(format!(
+            "--shard: index must satisfy 1 <= I <= N, got {i}/{n}"
+        ));
+    }
+    Ok((i, n))
 }
 
 fn hit_char(hit: bool) -> char {

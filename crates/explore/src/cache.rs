@@ -20,7 +20,16 @@
 //! other keys proceed), then read the finished artifact. Hit/miss
 //! counters let tests and the CLI assert "each trace was collected and
 //! translated exactly once".
+//!
+//! With a [`DiskStore`] attached ([`ArtifactCache::with_store`]), every
+//! in-memory miss first consults the persistent store — a **third
+//! counter tier**, `disk_hits`, separates "loaded from disk" from
+//! "actually rebuilt", so a warm repeat campaign can assert it
+//! re-traced *nothing* — and every build is spilled back to disk for
+//! the next process (see [`store`](crate::store) for the on-disk
+//! protocol).
 
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +40,10 @@ use ntg_trace::{MasterTrace, TraceStats};
 use ntg_workloads::Workload;
 
 use crate::spec::MasterChoice;
+use crate::store::{
+    decode_images, decode_trace_artifact, encode_images, encode_trace_artifact, image_store_key,
+    trace_store_key, DiskStore, StoreKind,
+};
 
 /// Key of the trace level: one traced reference run.
 pub type TraceKey = (Workload, usize, InterconnectChoice);
@@ -144,51 +157,83 @@ impl<K, V> Default for OnceMap<K, V> {
 /// A point-in-time copy of the cache counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheSnapshot {
-    /// Trace-level lookups served from cache.
+    /// Trace-level lookups served from the in-memory cache.
     pub trace_hits: u64,
     /// Trace-level builds (reference runs executed).
     pub trace_misses: u64,
-    /// Image-level lookups served from cache.
+    /// Trace-level lookups served from the persistent store.
+    pub trace_disk_hits: u64,
+    /// Image-level lookups served from the in-memory cache.
     pub image_hits: u64,
     /// Image-level builds (translations + assemblies executed).
     pub image_misses: u64,
+    /// Image-level lookups served from the persistent store.
+    pub image_disk_hits: u64,
+    /// Published entry bytes in the attached store (0 without a store).
+    pub store_bytes: u64,
 }
 
 impl CacheSnapshot {
-    /// Formats the counters for CLI summaries.
+    /// Formats the counters for CLI summaries — the campaign's cache
+    /// economics in one line.
     pub fn summary_line(&self) -> String {
         format!(
-            "cache: traces {} built / {} reused, TG binaries {} built / {} reused",
-            self.trace_misses, self.trace_hits, self.image_misses, self.image_hits
+            "cache: traces {} built / {} reused / {} from store, \
+             TG binaries {} built / {} reused / {} from store, \
+             store {} bytes",
+            self.trace_misses,
+            self.trace_hits,
+            self.trace_disk_hits,
+            self.image_misses,
+            self.image_hits,
+            self.image_disk_hits,
+            self.store_bytes
         )
     }
 }
 
-/// The campaign-wide artifact cache.
+/// The campaign-wide artifact cache (in-memory build-once map, plus an
+/// optional persistent [`DiskStore`] tier underneath).
 pub struct ArtifactCache {
     traces: OnceMap<TraceKey, TraceArtifact>,
     images: OnceMap<ImageKey, Vec<TgImage>>,
+    store: Option<Arc<DiskStore>>,
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
+    trace_disk_hits: AtomicU64,
     image_hits: AtomicU64,
     image_misses: AtomicU64,
+    image_disk_hits: AtomicU64,
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty, memory-only cache.
     pub fn new() -> Self {
+        Self::with_store(None)
+    }
+
+    /// A cache backed by a persistent store (`None` for memory-only).
+    pub fn with_store(store: Option<Arc<DiskStore>>) -> Self {
         Self {
             traces: OnceMap::new(),
             images: OnceMap::new(),
+            store,
             trace_hits: AtomicU64::new(0),
             trace_misses: AtomicU64::new(0),
+            trace_disk_hits: AtomicU64::new(0),
             image_hits: AtomicU64::new(0),
             image_misses: AtomicU64::new(0),
+            image_disk_hits: AtomicU64::new(0),
         }
     }
 
-    /// Trace-level lookup. Returns the artifact and whether it was a
-    /// cache hit.
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<DiskStore>> {
+        self.store.as_ref()
+    }
+
+    /// Trace-level lookup. Returns the artifact and whether it came
+    /// from cache (memory or disk).
     ///
     /// # Errors
     ///
@@ -198,13 +243,38 @@ impl ArtifactCache {
         key: &TraceKey,
         build: impl FnOnce() -> Result<TraceArtifact, String>,
     ) -> Result<(Arc<TraceArtifact>, bool), String> {
-        let (v, hit) = self.traces.get_or_build(key, build)?;
-        self.count(hit, &self.trace_hits, &self.trace_misses);
-        Ok((v, hit))
+        let from_disk = Cell::new(false);
+        let (v, mem_hit) = self.traces.get_or_build(key, || match &self.store {
+            None => build(),
+            Some(store) => {
+                let key_str = trace_store_key(key);
+                let (artifact, disk) = store.get_or_build_typed(
+                    StoreKind::Trace,
+                    &key_str,
+                    |payload| {
+                        decode_trace_artifact(payload).map_err(|e| format!("store {key_str}: {e}"))
+                    },
+                    || {
+                        build().map(|a| {
+                            let bytes = encode_trace_artifact(&a);
+                            (a, bytes)
+                        })
+                    },
+                )?;
+                from_disk.set(disk);
+                Ok(artifact)
+            }
+        })?;
+        self.count(
+            mem_hit,
+            from_disk.get(),
+            [&self.trace_hits, &self.trace_disk_hits, &self.trace_misses],
+        );
+        Ok((v, mem_hit || from_disk.get()))
     }
 
     /// Image-level lookup. Returns the assembled TG binaries and whether
-    /// they came from cache.
+    /// they came from cache (memory or disk).
     ///
     /// # Errors
     ///
@@ -214,26 +284,57 @@ impl ArtifactCache {
         key: &ImageKey,
         build: impl FnOnce() -> Result<Vec<TgImage>, String>,
     ) -> Result<(Arc<Vec<TgImage>>, bool), String> {
-        let (v, hit) = self.images.get_or_build(key, build)?;
-        self.count(hit, &self.image_hits, &self.image_misses);
-        Ok((v, hit))
+        let from_disk = Cell::new(false);
+        let (v, mem_hit) = self.images.get_or_build(key, || match &self.store {
+            None => build(),
+            Some(store) => {
+                let key_str = image_store_key(key);
+                let (images, disk) = store.get_or_build_typed(
+                    StoreKind::Image,
+                    &key_str,
+                    |payload| decode_images(payload).map_err(|e| format!("store {key_str}: {e}")),
+                    || {
+                        build().map(|imgs| {
+                            let bytes = encode_images(&imgs);
+                            (imgs, bytes)
+                        })
+                    },
+                )?;
+                from_disk.set(disk);
+                Ok(images)
+            }
+        })?;
+        self.count(
+            mem_hit,
+            from_disk.get(),
+            [&self.image_hits, &self.image_disk_hits, &self.image_misses],
+        );
+        Ok((v, mem_hit || from_disk.get()))
     }
 
-    fn count(&self, hit: bool, hits: &AtomicU64, misses: &AtomicU64) {
-        if hit {
-            hits.fetch_add(1, Ordering::Relaxed);
+    fn count(&self, mem_hit: bool, disk_hit: bool, [hits, disk, misses]: [&AtomicU64; 3]) {
+        let counter = if mem_hit {
+            hits
+        } else if disk_hit {
+            disk
         } else {
-            misses.fetch_add(1, Ordering::Relaxed);
-        }
+            misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Current counter values.
+    /// Current counter values (plus the store's on-disk size, which
+    /// makes this a directory walk when a store is attached — call it
+    /// once per summary, not per job).
     pub fn snapshot(&self) -> CacheSnapshot {
         CacheSnapshot {
             trace_hits: self.trace_hits.load(Ordering::Relaxed),
             trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            trace_disk_hits: self.trace_disk_hits.load(Ordering::Relaxed),
             image_hits: self.image_hits.load(Ordering::Relaxed),
             image_misses: self.image_misses.load(Ordering::Relaxed),
+            image_disk_hits: self.image_disk_hits.load(Ordering::Relaxed),
+            store_bytes: self.store.as_ref().map_or(0, |s| s.size_bytes()),
         }
     }
 

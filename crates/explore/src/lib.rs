@@ -22,7 +22,14 @@
 //!   across worker-thread counts — plus a non-canonical wall-time
 //!   sidecar ([`runner`] module docs spell out the contract);
 //! * interrupted campaigns resume: re-running completes only the
-//!   missing jobs, guarded by a campaign fingerprint.
+//!   missing jobs, guarded by a campaign fingerprint;
+//! * a persistent, content-addressed [`DiskStore`] spills both cache
+//!   levels to disk (`~/.cache/ntg` by default), so *repeat* campaigns
+//!   skip the expensive reference simulations entirely — the
+//!   `disk_hits` counter tier makes that assertable;
+//! * campaigns shard across processes/machines (`RunOptions::shard`);
+//!   [`merge_shards`] reassembles the shard JSONLs into a file
+//!   byte-identical to a single-process run.
 //!
 //! The `ntg-sweep` binary is the CLI frontend; the `table2`, `explore`
 //! and ablation binaries in `ntg-bench` are thin presets over the same
@@ -47,9 +54,14 @@ pub mod json;
 pub mod result;
 pub mod runner;
 pub mod spec;
+pub mod store;
 
 pub use cache::{ArtifactCache, CacheSnapshot, TraceArtifact};
 pub use json::Json;
 pub use result::{parse_results, CampaignHeader, JobResult, LoadedResults};
-pub use runner::{partial_path, run_campaign, timings_path, CampaignOutcome, RunOptions};
+pub use runner::{
+    merge_shards, partial_path, run_campaign, shard_path, timings_path, CampaignOutcome,
+    MergeSummary, RunOptions,
+};
 pub use spec::{CampaignSpec, CoreSelection, JobSpec, MasterChoice};
+pub use store::{DiskStore, GcStats, StoreKind};

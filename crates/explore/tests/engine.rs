@@ -145,6 +145,59 @@ fn resume_completes_only_missing_jobs_and_matches_full_run() {
 }
 
 #[test]
+fn resume_drops_a_torn_trailing_journal_line_and_reruns_that_job() {
+    let spec = small_spec();
+    let full = tmp_out("resume-torn-full.jsonl");
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            out: Some(full.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+    let full_bytes = fs::read(&full).unwrap();
+    let text = String::from_utf8(full_bytes.clone()).unwrap();
+
+    // A crash mid-append leaves the journal with intact lines followed
+    // by a torn tail. Model both failure shapes the filesystem can
+    // produce: a line cut mid-JSON (no newline), and garbage bytes.
+    for (label, tail) in [
+        ("truncated", {
+            let line = text.lines().nth(9).unwrap();
+            line[..line.len() / 2].to_string()
+        }),
+        ("garbage", "{\"id\":not json at all".to_string()),
+    ] {
+        let out = tmp_out(&format!("resume-torn-{label}.jsonl"));
+        let mut journal: Vec<&str> = text.lines().take(1 + 8).collect();
+        journal.push(&tail);
+        fs::write(partial_path(&out), journal.join("\n")).unwrap();
+
+        let outcome = run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                out: Some(out.clone()),
+                resume: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        // The 8 intact results are adopted; the torn 9th is re-run
+        // along with the 7 never-started jobs.
+        assert_eq!(outcome.resumed, 8, "{label}");
+        assert_eq!(outcome.executed, 8, "{label}");
+        assert_eq!(
+            fs::read(&out).unwrap(),
+            full_bytes,
+            "{label}: resumed canonical file must match the full run"
+        );
+    }
+}
+
+#[test]
 fn resume_rejects_a_mismatched_fingerprint() {
     let spec = small_spec();
     let out = tmp_out("resume-stale.jsonl");

@@ -1,0 +1,227 @@
+//! Persistent-store and shard/merge integration tests: warm-store
+//! campaigns rebuild nothing, sharded campaigns merge byte-identically
+//! to a single-process run, and store corruption degrades to a rebuild.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use ntg_explore::{
+    merge_shards, partial_path, run_campaign, shard_path, CampaignSpec, CoreSelection,
+    MasterChoice, RunOptions,
+};
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+/// 2 workloads × 2 cores × 1 fabric × (cpu + tg + stochastic) = 6
+/// jobs, 2 distinct traces. The stochastic master matters: with
+/// round-robin sharding it puts trace *consumers* of every workload in
+/// both shards, so cross-shard store reuse is actually exercised.
+fn spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("store-test");
+    spec.workloads = vec![
+        Workload::MpMatrix { n: 8 },
+        Workload::Cacheloop { iterations: 500 },
+    ];
+    spec.cores = CoreSelection::List(vec![2]);
+    spec.interconnects = vec![InterconnectChoice::Amba];
+    spec.masters = vec![
+        MasterChoice::Cpu,
+        MasterChoice::Tg,
+        MasterChoice::Stochastic,
+    ];
+    spec
+}
+
+/// A fresh scratch directory under the target-adjacent temp root.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("ntg-store-tests").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn opts(out: &Path, store: &Path) -> RunOptions {
+    RunOptions {
+        threads: 2,
+        out: Some(out.to_path_buf()),
+        store: Some(store.to_path_buf()),
+        ..RunOptions::default()
+    }
+}
+
+#[test]
+fn warm_store_reruns_with_zero_builds_and_identical_bytes() {
+    let dir = scratch("warm");
+    let store = dir.join("store");
+
+    let cold = run_campaign(&spec(), &opts(&dir.join("cold.jsonl"), &store)).unwrap();
+    assert_eq!(cold.cache.trace_misses, 2, "cold run builds every trace");
+    assert_eq!(cold.cache.trace_disk_hits, 0);
+    assert_eq!(cold.cache.image_misses, 2);
+    assert!(cold.cache.store_bytes > 0, "artifacts persisted to disk");
+
+    let warm = run_campaign(&spec(), &opts(&dir.join("warm.jsonl"), &store)).unwrap();
+    assert_eq!(warm.cache.trace_misses, 0, "warm run must not re-trace");
+    assert_eq!(warm.cache.image_misses, 0, "warm run must not re-translate");
+    assert_eq!(warm.cache.trace_disk_hits, 2);
+    assert_eq!(warm.cache.image_disk_hits, 2);
+
+    // Replays from decoded artifacts are bit-true to fresh ones.
+    assert_eq!(
+        fs::read(dir.join("cold.jsonl")).unwrap(),
+        fs::read(dir.join("warm.jsonl")).unwrap()
+    );
+}
+
+#[test]
+fn sharded_runs_merge_byte_identical_to_a_single_run() {
+    let dir = scratch("shards");
+    let store = dir.join("store");
+    let out = dir.join("campaign.jsonl");
+
+    // Ground truth: one process, no store (proves the store doesn't
+    // leak into canonical bytes either).
+    let single = dir.join("single.jsonl");
+    run_campaign(
+        &spec(),
+        &RunOptions {
+            threads: 2,
+            out: Some(single.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Two shards sharing one store, run back to back like two machines
+    // would.
+    let mut shard_files = Vec::new();
+    let mut trace_builds = 0;
+    for i in 1..=2 {
+        let shard_out = shard_path(&out, (i, 2));
+        let outcome = run_campaign(
+            &spec(),
+            &RunOptions {
+                shard: Some((i, 2)),
+                ..opts(&shard_out, &store)
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.results.len(), 3, "each shard runs half the jobs");
+        trace_builds += outcome.cache.trace_misses;
+        shard_files.push(shard_out);
+    }
+    // Each trace artifact was built by exactly one shard; the other
+    // pulled it from the shared store.
+    assert_eq!(trace_builds, 2, "no trace built twice across shards");
+
+    let summary = merge_shards(&shard_files, &out).unwrap();
+    assert_eq!(summary.shards, 2);
+    assert_eq!(summary.jobs, 6);
+    assert_eq!(
+        fs::read(&out).unwrap(),
+        fs::read(&single).unwrap(),
+        "merged shards must be byte-identical to the unsharded run"
+    );
+}
+
+#[test]
+fn merge_rejects_incomplete_shard_coverage() {
+    let dir = scratch("missing");
+    let store = dir.join("store");
+    let out = dir.join("campaign.jsonl");
+    let shard1 = shard_path(&out, (1, 2));
+    run_campaign(
+        &spec(),
+        &RunOptions {
+            shard: Some((1, 2)),
+            ..opts(&shard1, &store)
+        },
+    )
+    .unwrap();
+    let err = merge_shards(&[shard1], &out).unwrap_err();
+    assert!(err.contains("missing"), "{err}");
+    assert!(!out.exists(), "no canonical file on failed merge");
+}
+
+#[test]
+fn corrupt_store_entries_degrade_to_a_rebuild() {
+    let dir = scratch("corrupt");
+    let store = dir.join("store");
+    let cold = run_campaign(&spec(), &opts(&dir.join("cold.jsonl"), &store)).unwrap();
+    assert_eq!(cold.cache.trace_misses, 2);
+
+    // Flip a byte in every persisted trace entry — a torn write, bad
+    // disk, or codec drift should cost a rebuild, never a wrong answer.
+    let mut corrupted = 0;
+    for entry in walk(&store) {
+        if entry.extension().is_some_and(|e| e == "trace") {
+            let mut bytes = fs::read(&entry).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            fs::write(&entry, bytes).unwrap();
+            corrupted += 1;
+        }
+    }
+    assert_eq!(corrupted, 2, "expected one entry per trace artifact");
+
+    let rerun = run_campaign(&spec(), &opts(&dir.join("rerun.jsonl"), &store)).unwrap();
+    assert_eq!(
+        rerun.cache.trace_disk_hits, 0,
+        "corrupt entries must not hit"
+    );
+    assert_eq!(rerun.cache.trace_misses, 2, "both traces rebuilt");
+    assert_eq!(
+        rerun.cache.image_disk_hits, 2,
+        "image entries were untouched"
+    );
+    assert_eq!(
+        fs::read(dir.join("cold.jsonl")).unwrap(),
+        fs::read(dir.join("rerun.jsonl")).unwrap()
+    );
+
+    // And the rebuild healed the store: a third run hits everything.
+    let healed = run_campaign(&spec(), &opts(&dir.join("healed.jsonl"), &store)).unwrap();
+    assert_eq!(healed.cache.trace_misses, 0);
+    assert_eq!(healed.cache.trace_disk_hits, 2);
+}
+
+#[test]
+fn shard_runs_leave_no_stray_journals() {
+    let dir = scratch("journal");
+    let store = dir.join("store");
+    let out = dir.join("campaign.jsonl");
+    let shard1 = shard_path(&out, (1, 2));
+    run_campaign(
+        &spec(),
+        &RunOptions {
+            shard: Some((1, 2)),
+            ..opts(&shard1, &store)
+        },
+    )
+    .unwrap();
+    assert!(shard1.exists());
+    assert!(!partial_path(&shard1).exists());
+    assert!(
+        !out.exists(),
+        "a shard run must not write the canonical path"
+    );
+}
+
+fn walk(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else {
+                out.push(path);
+            }
+        }
+    }
+    out
+}

@@ -17,6 +17,9 @@
 //!   that records events at a master interface while the simulation runs;
 //! * text serialisation ([`MasterTrace::to_trc`]) and parsing
 //!   ([`MasterTrace::from_trc`]) of the `.trc` format;
+//! * a versioned, checksummed binary codec ([`MasterTrace::to_bin`] /
+//!   [`MasterTrace::from_bin`]) plus the [`ByteWriter`]/[`ByteReader`]
+//!   framing primitives used by the persistent artifact store;
 //! * [`TraceStats`] — summary statistics over a trace.
 //!
 //! Timestamps are recorded in nanoseconds (`cycle × period`); the paper
@@ -25,12 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod codec;
 pub mod diff;
 mod event;
 mod format;
 mod monitor;
 mod stats;
 
+pub use codec::{fnv64, BinCodecError, ByteReader, ByteWriter, TRACE_BIN_MAGIC, TRACE_BIN_VERSION};
 pub use diff::{behavioural_diff, TraceDivergence};
 pub use event::{MasterTrace, TraceError, TraceEvent, Transaction};
 pub use format::TrcParseError;
