@@ -11,6 +11,12 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# The bench targets and the alloc-count harness are feature-gated; make
+# sure they keep compiling even though default builds skip them.
+echo "==> cargo check: feature-gated bench targets"
+cargo check -p ntg-bench --benches --features external-deps
+cargo check -p ntg-bench --tests --features alloc-count
+
 echo "==> tier-1: cargo build --release && cargo test -q"
 cargo build --release
 cargo test -q
@@ -33,6 +39,39 @@ timeout 300 ./target/release/table2 --quick --threads 2 > /dev/null
 
 echo "==> bench smoke: ntg-sweep --dry-run"
 timeout 60 ./target/release/ntg-sweep --preset quick --dry-run > /dev/null
+
+# Hot-path perf harness smoke: run the fixed benchmark subset at smoke
+# scale, validate the emitted JSON against the v1 schema, and re-check
+# the cycle-skipping bit-identity contract from the recorded legs
+# (ntg-bench also asserts it internally; this guards the file format).
+echo "==> bench smoke: ntg-bench --smoke + schema check"
+BENCH_SMOKE_JSON=$(mktemp)
+timeout 300 ./target/release/ntg-bench --smoke --out "$BENCH_SMOKE_JSON" > /dev/null
+python3 - "$BENCH_SMOKE_JSON" <<'PYEOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["schema"] == "ntg-bench-hotpath-v1", r.get("schema")
+for key in ("mode", "warmup", "repeats", "peak_rss_kb", "alloc", "points"):
+    assert key in r, f"missing {key}"
+assert isinstance(r["points"], list) and r["points"], "no benchmark points"
+for p in r["points"]:
+    for leg in ("arm", "tg_skip", "tg_noskip"):
+        for field in ("cycles", "ticked_cycles", "skipped_cycles",
+                      "transactions", "wall_s", "ticked_per_sec"):
+            assert field in p[leg], f"{p['bench']}: {leg} missing {field}"
+    assert p["tg_skip"]["cycles"] == p["tg_noskip"]["cycles"], \
+        f"{p['bench']}: skip on/off cycle mismatch"
+    assert p["tg_skip"]["transactions"] == p["tg_noskip"]["transactions"], \
+        f"{p['bench']}: skip on/off transaction mismatch"
+    assert p["tg_noskip"]["skipped_cycles"] == 0
+print(f"ntg-bench smoke: {len(r['points'])} points OK")
+PYEOF
+rm -f "$BENCH_SMOKE_JSON"
+
+# Zero-allocation steady state: the counting allocator asserts the
+# ticked hot path performs no heap allocations after warmup.
+echo "==> alloc-count regression test"
+cargo test -q -p ntg-bench --features alloc-count --test alloc_count
 
 # Persistent-store smoke: the same tiny campaign twice against a scratch
 # store — the second run must pull every artifact from disk (zero

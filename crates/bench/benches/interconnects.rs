@@ -1,10 +1,10 @@
-//! Criterion bench comparing interconnect models under identical TG
+//! Bench (in-tree `minibench` harness) comparing interconnect models under identical TG
 //! traffic: the cost of simulating each fabric, and (via the recorded
 //! cycle counts) how much wall time the cycle-true NoC models add over
 //! the ideal transactional fabric — the trade-off that motivates the
 //! paper's "fast reference, accurate exploration" split.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntg_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntg_bench::trace_and_translate;
 use ntg_platform::InterconnectChoice;
 use ntg_workloads::Workload;

@@ -1,8 +1,8 @@
-//! Criterion bench for Table 2, DES rows: ARM vs TG simulation
+//! Bench (in-tree `minibench` harness) for Table 2, DES rows: ARM vs TG simulation
 //! throughput while scaling the processor count (per-block semaphore
 //! contention; the paper sweeps 3P–12P).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ntg_bench::minibench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ntg_bench::trace_and_translate;
 use ntg_platform::InterconnectChoice;
 use ntg_workloads::Workload;

@@ -1,9 +1,9 @@
-//! Criterion bench for Table 2, SP matrix row: simulation throughput of
+//! Bench (in-tree `minibench` harness) for Table 2, SP matrix row: simulation throughput of
 //! the ARM-core platform vs the TG platform (1 processor, AMBA).
 //!
 //! The paper's "Gain" column is the ratio of the two medians.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntg_bench::minibench::{criterion_group, criterion_main, Criterion};
 use ntg_bench::trace_and_translate;
 use ntg_platform::InterconnectChoice;
 use ntg_workloads::Workload;

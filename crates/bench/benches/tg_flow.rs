@@ -1,8 +1,8 @@
-//! Criterion bench of the TG tool-flow stages themselves (the paper's
+//! Bench (in-tree `minibench` harness) of the TG tool-flow stages themselves (the paper's
 //! one-time costs): trace serialisation, parsing, translation, assembly
 //! and image (de)serialisation.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use ntg_bench::minibench::{criterion_group, criterion_main, Criterion};
 use ntg_core::{assemble, tgp, TgImage, TraceTranslator, TranslationMode, TranslatorConfig};
 use ntg_platform::InterconnectChoice;
 use ntg_trace::MasterTrace;

@@ -1,0 +1,266 @@
+//! Hot-path performance-trajectory harness.
+//!
+//! Replays a fixed subset of the Table 2 points — the ARM reference and
+//! the TG replay, with event-horizon skipping both on and off — under
+//! warmup/repeat/median timing, and writes the measurements to a
+//! machine-readable JSON file (`BENCH_hotpath.json` by default). Checking
+//! that file in per commit gives the repo a performance trajectory:
+//! regressions show up as a diff, not as an anecdote.
+//!
+//! The skip-off leg exists for two reasons: it measures raw ticked-cycle
+//! throughput (every simulated cycle is actually executed, so
+//! `ticked_per_sec` is the honest "how fast is one tick" number), and it
+//! cross-checks bit-identity — the run must report exactly the same
+//! cycles and transaction counts as the skip-on leg, which `ci.sh`
+//! enforces on the emitted JSON.
+//!
+//! Usage:
+//!   `cargo run --release -p ntg-bench --bin ntg-bench -- [--smoke]
+//!    [--warmup N] [--repeats N] [--out PATH]`
+//!
+//! Build with `--features alloc-count` to include allocation counts in
+//! the report (slightly perturbs timings; keep trajectory comparisons
+//! within one build configuration).
+
+use std::time::Duration;
+
+use ntg_bench::{alloc_count, median, peak_rss_kb, run_checked, time, trace_and_translate};
+use ntg_core::TgImage;
+use ntg_explore::Json;
+use ntg_platform::{InterconnectChoice, Platform, RunReport};
+use ntg_workloads::Workload;
+
+/// One benchmark point: a workload at a core count, on AMBA (the paper's
+/// contended shared bus — MP matrix and DES at four cores are the
+/// saturation points where hot-path cost dominates).
+struct Point {
+    workload: Workload,
+    cores: usize,
+}
+
+fn full_points() -> Vec<Point> {
+    vec![
+        Point {
+            workload: Workload::Cacheloop { iterations: 60_000 },
+            cores: 2,
+        },
+        Point {
+            workload: Workload::MpMatrix { n: 24 },
+            cores: 4,
+        },
+        Point {
+            workload: Workload::Des {
+                blocks_per_core: 24,
+            },
+            cores: 4,
+        },
+    ]
+}
+
+fn smoke_points() -> Vec<Point> {
+    vec![
+        Point {
+            workload: Workload::Cacheloop { iterations: 5_000 },
+            cores: 2,
+        },
+        Point {
+            workload: Workload::MpMatrix { n: 12 },
+            cores: 2,
+        },
+        Point {
+            workload: Workload::Des { blocks_per_core: 4 },
+            cores: 2,
+        },
+    ]
+}
+
+/// Median-of-repeats measurements for one platform configuration.
+struct Leg {
+    cycles: u64,
+    ticked_cycles: u64,
+    skipped_cycles: u64,
+    transactions: u64,
+    wall: Duration,
+}
+
+impl Leg {
+    fn ticked_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.ticked_cycles as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("cycles".into(), Json::Int(self.cycles as i64)),
+            ("ticked_cycles".into(), Json::Int(self.ticked_cycles as i64)),
+            (
+                "skipped_cycles".into(),
+                Json::Int(self.skipped_cycles as i64),
+            ),
+            ("transactions".into(), Json::Int(self.transactions as i64)),
+            ("wall_s".into(), Json::Float(self.wall.as_secs_f64())),
+            ("ticked_per_sec".into(), Json::Float(self.ticked_per_sec())),
+        ])
+    }
+}
+
+/// Runs `build()` `warmup + repeats` times and reports the median wall
+/// time over the timed repeats, with the last run's cycle accounting
+/// (cycle counts are deterministic, so any run's counts are *the*
+/// counts — asserted below).
+fn measure(what: &str, warmup: usize, repeats: usize, mut build: impl FnMut() -> Platform) -> Leg {
+    let mut last: Option<RunReport> = None;
+    let mut walls = Vec::with_capacity(repeats);
+    for i in 0..warmup + repeats {
+        let mut p = build();
+        let (report, wall) = time(|| run_checked(&mut p, what));
+        if i >= warmup {
+            walls.push(wall);
+        }
+        if let Some(prev) = &last {
+            assert_eq!(prev.cycles, report.cycles, "{what}: non-deterministic run");
+        }
+        last = Some(report);
+    }
+    let report = last.expect("at least one repeat");
+    Leg {
+        cycles: report.cycles,
+        ticked_cycles: report.ticked_cycles,
+        skipped_cycles: report.skipped_cycles,
+        transactions: report.transactions,
+        wall: median(&mut walls),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let warmup = flag("--warmup").unwrap_or(if smoke { 0 } else { 1 });
+    let repeats = flag("--repeats")
+        .unwrap_or(if smoke { 1 } else { 3 })
+        .max(1);
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let points = if smoke { smoke_points() } else { full_points() };
+    let ic = InterconnectChoice::Amba;
+
+    println!(
+        "ntg-bench: {} mode, warmup {warmup}, repeats {repeats}, alloc-count {}",
+        if smoke { "smoke" } else { "full" },
+        if alloc_count::enabled() { "on" } else { "off" },
+    );
+
+    let mut point_jsons = Vec::new();
+    for pt in &points {
+        let name = pt.workload.name();
+        let cores = pt.cores;
+        println!("-- {name} {cores}P on {ic}");
+
+        let arm = measure(&format!("{name} {cores}P ARM"), warmup, repeats, || {
+            pt.workload
+                .build_platform(cores, ic, false)
+                .expect("build reference platform")
+        });
+
+        let images: Vec<TgImage> = trace_and_translate(pt.workload, cores, ic);
+        let build_tg = |skip: bool| {
+            let images = images.clone();
+            let workload = pt.workload;
+            move || {
+                let mut p = workload
+                    .build_tg_platform(images.clone(), ic, false)
+                    .expect("build TG platform");
+                p.set_cycle_skipping(skip);
+                p
+            }
+        };
+        let tg_skip = measure(
+            &format!("{name} {cores}P TG skip-on"),
+            warmup,
+            repeats,
+            build_tg(true),
+        );
+        let tg_noskip = measure(
+            &format!("{name} {cores}P TG skip-off"),
+            warmup,
+            repeats,
+            build_tg(false),
+        );
+
+        // Bit-identity across the skip toggle is the contract cycle
+        // skipping is sold on; fail loudly, not just in the JSON diff.
+        assert_eq!(
+            tg_skip.cycles, tg_noskip.cycles,
+            "{name} {cores}P: skip-on/off cycle mismatch"
+        );
+        assert_eq!(
+            tg_skip.transactions, tg_noskip.transactions,
+            "{name} {cores}P: skip-on/off transaction mismatch"
+        );
+        assert_eq!(tg_noskip.skipped_cycles, 0, "skip-off leg must tick all");
+
+        println!(
+            "   ARM {:>10.3}s | TG skip {:>8.3}s ({:.2}Mt/s) | TG tick {:>8.3}s ({:.2}Mt/s)",
+            arm.wall.as_secs_f64(),
+            tg_skip.wall.as_secs_f64(),
+            tg_skip.ticked_per_sec() / 1e6,
+            tg_noskip.wall.as_secs_f64(),
+            tg_noskip.ticked_per_sec() / 1e6,
+        );
+
+        point_jsons.push(Json::Obj(vec![
+            ("bench".into(), Json::Str(name.to_string())),
+            ("cores".into(), Json::Int(cores as i64)),
+            ("interconnect".into(), Json::Str(ic.to_string())),
+            ("arm".into(), arm.to_json()),
+            ("tg_skip".into(), tg_skip.to_json()),
+            ("tg_noskip".into(), tg_noskip.to_json()),
+        ]));
+    }
+
+    let report = Json::Obj(vec![
+        ("schema".into(), Json::Str("ntg-bench-hotpath-v1".into())),
+        (
+            "mode".into(),
+            Json::Str(if smoke { "smoke" } else { "full" }.into()),
+        ),
+        ("warmup".into(), Json::Int(warmup as i64)),
+        ("repeats".into(), Json::Int(repeats as i64)),
+        (
+            "peak_rss_kb".into(),
+            peak_rss_kb().map_or(Json::Null, |kb| Json::Int(kb as i64)),
+        ),
+        (
+            "alloc".into(),
+            Json::Obj(vec![
+                ("enabled".into(), Json::Bool(alloc_count::enabled())),
+                (
+                    "allocations".into(),
+                    Json::Int(alloc_count::allocations() as i64),
+                ),
+                ("bytes".into(), Json::Int(alloc_count::bytes() as i64)),
+            ]),
+        ),
+        ("points".into(), Json::Arr(point_jsons)),
+    ]);
+
+    let mut text = report.render();
+    text.push('\n');
+    std::fs::write(&out_path, text).expect("write report");
+    println!("wrote {out_path}");
+}

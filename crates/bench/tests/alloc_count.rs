@@ -1,0 +1,51 @@
+//! Zero-allocation steady-state regression test.
+//!
+//! With the inline `DataWords` payloads and interned identifiers, the
+//! ticked hot path — master tick, interconnect tick, slave tick — must
+//! not touch the heap at all once the platform has warmed up: every
+//! request/response payload fits the inline representation and every
+//! queue has reached its high-water capacity. This test pins that down
+//! with the counting global allocator; a single new `Vec` per cycle
+//! anywhere in the data plane fails it.
+//!
+//! Runs only under `--features alloc-count` (CI's bench-smoke stage does
+//! so); without the feature the file compiles to nothing.
+
+#![cfg(feature = "alloc-count")]
+
+use ntg_bench::{alloc_count, trace_and_translate};
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::Workload;
+
+#[test]
+fn steady_state_ticks_do_not_allocate() {
+    let workload = Workload::Cacheloop { iterations: 5_000 };
+    let cores = 2;
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let mut p = workload
+        .build_tg_platform(images, InterconnectChoice::Amba, false)
+        .expect("build TG platform");
+    // Tick-by-tick: `step` never skips, so every cycle exercises the
+    // full data plane, and it builds no report that would allocate.
+    p.set_cycle_skipping(false);
+
+    // Warm up: first transactions grow channel queues and stats buffers
+    // to their steady-state capacity.
+    p.step(2_000);
+    assert!(
+        !p.is_quiesced(),
+        "warmup must leave live traffic to measure"
+    );
+
+    let allocs_before = alloc_count::allocations();
+    let bytes_before = alloc_count::bytes();
+    p.step(10_000);
+    let allocs = alloc_count::allocations() - allocs_before;
+    let bytes = alloc_count::bytes() - bytes_before;
+
+    assert_eq!(
+        allocs, 0,
+        "steady-state hot path allocated {allocs} times ({bytes} bytes) \
+         over 10k cycles — the zero-copy data plane regressed"
+    );
+}

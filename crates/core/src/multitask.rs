@@ -16,6 +16,7 @@
 
 use ntg_ocp::MasterPort;
 use ntg_sim::{Activity, Component, Cycle};
+use std::rc::Rc;
 
 use crate::image::TgImage;
 use crate::tgcore::{TgCore, TgFault, TgStats};
@@ -65,7 +66,7 @@ pub struct SchedulerStats {
 ///                           TimesliceConfig::default());
 /// ```
 pub struct TgMultiCore {
-    name: String,
+    name: Rc<str>,
     tasks: Vec<TgCore>,
     current: usize,
     slice_left: u32,
@@ -81,7 +82,7 @@ impl TgMultiCore {
     ///
     /// Panics if `images` is empty or the quantum is zero.
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         port: MasterPort,
         images: Vec<TgImage>,
         cfg: TimesliceConfig,

@@ -20,8 +20,9 @@
 //! from its traffic.
 
 use crate::rng::Xoshiro256;
-use ntg_ocp::{MasterPort, OcpRequest, OcpStatus};
+use ntg_ocp::{DataWords, MasterPort, OcpRequest, OcpStatus};
 use ntg_sim::{Activity, Component, Cycle};
+use std::rc::Rc;
 
 /// Inter-arrival (idle-gap) distribution between transactions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -180,7 +181,7 @@ enum State {
 /// back-pressure even though the traffic itself carries no application
 /// structure.
 pub struct StochasticTg {
-    name: String,
+    name: Rc<str>,
     port: MasterPort,
     cfg: StochasticConfig,
     rng: Xoshiro256,
@@ -197,7 +198,7 @@ impl StochasticTg {
     ///
     /// Panics if `cfg.ranges` is empty, a range is empty/misaligned, or
     /// the fractions are outside `[0, 1]`.
-    pub fn new(name: impl Into<String>, port: MasterPort, cfg: StochasticConfig) -> Self {
+    pub fn new(name: impl Into<Rc<str>>, port: MasterPort, cfg: StochasticConfig) -> Self {
         assert!(!cfg.ranges.is_empty(), "need at least one address range");
         for &(base, size) in &cfg.ranges {
             assert!(
@@ -264,7 +265,7 @@ impl StochasticTg {
             }
             (true, true) => {
                 let addr = self.pick_addr(4);
-                let data = (0..4).map(|_| self.rng.next_u32()).collect();
+                let data: DataWords = (0..4).map(|_| self.rng.next_u32()).collect();
                 OcpRequest::burst_write(addr, data)
             }
         };

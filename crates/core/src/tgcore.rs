@@ -1,8 +1,9 @@
 //! The TG processor simulation model: a multi-cycle "very simple
 //! instruction set processor" (paper §4).
 
-use ntg_ocp::{MasterPort, OcpRequest, OcpStatus};
+use ntg_ocp::{DataWords, MasterPort, OcpRequest, OcpStatus};
 use ntg_sim::{Activity, Component, Cycle};
+use std::rc::Rc;
 
 use crate::image::TgImage;
 use crate::isa::TgInstr;
@@ -72,7 +73,7 @@ enum State {
 /// caches — there is no fetch/decode from simulated memory, no cache
 /// lookups, no register forwarding; just a small state machine.
 pub struct TgCore {
-    name: String,
+    name: Rc<str>,
     port: MasterPort,
     image: TgImage,
     regs: [u32; 16],
@@ -89,7 +90,7 @@ impl TgCore {
     /// Register-file initialisation from the image is applied
     /// immediately (it costs zero simulated cycles, like a program
     /// load).
-    pub fn new(name: impl Into<String>, port: MasterPort, image: TgImage) -> Self {
+    pub fn new(name: impl Into<Rc<str>>, port: MasterPort, image: TgImage) -> Self {
         let mut regs = [0u32; 16];
         for (reg, value) in &image.inits {
             regs[reg.num() as usize] = *value;
@@ -247,7 +248,7 @@ impl TgCore {
                     );
                     return;
                 }
-                let payload = vec![reg(data); n as usize];
+                let payload = DataWords::splat(reg(data), n as usize);
                 self.port
                     .assert_request(OcpRequest::burst_write(reg(addr), payload), now);
                 self.stats.burst_writes += 1;
@@ -298,16 +299,19 @@ impl Component for TgCore {
         &self.name
     }
 
+    #[inline]
     fn tick(&mut self, now: Cycle) {
         if self.resolve(now) {
             self.execute(now);
         }
     }
 
+    #[inline]
     fn is_idle(&self) -> bool {
         self.halted() && self.port.is_quiet()
     }
 
+    #[inline]
     fn next_activity(&self, now: Cycle) -> Activity {
         match self.state {
             State::Ready => Activity::Busy,

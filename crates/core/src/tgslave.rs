@@ -22,8 +22,9 @@
 //! * [`Semaphore`](TgSlaveBehavior::Semaphore) — the hardware
 //!   test-and-set bank, needed on a test chip for reactive traffic.
 
-use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{DataWords, OcpCmd, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::{Activity, Component, Cycle};
+use std::rc::Rc;
 
 /// What a [`TgSlave`] does with the transactions it receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,7 +54,7 @@ enum State {
 /// `wait_states + beats` cycles, and writes complete silently at
 /// acceptance.
 pub struct TgSlave {
-    name: String,
+    name: Rc<str>,
     base: u32,
     behavior: TgSlaveBehavior,
     store: Vec<u32>,
@@ -73,7 +74,7 @@ impl TgSlave {
     /// Panics if `base`/`size_bytes` are not word-aligned or size is
     /// zero.
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         base: u32,
         size_bytes: u32,
         behavior: TgSlaveBehavior,
@@ -166,7 +167,7 @@ impl TgSlave {
         match (req.cmd, self.behavior) {
             (OcpCmd::Read | OcpCmd::BurstRead, TgSlaveBehavior::Dummy { pattern }) => {
                 self.reads += 1;
-                let data = (0..beats).map(|b| pattern ^ (req.addr + b * 4)).collect();
+                let data: DataWords = (0..beats).map(|b| pattern ^ (req.addr + b * 4)).collect();
                 Some(OcpResponse::ok(data, req.tag))
             }
             (OcpCmd::Read, TgSlaveBehavior::Semaphore) => {
@@ -176,11 +177,11 @@ impl TgSlave {
                 if value == 1 {
                     self.store[idx] = 0;
                 }
-                Some(OcpResponse::ok(vec![value], req.tag))
+                Some(OcpResponse::ok(DataWords::one(value), req.tag))
             }
             (OcpCmd::Read | OcpCmd::BurstRead, TgSlaveBehavior::Memory) => {
                 self.reads += 1;
-                let data = (0..beats)
+                let data: DataWords = (0..beats)
                     .map(|b| self.store[self.index(req.addr + b * 4).expect("range checked")])
                     .collect();
                 Some(OcpResponse::ok(data, req.tag))
@@ -216,6 +217,7 @@ impl Component for TgSlave {
         &self.name
     }
 
+    #[inline]
     fn tick(&mut self, now: Cycle) {
         match &self.state {
             State::Idle => {
@@ -239,12 +241,14 @@ impl Component for TgSlave {
         }
     }
 
+    #[inline]
     fn is_idle(&self) -> bool {
         matches!(self.state, State::Idle) && self.port.is_quiet()
     }
 
     // Service ticks before `done_at` and idle ticks with no visible
     // request have no side effects, so the default no-op `skip` is exact.
+    #[inline]
     fn next_activity(&self, now: Cycle) -> Activity {
         match self.state {
             State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),

@@ -89,7 +89,7 @@ pub enum CpuFault {
 /// is the per-core "execution time" reported in the paper's Table 2) or
 /// on a [`CpuFault`].
 pub struct CpuCore {
-    name: String,
+    name: Rc<str>,
     port: MasterPort,
     map: Rc<AddressMap>,
     regs: [u32; 16],
@@ -110,7 +110,7 @@ impl CpuCore {
     /// * `entry` — initial program counter;
     /// * `sp` — initial stack pointer (`r13`).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         port: MasterPort,
         map: Rc<AddressMap>,
         cfg: CpuConfig,
@@ -434,6 +434,7 @@ impl Component for CpuCore {
         &self.name
     }
 
+    #[inline]
     fn tick(&mut self, now: Cycle) {
         let Some(raw) = self.resolve(now) else {
             return;
@@ -453,12 +454,14 @@ impl Component for CpuCore {
         }
     }
 
+    #[inline]
     fn is_idle(&self) -> bool {
         self.halted() && self.port.is_quiet()
     }
 
     // Stall ticks only poll the port (no statistics change), so the
     // default no-op `skip` is exact.
+    #[inline]
     fn next_activity(&self, now: Cycle) -> Activity {
         match self.state {
             State::Ready => Activity::Busy,

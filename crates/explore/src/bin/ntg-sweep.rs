@@ -56,7 +56,7 @@ OPTIONS:
     --seed N             campaign base seed (default 1)
     --max-cycles N       simulated-cycle bound per run (default 2000000000)
     --repeats N          timing repeats per job (default 1)
-    --threads N          worker threads (default 1)
+    --threads N          worker threads; 0 = one per hardware thread (default 1)
     --out PATH           result file (default <name>.jsonl)
     --resume             keep matching results from an earlier partial run
     --shard I/N          run only shard I of N (jobs are dealt round-robin by

@@ -35,7 +35,8 @@ use crate::spec::{CampaignSpec, JobSpec, MasterChoice};
 /// How to execute a campaign.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
-    /// Worker threads (clamped to at least 1).
+    /// Worker threads. `0` means auto-detect: one worker per available
+    /// hardware thread (`std::thread::available_parallelism`).
     pub threads: usize,
     /// Canonical output path; `None` keeps everything in memory (no
     /// journal, no resume — used by library frontends and tests).
@@ -167,7 +168,12 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignOu
     let progress = AtomicUsize::new(resumed);
     let selected_total = jobs.iter().filter(|j| in_shard(j.id)).count();
 
-    let workers = opts.threads.clamp(1, pending.len().max(1));
+    let threads = if opts.threads == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        opts.threads
+    };
+    let workers = threads.clamp(1, pending.len().max(1));
     std::thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {

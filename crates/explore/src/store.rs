@@ -541,13 +541,13 @@ mod tests {
             TraceEvent::Request {
                 cmd: ntg_ocp::OcpCmd::Read,
                 addr: 0x104,
-                data: vec![],
+                data: vec![].into(),
                 burst: 1,
                 at: 10,
             },
             TraceEvent::Accept { at: 15 },
             TraceEvent::Response {
-                data: vec![7],
+                data: vec![7].into(),
                 at: 30,
             },
         ];

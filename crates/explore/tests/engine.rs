@@ -62,6 +62,29 @@ fn jsonl_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn zero_threads_auto_detects_and_matches_single_thread() {
+    let spec = small_spec();
+    let out0 = tmp_out("threads0.jsonl");
+    let out1 = tmp_out("threads0-ref.jsonl");
+    for (threads, out) in [(0, &out0), (1, &out1)] {
+        run_campaign(
+            &spec,
+            &RunOptions {
+                threads,
+                out: Some(out.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+    }
+    assert_eq!(
+        fs::read(&out0).unwrap(),
+        fs::read(&out1).unwrap(),
+        "auto-detected worker count must not change canonical output"
+    );
+}
+
+#[test]
 fn each_trace_and_translation_happens_exactly_once() {
     let spec = small_spec();
     let outcome = run_campaign(

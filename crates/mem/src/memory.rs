@@ -1,7 +1,8 @@
 //! A word-addressed RAM slave with configurable access timing.
 
-use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{DataWords, OcpCmd, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::{Activity, Component, Cycle};
+use std::rc::Rc;
 
 enum State {
     Idle,
@@ -25,7 +26,7 @@ enum State {
 /// the platform. Out-of-range accesses produce an error response (writes
 /// included, so the interconnect always sees the transaction terminate).
 pub struct MemoryDevice {
-    name: String,
+    name: Rc<str>,
     base: u32,
     words: Vec<u32>,
     wait_states: Cycle,
@@ -50,7 +51,7 @@ impl MemoryDevice {
     ///
     /// Panics if `base` or `size_bytes` is not word-aligned or the size is
     /// zero.
-    pub fn new(name: impl Into<String>, base: u32, size_bytes: u32, port: SlavePort) -> Self {
+    pub fn new(name: impl Into<Rc<str>>, base: u32, size_bytes: u32, port: SlavePort) -> Self {
         assert!(
             base.is_multiple_of(4) && size_bytes.is_multiple_of(4) && size_bytes > 0,
             "memory device must be word-aligned and non-empty"
@@ -163,7 +164,7 @@ impl MemoryDevice {
         match req.cmd {
             OcpCmd::Read | OcpCmd::BurstRead => {
                 self.reads += 1;
-                let data = (0..beats)
+                let data: DataWords = (0..beats)
                     .map(|b| {
                         let idx = self.index(req.addr + b * 4).expect("range checked");
                         self.words[idx]
@@ -190,6 +191,7 @@ impl Component for MemoryDevice {
         &self.name
     }
 
+    #[inline]
     fn tick(&mut self, now: Cycle) {
         match &self.state {
             State::Idle => {
@@ -213,6 +215,7 @@ impl Component for MemoryDevice {
         }
     }
 
+    #[inline]
     fn is_idle(&self) -> bool {
         matches!(self.state, State::Idle) && self.port.is_quiet()
     }
@@ -222,6 +225,7 @@ impl Component for MemoryDevice {
     // hint is safe even though a master may later assert a request: hints
     // are re-polled before every jump, and a master able to assert is
     // itself not drained, so it bounds the horizon.
+    #[inline]
     fn next_activity(&self, now: Cycle) -> Activity {
         match self.state {
             State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),

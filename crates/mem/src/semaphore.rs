@@ -1,7 +1,8 @@
 //! The hardware semaphore bank (test-and-set cells).
 
-use ntg_ocp::{OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{DataWords, OcpCmd, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::{Activity, Component, Cycle};
+use std::rc::Rc;
 
 enum State {
     Idle,
@@ -28,7 +29,7 @@ enum State {
 /// Burst accesses to the bank are protocol errors and receive an error
 /// response.
 pub struct SemaphoreBank {
-    name: String,
+    name: Rc<str>,
     base: u32,
     cells: Vec<u32>,
     wait_states: Cycle,
@@ -49,7 +50,7 @@ impl SemaphoreBank {
     /// # Panics
     ///
     /// Panics if `base` is not word-aligned or `cells` is zero.
-    pub fn new(name: impl Into<String>, base: u32, cells: u32, port: SlavePort) -> Self {
+    pub fn new(name: impl Into<Rc<str>>, base: u32, cells: u32, port: SlavePort) -> Self {
         assert!(
             base.is_multiple_of(4),
             "semaphore bank base must be word-aligned"
@@ -141,7 +142,7 @@ impl SemaphoreBank {
                 } else {
                     self.failed_polls += 1;
                 }
-                Some(OcpResponse::ok(vec![value], req.tag))
+                Some(OcpResponse::ok(DataWords::one(value), req.tag))
             }
             OcpCmd::Write => {
                 let bit = req.data.first().copied().unwrap_or(0) & 1;
@@ -161,6 +162,7 @@ impl Component for SemaphoreBank {
         &self.name
     }
 
+    #[inline]
     fn tick(&mut self, now: Cycle) {
         match &self.state {
             State::Idle => {
@@ -184,12 +186,14 @@ impl Component for SemaphoreBank {
         }
     }
 
+    #[inline]
     fn is_idle(&self) -> bool {
         matches!(self.state, State::Idle) && self.port.is_quiet()
     }
 
     // Same hint shape as `MemoryDevice`: service and idle ticks have no
     // side effects, so the default no-op `skip` is exact.
+    #[inline]
     fn next_activity(&self, now: Cycle) -> Activity {
         match self.state {
             State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),

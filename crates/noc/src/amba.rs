@@ -68,7 +68,7 @@ enum BusState {
 /// one cycle per extra beat. This fixed, deterministic pipeline is what
 /// the trace-replay accuracy of the TG flow relies on.
 pub struct AmbaBus {
-    name: String,
+    name: Rc<str>,
     masters: Vec<SlavePort>,
     slaves: Vec<MasterPort>,
     map: Rc<AddressMap>,
@@ -87,7 +87,7 @@ impl AmbaBus {
     /// (index = master id); `slaves` the network-side endpoint of each
     /// slave link (index = [`SlaveId`](ntg_ocp::SlaveId) in the map).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
         map: Rc<AddressMap>,
@@ -180,6 +180,7 @@ impl Component for AmbaBus {
         &self.name
     }
 
+    #[inline]
     fn tick(&mut self, now: Cycle) {
         match self.state {
             BusState::Idle => {
@@ -221,12 +222,14 @@ impl Component for AmbaBus {
         }
     }
 
+    #[inline]
     fn is_idle(&self) -> bool {
         matches!(self.state, BusState::Idle)
             && self.masters.iter().all(SlavePort::is_quiet)
             && self.slaves.iter().all(MasterPort::is_quiet)
     }
 
+    #[inline]
     fn next_activity(&self, now: Cycle) -> Activity {
         match self.state {
             BusState::Idle => {

@@ -30,7 +30,7 @@ enum LaneState {
 /// Per-lane timing equals the [`AmbaBus`](crate::AmbaBus) timing: a
 /// single read takes six cycles end to end on an idle lane.
 pub struct CrossbarBus {
-    name: String,
+    name: Rc<str>,
     masters: Vec<SlavePort>,
     slaves: Vec<MasterPort>,
     map: Rc<AddressMap>,
@@ -46,7 +46,7 @@ impl CrossbarBus {
     ///
     /// Indexing conventions match [`AmbaBus::new`](crate::AmbaBus::new).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
         map: Rc<AddressMap>,

@@ -22,7 +22,7 @@ use crate::{Interconnect, InterconnectKind};
 /// translation produces identical TG programs regardless of the fabric
 /// traces were collected on.
 pub struct IdealInterconnect {
-    name: String,
+    name: Rc<str>,
     masters: Vec<SlavePort>,
     slaves: Vec<MasterPort>,
     map: Rc<AddressMap>,
@@ -45,7 +45,7 @@ impl IdealInterconnect {
     ///
     /// Indexing conventions match [`AmbaBus::new`](crate::AmbaBus::new).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
         map: Rc<AddressMap>,

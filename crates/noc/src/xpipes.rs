@@ -189,7 +189,7 @@ pub struct NocStats {
 /// exactly the kind of architecture-dependent timing difference the
 /// paper's reactive traffic generators must absorb.
 pub struct XpipesNoc {
-    name: String,
+    name: Rc<str>,
     cfg: XpipesConfig,
     map: Rc<AddressMap>,
     routers: Vec<Router>,
@@ -215,7 +215,7 @@ impl XpipesNoc {
     /// Panics if `cfg` is inconsistent with the number of masters/slaves
     /// (see [`XpipesConfig`]).
     pub fn new(
-        name: impl Into<String>,
+        name: impl Into<Rc<str>>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
         map: Rc<AddressMap>,

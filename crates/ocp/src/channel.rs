@@ -1,6 +1,6 @@
 //! The single-slot handshaked channel connecting a master to the network.
 
-use std::cell::RefCell;
+use std::cell::{Cell, Ref, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
 
@@ -9,12 +9,6 @@ use ntg_sim::Cycle;
 use crate::observer::ChannelObserver;
 use crate::types::{MasterId, OcpRequest, OcpResponse};
 
-#[derive(Debug)]
-struct PendingRequest {
-    req: OcpRequest,
-    asserted_at: Cycle,
-}
-
 /// Shared state of one OCP link.
 ///
 /// Created through [`channel`]; user code interacts with the
@@ -22,14 +16,36 @@ struct PendingRequest {
 /// directly. All visibility rules (a value written in cycle *t* is only
 /// observable from cycle *t + 1*) are enforced here, centrally.
 pub struct OcpChannel {
-    name: String,
+    /// Interned once at construction; `name()` hands out refcount bumps,
+    /// never string copies.
+    name: Rc<str>,
     master: MasterId,
-    req: Option<PendingRequest>,
+    /// The request driving the wires; its visibility cycle lives in the
+    /// link's `req_visible_at` mirror.
+    req: Option<OcpRequest>,
     /// Set when a request is accepted; consumed by the master.
     accept: Option<(u64, Cycle)>,
     resp: VecDeque<(OcpResponse, Cycle)>,
     next_tag: u64,
     observer: Option<Box<dyn ChannelObserver>>,
+}
+
+/// One OCP link: the channel state plus lock-free visibility mirrors.
+///
+/// Masters, arbiters and slaves poll their ports every cycle, and most
+/// polls miss (nothing visible yet). The mirrors answer those misses
+/// with a plain [`Cell`] load — no `RefCell` borrow bookkeeping — while
+/// every mutating operation goes through the [`RefCell`] and refreshes
+/// the mirrors before returning. Invariant: each mirror holds the cycle
+/// from which the corresponding event is visible (`None` when absent).
+struct Link {
+    /// `asserted_at + 1` of the pending request.
+    req_visible_at: Cell<Option<Cycle>>,
+    /// `accepted_at + 1` of the unconsumed acceptance.
+    accept_visible_at: Cell<Option<Cycle>>,
+    /// `pushed_at + 1` of the oldest queued response.
+    resp_visible_at: Cell<Option<Cycle>>,
+    state: RefCell<OcpChannel>,
 }
 
 impl std::fmt::Debug for OcpChannel {
@@ -49,16 +65,21 @@ impl std::fmt::Debug for OcpChannel {
 /// `name` identifies the link in diagnostics and traces; `master` is
 /// stamped into every request asserted through the returned
 /// [`MasterPort`].
-pub fn channel(name: impl Into<String>, master: MasterId) -> (MasterPort, SlavePort) {
-    let inner = Rc::new(RefCell::new(OcpChannel {
-        name: name.into(),
-        master,
-        req: None,
-        accept: None,
-        resp: VecDeque::new(),
-        next_tag: 0,
-        observer: None,
-    }));
+pub fn channel(name: impl Into<Rc<str>>, master: MasterId) -> (MasterPort, SlavePort) {
+    let inner = Rc::new(Link {
+        req_visible_at: Cell::new(None),
+        accept_visible_at: Cell::new(None),
+        resp_visible_at: Cell::new(None),
+        state: RefCell::new(OcpChannel {
+            name: name.into(),
+            master,
+            req: None,
+            accept: None,
+            resp: VecDeque::new(),
+            next_tag: 0,
+            observer: None,
+        }),
+    });
     (
         MasterPort {
             inner: inner.clone(),
@@ -73,7 +94,7 @@ pub fn channel(name: impl Into<String>, master: MasterId) -> (MasterPort, SlaveP
 /// to the same link (used to hand one half to a write buffer, say).
 #[derive(Clone)]
 pub struct MasterPort {
-    inner: Rc<RefCell<OcpChannel>>,
+    inner: Rc<Link>,
 }
 
 /// The network-side endpoint of an OCP link.
@@ -82,28 +103,29 @@ pub struct MasterPort {
 /// slave links).
 #[derive(Clone)]
 pub struct SlavePort {
-    inner: Rc<RefCell<OcpChannel>>,
+    inner: Rc<Link>,
 }
 
 impl MasterPort {
-    /// The link name supplied to [`channel`].
-    pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+    /// The link name supplied to [`channel`] (an interned handle:
+    /// cloning it is a refcount bump, not a string copy).
+    pub fn name(&self) -> Rc<str> {
+        self.inner.state.borrow().name.clone()
     }
 
     /// The master identity stamped into requests asserted here.
     pub fn master(&self) -> MasterId {
-        self.inner.borrow().master
+        self.inner.state.borrow().master
     }
 
     /// Installs a trace observer on this link, replacing any previous one.
     pub fn set_observer(&self, observer: Box<dyn ChannelObserver>) {
-        self.inner.borrow_mut().observer = Some(observer);
+        self.inner.state.borrow_mut().observer = Some(observer);
     }
 
     /// Removes and returns the installed observer, if any.
     pub fn take_observer(&self) -> Option<Box<dyn ChannelObserver>> {
-        self.inner.borrow_mut().observer.take()
+        self.inner.state.borrow_mut().observer.take()
     }
 
     /// Asserts `req` on the request wires in cycle `now`.
@@ -118,7 +140,7 @@ impl MasterPort {
     /// single-threaded blocking master can never legally do this, so it is
     /// a programming error in the master model.
     pub fn assert_request(&self, mut req: OcpRequest, now: Cycle) -> u64 {
-        let mut ch = self.inner.borrow_mut();
+        let mut ch = self.inner.state.borrow_mut();
         assert!(
             ch.req.is_none(),
             "master {} asserted a request while one is already pending on {}",
@@ -132,10 +154,8 @@ impl MasterPort {
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_request(now, &req);
         }
-        ch.req = Some(PendingRequest {
-            req,
-            asserted_at: now,
-        });
+        ch.req = Some(req);
+        self.inner.req_visible_at.set(Some(now + 1));
         tag
     }
 
@@ -149,7 +169,7 @@ impl MasterPort {
     ///
     /// Panics if a previous request has not been accepted yet.
     pub fn forward_request(&self, req: OcpRequest, now: Cycle) {
-        let mut ch = self.inner.borrow_mut();
+        let mut ch = self.inner.state.borrow_mut();
         assert!(
             ch.req.is_none(),
             "forwarded a request while one is already pending on {}",
@@ -158,62 +178,67 @@ impl MasterPort {
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_request(now, &req);
         }
-        ch.req = Some(PendingRequest {
-            req,
-            asserted_at: now,
-        });
+        ch.req = Some(req);
+        self.inner.req_visible_at.set(Some(now + 1));
     }
 
     /// Whether a request is still driving the wires (not yet accepted).
+    #[inline]
     pub fn request_pending(&self) -> bool {
-        self.inner.borrow().req.is_some()
+        self.inner.req_visible_at.get().is_some()
     }
 
     /// Consumes the acceptance event, if one is visible in cycle `now`.
     ///
     /// Returns the accepted request's tag. An acceptance performed by the
     /// network in cycle *t* becomes visible in cycle *t + 1*.
+    #[inline]
     pub fn take_accept(&self, now: Cycle) -> Option<u64> {
-        let mut ch = self.inner.borrow_mut();
-        match ch.accept {
-            Some((tag, at)) if at < now => {
-                ch.accept = None;
-                Some(tag)
-            }
-            _ => None,
+        match self.inner.accept_visible_at.get() {
+            Some(at) if at <= now => {}
+            _ => return None,
         }
+        let mut ch = self.inner.state.borrow_mut();
+        let (tag, _) = ch.accept.take().expect("mirror said visible");
+        self.inner.accept_visible_at.set(None);
+        Some(tag)
     }
 
     /// Consumes the oldest response, if one is visible in cycle `now`.
     ///
     /// A response pushed by the network in cycle *t* becomes visible in
     /// cycle *t + 1*.
+    #[inline]
     pub fn take_response(&self, now: Cycle) -> Option<OcpResponse> {
-        let mut ch = self.inner.borrow_mut();
-        match ch.resp.front() {
-            Some((_, at)) if *at < now => {
-                let (resp, _) = ch.resp.pop_front().expect("front checked above");
-                // A response subsumes the acceptance of the same request:
-                // a master blocking on the response would otherwise leave
-                // the acceptance event behind to confuse its next posted
-                // write.
-                if matches!(ch.accept, Some((tag, _)) if tag == resp.tag) {
-                    ch.accept = None;
-                }
-                if let Some(obs) = ch.observer.as_mut() {
-                    obs.on_response_consumed(now, &resp);
-                }
-                Some(resp)
-            }
-            _ => None,
+        match self.inner.resp_visible_at.get() {
+            Some(at) if at <= now => {}
+            _ => return None,
         }
+        let mut ch = self.inner.state.borrow_mut();
+        let (resp, _) = ch.resp.pop_front().expect("mirror said visible");
+        self.inner
+            .resp_visible_at
+            .set(ch.resp.front().map(|&(_, at)| at + 1));
+        // A response subsumes the acceptance of the same request: a master
+        // blocking on the response would otherwise leave the acceptance
+        // event behind to confuse its next posted write.
+        if matches!(ch.accept, Some((tag, _)) if tag == resp.tag) {
+            ch.accept = None;
+            self.inner.accept_visible_at.set(None);
+        }
+        if let Some(obs) = ch.observer.as_mut() {
+            obs.on_response_consumed(now, &resp);
+        }
+        Some(resp)
     }
 
     /// Whether the link is completely quiet (no request, acceptance or
     /// response in flight).
+    #[inline]
     pub fn is_quiet(&self) -> bool {
-        let ch = self.inner.borrow();
-        ch.req.is_none() && ch.accept.is_none() && ch.resp.is_empty()
+        self.inner.req_visible_at.get().is_none()
+            && self.inner.accept_visible_at.get().is_none()
+            && self.inner.resp_visible_at.get().is_none()
     }
 
     /// The earliest cycle at which a queued completion event (an
@@ -224,10 +249,10 @@ impl MasterPort {
     /// [`Component::next_activity`](ntg_sim::Component::next_activity)
     /// implementations of blocked masters to hint the engine's cycle
     /// skipper.
+    #[inline]
     pub fn next_event_at(&self) -> Option<Cycle> {
-        let ch = self.inner.borrow();
-        let accept = ch.accept.map(|(_, at)| at + 1);
-        let resp = ch.resp.front().map(|&(_, at)| at + 1);
+        let accept = self.inner.accept_visible_at.get();
+        let resp = self.inner.resp_visible_at.get();
         match (accept, resp) {
             (Some(a), Some(r)) => Some(a.min(r)),
             (a, r) => a.or(r),
@@ -236,40 +261,45 @@ impl MasterPort {
 }
 
 impl SlavePort {
-    /// The link name supplied to [`channel`].
-    pub fn name(&self) -> String {
-        self.inner.borrow().name.clone()
+    /// The link name supplied to [`channel`] (an interned handle:
+    /// cloning it is a refcount bump, not a string copy).
+    pub fn name(&self) -> Rc<str> {
+        self.inner.state.borrow().name.clone()
     }
 
     /// Looks at the pending request without accepting it.
     ///
     /// Returns `None` if there is no request or if it was asserted in this
-    /// very cycle (assert-to-visible is one cycle).
-    pub fn peek_request(&self, now: Cycle) -> Option<OcpRequest> {
-        let ch = self.inner.borrow();
-        match &ch.req {
-            Some(p) if p.asserted_at < now => Some(p.req.clone()),
-            _ => None,
+    /// very cycle (assert-to-visible is one cycle). The request is
+    /// *borrowed*, not cloned — ownership transfers only at
+    /// [`SlavePort::accept_request`]. The borrow locks the channel: drop
+    /// it before calling any `&self` method that mutates (assert, accept,
+    /// push).
+    #[inline]
+    pub fn peek_request(&self, now: Cycle) -> Option<Ref<'_, OcpRequest>> {
+        if !self.has_request(now) {
+            return None;
         }
+        Ref::filter_map(self.inner.state.borrow(), |ch| ch.req.as_ref()).ok()
     }
 
     /// Whether a request is visible in cycle `now` (clone-free; what
     /// arbiters scan every cycle).
+    #[inline]
     pub fn has_request(&self, now: Cycle) -> bool {
-        let ch = self.inner.borrow();
-        matches!(&ch.req, Some(p) if p.asserted_at < now)
+        matches!(self.inner.req_visible_at.get(), Some(at) if at <= now)
     }
 
     /// The visible request's `(addr, beats, expects_response)` without
     /// cloning its payload. Used by address decoders and slave timing.
+    #[inline]
     pub fn peek_meta(&self, now: Cycle) -> Option<(u32, u32, bool)> {
-        let ch = self.inner.borrow();
-        match &ch.req {
-            Some(p) if p.asserted_at < now => {
-                Some((p.req.addr, p.req.beats(), p.req.cmd.expects_response()))
-            }
-            _ => None,
+        if !self.has_request(now) {
+            return None;
         }
+        let ch = self.inner.state.borrow();
+        let req = ch.req.as_ref().expect("mirror said visible");
+        Some((req.addr, req.beats(), req.cmd.expects_response()))
     }
 
     /// Accepts the pending request, freeing the request wires.
@@ -277,36 +307,44 @@ impl SlavePort {
     /// Returns `None` under the same conditions as
     /// [`SlavePort::peek_request`]. Acceptance is recorded so the master
     /// can unblock (posted-write semantics) and reported to the observer.
+    #[inline]
     pub fn accept_request(&self, now: Cycle) -> Option<OcpRequest> {
-        let mut ch = self.inner.borrow_mut();
-        let visible = matches!(&ch.req, Some(p) if p.asserted_at < now);
-        if !visible {
+        if !self.has_request(now) {
             return None;
         }
-        let p = ch.req.take().expect("visibility checked above");
+        let mut ch = self.inner.state.borrow_mut();
+        let req = ch.req.take().expect("mirror said visible");
+        self.inner.req_visible_at.set(None);
         // Acceptance is an edge notification: a master that does not care
         // about acceptances (it only ever waits on responses) may leave a
         // stale one behind, which the next acceptance simply replaces.
-        ch.accept = Some((p.req.tag, now));
+        ch.accept = Some((req.tag, now));
+        self.inner.accept_visible_at.set(Some(now + 1));
         if let Some(obs) = ch.observer.as_mut() {
-            obs.on_accept(now, &p.req);
+            obs.on_accept(now, &req);
         }
-        Some(p.req)
+        Some(req)
     }
 
     /// Pushes a response towards the master in cycle `now`.
+    #[inline]
     pub fn push_response(&self, resp: OcpResponse, now: Cycle) {
-        let mut ch = self.inner.borrow_mut();
+        let mut ch = self.inner.state.borrow_mut();
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_response(now, &resp);
         }
         ch.resp.push_back((resp, now));
+        if self.inner.resp_visible_at.get().is_none() {
+            self.inner.resp_visible_at.set(Some(now + 1));
+        }
     }
 
     /// Whether the link is completely quiet; see [`MasterPort::is_quiet`].
+    #[inline]
     pub fn is_quiet(&self) -> bool {
-        let ch = self.inner.borrow();
-        ch.req.is_none() && ch.accept.is_none() && ch.resp.is_empty()
+        self.inner.req_visible_at.get().is_none()
+            && self.inner.accept_visible_at.get().is_none()
+            && self.inner.resp_visible_at.get().is_none()
     }
 
     /// The cycle from which the pending request (if any) is visible on
@@ -315,8 +353,9 @@ impl SlavePort {
     /// Unlike [`SlavePort::has_request`] this does not depend on `now`,
     /// so arbiters can hint the engine's cycle skipper about requests
     /// asserted this very cycle that only become actionable next cycle.
+    #[inline]
     pub fn request_visible_at(&self) -> Option<Cycle> {
-        self.inner.borrow().req.as_ref().map(|p| p.asserted_at + 1)
+        self.inner.req_visible_at.get()
     }
 }
 

@@ -1,0 +1,340 @@
+//! [`DataWords`]: the inline small-vector carrying OCP payloads.
+//!
+//! The cycle-true hot path moves one of these per request and response.
+//! The common OCP burst on this platform is at most four words (a cache
+//! line, see `CacheConfig::default_l1`), so payloads up to
+//! [`DataWords::INLINE`] words live inside the value itself — asserting
+//! a request, servicing it and pushing the response performs **zero
+//! heap allocations**. Longer bursts (up to the OCP limit of 255 beats)
+//! spill to a heap buffer exactly once at construction.
+//!
+//! Equality, ordering-insensitive hashing and `Debug` all see only the
+//! logical word slice, never the representation: an inline payload and a
+//! spilled payload with the same words compare equal and hash alike, so
+//! traces, codecs and tests are representation-blind.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+
+/// Payload words of one OCP transaction, inline up to
+/// [`DataWords::INLINE`] words.
+#[derive(Clone)]
+pub struct DataWords(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// `len` words stored in `buf[..len]`.
+    Inline {
+        len: u8,
+        buf: [u32; DataWords::INLINE],
+    },
+    /// Payloads longer than [`DataWords::INLINE`] words.
+    Heap(Vec<u32>),
+}
+
+impl DataWords {
+    /// Payloads up to this many words are stored inline (no heap).
+    pub const INLINE: usize = 4;
+
+    /// An empty payload (what read requests carry).
+    pub const fn new() -> Self {
+        DataWords(Repr::Inline {
+            len: 0,
+            buf: [0; Self::INLINE],
+        })
+    }
+
+    /// A single-word payload (single writes, single read responses).
+    pub const fn one(word: u32) -> Self {
+        DataWords(Repr::Inline {
+            len: 1,
+            buf: [word, 0, 0, 0],
+        })
+    }
+
+    /// `count` copies of `word` (the TG `BurstWrite` payload).
+    pub fn splat(word: u32, count: usize) -> Self {
+        if count <= Self::INLINE {
+            let mut buf = [0; Self::INLINE];
+            buf[..count].fill(word);
+            DataWords(Repr::Inline {
+                len: count as u8,
+                buf,
+            })
+        } else {
+            DataWords(Repr::Heap(vec![word; count]))
+        }
+    }
+
+    /// Copies a slice into a payload.
+    pub fn from_slice(words: &[u32]) -> Self {
+        if words.len() <= Self::INLINE {
+            let mut buf = [0; Self::INLINE];
+            buf[..words.len()].copy_from_slice(words);
+            DataWords(Repr::Inline {
+                len: words.len() as u8,
+                buf,
+            })
+        } else {
+            DataWords(Repr::Heap(words.to_vec()))
+        }
+    }
+
+    /// Appends one word, spilling to the heap at the inline boundary.
+    pub fn push(&mut self, word: u32) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } if (*len as usize) < Self::INLINE => {
+                buf[*len as usize] = word;
+                *len += 1;
+            }
+            Repr::Inline { len, buf } => {
+                let mut v = Vec::with_capacity(Self::INLINE * 2);
+                v.extend_from_slice(&buf[..*len as usize]);
+                v.push(word);
+                self.0 = Repr::Heap(v);
+            }
+            Repr::Heap(v) => v.push(word),
+        }
+    }
+
+    /// Number of payload words.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The payload as a word slice.
+    pub fn as_slice(&self) -> &[u32] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(v) => v,
+        }
+    }
+
+    /// Whether the words live inline (no heap buffer). Exposed so tests
+    /// can pin the inline/spill boundary.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.0, Repr::Inline { .. })
+    }
+
+    /// Iterates over the payload words.
+    pub fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for DataWords {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for DataWords {
+    type Target = [u32];
+
+    fn deref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u32]> for DataWords {
+    fn as_ref(&self) -> &[u32] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for DataWords {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for DataWords {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for DataWords {}
+
+impl Hash for DataWords {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Matches `<[u32] as Hash>`, and thereby the derived hash the
+        // payload fields had when they were plain `Vec<u32>`.
+        self.as_slice().hash(state);
+    }
+}
+
+impl From<Vec<u32>> for DataWords {
+    fn from(v: Vec<u32>) -> Self {
+        if v.len() <= Self::INLINE {
+            Self::from_slice(&v)
+        } else {
+            DataWords(Repr::Heap(v))
+        }
+    }
+}
+
+impl From<&[u32]> for DataWords {
+    fn from(s: &[u32]) -> Self {
+        Self::from_slice(s)
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for DataWords {
+    fn from(a: [u32; N]) -> Self {
+        Self::from_slice(&a)
+    }
+}
+
+impl FromIterator<u32> for DataWords {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for w in iter {
+            out.push(w);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a DataWords {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+// Mixed-type equality keeps call sites and tests written against the
+// old `Vec<u32>` payloads working unchanged.
+impl PartialEq<Vec<u32>> for DataWords {
+    fn eq(&self, other: &Vec<u32>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<DataWords> for Vec<u32> {
+    fn eq(&self, other: &DataWords) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[u32]> for DataWords {
+    fn eq(&self, other: &[u32]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[u32; N]> for DataWords {
+    fn eq(&self, other: &[u32; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn empty_and_one_are_inline() {
+        assert!(DataWords::new().is_inline());
+        assert!(DataWords::new().is_empty());
+        let d = DataWords::one(7);
+        assert!(d.is_inline());
+        assert_eq!(d.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn inline_boundary_is_exactly_four_words() {
+        let at = DataWords::from_slice(&[1, 2, 3, 4]);
+        assert!(at.is_inline());
+        assert_eq!(at.len(), 4);
+        let over = DataWords::from_slice(&[1, 2, 3, 4, 5]);
+        assert!(!over.is_inline());
+        assert_eq!(over.len(), 5);
+    }
+
+    #[test]
+    fn push_spills_at_the_boundary_and_keeps_contents() {
+        let mut d = DataWords::new();
+        for w in 1..=4 {
+            d.push(w);
+            assert!(d.is_inline());
+        }
+        d.push(5);
+        assert!(!d.is_inline());
+        assert_eq!(d.as_slice(), &[1, 2, 3, 4, 5]);
+        d.push(6);
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn splat_matches_vec_semantics() {
+        assert_eq!(DataWords::splat(9, 3), vec![9, 9, 9]);
+        assert!(DataWords::splat(9, 3).is_inline());
+        let long = DataWords::splat(2, 8);
+        assert!(!long.is_inline());
+        assert_eq!(long, vec![2; 8]);
+        assert!(DataWords::splat(1, 0).is_empty());
+    }
+
+    #[test]
+    fn collect_builds_incrementally() {
+        let d: DataWords = (0..6).collect();
+        assert_eq!(d.as_slice(), &[0, 1, 2, 3, 4, 5]);
+        let short: DataWords = (0..2).collect();
+        assert!(short.is_inline());
+    }
+
+    #[test]
+    fn equality_and_hash_are_representation_blind() {
+        // Same words, once inline and once in a forced heap buffer.
+        let inline = DataWords::from_slice(&[1, 2, 3]);
+        let heap = DataWords(Repr::Heap(vec![1, 2, 3]));
+        assert!(!heap.is_inline());
+        assert_eq!(inline, heap);
+        assert_eq!(hash_of(&inline), hash_of(&heap));
+    }
+
+    #[test]
+    fn vec_round_trip_and_mixed_equality() {
+        let v = vec![10, 20, 30];
+        let d: DataWords = v.clone().into();
+        assert_eq!(d, v);
+        assert_eq!(v, d);
+        assert_eq!(d, [10, 20, 30]);
+        let long = vec![1; 9];
+        let dl: DataWords = long.clone().into();
+        assert!(!dl.is_inline());
+        assert_eq!(dl, long);
+    }
+
+    #[test]
+    fn slice_access_via_deref() {
+        let d = DataWords::from_slice(&[5, 6]);
+        assert_eq!(d.first(), Some(&5));
+        assert_eq!(d.iter().sum::<u32>(), 11);
+        assert_eq!(&d[1], &6);
+    }
+
+    #[test]
+    fn debug_prints_the_slice() {
+        assert_eq!(format!("{:?}", DataWords::from_slice(&[1, 2])), "[1, 2]");
+    }
+}

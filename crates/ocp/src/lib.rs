@@ -48,9 +48,11 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod data;
 mod observer;
 mod types;
 
 pub use channel::{channel, MasterPort, OcpChannel, SlavePort};
+pub use data::DataWords;
 pub use observer::{ChannelObserver, NullObserver};
 pub use types::{MasterId, OcpCmd, OcpRequest, OcpResponse, OcpStatus, SlaveId};

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::data::DataWords;
+
 /// Identifies an OCP master (a CPU core or traffic generator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MasterId(pub u16);
@@ -90,7 +92,9 @@ pub struct OcpRequest {
     /// Byte address of the first (or only) word. Must be word-aligned.
     pub addr: u32,
     /// Write payload: one word per beat for writes, empty for reads.
-    pub data: Vec<u32>,
+    /// Inline up to [`DataWords::INLINE`] words — the cycle-true hot
+    /// path never heap-allocates for the common short burst.
+    pub data: DataWords,
     /// Number of beats (words). `1` for single transactions.
     pub burst: u8,
     /// The issuing master. Stamped by the [`MasterPort`] when asserted.
@@ -108,7 +112,7 @@ impl OcpRequest {
         Self {
             cmd: OcpCmd::Read,
             addr,
-            data: Vec::new(),
+            data: DataWords::new(),
             burst: 1,
             master: MasterId::default(),
             tag: 0,
@@ -120,7 +124,7 @@ impl OcpRequest {
         Self {
             cmd: OcpCmd::Write,
             addr,
-            data: vec![data],
+            data: DataWords::one(data),
             burst: 1,
             master: MasterId::default(),
             tag: 0,
@@ -137,7 +141,7 @@ impl OcpRequest {
         Self {
             cmd: OcpCmd::BurstRead,
             addr,
-            data: Vec::new(),
+            data: DataWords::new(),
             burst: beats,
             master: MasterId::default(),
             tag: 0,
@@ -149,7 +153,8 @@ impl OcpRequest {
     /// # Panics
     ///
     /// Panics if `data` is empty or longer than 255 beats.
-    pub fn burst_write(addr: u32, data: Vec<u32>) -> Self {
+    pub fn burst_write(addr: u32, data: impl Into<DataWords>) -> Self {
+        let data = data.into();
         assert!(
             !data.is_empty() && data.len() <= u8::MAX as usize,
             "burst write must carry 1..=255 words"
@@ -180,7 +185,8 @@ impl OcpRequest {
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct OcpResponse {
     /// Read payload: one word per beat. Empty for error responses.
-    pub data: Vec<u32>,
+    /// Inline up to [`DataWords::INLINE`] words (see [`OcpRequest::data`]).
+    pub data: DataWords,
     /// Completion status.
     pub status: OcpStatus,
     /// Copied from the request this response answers.
@@ -189,9 +195,9 @@ pub struct OcpResponse {
 
 impl OcpResponse {
     /// Builds a successful response carrying `data`.
-    pub fn ok(data: Vec<u32>, tag: u64) -> Self {
+    pub fn ok(data: impl Into<DataWords>, tag: u64) -> Self {
         Self {
-            data,
+            data: data.into(),
             status: OcpStatus::Ok,
             tag,
         }
@@ -200,7 +206,7 @@ impl OcpResponse {
     /// Builds an error response.
     pub fn error(tag: u64) -> Self {
         Self {
-            data: Vec::new(),
+            data: DataWords::new(),
             status: OcpStatus::Error,
             tag,
         }

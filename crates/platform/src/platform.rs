@@ -123,6 +123,20 @@ impl Master {
         }
     }
 
+    /// Direct-dispatch tick: the run loop calls this once per master per
+    /// cycle; matching on the enum (instead of going through
+    /// `as_component`'s `&mut dyn Component`) lets the common
+    /// [`TgCore::tick`] inline into the loop.
+    #[inline]
+    fn tick(&mut self, now: Cycle) {
+        match self {
+            Master::Cpu(c) => c.tick(now),
+            Master::Tg(t) => t.tick(now),
+            Master::TgMulti(m) => m.tick(now),
+            Master::Stochastic(s) => s.tick(now),
+        }
+    }
+
     fn halted(&self) -> bool {
         match self {
             Master::Cpu(c) => c.halted(),
@@ -192,6 +206,15 @@ impl Slave {
         match self {
             Slave::Mem(m) => m,
             Slave::Sem(s) => s,
+        }
+    }
+
+    /// Direct-dispatch tick; see [`Master::tick`].
+    #[inline]
+    fn tick(&mut self, now: Cycle) {
+        match self {
+            Slave::Mem(m) => m.tick(now),
+            Slave::Sem(s) => s.tick(now),
         }
     }
 
@@ -681,11 +704,11 @@ impl Platform {
             }
             let now = self.now;
             for m in &mut self.masters {
-                m.as_component().tick(now);
+                m.tick(now);
             }
             self.interconnect.tick(now);
             for s in &mut self.slaves {
-                s.as_component().tick(now);
+                s.tick(now);
             }
             self.ticked_cycles += 1;
             self.now += 1;
@@ -707,6 +730,39 @@ impl Platform {
             skipped_cycles: self.skipped_cycles,
             ticked_cycles: self.ticked_cycles,
         }
+    }
+
+    /// Ticks every component for exactly `cycles` cycles, without cycle
+    /// skipping and without building a [`RunReport`].
+    ///
+    /// This is the measurement primitive for allocation accounting: a
+    /// caller can warm a platform up, snapshot an allocation counter,
+    /// `step` further, and attribute every allocation in between to the
+    /// ticked hot path — `run`'s report construction would otherwise
+    /// pollute the count. Ticking is bit-identical to what `run` does
+    /// when no skip fires, so interleaving `step` and `run` is safe.
+    pub fn step(&mut self, cycles: Cycle) {
+        for _ in 0..cycles {
+            if self.quiesced() {
+                break;
+            }
+            let now = self.now;
+            for m in &mut self.masters {
+                m.tick(now);
+            }
+            self.interconnect.tick(now);
+            for s in &mut self.slaves {
+                s.tick(now);
+            }
+            self.ticked_cycles += 1;
+            self.now += 1;
+        }
+    }
+
+    /// True when every master has halted and all traffic has drained —
+    /// the same predicate [`run`](Self::run) terminates on.
+    pub fn is_quiesced(&self) -> bool {
+        self.quiesced()
     }
 
     /// The trace recorded at master `core`'s interface, if tracing was

@@ -22,7 +22,7 @@
 //! for composite store entries) frame their payloads with the same
 //! helpers.
 
-use ntg_ocp::OcpCmd;
+use ntg_ocp::{DataWords, OcpCmd};
 
 use crate::event::{MasterTrace, TraceEvent};
 
@@ -302,9 +302,9 @@ fn encode_words(w: &mut ByteWriter, words: &[u32]) {
     }
 }
 
-fn decode_words(r: &mut ByteReader<'_>) -> Result<Vec<u32>, BinCodecError> {
+fn decode_words(r: &mut ByteReader<'_>) -> Result<DataWords, BinCodecError> {
     let n = r.u32()? as usize;
-    let mut words = Vec::with_capacity(n.min(1 << 16));
+    let mut words = DataWords::new();
     for _ in 0..n {
         words.push(r.u32()?);
     }
@@ -433,19 +433,19 @@ mod tests {
             TraceEvent::Request {
                 cmd: OcpCmd::Read,
                 addr: 0x104,
-                data: vec![],
+                data: vec![].into(),
                 burst: 1,
                 at: 55,
             },
             TraceEvent::Accept { at: 60 },
             TraceEvent::Response {
-                data: vec![0x88],
+                data: vec![0x88].into(),
                 at: 75,
             },
             TraceEvent::Request {
                 cmd: OcpCmd::BurstWrite,
                 addr: 0x2000,
-                data: vec![1, 2, 3, 4],
+                data: vec![1, 2, 3, 4].into(),
                 burst: 4,
                 at: 90,
             },
@@ -459,6 +459,32 @@ mod tests {
     fn round_trips() {
         let tr = sample();
         assert_eq!(MasterTrace::from_bin(&tr.to_bin()).unwrap(), tr);
+    }
+
+    #[test]
+    fn round_trips_spilled_payloads() {
+        // A burst longer than `DataWords::INLINE` uses the heap
+        // representation; the codec must round-trip it identically (the
+        // byte format is representation-blind).
+        let long: Vec<u32> = (0..(DataWords::INLINE as u32 + 3)).collect();
+        let mut tr = MasterTrace::new(1, 5);
+        tr.events = vec![
+            TraceEvent::Request {
+                cmd: OcpCmd::BurstWrite,
+                addr: 0x1000,
+                data: long.clone().into(),
+                burst: long.len() as u8,
+                at: 10,
+            },
+            TraceEvent::Accept { at: 12 },
+        ];
+        let back = MasterTrace::from_bin(&tr.to_bin()).unwrap();
+        assert_eq!(back, tr);
+        let TraceEvent::Request { data, .. } = &back.events[0] else {
+            panic!("first event is the request");
+        };
+        assert!(!data.is_inline(), "a 7-word payload must spill");
+        assert_eq!(*data, long);
     }
 
     #[test]

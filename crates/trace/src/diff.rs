@@ -173,13 +173,13 @@ mod tests {
             TraceEvent::Request {
                 cmd: OcpCmd::Read,
                 addr,
-                data: vec![],
+                data: vec![].into(),
                 burst: 1,
                 at: t,
             },
             TraceEvent::Accept { at: t + 5 },
             TraceEvent::Response {
-                data: vec![value],
+                data: vec![value].into(),
                 at: t + 20,
             },
         ]

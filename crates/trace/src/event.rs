@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use ntg_ocp::OcpCmd;
+use ntg_ocp::{DataWords, OcpCmd};
 use ntg_sim::Nanos;
 
 /// One event observed at an OCP master interface.
@@ -14,8 +14,9 @@ pub enum TraceEvent {
         cmd: OcpCmd,
         /// Byte address.
         addr: u32,
-        /// Write payload (empty for reads).
-        data: Vec<u32>,
+        /// Write payload (empty for reads; inline up to
+        /// [`DataWords::INLINE`] words).
+        data: DataWords,
         /// Number of beats.
         burst: u8,
         /// Assert time.
@@ -30,7 +31,7 @@ pub enum TraceEvent {
     /// A response was delivered towards the master.
     Response {
         /// Read payload.
-        data: Vec<u32>,
+        data: DataWords,
         /// Delivery time.
         at: Nanos,
     },
@@ -60,7 +61,7 @@ pub struct Transaction {
     /// Byte address.
     pub addr: u32,
     /// Write payload (empty for reads).
-    pub data: Vec<u32>,
+    pub data: DataWords,
     /// Number of beats.
     pub burst: u8,
     /// Request assert time.
@@ -70,7 +71,7 @@ pub struct Transaction {
     /// Response delivery time (reads only).
     pub resp_at: Option<Nanos>,
     /// Response payload (reads only).
-    pub resp_data: Vec<u32>,
+    pub resp_data: DataWords,
 }
 
 impl Transaction {
@@ -181,6 +182,9 @@ impl MasterTrace {
                             reason: "request while another transaction is open",
                         });
                     }
+                    // `DataWords` clones are inline copies for payloads
+                    // up to four words — the grouping pass no longer
+                    // heap-allocates per transaction for short bursts.
                     open = Some(Transaction {
                         cmd: *cmd,
                         addr: *addr,
@@ -189,7 +193,7 @@ impl MasterTrace {
                         req_at: *at,
                         accept_at: 0,
                         resp_at: None,
-                        resp_data: Vec::new(),
+                        resp_data: DataWords::new(),
                     });
                 }
                 TraceEvent::Accept { at } => {
@@ -248,13 +252,13 @@ mod tests {
             TraceEvent::Request {
                 cmd: OcpCmd::Read,
                 addr,
-                data: vec![],
+                data: DataWords::new(),
                 burst: 1,
                 at: t0,
             },
             TraceEvent::Accept { at: t0 + 5 },
             TraceEvent::Response {
-                data: vec![value],
+                data: vec![value].into(),
                 at: t0 + 20,
             },
         ]
@@ -267,7 +271,7 @@ mod tests {
         tr.events.push(TraceEvent::Request {
             cmd: OcpCmd::Write,
             addr: 0x20,
-            data: vec![0x111],
+            data: vec![0x111].into(),
             burst: 1,
             at: 90,
         });
@@ -286,14 +290,14 @@ mod tests {
         tr.events.push(TraceEvent::Request {
             cmd: OcpCmd::Read,
             addr: 0,
-            data: vec![],
+            data: DataWords::new(),
             burst: 1,
             at: 0,
         });
         tr.events.push(TraceEvent::Request {
             cmd: OcpCmd::Read,
             addr: 4,
-            data: vec![],
+            data: DataWords::new(),
             burst: 1,
             at: 5,
         });
@@ -309,12 +313,12 @@ mod tests {
         tr.events.push(TraceEvent::Request {
             cmd: OcpCmd::Read,
             addr: 0,
-            data: vec![],
+            data: DataWords::new(),
             burst: 1,
             at: 0,
         });
         tr.events.push(TraceEvent::Response {
-            data: vec![1],
+            data: vec![1].into(),
             at: 10,
         });
         assert!(tr.transactions().is_err());
@@ -326,7 +330,7 @@ mod tests {
         tr.events.push(TraceEvent::Request {
             cmd: OcpCmd::Read,
             addr: 0,
-            data: vec![],
+            data: DataWords::new(),
             burst: 1,
             at: 0,
         });

@@ -22,7 +22,7 @@
 
 use std::fmt::Write as _;
 
-use ntg_ocp::OcpCmd;
+use ntg_ocp::{DataWords, OcpCmd};
 
 use crate::event::{MasterTrace, TraceEvent};
 
@@ -51,7 +51,7 @@ fn fmt_words(words: &[u32]) -> String {
         .join(",")
 }
 
-fn parse_words(s: &str, line: usize) -> Result<Vec<u32>, TrcParseError> {
+fn parse_words(s: &str, line: usize) -> Result<DataWords, TrcParseError> {
     s.split(',').map(|w| parse_u32(w.trim(), line)).collect()
 }
 
@@ -168,7 +168,7 @@ impl MasterTrace {
                     };
                     let addr_s = parts.next().ok_or_else(|| err("missing address"))?;
                     let addr = parse_u32(addr_s, line_no)?;
-                    let mut data = Vec::new();
+                    let mut data = DataWords::new();
                     let mut burst: u8 = 1;
                     let mut at = None;
                     for tok in parts {
@@ -201,7 +201,7 @@ impl MasterTrace {
                 "RESP" => {
                     let first = parts.next().ok_or_else(|| err("missing payload"))?;
                     let (data, at_s) = if first.starts_with('@') {
-                        (Vec::new(), first)
+                        (DataWords::new(), first)
                     } else {
                         let at_s = parts.next().ok_or_else(|| err("missing timestamp"))?;
                         (parse_words(first, line_no)?, at_s)
@@ -252,19 +252,19 @@ mod tests {
                 TraceEvent::Request {
                     cmd: OcpCmd::Read,
                     addr: 0x104,
-                    data: vec![],
+                    data: vec![].into(),
                     burst: 1,
                     at: 55,
                 },
                 TraceEvent::Accept { at: 60 },
                 TraceEvent::Response {
-                    data: vec![0x088000f0],
+                    data: vec![0x088000f0].into(),
                     at: 75,
                 },
                 TraceEvent::Request {
                     cmd: OcpCmd::Write,
                     addr: 0x20,
-                    data: vec![0x111],
+                    data: vec![0x111].into(),
                     burst: 1,
                     at: 90,
                 },
@@ -272,19 +272,19 @@ mod tests {
                 TraceEvent::Request {
                     cmd: OcpCmd::BurstRead,
                     addr: 0x100,
-                    data: vec![],
+                    data: vec![].into(),
                     burst: 4,
                     at: 120,
                 },
                 TraceEvent::Accept { at: 125 },
                 TraceEvent::Response {
-                    data: vec![1, 2, 3, 4],
+                    data: vec![1, 2, 3, 4].into(),
                     at: 150,
                 },
                 TraceEvent::Request {
                     cmd: OcpCmd::BurstWrite,
                     addr: 0x200,
-                    data: vec![9, 8],
+                    data: vec![9, 8].into(),
                     burst: 2,
                     at: 160,
                 },

@@ -101,7 +101,7 @@ mod tests {
             TraceEvent::Request {
                 cmd: OcpCmd::Read,
                 addr: 0x104,
-                data: vec![],
+                data: vec![].into(),
                 burst: 1,
                 at: 55,
             }
@@ -110,7 +110,7 @@ mod tests {
         assert_eq!(
             tr.events[2],
             TraceEvent::Response {
-                data: vec![0xF0],
+                data: vec![0xF0].into(),
                 at: 75,
             }
         );
