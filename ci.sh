@@ -94,4 +94,31 @@ timeout 60 ./target/release/ntg-sweep merge --out "$STORE_SMOKE_DIR/sharded.json
     "$STORE_SMOKE_DIR/sharded.jsonl.shard-2-of-2" > /dev/null
 cmp "$STORE_SMOKE_DIR/sharded.jsonl" "$STORE_SMOKE_DIR/cold.jsonl"
 
+# Report smoke: ntg-report over the checked-in mini-campaign must
+# reproduce the golden markdown/CSVs byte-for-byte (the golden tests
+# assert the same through the library; this drives the actual CLI), and
+# the Figure 2 timeline export must be valid Chrome trace_event JSON.
+echo "==> report smoke: ntg-report reproduces the goldens"
+REPORT_SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_SMOKE_DIR" "$REPORT_SMOKE_DIR"' EXIT
+timeout 60 ./target/release/ntg-report crates/report/tests/data/mini.jsonl \
+    --md "$REPORT_SMOKE_DIR/mini.md" --csv "$REPORT_SMOKE_DIR" 2> /dev/null
+cmp "$REPORT_SMOKE_DIR/mini.md" crates/report/tests/golden/mini.md
+for f in table2 rankings pareto saturation; do
+    cmp "$REPORT_SMOKE_DIR/$f.csv" "crates/report/tests/golden/$f.csv"
+done
+
+echo "==> report smoke: figure2 timelines parse as JSON"
+timeout 120 ./target/release/figure2 "$REPORT_SMOKE_DIR" > /dev/null
+python3 - "$REPORT_SMOKE_DIR" <<'PYEOF'
+import json, sys, os
+for name in ("figure2a.trace.json", "figure2b.trace.json"):
+    doc = json.load(open(os.path.join(sys.argv[1], name)))
+    assert doc["displayTimeUnit"] == "ns", name
+    events = doc["traceEvents"]
+    assert any(e["ph"] == "X" for e in events), f"{name}: no transactions"
+    assert any(e["ph"] == "M" for e in events), f"{name}: no track names"
+print("figure2 timelines OK")
+PYEOF
+
 echo "CI OK"

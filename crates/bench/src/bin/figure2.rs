@@ -1,6 +1,6 @@
 //! Reproduces the paper's **Figure 2**: the two canonical MPARM
-//! transaction patterns, rendered as OCP event timelines from real
-//! simulated traces.
+//! transaction patterns, exported as Chrome `trace_event` timelines
+//! from real simulated traces.
 //!
 //! * (a) a master talking to its exclusively owned slave: posted write
 //!   (WR), blocking read (RD), and a read stalled behind a write at the
@@ -8,39 +8,37 @@
 //! * (b) two masters racing for one hardware semaphore: M1 locks it, M2
 //!   polls and fails until M1's unlocking write, then succeeds.
 //!
-//! Usage: `cargo run -p ntg-bench --bin figure2`
+//! Usage: `cargo run -p ntg-bench --bin figure2 [-- OUT_DIR]`
+//!
+//! Writes `figure2a.trace.json` and `figure2b.trace.json` (to `OUT_DIR`,
+//! default the current directory); open them in `chrome://tracing` or
+//! <https://ui.perfetto.dev> to see the Figure 2 timelines interactively.
+
+use std::path::{Path, PathBuf};
 
 use ntg_cpu::isa::{R1, R2, R3, R4};
 use ntg_cpu::Asm;
 use ntg_platform::{mem_map, InterconnectChoice, PlatformBuilder};
-use ntg_trace::MasterTrace;
+use ntg_trace::{chrome_trace_json, MasterTrace};
 
-fn print_timeline(title: &str, trace: &MasterTrace) {
-    println!("--- {title} (master {}) ---", trace.master);
-    for tx in trace.transactions().expect("well-formed trace") {
-        let data = tx
-            .data
-            .first()
-            .map(|d| format!(" data={d:#x}"))
-            .unwrap_or_default();
-        let resp = match (tx.resp_at, tx.resp_data.first()) {
-            (Some(at), Some(d)) => format!(" → resp {d:#010x} @{at}ns"),
-            _ => String::new(),
-        };
-        println!(
-            "  {:<3} {:#010x}{data} @{}ns (granted @{}ns){resp}",
-            tx.cmd.mnemonic(),
-            tx.addr,
-            tx.req_at,
-            tx.accept_at,
-        );
-    }
-    println!();
+fn export(out_dir: &Path, name: &str, title: &str, traces: &[MasterTrace]) {
+    let json = chrome_trace_json(traces).expect("well-formed traces");
+    let path = out_dir.join(name);
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    let events: usize = traces
+        .iter()
+        .map(|t| t.transactions().expect("well-formed trace").len())
+        .sum();
+    println!(
+        "{title}\n  -> {} ({} masters, {events} transactions)",
+        path.display(),
+        traces.len()
+    );
 }
 
 /// Figure 2(a): WR, RD, then a RD immediately after a WR (stalled at the
 /// slave).
-fn private_slave_pattern() {
+fn private_slave_pattern(out_dir: &Path) {
     let mut a = Asm::new();
     let base = mem_map::SHARED_BASE; // uncached, so every access is visible
     a.li(R2, base);
@@ -62,14 +60,16 @@ fn private_slave_pattern() {
     b.add_cpu(program);
     let mut p = b.build().unwrap();
     assert!(p.run(100_000).completed);
-    print_timeline(
-        "Figure 2(a): master ↔ private slave (WR posted, RD blocking)",
-        &p.trace(0).unwrap(),
+    export(
+        out_dir,
+        "figure2a.trace.json",
+        "Figure 2(a): master <-> private slave (WR posted, RD blocking)",
+        &[p.trace(0).unwrap()],
     );
 }
 
 /// Figure 2(b): M1 and M2 race for a hardware semaphore; M2 polls.
-fn semaphore_contention_pattern() {
+fn semaphore_contention_pattern(out_dir: &Path) {
     let sem = mem_map::semaphore(0);
     let make = |core: usize, hold_cycles: u32, start_delay: u32| {
         let mut a = Asm::new();
@@ -99,27 +99,32 @@ fn semaphore_contention_pattern() {
     b.add_cpu(make(1, 4, 30)); // M2: arrives second, polls
     let mut p = b.build().unwrap();
     assert!(p.run(100_000).completed);
-    print_timeline("Figure 2(b): M1 locks the semaphore", &p.trace(0).unwrap());
-    print_timeline(
-        "Figure 2(b): M2 polls until M1 unlocks",
-        &p.trace(1).unwrap(),
-    );
-    let m2 = p.trace(1).unwrap();
-    let polls = m2
+    let traces = [p.trace(0).unwrap(), p.trace(1).unwrap()];
+    let polls = traces[1]
         .transactions()
         .unwrap()
         .iter()
         .filter(|t| t.addr == sem && t.cmd == ntg_ocp::OcpCmd::Read)
         .count();
+    export(
+        out_dir,
+        "figure2b.trace.json",
+        "Figure 2(b): M1 locks the semaphore, M2 polls until M1 unlocks",
+        &traces,
+    );
     println!(
-        "M2 issued {polls} semaphore reads; all but the last returned 0 \
+        "  M2 issued {polls} semaphore reads; all but the last returned 0 \
          (locked), the last returned 1 — the reactive pattern the TG's \
-         Semchk loop regenerates.\n"
+         Semchk loop regenerates."
     );
 }
 
 fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
     println!("Reproduction of Figure 2 (DATE'05 TG paper)\n");
-    private_slave_pattern();
-    semaphore_contention_pattern();
+    private_slave_pattern(&out_dir);
+    semaphore_contention_pattern(&out_dir);
 }

@@ -49,3 +49,37 @@ fn steady_state_ticks_do_not_allocate() {
          over 10k cycles — the zero-copy data plane regressed"
     );
 }
+
+#[test]
+fn steady_state_ticks_do_not_allocate_with_metrics_enabled() {
+    // The opt-in metrics layer must stay counters-only on the hot
+    // path: the windowed utilization series pre-allocates its buffer
+    // when enabled and merges windows in place at capacity, so sampling
+    // every ticked cycle adds zero steady-state allocations.
+    let workload = Workload::Cacheloop { iterations: 5_000 };
+    let cores = 2;
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let mut p = workload
+        .build_tg_platform(images, InterconnectChoice::Amba, false)
+        .expect("build TG platform");
+    p.set_cycle_skipping(false);
+    p.enable_metrics();
+
+    p.step(2_000);
+    assert!(
+        !p.is_quiesced(),
+        "warmup must leave live traffic to measure"
+    );
+
+    let allocs_before = alloc_count::allocations();
+    let bytes_before = alloc_count::bytes();
+    p.step(10_000);
+    let allocs = alloc_count::allocations() - allocs_before;
+    let bytes = alloc_count::bytes() - bytes_before;
+
+    assert_eq!(
+        allocs, 0,
+        "metrics-enabled hot path allocated {allocs} times ({bytes} bytes) \
+         over 10k cycles — the observer must be counters-only when on"
+    );
+}

@@ -23,6 +23,11 @@ pub struct TgStats {
     pub burst_writes: u64,
     /// Cycles spent in `Idle`/`IdleUntil`.
     pub idle_cycles: u64,
+    /// Cycles spent blocked on the interconnect (request asserted,
+    /// waiting for acceptance or a response) — the RUN-state residency
+    /// lost to memory latency and arbitration, including the round-trip
+    /// portion of SEMCHK-style poll loops.
+    pub wait_cycles: u64,
 }
 
 /// A fault that stopped a TG.
@@ -184,13 +189,17 @@ impl TgCore {
                     self.state = State::Ready;
                     true
                 }
-                None => false,
+                None => {
+                    self.stats.wait_cycles += 1;
+                    false
+                }
             },
             State::WaitAccept => {
                 if self.port.take_accept(now).is_some() {
                     self.state = State::Ready;
                     true
                 } else {
+                    self.stats.wait_cycles += 1;
                     false
                 }
             }
@@ -352,8 +361,13 @@ impl Component for TgCore {
                 debug_assert!(next <= cycle);
                 self.stats.idle_cycles += n;
             }
-            // Halted and blocked-wait ticks have no side effects.
-            _ => {}
+            // Each skipped blocked cycle would have been a failed
+            // `resolve` tick; replicate its counter effect exactly.
+            State::WaitResp | State::WaitAccept => {
+                self.stats.wait_cycles += n;
+            }
+            // Ready is never skipped; halted ticks have no side effects.
+            State::Ready | State::Halted => {}
         }
     }
 }
@@ -428,6 +442,8 @@ mod tests {
         assert_eq!(tg.regs()[0], 0xCAFE);
         // read asserts @0, resp pushed @3, visible @4 → halt at 4.
         assert_eq!(tg.halt_cycle(), Some(4));
+        // Cycles 1..=3 were failed resolves while blocked.
+        assert_eq!(tg.stats().wait_cycles, 3);
     }
 
     #[test]
@@ -444,6 +460,7 @@ mod tests {
         // write asserts @0, accepted @3 (after 1 ws + 1 beat), visible
         // @4 → halt at 4.
         assert_eq!(tg.halt_cycle(), Some(4));
+        assert_eq!(tg.stats().wait_cycles, 3);
     }
 
     #[test]

@@ -67,7 +67,8 @@ OPTIONS:
     --no-store           skip the persistent store for this run
     --store-gc BYTES     prune the store to BYTES (least recently used
                          artifacts first) and exit
-    --dry-run            print the expanded job list and exit
+    --dry-run            print the expanded job list, shard assignment, and
+                         an estimate of trace/image store reuse, then exit
     --quiet              suppress per-job progress on stderr
     -h, --help           this text
 ";
@@ -226,15 +227,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
 
     let jobs = spec.expand();
     if dry_run {
-        println!(
-            "campaign `{}` ({} jobs, fingerprint {:016x}):",
-            spec.name,
-            jobs.len(),
-            spec.fingerprint()
-        );
-        for j in &jobs {
-            println!("  [{:>3}] {}", j.id, j.key());
-        }
+        print_dry_run(&spec, &jobs, opts.shard);
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -315,6 +308,83 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         eprintln!("ntg-sweep: {failures} job(s) failed");
         ExitCode::FAILURE
     })
+}
+
+/// `--dry-run`: the expanded job list, per-job shard assignment (when
+/// `--shard` is given), and how much artifact reuse the cache/store
+/// will see — how many distinct reference traces and TG program images
+/// the campaign actually builds.
+fn print_dry_run(
+    spec: &CampaignSpec,
+    jobs: &[ntg_explore::JobSpec],
+    shard: Option<(usize, usize)>,
+) {
+    println!(
+        "campaign `{}` ({} jobs, fingerprint {:016x}):",
+        spec.name,
+        jobs.len(),
+        spec.fingerprint()
+    );
+    let mut in_shard = 0usize;
+    for j in jobs {
+        match shard {
+            // Jobs are dealt round-robin by id: shard I of N runs ids
+            // with id % N == I - 1.
+            Some((i, n)) => {
+                let assigned = j.id % n + 1;
+                let marker = if assigned == i {
+                    in_shard += 1;
+                    '*'
+                } else {
+                    ' '
+                };
+                println!("  [{:>3}] {marker} shard {assigned}/{n}  {}", j.id, j.key());
+            }
+            None => println!("  [{:>3}] {}", j.id, j.key()),
+        }
+    }
+    if let Some((i, n)) = shard {
+        println!(
+            "shard {i}/{n} runs {in_shard} of {} job(s) (marked *)",
+            jobs.len()
+        );
+    }
+
+    // Store-reuse estimate, mirroring the runner's cache keys: reference
+    // traces are shared per (workload, cores) — they are always recorded
+    // on the campaign's trace fabric — and TG images per
+    // (workload, cores, mode).
+    let mut trace_keys = std::collections::BTreeSet::new();
+    let mut image_keys = std::collections::BTreeSet::new();
+    let mut trace_consumers = 0usize;
+    let mut image_consumers = 0usize;
+    for j in jobs {
+        match j.master {
+            MasterChoice::Cpu => {}
+            MasterChoice::Tg => {
+                trace_consumers += 1;
+                trace_keys.insert(format!("{}|{}", j.workload, j.cores));
+                image_consumers += 1;
+                image_keys.insert(format!(
+                    "{}|{}|{}",
+                    j.workload,
+                    j.cores,
+                    j.mode.map(|m| m.to_string()).unwrap_or_default()
+                ));
+            }
+            MasterChoice::Stochastic => {
+                trace_consumers += 1;
+                trace_keys.insert(format!("{}|{}", j.workload, j.cores));
+            }
+        }
+    }
+    println!(
+        "store reuse: {trace_consumers} job(s) consume {} distinct reference trace(s) \
+         (on {}); {image_consumers} TG job(s) share {} distinct program image(s)",
+        trace_keys.len(),
+        spec.trace_interconnect,
+        image_keys.len()
+    );
 }
 
 /// `ntg-sweep merge --out PATH SHARD_FILE...`

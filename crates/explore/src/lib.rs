@@ -58,10 +58,10 @@ pub mod store;
 
 pub use cache::{ArtifactCache, CacheSnapshot, TraceArtifact};
 pub use json::Json;
-pub use result::{parse_results, CampaignHeader, JobResult, LoadedResults};
+pub use result::{parse_results, CampaignHeader, JobMetrics, JobResult, LoadedResults};
 pub use runner::{
-    merge_shards, partial_path, run_campaign, shard_path, timings_path, CampaignOutcome,
-    MergeSummary, RunOptions,
+    merge_shards, metrics_path, partial_path, run_campaign, shard_path, timings_path,
+    CampaignOutcome, MergeSummary, RunOptions,
 };
 pub use spec::{CampaignSpec, CoreSelection, JobSpec, MasterChoice};
 pub use store::{DiskStore, GcStats, StoreKind};

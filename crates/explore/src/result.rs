@@ -13,6 +13,12 @@
 //! * **`<out>.timings.jsonl`** — wall-clock times per job plus campaign
 //!   totals. Deliberately *outside* the canonical file: host timing is
 //!   not deterministic and must not break byte-identity.
+//! * **`<out>.metrics.jsonl`** — per-job observability metrics
+//!   ([`JobMetrics`]: fabric utilization, arbitration contention, TG
+//!   state residency, semaphore counters). A sidecar like the timings:
+//!   windowed samples may differ with cycle skipping, so they must not
+//!   enter the canonical file. `ntg-report` joins it with the canonical
+//!   file by job id.
 //!
 //! The header records a fingerprint of the expanded campaign
 //! ([`CampaignSpec::fingerprint`](crate::CampaignSpec::fingerprint)), so
@@ -143,6 +149,154 @@ pub struct JobResult {
     /// Cycles simulated tick by tick. Timings sidecar only, like
     /// [`skipped_cycles`](Self::skipped_cycles).
     pub ticked_cycles: u64,
+    /// Observability metrics for this job. **Not** part of the
+    /// canonical line; written to the `.metrics.jsonl` sidecar.
+    pub metrics: Option<JobMetrics>,
+}
+
+/// Per-job observability metrics, collected by the platform's opt-in
+/// metrics layer and written to the `.metrics.jsonl` sidecar.
+///
+/// Non-canonical by design: windowed series attribute skipped cycle
+/// stretches to their first cycle, so byte content may differ between
+/// cycle-skipping on/off even though every *counter* is exact.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct JobMetrics {
+    /// Cycles the fabric spent occupied carrying traffic.
+    pub fabric_utilization_cycles: u64,
+    /// Lost arbitration rounds across the fabric.
+    pub conflicts: u64,
+    /// Grant-latency samples.
+    pub grant_wait_count: u64,
+    /// Sum of grant latencies in cycles.
+    pub grant_wait_sum: u64,
+    /// Worst grant latency in cycles.
+    pub grant_wait_max: u64,
+    /// Per-master transactions granted.
+    pub link_grants: Vec<u64>,
+    /// Per-master cycles stalled awaiting grant.
+    pub link_stall_cycles: Vec<u64>,
+    /// Per-master fabric-occupancy cycles.
+    pub link_busy_cycles: Vec<u64>,
+    /// Per-master programmed-idle cycles (TG masters; 0 otherwise).
+    pub master_idle_cycles: Vec<u64>,
+    /// Per-master blocked-on-interconnect cycles (TG masters; 0
+    /// otherwise) — the SEMCHK-poll / memory-wait state residency.
+    pub master_wait_cycles: Vec<u64>,
+    /// Successful semaphore acquisitions.
+    pub sem_acquisitions: u64,
+    /// Failed semaphore polls.
+    pub sem_failed_polls: u64,
+    /// Semaphore releases.
+    pub sem_releases: u64,
+    /// Width in cycles of each busy window.
+    pub busy_window_cycles: u64,
+    /// Fabric-busy cycles per window (time-resolved utilization).
+    pub busy_windows: Vec<u64>,
+}
+
+impl JobMetrics {
+    /// Renders one `.metrics.jsonl` line for job `id`/`key` (no
+    /// trailing newline).
+    pub fn render_line(&self, id: usize, key: &str) -> String {
+        fn ints(v: &[u64]) -> Json {
+            Json::Arr(v.iter().map(|&x| Json::Int(x as i64)).collect())
+        }
+        Json::Obj(vec![
+            ("id".into(), Json::Int(id as i64)),
+            ("key".into(), Json::Str(key.into())),
+            (
+                "fabric_utilization_cycles".into(),
+                Json::Int(self.fabric_utilization_cycles as i64),
+            ),
+            ("conflicts".into(), Json::Int(self.conflicts as i64)),
+            (
+                "grant_wait_count".into(),
+                Json::Int(self.grant_wait_count as i64),
+            ),
+            (
+                "grant_wait_sum".into(),
+                Json::Int(self.grant_wait_sum as i64),
+            ),
+            (
+                "grant_wait_max".into(),
+                Json::Int(self.grant_wait_max as i64),
+            ),
+            ("link_grants".into(), ints(&self.link_grants)),
+            ("link_stall_cycles".into(), ints(&self.link_stall_cycles)),
+            ("link_busy_cycles".into(), ints(&self.link_busy_cycles)),
+            ("master_idle_cycles".into(), ints(&self.master_idle_cycles)),
+            ("master_wait_cycles".into(), ints(&self.master_wait_cycles)),
+            (
+                "sem_acquisitions".into(),
+                Json::Int(self.sem_acquisitions as i64),
+            ),
+            (
+                "sem_failed_polls".into(),
+                Json::Int(self.sem_failed_polls as i64),
+            ),
+            ("sem_releases".into(), Json::Int(self.sem_releases as i64)),
+            (
+                "busy_window_cycles".into(),
+                Json::Int(self.busy_window_cycles as i64),
+            ),
+            ("busy_windows".into(), ints(&self.busy_windows)),
+        ])
+        .render()
+    }
+
+    /// Parses a `.metrics.jsonl` line into `(id, key, metrics)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation.
+    pub fn parse_line(line: &str) -> Result<(usize, String, Self), String> {
+        let v = Json::parse(line)?;
+        let u = |k: &str| -> Result<u64, String> {
+            v.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics: missing `{k}`"))
+        };
+        let arr = |k: &str| -> Result<Vec<u64>, String> {
+            match v.get(k) {
+                Some(Json::Arr(items)) => items
+                    .iter()
+                    .map(|j| {
+                        j.as_u64()
+                            .ok_or_else(|| format!("metrics: bad `{k}` entry"))
+                    })
+                    .collect(),
+                _ => Err(format!("metrics: missing `{k}`")),
+            }
+        };
+        let id = u("id")? as usize;
+        let key = v
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or("metrics: missing `key`")?
+            .to_string();
+        Ok((
+            id,
+            key,
+            Self {
+                fabric_utilization_cycles: u("fabric_utilization_cycles")?,
+                conflicts: u("conflicts")?,
+                grant_wait_count: u("grant_wait_count")?,
+                grant_wait_sum: u("grant_wait_sum")?,
+                grant_wait_max: u("grant_wait_max")?,
+                link_grants: arr("link_grants")?,
+                link_stall_cycles: arr("link_stall_cycles")?,
+                link_busy_cycles: arr("link_busy_cycles")?,
+                master_idle_cycles: arr("master_idle_cycles")?,
+                master_wait_cycles: arr("master_wait_cycles")?,
+                sem_acquisitions: u("sem_acquisitions")?,
+                sem_failed_polls: u("sem_failed_polls")?,
+                sem_releases: u("sem_releases")?,
+                busy_window_cycles: u("busy_window_cycles")?,
+                busy_windows: arr("busy_windows")?,
+            },
+        ))
+    }
 }
 
 impl JobResult {
@@ -171,6 +325,7 @@ impl JobResult {
             wall_secs: 0.0,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            metrics: None,
         }
     }
 
@@ -258,6 +413,7 @@ impl JobResult {
             wall_secs: 0.0,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            metrics: None,
         })
     }
 }
@@ -337,6 +493,7 @@ mod tests {
             wall_secs: 0.0,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            metrics: None,
         }
     }
 
@@ -407,5 +564,45 @@ mod tests {
         r.skipped_cycles = 1_000_000;
         r.ticked_cycles = 234_580;
         assert_eq!(r.render_line(), a);
+    }
+
+    #[test]
+    fn metrics_are_not_in_the_canonical_line() {
+        let mut r = sample();
+        let a = r.render_line();
+        r.metrics = Some(JobMetrics {
+            fabric_utilization_cycles: 42,
+            conflicts: 7,
+            ..JobMetrics::default()
+        });
+        assert_eq!(r.render_line(), a);
+    }
+
+    #[test]
+    fn metrics_line_round_trips() {
+        let m = JobMetrics {
+            fabric_utilization_cycles: 123_456,
+            conflicts: 78,
+            grant_wait_count: 90,
+            grant_wait_sum: 450,
+            grant_wait_max: 17,
+            link_grants: vec![40, 50],
+            link_stall_cycles: vec![12, 30],
+            link_busy_cycles: vec![300, 280],
+            master_idle_cycles: vec![1_000, 0],
+            master_wait_cycles: vec![420, 9],
+            sem_acquisitions: 5,
+            sem_failed_polls: 33,
+            sem_releases: 5,
+            busy_window_cycles: 1024,
+            busy_windows: vec![10, 20, 0, 5],
+        };
+        let line = m.render_line(7, "mp_matrix:16|2P|amba|tg|reactive");
+        let (id, key, parsed) = JobMetrics::parse_line(&line).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(key, "mp_matrix:16|2P|amba|tg|reactive");
+        assert_eq!(parsed, m);
+        // Fixpoint: re-rendering reproduces the same bytes.
+        assert_eq!(parsed.render_line(id, &key), line);
     }
 }

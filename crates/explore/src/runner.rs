@@ -25,11 +25,11 @@ use std::time::Instant;
 
 use ntg_core::rng::derive_seed;
 use ntg_core::{assemble, TraceTranslator, TranslatorConfig};
-use ntg_platform::{Platform, PlatformBuilder, RunReport};
+use ntg_platform::{MasterReport, Platform, PlatformBuilder, RunReport};
 
 use crate::cache::{ArtifactCache, CacheSnapshot, TraceArtifact};
 use crate::json::Json;
-use crate::result::{parse_results, CampaignHeader, JobResult};
+use crate::result::{parse_results, CampaignHeader, JobMetrics, JobResult};
 use crate::spec::{CampaignSpec, JobSpec, MasterChoice};
 
 /// How to execute a campaign.
@@ -226,6 +226,7 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignOu
     if let Some(out) = &opts.out {
         write_canonical(out, &header, &results)?;
         write_timings(out, &header, &results, opts.threads, wall_secs)?;
+        write_metrics(out, &header, &results)?;
         let _ = fs::remove_file(partial_path(out));
     }
 
@@ -247,6 +248,11 @@ pub fn partial_path(out: &Path) -> PathBuf {
 /// `<out>.timings.jsonl` — the non-canonical wall-time sidecar.
 pub fn timings_path(out: &Path) -> PathBuf {
     with_suffix(out, ".timings.jsonl")
+}
+
+/// `<out>.metrics.jsonl` — the non-canonical observability sidecar.
+pub fn metrics_path(out: &Path) -> PathBuf {
+    with_suffix(out, ".metrics.jsonl")
 }
 
 /// `<out>.shard-<i>-of-<n>` — the conventional per-shard output path
@@ -513,6 +519,29 @@ fn write_timings(
     fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))
 }
 
+fn write_metrics(out: &Path, header: &CampaignHeader, results: &[JobResult]) -> Result<(), String> {
+    let path = metrics_path(out);
+    let mut text = String::new();
+    text.push_str(
+        &Json::Obj(vec![
+            ("campaign".into(), Json::Str(header.name.clone())),
+            (
+                "fingerprint".into(),
+                Json::Str(format!("{:016x}", header.fingerprint)),
+            ),
+        ])
+        .render(),
+    );
+    text.push('\n');
+    for r in results {
+        if let Some(m) = &r.metrics {
+            text.push_str(&m.render_line(r.id, &r.key));
+            text.push('\n');
+        }
+    }
+    fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))
+}
+
 fn describe(r: &JobResult) -> String {
     match (&r.error, r.cycles) {
         (Some(e), _) => format!("{} FAILED: {e}", r.key),
@@ -668,6 +697,7 @@ fn run_repeats(
     let mut last = None;
     for i in 0..job.repeats.max(1) {
         let mut p = build(i)?;
+        p.enable_metrics();
         let report = p.run(job.max_cycles);
         if i == 0 && report.completed && report.faults.is_empty() {
             verified = Some(job.workload.verify(&p, job.cores).is_ok());
@@ -692,6 +722,39 @@ fn finish(
     } else {
         Some(format!("faults: {}", report.faults.join("; ")))
     };
+    let metrics = report.metrics.as_ref().map(|m| {
+        let mut idle = Vec::with_capacity(report.masters.len());
+        let mut wait = Vec::with_capacity(report.masters.len());
+        for master in &report.masters {
+            match master {
+                MasterReport::Tg(s) => {
+                    idle.push(s.idle_cycles);
+                    wait.push(s.wait_cycles);
+                }
+                _ => {
+                    idle.push(0);
+                    wait.push(0);
+                }
+            }
+        }
+        JobMetrics {
+            fabric_utilization_cycles: m.fabric_utilization_cycles,
+            conflicts: m.conflicts,
+            grant_wait_count: m.grant_wait_count,
+            grant_wait_sum: m.grant_wait_sum,
+            grant_wait_max: m.grant_wait_max,
+            link_grants: m.links.iter().map(|l| l.grants).collect(),
+            link_stall_cycles: m.links.iter().map(|l| l.stall_cycles).collect(),
+            link_busy_cycles: m.links.iter().map(|l| l.busy_cycles).collect(),
+            master_idle_cycles: idle,
+            master_wait_cycles: wait,
+            sem_acquisitions: m.sem_acquisitions,
+            sem_failed_polls: m.sem_failed_polls,
+            sem_releases: m.sem_releases,
+            busy_window_cycles: m.busy_window_cycles,
+            busy_windows: m.busy_windows.clone(),
+        }
+    });
     JobResult {
         id: job.id,
         key: job.key(),
@@ -719,5 +782,6 @@ fn finish(
         wall_secs: report.wall_time.as_secs_f64(),
         skipped_cycles: report.skipped_cycles,
         ticked_cycles: report.ticked_cycles,
+        metrics,
     }
 }

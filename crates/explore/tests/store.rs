@@ -144,6 +144,41 @@ fn merge_rejects_incomplete_shard_coverage() {
 }
 
 #[test]
+fn merge_rejects_header_mismatch_and_names_the_file() {
+    let dir = scratch("header-mismatch");
+    let store = dir.join("store");
+    let out = dir.join("campaign.jsonl");
+    let mut shard_files = Vec::new();
+    for i in 1..=2 {
+        let shard_out = shard_path(&out, (i, 2));
+        run_campaign(
+            &spec(),
+            &RunOptions {
+                shard: Some((i, 2)),
+                ..opts(&shard_out, &store)
+            },
+        )
+        .unwrap();
+        shard_files.push(shard_out);
+    }
+    // Shard 2 claims to come from a different campaign spec.
+    let text = fs::read_to_string(&shard_files[1]).unwrap();
+    let tampered = text.replacen("store-test", "other-campaign", 1);
+    assert_ne!(text, tampered, "header line must carry the campaign name");
+    fs::write(&shard_files[1], tampered).unwrap();
+
+    let err = merge_shards(&shard_files, &out).unwrap_err();
+    assert!(err.contains("header mismatch"), "{err}");
+    assert!(
+        err.contains(&shard_files[1].display().to_string()),
+        "error must name the offending file: {err}"
+    );
+    assert!(err.contains("other-campaign"), "{err}");
+    assert!(err.contains("store-test"), "{err}");
+    assert!(!out.exists(), "no canonical file on failed merge");
+}
+
+#[test]
 fn corrupt_store_entries_degrade_to_a_rebuild() {
     let dir = scratch("corrupt");
     let store = dir.join("store");

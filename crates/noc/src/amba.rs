@@ -4,6 +4,7 @@ use std::rc::Rc;
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpResponse, SlavePort};
+use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
 
@@ -78,6 +79,9 @@ pub struct AmbaBus {
     state: BusState,
     stats: BusStats,
     occupancy: Histogram,
+    conflicts: u64,
+    grant_wait: Histogram,
+    links: Vec<LinkMetrics>,
 }
 
 impl AmbaBus {
@@ -92,6 +96,7 @@ impl AmbaBus {
         slaves: Vec<MasterPort>,
         map: Rc<AddressMap>,
     ) -> Self {
+        let links = vec![LinkMetrics::default(); masters.len()];
         Self {
             name: name.into(),
             masters,
@@ -103,6 +108,9 @@ impl AmbaBus {
             state: BusState::Idle,
             stats: BusStats::default(),
             occupancy: Histogram::new("bus_occupancy_cycles"),
+            conflicts: 0,
+            grant_wait: Histogram::new("grant_wait"),
+            links,
         }
     }
 
@@ -140,6 +148,18 @@ impl AmbaBus {
     }
 
     fn start_transfer(&mut self, master: usize, now: Cycle) {
+        // Contention bookkeeping, read before acceptance consumes the
+        // request: how long the winner waited, and whether anyone lost
+        // this round of arbitration.
+        let stall = now
+            - self.masters[master]
+                .request_visible_at()
+                .expect("arbitrated request must still be visible");
+        let contended = self
+            .masters
+            .iter()
+            .enumerate()
+            .any(|(m, port)| m != master && port.has_request(now));
         let req = self.masters[master]
             .accept_request(now)
             .expect("arbitrated request must still be visible");
@@ -160,6 +180,12 @@ impl AmbaBus {
                     self.stats.writes += 1;
                 }
                 self.stats.grants += 1;
+                if contended {
+                    self.conflicts += 1;
+                }
+                self.grant_wait.record(stall);
+                self.links[master].grants += 1;
+                self.links[master].stall_cycles += stall;
                 self.slaves[slave].forward_request(req, now);
                 self.state = BusState::WaitSlave {
                     master,
@@ -212,10 +238,12 @@ impl Component for AmbaBus {
                     if let Some(resp) = self.slaves[slave].take_response(now) {
                         self.masters[master].push_response(resp, now);
                         self.occupancy.record(now - granted_at);
+                        self.links[master].busy_cycles += now - granted_at;
                         self.state = BusState::Idle;
                     }
                 } else if self.slaves[slave].take_accept(now).is_some() {
                     self.occupancy.record(now - granted_at);
+                    self.links[master].busy_cycles += now - granted_at;
                     self.state = BusState::Idle;
                 }
             }
@@ -286,6 +314,18 @@ impl Interconnect for AmbaBus {
 
     fn latency_summary(&self) -> Option<(f64, u64)> {
         Some((self.occupancy.mean()?, self.occupancy.max()?))
+    }
+
+    fn utilization_cycles(&self) -> u64 {
+        self.stats.busy_cycles
+    }
+
+    fn contention(&self) -> Contention {
+        Contention {
+            conflicts: self.conflicts,
+            grant_wait: self.grant_wait.clone(),
+            links: self.links.clone(),
+        }
     }
 }
 
@@ -507,6 +547,31 @@ mod tests {
         assert_eq!(r.bus.occupancy().count(), 1);
         // Granted at 1, response relayed at 5 → 4 cycles of occupancy.
         assert_eq!(r.bus.occupancy().max(), Some(4));
+    }
+
+    #[test]
+    fn contention_metrics_track_arbitration() {
+        let mut r = rig(2);
+        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        for now in 0..40 {
+            step(&mut r, now);
+            for c in 0..2 {
+                r.cpus[c].take_response(now);
+            }
+        }
+        let c = r.bus.contention();
+        assert_eq!(c.links.len(), 2);
+        assert_eq!(c.links[0].grants, 1);
+        assert_eq!(c.links[1].grants, 1);
+        assert_eq!(c.conflicts, 1, "only the first grant was contended");
+        assert_eq!(c.links[0].stall_cycles, 0, "winner granted immediately");
+        assert!(c.links[1].stall_cycles > 0, "loser waited for the bus");
+        assert_eq!(c.grant_wait.count(), 2);
+        assert!(r.bus.utilization_cycles() > 0);
+        // Per-master busy attribution sums to the recorded occupancy.
+        let busy: u64 = c.links.iter().map(|l| l.busy_cycles).sum();
+        assert_eq!(busy, r.bus.occupancy().sum());
     }
 
     #[test]

@@ -4,6 +4,8 @@ use std::rc::Rc;
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpResponse, SlavePort};
+use ntg_sim::observe::{Contention, LinkMetrics};
+use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
 
 use crate::{Interconnect, InterconnectKind};
@@ -39,6 +41,9 @@ pub struct CrossbarBus {
     transactions: u64,
     decode_errors: u64,
     busy_lane_cycles: u64,
+    conflicts: u64,
+    grant_wait: Histogram,
+    links: Vec<LinkMetrics>,
 }
 
 impl CrossbarBus {
@@ -53,6 +58,7 @@ impl CrossbarBus {
     ) -> Self {
         let lanes = vec![LaneState::Idle; slaves.len()];
         let rr = vec![0; slaves.len()];
+        let links = vec![LinkMetrics::default(); masters.len()];
         Self {
             name: name.into(),
             masters,
@@ -63,6 +69,9 @@ impl CrossbarBus {
             transactions: 0,
             decode_errors: 0,
             busy_lane_cycles: 0,
+            conflicts: 0,
+            grant_wait: Histogram::new("grant_wait"),
+            links,
         }
     }
 
@@ -106,6 +115,7 @@ impl Component for CrossbarBus {
                     expects_response,
                 } => {
                     self.busy_lane_cycles += 1;
+                    self.links[master].busy_cycles += 1;
                     if expects_response {
                         if let Some(resp) = self.slaves[lane].take_response(now) {
                             self.masters[master].push_response(resp, now);
@@ -118,19 +128,36 @@ impl Component for CrossbarBus {
                 LaneState::Idle => {
                     let n = self.masters.len();
                     let start = self.rr[lane];
-                    let winner = (0..n).map(|i| (start + i) % n).find(|&m| {
+                    let wants_lane = |m: usize, masters: &[SlavePort], map: &AddressMap| {
                         matches!(
-                            self.masters[m].peek_meta(now),
-                            Some((addr, _, _)) if self.map.slave_for(addr)
+                            masters[m].peek_meta(now),
+                            Some((addr, _, _)) if map.slave_for(addr)
                                 == Some(ntg_ocp::SlaveId(lane as u16))
                         )
-                    });
+                    };
+                    let winner = (0..n)
+                        .map(|i| (start + i) % n)
+                        .find(|&m| wants_lane(m, &self.masters, &self.map));
                     if let Some(m) = winner {
+                        // Contention bookkeeping before acceptance
+                        // consumes the request's visibility timestamp.
+                        let stall = now
+                            - self.masters[m]
+                                .request_visible_at()
+                                .expect("winner request is still there");
+                        let contended =
+                            (0..n).any(|o| o != m && wants_lane(o, &self.masters, &self.map));
                         let req = self.masters[m]
                             .accept_request(now)
                             .expect("winner request is still there");
                         let expects_response = req.cmd.expects_response();
                         self.transactions += 1;
+                        if contended {
+                            self.conflicts += 1;
+                        }
+                        self.grant_wait.record(stall);
+                        self.links[m].grants += 1;
+                        self.links[m].stall_cycles += stall;
                         self.slaves[lane].forward_request(req, now);
                         self.lanes[lane] = LaneState::WaitSlave {
                             master: m,
@@ -180,14 +207,14 @@ impl Component for CrossbarBus {
     }
 
     fn skip(&mut self, now: Cycle, next: Cycle) {
-        // Each occupied lane counts one busy cycle per tick; the rest of
-        // a wait tick is pure polling.
-        let busy = self
-            .lanes
-            .iter()
-            .filter(|l| matches!(l, LaneState::WaitSlave { .. }))
-            .count() as u64;
-        self.busy_lane_cycles += busy * (next - now);
+        // Each occupied lane counts one busy cycle per tick (total and
+        // per owning master); the rest of a wait tick is pure polling.
+        for lane in &self.lanes {
+            if let LaneState::WaitSlave { master, .. } = lane {
+                self.busy_lane_cycles += next - now;
+                self.links[*master].busy_cycles += next - now;
+            }
+        }
     }
 }
 
@@ -202,6 +229,18 @@ impl Interconnect for CrossbarBus {
 
     fn decode_errors(&self) -> u64 {
         self.decode_errors
+    }
+
+    fn utilization_cycles(&self) -> u64 {
+        self.busy_lane_cycles
+    }
+
+    fn contention(&self) -> Contention {
+        Contention {
+            conflicts: self.conflicts,
+            grant_wait: self.grant_wait.clone(),
+            links: self.links.clone(),
+        }
     }
 }
 
@@ -322,6 +361,40 @@ mod tests {
         }
         assert!(accepted);
         assert_eq!(r.xbar.decode_errors(), 2);
+    }
+
+    #[test]
+    fn conflicts_only_arise_on_shared_lanes() {
+        // Same slave: the loser marks the grant contended.
+        let mut r = rig(2);
+        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        for now in 0..30 {
+            step(&mut r, now);
+            for c in 0..2 {
+                r.cpus[c].take_response(now);
+            }
+        }
+        let c = r.xbar.contention();
+        assert_eq!(c.conflicts, 1);
+        assert!(c.links[1].stall_cycles > 0, "loser stalled");
+        assert_eq!(c.grant_wait.count(), 2);
+        let busy: u64 = c.links.iter().map(|l| l.busy_cycles).sum();
+        assert_eq!(busy, r.xbar.utilization_cycles());
+
+        // Different slaves: fully parallel, no conflicts, no stalls.
+        let mut r = rig(2);
+        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        for now in 0..30 {
+            step(&mut r, now);
+            for c in 0..2 {
+                r.cpus[c].take_response(now);
+            }
+        }
+        let c = r.xbar.contention();
+        assert_eq!(c.conflicts, 0);
+        assert_eq!(c.links[0].stall_cycles + c.links[1].stall_cycles, 0);
     }
 
     #[test]

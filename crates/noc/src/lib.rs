@@ -45,6 +45,7 @@ pub use crossbar::CrossbarBus;
 pub use ideal::IdealInterconnect;
 pub use xpipes::{XpipesConfig, XpipesNoc};
 
+use ntg_sim::observe::Contention;
 use ntg_sim::Component;
 
 /// Which interconnect family a model belongs to.
@@ -91,5 +92,22 @@ pub trait Interconnect: Component {
     /// the model records one and has seen traffic.
     fn latency_summary(&self) -> Option<(f64, u64)> {
         None
+    }
+
+    /// Cycles the fabric spent occupied carrying traffic — the
+    /// numerator of a utilization figure (divide by simulated cycles).
+    /// Bus models count owner-occupied cycles, the mesh counts flit
+    /// hops; models without a meaningful notion report 0.
+    fn utilization_cycles(&self) -> u64 {
+        0
+    }
+
+    /// Arbitration-contention summary: lost arbitration rounds, the
+    /// grant-latency distribution, and per-master link counters.
+    ///
+    /// Built on demand (report time); the counters behind it are
+    /// maintained alloc-free at transaction events during simulation.
+    fn contention(&self) -> Contention {
+        Contention::new(0)
     }
 }

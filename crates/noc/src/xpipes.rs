@@ -5,6 +5,7 @@ use std::rc::Rc;
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{MasterPort, OcpRequest, OcpResponse, SlavePort};
+use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
 
@@ -202,6 +203,9 @@ pub struct XpipesNoc {
     packet_latency: Histogram,
     transactions: u64,
     decode_errors: u64,
+    conflicts: u64,
+    grant_wait: Histogram,
+    links: Vec<LinkMetrics>,
 }
 
 impl XpipesNoc {
@@ -243,6 +247,7 @@ impl XpipesNoc {
                 tx: VecDeque::new(),
             })
             .collect();
+        let links = vec![LinkMetrics::default(); master_nis.len()];
         for (i, ni) in master_nis.iter().enumerate() {
             attach[ni.node as usize] = Attach::Master(i);
         }
@@ -264,6 +269,9 @@ impl XpipesNoc {
             packet_latency: Histogram::new("packet_latency_cycles"),
             transactions: 0,
             decode_errors: 0,
+            conflicts: 0,
+            grant_wait: Histogram::new("grant_wait_cycles"),
+            links,
         }
     }
 
@@ -387,12 +395,28 @@ impl XpipesNoc {
         for r in 0..self.routers.len() {
             let mut input_used = [false; 5];
             for p in 0..5 {
+                let want = |flit: &Flit, me: &Self| me.route(r as u16, flit.dst) == p;
+                // Heads currently requesting this output; every head that
+                // does not advance this cycle is a contention event
+                // (blocked by the output register, an owning packet, or a
+                // lost arbitration round).
+                let wanters = (0..5)
+                    .filter(|&inp| {
+                        !input_used[inp]
+                            && matches!(
+                                self.routers[r].inputs[inp].front(),
+                                Some(f) if f.is_head && want(f, self)
+                            )
+                    })
+                    .count() as u64;
                 let router = &mut self.routers[r];
                 if router.out_reg[p].is_some() {
+                    self.conflicts += wanters;
                     continue;
                 }
                 // Continue an owned packet first.
                 if let Some(owner) = router.out_owner[p] {
+                    self.conflicts += wanters;
                     if input_used[owner] {
                         continue;
                     }
@@ -408,8 +432,8 @@ impl XpipesNoc {
                     continue;
                 }
                 // Otherwise arbitrate among heads requesting this output.
-                let start = router.rr[p];
-                let want = |flit: &Flit, me: &Self| me.route(r as u16, flit.dst) == p;
+                self.conflicts += wanters.saturating_sub(1);
+                let start = self.routers[r].rr[p];
                 let claimed = (0..5).map(|k| (start + k) % 5).find(|&inp| {
                     !input_used[inp]
                         && matches!(
@@ -453,13 +477,22 @@ impl XpipesNoc {
                             }
                         }
                         Some(slave) => {
+                            let stall = now
+                                - self.master_nis[i]
+                                    .link
+                                    .request_visible_at()
+                                    .expect("peeked request is visible");
                             let req = self.master_nis[i]
                                 .link
                                 .accept_request(now)
                                 .expect("peeked request is still there");
                             self.transactions += 1;
+                            self.grant_wait.record(stall);
+                            self.links[i].grants += 1;
+                            self.links[i].stall_cycles += stall;
                             let dst = self.slave_nis[slave.0 as usize].node;
                             let len = 2 + req.data.len() as u32;
+                            self.links[i].busy_cycles += u64::from(len);
                             let pid = self.next_pid;
                             self.next_pid += 1;
                             self.packets.insert(
@@ -493,6 +526,7 @@ impl XpipesNoc {
                     if let Some(resp) = self.slave_nis[i].link.take_response(now) {
                         let dst = self.master_nis[src_master].node;
                         let len = 1 + resp.data.len() as u32;
+                        self.links[src_master].busy_cycles += u64::from(len);
                         let pid = self.next_pid;
                         self.next_pid += 1;
                         self.packets.insert(
@@ -612,6 +646,20 @@ impl Interconnect for XpipesNoc {
 
     fn latency_summary(&self) -> Option<(f64, u64)> {
         Some((self.packet_latency.mean()?, self.packet_latency.max()?))
+    }
+
+    // Flit hops are the mesh's unit of link occupancy: each hop keeps
+    // one link busy for one cycle.
+    fn utilization_cycles(&self) -> u64 {
+        self.stats.flit_hops
+    }
+
+    fn contention(&self) -> Contention {
+        Contention {
+            conflicts: self.conflicts,
+            grant_wait: self.grant_wait.clone(),
+            links: self.links.clone(),
+        }
     }
 }
 
@@ -851,6 +899,30 @@ mod tests {
             }
         }
         panic!("depth-1 FIFOs must still deliver");
+    }
+
+    #[test]
+    fn mesh_contention_is_observed_per_master() {
+        // Two long write packets race for the same slave: the second
+        // head must lose arbitration somewhere along the shared path.
+        let mut r = rig(2);
+        r.cpus[0].assert_request(OcpRequest::burst_write(0x1000, vec![1, 2, 3, 4]), 0);
+        r.cpus[1].assert_request(OcpRequest::burst_write(0x1010, vec![5, 6, 7, 8]), 0);
+        for now in 0..300 {
+            step(&mut r, now);
+            r.cpus[0].take_accept(now);
+            r.cpus[1].take_accept(now);
+        }
+        assert!(r.noc.is_idle());
+        let c = r.noc.contention();
+        assert_eq!(c.links[0].grants, 1);
+        assert_eq!(c.links[1].grants, 1);
+        // 6 flits per write packet (head + cmd + 4 data), no response.
+        assert_eq!(c.links[0].busy_cycles, 6);
+        assert_eq!(c.links[1].busy_cycles, 6);
+        assert_eq!(c.grant_wait.count(), 2);
+        assert!(c.conflicts >= 1, "wormhole blocking must be visible");
+        assert_eq!(r.noc.utilization_cycles(), r.noc.stats().flit_hops);
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub use platform::{
     InterconnectChoice, MasterKind, Platform, PlatformBuilder, PlatformError,
     TraceTranslationError, ALL_INTERCONNECTS,
 };
-pub use report::{MasterReport, RunReport};
+pub use report::{MasterReport, MetricsReport, RunReport};

@@ -14,11 +14,11 @@ use ntg_noc::{
     AmbaBus, Arbitration, CrossbarBus, IdealInterconnect, Interconnect, XpipesConfig, XpipesNoc,
 };
 use ntg_ocp::{channel, MasterId};
-use ntg_sim::{Activity, ClockConfig, Component, Cycle};
+use ntg_sim::{Activity, ClockConfig, Component, Cycle, WindowSeries};
 use ntg_trace::{shared_trace, MasterTrace, SharedTrace, TraceMonitor};
 
 use crate::mem_map;
-use crate::report::{MasterReport, RunReport};
+use crate::report::{MasterReport, MetricsReport, RunReport};
 
 /// Which interconnect model the platform instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -178,6 +178,7 @@ impl Master {
                     total.burst_reads += s.burst_reads;
                     total.burst_writes += s.burst_writes;
                     total.idle_cycles += s.idle_cycles;
+                    total.wait_cycles += s.wait_cycles;
                 }
                 MasterReport::Tg(total)
             }
@@ -573,8 +574,22 @@ impl PlatformBuilder {
             skipping: ntg_sim::cycle_skipping_enabled(),
             skipped_cycles: 0,
             ticked_cycles: 0,
+            metrics: None,
         })
     }
+}
+
+/// In-flight metric state while metrics collection is enabled.
+///
+/// Allocates once at [`Platform::enable_metrics`] time and never again:
+/// per-cycle sampling only touches counters (the `WindowSeries` merges
+/// in place on overflow), preserving the zero-allocation steady-state
+/// contract with metrics on.
+struct MetricsRecorder {
+    /// Fabric-busy cycles per time window.
+    busy: WindowSeries,
+    /// Last sampled [`Interconnect::utilization_cycles`] value.
+    last_util: u64,
 }
 
 /// A fully assembled platform, ready to simulate.
@@ -589,6 +604,7 @@ pub struct Platform {
     skipping: bool,
     skipped_cycles: Cycle,
     ticked_cycles: Cycle,
+    metrics: Option<MetricsRecorder>,
 }
 
 impl Platform {
@@ -615,6 +631,58 @@ impl Platform {
     /// equivalence tests in `ntg-bench` pin this down).
     pub fn set_cycle_skipping(&mut self, on: bool) {
         self.skipping = on;
+    }
+
+    /// Enables metrics collection for this platform's subsequent runs.
+    ///
+    /// Opt-in and allocation-bounded: the recorder is allocated here,
+    /// once; per-cycle sampling only updates counters, and the run
+    /// report gains a [`MetricsReport`] (fabric utilization windows,
+    /// arbitration contention, semaphore counters). With metrics off
+    /// the loops pay a single `Option` branch per visited cycle.
+    pub fn enable_metrics(&mut self) {
+        // 1024-cycle windows, 64-slot buffer: ~65k cycles before the
+        // first in-place merge, bounded memory forever after.
+        self.metrics = Some(MetricsRecorder {
+            busy: WindowSeries::new("fabric_busy", 1024, 64),
+            last_util: self.interconnect.utilization_cycles(),
+        });
+    }
+
+    /// Samples per-cycle-window metrics; called once per visited cycle
+    /// (and once per horizon jump, attributing the stretch to its first
+    /// cycle). One branch when metrics are off; alloc-free when on.
+    #[inline]
+    fn sample_metrics(&mut self, now: Cycle) {
+        if let Some(rec) = &mut self.metrics {
+            let util = self.interconnect.utilization_cycles();
+            rec.busy.record(now, util - rec.last_util);
+            rec.last_util = util;
+        }
+    }
+
+    /// Builds the report-time metrics summary, if collection is on.
+    fn metrics_report(&self) -> Option<MetricsReport> {
+        let rec = self.metrics.as_ref()?;
+        let contention = self.interconnect.contention();
+        let sem_idx = self.masters.len() + 2;
+        let (sem_acquisitions, sem_failed_polls, sem_releases) = match &self.slaves[sem_idx] {
+            Slave::Sem(s) => (s.acquisitions(), s.failed_polls(), s.releases()),
+            Slave::Mem(_) => (0, 0, 0),
+        };
+        Some(MetricsReport {
+            fabric_utilization_cycles: self.interconnect.utilization_cycles(),
+            conflicts: contention.conflicts,
+            grant_wait_count: contention.grant_wait.count(),
+            grant_wait_sum: contention.grant_wait.sum(),
+            grant_wait_max: contention.grant_wait.max().unwrap_or(0),
+            links: contention.links,
+            sem_acquisitions,
+            sem_failed_polls,
+            sem_releases,
+            busy_window_cycles: rec.busy.window_cycles(),
+            busy_windows: rec.busy.collect(),
+        })
     }
 
     /// True when every master has halted and all traffic has drained.
@@ -694,6 +762,7 @@ impl Platform {
                         s.as_component().skip(now, next);
                     }
                     self.skipped_cycles += next - now;
+                    self.sample_metrics(now);
                     self.now = next;
                     backoff = 1;
                     poll_at = self.now;
@@ -710,6 +779,7 @@ impl Platform {
             for s in &mut self.slaves {
                 s.tick(now);
             }
+            self.sample_metrics(now);
             self.ticked_cycles += 1;
             self.now += 1;
         }
@@ -729,6 +799,7 @@ impl Platform {
             tg_reused: None,
             skipped_cycles: self.skipped_cycles,
             ticked_cycles: self.ticked_cycles,
+            metrics: self.metrics_report(),
         }
     }
 
@@ -754,6 +825,7 @@ impl Platform {
             for s in &mut self.slaves {
                 s.tick(now);
             }
+            self.sample_metrics(now);
             self.ticked_cycles += 1;
             self.now += 1;
         }
@@ -1023,6 +1095,36 @@ mod tests {
         assert!(!report.completed);
         assert_eq!(report.finish_cycles, vec![None]);
         assert_eq!(report.execution_time(), None);
+    }
+
+    #[test]
+    fn metrics_are_opt_in_and_do_not_perturb_timing() {
+        let build = || {
+            let mut b = PlatformBuilder::new();
+            for core in 0..2 {
+                b.add_cpu(store_program(core, core as u32));
+            }
+            b.build().unwrap()
+        };
+        let mut plain = build();
+        let base = plain.run(1_000_000);
+        assert!(base.metrics.is_none(), "metrics must be opt-in");
+
+        let mut observed = build();
+        observed.enable_metrics();
+        let report = observed.run(1_000_000);
+        let m = report.metrics.as_ref().expect("metrics were enabled");
+        assert_eq!(report.cycles, base.cycles, "observation must be passive");
+        assert_eq!(report.finish_cycles, base.finish_cycles);
+        assert!(m.fabric_utilization_cycles > 0);
+        assert_eq!(m.links.len(), 2);
+        assert!(m.links.iter().all(|l| l.grants > 0));
+        // The windowed series partitions exactly the same busy cycles.
+        assert_eq!(
+            m.busy_windows.iter().sum::<u64>(),
+            m.fabric_utilization_cycles
+        );
+        assert!(m.grant_wait_count > 0);
     }
 
     #[test]

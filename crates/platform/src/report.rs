@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use ntg_core::TgStats;
 use ntg_cpu::CpuStats;
-use ntg_sim::Cycle;
+use ntg_sim::{Cycle, LinkMetrics};
 
 /// Per-master statistics, depending on what kind of master it was.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,6 +20,43 @@ pub enum MasterReport {
         /// Error responses received.
         errors: u64,
     },
+}
+
+/// Opt-in observability summary collected when
+/// [`Platform::enable_metrics`](crate::Platform::enable_metrics) was
+/// called before the run.
+///
+/// Everything here is *diagnostic*, not canonical: like wall time and
+/// the skip split, it is excluded from byte-reproducible campaign
+/// output and may legitimately differ between cycle-skipping on/off
+/// (windowed samples attribute a skipped stretch to its first cycle).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Cycles the fabric spent occupied carrying traffic (the
+    /// numerator of a utilization figure; divide by `cycles`).
+    pub fabric_utilization_cycles: u64,
+    /// Lost arbitration rounds across the fabric.
+    pub conflicts: u64,
+    /// Number of grant-latency samples.
+    pub grant_wait_count: u64,
+    /// Sum of grant latencies in cycles.
+    pub grant_wait_sum: u64,
+    /// Worst observed grant latency in cycles (0 when no samples).
+    pub grant_wait_max: u64,
+    /// Per-master link counters, indexed by master.
+    pub links: Vec<LinkMetrics>,
+    /// Successful semaphore test-and-set acquisitions.
+    pub sem_acquisitions: u64,
+    /// Failed semaphore polls (the slave-contention signal of the
+    /// paper's Figure 2(b)).
+    pub sem_failed_polls: u64,
+    /// Semaphore releases.
+    pub sem_releases: u64,
+    /// Width in cycles of each fabric-busy window below.
+    pub busy_window_cycles: u64,
+    /// Fabric-busy cycles per window — the time-resolved utilization
+    /// curve (`ntg-report` renders saturation plots from this).
+    pub busy_windows: Vec<u64>,
 }
 
 /// The outcome of [`Platform::run`](crate::Platform::run).
@@ -57,6 +94,10 @@ pub struct RunReport {
     pub skipped_cycles: Cycle,
     /// Cycles simulated tick by tick.
     pub ticked_cycles: Cycle,
+    /// Observability summary, present only when
+    /// [`Platform::enable_metrics`](crate::Platform::enable_metrics)
+    /// was called before the run.
+    pub metrics: Option<MetricsReport>,
 }
 
 impl RunReport {
@@ -105,6 +146,7 @@ mod tests {
             tg_reused: None,
             skipped_cycles: 0,
             ticked_cycles: 120,
+            metrics: None,
         };
         assert_eq!(r.execution_time(), Some(110));
     }
@@ -123,6 +165,7 @@ mod tests {
             tg_reused: None,
             skipped_cycles: 0,
             ticked_cycles: 120,
+            metrics: None,
         };
         assert_eq!(r.execution_time(), None);
     }
@@ -141,6 +184,7 @@ mod tests {
             tg_reused: None,
             skipped_cycles: 0,
             ticked_cycles: 1_000,
+            metrics: None,
         };
         assert!((r.cycles_per_second() - 10_000.0).abs() < 1.0);
     }

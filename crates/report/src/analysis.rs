@@ -1,0 +1,401 @@
+//! Campaign analyses: Table-2 views, rankings, Pareto frontiers, and
+//! saturation curves.
+//!
+//! Every function here is deterministic: inputs are walked in job-id
+//! order, ties break lexicographically on the job key, and floating
+//! point is only ever compared/divided, never accumulated in a
+//! data-dependent order.
+
+use ntg_explore::JobResult;
+
+use crate::load::Campaign;
+
+/// One row of the Table-2 view: a non-reference run (TG or stochastic)
+/// against the CPU reference for the same (workload, cores,
+/// interconnect) design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// Workload spec string.
+    pub workload: String,
+    /// Core count.
+    pub cores: usize,
+    /// Interconnect under evaluation.
+    pub interconnect: String,
+    /// Master kind of the evaluated run (`tg` / `stochastic`).
+    pub master: String,
+    /// Translation mode (`-` for masters without one).
+    pub mode: String,
+    /// Reference (CPU) completion time in cycles.
+    pub ref_cycles: Option<u64>,
+    /// Evaluated run's completion time in cycles.
+    pub cycles: Option<u64>,
+    /// Completion-time error vs the reference, percent.
+    pub error_pct: Option<f64>,
+    /// Simulation-time gain: reference wall time / evaluated wall time.
+    pub gain: Option<f64>,
+    /// Golden-model verification outcome of the evaluated run.
+    pub verified: Option<bool>,
+}
+
+/// Builds the Table-2 view: one row per non-CPU job, joined with its
+/// CPU reference. Rows come out in job-id order.
+pub fn table2(c: &Campaign) -> Vec<Table2Row> {
+    let reference = |j: &JobResult| -> Option<&JobResult> {
+        c.jobs.iter().find(|r| {
+            r.master == "cpu"
+                && r.workload == j.workload
+                && r.cores == j.cores
+                && r.interconnect == j.interconnect
+        })
+    };
+    c.jobs
+        .iter()
+        .filter(|j| j.master != "cpu")
+        .map(|j| {
+            let cpu = reference(j);
+            let ref_cycles = cpu.and_then(|r| r.cycles);
+            let error_pct = j.error_pct.or_else(|| match (ref_cycles, j.cycles) {
+                (Some(r), Some(t)) if r > 0 => Some((t as f64 - r as f64) / r as f64 * 100.0),
+                _ => None,
+            });
+            let gain = match (cpu.map(|r| r.wall_secs), j.wall_secs) {
+                (Some(r), t) if r > 0.0 && t > 0.0 => Some(r / t),
+                _ => None,
+            };
+            Table2Row {
+                workload: j.workload.clone(),
+                cores: j.cores,
+                interconnect: j.interconnect.clone(),
+                master: j.master.clone(),
+                mode: j.mode.clone().unwrap_or_else(|| "-".into()),
+                ref_cycles,
+                cycles: j.cycles,
+                error_pct,
+                gain,
+                verified: j.verified,
+            }
+        })
+        .collect()
+}
+
+/// The axis a [`Ranking`] orders configurations along. All axes rank
+/// ascending: fewer cycles, less wall time, smaller |error| are better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankAxis {
+    /// Completion time in simulated cycles.
+    Cycles,
+    /// Host wall-clock seconds (needs the timings sidecar).
+    WallSecs,
+    /// Absolute completion-time error percent (non-CPU jobs only).
+    ErrorPct,
+}
+
+impl RankAxis {
+    /// Stable axis name used in report output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RankAxis::Cycles => "cycles",
+            RankAxis::WallSecs => "wall_secs",
+            RankAxis::ErrorPct => "abs_error_pct",
+        }
+    }
+
+    fn value(self, j: &JobResult) -> Option<f64> {
+        match self {
+            RankAxis::Cycles => j.cycles.map(|c| c as f64),
+            RankAxis::WallSecs => (j.wall_secs > 0.0).then_some(j.wall_secs),
+            RankAxis::ErrorPct => j.error_pct.map(f64::abs),
+        }
+    }
+}
+
+/// One configuration's place in a [`Ranking`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankEntry {
+    /// 1-based competition rank (ties share a rank; the next distinct
+    /// value skips past them: 1, 1, 3).
+    pub rank: usize,
+    /// Job key of the configuration.
+    pub key: String,
+    /// The axis value.
+    pub value: f64,
+}
+
+/// Configurations ordered along one axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranking {
+    /// Which axis (see [`RankAxis::name`]).
+    pub axis: &'static str,
+    /// Best first. Jobs without a value on this axis are omitted.
+    pub entries: Vec<RankEntry>,
+}
+
+/// Ranks every job that has a value on `axis`, best (smallest) first,
+/// with competition ranking for exact ties. Ties order
+/// lexicographically by key so output is deterministic.
+pub fn rank(c: &Campaign, axis: RankAxis) -> Ranking {
+    let mut scored: Vec<(f64, &str)> = c
+        .jobs
+        .iter()
+        .filter_map(|j| axis.value(j).map(|v| (v, j.key.as_str())))
+        .collect();
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+    let mut entries: Vec<RankEntry> = Vec::with_capacity(scored.len());
+    for (i, (value, key)) in scored.iter().enumerate() {
+        let rank = if i > 0 && *value == scored[i - 1].0 {
+            entries[i - 1].rank
+        } else {
+            i + 1
+        };
+        entries.push(RankEntry {
+            rank,
+            key: (*key).to_string(),
+            value: *value,
+        });
+    }
+    Ranking {
+        axis: axis.name(),
+        entries,
+    }
+}
+
+/// A point in the cycles × wall-time × |error| objective space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Job key of the configuration.
+    pub key: String,
+    /// Objective values, all minimized.
+    pub objectives: Vec<f64>,
+    /// Whether the point is on the Pareto frontier.
+    pub on_frontier: bool,
+}
+
+/// Marks the non-dominated points among `points` (each a key plus a
+/// vector of minimized objectives; all vectors must be the same
+/// length). A point is dominated if some other point is no worse on
+/// every objective and strictly better on at least one; exact
+/// duplicates do not dominate each other, so ties stay on the
+/// frontier. Output preserves input order.
+pub fn pareto_frontier(points: &[(String, Vec<f64>)]) -> Vec<ParetoPoint> {
+    let dominates = |a: &[f64], b: &[f64]| {
+        a.iter().zip(b).all(|(x, y)| x <= y) && a.iter().zip(b).any(|(x, y)| x < y)
+    };
+    points
+        .iter()
+        .map(|(key, obj)| ParetoPoint {
+            key: key.clone(),
+            objectives: obj.clone(),
+            on_frontier: !points.iter().any(|(_, other)| dominates(other, obj)),
+        })
+        .collect()
+}
+
+/// Builds the campaign's Pareto view over (completion cycles, wall
+/// seconds, |error %|) for every job that has all three values.
+pub fn pareto(c: &Campaign) -> Vec<ParetoPoint> {
+    let points: Vec<(String, Vec<f64>)> = c
+        .jobs
+        .iter()
+        .filter_map(|j| match (j.cycles, j.wall_secs, j.error_pct) {
+            (Some(cy), w, Some(e)) if w > 0.0 => Some((j.key.clone(), vec![cy as f64, w, e.abs()])),
+            _ => None,
+        })
+        .collect();
+    pareto_frontier(&points)
+}
+
+/// One point on a saturation curve: how the TG's simulation gain and
+/// the fabric's measured load evolve with core count (the paper's §6
+/// explanation of why gain peaks and then falls off).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturationRow {
+    /// Workload spec string.
+    pub workload: String,
+    /// Interconnect under evaluation.
+    pub interconnect: String,
+    /// Core count.
+    pub cores: usize,
+    /// Simulation-time gain of the TG run vs the CPU reference.
+    pub gain: Option<f64>,
+    /// Measured fabric occupancy as a percentage of simulated cycles
+    /// (aggregate link-cycles; can exceed 100 on multi-link fabrics).
+    pub utilization_pct: Option<f64>,
+    /// Lost arbitration rounds per thousand simulated cycles.
+    pub conflicts_per_kcycle: Option<f64>,
+}
+
+/// Builds saturation curves from the Table-2 TG rows and the metrics
+/// sidecar: rows in job-id order, one per TG job with a CPU reference.
+pub fn saturation(c: &Campaign) -> Vec<SaturationRow> {
+    c.jobs
+        .iter()
+        .filter(|j| j.master == "tg")
+        .map(|j| {
+            let cpu = c.jobs.iter().find(|r| {
+                r.master == "cpu"
+                    && r.workload == j.workload
+                    && r.cores == j.cores
+                    && r.interconnect == j.interconnect
+            });
+            let gain = match (cpu.map(|r| r.wall_secs), j.wall_secs) {
+                (Some(r), t) if r > 0.0 && t > 0.0 => Some(r / t),
+                _ => None,
+            };
+            let (utilization_pct, conflicts_per_kcycle) = match (&j.metrics, j.sim_cycles) {
+                (Some(m), cycles) if cycles > 0 => (
+                    Some(m.fabric_utilization_cycles as f64 / cycles as f64 * 100.0),
+                    Some(m.conflicts as f64 / cycles as f64 * 1000.0),
+                ),
+                _ => (None, None),
+            };
+            SaturationRow {
+                workload: j.workload.clone(),
+                interconnect: j.interconnect.clone(),
+                cores: j.cores,
+                gain,
+                utilization_pct,
+                conflicts_per_kcycle,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_explore::CampaignHeader;
+
+    fn job(id: usize, key: &str, cycles: Option<u64>, wall: f64, err: Option<f64>) -> JobResult {
+        JobResult {
+            id,
+            key: key.into(),
+            workload: "w".into(),
+            cores: 2,
+            interconnect: "amba".into(),
+            master: "tg".into(),
+            mode: Some("reactive".into()),
+            seed: 0,
+            completed: cycles.is_some(),
+            cycles,
+            sim_cycles: cycles.unwrap_or(0),
+            transactions: 0,
+            latency_mean: None,
+            latency_max: None,
+            verified: None,
+            error_pct: err,
+            trace_cache_hit: None,
+            image_cache_hit: None,
+            error: None,
+            wall_secs: wall,
+            skipped_cycles: 0,
+            ticked_cycles: 0,
+            metrics: None,
+        }
+    }
+
+    fn campaign(jobs: Vec<JobResult>) -> Campaign {
+        Campaign {
+            header: CampaignHeader {
+                name: "t".into(),
+                fingerprint: 0,
+                jobs: jobs.len(),
+            },
+            jobs,
+            has_timings: true,
+            has_metrics: false,
+        }
+    }
+
+    #[test]
+    fn pareto_of_empty_input_is_empty() {
+        assert!(pareto_frontier(&[]).is_empty());
+    }
+
+    #[test]
+    fn pareto_single_point_is_on_the_frontier() {
+        let got = pareto_frontier(&[("a".into(), vec![1.0, 2.0])]);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].on_frontier);
+    }
+
+    #[test]
+    fn pareto_exact_ties_both_stay_on_the_frontier() {
+        let got = pareto_frontier(&[
+            ("a".into(), vec![1.0, 2.0]),
+            ("b".into(), vec![1.0, 2.0]),
+            ("c".into(), vec![2.0, 3.0]),
+        ]);
+        assert!(got[0].on_frontier && got[1].on_frontier);
+        assert!(!got[2].on_frontier, "c is dominated by both ties");
+    }
+
+    #[test]
+    fn pareto_trade_offs_keep_both_extremes() {
+        let got = pareto_frontier(&[
+            ("fast-wrong".into(), vec![1.0, 9.0]),
+            ("slow-right".into(), vec![9.0, 1.0]),
+            ("mediocre".into(), vec![5.0, 5.0]),
+            ("dominated".into(), vec![9.0, 9.0]),
+        ]);
+        let on: Vec<&str> = got
+            .iter()
+            .filter(|p| p.on_frontier)
+            .map(|p| p.key.as_str())
+            .collect();
+        assert_eq!(on, ["fast-wrong", "slow-right", "mediocre"]);
+    }
+
+    #[test]
+    fn ranking_is_competition_style_on_ties() {
+        let c = campaign(vec![
+            job(0, "b", Some(100), 0.0, None),
+            job(1, "a", Some(100), 0.0, None),
+            job(2, "c", Some(200), 0.0, None),
+            job(3, "d", None, 0.0, None), // no value: omitted
+        ]);
+        let r = rank(&c, RankAxis::Cycles);
+        let got: Vec<(usize, &str)> = r.entries.iter().map(|e| (e.rank, e.key.as_str())).collect();
+        // Ties share rank 1 (ordered by key) and `c` takes rank 3.
+        assert_eq!(got, [(1, "a"), (1, "b"), (3, "c")]);
+    }
+
+    #[test]
+    fn ranking_of_empty_campaign_is_empty() {
+        let c = campaign(vec![]);
+        assert!(rank(&c, RankAxis::WallSecs).entries.is_empty());
+    }
+
+    #[test]
+    fn error_axis_ranks_by_absolute_value() {
+        let c = campaign(vec![
+            job(0, "under", Some(1), 0.0, Some(-4.0)),
+            job(1, "over", Some(1), 0.0, Some(2.0)),
+        ]);
+        let r = rank(&c, RankAxis::ErrorPct);
+        assert_eq!(r.entries[0].key, "over");
+        assert_eq!(r.entries[0].value, 2.0);
+        assert_eq!(r.entries[1].value, 4.0);
+    }
+
+    #[test]
+    fn table2_joins_the_cpu_reference_and_computes_gain() {
+        let mut cpu = job(0, "w|2P|amba|cpu|-", Some(1000), 2.0, None);
+        cpu.master = "cpu".into();
+        cpu.mode = None;
+        let tg = job(1, "w|2P|amba|tg|reactive", Some(1040), 0.5, Some(4.0));
+        let rows = table2(&campaign(vec![cpu, tg]));
+        assert_eq!(rows.len(), 1, "cpu reference is not its own row");
+        assert_eq!(rows[0].ref_cycles, Some(1000));
+        assert_eq!(rows[0].error_pct, Some(4.0));
+        assert_eq!(rows[0].gain, Some(4.0));
+    }
+
+    #[test]
+    fn table2_without_reference_or_timings_degrades_to_none() {
+        let tg = job(1, "w|2P|amba|tg|reactive", Some(1040), 0.0, None);
+        let rows = table2(&campaign(vec![tg]));
+        assert_eq!(rows[0].ref_cycles, None);
+        assert_eq!(rows[0].error_pct, None);
+        assert_eq!(rows[0].gain, None);
+    }
+}

@@ -1,0 +1,97 @@
+//! `ntg-report` — render campaign analyses from `ntg-sweep` output.
+//!
+//! ```text
+//! ntg-report table2.jsonl                    # markdown report to stdout
+//! ntg-report table2.jsonl --md report.md     # ... to a file
+//! ntg-report table2.jsonl --csv out/         # table2/rankings/pareto/saturation CSVs
+//! ```
+//!
+//! The canonical campaign file is required; the `.timings.jsonl` and
+//! `.metrics.jsonl` sidecars next to it are joined automatically when
+//! present (gain columns need timings, utilization needs metrics).
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ntg_report::{load_campaign, pareto, rank, render, saturation, table2, RankAxis};
+
+const USAGE: &str = "\
+ntg-report — Table-2 views, rankings, Pareto frontiers, saturation curves
+
+USAGE:
+    ntg-report CAMPAIGN.jsonl [OPTIONS]
+
+OPTIONS:
+    --md PATH       write the markdown report to PATH instead of stdout
+    --csv DIR       also write table2.csv, rankings.csv, pareto.csv and
+                    saturation.csv into DIR (created if missing)
+    -h, --help      this text
+
+Sidecars (`CAMPAIGN.jsonl.timings.jsonl`, `CAMPAIGN.jsonl.metrics.jsonl`)
+are joined automatically when present.
+";
+
+fn main() -> ExitCode {
+    match run(std::env::args().skip(1).collect()) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("ntg-report: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut campaign: Option<PathBuf> = None;
+    let mut md_out: Option<PathBuf> = None;
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--md" => md_out = Some(PathBuf::from(it.next().ok_or("--md needs a value")?)),
+            "--csv" => csv_dir = Some(PathBuf::from(it.next().ok_or("--csv needs a value")?)),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}` (see --help)"));
+            }
+            path if campaign.is_none() => campaign = Some(PathBuf::from(path)),
+            extra => return Err(format!("unexpected argument `{extra}` (see --help)")),
+        }
+    }
+    let path = campaign.ok_or("give a campaign result file (see --help)")?;
+    let c = load_campaign(&path)?;
+
+    let md = render::markdown(&c);
+    match &md_out {
+        Some(p) => {
+            fs::write(p, &md).map_err(|e| format!("write {}: {e}", p.display()))?;
+            eprintln!("ntg-report: wrote {}", p.display());
+        }
+        None => print!("{md}"),
+    }
+
+    if let Some(dir) = &csv_dir {
+        fs::create_dir_all(dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
+        let rankings = [
+            rank(&c, RankAxis::Cycles),
+            rank(&c, RankAxis::WallSecs),
+            rank(&c, RankAxis::ErrorPct),
+        ];
+        let files = [
+            ("table2.csv", render::csv_table2(&table2(&c))),
+            ("rankings.csv", render::csv_rankings(&rankings)),
+            ("pareto.csv", render::csv_pareto(&pareto(&c))),
+            ("saturation.csv", render::csv_saturation(&saturation(&c))),
+        ];
+        for (name, text) in files {
+            let p = dir.join(name);
+            fs::write(&p, text).map_err(|e| format!("write {}: {e}", p.display()))?;
+            eprintln!("ntg-report: wrote {}", p.display());
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}

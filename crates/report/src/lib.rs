@@ -1,0 +1,41 @@
+//! Campaign analysis and reporting (`ntg-report`).
+//!
+//! The paper's evidence is observational: Table 2's cycle-error and
+//! simulation-gain columns, Figure 2's transaction timelines, and the
+//! §6 saturation argument (TG gain peaks, then declines as the bus
+//! saturates). `ntg-sweep` produces the raw material — a canonical
+//! campaign JSONL plus the `.timings.jsonl` and `.metrics.jsonl`
+//! sidecars — and this crate turns it into those views:
+//!
+//! * [`load_campaign`] joins the three files by job id into a
+//!   [`Campaign`];
+//! * [`table2`] reproduces the paper's Table 2 per design point:
+//!   reference (CPU) cycles vs TG cycles, completion-time error %, and
+//!   simulation-time gain;
+//! * [`rank`] orders configurations along one axis (completion cycles,
+//!   host wall time, |error %|) with competition ranking for ties;
+//! * [`pareto_frontier`] finds the non-dominated configurations in
+//!   (cycles, wall time, |error %|) space;
+//! * [`saturation`] tabulates gain vs core count annotated with the
+//!   measured fabric utilization and arbitration-conflict density from
+//!   the metrics sidecar — the §6 narrative as numbers;
+//! * [`render`] emits all of the above as deterministic markdown and
+//!   CSV (byte-identical for identical inputs, so reports can be
+//!   golden-tested and diffed in CI).
+//!
+//! Everything here is a pure function of the input files: no clocks,
+//! no environment, no floating-point accumulation order dependent on
+//! hashing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod load;
+pub mod render;
+
+pub use analysis::{
+    pareto, pareto_frontier, rank, saturation, table2, ParetoPoint, RankAxis, RankEntry, Ranking,
+    SaturationRow, Table2Row,
+};
+pub use load::{load_campaign, load_campaign_parts, Campaign};

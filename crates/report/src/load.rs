@@ -1,0 +1,176 @@
+//! Loading a campaign and joining its sidecars.
+//!
+//! The canonical file is required; the `.timings.jsonl` and
+//! `.metrics.jsonl` sidecars are joined in when present (a campaign
+//! copied without its sidecars still reports, just without gain/wall
+//! columns or utilization annotations).
+
+use std::fs;
+use std::path::Path;
+
+use ntg_explore::{
+    metrics_path, parse_results, timings_path, CampaignHeader, JobMetrics, JobResult, Json,
+};
+
+/// A fully-joined campaign: canonical results with wall times and
+/// observability metrics patched in by job id.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// The canonical file's header.
+    pub header: CampaignHeader,
+    /// Results in file (= job id) order. `wall_secs`/`skipped_cycles`/
+    /// `ticked_cycles` are filled from the timings sidecar and
+    /// `metrics` from the metrics sidecar, when those were found.
+    pub jobs: Vec<JobResult>,
+    /// Whether a timings sidecar was joined (gain columns need it).
+    pub has_timings: bool,
+    /// Whether a metrics sidecar was joined (utilization needs it).
+    pub has_metrics: bool,
+}
+
+/// Loads `path` (a canonical campaign JSONL) and joins its sidecars
+/// from the conventional adjacent paths.
+///
+/// # Errors
+///
+/// Returns a message if the canonical file is unreadable or malformed,
+/// or if a sidecar that *is* present fails to parse (a present but
+/// corrupt sidecar is an error, not a silent downgrade).
+pub fn load_campaign(path: &Path) -> Result<Campaign, String> {
+    let canonical =
+        fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let read_opt = |p: &Path| -> Result<Option<String>, String> {
+        if p.exists() {
+            fs::read_to_string(p)
+                .map(Some)
+                .map_err(|e| format!("read {}: {e}", p.display()))
+        } else {
+            Ok(None)
+        }
+    };
+    let timings = read_opt(&timings_path(path))?;
+    let metrics = read_opt(&metrics_path(path))?;
+    load_campaign_parts(&canonical, timings.as_deref(), metrics.as_deref())
+}
+
+/// Joins already-read file contents (see [`load_campaign`]).
+///
+/// # Errors
+///
+/// Returns a message describing the first malformation.
+pub fn load_campaign_parts(
+    canonical: &str,
+    timings: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<Campaign, String> {
+    let loaded = parse_results(canonical, false)?;
+    let mut jobs = loaded.results;
+    jobs.sort_by_key(|j| j.id);
+
+    let index_of = |jobs: &[JobResult], id: usize| jobs.binary_search_by_key(&id, |j| j.id).ok();
+
+    if let Some(text) = timings {
+        for (n, line) in text.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Json::parse(line).map_err(|e| format!("timings line {}: {e}", n + 1))?;
+            let id = v
+                .get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("timings line {}: missing `id`", n + 1))?
+                as usize;
+            if let Some(i) = index_of(&jobs, id) {
+                jobs[i].wall_secs = v.get("wall_secs").and_then(Json::as_f64).unwrap_or(0.0);
+                jobs[i].skipped_cycles =
+                    v.get("skipped_cycles").and_then(Json::as_u64).unwrap_or(0);
+                jobs[i].ticked_cycles = v.get("ticked_cycles").and_then(Json::as_u64).unwrap_or(0);
+            }
+        }
+    }
+
+    if let Some(text) = metrics {
+        for (n, line) in text.lines().enumerate().skip(1) {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (id, _key, m) =
+                JobMetrics::parse_line(line).map_err(|e| format!("metrics line {}: {e}", n + 1))?;
+            if let Some(i) = index_of(&jobs, id) {
+                jobs[i].metrics = Some(m);
+            }
+        }
+    }
+
+    Ok(Campaign {
+        header: loaded.header,
+        jobs,
+        has_timings: timings.is_some(),
+        has_metrics: metrics.is_some(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CANONICAL: &str = concat!(
+        "{\"campaign\":\"t\",\"fingerprint\":\"00000000000000ab\",\"jobs\":2}\n",
+        "{\"id\":0,\"key\":\"w|2P|amba|cpu|-\",\"workload\":\"w\",\"cores\":2,\
+         \"interconnect\":\"amba\",\"master\":\"cpu\",\"mode\":null,\
+         \"seed\":\"0000000000000001\",\"completed\":true,\"cycles\":100,\
+         \"sim_cycles\":110,\"transactions\":5,\"latency_mean\":null,\
+         \"latency_max\":null,\"verified\":true,\"error_pct\":null,\
+         \"trace_cache_hit\":null,\"image_cache_hit\":null,\"error\":null}\n",
+        "{\"id\":1,\"key\":\"w|2P|amba|tg|reactive\",\"workload\":\"w\",\"cores\":2,\
+         \"interconnect\":\"amba\",\"master\":\"tg\",\"mode\":\"reactive\",\
+         \"seed\":\"0000000000000002\",\"completed\":true,\"cycles\":102,\
+         \"sim_cycles\":110,\"transactions\":5,\"latency_mean\":null,\
+         \"latency_max\":null,\"verified\":true,\"error_pct\":2.0,\
+         \"trace_cache_hit\":false,\"image_cache_hit\":false,\"error\":null}\n",
+    );
+
+    #[test]
+    fn canonical_alone_loads_without_sidecars() {
+        let c = load_campaign_parts(CANONICAL, None, None).unwrap();
+        assert_eq!(c.jobs.len(), 2);
+        assert!(!c.has_timings);
+        assert!(!c.has_metrics);
+        assert_eq!(c.jobs[1].wall_secs, 0.0);
+        assert!(c.jobs[1].metrics.is_none());
+    }
+
+    #[test]
+    fn sidecars_join_by_job_id() {
+        let timings = "{\"campaign\":\"t\",\"threads\":1,\"wall_secs\":3.0}\n\
+             {\"id\":1,\"key\":\"w|2P|amba|tg|reactive\",\"wall_secs\":0.5,\
+             \"skipped_cycles\":40,\"ticked_cycles\":70}\n";
+        let metrics = "{\"campaign\":\"t\",\"fingerprint\":\"00000000000000ab\"}\n".to_string()
+            + &ntg_explore::JobMetrics {
+                fabric_utilization_cycles: 55,
+                busy_window_cycles: 16,
+                ..Default::default()
+            }
+            .render_line(1, "w|2P|amba|tg|reactive")
+            + "\n";
+        let c = load_campaign_parts(CANONICAL, Some(timings), Some(&metrics)).unwrap();
+        assert!(c.has_timings && c.has_metrics);
+        assert_eq!(c.jobs[1].wall_secs, 0.5);
+        assert_eq!(c.jobs[1].skipped_cycles, 40);
+        assert_eq!(
+            c.jobs[1]
+                .metrics
+                .as_ref()
+                .unwrap()
+                .fabric_utilization_cycles,
+            55
+        );
+        assert!(c.jobs[0].metrics.is_none(), "no line for job 0");
+    }
+
+    #[test]
+    fn corrupt_present_sidecar_is_an_error() {
+        let err = load_campaign_parts(CANONICAL, Some("header\nnot json\n"), None).unwrap_err();
+        assert!(err.contains("timings line"), "{err}");
+    }
+}

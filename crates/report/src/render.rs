@@ -1,0 +1,235 @@
+//! Deterministic markdown and CSV rendering of campaign analyses.
+//!
+//! Output is a pure function of the loaded [`Campaign`]: fixed column
+//! orders, fixed float precision, `-` for absent values. Identical
+//! inputs render byte-identical documents, which is what lets CI diff
+//! reports against checked-in goldens.
+
+use std::fmt::Write as _;
+
+use crate::analysis::{
+    pareto, rank, saturation, table2, ParetoPoint, RankAxis, Ranking, SaturationRow, Table2Row,
+};
+use crate::load::Campaign;
+
+/// Job keys contain `|`, which would end a markdown table cell.
+fn md_cell(s: &str) -> String {
+    s.replace('|', "\\|")
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "-".into())
+}
+
+fn opt_f64(v: Option<f64>, decimals: usize) -> String {
+    v.map(|x| format!("{x:.decimals$}"))
+        .unwrap_or_else(|| "-".into())
+}
+
+fn opt_bool(v: Option<bool>) -> String {
+    match v {
+        Some(true) => "ok".into(),
+        Some(false) => "MISMATCH".into(),
+        None => "-".into(),
+    }
+}
+
+/// Renders the full campaign report as one markdown document: summary,
+/// Table-2 view, per-axis rankings, Pareto frontier, and saturation
+/// curves.
+pub fn markdown(c: &Campaign) -> String {
+    let mut out = String::new();
+    let failed = c.jobs.iter().filter(|j| j.error.is_some()).count();
+    let _ = writeln!(out, "# Campaign `{}`", c.header.name);
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "{} jobs (fingerprint `{:016x}`), {} failed. Sidecars: timings {}, metrics {}.",
+        c.jobs.len(),
+        c.header.fingerprint,
+        failed,
+        if c.has_timings { "joined" } else { "absent" },
+        if c.has_metrics { "joined" } else { "absent" },
+    );
+
+    let _ = writeln!(out, "\n## Table 2 — completion time, error, and gain\n");
+    let _ = writeln!(
+        out,
+        "| workload | cores | fabric | master | mode | ref cycles | cycles | err % | gain | verified |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|");
+    for r in table2(c) {
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
+            r.workload,
+            r.cores,
+            r.interconnect,
+            r.master,
+            r.mode,
+            opt_u64(r.ref_cycles),
+            opt_u64(r.cycles),
+            opt_f64(r.error_pct, 2),
+            opt_f64(r.gain, 2),
+            opt_bool(r.verified),
+        );
+    }
+
+    let _ = writeln!(out, "\n## Rankings\n");
+    for axis in [RankAxis::Cycles, RankAxis::WallSecs, RankAxis::ErrorPct] {
+        let r = rank(c, axis);
+        let _ = writeln!(out, "### by {}\n", r.axis);
+        if r.entries.is_empty() {
+            let _ = writeln!(out, "(no job carries this value)");
+        } else {
+            let _ = writeln!(out, "| rank | configuration | {} |", r.axis);
+            let _ = writeln!(out, "|---|---|---|");
+            for e in &r.entries {
+                let _ = writeln!(out, "| {} | {} | {:.4} |", e.rank, md_cell(&e.key), e.value);
+            }
+        }
+        let _ = writeln!(out);
+    }
+
+    let _ = writeln!(out, "## Pareto frontier — cycles × wall s × |err %|\n");
+    let points = pareto(c);
+    if points.is_empty() {
+        let _ = writeln!(out, "(needs jobs with cycles, wall time, and error %)");
+    } else {
+        let _ = writeln!(
+            out,
+            "| configuration | cycles | wall s | abs err % | frontier |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|");
+        for p in &points {
+            let _ = writeln!(
+                out,
+                "| {} | {:.0} | {:.4} | {:.2} | {} |",
+                md_cell(&p.key),
+                p.objectives[0],
+                p.objectives[1],
+                p.objectives[2],
+                if p.on_frontier { "*" } else { "" },
+            );
+        }
+    }
+
+    let _ = writeln!(out, "\n## Saturation — gain vs cores under measured load\n");
+    let rows = saturation(c);
+    if rows.is_empty() {
+        let _ = writeln!(out, "(no TG jobs in this campaign)");
+    } else {
+        let _ = writeln!(
+            out,
+            "| workload | fabric | cores | gain | fabric util % | conflicts/kcycle |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        for r in &rows {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} |",
+                r.workload,
+                r.interconnect,
+                r.cores,
+                opt_f64(r.gain, 2),
+                opt_f64(r.utilization_pct, 2),
+                opt_f64(r.conflicts_per_kcycle, 3),
+            );
+        }
+    }
+    out
+}
+
+/// Renders the Table-2 view as CSV (header row first).
+pub fn csv_table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "workload,cores,fabric,master,mode,ref_cycles,cycles,error_pct,gain,verified\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{}",
+            r.workload,
+            r.cores,
+            r.interconnect,
+            r.master,
+            r.mode,
+            opt_u64(r.ref_cycles),
+            opt_u64(r.cycles),
+            opt_f64(r.error_pct, 4),
+            opt_f64(r.gain, 4),
+            opt_bool(r.verified),
+        );
+    }
+    out
+}
+
+/// Renders rankings as one long-format CSV (`axis,rank,key,value`).
+pub fn csv_rankings(rankings: &[Ranking]) -> String {
+    let mut out = String::from("axis,rank,configuration,value\n");
+    for r in rankings {
+        for e in &r.entries {
+            let _ = writeln!(out, "{},{},{},{:.4}", r.axis, e.rank, e.key, e.value);
+        }
+    }
+    out
+}
+
+/// Renders the Pareto view as CSV.
+pub fn csv_pareto(points: &[ParetoPoint]) -> String {
+    let mut out = String::from("configuration,cycles,wall_secs,abs_error_pct,on_frontier\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{:.0},{:.6},{:.4},{}",
+            p.key, p.objectives[0], p.objectives[1], p.objectives[2], p.on_frontier
+        );
+    }
+    out
+}
+
+/// Renders saturation curves as CSV.
+pub fn csv_saturation(rows: &[SaturationRow]) -> String {
+    let mut out =
+        String::from("workload,fabric,cores,gain,fabric_utilization_pct,conflicts_per_kcycle\n");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{}",
+            r.workload,
+            r.interconnect,
+            r.cores,
+            opt_f64(r.gain, 4),
+            opt_f64(r.utilization_pct, 4),
+            opt_f64(r.conflicts_per_kcycle, 4),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_explore::CampaignHeader;
+
+    #[test]
+    fn empty_campaign_still_renders_every_section() {
+        let c = Campaign {
+            header: CampaignHeader {
+                name: "empty".into(),
+                fingerprint: 0xabc,
+                jobs: 0,
+            },
+            jobs: vec![],
+            has_timings: false,
+            has_metrics: false,
+        };
+        let md = markdown(&c);
+        assert!(md.contains("# Campaign `empty`"));
+        assert!(md.contains("## Table 2"));
+        assert!(md.contains("## Rankings"));
+        assert!(md.contains("## Pareto frontier"));
+        assert!(md.contains("## Saturation"));
+        assert!(md.contains("(no TG jobs in this campaign)"));
+    }
+}

@@ -1,0 +1,86 @@
+//! Golden-file determinism: `ntg-report` output on the checked-in
+//! mini-campaign (canonical JSONL + timings + metrics sidecars) must
+//! be byte-identical to the checked-in goldens. Regenerate with:
+//!
+//! ```text
+//! cargo run -p ntg-report --bin ntg-report -- \
+//!     crates/report/tests/data/mini.jsonl \
+//!     --md crates/report/tests/golden/mini.md \
+//!     --csv crates/report/tests/golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use ntg_report::{load_campaign, pareto, rank, render, saturation, table2, Campaign, RankAxis};
+
+fn testdata(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join(rel)
+}
+
+fn golden(name: &str) -> String {
+    fs::read_to_string(testdata(&format!("golden/{name}"))).unwrap()
+}
+
+fn mini() -> Campaign {
+    load_campaign(&testdata("data/mini.jsonl")).unwrap()
+}
+
+#[test]
+fn mini_campaign_joins_both_sidecars() {
+    let c = mini();
+    assert_eq!(c.jobs.len(), 12);
+    assert!(c.has_timings && c.has_metrics);
+    assert!(c.jobs.iter().all(|j| j.wall_secs > 0.0));
+    assert!(c.jobs.iter().all(|j| j.metrics.is_some()));
+}
+
+#[test]
+fn markdown_matches_the_golden_byte_for_byte() {
+    let c = mini();
+    let md = render::markdown(&c);
+    assert_eq!(md, golden("mini.md"));
+    // And a second render of the same campaign is identical.
+    assert_eq!(md, render::markdown(&c));
+}
+
+#[test]
+fn csvs_match_the_goldens_byte_for_byte() {
+    let c = mini();
+    assert_eq!(render::csv_table2(&table2(&c)), golden("table2.csv"));
+    let rankings = [
+        rank(&c, RankAxis::Cycles),
+        rank(&c, RankAxis::WallSecs),
+        rank(&c, RankAxis::ErrorPct),
+    ];
+    assert_eq!(render::csv_rankings(&rankings), golden("rankings.csv"));
+    assert_eq!(render::csv_pareto(&pareto(&c)), golden("pareto.csv"));
+    assert_eq!(
+        render::csv_saturation(&saturation(&c)),
+        golden("saturation.csv")
+    );
+}
+
+#[test]
+fn table2_view_reproduces_the_campaign_error_columns() {
+    // The error % in the report must be exactly the canonical
+    // `error_pct` the campaign engine derived — the report never
+    // recomputes what the canonical file already pins.
+    let c = mini();
+    for row in table2(&c) {
+        let job = c
+            .jobs
+            .iter()
+            .find(|j| {
+                j.workload == row.workload
+                    && j.cores == row.cores
+                    && j.interconnect == row.interconnect
+                    && j.master == row.master
+            })
+            .unwrap();
+        assert_eq!(row.error_pct, job.error_pct);
+        assert_eq!(row.cycles, job.cycles);
+    }
+}

@@ -1,5 +1,6 @@
 //! The generic cycle-driven simulation engine.
 
+use crate::observe::Observer;
 use crate::{Activity, Component, Cycle};
 
 /// Why a [`Simulator`] run loop returned.
@@ -47,6 +48,7 @@ pub struct Simulator {
     skipping: bool,
     skipped_cycles: Cycle,
     ticked_cycles: Cycle,
+    observer: Option<Box<dyn Observer>>,
 }
 
 impl Default for Simulator {
@@ -57,6 +59,7 @@ impl Default for Simulator {
             skipping: crate::cycle_skipping_enabled(),
             skipped_cycles: 0,
             ticked_cycles: 0,
+            observer: None,
         }
     }
 }
@@ -81,6 +84,22 @@ impl Simulator {
     /// a quiescent stretch costs.
     pub fn set_cycle_skipping(&mut self, on: bool) {
         self.skipping = on;
+    }
+
+    /// Installs (or, with `None`, removes) an [`Observer`] that is told
+    /// about every executed cycle and every horizon jump.
+    ///
+    /// Without an observer the run loops pay a single branch per visited
+    /// cycle; observation is strictly opt-in and never changes
+    /// simulation results.
+    pub fn set_observer(&mut self, observer: Option<Box<dyn Observer>>) {
+        self.observer = observer;
+    }
+
+    /// Removes and returns the installed observer, if any — the way to
+    /// read back metrics it accumulated.
+    pub fn take_observer(&mut self) -> Option<Box<dyn Observer>> {
+        self.observer.take()
     }
 
     /// Cycles fast-forwarded by horizon jumps instead of being ticked.
@@ -135,6 +154,9 @@ impl Simulator {
         }
         self.now += 1;
         self.ticked_cycles += 1;
+        if let Some(obs) = &mut self.observer {
+            obs.on_tick(now);
+        }
     }
 
     /// Executes exactly `cycles` cycles.
@@ -191,6 +213,9 @@ impl Simulator {
                     }
                     self.skipped_cycles += next - now;
                     self.now = next;
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_skip(now, next);
+                    }
                 }
                 None => self.step(),
             }
@@ -437,6 +462,37 @@ mod tests {
         sim.add(Box::new(Sleeper::new(2, 30, 3)));
         sim.run_until_idle(1_000);
         assert_eq!(sim.skipped_cycles() + sim.ticked_cycles(), sim.now());
+    }
+
+    /// Counts cycles by attribution through a shared cell so the totals
+    /// survive the observer's ownership by the engine.
+    struct CycleLedger(Rc<Cell<(u64, u64)>>);
+
+    impl crate::observe::Observer for CycleLedger {
+        fn on_tick(&mut self, _now: Cycle) {
+            let (t, s) = self.0.get();
+            self.0.set((t + 1, s));
+        }
+        fn on_skip(&mut self, from: Cycle, next: Cycle) {
+            let (t, s) = self.0.get();
+            self.0.set((t, s + (next - from)));
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_visited_and_skipped_cycle() {
+        let mut sim = Simulator::new();
+        sim.set_cycle_skipping(true);
+        sim.add(Box::new(Sleeper::new(3, 40, 4)));
+        let ledger = Rc::new(Cell::new((0u64, 0u64)));
+        sim.set_observer(Some(Box::new(CycleLedger(ledger.clone()))));
+        sim.run_until_idle(10_000);
+        assert!(sim.take_observer().is_some(), "observer stays installed");
+        let (ticked, skipped) = ledger.get();
+        assert_eq!(ticked, sim.ticked_cycles());
+        assert_eq!(skipped, sim.skipped_cycles());
+        assert!(skipped > 0, "idle gaps must be jumped");
+        assert_eq!(ticked + skipped, sim.now());
     }
 
     #[test]

@@ -47,11 +47,13 @@
 mod clock;
 mod component;
 mod kernel;
+pub mod observe;
 pub mod stats;
 
 pub use clock::{ClockConfig, Nanos};
 pub use component::{Activity, Component};
 pub use kernel::{RunOutcome, Simulator};
+pub use observe::{Contention, LinkMetrics, Observer, WindowSeries};
 
 /// Whether event-horizon cycle skipping is enabled for this process.
 ///

@@ -1,0 +1,164 @@
+//! Chrome `trace_event` JSON export of OCP transaction timelines.
+//!
+//! Renders a set of [`MasterTrace`]s as the JSON object format consumed
+//! by `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one
+//! track (`tid`) per master, one complete-duration event (`ph: "X"`)
+//! per OCP transaction spanning request-assert → master-unblock, and an
+//! instant event marking each core's halt. This makes the paper's
+//! Figure 2 communication-pattern plots a first-class artifact: load
+//! the exported file in a trace viewer instead of squinting at printed
+//! event lists.
+//!
+//! Timestamps: `trace_event` wants microseconds; trace events carry
+//! nanoseconds. Values are rendered as `<µs>.<ns %1000>` with integer
+//! arithmetic, so output is deterministic and byte-stable across hosts.
+
+use std::fmt::Write as _;
+
+use crate::event::{MasterTrace, TraceError};
+
+/// Formats a nanosecond timestamp as fractional microseconds.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+/// Renders `traces` as one Chrome `trace_event` JSON document.
+///
+/// Output is deterministic: traces render in slice order, transactions
+/// in time order, and all numbers use integer formatting. The returned
+/// string is a complete JSON object ready to be written to a `.json`
+/// file and opened in `chrome://tracing` or Perfetto.
+///
+/// # Errors
+///
+/// Returns the underlying [`TraceError`] if any trace is not a
+/// well-formed sequence of transactions.
+pub fn chrome_trace_json(traces: &[MasterTrace]) -> Result<String, TraceError> {
+    let mut out = String::new();
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for trace in traces {
+        sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"pid\":0,\"tid\":{m},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"master {m}\"}}}}",
+            m = trace.master
+        );
+        for tx in trace.transactions()? {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"pid\":0,\"tid\":{m},\"ts\":{ts},\"dur\":{dur},\
+                 \"name\":\"{cmd} 0x{addr:X}\",\"args\":{{\"cmd\":\"{cmd}\",\
+                 \"addr\":\"0x{addr:X}\",\"burst\":{burst},\"accept_ts\":{acc}",
+                m = trace.master,
+                ts = micros(tx.req_at),
+                dur = micros(tx.unblock_at() - tx.req_at),
+                cmd = tx.cmd,
+                addr = tx.addr,
+                burst = tx.burst,
+                acc = micros(tx.accept_at),
+            );
+            if let Some(&w) = tx.data.first() {
+                let _ = write!(out, ",\"data\":\"0x{w:X}\"");
+            }
+            if tx.resp_at.is_some() {
+                let _ = write!(out, ",\"resp\":\"0x{:X}\"", tx.resp_word());
+            }
+            out.push_str("}}");
+        }
+        if let Some(halt) = trace.halt_at {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"ph\":\"I\",\"pid\":0,\"tid\":{m},\"ts\":{ts},\"s\":\"t\",\
+                 \"name\":\"halt\"}}",
+                m = trace.master,
+                ts = micros(halt),
+            );
+        }
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use ntg_ocp::{DataWords, OcpCmd};
+
+    fn sample_trace() -> MasterTrace {
+        let mut tr = MasterTrace::new(1, 5);
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Read,
+            addr: 0x1000,
+            data: DataWords::new(),
+            burst: 1,
+            at: 100,
+        });
+        tr.events.push(TraceEvent::Accept { at: 105 });
+        tr.events.push(TraceEvent::Response {
+            data: vec![0xCAFE].into(),
+            at: 130,
+        });
+        tr.events.push(TraceEvent::Request {
+            cmd: OcpCmd::Write,
+            addr: 0x2000,
+            data: vec![7].into(),
+            burst: 1,
+            at: 1500,
+        });
+        tr.events.push(TraceEvent::Accept { at: 1515 });
+        tr.halt_at = Some(2000);
+        tr
+    }
+
+    #[test]
+    fn renders_the_documented_shape() {
+        let json = chrome_trace_json(&[sample_trace()]).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        // Thread metadata, both transactions, the halt marker.
+        assert!(json.contains("\"name\":\"master 1\""));
+        assert!(json.contains("\"name\":\"RD 0x1000\""));
+        assert!(json.contains("\"resp\":\"0xCAFE\""));
+        assert!(json.contains("\"name\":\"WR 0x2000\""));
+        assert!(json.contains("\"data\":\"0x7\""));
+        assert!(json.contains("\"name\":\"halt\""));
+        // 100 ns → 0.100 µs; read unblocks at the response (130 ns).
+        assert!(json.contains("\"ts\":0.100,\"dur\":0.030"));
+        // The write spans request → accept (1500 → 1515 ns).
+        assert!(json.contains("\"ts\":1.500,\"dur\":0.015"));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let traces = [sample_trace(), MasterTrace::new(2, 5)];
+        let a = chrome_trace_json(&traces).unwrap();
+        let b = chrome_trace_json(&traces).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn malformed_trace_is_an_error() {
+        let mut tr = MasterTrace::new(0, 5);
+        tr.events.push(TraceEvent::Accept { at: 10 });
+        assert!(chrome_trace_json(&[tr]).is_err());
+    }
+
+    #[test]
+    fn empty_input_renders_an_empty_event_list() {
+        let json = chrome_trace_json(&[]).unwrap();
+        assert_eq!(json, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+    }
+}

@@ -20,7 +20,10 @@
 //! * a versioned, checksummed binary codec ([`MasterTrace::to_bin`] /
 //!   [`MasterTrace::from_bin`]) plus the [`ByteWriter`]/[`ByteReader`]
 //!   framing primitives used by the persistent artifact store;
-//! * [`TraceStats`] — summary statistics over a trace.
+//! * [`TraceStats`] — summary statistics over a trace;
+//! * [`chrome_trace_json`] — a Chrome `trace_event` timeline export
+//!   loadable in `chrome://tracing` / Perfetto (the paper's Figure 2
+//!   communication patterns as an interactive artifact).
 //!
 //! Timestamps are recorded in nanoseconds (`cycle × period`); the paper
 //! uses a 5 ns cycle and so do we by default.
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod codec;
 pub mod diff;
 mod event;
@@ -35,6 +39,7 @@ mod format;
 mod monitor;
 mod stats;
 
+pub use chrome::chrome_trace_json;
 pub use codec::{fnv64, BinCodecError, ByteReader, ByteWriter, TRACE_BIN_MAGIC, TRACE_BIN_VERSION};
 pub use diff::{behavioural_diff, TraceDivergence};
 pub use event::{MasterTrace, TraceError, TraceEvent, Transaction};

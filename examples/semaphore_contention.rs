@@ -10,7 +10,7 @@ use ntg::cpu::Asm;
 use ntg::ocp::OcpCmd;
 use ntg::platform::{mem_map, InterconnectChoice, Platform, PlatformBuilder};
 use ntg::tg::{assemble, TraceTranslator, TranslationMode};
-use ntg::trace::MasterTrace;
+use ntg::trace::{chrome_trace_json, MasterTrace};
 
 /// Delay, grab the semaphore, hold it, release, halt.
 fn contender(core: usize, start_delay: u32, hold: u32) -> ntg::cpu::Program {
@@ -33,6 +33,17 @@ fn contender(core: usize, start_delay: u32, hold: u32) -> ntg::cpu::Program {
     a.stw(R1, R2, 0);
     a.halt();
     a.assemble(mem_map::private_base(core)).expect("assemble")
+}
+
+/// Exports both masters' OCP timelines as a Chrome `trace_event` file
+/// (open in `chrome://tracing` or Perfetto) — Figure 2(b) as an
+/// interactive artifact instead of a printed event list.
+fn export_timeline(name: &str, p: &Platform) {
+    let traces = [p.trace(0).expect("traced"), p.trace(1).expect("traced")];
+    let json = chrome_trace_json(&traces).expect("well-formed traces");
+    let path = format!("{name}.trace.json");
+    std::fs::write(&path, json).expect("write timeline");
+    println!("  timeline -> {path}");
 }
 
 fn count_polls(trace: &MasterTrace) -> usize {
@@ -67,6 +78,7 @@ fn main() {
     );
     let ref_polls = count_polls(&reference.trace(1).expect("traced"));
     println!("reference (AMBA): {ref_cycles} cycles, M1 polled {ref_polls}x");
+    export_timeline("semaphore_contention.reference", &reference);
 
     // Translate both masters.
     let translator = TraceTranslator::new(reference.translator_config(TranslationMode::Reactive));
@@ -96,6 +108,7 @@ fn main() {
             fabric.to_string(),
             report.execution_time().expect("halted"),
         );
+        export_timeline(&format!("semaphore_contention.tg-{fabric}"), &p);
     }
     println!(
         "\nThe Semchk loop re-polls until the semaphore is actually free, so \

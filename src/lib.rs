@@ -25,6 +25,7 @@
 //! | [`platform`] | `ntg-platform` | MPARM-like platform assembly |
 //! | [`workloads`] | `ntg-workloads` | the four paper benchmarks |
 //! | [`explore`] | `ntg-explore` | sweep campaigns, TG artifact cache, JSONL results |
+//! | [`report`] | `ntg-report` | Table-2 views, rankings, Pareto, saturation curves |
 //!
 //! # Quickstart
 //!
@@ -41,6 +42,7 @@ pub use ntg_mem as mem;
 pub use ntg_noc as noc;
 pub use ntg_ocp as ocp;
 pub use ntg_platform as platform;
+pub use ntg_report as report;
 pub use ntg_sim as sim;
 pub use ntg_trace as trace;
 pub use ntg_workloads as workloads;
