@@ -108,6 +108,25 @@ for f in table2 rankings pareto saturation; do
     cmp "$REPORT_SMOKE_DIR/$f.csv" "crates/report/tests/golden/$f.csv"
 done
 
+# Synthetic smoke: a tiny λ-sweep on the ideal interconnect must be
+# deterministic (two runs, byte-identical canonical files) and the
+# report CLI must reproduce the checked-in synthetic goldens from the
+# checked-in synthetic mini-campaign.
+echo "==> synthetic smoke: deterministic lambda-sweep + golden report"
+SYN_SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_SMOKE_DIR" "$REPORT_SMOKE_DIR" "$SYN_SMOKE_DIR"' EXIT
+SYNSWEEP="timeout 120 ./target/release/ntg-sweep --workloads synthetic:32 \
+    --cores 2 --fabrics ideal --masters synthetic --patterns uniform,neighbor \
+    --shapes bernoulli --rates 0.05,0.2 --no-store --quiet"
+$SYNSWEEP --out "$SYN_SMOKE_DIR/a.jsonl" > /dev/null
+$SYNSWEEP --out "$SYN_SMOKE_DIR/b.jsonl" > /dev/null
+cmp "$SYN_SMOKE_DIR/a.jsonl" "$SYN_SMOKE_DIR/b.jsonl"
+grep -q '"offered_rate":0\.' "$SYN_SMOKE_DIR/a.jsonl"
+timeout 60 ./target/release/ntg-report crates/report/tests/data/synmini.jsonl \
+    --md "$SYN_SMOKE_DIR/report.md" --csv "$SYN_SMOKE_DIR" 2> /dev/null
+cmp "$SYN_SMOKE_DIR/report.md" crates/report/tests/golden/synmini/report.md
+cmp "$SYN_SMOKE_DIR/saturation.csv" crates/report/tests/golden/synmini/saturation.csv
+
 echo "==> report smoke: figure2 timelines parse as JSON"
 timeout 120 ./target/release/figure2 "$REPORT_SMOKE_DIR" > /dev/null
 python3 - "$REPORT_SMOKE_DIR" <<'PYEOF'

@@ -15,6 +15,7 @@
 
 use ntg_bench::{alloc_count, trace_and_translate};
 use ntg_platform::InterconnectChoice;
+use ntg_workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
 use ntg_workloads::Workload;
 
 #[test]
@@ -81,5 +82,37 @@ fn steady_state_ticks_do_not_allocate_with_metrics_enabled() {
         allocs, 0,
         "metrics-enabled hot path allocated {allocs} times ({bytes} bytes) \
          over 10k cycles — the observer must be counters-only when on"
+    );
+}
+
+#[test]
+fn synthetic_steady_state_ticks_do_not_allocate() {
+    // SyntheticTg generates traffic straight from its PRNG: no trace,
+    // no program, no translation. With ≤4-word packets every payload
+    // stays in the inline `DataWords` representation, so the generator
+    // must be exactly as allocation-free as the TG replay — including
+    // with the metrics observer sampling every cycle.
+    let spec: SyntheticSpec = "uniform+bernoulli@0.1/4".parse().unwrap();
+    let mut p = build_synthetic_platform(4, InterconnectChoice::Xpipes, spec, 1_000_000, 42)
+        .expect("build synthetic platform");
+    p.set_cycle_skipping(false);
+    p.enable_metrics();
+
+    p.step(2_000);
+    assert!(
+        !p.is_quiesced(),
+        "warmup must leave live traffic to measure"
+    );
+
+    let allocs_before = alloc_count::allocations();
+    let bytes_before = alloc_count::bytes();
+    p.step(10_000);
+    let allocs = alloc_count::allocations() - allocs_before;
+    let bytes = alloc_count::bytes() - bytes_before;
+
+    assert_eq!(
+        allocs, 0,
+        "synthetic steady state allocated {allocs} times ({bytes} bytes) \
+         over 10k cycles — SyntheticTg must stay on the zero-copy plane"
     );
 }

@@ -7,6 +7,7 @@
 use ntg_bench::{quick_workloads, MAX_CYCLES};
 use ntg_core::{assemble, TraceTranslator, TranslationMode};
 use ntg_platform::{InterconnectChoice, Platform, RunReport};
+use ntg_workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
 use ntg_workloads::Workload;
 
 const FABRICS: [InterconnectChoice; 3] = [
@@ -117,4 +118,35 @@ fn tg_replays_are_bit_identical_across_fabrics() {
         }
     }
     assert!(total_skipped > 0, "skipping never engaged anywhere");
+}
+
+#[test]
+fn synthetic_runs_are_bit_identical_across_fabrics() {
+    // Three descriptors chosen for distinct idle structure: steady
+    // Bernoulli, a bursty on/off square wave at low average rate (long
+    // off-phases are exactly where `skip` bookkeeping can drift), and a
+    // deterministic pattern under periodic bursts.
+    let specs = [
+        "uniform+bernoulli@0.1/4",
+        "hotspot:80+onoff:64:192@0.02/2",
+        "transpose+burst:8@0.05/4",
+    ];
+    let mut total_skipped = 0;
+    for desc in specs {
+        let spec: SyntheticSpec = desc.parse().expect("descriptor parses");
+        for fabric in FABRICS {
+            let build = || {
+                build_synthetic_platform(4, fabric, spec, 96, 0xD15EA5E)
+                    .expect("build synthetic platform")
+            };
+            let on = run(build(), true);
+            let off = run(build(), false);
+            assert_equivalent(&format!("{desc} 4P synthetic {fabric}"), &on, &off);
+            total_skipped += on.0.skipped_cycles;
+        }
+    }
+    assert!(
+        total_skipped > 0,
+        "skipping never engaged on synthetic traffic"
+    );
 }

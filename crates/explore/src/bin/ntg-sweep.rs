@@ -24,6 +24,7 @@ use ntg_explore::{
     RunOptions,
 };
 use ntg_platform::{InterconnectChoice, ALL_INTERCONNECTS};
+use ntg_workloads::synthetic::{Pattern, ShapeKind};
 use ntg_workloads::Workload;
 
 /// Warn after a run when the persistent store outgrows this budget
@@ -42,6 +43,8 @@ PRESETS (a starting point; later options override):
     quick      small smoke campaign: 2 workloads x {2,4}P x {amba,xpipes}, CPU vs TG
     fabrics    paper §1 exploration: mp_matrix:16 4P across all interconnects
     ablation   mp_matrix:16 4P: cpu/tg/stochastic x all modes x 3 fabrics
+    saturation synthetic 8P lambda-sweep: {xpipes,crossbar} x 3 patterns x 6 rates
+               (latency-vs-offered-load curves; render with ntg-report)
 
 OPTIONS:
     --name NAME          campaign name (default: preset name or `sweep`)
@@ -50,8 +53,16 @@ OPTIONS:
                          workload's Table-2 sweep
     --fabrics LIST|all   interconnects to evaluate (amba, amba-fixed,
                          crossbar, xpipes, ideal)
-    --masters LIST       master kinds: cpu, tg, stochastic
+    --masters LIST       master kinds: cpu, tg, stochastic, synthetic
     --modes LIST         translation modes for TG jobs: clone, timeshift, reactive
+    --patterns LIST      synthetic destination patterns: uniform, complement,
+                         shuffle, transpose, tornado, neighbor, hotspot:<pct>
+    --shapes LIST        synthetic temporal shapes: bernoulli, burst:<len>,
+                         onoff:<on>:<off>
+    --rates LIST         synthetic offered injection rates in (0,1],
+                         e.g. 0.02,0.05,0.1
+    --packet-words N     words per synthetic packet (default 4; <=4 stays
+                         inline/alloc-free)
     --trace-fabric F     interconnect reference traces are collected on (default amba)
     --seed N             campaign base seed (default 1)
     --max-cycles N       simulated-cycle bound per run (default 2000000000)
@@ -149,6 +160,34 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--modes" => {
                 spec.get_or_insert_with(default_spec).modes =
                     parse_list(&take(&mut it, "--modes")?, |s| s.parse())?;
+            }
+            "--patterns" => {
+                spec.get_or_insert_with(default_spec).patterns =
+                    parse_list(&take(&mut it, "--patterns")?, |s| s.parse())?;
+            }
+            "--shapes" => {
+                spec.get_or_insert_with(default_spec).shapes =
+                    parse_list(&take(&mut it, "--shapes")?, |s| s.parse())?;
+            }
+            "--rates" => {
+                spec.get_or_insert_with(default_spec).rates =
+                    parse_list(&take(&mut it, "--rates")?, |s| {
+                        s.parse::<f64>()
+                            .map_err(|e| format!("--rates: {e}"))
+                            .and_then(|r| {
+                                if r > 0.0 && r <= 1.0 {
+                                    Ok(r)
+                                } else {
+                                    Err(format!("--rates: {r} outside (0, 1]"))
+                                }
+                            })
+                    })?;
+            }
+            "--packet-words" => {
+                spec.get_or_insert_with(default_spec).packet_words =
+                    take(&mut it, "--packet-words")?
+                        .parse()
+                        .map_err(|e| format!("--packet-words: {e}"))?;
             }
             "--trace-fabric" => {
                 spec.get_or_insert_with(default_spec).trace_interconnect =
@@ -376,6 +415,9 @@ fn print_dry_run(
                 trace_consumers += 1;
                 trace_keys.insert(format!("{}|{}", j.workload, j.cores));
             }
+            // Synthetic jobs generate traffic directly: no trace, no
+            // image, nothing fetched from the store.
+            MasterChoice::Synthetic => {}
         }
     }
     println!(
@@ -512,6 +554,24 @@ fn preset(name: &str) -> Result<CampaignSpec, String> {
                 ntg_core::TranslationMode::Timeshift,
                 ntg_core::TranslationMode::Reactive,
             ];
+        }
+        // Injection-rate saturation sweep: synthetic masters across two
+        // NoC-capable fabrics, three representative patterns, six
+        // offered loads. ntg-report turns the result into
+        // latency-vs-offered-load curves with saturated points flagged.
+        "saturation" => {
+            spec.workloads = vec![Workload::Synthetic { packets: 256 }];
+            spec.cores = CoreSelection::List(vec![8]);
+            spec.interconnects = vec![InterconnectChoice::Xpipes, InterconnectChoice::Crossbar];
+            spec.masters = vec![MasterChoice::Synthetic];
+            spec.patterns = vec![
+                Pattern::Uniform,
+                Pattern::Transpose,
+                Pattern::Hotspot { percent: 75 },
+            ];
+            spec.shapes = vec![ShapeKind::Bernoulli];
+            spec.rates = vec![0.02, 0.05, 0.08, 0.12, 0.16, 0.2];
+            spec.max_cycles = 2_000_000;
         }
         other => return Err(format!("unknown preset `{other}` (see --help)")),
     }

@@ -345,6 +345,9 @@ impl ArtifactCache {
             MasterChoice::Cpu => (false, false),
             MasterChoice::Tg => (true, true),
             MasterChoice::Stochastic => (true, false),
+            // Synthetic traffic is generated, not translated: no trace,
+            // no image, nothing cached.
+            MasterChoice::Synthetic => (false, false),
         }
     }
 }

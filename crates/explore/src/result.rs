@@ -118,6 +118,14 @@ pub struct JobResult {
     pub latency_mean: Option<f64>,
     /// Max of the interconnect's latency metric, if recorded.
     pub latency_max: Option<u64>,
+    /// Offered injection rate in packets/cycle/master (synthetic jobs
+    /// only): packets divided by the span of the back-pressure-blind
+    /// schedule. Deterministic, hence canonical.
+    pub offered_rate: Option<f64>,
+    /// Accepted injection rate in packets/cycle/master (synthetic jobs
+    /// only): the same packets divided by the span actually needed to
+    /// inject them. `accepted < offered` flags a saturated point.
+    pub accepted_rate: Option<f64>,
     /// Golden-model check outcome (`None` where not applicable — TG and
     /// stochastic runs of workloads without a memory image, errors).
     pub verified: Option<bool>,
@@ -309,7 +317,7 @@ impl JobResult {
             cores: job.cores,
             interconnect: job.interconnect.to_string(),
             master: job.master.to_string(),
-            mode: job.mode.map(|m| m.to_string()),
+            mode: (job.mode.is_some() || job.synth.is_some()).then(|| job.mode_label()),
             seed: job.seed,
             completed: false,
             cycles: None,
@@ -317,6 +325,8 @@ impl JobResult {
             transactions: 0,
             latency_mean: None,
             latency_max: None,
+            offered_rate: None,
+            accepted_rate: None,
             verified: None,
             error_pct: None,
             trace_cache_hit: None,
@@ -361,6 +371,8 @@ impl JobResult {
             ("transactions".into(), Json::Int(self.transactions as i64)),
             ("latency_mean".into(), opt_f64(self.latency_mean)),
             ("latency_max".into(), opt_u64(self.latency_max)),
+            ("offered_rate".into(), opt_f64(self.offered_rate)),
+            ("accepted_rate".into(), opt_f64(self.accepted_rate)),
             ("verified".into(), opt_bool(self.verified)),
             ("error_pct".into(), opt_f64(self.error_pct)),
             ("trace_cache_hit".into(), opt_bool(self.trace_cache_hit)),
@@ -405,6 +417,8 @@ impl JobResult {
             transactions: opt_u64("transactions").ok_or("result: missing `transactions`")?,
             latency_mean: v.get("latency_mean").and_then(Json::as_f64),
             latency_max: opt_u64("latency_max"),
+            offered_rate: v.get("offered_rate").and_then(Json::as_f64),
+            accepted_rate: v.get("accepted_rate").and_then(Json::as_f64),
             verified: opt_bool("verified"),
             error_pct: v.get("error_pct").and_then(Json::as_f64),
             trace_cache_hit: opt_bool("trace_cache_hit"),
@@ -485,6 +499,8 @@ mod tests {
             transactions: 9_876,
             latency_mean: Some(11.5),
             latency_max: Some(96),
+            offered_rate: None,
+            accepted_rate: None,
             verified: Some(true),
             error_pct: Some(3.25),
             trace_cache_hit: Some(true),
@@ -503,6 +519,18 @@ mod tests {
         let line = r.render_line();
         assert_eq!(JobResult::parse_line(&line).unwrap(), r);
         // Rendering is a fixpoint (byte-identity across re-finalise).
+        assert_eq!(JobResult::parse_line(&line).unwrap().render_line(), line);
+    }
+
+    #[test]
+    fn injection_rates_round_trip() {
+        let mut r = sample();
+        r.master = "synthetic".into();
+        r.mode = Some("uniform+bernoulli@0.05/4".into());
+        r.offered_rate = Some(0.0497);
+        r.accepted_rate = Some(0.031);
+        let line = r.render_line();
+        assert_eq!(JobResult::parse_line(&line).unwrap(), r);
         assert_eq!(JobResult::parse_line(&line).unwrap().render_line(), line);
     }
 

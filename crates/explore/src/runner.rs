@@ -26,6 +26,8 @@ use std::time::Instant;
 use ntg_core::rng::derive_seed;
 use ntg_core::{assemble, TraceTranslator, TranslatorConfig};
 use ntg_platform::{MasterReport, Platform, PlatformBuilder, RunReport};
+use ntg_workloads::synthetic::build_synthetic_platform;
+use ntg_workloads::Workload;
 
 use crate::cache::{ArtifactCache, CacheSnapshot, TraceArtifact};
 use crate::json::Json;
@@ -447,7 +449,9 @@ fn fill_cache_flags(results: &mut [JobResult]) {
     let mut traces_seen: Vec<(String, usize)> = Vec::new();
     let mut images_seen: Vec<(String, usize, Option<String>)> = Vec::new();
     for r in results.iter_mut() {
-        if r.master == "cpu" || r.error.is_some() {
+        // CPU jobs consume no trace; synthetic jobs consume no artifacts
+        // at all (patterns are generated, not translated).
+        if r.master == "cpu" || r.master == "synthetic" || r.error.is_some() {
             r.trace_cache_hit = None;
             r.image_cache_hit = None;
             continue;
@@ -504,16 +508,22 @@ fn write_timings(
     );
     text.push('\n');
     for r in results.iter().filter(|r| r.wall_secs > 0.0) {
-        text.push_str(
-            &Json::Obj(vec![
-                ("id".into(), Json::Int(r.id as i64)),
-                ("key".into(), Json::Str(r.key.clone())),
-                ("wall_secs".into(), Json::Float(r.wall_secs)),
-                ("skipped_cycles".into(), Json::Int(r.skipped_cycles as i64)),
-                ("ticked_cycles".into(), Json::Int(r.ticked_cycles as i64)),
-            ])
-            .render(),
-        );
+        let mut fields = vec![
+            ("id".into(), Json::Int(r.id as i64)),
+            ("key".into(), Json::Str(r.key.clone())),
+            ("wall_secs".into(), Json::Float(r.wall_secs)),
+            ("skipped_cycles".into(), Json::Int(r.skipped_cycles as i64)),
+            ("ticked_cycles".into(), Json::Int(r.ticked_cycles as i64)),
+        ];
+        // Injection rates ride along for synthetic jobs so saturation
+        // can be eyeballed straight from the sidecar (they are also in
+        // the canonical line — deterministic, unlike everything else
+        // here).
+        if let (Some(o), Some(a)) = (r.offered_rate, r.accepted_rate) {
+            fields.push(("offered_rate".into(), Json::Float(o)));
+            fields.push(("accepted_rate".into(), Json::Float(a)));
+        }
+        text.push_str(&Json::Obj(fields).render());
         text.push('\n');
     }
     fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))
@@ -645,6 +655,27 @@ fn run_job_inner(
             // no memory image to check.
             Ok(finish(job, report, None, Some(trace_hit), None))
         }
+        MasterChoice::Synthetic => {
+            let synth = job
+                .synth
+                .ok_or("synthetic job without a traffic descriptor")?;
+            let Workload::Synthetic { packets } = job.workload else {
+                return Err("synthetic masters pair only with the synthetic workload".into());
+            };
+            let (report, _) = run_repeats(job, |_| {
+                build_synthetic_platform(
+                    job.cores,
+                    job.interconnect,
+                    synth,
+                    u64::from(packets.max(1)),
+                    job.seed,
+                )
+                .map_err(|e| format!("build: {e}"))
+            })?;
+            // No trace, no image, no golden model: synthetic jobs consume
+            // no cached artifacts, so both provenance flags stay None.
+            Ok(finish(job, report, None, None, None))
+        }
     }
 }
 
@@ -731,6 +762,14 @@ fn finish(
                     idle.push(s.idle_cycles);
                     wait.push(s.wait_cycles);
                 }
+                MasterReport::Synthetic {
+                    idle_cycles,
+                    wait_cycles,
+                    ..
+                } => {
+                    idle.push(*idle_cycles);
+                    wait.push(*wait_cycles);
+                }
                 _ => {
                     idle.push(0);
                     wait.push(0);
@@ -755,6 +794,7 @@ fn finish(
             busy_windows: m.busy_windows.clone(),
         }
     });
+    let rates = report.synthetic_rates();
     JobResult {
         id: job.id,
         key: job.key(),
@@ -762,7 +802,7 @@ fn finish(
         cores: job.cores,
         interconnect: job.interconnect.to_string(),
         master: job.master.to_string(),
-        mode: job.mode.map(|m| m.to_string()),
+        mode: (job.mode.is_some() || job.synth.is_some()).then(|| job.mode_label()),
         seed: job.seed,
         completed: report.completed,
         cycles: if report.completed {
@@ -774,6 +814,8 @@ fn finish(
         transactions: report.transactions,
         latency_mean: report.latency.map(|(mean, _)| mean),
         latency_max: report.latency.map(|(_, max)| max),
+        offered_rate: rates.map(|(o, _)| o),
+        accepted_rate: rates.map(|(_, a)| a),
         verified,
         error_pct: None,
         trace_cache_hit: trace_hit,

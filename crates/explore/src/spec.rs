@@ -18,6 +18,7 @@
 use ntg_core::rng::derive_seed;
 use ntg_core::TranslationMode;
 use ntg_platform::InterconnectChoice;
+use ntg_workloads::synthetic::{Pattern, ShapeKind, SyntheticSpec};
 use ntg_workloads::Workload;
 
 /// What kind of master occupies every socket of a job's platform.
@@ -30,6 +31,10 @@ pub enum MasterChoice {
     /// The related-work stochastic baseline, auto-calibrated to the
     /// reference trace's aggregate load (see `ablation_stochastic`).
     Stochastic,
+    /// Synthetic pattern × shape traffic generators; pairs only with
+    /// [`Workload::Synthetic`] and sweeps the campaign's
+    /// pattern/shape/rate axes instead of the mode axis.
+    Synthetic,
 }
 
 impl std::fmt::Display for MasterChoice {
@@ -38,6 +43,7 @@ impl std::fmt::Display for MasterChoice {
             MasterChoice::Cpu => "cpu",
             MasterChoice::Tg => "tg",
             MasterChoice::Stochastic => "stochastic",
+            MasterChoice::Synthetic => "synthetic",
         })
     }
 }
@@ -50,8 +56,9 @@ impl std::str::FromStr for MasterChoice {
             "cpu" => Ok(MasterChoice::Cpu),
             "tg" => Ok(MasterChoice::Tg),
             "stochastic" => Ok(MasterChoice::Stochastic),
+            "synthetic" => Ok(MasterChoice::Synthetic),
             _ => Err(format!(
-                "unknown master kind `{s}` (expected cpu, tg or stochastic)"
+                "unknown master kind `{s}` (expected cpu, tg, stochastic or synthetic)"
             )),
         }
     }
@@ -82,6 +89,15 @@ pub struct CampaignSpec {
     pub masters: Vec<MasterChoice>,
     /// Translation fidelity levels (multiplies TG jobs only).
     pub modes: Vec<TranslationMode>,
+    /// Destination patterns (multiplies synthetic jobs only).
+    pub patterns: Vec<Pattern>,
+    /// Temporal injection shapes (multiplies synthetic jobs only).
+    pub shapes: Vec<ShapeKind>,
+    /// Offered injection rates λ in packets/cycle/master (multiplies
+    /// synthetic jobs only).
+    pub rates: Vec<f64>,
+    /// Words per synthetic packet (≤ 4 keeps payloads inline).
+    pub packet_words: u32,
     /// The interconnect reference traces are collected on (the paper
     /// traces on AMBA and explores elsewhere).
     pub trace_interconnect: InterconnectChoice,
@@ -107,6 +123,10 @@ impl CampaignSpec {
             interconnects: vec![InterconnectChoice::Amba],
             masters: vec![MasterChoice::Cpu, MasterChoice::Tg],
             modes: vec![TranslationMode::Reactive],
+            patterns: vec![Pattern::Uniform],
+            shapes: vec![ShapeKind::Bernoulli],
+            rates: vec![0.05],
+            packet_words: 4,
             trace_interconnect: InterconnectChoice::Amba,
             base_seed: 1,
             max_cycles: 2_000_000_000,
@@ -125,6 +145,40 @@ impl CampaignSpec {
             for &cores in &core_counts {
                 for &interconnect in &self.interconnects {
                     for &master in &self.masters {
+                        // Synthetic masters pair only with the synthetic
+                        // workload (and vice versa): there is no program
+                        // to run or trace to replay across the divide.
+                        let synthetic_workload = matches!(workload, Workload::Synthetic { .. });
+                        if (master == MasterChoice::Synthetic) != synthetic_workload {
+                            continue;
+                        }
+                        if master == MasterChoice::Synthetic {
+                            // Synthetic jobs sweep pattern × shape × λ
+                            // in place of the translation-mode axis.
+                            for &pattern in &self.patterns {
+                                for &shape in &self.shapes {
+                                    for &rate in &self.rates {
+                                        let synth = SyntheticSpec {
+                                            pattern,
+                                            shape,
+                                            rate,
+                                            words: self.packet_words,
+                                        };
+                                        push_job(
+                                            &mut jobs,
+                                            self,
+                                            workload,
+                                            cores,
+                                            interconnect,
+                                            master,
+                                            None,
+                                            Some(synth),
+                                        );
+                                    }
+                                }
+                            }
+                            continue;
+                        }
                         // Only TG jobs have a translation step; CPU and
                         // stochastic masters collapse the mode axis.
                         let modes: Vec<Option<TranslationMode>> = match master {
@@ -132,20 +186,16 @@ impl CampaignSpec {
                             _ => vec![None],
                         };
                         for mode in modes {
-                            let id = jobs.len();
-                            let mut job = JobSpec {
-                                id,
+                            push_job(
+                                &mut jobs,
+                                self,
                                 workload,
                                 cores,
                                 interconnect,
                                 master,
                                 mode,
-                                seed: 0,
-                                max_cycles: self.max_cycles,
-                                repeats: self.repeats.max(1),
-                            };
-                            job.seed = derive_seed(self.base_seed, fnv1a(job.key().as_bytes()));
-                            jobs.push(job);
+                                None,
+                            );
                         }
                     }
                 }
@@ -176,6 +226,34 @@ impl CampaignSpec {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
+fn push_job(
+    jobs: &mut Vec<JobSpec>,
+    spec: &CampaignSpec,
+    workload: Workload,
+    cores: usize,
+    interconnect: InterconnectChoice,
+    master: MasterChoice,
+    mode: Option<TranslationMode>,
+    synth: Option<SyntheticSpec>,
+) {
+    let id = jobs.len();
+    let mut job = JobSpec {
+        id,
+        workload,
+        cores,
+        interconnect,
+        master,
+        mode,
+        synth,
+        seed: 0,
+        max_cycles: spec.max_cycles,
+        repeats: spec.repeats.max(1),
+    };
+    job.seed = derive_seed(spec.base_seed, fnv1a(job.key().as_bytes()));
+    jobs.push(job);
+}
+
 /// One fully specified simulation job.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
@@ -191,6 +269,8 @@ pub struct JobSpec {
     pub master: MasterChoice,
     /// Translation mode (`Some` only for TG jobs).
     pub mode: Option<TranslationMode>,
+    /// Synthetic traffic descriptor (`Some` only for synthetic jobs).
+    pub synth: Option<SyntheticSpec>,
     /// Per-job seed (used by stochastic masters; derived, not configured).
     pub seed: u64,
     /// Simulated-cycle bound.
@@ -201,17 +281,32 @@ pub struct JobSpec {
 
 impl JobSpec {
     /// The job's human-readable identity, e.g.
-    /// `mp_matrix:16|4P|xpipes|tg|reactive`. Unique within a campaign;
-    /// also the input of per-job seed derivation.
+    /// `mp_matrix:16|4P|xpipes|tg|reactive` or
+    /// `synthetic:256|8P|xpipes|synthetic|uniform+bernoulli@0.05/4`.
+    /// Unique within a campaign; also the input of per-job seed
+    /// derivation.
     pub fn key(&self) -> String {
-        let mode = match self.mode {
-            Some(m) => m.to_string(),
-            None => "-".to_string(),
-        };
         format!(
             "{}|{}P|{}|{}|{}",
-            self.workload, self.cores, self.interconnect, self.master, mode
+            self.workload,
+            self.cores,
+            self.interconnect,
+            self.master,
+            self.mode_label()
         )
+    }
+
+    /// The mode slot of the key and of the canonical `mode` field: the
+    /// synthetic descriptor for synthetic jobs, the translation mode
+    /// for TG jobs, `-` otherwise.
+    pub fn mode_label(&self) -> String {
+        if let Some(s) = &self.synth {
+            return s.to_string();
+        }
+        match self.mode {
+            Some(m) => m.to_string(),
+            None => "-".to_string(),
+        }
     }
 }
 
@@ -331,9 +426,48 @@ mod tests {
             MasterChoice::Cpu,
             MasterChoice::Tg,
             MasterChoice::Stochastic,
+            MasterChoice::Synthetic,
         ] {
             assert_eq!(m.to_string().parse::<MasterChoice>().unwrap(), m);
         }
         assert!("arm".parse::<MasterChoice>().is_err());
+    }
+
+    #[test]
+    fn synthetic_jobs_sweep_pattern_shape_rate_and_pair_exclusively() {
+        let mut s = CampaignSpec::new("syn");
+        s.workloads = vec![
+            Workload::Synthetic { packets: 128 },
+            Workload::SpMatrix { n: 4 },
+        ];
+        s.cores = CoreSelection::List(vec![4]);
+        s.interconnects = vec![InterconnectChoice::Xpipes, InterconnectChoice::Crossbar];
+        s.masters = vec![MasterChoice::Cpu, MasterChoice::Synthetic];
+        s.patterns = vec![Pattern::Uniform, Pattern::Transpose];
+        s.shapes = vec![ShapeKind::Bernoulli, ShapeKind::Burst { len: 8 }];
+        s.rates = vec![0.05, 0.1, 0.2];
+        s.packet_words = 2;
+        let jobs = s.expand();
+        // Synthetic workload × 2 fabrics × (2 patterns × 2 shapes × 3
+        // rates) + sp_matrix × 2 fabrics × cpu.
+        assert_eq!(jobs.len(), 2 * 12 + 2);
+        for j in &jobs {
+            let synthetic_workload = matches!(j.workload, Workload::Synthetic { .. });
+            assert_eq!(j.master == MasterChoice::Synthetic, synthetic_workload);
+            assert_eq!(j.synth.is_some(), synthetic_workload, "{}", j.key());
+            if let Some(sp) = &j.synth {
+                assert_eq!(sp.words, 2);
+                assert!(j.key().ends_with(&sp.to_string()), "{}", j.key());
+            }
+        }
+        // Keys stay unique across the synthetic axes.
+        let mut keys: Vec<_> = jobs.iter().map(JobSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len());
+        // The descriptor axes feed the fingerprint.
+        let fp = s.fingerprint();
+        s.rates.push(0.4);
+        assert_ne!(fp, s.fingerprint());
     }
 }

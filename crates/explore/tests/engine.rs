@@ -4,10 +4,11 @@
 use std::fs;
 
 use ntg_explore::{
-    parse_results, partial_path, run_campaign, CampaignSpec, CoreSelection, MasterChoice,
-    RunOptions,
+    merge_shards, parse_results, partial_path, run_campaign, shard_path, CampaignSpec,
+    CoreSelection, MasterChoice, RunOptions,
 };
 use ntg_platform::InterconnectChoice;
+use ntg_workloads::synthetic::{ALL_PATTERNS, ALL_SHAPES};
 use ntg_workloads::Workload;
 
 /// A small but representative campaign: 2 workloads × 2 core counts ×
@@ -278,6 +279,99 @@ fn stochastic_jobs_share_the_reference_trace() {
     assert!(stoch.completed);
     // Stochastic traffic has no golden model to check.
     assert_eq!(stoch.verified, None);
+}
+
+/// A synthetic campaign exercising every destination pattern and every
+/// temporal shape: 7 patterns × 3 shapes × 2 rates = 42 jobs of
+/// 48-packet traffic on 4 cores.
+fn synthetic_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("engine-synthetic");
+    spec.workloads = vec![Workload::Synthetic { packets: 48 }];
+    spec.cores = CoreSelection::List(vec![4]);
+    spec.interconnects = vec![InterconnectChoice::Xpipes];
+    spec.masters = vec![MasterChoice::Synthetic];
+    spec.patterns = ALL_PATTERNS.to_vec();
+    spec.shapes = ALL_SHAPES.to_vec();
+    spec.rates = vec![0.02, 0.2];
+    spec
+}
+
+#[test]
+fn synthetic_jsonl_is_byte_identical_across_thread_counts() {
+    let spec = synthetic_spec();
+    let out1 = tmp_out("syn-threads1.jsonl");
+    let out0 = tmp_out("syn-threads0.jsonl");
+    for (threads, out) in [(1, &out1), (0, &out0)] {
+        run_campaign(
+            &spec,
+            &RunOptions {
+                threads,
+                out: Some(out.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+    }
+    let a = fs::read(&out1).unwrap();
+    assert_eq!(
+        a,
+        fs::read(&out0).unwrap(),
+        "synthetic canonical files must not depend on worker count"
+    );
+    // And the results are live: every pattern × shape × rate combination
+    // completed with canonical injection rates.
+    let loaded = parse_results(&String::from_utf8(a).unwrap(), false).unwrap();
+    assert_eq!(loaded.results.len(), 42);
+    for r in &loaded.results {
+        assert!(r.error.is_none(), "{}: {:?}", r.key, r.error);
+        assert!(r.completed, "{}", r.key);
+        assert_eq!(r.master, "synthetic", "{}", r.key);
+        let offered = r.offered_rate.expect("offered rate is canonical");
+        let accepted = r.accepted_rate.expect("accepted rate is canonical");
+        assert!(offered > 0.0 && accepted > 0.0, "{}", r.key);
+        assert!(accepted <= offered + 1e-12, "{}", r.key);
+    }
+}
+
+#[test]
+fn synthetic_shards_merge_to_the_unsharded_file() {
+    let spec = synthetic_spec();
+    let full = tmp_out("syn-full.jsonl");
+    run_campaign(
+        &spec,
+        &RunOptions {
+            threads: 2,
+            out: Some(full.clone()),
+            ..RunOptions::default()
+        },
+    )
+    .unwrap();
+
+    let merged = tmp_out("syn-merged.jsonl");
+    let mut shards = Vec::new();
+    for i in 1..=2 {
+        let out = shard_path(&merged, (i, 2));
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(partial_path(&out));
+        run_campaign(
+            &spec,
+            &RunOptions {
+                threads: 2,
+                out: Some(out.clone()),
+                shard: Some((i, 2)),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        shards.push(out);
+    }
+    let summary = merge_shards(&shards, &merged).unwrap();
+    assert_eq!(summary.jobs, 42);
+    assert_eq!(
+        fs::read(&merged).unwrap(),
+        fs::read(&full).unwrap(),
+        "sharded + merged synthetic campaign must match the unsharded run"
+    );
 }
 
 #[test]

@@ -31,7 +31,7 @@ mod platform;
 mod report;
 
 pub use platform::{
-    InterconnectChoice, MasterKind, Platform, PlatformBuilder, PlatformError,
-    TraceTranslationError, ALL_INTERCONNECTS,
+    InterconnectChoice, MasterCtx, MasterFactory, MasterKind, Platform, PlatformBuilder,
+    PlatformError, PlatformMaster, TraceTranslationError, ALL_INTERCONNECTS,
 };
 pub use report::{MasterReport, MetricsReport, RunReport};

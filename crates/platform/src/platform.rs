@@ -78,6 +78,44 @@ pub const ALL_INTERCONNECTS: [InterconnectChoice; 5] = [
     InterconnectChoice::Ideal,
 ];
 
+/// A master implemented outside this crate, plugged into a socket via
+/// [`MasterKind::Custom`].
+///
+/// Implementors provide the [`Component`] tick protocol plus the
+/// lifecycle queries the run loop needs from every master. The contract
+/// matches the built-in masters: `halted` becomes true once all work is
+/// done (and stays true), `halt_cycle` records the completing cycle, and
+/// any `next_activity`/`skip` implementation must keep cycle counts
+/// bit-identical with skipping on or off.
+pub trait PlatformMaster: Component {
+    /// Whether the master has finished all its work.
+    fn halted(&self) -> bool;
+    /// The cycle the master completed in, if halted.
+    fn halt_cycle(&self) -> Option<Cycle>;
+    /// A human-readable fault description, if the master faulted.
+    fn fault(&self) -> Option<String> {
+        None
+    }
+    /// Per-master statistics for the [`RunReport`].
+    fn report(&self) -> MasterReport;
+}
+
+/// Socket context handed to a [`MasterFactory`]: which socket is being
+/// filled and how many the platform has (patterns like transpose need
+/// the total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MasterCtx {
+    /// The socket (= core) index of this master.
+    pub core: usize,
+    /// Total number of masters in the platform.
+    pub cores: usize,
+}
+
+/// Builds a custom master for a socket. A factory rather than a value
+/// because [`PlatformBuilder::build`] may be called repeatedly on the
+/// same builder — each build gets a fresh master wired to a fresh port.
+pub type MasterFactory = Box<dyn Fn(MasterCtx, ntg_ocp::MasterPort) -> Box<dyn PlatformMaster>>;
+
 /// What kind of master occupies a socket.
 pub enum MasterKind {
     /// A Srisc core running an assembled program.
@@ -90,6 +128,9 @@ pub enum MasterKind {
     /// A stochastic traffic source (the related-work baseline the paper
     /// argues is unreliable for NoC optimisation).
     Stochastic(StochasticConfig),
+    /// An externally implemented master (e.g. the synthetic traffic
+    /// generators in `ntg-workloads`), built per-socket by the factory.
+    Custom(MasterFactory),
 }
 
 // TgCore is itself a fair-sized struct, so the size gap to the boxed
@@ -102,6 +143,7 @@ enum Master {
     Tg(TgCore),
     TgMulti(Box<TgMultiCore>),
     Stochastic(Box<StochasticTg>),
+    Custom(Box<dyn PlatformMaster>),
 }
 
 impl Master {
@@ -111,6 +153,7 @@ impl Master {
             Master::Tg(t) => t,
             Master::TgMulti(m) => m.as_mut(),
             Master::Stochastic(s) => s.as_mut(),
+            Master::Custom(c) => &mut **c,
         }
     }
 
@@ -120,6 +163,7 @@ impl Master {
             Master::Tg(t) => t,
             Master::TgMulti(m) => m.as_ref(),
             Master::Stochastic(s) => s.as_ref(),
+            Master::Custom(c) => &**c,
         }
     }
 
@@ -134,6 +178,7 @@ impl Master {
             Master::Tg(t) => t.tick(now),
             Master::TgMulti(m) => m.tick(now),
             Master::Stochastic(s) => s.tick(now),
+            Master::Custom(c) => c.tick(now),
         }
     }
 
@@ -143,6 +188,7 @@ impl Master {
             Master::Tg(t) => t.halted(),
             Master::TgMulti(m) => m.halted(),
             Master::Stochastic(s) => s.halted(),
+            Master::Custom(c) => c.halted(),
         }
     }
 
@@ -152,6 +198,7 @@ impl Master {
             Master::Tg(t) => t.halt_cycle(),
             Master::TgMulti(m) => m.halt_cycle(),
             Master::Stochastic(s) => s.halt_cycle(),
+            Master::Custom(c) => c.halt_cycle(),
         }
     }
 
@@ -161,6 +208,7 @@ impl Master {
             Master::Tg(t) => t.fault().map(|f| format!("{f:?}")),
             Master::TgMulti(m) => m.fault().map(|f| format!("{f:?}")),
             Master::Stochastic(_) => None,
+            Master::Custom(c) => c.fault(),
         }
     }
 
@@ -186,6 +234,7 @@ impl Master {
                 issued: s.issued(),
                 errors: s.errors(),
             },
+            Master::Custom(c) => c.report(),
         }
     }
 }
@@ -523,6 +572,9 @@ impl PlatformBuilder {
                         mport,
                         cfg.clone(),
                     ))),
+                    MasterKind::Custom(factory) => {
+                        Master::Custom(factory(MasterCtx { core, cores: n }, mport))
+                    }
                 };
             masters.push(master);
         }

@@ -20,6 +20,22 @@ pub enum MasterReport {
         /// Error responses received.
         errors: u64,
     },
+    /// A synthetic traffic generator (pattern × temporal-shape masters
+    /// from `ntg-workloads`): packet and state-residency counters.
+    Synthetic {
+        /// Packets fully injected (request accepted by the fabric).
+        packets: u64,
+        /// Scheduled injection cycle of the last issued packet — the end
+        /// of the *offered* span. The schedule is a pure function of the
+        /// seed, independent of back-pressure, so
+        /// `packets / last_scheduled` measures offered load while
+        /// `packets / halt_cycle` measures accepted throughput.
+        last_scheduled: Cycle,
+        /// Cycles spent waiting for the next scheduled injection slot.
+        idle_cycles: u64,
+        /// Cycles blocked on the interconnect (request outstanding).
+        wait_cycles: u64,
+    },
 }
 
 /// Opt-in observability summary collected when
@@ -114,6 +130,43 @@ impl RunReport {
             .collect::<Option<Vec<_>>>()?
             .into_iter()
             .max()
+    }
+
+    /// `(offered, accepted)` injection rate in packets/cycle/master,
+    /// aggregated over every synthetic master; `None` when the platform
+    /// has no synthetic masters or they injected nothing.
+    ///
+    /// Offered load divides packets by the span of the *schedule* (which
+    /// ignores back-pressure by construction); accepted throughput
+    /// divides the same packets by the span actually needed to inject
+    /// them — the completion time when the run finished, the simulated
+    /// cycle bound otherwise. `accepted < offered` is the saturation
+    /// signal: the fabric could not absorb the load as scheduled.
+    pub fn synthetic_rates(&self) -> Option<(f64, f64)> {
+        let mut masters = 0u64;
+        let mut packets = 0u64;
+        let mut offered_span: Cycle = 0;
+        for m in &self.masters {
+            if let MasterReport::Synthetic {
+                packets: p,
+                last_scheduled,
+                ..
+            } = m
+            {
+                masters += 1;
+                packets += p;
+                offered_span = offered_span.max(*last_scheduled);
+            }
+        }
+        if masters == 0 || packets == 0 {
+            return None;
+        }
+        let accepted_span = self.execution_time().unwrap_or(self.cycles);
+        let per = |span: Cycle| packets as f64 / (masters as f64 * span.max(1) as f64);
+        Some((
+            per(offered_span + 1),
+            per(accepted_span.max(offered_span) + 1),
+        ))
     }
 
     /// Simulated cycles per wall-clock second — the throughput measure

@@ -204,9 +204,13 @@ pub fn pareto(c: &Campaign) -> Vec<ParetoPoint> {
     pareto_frontier(&points)
 }
 
-/// One point on a saturation curve: how the TG's simulation gain and
-/// the fabric's measured load evolve with core count (the paper's §6
-/// explanation of why gain peaks and then falls off).
+/// One point on a saturation curve. Two kinds of jobs land here:
+///
+/// - TG jobs: the paper's §6 view of how simulation gain and measured
+///   fabric load evolve with core count (gain peaks, then falls off).
+/// - Synthetic jobs: one point of a latency-vs-offered-load curve —
+///   offered and accepted injection rates plus mean latency, with a
+///   `saturated` flag once the fabric stops keeping up.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SaturationRow {
     /// Workload spec string.
@@ -215,6 +219,9 @@ pub struct SaturationRow {
     pub interconnect: String,
     /// Core count.
     pub cores: usize,
+    /// Traffic descriptor (`pattern+shape@rate/words` for synthetic
+    /// jobs, translation mode for TG jobs, `-` otherwise).
+    pub mode: String,
     /// Simulation-time gain of the TG run vs the CPU reference.
     pub gain: Option<f64>,
     /// Measured fabric occupancy as a percentage of simulated cycles
@@ -222,14 +229,25 @@ pub struct SaturationRow {
     pub utilization_pct: Option<f64>,
     /// Lost arbitration rounds per thousand simulated cycles.
     pub conflicts_per_kcycle: Option<f64>,
+    /// Offered injection rate in packets/cycle/master (synthetic only).
+    pub offered_rate: Option<f64>,
+    /// Accepted injection rate in packets/cycle/master (synthetic only).
+    pub accepted_rate: Option<f64>,
+    /// Mean transaction latency in cycles.
+    pub latency_mean: Option<f64>,
+    /// Whether the design point is past saturation: the fabric accepted
+    /// less than 99% of the offered load. `None` without rate data.
+    pub saturated: Option<bool>,
 }
 
-/// Builds saturation curves from the Table-2 TG rows and the metrics
-/// sidecar: rows in job-id order, one per TG job with a CPU reference.
+/// Builds saturation curves in job-id order: one row per TG job
+/// (joined with its CPU reference for gain) and one per synthetic job
+/// (offered vs accepted rate plus latency, saturation flagged when
+/// accepted falls below 99% of offered).
 pub fn saturation(c: &Campaign) -> Vec<SaturationRow> {
     c.jobs
         .iter()
-        .filter(|j| j.master == "tg")
+        .filter(|j| j.master == "tg" || j.master == "synthetic")
         .map(|j| {
             let cpu = c.jobs.iter().find(|r| {
                 r.master == "cpu"
@@ -248,13 +266,22 @@ pub fn saturation(c: &Campaign) -> Vec<SaturationRow> {
                 ),
                 _ => (None, None),
             };
+            let saturated = match (j.offered_rate, j.accepted_rate) {
+                (Some(o), Some(a)) if o > 0.0 => Some(a < 0.99 * o),
+                _ => None,
+            };
             SaturationRow {
                 workload: j.workload.clone(),
                 interconnect: j.interconnect.clone(),
                 cores: j.cores,
+                mode: j.mode.clone().unwrap_or_else(|| "-".into()),
                 gain,
                 utilization_pct,
                 conflicts_per_kcycle,
+                offered_rate: j.offered_rate,
+                accepted_rate: j.accepted_rate,
+                latency_mean: j.latency_mean,
+                saturated,
             }
         })
         .collect()
@@ -283,6 +310,8 @@ mod tests {
             latency_max: None,
             verified: None,
             error_pct: err,
+            offered_rate: None,
+            accepted_rate: None,
             trace_cache_hit: None,
             image_cache_hit: None,
             error: None,

@@ -114,30 +114,46 @@ pub fn markdown(c: &Campaign) -> String {
         }
     }
 
-    let _ = writeln!(out, "\n## Saturation — gain vs cores under measured load\n");
+    let _ = writeln!(out, "\n## Saturation — load, latency, and gain\n");
     let rows = saturation(c);
     if rows.is_empty() {
-        let _ = writeln!(out, "(no TG jobs in this campaign)");
+        let _ = writeln!(out, "(no TG or synthetic jobs in this campaign)");
     } else {
         let _ = writeln!(
             out,
-            "| workload | fabric | cores | gain | fabric util % | conflicts/kcycle |"
+            "| workload | fabric | cores | traffic | gain | fabric util % | \
+             conflicts/kcycle | offered | accepted | latency | sat |"
         );
-        let _ = writeln!(out, "|---|---|---|---|---|---|");
+        let _ = writeln!(out, "|---|---|---|---|---|---|---|---|---|---|---|");
         for r in &rows {
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |",
                 r.workload,
                 r.interconnect,
                 r.cores,
+                md_cell(&r.mode),
                 opt_f64(r.gain, 2),
                 opt_f64(r.utilization_pct, 2),
                 opt_f64(r.conflicts_per_kcycle, 3),
+                opt_f64(r.offered_rate, 4),
+                opt_f64(r.accepted_rate, 4),
+                opt_f64(r.latency_mean, 2),
+                sat_cell(r.saturated),
             );
         }
     }
     out
+}
+
+/// Saturation flag cell: `SAT` past the knee, `ok` under it, `-`
+/// without rate data.
+fn sat_cell(v: Option<bool>) -> String {
+    match v {
+        Some(true) => "SAT".into(),
+        Some(false) => "ok".into(),
+        None => "-".into(),
+    }
 }
 
 /// Renders the Table-2 view as CSV (header row first).
@@ -190,18 +206,27 @@ pub fn csv_pareto(points: &[ParetoPoint]) -> String {
 
 /// Renders saturation curves as CSV.
 pub fn csv_saturation(rows: &[SaturationRow]) -> String {
-    let mut out =
-        String::from("workload,fabric,cores,gain,fabric_utilization_pct,conflicts_per_kcycle\n");
+    let mut out = String::from(
+        "workload,fabric,cores,traffic,gain,fabric_utilization_pct,conflicts_per_kcycle,\
+         offered_rate,accepted_rate,latency_mean,saturated\n",
+    );
     for r in rows {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{}",
             r.workload,
             r.interconnect,
             r.cores,
+            r.mode,
             opt_f64(r.gain, 4),
             opt_f64(r.utilization_pct, 4),
             opt_f64(r.conflicts_per_kcycle, 4),
+            opt_f64(r.offered_rate, 4),
+            opt_f64(r.accepted_rate, 4),
+            opt_f64(r.latency_mean, 4),
+            r.saturated
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".into()),
         );
     }
     out
@@ -230,6 +255,6 @@ mod tests {
         assert!(md.contains("## Rankings"));
         assert!(md.contains("## Pareto frontier"));
         assert!(md.contains("## Saturation"));
-        assert!(md.contains("(no TG jobs in this campaign)"));
+        assert!(md.contains("(no TG or synthetic jobs in this campaign)"));
     }
 }

@@ -63,6 +63,52 @@ fn csvs_match_the_goldens_byte_for_byte() {
     );
 }
 
+/// The synthetic mini-campaign (8 jobs: 2 fabrics × 2 patterns ×
+/// 2 rates of Bernoulli traffic at 4 cores). Regenerate with:
+///
+/// ```text
+/// cargo run -p ntg-explore --bin ntg-sweep -- \
+///     --name synmini --workloads synthetic:64 --cores 4 \
+///     --fabrics xpipes,crossbar --masters synthetic \
+///     --patterns uniform,transpose --shapes bernoulli \
+///     --rates 0.05,0.2 --seed 7 --threads 1 --no-store --quiet \
+///     --out crates/report/tests/data/synmini.jsonl
+/// cargo run -p ntg-report --bin ntg-report -- \
+///     crates/report/tests/data/synmini.jsonl \
+///     --md crates/report/tests/golden/synmini/report.md \
+///     --csv crates/report/tests/golden/synmini
+/// ```
+fn synmini() -> Campaign {
+    load_campaign(&testdata("data/synmini.jsonl")).unwrap()
+}
+
+#[test]
+fn synthetic_campaign_carries_canonical_injection_rates() {
+    let c = synmini();
+    assert_eq!(c.jobs.len(), 8);
+    assert!(c.jobs.iter().all(|j| j.master == "synthetic"));
+    assert!(c
+        .jobs
+        .iter()
+        .all(|j| j.offered_rate.is_some() && j.accepted_rate.is_some()));
+}
+
+#[test]
+fn synthetic_saturation_view_matches_the_goldens() {
+    let c = synmini();
+    assert_eq!(render::markdown(&c), golden("synmini/report.md"));
+    let rows = saturation(&c);
+    assert_eq!(
+        render::csv_saturation(&rows),
+        golden("synmini/saturation.csv")
+    );
+    // Every low-rate point keeps up; every 0.2 point is past the knee.
+    for r in &rows {
+        let expect = r.mode.contains("@0.2/");
+        assert_eq!(r.saturated, Some(expect), "{}|{}", r.interconnect, r.mode);
+    }
+}
+
 #[test]
 fn table2_view_reproduces_the_campaign_error_columns() {
     // The error % in the report must be exactly the canonical

@@ -41,6 +41,7 @@ mod common;
 mod des;
 mod mp_matrix;
 mod sp_matrix;
+pub mod synthetic;
 
 use ntg_platform::{InterconnectChoice, Platform, PlatformBuilder, PlatformError};
 
@@ -67,6 +68,13 @@ pub enum Workload {
         /// Blocks encrypted by each core.
         blocks_per_core: u32,
     },
+    /// Synthetic pattern × shape traffic (no CPU program, no trace):
+    /// every master injects this many packets per the campaign's
+    /// [`synthetic::SyntheticSpec`] descriptor.
+    Synthetic {
+        /// Packets injected per master before halting.
+        packets: u32,
+    },
 }
 
 /// The compact `name:param` spec notation (`sp_matrix:16`,
@@ -79,6 +87,7 @@ impl std::fmt::Display for Workload {
             Workload::Cacheloop { iterations } => write!(f, "cacheloop:{iterations}"),
             Workload::MpMatrix { n } => write!(f, "mp_matrix:{n}"),
             Workload::Des { blocks_per_core } => write!(f, "des:{blocks_per_core}"),
+            Workload::Synthetic { packets } => write!(f, "synthetic:{packets}"),
         }
     }
 }
@@ -101,8 +110,10 @@ impl std::str::FromStr for Workload {
             "des" => Ok(Workload::Des {
                 blocks_per_core: param,
             }),
+            "synthetic" => Ok(Workload::Synthetic { packets: param }),
             _ => Err(format!(
-                "unknown workload `{name}` (expected sp_matrix, cacheloop, mp_matrix or des)"
+                "unknown workload `{name}` (expected sp_matrix, cacheloop, mp_matrix, des \
+                 or synthetic)"
             )),
         }
     }
@@ -116,6 +127,7 @@ impl Workload {
             Workload::Cacheloop { .. } => "Cacheloop",
             Workload::MpMatrix { .. } => "MP matrix",
             Workload::Des { .. } => "DES",
+            Workload::Synthetic { .. } => "Synthetic",
         }
     }
 
@@ -126,6 +138,7 @@ impl Workload {
             Workload::Cacheloop { .. } => Workload::Cacheloop { iterations: 500 },
             Workload::MpMatrix { .. } => Workload::MpMatrix { n: 8 },
             Workload::Des { .. } => Workload::Des { blocks_per_core: 2 },
+            Workload::Synthetic { .. } => Workload::Synthetic { packets: 64 },
         }
     }
 
@@ -141,6 +154,9 @@ impl Workload {
             Workload::Cacheloop { iterations } => cacheloop::program(core, iterations),
             Workload::MpMatrix { n } => mp_matrix::program(core, cores, n),
             Workload::Des { blocks_per_core } => des::program(core, cores, blocks_per_core),
+            Workload::Synthetic { .. } => {
+                panic!("synthetic workloads have no CPU program; build a SyntheticTg platform")
+            }
         }
     }
 
@@ -150,7 +166,8 @@ impl Workload {
         match *self {
             Workload::MpMatrix { n } => mp_matrix::preload(builder, n),
             Workload::Des { blocks_per_core } => des::preload(builder, cores, blocks_per_core),
-            Workload::SpMatrix { .. } | Workload::Cacheloop { .. } => {}
+            Workload::SpMatrix { .. } | Workload::Cacheloop { .. } | Workload::Synthetic { .. } => {
+            }
         }
     }
 
@@ -209,6 +226,9 @@ impl Workload {
             Workload::Cacheloop { .. } => Ok(()), // no memory output
             Workload::MpMatrix { n } => mp_matrix::verify(platform, cores, n),
             Workload::Des { blocks_per_core } => des::verify(platform, cores, blocks_per_core),
+            // Synthetic traffic carries random payloads with no golden
+            // model; determinism is checked at the campaign level.
+            Workload::Synthetic { .. } => Ok(()),
         }
     }
 
@@ -220,6 +240,7 @@ impl Workload {
                 vec![2, 4, 6, 8, 10, 12]
             }
             Workload::Des { .. } => vec![3, 4, 6, 8, 10, 12],
+            Workload::Synthetic { .. } => vec![2, 4, 8],
         }
     }
 }

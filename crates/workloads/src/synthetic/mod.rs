@@ -1,0 +1,246 @@
+//! Synthetic traffic workloads: pattern × temporal-shape generators.
+//!
+//! The trace-driven TG pipeline caps scenario diversity at the benchmark
+//! programs we hand-write; this module provides the standard NoC
+//! evaluation grid instead. A [`SyntheticTg`] master needs no trace or
+//! translation step — it generates OCP packets directly from a
+//! destination [`Pattern`] (uniform, bit-complement, bit-shuffle,
+//! transpose, tornado, nearest-neighbor, hotspot) and a temporal
+//! [`ShapeKind`] (Bernoulli at rate λ, periodic bursts, on/off square
+//! waves), seeded per master so campaigns stay byte-identical across
+//! host threads and shards.
+//!
+//! The compact descriptor grammar used by campaign specs and the
+//! `ntg-sweep` CLI is
+//!
+//! ```text
+//! <pattern>+<shape>@<rate>/<words>
+//! ```
+//!
+//! e.g. `uniform+bernoulli@0.05/4`, `transpose+burst:8@0.1/2`,
+//! `hotspot:80+onoff:256:768@0.05/4` — see [`SyntheticSpec`].
+
+mod pattern;
+mod shape;
+mod tg;
+
+pub use pattern::{Pattern, ALL_PATTERNS};
+pub use shape::{Schedule, ShapeKind, ALL_SHAPES};
+pub use tg::{SyntheticConfig, SyntheticTg};
+
+use ntg_core::rng::derive_seed;
+use ntg_platform::{InterconnectChoice, MasterKind, Platform, PlatformBuilder, PlatformError};
+
+/// A complete synthetic traffic descriptor: destination pattern,
+/// temporal shape, long-run injection rate and packet size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticSpec {
+    /// Destination-selection pattern.
+    pub pattern: Pattern,
+    /// Temporal injection shape.
+    pub shape: ShapeKind,
+    /// Long-run average injection rate in packets/cycle/master, in
+    /// `(0, 1]`.
+    pub rate: f64,
+    /// Words per packet (≥ 1; ≤ 4 keeps payloads inline/alloc-free).
+    pub words: u32,
+}
+
+impl SyntheticSpec {
+    /// Validates the numeric fields.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.rate > 0.0 && self.rate <= 1.0) {
+            return Err(format!("rate {} outside (0, 1]", self.rate));
+        }
+        if self.words < 1 || self.words > 64 {
+            return Err(format!("packet size {} words outside 1..=64", self.words));
+        }
+        Ok(())
+    }
+}
+
+/// The `<pattern>+<shape>@<rate>/<words>` descriptor notation. The rate
+/// uses Rust's shortest-round-trip float formatting, so
+/// `to_string().parse()` is exact.
+impl std::fmt::Display for SyntheticSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}+{}@{}/{}",
+            self.pattern, self.shape, self.rate, self.words
+        )
+    }
+}
+
+impl std::str::FromStr for SyntheticSpec {
+    type Err = String;
+
+    /// Parses the descriptor notation produced by [`Display`].
+    fn from_str(s: &str) -> Result<Self, String> {
+        let (front, tail) = s
+            .rsplit_once('@')
+            .ok_or_else(|| format!("synthetic spec `{s}` has no `@<rate>/<words>`"))?;
+        let (rate, words) = tail
+            .split_once('/')
+            .ok_or_else(|| format!("synthetic spec `{s}`: `{tail}` is not `<rate>/<words>`"))?;
+        let rate: f64 = rate
+            .parse()
+            .map_err(|_| format!("synthetic spec `{s}`: rate `{rate}` is not a number"))?;
+        let words: u32 = words
+            .parse()
+            .map_err(|_| format!("synthetic spec `{s}`: `{words}` is not a word count"))?;
+        let (pattern, shape) = front
+            .split_once('+')
+            .ok_or_else(|| format!("synthetic spec `{s}` has no `<pattern>+<shape>`"))?;
+        let spec = SyntheticSpec {
+            pattern: pattern.parse()?,
+            shape: shape.parse()?,
+            rate,
+            words,
+        };
+        spec.validate()
+            .map_err(|e| format!("synthetic spec `{s}`: {e}"))?;
+        Ok(spec)
+    }
+}
+
+/// Platform-builder extension adding synthetic traffic-generator
+/// masters.
+pub trait SyntheticPlatformExt {
+    /// Adds one [`SyntheticTg`] master driven by `spec`, halting after
+    /// `packets` packets. Each master's PRNG stream is derived from
+    /// `seed` and its core index, so the same call on every core still
+    /// yields decorrelated (but reproducible) traffic.
+    fn add_synthetic_tg(&mut self, spec: SyntheticSpec, packets: u64, seed: u64) -> &mut Self;
+}
+
+impl SyntheticPlatformExt for PlatformBuilder {
+    fn add_synthetic_tg(&mut self, spec: SyntheticSpec, packets: u64, seed: u64) -> &mut Self {
+        self.add_master(MasterKind::Custom(Box::new(move |ctx, port| {
+            let cfg = SyntheticConfig {
+                pattern: spec.pattern,
+                schedule: Schedule::new(spec.shape, spec.rate),
+                words: spec.words,
+                packets,
+                seed: derive_seed(seed, ctx.core as u64),
+            };
+            Box::new(SyntheticTg::new(
+                format!("syn{}", ctx.core),
+                port,
+                cfg,
+                ctx.core,
+                ctx.cores,
+            ))
+        })))
+    }
+}
+
+/// Builds a complete platform of `cores` synthetic masters, each
+/// injecting `packets` packets per `spec`.
+///
+/// # Errors
+///
+/// Propagates [`PlatformError`] from the builder.
+///
+/// # Panics
+///
+/// Panics if `spec` fails [`SyntheticSpec::validate`] — campaign specs
+/// are validated at parse time, so a panic here indicates a caller bug.
+pub fn build_synthetic_platform(
+    cores: usize,
+    interconnect: InterconnectChoice,
+    spec: SyntheticSpec,
+    packets: u64,
+    seed: u64,
+) -> Result<Platform, PlatformError> {
+    spec.validate().expect("invalid synthetic spec");
+    let mut b = PlatformBuilder::new();
+    b.interconnect(interconnect);
+    for _ in 0..cores {
+        b.add_synthetic_tg(spec, packets, seed);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_platform::MasterReport;
+
+    #[test]
+    fn descriptor_round_trips() {
+        for s in [
+            "uniform+bernoulli@0.05/4",
+            "complement+bernoulli@0.2/1",
+            "shuffle+burst:8@0.1/2",
+            "transpose+burst:16@0.125/4",
+            "tornado+onoff:256:768@0.05/4",
+            "neighbor+bernoulli@1/1",
+            "hotspot:80+onoff:64:192@0.01/4",
+        ] {
+            let spec: SyntheticSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s);
+            assert_eq!(spec.to_string().parse::<SyntheticSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn bad_descriptors_rejected() {
+        for s in [
+            "uniform+bernoulli",          // no @rate/words
+            "uniform@0.05/4",             // no +shape
+            "uniform+bernoulli@0.05",     // no /words
+            "uniform+bernoulli@0/4",      // zero rate
+            "uniform+bernoulli@1.5/4",    // rate > 1
+            "uniform+bernoulli@0.05/0",   // zero words
+            "uniform+bernoulli@0.05/100", // oversized packet
+            "warp+bernoulli@0.05/4",      // unknown pattern
+            "uniform+sine@0.05/4",        // unknown shape
+        ] {
+            assert!(s.parse::<SyntheticSpec>().is_err(), "{s} should fail");
+        }
+    }
+
+    #[test]
+    fn platform_of_synthetic_masters_runs_to_completion() {
+        let spec: SyntheticSpec = "uniform+bernoulli@0.2/4".parse().unwrap();
+        let mut p = build_synthetic_platform(4, InterconnectChoice::Crossbar, spec, 64, 7).unwrap();
+        let report = p.run(2_000_000);
+        assert!(report.completed, "synthetic platform must drain");
+        let mut packets = 0;
+        for m in &report.masters {
+            let MasterReport::Synthetic { packets: p, .. } = m else {
+                panic!("expected synthetic master reports");
+            };
+            packets += p;
+        }
+        assert_eq!(packets, 4 * 64);
+        let (offered, accepted) = report.synthetic_rates().unwrap();
+        assert!(offered > 0.0 && accepted > 0.0 && accepted <= offered + 1e-9);
+    }
+
+    #[test]
+    fn same_seed_same_completion_cycle() {
+        // Deterministic pattern × shape: timing is seed-independent by
+        // construction (the seed only varies payloads and offsets).
+        let spec: SyntheticSpec = "transpose+burst:4@0.1/2".parse().unwrap();
+        let run = |spec: SyntheticSpec, seed| {
+            let mut p =
+                build_synthetic_platform(4, InterconnectChoice::Xpipes, spec, 48, seed).unwrap();
+            let r = p.run(2_000_000);
+            assert!(r.completed);
+            r.execution_time().unwrap()
+        };
+        assert_eq!(run(spec, 1), run(spec, 1));
+        assert_eq!(run(spec, 1), run(spec, 2));
+        // Random pattern × shape: reproducible per seed, different
+        // across seeds.
+        let spec: SyntheticSpec = "uniform+bernoulli@0.1/2".parse().unwrap();
+        assert_eq!(run(spec, 1), run(spec, 1));
+        assert_ne!(run(spec, 1), run(spec, 2));
+    }
+}

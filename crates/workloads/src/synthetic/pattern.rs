@@ -1,0 +1,205 @@
+//! Destination patterns — the classic NoC evaluation set.
+//!
+//! Each pattern maps a source node to a destination node. The
+//! bit-permutation patterns (complement, shuffle, transpose) are defined
+//! on `b = ⌊log₂ cores⌋` bits, matching the standard k-ary mesh
+//! formulations; on non-power-of-two platforms the permuted index is
+//! reduced `mod cores` so every node still has a defined target.
+//! Deterministic patterns may map a node to itself (the transpose
+//! diagonal): such traffic still crosses the interconnect, because every
+//! private memory is a fabric slave.
+
+use ntg_core::rng::Xoshiro256;
+
+/// A destination-selection pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pattern {
+    /// Uniform random over all *other* nodes.
+    Uniform,
+    /// Bitwise complement of the source index.
+    BitComplement,
+    /// Rotate-left by one bit (the perfect shuffle).
+    BitShuffle,
+    /// Swap the high and low halves of the index bits (matrix
+    /// transpose); rotation by ⌊b/2⌋ bits for odd bit widths.
+    Transpose,
+    /// Half-way around the ring: `(src + cores/2) mod cores`.
+    Tornado,
+    /// The next node on the ring: `(src + 1) mod cores`.
+    NearestNeighbor,
+    /// `percent`% of packets to the hot node (node 0), the rest uniform
+    /// random over the other nodes.
+    Hotspot {
+        /// Share of packets aimed at the hot node, in percent (0–100).
+        percent: u8,
+    },
+}
+
+/// All patterns (hotspot at its conventional 80%), in the order the
+/// saturation experiments sweep them.
+pub const ALL_PATTERNS: [Pattern; 7] = [
+    Pattern::Uniform,
+    Pattern::BitComplement,
+    Pattern::BitShuffle,
+    Pattern::Transpose,
+    Pattern::Tornado,
+    Pattern::NearestNeighbor,
+    Pattern::Hotspot { percent: 80 },
+];
+
+impl Pattern {
+    /// Picks the destination node for one packet from `src` on a
+    /// `cores`-node platform. Random patterns draw from `rng`;
+    /// deterministic patterns consume no randomness.
+    pub fn dest(&self, src: usize, cores: usize, rng: &mut Xoshiro256) -> usize {
+        if cores <= 1 {
+            return 0;
+        }
+        let bits = usize::BITS - 1 - (cores.leading_zeros());
+        let bits = bits.max(1);
+        let mask = (1usize << bits) - 1;
+        match *self {
+            Pattern::Uniform => uniform_other(src, cores, rng),
+            Pattern::BitComplement => (!src & mask) % cores,
+            Pattern::BitShuffle => ((src << 1 | src >> (bits - 1) as usize) & mask) % cores,
+            Pattern::Transpose => {
+                let lo = (bits / 2) as usize;
+                if lo == 0 {
+                    src % cores
+                } else {
+                    ((src >> lo | src << (bits as usize - lo)) & mask) % cores
+                }
+            }
+            Pattern::Tornado => (src + cores / 2) % cores,
+            Pattern::NearestNeighbor => (src + 1) % cores,
+            Pattern::Hotspot { percent } => {
+                if rng.bool(f64::from(percent) / 100.0) {
+                    0
+                } else {
+                    uniform_other(src, cores, rng)
+                }
+            }
+        }
+    }
+}
+
+/// Uniform over `0..cores` excluding `src`.
+fn uniform_other(src: usize, cores: usize, rng: &mut Xoshiro256) -> usize {
+    let d = rng.below(cores as u64 - 1) as usize;
+    if d >= src {
+        d + 1
+    } else {
+        d
+    }
+}
+
+impl std::fmt::Display for Pattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Pattern::Uniform => f.write_str("uniform"),
+            Pattern::BitComplement => f.write_str("complement"),
+            Pattern::BitShuffle => f.write_str("shuffle"),
+            Pattern::Transpose => f.write_str("transpose"),
+            Pattern::Tornado => f.write_str("tornado"),
+            Pattern::NearestNeighbor => f.write_str("neighbor"),
+            Pattern::Hotspot { percent } => write!(f, "hotspot:{percent}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Pattern {
+    type Err = String;
+
+    /// Parses the names printed by [`Display`] (`uniform`, `complement`,
+    /// `shuffle`, `transpose`, `tornado`, `neighbor`, `hotspot:<pct>`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "uniform" => Ok(Pattern::Uniform),
+            "complement" => Ok(Pattern::BitComplement),
+            "shuffle" => Ok(Pattern::BitShuffle),
+            "transpose" => Ok(Pattern::Transpose),
+            "tornado" => Ok(Pattern::Tornado),
+            "neighbor" => Ok(Pattern::NearestNeighbor),
+            _ => {
+                if let Some(pct) = s.strip_prefix("hotspot:") {
+                    let percent: u8 = pct
+                        .parse()
+                        .ok()
+                        .filter(|p| *p <= 100)
+                        .ok_or_else(|| format!("hotspot percent `{pct}` is not 0..=100"))?;
+                    Ok(Pattern::Hotspot { percent })
+                } else {
+                    Err(format!(
+                        "unknown pattern `{s}` (expected uniform, complement, shuffle, \
+                         transpose, tornado, neighbor or hotspot:<pct>)"
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for p in ALL_PATTERNS {
+            assert_eq!(p.to_string().parse::<Pattern>().unwrap(), p);
+        }
+        assert!("hotspot:101".parse::<Pattern>().is_err());
+        assert!("hotspot:".parse::<Pattern>().is_err());
+        assert!("nope".parse::<Pattern>().is_err());
+    }
+
+    #[test]
+    fn destinations_stay_in_range() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for cores in [1usize, 2, 3, 4, 6, 8, 12, 16] {
+            for p in ALL_PATTERNS {
+                for src in 0..cores {
+                    for _ in 0..8 {
+                        let d = p.dest(src, cores, &mut rng);
+                        assert!(d < cores, "{p} src {src} of {cores} -> {d}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_never_targets_self() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        for _ in 0..200 {
+            for src in 0..8 {
+                assert_ne!(Pattern::Uniform.dest(src, 8, &mut rng), src);
+            }
+        }
+    }
+
+    #[test]
+    fn classic_patterns_match_on_power_of_two() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        // 8 nodes, 3 bits.
+        assert_eq!(Pattern::BitComplement.dest(0b011, 8, &mut rng), 0b100);
+        assert_eq!(Pattern::BitShuffle.dest(0b110, 8, &mut rng), 0b101);
+        assert_eq!(Pattern::Tornado.dest(6, 8, &mut rng), 2);
+        assert_eq!(Pattern::NearestNeighbor.dest(7, 8, &mut rng), 0);
+        // 16 nodes, 4 bits: transpose swaps the 2-bit halves.
+        assert_eq!(Pattern::Transpose.dest(0b0111, 16, &mut rng), 0b1101);
+    }
+
+    #[test]
+    fn hotspot_hits_the_hot_node() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let p = Pattern::Hotspot { percent: 100 };
+        for src in 1..8 {
+            assert_eq!(p.dest(src, 8, &mut rng), 0);
+        }
+        let p = Pattern::Hotspot { percent: 0 };
+        for src in 0..8 {
+            assert_ne!(p.dest(src, 8, &mut rng), src, "falls back to uniform");
+        }
+    }
+}

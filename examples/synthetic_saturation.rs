@@ -1,0 +1,47 @@
+//! Injection-rate saturation in ~40 lines: sweep the offered rate λ of
+//! uniform-random Bernoulli traffic on one fabric and watch the
+//! accepted rate pin at the saturation throughput while latency climbs.
+//!
+//! `SyntheticTg` masters schedule packets blind to back-pressure, so
+//! "offered" is a property of the spec and "accepted" is a measurement;
+//! the growing gap between the two columns *is* the saturation curve.
+//! The campaign-scale version of this sweep (two fabrics, three
+//! patterns) is `ntg-sweep --preset saturation`.
+//!
+//! Run with: `cargo run --release --example synthetic_saturation`
+
+use ntg::platform::InterconnectChoice;
+use ntg::workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
+
+const CORES: usize = 8;
+const PACKETS: u64 = 256;
+const SEED: u64 = 7;
+const MAX_CYCLES: u64 = 2_000_000;
+
+fn main() {
+    let fabric = InterconnectChoice::Xpipes;
+    println!("uniform+bernoulli traffic, {CORES} cores on {fabric}, {PACKETS} packets/master\n");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>5}",
+        "rate", "offered", "accepted", "latency", "sat"
+    );
+    for rate in [0.02, 0.05, 0.08, 0.12, 0.16, 0.2] {
+        let spec: SyntheticSpec = format!("uniform+bernoulli@{rate}/4")
+            .parse()
+            .expect("valid descriptor");
+        let mut p =
+            build_synthetic_platform(CORES, fabric, spec, PACKETS, SEED).expect("build platform");
+        let report = p.run(MAX_CYCLES);
+        assert!(report.completed, "raise MAX_CYCLES");
+        let (offered, accepted) = report
+            .synthetic_rates()
+            .expect("synthetic masters report rates");
+        let latency = report.latency.map_or(0.0, |(mean, _max)| mean);
+        let sat = if accepted < 0.99 * offered {
+            "SAT"
+        } else {
+            "ok"
+        };
+        println!("{rate:>6} {offered:>9.4} {accepted:>9.4} {latency:>9.2} {sat:>5}");
+    }
+}
