@@ -50,9 +50,14 @@ timeout 300 ./target/release/ntg-bench --smoke --out "$BENCH_SMOKE_JSON" > /dev/
 python3 - "$BENCH_SMOKE_JSON" <<'PYEOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == "ntg-bench-hotpath-v1", r.get("schema")
-for key in ("mode", "warmup", "repeats", "peak_rss_kb", "alloc", "points"):
+assert r["schema"] == "ntg-bench-hotpath-v2", r.get("schema")
+for key in ("mode", "warmup", "repeats", "threads", "campaign",
+            "peak_rss_kb", "alloc", "points"):
     assert key in r, f"missing {key}"
+assert r["threads"] >= 1, "worker count must be recorded"
+for key in ("jobs", "wall_s_threads_1", "wall_s_threads_n", "parallel_speedup"):
+    assert key in r["campaign"], f"campaign missing {key}"
+assert r["campaign"]["jobs"] >= 1, "campaign leg ran no jobs"
 assert isinstance(r["points"], list) and r["points"], "no benchmark points"
 for p in r["points"]:
     for leg in ("arm", "tg_skip", "tg_noskip"):

@@ -2,7 +2,9 @@
 //!
 //! Replays a fixed subset of the Table 2 points — the ARM reference and
 //! the TG replay, with event-horizon skipping both on and off — under
-//! warmup/repeat/median timing, and writes the measurements to a
+//! warmup/repeat/min timing (the minimum over repeats is the
+//! least-interference estimate, which keeps the trajectory readable on
+//! noisy shared hosts), and writes the measurements to a
 //! machine-readable JSON file (`BENCH_hotpath.json` by default). Checking
 //! that file in per commit gives the repo a performance trajectory:
 //! regressions show up as a diff, not as an anecdote.
@@ -14,9 +16,18 @@
 //! cycles and transaction counts as the skip-on leg, which `ci.sh`
 //! enforces on the emitted JSON.
 //!
+//! Since the v2 schema the report also carries an in-process campaign
+//! parallelism leg: the same points run as a warm-store campaign with
+//! one worker and with `threads` workers (Send platforms sharing one
+//! in-memory artifact cache and one open store handle), so the
+//! parallel-campaign wall-clock win is part of the recorded trajectory.
+//! Passing `--baseline PATH` folds a previous report's wall times into
+//! each point (`baseline` / `speedup_vs_baseline`), which is how the
+//! arena-vs-Rc before/after comparison is recorded.
+//!
 //! Usage:
 //!   `cargo run --release -p ntg-bench --bin ntg-bench -- [--smoke]
-//!    [--warmup N] [--repeats N] [--out PATH]`
+//!    [--warmup N] [--repeats N] [--out PATH] [--baseline PATH]`
 //!
 //! Build with `--features alloc-count` to include allocation counts in
 //! the report (slightly perturbs timings; keep trajectory comparisons
@@ -24,9 +35,9 @@
 
 use std::time::Duration;
 
-use ntg_bench::{alloc_count, median, peak_rss_kb, run_checked, time, trace_and_translate};
+use ntg_bench::{alloc_count, peak_rss_kb, run_checked, time, trace_and_translate};
 use ntg_core::TgImage;
-use ntg_explore::Json;
+use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, Json, RunOptions};
 use ntg_platform::{InterconnectChoice, Platform, RunReport};
 use ntg_workloads::Workload;
 
@@ -108,10 +119,11 @@ impl Leg {
     }
 }
 
-/// Runs `build()` `warmup + repeats` times and reports the median wall
-/// time over the timed repeats, with the last run's cycle accounting
-/// (cycle counts are deterministic, so any run's counts are *the*
-/// counts — asserted below).
+/// Runs `build()` `warmup + repeats` times and reports the minimum wall
+/// time over the timed repeats (run-to-run noise only ever adds time,
+/// so the minimum is the stable estimator), with the last run's cycle
+/// accounting (cycle counts are deterministic, so any run's counts are
+/// *the* counts — asserted below).
 fn measure(what: &str, warmup: usize, repeats: usize, mut build: impl FnMut() -> Platform) -> Leg {
     let mut last: Option<RunReport> = None;
     let mut walls = Vec::with_capacity(repeats);
@@ -132,8 +144,59 @@ fn measure(what: &str, warmup: usize, repeats: usize, mut build: impl FnMut() ->
         ticked_cycles: report.ticked_cycles,
         skipped_cycles: report.skipped_cycles,
         transactions: report.transactions,
-        wall: median(&mut walls),
+        wall: walls.iter().copied().min().expect("at least one repeat"),
     }
+}
+
+/// Pulls the matching point's per-leg wall times out of a previous
+/// report (v1 or v2 — the leg layout is unchanged).
+fn baseline_walls(doc: &Json, bench: &str, cores: usize) -> Option<[f64; 3]> {
+    let Json::Arr(points) = doc.get("points")? else {
+        return None;
+    };
+    let point = points.iter().find(|p| {
+        p.get("bench").and_then(Json::as_str) == Some(bench)
+            && p.get("cores").and_then(Json::as_u64) == Some(cores as u64)
+    })?;
+    let wall = |leg: &str| point.get(leg)?.get("wall_s")?.as_f64();
+    Some([wall("arm")?, wall("tg_skip")?, wall("tg_noskip")?])
+}
+
+/// Runs the bench points as a warm-store campaign with 1 worker and
+/// with `threads` in-process workers; returns `(jobs, wall_1t, wall_nt)`.
+fn campaign_leg(points: &[Point], smoke: bool, threads: usize) -> (usize, f64, f64) {
+    let mut spec = CampaignSpec::new(if smoke {
+        "bench-campaign-smoke"
+    } else {
+        "bench-campaign"
+    });
+    spec.workloads = points.iter().map(|p| p.workload).collect();
+    spec.cores = CoreSelection::List(if smoke { vec![2] } else { vec![2, 4] });
+    let store = std::env::temp_dir().join(format!("ntg-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let run = |threads: usize| {
+        run_campaign(
+            &spec,
+            &RunOptions {
+                threads,
+                store: Some(store.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .expect("campaign leg")
+    };
+    // Warm the persistent store so both measured legs replay the same
+    // cached artifacts instead of racing to build them.
+    let warm = run(threads);
+    assert!(
+        warm.results.iter().all(|r| r.error.is_none()),
+        "campaign leg failed: {:?}",
+        warm.results.iter().find_map(|r| r.error.clone())
+    );
+    let single = run(1);
+    let parallel = run(threads);
+    let _ = std::fs::remove_dir_all(&store);
+    (warm.results.len(), single.wall_secs, parallel.wall_secs)
 }
 
 fn main() {
@@ -155,6 +218,15 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .map(|path| {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+            Json::parse(&text).unwrap_or_else(|e| panic!("parse baseline {path}: {e}"))
+        });
 
     let points = if smoke { smoke_points() } else { full_points() };
     let ic = InterconnectChoice::Amba;
@@ -223,24 +295,80 @@ fn main() {
             tg_noskip.ticked_per_sec() / 1e6,
         );
 
-        point_jsons.push(Json::Obj(vec![
+        let mut fields = vec![
             ("bench".into(), Json::Str(name.to_string())),
             ("cores".into(), Json::Int(cores as i64)),
             ("interconnect".into(), Json::Str(ic.to_string())),
             ("arm".into(), arm.to_json()),
             ("tg_skip".into(), tg_skip.to_json()),
             ("tg_noskip".into(), tg_noskip.to_json()),
-        ]));
+        ];
+        if let Some([b_arm, b_skip, b_noskip]) = baseline
+            .as_ref()
+            .and_then(|doc| baseline_walls(doc, name, cores))
+        {
+            let ratio =
+                |base: f64, new: &Leg| (base / new.wall.as_secs_f64() * 1000.0).round() / 1000.0;
+            fields.push((
+                "baseline".into(),
+                Json::Obj(vec![
+                    ("arm_wall_s".into(), Json::Float(b_arm)),
+                    ("tg_skip_wall_s".into(), Json::Float(b_skip)),
+                    ("tg_noskip_wall_s".into(), Json::Float(b_noskip)),
+                ]),
+            ));
+            fields.push((
+                "speedup_vs_baseline".into(),
+                Json::Obj(vec![
+                    ("arm".into(), Json::Float(ratio(b_arm, &arm))),
+                    ("tg_skip".into(), Json::Float(ratio(b_skip, &tg_skip))),
+                    ("tg_noskip".into(), Json::Float(ratio(b_noskip, &tg_noskip))),
+                ]),
+            ));
+            println!(
+                "   vs baseline: ARM {:.2}x | TG skip {:.2}x | TG tick {:.2}x",
+                b_arm / arm.wall.as_secs_f64(),
+                b_skip / tg_skip.wall.as_secs_f64(),
+                b_noskip / tg_noskip.wall.as_secs_f64(),
+            );
+        }
+        point_jsons.push(Json::Obj(fields));
     }
 
+    // At least two workers even on a single-core host: the point of the
+    // leg is exercising concurrent workers against one shared cache and
+    // store handle; the speedup column is only meaningful with cores.
+    let threads = std::thread::available_parallelism()
+        .map_or(2, usize::from)
+        .clamp(2, 8);
+    println!("-- campaign leg: {threads} in-process workers, warm shared store");
+    let (jobs, wall_1t, wall_nt) = campaign_leg(&points, smoke, threads);
+    println!(
+        "   {jobs} jobs | 1 worker {wall_1t:.3}s | {threads} workers {wall_nt:.3}s ({:.2}x)",
+        wall_1t / wall_nt
+    );
+
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("ntg-bench-hotpath-v1".into())),
+        ("schema".into(), Json::Str("ntg-bench-hotpath-v2".into())),
         (
             "mode".into(),
             Json::Str(if smoke { "smoke" } else { "full" }.into()),
         ),
         ("warmup".into(), Json::Int(warmup as i64)),
         ("repeats".into(), Json::Int(repeats as i64)),
+        ("threads".into(), Json::Int(threads as i64)),
+        (
+            "campaign".into(),
+            Json::Obj(vec![
+                ("jobs".into(), Json::Int(jobs as i64)),
+                ("wall_s_threads_1".into(), Json::Float(wall_1t)),
+                ("wall_s_threads_n".into(), Json::Float(wall_nt)),
+                (
+                    "parallel_speedup".into(),
+                    Json::Float((wall_1t / wall_nt * 1000.0).round() / 1000.0),
+                ),
+            ]),
+        ),
         (
             "peak_rss_kb".into(),
             peak_rss_kb().map_or(Json::Null, |kb| Json::Int(kb as i64)),

@@ -116,3 +116,52 @@ fn synthetic_steady_state_ticks_do_not_allocate() {
          over 10k cycles — SyntheticTg must stay on the zero-copy plane"
     );
 }
+
+#[test]
+fn two_platforms_on_two_threads_stay_allocation_free() {
+    // The arena data plane makes a platform a plain `Send` value, so
+    // campaign workers run whole platforms on worker threads. The
+    // zero-steady-state-allocation property must hold there too — and
+    // concurrently, since the counting allocator is global: any
+    // per-cycle allocation on either thread shows up in the shared
+    // counters. Both platforms warm up first (queue growth, lazy sync
+    // primitives, thread bookkeeping) before the measured window opens.
+    let workload = Workload::Cacheloop { iterations: 5_000 };
+    let cores = 2;
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let build = || {
+        let mut p = workload
+            .build_tg_platform(images.clone(), InterconnectChoice::Amba, false)
+            .expect("build TG platform");
+        p.set_cycle_skipping(false);
+        p.enable_metrics();
+        p
+    };
+    let mut a = build();
+    let mut b = build();
+
+    // Warm up on the worker threads themselves so thread-spawn and
+    // first-tick growth allocations land outside the measured window.
+    let barrier = std::sync::Barrier::new(2);
+    std::thread::scope(|s| {
+        let handles = [&mut a, &mut b].map(|p| {
+            let barrier = &barrier;
+            s.spawn(move || {
+                p.step(2_000);
+                assert!(!p.is_quiesced(), "warmup must leave live traffic");
+                barrier.wait();
+                let allocs_before = alloc_count::allocations();
+                p.step(10_000);
+                alloc_count::allocations() - allocs_before
+            })
+        });
+        for h in handles {
+            let allocs = h.join().unwrap();
+            assert_eq!(
+                allocs, 0,
+                "concurrent steady-state hot path allocated {allocs} times \
+                 over 10k cycles — the Send data plane regressed"
+            );
+        }
+    });
+}

@@ -14,9 +14,8 @@
 //! task is not blocked on an outstanding OCP transaction — hardware
 //! cannot retract a request that is already driving the wires.
 
-use ntg_ocp::MasterPort;
+use ntg_ocp::{LinkArena, MasterPort};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 use crate::image::TgImage;
 use crate::tgcore::{TgCore, TgFault, TgStats};
@@ -66,7 +65,7 @@ pub struct SchedulerStats {
 ///                           TimesliceConfig::default());
 /// ```
 pub struct TgMultiCore {
-    name: Rc<str>,
+    name: String,
     tasks: Vec<TgCore>,
     current: usize,
     slice_left: u32,
@@ -82,7 +81,7 @@ impl TgMultiCore {
     ///
     /// Panics if `images` is empty or the quantum is zero.
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         port: MasterPort,
         images: Vec<TgImage>,
         cfg: TimesliceConfig,
@@ -93,7 +92,7 @@ impl TgMultiCore {
         let tasks = images
             .into_iter()
             .enumerate()
-            .map(|(i, image)| TgCore::new(format!("{name}.task{i}"), port.clone(), image))
+            .map(|(i, image)| TgCore::new(format!("{name}.task{i}"), port, image))
             .collect();
         Self {
             name,
@@ -163,12 +162,12 @@ impl TgMultiCore {
     }
 }
 
-impl Component for TgMultiCore {
+impl Component<LinkArena> for TgMultiCore {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         if self.halted() {
             return;
         }
@@ -187,7 +186,7 @@ impl Component for TgMultiCore {
                 return;
             }
         }
-        self.tasks[self.current].tick(now);
+        self.tasks[self.current].tick(now, net);
         self.slice_left = self.slice_left.saturating_sub(1);
         if self.slice_left == 0 {
             if self.tasks[self.current].is_blocked() {
@@ -199,14 +198,14 @@ impl Component for TgMultiCore {
         }
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, _net: &LinkArena) -> bool {
         self.halted()
     }
 
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         if self.halted() {
             // Tasks share one port; any task's quiet check covers it.
-            return if self.tasks[self.current].is_idle() {
+            return if self.tasks[self.current].is_idle(net) {
                 Activity::Drained
             } else {
                 Activity::Busy
@@ -226,7 +225,7 @@ impl Component for TgMultiCore {
             return Activity::Busy;
         }
         let slice_end = now + Cycle::from(self.slice_left) - 1;
-        match self.tasks[self.current].next_activity(now) {
+        match self.tasks[self.current].next_activity(now, net) {
             Activity::IdleUntil(w) if w.min(slice_end) > now => {
                 Activity::IdleUntil(w.min(slice_end))
             }
@@ -234,7 +233,7 @@ impl Component for TgMultiCore {
         }
     }
 
-    fn skip(&mut self, now: Cycle, next: Cycle) {
+    fn skip(&mut self, now: Cycle, next: Cycle, net: &mut LinkArena) {
         if self.halted() {
             return;
         }
@@ -249,7 +248,7 @@ impl Component for TgMultiCore {
         // and the per-tick slice countdown. The hint above guarantees
         // `next` stays short of the preempting tick, so `slice_left`
         // never reaches zero here.
-        self.tasks[self.current].skip(now, next);
+        self.tasks[self.current].skip(now, next, net);
         self.slice_left -= n;
     }
 }
@@ -261,7 +260,7 @@ mod tests {
     use crate::isa::TgReg;
     use crate::program::{TgProgram, TgSymInstr};
     use ntg_mem::MemoryDevice;
-    use ntg_ocp::{channel, MasterId};
+    use ntg_ocp::MasterId;
 
     /// A task that writes `value` to `addr` then idles a bit, `n` times.
     fn writer_task(addr: u32, value: u32, n: usize) -> TgImage {
@@ -276,10 +275,10 @@ mod tests {
         assemble(&p).unwrap()
     }
 
-    fn run(mt: &mut TgMultiCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
+    fn run(net: &mut LinkArena, mt: &mut TgMultiCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
         for now in 0..max {
-            mt.tick(now);
-            mem.tick(now);
+            mt.tick(now, net);
+            mem.tick(now, net);
             if mt.halted() {
                 return now;
             }
@@ -289,7 +288,8 @@ mod tests {
 
     #[test]
     fn two_tasks_interleave_and_complete() {
-        let (mport, sport) = channel("tg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("tg", MasterId(0));
         let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
         let mut mt = TgMultiCore::new(
             "tg",
@@ -303,7 +303,7 @@ mod tests {
                 switch_penalty: 5,
             },
         );
-        run(&mut mt, &mut mem, 10_000);
+        run(&mut net, &mut mt, &mut mem, 10_000);
         assert_eq!(mem.peek(0x1000), 0xAAAA);
         assert_eq!(mem.peek(0x1004), 0xBBBB);
         assert!(
@@ -317,7 +317,8 @@ mod tests {
     #[test]
     fn context_switch_penalty_lengthens_the_run() {
         let build = |penalty: u32| {
-            let (mport, sport) = channel("tg", MasterId(0));
+            let mut net = LinkArena::new();
+            let (mport, sport) = net.channel("tg", MasterId(0));
             let mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
             let mt = TgMultiCore::new(
                 "tg",
@@ -328,12 +329,12 @@ mod tests {
                     switch_penalty: penalty,
                 },
             );
-            (mt, mem)
+            (net, mt, mem)
         };
-        let (mut cheap, mut mem1) = build(0);
-        let t_cheap = run(&mut cheap, &mut mem1, 100_000);
-        let (mut costly, mut mem2) = build(40);
-        let t_costly = run(&mut costly, &mut mem2, 100_000);
+        let (mut net1, mut cheap, mut mem1) = build(0);
+        let t_cheap = run(&mut net1, &mut cheap, &mut mem1, 100_000);
+        let (mut net2, mut costly, mut mem2) = build(40);
+        let t_costly = run(&mut net2, &mut costly, &mut mem2, 100_000);
         assert!(
             t_costly > t_cheap,
             "switch penalty must cost cycles: {t_cheap} vs {t_costly}"
@@ -350,7 +351,8 @@ mod tests {
         // must defer while a write waits for acceptance. If it switched
         // mid-transaction the other task's assert would panic the
         // channel ("already pending").
-        let (mport, sport) = channel("tg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("tg", MasterId(0));
         let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
         let mut mt = TgMultiCore::new(
             "tg",
@@ -361,14 +363,15 @@ mod tests {
                 switch_penalty: 0,
             },
         );
-        run(&mut mt, &mut mem, 100_000);
+        run(&mut net, &mut mt, &mut mem, 100_000);
         assert_eq!(mem.peek(0x1000), 7);
         assert_eq!(mem.peek(0x1004), 8);
     }
 
     #[test]
     fn single_task_never_switches() {
-        let (mport, sport) = channel("tg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("tg", MasterId(0));
         let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
         let mut mt = TgMultiCore::new(
             "tg",
@@ -379,13 +382,14 @@ mod tests {
                 switch_penalty: 10,
             },
         );
-        run(&mut mt, &mut mem, 10_000);
+        run(&mut net, &mut mt, &mut mem, 10_000);
         assert_eq!(mt.scheduler_stats().switches, 0);
     }
 
     #[test]
     fn halt_cycle_is_the_last_task_finish() {
-        let (mport, sport) = channel("tg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("tg", MasterId(0));
         let mut mem = MemoryDevice::new("ram", 0x1000, 0x100, sport);
         let mut mt = TgMultiCore::new(
             "tg",
@@ -393,7 +397,7 @@ mod tests {
             vec![writer_task(0x1000, 1, 1), writer_task(0x1004, 2, 8)],
             TimesliceConfig::default(),
         );
-        run(&mut mt, &mut mem, 100_000);
+        run(&mut net, &mut mt, &mut mem, 100_000);
         let finishes = mt.task_halt_cycles();
         assert_eq!(mt.halt_cycle(), finishes.iter().flatten().copied().max());
     }
@@ -401,7 +405,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one task")]
     fn empty_task_list_rejected() {
-        let (mport, _sport) = channel("tg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, _sport) = net.channel("tg", MasterId(0));
         let _ = TgMultiCore::new("tg", mport, vec![], TimesliceConfig::default());
     }
 }

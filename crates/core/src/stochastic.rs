@@ -20,9 +20,8 @@
 //! from its traffic.
 
 use crate::rng::Xoshiro256;
-use ntg_ocp::{DataWords, MasterPort, OcpRequest, OcpStatus};
+use ntg_ocp::{DataWords, LinkArena, MasterPort, OcpRequest, OcpStatus};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 /// Inter-arrival (idle-gap) distribution between transactions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,7 +180,7 @@ enum State {
 /// back-pressure even though the traffic itself carries no application
 /// structure.
 pub struct StochasticTg {
-    name: Rc<str>,
+    name: String,
     port: MasterPort,
     cfg: StochasticConfig,
     rng: Xoshiro256,
@@ -198,7 +197,7 @@ impl StochasticTg {
     ///
     /// Panics if `cfg.ranges` is empty, a range is empty/misaligned, or
     /// the fractions are outside `[0, 1]`.
-    pub fn new(name: impl Into<Rc<str>>, port: MasterPort, cfg: StochasticConfig) -> Self {
+    pub fn new(name: impl Into<String>, port: MasterPort, cfg: StochasticConfig) -> Self {
         assert!(!cfg.ranges.is_empty(), "need at least one address range");
         for &(base, size) in &cfg.ranges {
             assert!(
@@ -252,7 +251,7 @@ impl StochasticTg {
         base + self.rng.below(u64::from(span)) as u32 * 4
     }
 
-    fn issue(&mut self, now: Cycle) {
+    fn issue(&mut self, now: Cycle, net: &mut LinkArena) {
         let is_write = self.rng.bool(self.cfg.write_fraction);
         let is_burst = self.rng.bool(self.cfg.burst_fraction);
         let req = match (is_write, is_burst) {
@@ -270,7 +269,7 @@ impl StochasticTg {
             }
         };
         let expects = req.cmd.expects_response();
-        self.port.assert_request(req, now);
+        self.port.assert_request(net, req, now);
         self.issued += 1;
         self.state = if expects {
             State::WaitResp
@@ -296,12 +295,12 @@ impl StochasticTg {
     }
 }
 
-impl Component for StochasticTg {
+impl Component<LinkArena> for StochasticTg {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         let ready = match self.state {
             State::Halted => false,
             State::Ready => true,
@@ -315,7 +314,7 @@ impl Component for StochasticTg {
                 }
                 false
             }
-            State::WaitResp => match self.port.take_response(now) {
+            State::WaitResp => match self.port.take_response(net, now) {
                 Some(resp) => {
                     if resp.status != OcpStatus::Ok {
                         self.errors += 1;
@@ -325,7 +324,7 @@ impl Component for StochasticTg {
                 None => false,
             },
             State::WaitAccept => {
-                if self.port.take_accept(now).is_some() {
+                if self.port.take_accept(net, now).is_some() {
                     self.after_completion(now)
                 } else {
                     false
@@ -333,26 +332,26 @@ impl Component for StochasticTg {
             }
         };
         if ready {
-            self.issue(now);
+            self.issue(now, net);
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.halted() && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        self.halted() && self.port.is_quiet(net)
     }
 
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Ready => Activity::Busy,
             State::Halted => {
-                if self.port.is_quiet() {
+                if self.port.is_quiet(net) {
                     Activity::Drained
                 } else {
                     Activity::Busy
                 }
             }
             State::Idling { remaining } => Activity::IdleUntil(now + Cycle::from(remaining)),
-            State::WaitResp | State::WaitAccept => match self.port.next_event_at() {
+            State::WaitResp | State::WaitAccept => match self.port.next_event_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
                 None => Activity::waiting(),
@@ -360,7 +359,7 @@ impl Component for StochasticTg {
         }
     }
 
-    fn skip(&mut self, now: Cycle, next: Cycle) {
+    fn skip(&mut self, now: Cycle, next: Cycle, _net: &mut LinkArena) {
         if let State::Idling { remaining } = self.state {
             let n = (next - now) as u32;
             debug_assert!(n <= remaining);
@@ -379,15 +378,16 @@ impl Component for StochasticTg {
 mod tests {
     use super::*;
     use ntg_mem::MemoryDevice;
-    use ntg_ocp::{channel, MasterId};
+    use ntg_ocp::MasterId;
 
     fn run_to_halt(cfg: StochasticConfig) -> (StochasticTg, MemoryDevice, Cycle) {
-        let (mport, sport) = channel("stg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("stg", MasterId(0));
         let mut mem = MemoryDevice::new("ram", 0x1000, 0x1000, sport);
         let mut tg = StochasticTg::new("stg", mport, cfg);
         for now in 0..2_000_000u64 {
-            tg.tick(now);
-            mem.tick(now);
+            tg.tick(now, &mut net);
+            mem.tick(now, &mut net);
             if tg.halted() {
                 return (tg, mem, now);
             }
@@ -477,7 +477,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one address range")]
     fn empty_ranges_rejected() {
-        let (mport, _s) = channel("stg", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, _s) = net.channel("stg", MasterId(0));
         let _ = StochasticTg::new(
             "stg",
             mport,

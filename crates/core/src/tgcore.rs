@@ -1,9 +1,8 @@
 //! The TG processor simulation model: a multi-cycle "very simple
 //! instruction set processor" (paper §4).
 
-use ntg_ocp::{DataWords, MasterPort, OcpRequest, OcpStatus};
+use ntg_ocp::{DataWords, LinkArena, MasterPort, OcpRequest, OcpStatus};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 use crate::image::TgImage;
 use crate::isa::TgInstr;
@@ -78,7 +77,7 @@ enum State {
 /// caches — there is no fetch/decode from simulated memory, no cache
 /// lookups, no register forwarding; just a small state machine.
 pub struct TgCore {
-    name: Rc<str>,
+    name: String,
     port: MasterPort,
     image: TgImage,
     regs: [u32; 16],
@@ -95,7 +94,7 @@ impl TgCore {
     /// Register-file initialisation from the image is applied
     /// immediately (it costs zero simulated cycles, like a program
     /// load).
-    pub fn new(name: impl Into<Rc<str>>, port: MasterPort, image: TgImage) -> Self {
+    pub fn new(name: impl Into<String>, port: MasterPort, image: TgImage) -> Self {
         let mut regs = [0u32; 16];
         for (reg, value) in &image.inits {
             regs[reg.num() as usize] = *value;
@@ -155,7 +154,7 @@ impl TgCore {
     }
 
     /// Resolves waits; returns whether an instruction may execute now.
-    fn resolve(&mut self, now: Cycle) -> bool {
+    fn resolve(&mut self, now: Cycle, net: &mut LinkArena) -> bool {
         match self.state {
             State::Ready => true,
             State::Halted => false,
@@ -179,7 +178,7 @@ impl TgCore {
                     false
                 }
             }
-            State::WaitResp => match self.port.take_response(now) {
+            State::WaitResp => match self.port.take_response(net, now) {
                 Some(resp) => {
                     if resp.status != OcpStatus::Ok {
                         self.stop_with_fault(now, TgFault::BusError { pc: self.pc - 1 });
@@ -195,7 +194,7 @@ impl TgCore {
                 }
             },
             State::WaitAccept => {
-                if self.port.take_accept(now).is_some() {
+                if self.port.take_accept(net, now).is_some() {
                     self.state = State::Ready;
                     true
                 } else {
@@ -206,7 +205,7 @@ impl TgCore {
         }
     }
 
-    fn execute(&mut self, now: Cycle) {
+    fn execute(&mut self, now: Cycle, net: &mut LinkArena) {
         let Some(&instr) = self.image.instrs.get(self.pc) else {
             self.stop_with_fault(now, TgFault::PcOutOfRange { pc: self.pc });
             return;
@@ -215,14 +214,15 @@ impl TgCore {
         let reg = |r: crate::isa::TgReg| self.regs[r.num() as usize];
         match instr {
             TgInstr::Read { addr } => {
-                self.port.assert_request(OcpRequest::read(reg(addr)), now);
+                self.port
+                    .assert_request(net, OcpRequest::read(reg(addr)), now);
                 self.stats.reads += 1;
                 self.state = State::WaitResp;
                 self.pc += 1;
             }
             TgInstr::Write { addr, data } => {
                 self.port
-                    .assert_request(OcpRequest::write(reg(addr), reg(data)), now);
+                    .assert_request(net, OcpRequest::write(reg(addr), reg(data)), now);
                 self.stats.writes += 1;
                 self.state = State::WaitAccept;
                 self.pc += 1;
@@ -240,7 +240,7 @@ impl TgCore {
                     return;
                 }
                 self.port
-                    .assert_request(OcpRequest::burst_read(reg(addr), n as u8), now);
+                    .assert_request(net, OcpRequest::burst_read(reg(addr), n as u8), now);
                 self.stats.burst_reads += 1;
                 self.state = State::WaitResp;
                 self.pc += 1;
@@ -259,7 +259,7 @@ impl TgCore {
                 }
                 let payload = DataWords::splat(reg(data), n as usize);
                 self.port
-                    .assert_request(OcpRequest::burst_write(reg(addr), payload), now);
+                    .assert_request(net, OcpRequest::burst_write(reg(addr), payload), now);
                 self.stats.burst_writes += 1;
                 self.state = State::WaitAccept;
                 self.pc += 1;
@@ -303,29 +303,29 @@ impl TgCore {
     }
 }
 
-impl Component for TgCore {
+impl Component<LinkArena> for TgCore {
     fn name(&self) -> &str {
         &self.name
     }
 
     #[inline]
-    fn tick(&mut self, now: Cycle) {
-        if self.resolve(now) {
-            self.execute(now);
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
+        if self.resolve(now, net) {
+            self.execute(now, net);
         }
     }
 
     #[inline]
-    fn is_idle(&self) -> bool {
-        self.halted() && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        self.halted() && self.port.is_quiet(net)
     }
 
     #[inline]
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Ready => Activity::Busy,
             State::Halted => {
-                if self.port.is_quiet() {
+                if self.port.is_quiet(net) {
                     Activity::Drained
                 } else {
                     Activity::Busy
@@ -336,7 +336,7 @@ impl Component for TgCore {
             // task past its deadline; the next tick executes immediately.
             State::IdlingUntil { cycle } if cycle > now => Activity::IdleUntil(cycle),
             State::IdlingUntil { .. } => Activity::Busy,
-            State::WaitResp | State::WaitAccept => match self.port.next_event_at() {
+            State::WaitResp | State::WaitAccept => match self.port.next_event_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
                 None => Activity::waiting(),
@@ -344,7 +344,7 @@ impl Component for TgCore {
         }
     }
 
-    fn skip(&mut self, now: Cycle, next: Cycle) {
+    fn skip(&mut self, now: Cycle, next: Cycle, _net: &mut LinkArena) {
         let n = next - now;
         match self.state {
             State::Idling { remaining } => {
@@ -379,7 +379,7 @@ mod tests {
     use crate::isa::{TgCond, TgReg, RDREG, TEMPREG};
     use crate::program::{TgProgram, TgSymInstr};
     use ntg_mem::MemoryDevice;
-    use ntg_ocp::{channel, MasterId};
+    use ntg_ocp::MasterId;
 
     fn build(f: impl FnOnce(&mut TgProgram)) -> TgImage {
         let mut p = TgProgram::new(0);
@@ -388,17 +388,18 @@ mod tests {
     }
 
     /// TG wired straight into one memory device at 0x1000.
-    fn system(image: TgImage) -> (TgCore, MemoryDevice) {
-        let (mport, sport) = channel("tg0", MasterId(0));
+    fn system(image: TgImage) -> (LinkArena, TgCore, MemoryDevice) {
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("tg0", MasterId(0));
         let mem = MemoryDevice::new("ram", 0x1000, 0x1000, sport);
-        (TgCore::new("tg0", mport, image), mem)
+        (net, TgCore::new("tg0", mport, image), mem)
     }
 
-    fn run(tg: &mut TgCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
+    fn run(net: &mut LinkArena, tg: &mut TgCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
         for now in 0..max {
-            tg.tick(now);
-            mem.tick(now);
-            if tg.halted() && tg.port.is_quiet() {
+            tg.tick(now, net);
+            mem.tick(now, net);
+            if tg.halted() && tg.port.is_quiet(net) {
                 return now;
             }
         }
@@ -411,8 +412,8 @@ mod tests {
             p.push(TgSymInstr::Idle(11));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
-        run(&mut tg, &mut mem, 100);
+        let (mut net, mut tg, mut mem) = system(img);
+        run(&mut net, &mut tg, &mut mem, 100);
         // Idle occupies cycles 0..=10, halt executes at 11.
         assert_eq!(tg.halt_cycle(), Some(11));
         assert_eq!(tg.stats().idle_cycles, 11);
@@ -424,8 +425,8 @@ mod tests {
             p.push(TgSymInstr::Idle(1));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
-        run(&mut tg, &mut mem, 100);
+        let (mut net, mut tg, mut mem) = system(img);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(tg.halt_cycle(), Some(1));
     }
 
@@ -436,9 +437,9 @@ mod tests {
             p.push(TgSymInstr::Read(TgReg::new(2)));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
+        let (mut net, mut tg, mut mem) = system(img);
         mem.poke(0x1010, 0xCAFE);
-        run(&mut tg, &mut mem, 100);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(tg.regs()[0], 0xCAFE);
         // read asserts @0, resp pushed @3, visible @4 → halt at 4.
         assert_eq!(tg.halt_cycle(), Some(4));
@@ -454,8 +455,8 @@ mod tests {
             p.push(TgSymInstr::Write(TgReg::new(2), TgReg::new(3)));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
-        run(&mut tg, &mut mem, 100);
+        let (mut net, mut tg, mut mem) = system(img);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(mem.peek(0x1004), 0x99);
         // write asserts @0, accepted @3 (after 1 ws + 1 beat), visible
         // @4 → halt at 4.
@@ -471,9 +472,9 @@ mod tests {
             p.push(TgSymInstr::BurstRead(TgReg::new(2), TgReg::new(4)));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
+        let (mut net, mut tg, mut mem) = system(img);
         mem.load_words(0x1000, &[7, 8, 9, 10]);
-        run(&mut tg, &mut mem, 100);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(tg.regs()[0], 7, "rdreg holds the first burst word");
         assert_eq!(tg.stats().burst_reads, 1);
     }
@@ -491,8 +492,8 @@ mod tests {
             ));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
-        run(&mut tg, &mut mem, 100);
+        let (mut net, mut tg, mut mem) = system(img);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(mem.peek(0x1020), 0xAB);
         assert_eq!(mem.peek(0x1028), 0xAB);
     }
@@ -504,10 +505,10 @@ mod tests {
             p.inits.push((TgReg::new(4), 0));
             p.push(TgSymInstr::BurstRead(TgReg::new(2), TgReg::new(4)));
         });
-        let (mut tg, mut mem) = system(img);
+        let (mut net, mut tg, mut mem) = system(img);
         for now in 0..10 {
-            tg.tick(now);
-            mem.tick(now);
+            tg.tick(now, &mut net);
+            mem.tick(now, &mut net);
         }
         assert_eq!(tg.fault(), Some(TgFault::BadBurstCount { pc: 0, value: 0 }));
     }
@@ -517,10 +518,10 @@ mod tests {
         let img = build(|p| {
             p.push(TgSymInstr::Idle(1));
         });
-        let (mut tg, mut mem) = system(img);
+        let (mut net, mut tg, mut mem) = system(img);
         for now in 0..10 {
-            tg.tick(now);
-            mem.tick(now);
+            tg.tick(now, &mut net);
+            mem.tick(now, &mut net);
         }
         assert_eq!(tg.fault(), Some(TgFault::PcOutOfRange { pc: 1 }));
     }
@@ -537,14 +538,14 @@ mod tests {
             p.push(TgSymInstr::If(RDREG, TEMPREG, TgCond::Ne, "semchk".into()));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
+        let (mut net, mut tg, mut mem) = system(img);
         let mut halted_at = None;
         for now in 0..200 {
             if now == 40 {
                 mem.poke(0x1000, 5);
             }
-            tg.tick(now);
-            mem.tick(now);
+            tg.tick(now, &mut net);
+            mem.tick(now, &mut net);
             if tg.halted() {
                 halted_at = Some(now);
                 break;
@@ -562,8 +563,8 @@ mod tests {
             p.push(TgSymInstr::IdleUntil(20));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
-        run(&mut tg, &mut mem, 100);
+        let (mut net, mut tg, mut mem) = system(img);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(tg.halt_cycle(), Some(20));
     }
 
@@ -574,8 +575,8 @@ mod tests {
             p.push(TgSymInstr::IdleUntil(5));
             p.push(TgSymInstr::Halt);
         });
-        let (mut tg, mut mem) = system(img);
-        run(&mut tg, &mut mem, 100);
+        let (mut net, mut tg, mut mem) = system(img);
+        run(&mut net, &mut tg, &mut mem, 100);
         assert_eq!(tg.halt_cycle(), Some(31), "acts as a one-cycle idle");
     }
 
@@ -589,10 +590,10 @@ mod tests {
             p.push(TgSymInstr::Write(TgReg::new(2), TgReg::new(3)));
             p.push(TgSymInstr::Jump("start".into()));
         });
-        let (mut tg, mut mem) = system(img);
+        let (mut net, mut tg, mut mem) = system(img);
         for now in 0..100 {
-            tg.tick(now);
-            mem.tick(now);
+            tg.tick(now, &mut net);
+            mem.tick(now, &mut net);
         }
         assert!(!tg.halted());
         assert!(tg.stats().writes >= 3, "rewound and re-issued");

@@ -22,9 +22,8 @@
 //! * [`Semaphore`](TgSlaveBehavior::Semaphore) — the hardware
 //!   test-and-set bank, needed on a test chip for reactive traffic.
 
-use ntg_ocp::{DataWords, OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{DataWords, LinkArena, OcpCmd, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 /// What a [`TgSlave`] does with the transactions it receives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,7 +53,7 @@ enum State {
 /// `wait_states + beats` cycles, and writes complete silently at
 /// acceptance.
 pub struct TgSlave {
-    name: Rc<str>,
+    name: String,
     base: u32,
     behavior: TgSlaveBehavior,
     store: Vec<u32>,
@@ -74,7 +73,7 @@ impl TgSlave {
     /// Panics if `base`/`size_bytes` are not word-aligned or size is
     /// zero.
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         base: u32,
         size_bytes: u32,
         behavior: TgSlaveBehavior,
@@ -212,16 +211,16 @@ impl TgSlave {
     }
 }
 
-impl Component for TgSlave {
+impl Component<LinkArena> for TgSlave {
     fn name(&self) -> &str {
         &self.name
     }
 
     #[inline]
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match &self.state {
             State::Idle => {
-                if let Some((_, beats, _)) = self.port.peek_meta(now) {
+                if let Some((_, beats, _)) = self.port.peek_meta(net, now) {
                     let done_at = now + self.wait_states + Cycle::from(beats);
                     self.state = State::Busy { done_at };
                 }
@@ -231,10 +230,10 @@ impl Component for TgSlave {
                     self.state = State::Idle;
                     let req = self
                         .port
-                        .accept_request(now)
+                        .accept_request(net, now)
                         .expect("request stays asserted during service");
                     if let Some(resp) = self.service(&req) {
-                        self.port.push_response(resp, now);
+                        self.port.push_response(net, resp, now);
                     }
                 }
             }
@@ -242,21 +241,21 @@ impl Component for TgSlave {
     }
 
     #[inline]
-    fn is_idle(&self) -> bool {
-        matches!(self.state, State::Idle) && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        matches!(self.state, State::Idle) && self.port.is_quiet(net)
     }
 
     // Service ticks before `done_at` and idle ticks with no visible
     // request have no side effects, so the default no-op `skip` is exact.
     #[inline]
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),
             State::Busy { .. } => Activity::Busy,
-            State::Idle => match self.port.request_visible_at() {
+            State::Idle => match self.port.request_visible_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
-                None if self.port.is_quiet() => Activity::Drained,
+                None if self.port.is_quiet(net) => Activity::Drained,
                 // Produced output queued for the fabric to collect;
                 // nothing for the device to do until then.
                 None => Activity::waiting(),
@@ -268,23 +267,24 @@ impl Component for TgSlave {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntg_ocp::{channel, MasterId, MasterPort};
+    use ntg_ocp::{MasterId, MasterPort};
 
     fn transact(
+        net: &mut LinkArena,
         slave: &mut TgSlave,
         m: &MasterPort,
         req: OcpRequest,
         start: Cycle,
     ) -> Option<OcpResponse> {
         let expects = req.cmd.expects_response();
-        m.assert_request(req, start);
+        m.assert_request(net, req, start);
         for now in start..start + 100 {
-            slave.tick(now);
+            slave.tick(now, net);
             if expects {
-                if let Some(resp) = m.take_response(now) {
+                if let Some(resp) = m.take_response(net, now) {
                     return Some(resp);
                 }
-            } else if m.take_accept(now).is_some() {
+            } else if m.take_accept(net, now).is_some() {
                 return None;
             }
         }
@@ -293,17 +293,19 @@ mod tests {
 
     #[test]
     fn memory_behavior_stores_and_returns() {
-        let (m, s) = channel("l", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
         let mut sl = TgSlave::new("mem", 0x100, 0x40, TgSlaveBehavior::Memory, s);
-        transact(&mut sl, &m, OcpRequest::write(0x108, 0xAA55), 0);
-        let r = transact(&mut sl, &m, OcpRequest::read(0x108), 20).unwrap();
+        transact(&mut net, &mut sl, &m, OcpRequest::write(0x108, 0xAA55), 0);
+        let r = transact(&mut net, &mut sl, &m, OcpRequest::read(0x108), 20).unwrap();
         assert_eq!(r.word(), 0xAA55);
         assert_eq!(sl.peek(0x108), 0xAA55);
     }
 
     #[test]
     fn dummy_behavior_answers_everything_with_pattern() {
-        let (m, s) = channel("l", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
         let mut sl = TgSlave::new(
             "dummy",
             0x100,
@@ -311,48 +313,52 @@ mod tests {
             TgSlaveBehavior::Dummy { pattern: 0xF0F0 },
             s,
         );
-        let r = transact(&mut sl, &m, OcpRequest::read(0x104), 0).unwrap();
+        let r = transact(&mut net, &mut sl, &m, OcpRequest::read(0x104), 0).unwrap();
         assert_eq!(r.word(), 0xF0F0 ^ 0x104);
         // Even far outside its nominal size: a dummy always answers.
-        let r = transact(&mut sl, &m, OcpRequest::read(0xBEEF_0000), 20).unwrap();
+        let r = transact(&mut net, &mut sl, &m, OcpRequest::read(0xBEEF_0000), 20).unwrap();
         assert_eq!(r.word(), 0xF0F0 ^ 0xBEEF_0000);
-        transact(&mut sl, &m, OcpRequest::write(0x104, 1), 40);
+        transact(&mut net, &mut sl, &m, OcpRequest::write(0x104, 1), 40);
         assert_eq!(sl.writes(), 1);
     }
 
     #[test]
     fn semaphore_behavior_is_test_and_set() {
-        let (m, s) = channel("l", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
         let mut sl = TgSlave::new("sem", 0x0, 0x10, TgSlaveBehavior::Semaphore, s);
-        let first = transact(&mut sl, &m, OcpRequest::read(0x4), 0).unwrap();
+        let first = transact(&mut net, &mut sl, &m, OcpRequest::read(0x4), 0).unwrap();
         assert_eq!(first.word(), 1, "first read acquires");
-        let second = transact(&mut sl, &m, OcpRequest::read(0x4), 20).unwrap();
+        let second = transact(&mut net, &mut sl, &m, OcpRequest::read(0x4), 20).unwrap();
         assert_eq!(second.word(), 0, "second read fails");
-        transact(&mut sl, &m, OcpRequest::write(0x4, 1), 40);
+        transact(&mut net, &mut sl, &m, OcpRequest::write(0x4, 1), 40);
         assert_eq!(sl.peek(0x4), 1, "write releases");
     }
 
     #[test]
     fn semaphore_rejects_bursts() {
-        let (m, s) = channel("l", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
         let mut sl = TgSlave::new("sem", 0x0, 0x10, TgSlaveBehavior::Semaphore, s);
-        let r = transact(&mut sl, &m, OcpRequest::burst_read(0x0, 2), 0).unwrap();
+        let r = transact(&mut net, &mut sl, &m, OcpRequest::burst_read(0x0, 2), 0).unwrap();
         assert_eq!(r.status, ntg_ocp::OcpStatus::Error);
         assert_eq!(sl.errors(), 1);
     }
 
     #[test]
     fn memory_rejects_out_of_range() {
-        let (m, s) = channel("l", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
         let mut sl = TgSlave::new("mem", 0x100, 0x10, TgSlaveBehavior::Memory, s);
-        let r = transact(&mut sl, &m, OcpRequest::read(0x200), 0).unwrap();
+        let r = transact(&mut net, &mut sl, &m, OcpRequest::read(0x200), 0).unwrap();
         assert_eq!(r.status, ntg_ocp::OcpStatus::Error);
     }
 
     #[test]
     #[should_panic(expected = "store nothing")]
     fn dummy_peek_panics() {
-        let (_m, s) = channel("l", MasterId(0));
+        let mut net = LinkArena::new();
+        let (_m, s) = net.channel("l", MasterId(0));
         let sl = TgSlave::new("d", 0, 4, TgSlaveBehavior::Dummy { pattern: 0 }, s);
         let _ = sl.peek(0);
     }

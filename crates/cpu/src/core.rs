@@ -1,9 +1,9 @@
 //! The cycle-true Srisc core model.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntg_mem::AddressMap;
-use ntg_ocp::{MasterPort, OcpRequest};
+use ntg_ocp::{LinkArena, MasterPort, OcpRequest};
 use ntg_sim::{Activity, Component, Cycle};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
@@ -89,9 +89,9 @@ pub enum CpuFault {
 /// is the per-core "execution time" reported in the paper's Table 2) or
 /// on a [`CpuFault`].
 pub struct CpuCore {
-    name: Rc<str>,
+    name: String,
     port: MasterPort,
-    map: Rc<AddressMap>,
+    map: Arc<AddressMap>,
     regs: [u32; 16],
     pc: u32,
     state: State,
@@ -110,9 +110,9 @@ impl CpuCore {
     /// * `entry` — initial program counter;
     /// * `sp` — initial stack pointer (`r13`).
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         port: MasterPort,
-        map: Rc<AddressMap>,
+        map: Arc<AddressMap>,
         cfg: CpuConfig,
         entry: u32,
         sp: u32,
@@ -185,12 +185,12 @@ impl CpuCore {
 
     /// Resolves an outstanding memory event. Returns `true` when the core
     /// may execute an instruction this cycle.
-    fn resolve(&mut self, now: Cycle) -> Option<Option<u32>> {
+    fn resolve(&mut self, now: Cycle, net: &mut LinkArena) -> Option<Option<u32>> {
         match self.state {
             State::Ready => Some(None),
             State::Halted => None,
             State::WaitIFetch { line_addr } => {
-                let resp = self.port.take_response(now)?;
+                let resp = self.port.take_response(net, now)?;
                 if resp.status != ntg_ocp::OcpStatus::Ok {
                     self.stop_with_fault(now, CpuFault::BusError { pc: self.pc });
                     return None;
@@ -200,7 +200,7 @@ impl CpuCore {
                 Some(None)
             }
             State::WaitIFetchRaw => {
-                let resp = self.port.take_response(now)?;
+                let resp = self.port.take_response(net, now)?;
                 if resp.status != ntg_ocp::OcpStatus::Ok {
                     self.stop_with_fault(now, CpuFault::BusError { pc: self.pc });
                     return None;
@@ -213,7 +213,7 @@ impl CpuCore {
                 rd,
                 addr,
             } => {
-                let resp = self.port.take_response(now)?;
+                let resp = self.port.take_response(net, now)?;
                 if resp.status != ntg_ocp::OcpStatus::Ok {
                     self.stop_with_fault(now, CpuFault::BusError { pc: self.pc });
                     return None;
@@ -225,7 +225,7 @@ impl CpuCore {
                 Some(None)
             }
             State::WaitLoad { rd } => {
-                let resp = self.port.take_response(now)?;
+                let resp = self.port.take_response(net, now)?;
                 if resp.status != ntg_ocp::OcpStatus::Ok {
                     self.stop_with_fault(now, CpuFault::BusError { pc: self.pc });
                     return None;
@@ -235,7 +235,7 @@ impl CpuCore {
                 Some(None)
             }
             State::WaitStore => {
-                self.port.take_accept(now)?;
+                self.port.take_accept(net, now)?;
                 self.state = State::Ready;
                 Some(None)
             }
@@ -243,7 +243,7 @@ impl CpuCore {
     }
 
     /// Fetches the instruction word at `pc`, or stalls.
-    fn fetch(&mut self, now: Cycle, raw: Option<u32>) -> Option<u32> {
+    fn fetch(&mut self, now: Cycle, net: &mut LinkArena, raw: Option<u32>) -> Option<u32> {
         if let Some(word) = raw {
             return Some(word);
         }
@@ -254,21 +254,22 @@ impl CpuCore {
                     let line = self.icache.line_addr(self.pc);
                     let beats = self.icache.config().words_per_line as u8;
                     self.port
-                        .assert_request(OcpRequest::burst_read(line, beats), now);
+                        .assert_request(net, OcpRequest::burst_read(line, beats), now);
                     self.stats.refills += 1;
                     self.state = State::WaitIFetch { line_addr: line };
                     None
                 }
             }
         } else {
-            self.port.assert_request(OcpRequest::read(self.pc), now);
+            self.port
+                .assert_request(net, OcpRequest::read(self.pc), now);
             self.stats.bus_reads += 1;
             self.state = State::WaitIFetchRaw;
             None
         }
     }
 
-    fn execute(&mut self, now: Cycle, instr: Instr) {
+    fn execute(&mut self, now: Cycle, net: &mut LinkArena, instr: Instr) {
         use Instr::*;
         self.stats.instructions += 1;
         let next_pc = self.pc.wrapping_add(4);
@@ -377,7 +378,7 @@ impl CpuCore {
                         let line = self.dcache.line_addr(addr);
                         let beats = self.dcache.config().words_per_line as u8;
                         self.port
-                            .assert_request(OcpRequest::burst_read(line, beats), now);
+                            .assert_request(net, OcpRequest::burst_read(line, beats), now);
                         self.stats.refills += 1;
                         self.state = State::WaitDFill {
                             line_addr: line,
@@ -386,7 +387,7 @@ impl CpuCore {
                         };
                     }
                 } else {
-                    self.port.assert_request(OcpRequest::read(addr), now);
+                    self.port.assert_request(net, OcpRequest::read(addr), now);
                     self.stats.bus_reads += 1;
                     self.state = State::WaitLoad { rd };
                 }
@@ -403,7 +404,7 @@ impl CpuCore {
                     self.dcache.write_update(addr, value);
                 }
                 self.port
-                    .assert_request(OcpRequest::write(addr, value), now);
+                    .assert_request(net, OcpRequest::write(addr, value), now);
                 self.stats.bus_writes += 1;
                 self.state = State::WaitStore;
                 self.pc = next_pc;
@@ -429,21 +430,21 @@ impl CpuCore {
     }
 }
 
-impl Component for CpuCore {
+impl Component<LinkArena> for CpuCore {
     fn name(&self) -> &str {
         &self.name
     }
 
     #[inline]
-    fn tick(&mut self, now: Cycle) {
-        let Some(raw) = self.resolve(now) else {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
+        let Some(raw) = self.resolve(now, net) else {
             return;
         };
-        let Some(word) = self.fetch(now, raw) else {
+        let Some(word) = self.fetch(now, net, raw) else {
             return;
         };
         match decode(word) {
-            Ok(instr) => self.execute(now, instr),
+            Ok(instr) => self.execute(now, net, instr),
             Err(e) => self.stop_with_fault(
                 now,
                 CpuFault::IllegalInstruction {
@@ -455,18 +456,18 @@ impl Component for CpuCore {
     }
 
     #[inline]
-    fn is_idle(&self) -> bool {
-        self.halted() && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        self.halted() && self.port.is_quiet(net)
     }
 
     // Stall ticks only poll the port (no statistics change), so the
     // default no-op `skip` is exact.
     #[inline]
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Ready => Activity::Busy,
             State::Halted => {
-                if self.port.is_quiet() {
+                if self.port.is_quiet(net) {
                     Activity::Drained
                 } else {
                     Activity::Busy
@@ -475,7 +476,7 @@ impl Component for CpuCore {
             // Every remaining state blocks on the bus; stall ticks only
             // poll, so with nothing queued this is a passive wait whose
             // horizon the responder bounds.
-            _ => match self.port.next_event_at() {
+            _ => match self.port.next_event_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
                 None => Activity::waiting(),
@@ -490,14 +491,14 @@ mod tests {
     use crate::asm::Asm;
     use crate::isa::{R1, R2, R3, R4};
     use ntg_mem::{MemoryDevice, RegionKind};
-    use ntg_ocp::{channel, MasterId};
+    use ntg_ocp::MasterId;
 
     const PRIV: u32 = 0x0000_0000;
     const SHARED: u32 = 0x0010_0000;
 
     /// CPU wired straight into one memory device covering both a
     /// cacheable private region and an uncached shared region.
-    fn system(asm: &Asm) -> (CpuCore, MemoryDevice) {
+    fn system(asm: &Asm) -> (LinkArena, CpuCore, MemoryDevice) {
         let mut map = AddressMap::new();
         map.add(
             "priv",
@@ -515,14 +516,15 @@ mod tests {
             RegionKind::SharedMemory,
         )
         .unwrap();
-        let (mport, sport) = channel("cpu0", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("cpu0", MasterId(0));
         let mut mem = MemoryDevice::new("ram", 0, 0x20_0000, sport);
         let program = asm.assemble(PRIV).unwrap();
         mem.load_words(program.entry(), program.words());
         let cpu = CpuCore::new(
             "cpu0",
             mport,
-            Rc::new(map),
+            Arc::new(map),
             CpuConfig {
                 icache: CacheConfig::tiny(),
                 dcache: CacheConfig::tiny(),
@@ -530,14 +532,14 @@ mod tests {
             program.entry(),
             PRIV + 0x0F_0000,
         );
-        (cpu, mem)
+        (net, cpu, mem)
     }
 
-    fn run(cpu: &mut CpuCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
+    fn run(net: &mut LinkArena, cpu: &mut CpuCore, mem: &mut MemoryDevice, max: Cycle) -> Cycle {
         for now in 0..max {
-            cpu.tick(now);
-            mem.tick(now);
-            if cpu.halted() && cpu.port.is_quiet() {
+            cpu.tick(now, net);
+            mem.tick(now, net);
+            if cpu.halted() && cpu.port.is_quiet(net) {
                 return now;
             }
         }
@@ -552,8 +554,8 @@ mod tests {
         a.mul(R3, R1, R2);
         a.sub(R4, R3, R1);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(cpu.regs()[3], 42);
         assert_eq!(cpu.regs()[4], 36);
         assert!(cpu.fault().is_none());
@@ -567,8 +569,8 @@ mod tests {
         a.li(R2, PRIV + 0x8000);
         a.stw(R1, R2, 0);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(mem.peek(PRIV + 0x8000), 0xABCD);
     }
 
@@ -580,8 +582,8 @@ mod tests {
         a.stw(R1, R2, 0);
         a.ldw(R3, R2, 0);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(cpu.regs()[3], 1234);
     }
 
@@ -596,8 +598,8 @@ mod tests {
         a.addi(R1, R1, 1);
         a.bne(R1, R2, "loop");
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 2000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 2000);
         assert_eq!(cpu.regs()[1], 50);
         let s = cpu.stats();
         // Program is 7 words = at most 3 lines; only those refills, no
@@ -615,8 +617,8 @@ mod tests {
         a.ldw(R1, R2, 0);
         a.ldw(R1, R2, 0);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(cpu.stats().bus_reads, 3);
         assert_eq!(cpu.stats().dcache.read_misses, 0, "bypasses the dcache");
     }
@@ -628,8 +630,8 @@ mod tests {
         // visible @7 → halt executes at cycle 7.
         let mut a = Asm::new();
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 100);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 100);
         assert_eq!(cpu.halt_cycle(), Some(7));
     }
 
@@ -641,8 +643,8 @@ mod tests {
         a.nop().nop().nop(); // line 0: 3 nops + li start
         a.instr(Instr::Nop);
         a.halt(); // line 1
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 100);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 100);
         // Line 0 refill completes at 7 (see above); nops at 7,8,9,10;
         // line 1 miss at 11: burst @11, accept @12, resp @17, visible
         // @18 → halt at 18.
@@ -654,10 +656,10 @@ mod tests {
     fn illegal_instruction_faults() {
         let mut a = Asm::new();
         a.word(0xFFFF_FFFF);
-        let (mut cpu, mut mem) = system(&a);
+        let (mut net, mut cpu, mut mem) = system(&a);
         for now in 0..100 {
-            cpu.tick(now);
-            mem.tick(now);
+            cpu.tick(now, &mut net);
+            mem.tick(now, &mut net);
             if cpu.halted() {
                 break;
             }
@@ -674,10 +676,10 @@ mod tests {
         a.li(R2, PRIV + 0x8002);
         a.ldw(R1, R2, 0);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
+        let (mut net, mut cpu, mut mem) = system(&a);
         for now in 0..100 {
-            cpu.tick(now);
-            mem.tick(now);
+            cpu.tick(now, &mut net);
+            mem.tick(now, &mut net);
             if cpu.halted() {
                 break;
             }
@@ -697,8 +699,8 @@ mod tests {
         a.label("fn");
         a.li(R1, 55);
         a.jr(crate::isa::R15);
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(cpu.regs()[1], 55);
         assert_eq!(cpu.regs()[2], 99);
     }
@@ -709,8 +711,8 @@ mod tests {
         a.li(crate::isa::R0, 7);
         a.addi(crate::isa::R0, R1, 3);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(cpu.regs()[0], 0);
     }
 
@@ -728,8 +730,8 @@ mod tests {
         a.label("bad");
         a.li(R4, 3);
         a.halt();
-        let (mut cpu, mut mem) = system(&a);
-        run(&mut cpu, &mut mem, 1000);
+        let (mut net, mut cpu, mut mem) = system(&a);
+        run(&mut net, &mut cpu, &mut mem, 1000);
         assert_eq!(cpu.regs()[3], 0);
         assert_eq!(cpu.regs()[4], 2);
     }

@@ -1,10 +1,17 @@
 //! The campaign executor: a worker pool over expanded jobs.
 //!
 //! Parallelism is across *configurations*, never inside a simulation:
-//! each worker thread builds, runs and drops whole single-threaded
-//! platforms (which are `!Send` — they never cross a thread). Shared
-//! state is limited to the work queue (an atomic index), the
-//! [`ArtifactCache`], the collected results and the journal file.
+//! each in-process worker thread builds, runs and drops whole
+//! platforms. A [`Platform`] owns its entire component graph through
+//! the link arena and is a plain `Send` value (compile-asserted in
+//! `ntg-platform`), so workers are ordinary scoped threads — no
+//! process sharding needed for parallelism. All `--threads N` workers
+//! share *one* in-memory [`ArtifactCache`] (hit/miss counters are
+//! atomics) backed by *one* open [`DiskStore`](crate::store::DiskStore)
+//! handle, so an artifact is built or loaded at most once per
+//! invocation no matter how many workers want it. Shared state beyond
+//! that is limited to the work queue (an atomic index), the collected
+//! results and the journal file.
 //!
 //! # Determinism contract
 //!

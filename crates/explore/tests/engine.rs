@@ -4,8 +4,8 @@
 use std::fs;
 
 use ntg_explore::{
-    merge_shards, parse_results, partial_path, run_campaign, shard_path, CampaignSpec,
-    CoreSelection, MasterChoice, RunOptions,
+    merge_shards, metrics_path, parse_results, partial_path, run_campaign, shard_path,
+    CampaignSpec, CoreSelection, MasterChoice, RunOptions,
 };
 use ntg_platform::InterconnectChoice;
 use ntg_workloads::synthetic::{ALL_PATTERNS, ALL_SHAPES};
@@ -398,4 +398,91 @@ fn canonical_file_parses_back_and_is_sorted_by_id() {
     for r in &loaded.results {
         assert_eq!(r.error_pct.is_some(), r.master != "cpu", "{}", r.key);
     }
+}
+
+/// The three execution modes — one worker, four in-process workers
+/// (Send platforms sharing one in-memory cache and one open store
+/// handle), and two shard processes merged back — must all produce the
+/// same canonical bytes, and the metrics sidecars must agree line for
+/// line.
+#[test]
+fn threads_and_shards_agree_on_canonical_and_metrics_bytes() {
+    let spec = small_spec();
+    let store = std::env::temp_dir().join("ntg-explore-tests/identity-store");
+    let _ = fs::remove_dir_all(&store);
+
+    let run = |out: &std::path::Path, threads: usize, shard: Option<(usize, usize)>| {
+        run_campaign(
+            &spec,
+            &RunOptions {
+                threads,
+                out: Some(out.to_path_buf()),
+                store: Some(store.clone()),
+                shard,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let out1 = tmp_out("identity-t1.jsonl");
+    let out4 = tmp_out("identity-t4.jsonl");
+    run(&out1, 1, None);
+    run(&out4, 4, None);
+    let canonical = fs::read(&out1).unwrap();
+    assert!(!canonical.is_empty());
+    assert_eq!(
+        canonical,
+        fs::read(&out4).unwrap(),
+        "canonical bytes must not depend on in-process worker count"
+    );
+    assert_eq!(
+        fs::read(metrics_path(&out1)).unwrap(),
+        fs::read(metrics_path(&out4)).unwrap(),
+        "metrics sidecars must not depend on in-process worker count"
+    );
+
+    // Shard halves through the same store, then merge.
+    let merged = tmp_out("identity-merged.jsonl");
+    let mut shards = Vec::new();
+    for i in 1..=2 {
+        let out = shard_path(&merged, (i, 2));
+        let _ = fs::remove_file(&out);
+        let _ = fs::remove_file(partial_path(&out));
+        run(&out, 2, Some((i, 2)));
+        shards.push(out);
+    }
+    merge_shards(&shards, &merged).unwrap();
+    assert_eq!(
+        fs::read(&merged).unwrap(),
+        canonical,
+        "sharded + merged canonical bytes must match the unsharded run"
+    );
+
+    // Each shard writes the metrics sidecar for its own jobs; the union
+    // (ordered by job id, matching the canonical sort) must be exactly
+    // the unsharded sidecar's job lines.
+    let body = |path: &std::path::Path| -> Vec<String> {
+        fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .skip(1) // campaign header line
+            .map(str::to_owned)
+            .collect()
+    };
+    let mut union: Vec<String> = shards.iter().flat_map(|s| body(&metrics_path(s))).collect();
+    union.sort_by_key(|line| {
+        let id = line.split("\"id\":").nth(1).expect("metrics line has id");
+        id.split(',')
+            .next()
+            .unwrap()
+            .trim()
+            .parse::<usize>()
+            .expect("numeric id")
+    });
+    assert_eq!(
+        union,
+        body(&metrics_path(&out1)),
+        "shard metrics sidecars must union to the unsharded sidecar"
+    );
 }

@@ -1,8 +1,7 @@
 //! A word-addressed RAM slave with configurable access timing.
 
-use ntg_ocp::{DataWords, OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{DataWords, LinkArena, OcpCmd, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 enum State {
     Idle,
@@ -26,7 +25,7 @@ enum State {
 /// the platform. Out-of-range accesses produce an error response (writes
 /// included, so the interconnect always sees the transaction terminate).
 pub struct MemoryDevice {
-    name: Rc<str>,
+    name: String,
     base: u32,
     words: Vec<u32>,
     wait_states: Cycle,
@@ -51,7 +50,7 @@ impl MemoryDevice {
     ///
     /// Panics if `base` or `size_bytes` is not word-aligned or the size is
     /// zero.
-    pub fn new(name: impl Into<Rc<str>>, base: u32, size_bytes: u32, port: SlavePort) -> Self {
+    pub fn new(name: impl Into<String>, base: u32, size_bytes: u32, port: SlavePort) -> Self {
         assert!(
             base.is_multiple_of(4) && size_bytes.is_multiple_of(4) && size_bytes > 0,
             "memory device must be word-aligned and non-empty"
@@ -186,16 +185,16 @@ impl MemoryDevice {
     }
 }
 
-impl Component for MemoryDevice {
+impl Component<LinkArena> for MemoryDevice {
     fn name(&self) -> &str {
         &self.name
     }
 
     #[inline]
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match &self.state {
             State::Idle => {
-                if let Some((_, beats, _)) = self.port.peek_meta(now) {
+                if let Some((_, beats, _)) = self.port.peek_meta(net, now) {
                     let done_at = now + self.wait_states + Cycle::from(beats) * self.beat_cycles;
                     self.state = State::Busy { done_at };
                 }
@@ -205,10 +204,10 @@ impl Component for MemoryDevice {
                     self.state = State::Idle;
                     let req = self
                         .port
-                        .accept_request(now)
+                        .accept_request(net, now)
                         .expect("request stays asserted during service");
                     if let Some(resp) = self.service(&req) {
-                        self.port.push_response(resp, now);
+                        self.port.push_response(net, resp, now);
                     }
                 }
             }
@@ -216,8 +215,8 @@ impl Component for MemoryDevice {
     }
 
     #[inline]
-    fn is_idle(&self) -> bool {
-        matches!(self.state, State::Idle) && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        matches!(self.state, State::Idle) && self.port.is_quiet(net)
     }
 
     // Ticks before `done_at` and idle ticks with no visible request have
@@ -226,14 +225,14 @@ impl Component for MemoryDevice {
     // are re-polled before every jump, and a master able to assert is
     // itself not drained, so it bounds the horizon.
     #[inline]
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),
             State::Busy { .. } => Activity::Busy,
-            State::Idle => match self.port.request_visible_at() {
+            State::Idle => match self.port.request_visible_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
-                None if self.port.is_quiet() => Activity::Drained,
+                None if self.port.is_quiet(net) => Activity::Drained,
                 // Not quiet without a request: a produced response or
                 // acceptance is queued for the fabric to collect. The
                 // device itself does nothing until then.
@@ -246,19 +245,20 @@ impl Component for MemoryDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntg_ocp::{channel, MasterId, OcpStatus};
+    use ntg_ocp::{MasterId, OcpStatus};
 
     /// Runs a read to completion; returns the response and consume cycle.
     fn run_one(
+        net: &mut LinkArena,
         mem: &mut MemoryDevice,
         master: &ntg_ocp::MasterPort,
         req: OcpRequest,
         start: Cycle,
     ) -> (OcpResponse, Cycle) {
-        master.assert_request(req, start);
+        master.assert_request(net, req, start);
         for now in start..start + 100 {
-            mem.tick(now);
-            if let Some(resp) = master.take_response(now) {
+            mem.tick(now, net);
+            if let Some(resp) = master.take_response(net, now) {
                 return (resp, now);
             }
         }
@@ -268,59 +268,62 @@ mod tests {
     /// Runs a (posted) write until acceptance; returns the accept-visible
     /// cycle.
     fn run_write(
+        net: &mut LinkArena,
         mem: &mut MemoryDevice,
         master: &ntg_ocp::MasterPort,
         req: OcpRequest,
         start: Cycle,
     ) -> Cycle {
-        master.assert_request(req, start);
+        master.assert_request(net, req, start);
         for now in start..start + 100 {
-            mem.tick(now);
-            if master.take_accept(now).is_some() {
+            mem.tick(now, net);
+            if master.take_accept(net, now).is_some() {
                 return now;
             }
         }
         panic!("write not accepted within 100 cycles");
     }
 
-    fn device() -> (MemoryDevice, ntg_ocp::MasterPort) {
-        let (m, s) = channel("mem", MasterId(0));
-        (MemoryDevice::new("ram", 0x1000, 0x100, s), m)
+    fn device() -> (LinkArena, MemoryDevice, ntg_ocp::MasterPort) {
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("mem", MasterId(0));
+        (net, MemoryDevice::new("ram", 0x1000, 0x100, s), m)
     }
 
     #[test]
     fn write_then_read_round_trips() {
-        let (mut mem, m) = device();
-        run_write(&mut mem, &m, OcpRequest::write(0x1010, 0xDEAD), 0);
-        let (r, _) = run_one(&mut mem, &m, OcpRequest::read(0x1010), 20);
+        let (mut net, mut mem, m) = device();
+        run_write(&mut net, &mut mem, &m, OcpRequest::write(0x1010, 0xDEAD), 0);
+        let (r, _) = run_one(&mut net, &mut mem, &m, OcpRequest::read(0x1010), 20);
         assert_eq!(r.data, vec![0xDEAD]);
         assert_eq!(r.status, OcpStatus::Ok);
     }
 
     #[test]
     fn write_acceptance_is_delayed_until_service_completes() {
-        let (mut mem, m) = device();
+        let (mut net, mut mem, m) = device();
         // assert @0 → visible @1 → service done and accepted @3 →
         // acceptance visible @4.
-        let at = run_write(&mut mem, &m, OcpRequest::write(0x1000, 1), 0);
+        let at = run_write(&mut net, &mut mem, &m, OcpRequest::write(0x1000, 1), 0);
         assert_eq!(at, 4);
     }
 
     #[test]
     fn single_read_latency_matches_timing_model() {
-        let (mut mem, m) = device();
+        let (mut net, mut mem, m) = device();
         // assert at 0 → visible at 1 → accepted at 1 →
         // response pushed at 1 + wait(1) + beats(1)*beat(1) = 3 →
         // consumed at 4.
-        let (_, consumed_at) = run_one(&mut mem, &m, OcpRequest::read(0x1000), 0);
+        let (_, consumed_at) = run_one(&mut net, &mut mem, &m, OcpRequest::read(0x1000), 0);
         assert_eq!(consumed_at, 4);
     }
 
     #[test]
     fn burst_read_charges_per_beat() {
-        let (mut mem, m) = device();
+        let (mut net, mut mem, m) = device();
         mem.load_words(0x1000, &[1, 2, 3, 4]);
-        let (resp, consumed_at) = run_one(&mut mem, &m, OcpRequest::burst_read(0x1000, 4), 0);
+        let (resp, consumed_at) =
+            run_one(&mut net, &mut mem, &m, OcpRequest::burst_read(0x1000, 4), 0);
         assert_eq!(resp.data, vec![1, 2, 3, 4]);
         // accept at 1, done at 1 + 1 + 4 = 6, consumed at 7.
         assert_eq!(consumed_at, 7);
@@ -328,8 +331,9 @@ mod tests {
 
     #[test]
     fn burst_write_applies_all_beats() {
-        let (mut mem, m) = device();
+        let (mut net, mut mem, m) = device();
         run_write(
+            &mut net,
             &mut mem,
             &m,
             OcpRequest::burst_write(0x1020, vec![10, 11, 12]),
@@ -343,41 +347,47 @@ mod tests {
 
     #[test]
     fn out_of_range_burst_write_touches_nothing() {
-        let (mut mem, m) = device();
+        let (mut net, mut mem, m) = device();
         mem.poke(0x10FC, 7);
-        run_write(&mut mem, &m, OcpRequest::burst_write(0x10FC, vec![1, 2]), 0);
+        run_write(
+            &mut net,
+            &mut mem,
+            &m,
+            OcpRequest::burst_write(0x10FC, vec![1, 2]),
+            0,
+        );
         assert_eq!(mem.peek(0x10FC), 7, "partial burst must not apply");
         assert_eq!(mem.errors(), 1);
     }
 
     #[test]
     fn out_of_range_read_is_error_response() {
-        let (mut mem, m) = device();
-        let (resp, _) = run_one(&mut mem, &m, OcpRequest::burst_read(0x10FC, 2), 0);
+        let (mut net, mut mem, m) = device();
+        let (resp, _) = run_one(&mut net, &mut mem, &m, OcpRequest::burst_read(0x10FC, 2), 0);
         assert_eq!(resp.status, OcpStatus::Error);
         assert_eq!(mem.errors(), 1);
     }
 
     #[test]
     fn below_base_is_error() {
-        let (mut mem, m) = device();
-        let (resp, _) = run_one(&mut mem, &m, OcpRequest::read(0x0FFC), 0);
+        let (mut net, mut mem, m) = device();
+        let (resp, _) = run_one(&mut net, &mut mem, &m, OcpRequest::read(0x0FFC), 0);
         assert_eq!(resp.status, OcpStatus::Error);
     }
 
     #[test]
     fn busy_device_delays_second_request() {
-        let (mut mem, m) = device();
+        let (mut net, mut mem, m) = device();
         // First transaction occupies the device; the second is asserted as
         // soon as the first is accepted, and must wait.
-        m.assert_request(OcpRequest::read(0x1000), 0);
+        m.assert_request(&mut net, OcpRequest::read(0x1000), 0);
         let mut first_resp_at = None;
         let mut second_asserted = false;
         let mut second_resp_at = None;
         for now in 0..40 {
-            mem.tick(now);
-            m.take_accept(now);
-            if m.take_response(now).is_some() {
+            mem.tick(now, &mut net);
+            m.take_accept(&mut net, now);
+            if m.take_response(&mut net, now).is_some() {
                 if first_resp_at.is_none() {
                     first_resp_at = Some(now);
                 } else {
@@ -385,8 +395,8 @@ mod tests {
                     break;
                 }
             }
-            if !second_asserted && !m.request_pending() {
-                m.assert_request(OcpRequest::read(0x1004), now);
+            if !second_asserted && !m.request_pending(&net) {
+                m.assert_request(&mut net, OcpRequest::read(0x1004), now);
                 second_asserted = true;
             }
         }
@@ -400,24 +410,25 @@ mod tests {
 
     #[test]
     fn is_idle_reflects_outstanding_work() {
-        let (mut mem, m) = device();
-        assert!(mem.is_idle());
-        m.assert_request(OcpRequest::read(0x1000), 0);
-        assert!(!mem.is_idle(), "pending request keeps device busy");
+        let (mut net, mut mem, m) = device();
+        assert!(mem.is_idle(&net));
+        m.assert_request(&mut net, OcpRequest::read(0x1000), 0);
+        assert!(!mem.is_idle(&net), "pending request keeps device busy");
         for now in 0..10 {
-            mem.tick(now);
-            m.take_accept(now);
-            m.take_response(now);
+            mem.tick(now, &mut net);
+            m.take_accept(&mut net, now);
+            m.take_response(&mut net, now);
         }
-        assert!(mem.is_idle());
+        assert!(mem.is_idle(&net));
     }
 
     #[test]
     fn custom_wait_states_lengthen_service() {
-        let (m, s) = channel("mem", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("mem", MasterId(0));
         let mut mem = MemoryDevice::new("slow", 0x0, 0x100, s);
         mem.set_wait_states(10);
-        let (_, consumed_at) = run_one(&mut mem, &m, OcpRequest::read(0x0), 0);
+        let (_, consumed_at) = run_one(&mut net, &mut mem, &m, OcpRequest::read(0x0), 0);
         assert_eq!(consumed_at, 13); // 1 (accept) + 10 + 1 + 1 (visibility)
     }
 }

@@ -1,8 +1,7 @@
 //! The hardware semaphore bank (test-and-set cells).
 
-use ntg_ocp::{DataWords, OcpCmd, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{DataWords, LinkArena, OcpCmd, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 enum State {
     Idle,
@@ -29,7 +28,7 @@ enum State {
 /// Burst accesses to the bank are protocol errors and receive an error
 /// response.
 pub struct SemaphoreBank {
-    name: Rc<str>,
+    name: String,
     base: u32,
     cells: Vec<u32>,
     wait_states: Cycle,
@@ -50,7 +49,7 @@ impl SemaphoreBank {
     /// # Panics
     ///
     /// Panics if `base` is not word-aligned or `cells` is zero.
-    pub fn new(name: impl Into<Rc<str>>, base: u32, cells: u32, port: SlavePort) -> Self {
+    pub fn new(name: impl Into<String>, base: u32, cells: u32, port: SlavePort) -> Self {
         assert!(
             base.is_multiple_of(4),
             "semaphore bank base must be word-aligned"
@@ -157,16 +156,16 @@ impl SemaphoreBank {
     }
 }
 
-impl Component for SemaphoreBank {
+impl Component<LinkArena> for SemaphoreBank {
     fn name(&self) -> &str {
         &self.name
     }
 
     #[inline]
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match &self.state {
             State::Idle => {
-                if self.port.has_request(now) {
+                if self.port.has_request(net, now) {
                     let done_at = now + self.wait_states + 1;
                     self.state = State::Busy { done_at };
                 }
@@ -176,10 +175,10 @@ impl Component for SemaphoreBank {
                     self.state = State::Idle;
                     let req = self
                         .port
-                        .accept_request(now)
+                        .accept_request(net, now)
                         .expect("request stays asserted during service");
                     if let Some(resp) = self.service(&req) {
-                        self.port.push_response(resp, now);
+                        self.port.push_response(net, resp, now);
                     }
                 }
             }
@@ -187,21 +186,21 @@ impl Component for SemaphoreBank {
     }
 
     #[inline]
-    fn is_idle(&self) -> bool {
-        matches!(self.state, State::Idle) && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        matches!(self.state, State::Idle) && self.port.is_quiet(net)
     }
 
     // Same hint shape as `MemoryDevice`: service and idle ticks have no
     // side effects, so the default no-op `skip` is exact.
     #[inline]
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Busy { done_at } if done_at > now => Activity::IdleUntil(done_at),
             State::Busy { .. } => Activity::Busy,
-            State::Idle => match self.port.request_visible_at() {
+            State::Idle => match self.port.request_visible_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
-                None if self.port.is_quiet() => Activity::Drained,
+                None if self.port.is_quiet(net) => Activity::Drained,
                 // Produced output queued for the fabric to collect;
                 // nothing for the device to do until then.
                 None => Activity::waiting(),
@@ -213,19 +212,20 @@ impl Component for SemaphoreBank {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntg_ocp::{channel, MasterId, OcpStatus};
+    use ntg_ocp::{MasterId, OcpStatus};
 
     fn run_one(
+        net: &mut LinkArena,
         bank: &mut SemaphoreBank,
         master: &ntg_ocp::MasterPort,
         req: OcpRequest,
         start: Cycle,
     ) -> OcpResponse {
-        master.assert_request(req, start);
+        master.assert_request(net, req, start);
         for now in start..start + 50 {
-            bank.tick(now);
-            master.take_accept(now);
-            if let Some(resp) = master.take_response(now) {
+            bank.tick(now, net);
+            master.take_accept(net, now);
+            if let Some(resp) = master.take_response(net, now) {
                 return resp;
             }
         }
@@ -234,32 +234,34 @@ mod tests {
 
     /// Runs a (posted) write until acceptance.
     fn run_write(
+        net: &mut LinkArena,
         bank: &mut SemaphoreBank,
         master: &ntg_ocp::MasterPort,
         req: OcpRequest,
         start: Cycle,
     ) {
-        master.assert_request(req, start);
+        master.assert_request(net, req, start);
         for now in start..start + 50 {
-            bank.tick(now);
-            if master.take_accept(now).is_some() {
+            bank.tick(now, net);
+            if master.take_accept(net, now).is_some() {
                 return;
             }
         }
         panic!("write not accepted within 50 cycles");
     }
 
-    fn bank() -> (SemaphoreBank, ntg_ocp::MasterPort) {
-        let (m, s) = channel("sem", MasterId(0));
-        (SemaphoreBank::new("sem", 0xA000, 4, s), m)
+    fn bank() -> (LinkArena, SemaphoreBank, ntg_ocp::MasterPort) {
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("sem", MasterId(0));
+        (net, SemaphoreBank::new("sem", 0xA000, 4, s), m)
     }
 
     #[test]
     fn read_acquires_then_fails() {
-        let (mut b, m) = bank();
-        let first = run_one(&mut b, &m, OcpRequest::read(0xA000), 0);
+        let (mut net, mut b, m) = bank();
+        let first = run_one(&mut net, &mut b, &m, OcpRequest::read(0xA000), 0);
         assert_eq!(first.word(), 1, "first read acquires");
-        let second = run_one(&mut b, &m, OcpRequest::read(0xA000), 20);
+        let second = run_one(&mut net, &mut b, &m, OcpRequest::read(0xA000), 20);
         assert_eq!(second.word(), 0, "second read fails");
         assert_eq!(b.acquisitions(), 1);
         assert_eq!(b.failed_polls(), 1);
@@ -267,19 +269,25 @@ mod tests {
 
     #[test]
     fn write_one_releases() {
-        let (mut b, m) = bank();
-        run_one(&mut b, &m, OcpRequest::read(0xA000), 0); // acquire
-        run_write(&mut b, &m, OcpRequest::write(0xA000, 1), 20); // release
-        let again = run_one(&mut b, &m, OcpRequest::read(0xA000), 40);
+        let (mut net, mut b, m) = bank();
+        run_one(&mut net, &mut b, &m, OcpRequest::read(0xA000), 0); // acquire
+        run_write(&mut net, &mut b, &m, OcpRequest::write(0xA000, 1), 20); // release
+        let again = run_one(&mut net, &mut b, &m, OcpRequest::read(0xA000), 40);
         assert_eq!(again.word(), 1, "released semaphore is acquirable");
         assert_eq!(b.releases(), 1);
     }
 
     #[test]
     fn cells_are_independent() {
-        let (mut b, m) = bank();
-        assert_eq!(run_one(&mut b, &m, OcpRequest::read(0xA000), 0).word(), 1);
-        assert_eq!(run_one(&mut b, &m, OcpRequest::read(0xA004), 20).word(), 1);
+        let (mut net, mut b, m) = bank();
+        assert_eq!(
+            run_one(&mut net, &mut b, &m, OcpRequest::read(0xA000), 0).word(),
+            1
+        );
+        assert_eq!(
+            run_one(&mut net, &mut b, &m, OcpRequest::read(0xA004), 20).word(),
+            1
+        );
         assert_eq!(b.peek_cell(0), 0);
         assert_eq!(b.peek_cell(1), 0);
         assert_eq!(b.peek_cell(2), 1);
@@ -287,8 +295,8 @@ mod tests {
 
     #[test]
     fn burst_access_is_rejected() {
-        let (mut b, m) = bank();
-        let resp = run_one(&mut b, &m, OcpRequest::burst_read(0xA000, 2), 0);
+        let (mut net, mut b, m) = bank();
+        let resp = run_one(&mut net, &mut b, &m, OcpRequest::burst_read(0xA000, 2), 0);
         assert_eq!(resp.status, OcpStatus::Error);
         assert_eq!(b.errors(), 1);
         assert_eq!(b.peek_cell(0), 1, "failed burst must not test-and-set");
@@ -296,17 +304,23 @@ mod tests {
 
     #[test]
     fn out_of_range_cell_is_error() {
-        let (mut b, m) = bank();
-        let resp = run_one(&mut b, &m, OcpRequest::read(0xA010), 0);
+        let (mut net, mut b, m) = bank();
+        let resp = run_one(&mut net, &mut b, &m, OcpRequest::read(0xA010), 0);
         assert_eq!(resp.status, OcpStatus::Error);
     }
 
     #[test]
     fn write_stores_only_low_bit() {
-        let (mut b, m) = bank();
-        run_write(&mut b, &m, OcpRequest::write(0xA000, 0xFFFF_FFFE), 0);
+        let (mut net, mut b, m) = bank();
+        run_write(
+            &mut net,
+            &mut b,
+            &m,
+            OcpRequest::write(0xA000, 0xFFFF_FFFE),
+            0,
+        );
         assert_eq!(b.peek_cell(0), 0, "even value locks");
-        run_write(&mut b, &m, OcpRequest::write(0xA000, 3), 20);
+        run_write(&mut net, &mut b, &m, OcpRequest::write(0xA000, 3), 20);
         assert_eq!(b.peek_cell(0), 1, "odd value releases");
     }
 }

@@ -1,9 +1,9 @@
 //! The AMBA-AHB-like shared bus.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntg_mem::AddressMap;
-use ntg_ocp::{MasterPort, OcpResponse, SlavePort};
+use ntg_ocp::{LinkArena, MasterPort, OcpResponse, SlavePort};
 use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
@@ -69,10 +69,10 @@ enum BusState {
 /// one cycle per extra beat. This fixed, deterministic pipeline is what
 /// the trace-replay accuracy of the TG flow relies on.
 pub struct AmbaBus {
-    name: Rc<str>,
+    name: String,
     masters: Vec<SlavePort>,
     slaves: Vec<MasterPort>,
-    map: Rc<AddressMap>,
+    map: Arc<AddressMap>,
     arbitration: Arbitration,
     extra_grant_cycles: Cycle,
     rr_next: usize,
@@ -91,10 +91,10 @@ impl AmbaBus {
     /// (index = master id); `slaves` the network-side endpoint of each
     /// slave link (index = [`SlaveId`](ntg_ocp::SlaveId) in the map).
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
-        map: Rc<AddressMap>,
+        map: Arc<AddressMap>,
     ) -> Self {
         let links = vec![LinkMetrics::default(); masters.len()];
         Self {
@@ -136,7 +136,7 @@ impl AmbaBus {
         &self.occupancy
     }
 
-    fn arbitrate(&self, now: Cycle) -> Option<usize> {
+    fn arbitrate(&self, net: &LinkArena, now: Cycle) -> Option<usize> {
         let n = self.masters.len();
         let start = match self.arbitration {
             Arbitration::RoundRobin => self.rr_next,
@@ -144,30 +144,30 @@ impl AmbaBus {
         };
         (0..n)
             .map(|i| (start + i) % n)
-            .find(|&m| self.masters[m].has_request(now))
+            .find(|&m| self.masters[m].has_request(net, now))
     }
 
-    fn start_transfer(&mut self, master: usize, now: Cycle) {
+    fn start_transfer(&mut self, net: &mut LinkArena, master: usize, now: Cycle) {
         // Contention bookkeeping, read before acceptance consumes the
         // request: how long the winner waited, and whether anyone lost
         // this round of arbitration.
         let stall = now
             - self.masters[master]
-                .request_visible_at()
+                .request_visible_at(net)
                 .expect("arbitrated request must still be visible");
         let contended = self
             .masters
             .iter()
             .enumerate()
-            .any(|(m, port)| m != master && port.has_request(now));
+            .any(|(m, port)| m != master && port.has_request(net, now));
         let req = self.masters[master]
-            .accept_request(now)
+            .accept_request(net, now)
             .expect("arbitrated request must still be visible");
         match self.map.slave_for(req.addr) {
             None => {
                 self.stats.decode_errors += 1;
                 if req.cmd.expects_response() {
-                    self.masters[master].push_response(OcpResponse::error(req.tag), now);
+                    self.masters[master].push_response(net, OcpResponse::error(req.tag), now);
                 }
                 self.state = BusState::Idle;
             }
@@ -186,7 +186,7 @@ impl AmbaBus {
                 self.grant_wait.record(stall);
                 self.links[master].grants += 1;
                 self.links[master].stall_cycles += stall;
-                self.slaves[slave].forward_request(req, now);
+                self.slaves[slave].forward_request(net, req, now);
                 self.state = BusState::WaitSlave {
                     master,
                     slave,
@@ -201,18 +201,18 @@ impl AmbaBus {
     }
 }
 
-impl Component for AmbaBus {
+impl Component<LinkArena> for AmbaBus {
     fn name(&self) -> &str {
         &self.name
     }
 
     #[inline]
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match self.state {
             BusState::Idle => {
-                if let Some(master) = self.arbitrate(now) {
+                if let Some(master) = self.arbitrate(net, now) {
                     if self.extra_grant_cycles == 0 {
-                        self.start_transfer(master, now);
+                        self.start_transfer(net, master, now);
                     } else {
                         self.state = BusState::Granting {
                             master,
@@ -223,7 +223,7 @@ impl Component for AmbaBus {
             }
             BusState::Granting { master, until } => {
                 if now >= until {
-                    self.start_transfer(master, now);
+                    self.start_transfer(net, master, now);
                 }
                 self.stats.busy_cycles += 1;
             }
@@ -235,13 +235,13 @@ impl Component for AmbaBus {
             } => {
                 self.stats.busy_cycles += 1;
                 if expects_response {
-                    if let Some(resp) = self.slaves[slave].take_response(now) {
-                        self.masters[master].push_response(resp, now);
+                    if let Some(resp) = self.slaves[slave].take_response(net, now) {
+                        self.masters[master].push_response(net, resp, now);
                         self.occupancy.record(now - granted_at);
                         self.links[master].busy_cycles += now - granted_at;
                         self.state = BusState::Idle;
                     }
-                } else if self.slaves[slave].take_accept(now).is_some() {
+                } else if self.slaves[slave].take_accept(net, now).is_some() {
                     self.occupancy.record(now - granted_at);
                     self.links[master].busy_cycles += now - granted_at;
                     self.state = BusState::Idle;
@@ -251,19 +251,19 @@ impl Component for AmbaBus {
     }
 
     #[inline]
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, net: &LinkArena) -> bool {
         matches!(self.state, BusState::Idle)
-            && self.masters.iter().all(SlavePort::is_quiet)
-            && self.slaves.iter().all(MasterPort::is_quiet)
+            && self.masters.iter().all(|p| p.is_quiet(net))
+            && self.slaves.iter().all(|p| p.is_quiet(net))
     }
 
     #[inline]
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             BusState::Idle => {
                 let mut wake: Option<Cycle> = None;
                 for m in &self.masters {
-                    match m.request_visible_at() {
+                    match m.request_visible_at(net) {
                         Some(at) if at <= now => return Activity::Busy,
                         Some(at) => wake = Some(wake.map_or(at, |w| w.min(at))),
                         None => {}
@@ -271,7 +271,7 @@ impl Component for AmbaBus {
                 }
                 match wake {
                     Some(at) => Activity::IdleUntil(at),
-                    None if self.is_idle() => Activity::Drained,
+                    None if self.is_idle(net) => Activity::Drained,
                     None => Activity::Busy,
                 }
             }
@@ -279,7 +279,7 @@ impl Component for AmbaBus {
             BusState::Granting { .. } => Activity::Busy,
             // Owned until the slave completes: wake at the queued
             // acceptance/response event, if the slave produced one.
-            BusState::WaitSlave { slave, .. } => match self.slaves[slave].next_event_at() {
+            BusState::WaitSlave { slave, .. } => match self.slaves[slave].next_event_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
                 // Nothing queued yet: the slave device bounds the
@@ -290,7 +290,7 @@ impl Component for AmbaBus {
         }
     }
 
-    fn skip(&mut self, now: Cycle, next: Cycle) {
+    fn skip(&mut self, now: Cycle, next: Cycle, _net: &mut LinkArena) {
         // Granting and WaitSlave ticks count bus occupancy; everything
         // else they do is pure polling.
         if !matches!(self.state, BusState::Idle) {
@@ -334,9 +334,10 @@ impl Interconnect for AmbaBus {
 mod tests {
     use super::*;
     use ntg_mem::{MemoryDevice, RegionKind};
-    use ntg_ocp::{channel, MasterId, OcpRequest, OcpStatus, SlaveId};
+    use ntg_ocp::{MasterId, OcpRequest, OcpStatus, SlaveId};
 
     struct Rig {
+        links: LinkArena,
         bus: AmbaBus,
         mems: Vec<MemoryDevice>,
         cpus: Vec<MasterPort>,
@@ -349,28 +350,34 @@ mod tests {
             .unwrap();
         map.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
             .unwrap();
+        let mut links = LinkArena::new();
         let mut cpus = Vec::new();
         let mut bus_masters = Vec::new();
         for i in 0..n {
-            let (m, s) = channel(format!("cpu{i}"), MasterId(i as u16));
+            let (m, s) = links.channel(format!("cpu{i}"), MasterId(i as u16));
             cpus.push(m);
             bus_masters.push(s);
         }
         let mut mems = Vec::new();
         let mut bus_slaves = Vec::new();
         for (i, base) in [(0u16, 0x1000u32), (1, 0x2000)] {
-            let (m, s) = channel(format!("slave{i}"), MasterId(0));
+            let (m, s) = links.channel(format!("slave{i}"), MasterId(0));
             bus_slaves.push(m);
             mems.push(MemoryDevice::new(format!("mem{i}"), base, 0x1000, s));
         }
-        let bus = AmbaBus::new("bus", bus_masters, bus_slaves, Rc::new(map));
-        Rig { bus, mems, cpus }
+        let bus = AmbaBus::new("bus", bus_masters, bus_slaves, Arc::new(map));
+        Rig {
+            links,
+            bus,
+            mems,
+            cpus,
+        }
     }
 
     fn step(r: &mut Rig, now: Cycle) {
-        r.bus.tick(now);
+        r.bus.tick(now, &mut r.links);
         for m in &mut r.mems {
-            m.tick(now);
+            m.tick(now, &mut r.links);
         }
     }
 
@@ -378,11 +385,11 @@ mod tests {
     fn single_read_takes_six_cycles() {
         let mut r = rig(1);
         r.mems[0].poke(0x1010, 77);
-        r.cpus[0].assert_request(OcpRequest::read(0x1010), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1010), 0);
         let mut got = None;
         for now in 0..20 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 got = Some((resp, now));
                 break;
             }
@@ -395,12 +402,12 @@ mod tests {
     #[test]
     fn posted_write_unblocks_at_grant_but_occupies_bus() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::write(0x1000, 5), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0x1000, 5), 0);
         let mut accepted_at = None;
         for now in 0..20 {
             step(&mut r, now);
             if accepted_at.is_none() {
-                if let Some(_tag) = r.cpus[0].take_accept(now) {
+                if let Some(_tag) = r.cpus[0].take_accept(&mut r.links, now) {
                     accepted_at = Some(now);
                 }
             }
@@ -414,14 +421,14 @@ mod tests {
     #[test]
     fn bus_serialises_two_masters_to_same_slave() {
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         let mut done = [None, None];
         for now in 0..40 {
             step(&mut r, now);
             for c in 0..2 {
                 if done[c].is_none() {
-                    if let Some(_resp) = r.cpus[c].take_response(now) {
+                    if let Some(_resp) = r.cpus[c].take_response(&mut r.links, now) {
                         done[c] = Some(now);
                     }
                 }
@@ -440,9 +447,13 @@ mod tests {
         let mut issued = [0u32, 0];
         for now in 0..400 {
             for c in 0..2 {
-                r.cpus[c].take_accept(now);
-                if !r.cpus[c].request_pending() && issued[c] < 20 {
-                    r.cpus[c].assert_request(OcpRequest::write(0x1000, c as u32), now);
+                r.cpus[c].take_accept(&mut r.links, now);
+                if !r.cpus[c].request_pending(&r.links) && issued[c] < 20 {
+                    r.cpus[c].assert_request(
+                        &mut r.links,
+                        OcpRequest::write(0x1000, c as u32),
+                        now,
+                    );
                     issued[c] += 1;
                 }
             }
@@ -458,9 +469,9 @@ mod tests {
         let mut issued = [0u32, 0];
         for now in 0..100 {
             for c in 0..2 {
-                r.cpus[c].take_accept(now);
-                if !r.cpus[c].request_pending() {
-                    r.cpus[c].assert_request(OcpRequest::write(0x1000, 7), now);
+                r.cpus[c].take_accept(&mut r.links, now);
+                if !r.cpus[c].request_pending(&r.links) {
+                    r.cpus[c].assert_request(&mut r.links, OcpRequest::write(0x1000, 7), now);
                     issued[c] += 1;
                 }
             }
@@ -475,11 +486,11 @@ mod tests {
     #[test]
     fn unmapped_read_gets_error_response() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::read(0xDEAD_0000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0xDEAD_0000), 0);
         let mut got = None;
         for now in 0..20 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 got = Some(resp);
                 break;
             }
@@ -491,11 +502,11 @@ mod tests {
     #[test]
     fn unmapped_write_is_dropped_but_unblocks_master() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::write(0xDEAD_0000, 1), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0xDEAD_0000, 1), 0);
         let mut accepted = false;
         for now in 0..20 {
             step(&mut r, now);
-            accepted |= r.cpus[0].take_accept(now).is_some();
+            accepted |= r.cpus[0].take_accept(&mut r.links, now).is_some();
         }
         assert!(accepted);
         assert_eq!(r.bus.decode_errors(), 1);
@@ -506,11 +517,11 @@ mod tests {
     fn extra_grant_cycles_delay_transfers() {
         let mut r = rig(1);
         r.bus.set_extra_grant_cycles(3);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
         let mut at = None;
         for now in 0..30 {
             step(&mut r, now);
-            if r.cpus[0].take_response(now).is_some() {
+            if r.cpus[0].take_response(&mut r.links, now).is_some() {
                 at = Some(now);
                 break;
             }
@@ -522,11 +533,11 @@ mod tests {
     fn burst_read_returns_line_and_charges_beats() {
         let mut r = rig(1);
         r.mems[0].load_words(0x1000, &[1, 2, 3, 4]);
-        r.cpus[0].assert_request(OcpRequest::burst_read(0x1000, 4), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::burst_read(0x1000, 4), 0);
         let mut got = None;
         for now in 0..30 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 got = Some((resp, now));
                 break;
             }
@@ -539,10 +550,10 @@ mod tests {
     #[test]
     fn occupancy_histogram_tracks_transfers() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
         for now in 0..20 {
             step(&mut r, now);
-            r.cpus[0].take_response(now);
+            r.cpus[0].take_response(&mut r.links, now);
         }
         assert_eq!(r.bus.occupancy().count(), 1);
         // Granted at 1, response relayed at 5 → 4 cycles of occupancy.
@@ -552,12 +563,12 @@ mod tests {
     #[test]
     fn contention_metrics_track_arbitration() {
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         for now in 0..40 {
             step(&mut r, now);
             for c in 0..2 {
-                r.cpus[c].take_response(now);
+                r.cpus[c].take_response(&mut r.links, now);
             }
         }
         let c = r.bus.contention();
@@ -577,11 +588,11 @@ mod tests {
     #[test]
     fn is_idle_goes_quiet_after_traffic() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::write(0x1000, 1), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0x1000, 1), 0);
         for now in 0..20 {
             step(&mut r, now);
-            r.cpus[0].take_accept(now);
+            r.cpus[0].take_accept(&mut r.links, now);
         }
-        assert!(r.bus.is_idle());
+        assert!(r.bus.is_idle(&r.links));
     }
 }

@@ -1,9 +1,9 @@
 //! The STBus-like full crossbar interconnect.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntg_mem::AddressMap;
-use ntg_ocp::{MasterPort, OcpResponse, SlavePort};
+use ntg_ocp::{LinkArena, MasterPort, OcpResponse, SlavePort};
 use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
@@ -32,10 +32,10 @@ enum LaneState {
 /// Per-lane timing equals the [`AmbaBus`](crate::AmbaBus) timing: a
 /// single read takes six cycles end to end on an idle lane.
 pub struct CrossbarBus {
-    name: Rc<str>,
+    name: String,
     masters: Vec<SlavePort>,
     slaves: Vec<MasterPort>,
-    map: Rc<AddressMap>,
+    map: Arc<AddressMap>,
     lanes: Vec<LaneState>,
     rr: Vec<usize>,
     transactions: u64,
@@ -51,10 +51,10 @@ impl CrossbarBus {
     ///
     /// Indexing conventions match [`AmbaBus::new`](crate::AmbaBus::new).
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
-        map: Rc<AddressMap>,
+        map: Arc<AddressMap>,
     ) -> Self {
         let lanes = vec![LaneState::Idle; slaves.len()];
         let rr = vec![0; slaves.len()];
@@ -82,32 +82,32 @@ impl CrossbarBus {
     }
 
     /// Handles requests that decode to no slave.
-    fn reject_unmapped(&mut self, now: Cycle) {
+    fn reject_unmapped(&mut self, net: &mut LinkArena, now: Cycle) {
         for m in 0..self.masters.len() {
             let unmapped = matches!(
-                self.masters[m].peek_meta(now),
+                self.masters[m].peek_meta(net, now),
                 Some((addr, _, _)) if self.map.slave_for(addr).is_none()
             );
             if unmapped {
                 let req = self.masters[m]
-                    .accept_request(now)
+                    .accept_request(net, now)
                     .expect("peeked request is still there");
                 self.decode_errors += 1;
                 if req.cmd.expects_response() {
-                    self.masters[m].push_response(OcpResponse::error(req.tag), now);
+                    self.masters[m].push_response(net, OcpResponse::error(req.tag), now);
                 }
             }
         }
     }
 }
 
-impl Component for CrossbarBus {
+impl Component<LinkArena> for CrossbarBus {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tick(&mut self, now: Cycle) {
-        self.reject_unmapped(now);
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
+        self.reject_unmapped(net, now);
         for lane in 0..self.lanes.len() {
             match self.lanes[lane] {
                 LaneState::WaitSlave {
@@ -117,38 +117,39 @@ impl Component for CrossbarBus {
                     self.busy_lane_cycles += 1;
                     self.links[master].busy_cycles += 1;
                     if expects_response {
-                        if let Some(resp) = self.slaves[lane].take_response(now) {
-                            self.masters[master].push_response(resp, now);
+                        if let Some(resp) = self.slaves[lane].take_response(net, now) {
+                            self.masters[master].push_response(net, resp, now);
                             self.lanes[lane] = LaneState::Idle;
                         }
-                    } else if self.slaves[lane].take_accept(now).is_some() {
+                    } else if self.slaves[lane].take_accept(net, now).is_some() {
                         self.lanes[lane] = LaneState::Idle;
                     }
                 }
                 LaneState::Idle => {
                     let n = self.masters.len();
                     let start = self.rr[lane];
-                    let wants_lane = |m: usize, masters: &[SlavePort], map: &AddressMap| {
-                        matches!(
-                            masters[m].peek_meta(now),
-                            Some((addr, _, _)) if map.slave_for(addr)
-                                == Some(ntg_ocp::SlaveId(lane as u16))
-                        )
-                    };
+                    let wants_lane =
+                        |m: usize, masters: &[SlavePort], map: &AddressMap, net: &LinkArena| {
+                            matches!(
+                                masters[m].peek_meta(net, now),
+                                Some((addr, _, _)) if map.slave_for(addr)
+                                    == Some(ntg_ocp::SlaveId(lane as u16))
+                            )
+                        };
                     let winner = (0..n)
                         .map(|i| (start + i) % n)
-                        .find(|&m| wants_lane(m, &self.masters, &self.map));
+                        .find(|&m| wants_lane(m, &self.masters, &self.map, net));
                     if let Some(m) = winner {
                         // Contention bookkeeping before acceptance
                         // consumes the request's visibility timestamp.
                         let stall = now
                             - self.masters[m]
-                                .request_visible_at()
+                                .request_visible_at(net)
                                 .expect("winner request is still there");
                         let contended =
-                            (0..n).any(|o| o != m && wants_lane(o, &self.masters, &self.map));
+                            (0..n).any(|o| o != m && wants_lane(o, &self.masters, &self.map, net));
                         let req = self.masters[m]
-                            .accept_request(now)
+                            .accept_request(net, now)
                             .expect("winner request is still there");
                         let expects_response = req.cmd.expects_response();
                         self.transactions += 1;
@@ -158,7 +159,7 @@ impl Component for CrossbarBus {
                         self.grant_wait.record(stall);
                         self.links[m].grants += 1;
                         self.links[m].stall_cycles += stall;
-                        self.slaves[lane].forward_request(req, now);
+                        self.slaves[lane].forward_request(net, req, now);
                         self.lanes[lane] = LaneState::WaitSlave {
                             master: m,
                             expects_response,
@@ -170,20 +171,20 @@ impl Component for CrossbarBus {
         }
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, net: &LinkArena) -> bool {
         self.lanes.iter().all(|l| matches!(l, LaneState::Idle))
-            && self.masters.iter().all(SlavePort::is_quiet)
-            && self.slaves.iter().all(MasterPort::is_quiet)
+            && self.masters.iter().all(|p| p.is_quiet(net))
+            && self.slaves.iter().all(|p| p.is_quiet(net))
     }
 
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         let mut wake: Option<Cycle> = None;
         let merge = |wake: &mut Option<Cycle>, at: Cycle| {
             *wake = Some(wake.map_or(at, |w| w.min(at)));
         };
         // A request visible now feeds reject_unmapped or a lane arbiter.
         for m in &self.masters {
-            match m.request_visible_at() {
+            match m.request_visible_at(net) {
                 Some(at) if at <= now => return Activity::Busy,
                 Some(at) => merge(&mut wake, at),
                 None => {}
@@ -191,7 +192,7 @@ impl Component for CrossbarBus {
         }
         for (lane, state) in self.lanes.iter().enumerate() {
             if matches!(state, LaneState::WaitSlave { .. }) {
-                match self.slaves[lane].next_event_at() {
+                match self.slaves[lane].next_event_at(net) {
                     Some(at) if at > now => merge(&mut wake, at),
                     Some(_) => return Activity::Busy,
                     // Passive wait: the slave device bounds the horizon.
@@ -201,12 +202,12 @@ impl Component for CrossbarBus {
         }
         match wake {
             Some(at) => Activity::IdleUntil(at),
-            None if self.is_idle() => Activity::Drained,
+            None if self.is_idle(net) => Activity::Drained,
             None => Activity::Busy,
         }
     }
 
-    fn skip(&mut self, now: Cycle, next: Cycle) {
+    fn skip(&mut self, now: Cycle, next: Cycle, _net: &mut LinkArena) {
         // Each occupied lane counts one busy cycle per tick (total and
         // per owning master); the rest of a wait tick is pure polling.
         for lane in &self.lanes {
@@ -249,9 +250,10 @@ impl Interconnect for CrossbarBus {
 mod tests {
     use super::*;
     use ntg_mem::{MemoryDevice, RegionKind};
-    use ntg_ocp::{channel, MasterId, OcpRequest, OcpStatus, SlaveId};
+    use ntg_ocp::{MasterId, OcpRequest, OcpStatus, SlaveId};
 
     struct Rig {
+        links: LinkArena,
         xbar: CrossbarBus,
         mems: Vec<MemoryDevice>,
         cpus: Vec<MasterPort>,
@@ -263,28 +265,34 @@ mod tests {
             .unwrap();
         map.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
             .unwrap();
+        let mut links = LinkArena::new();
         let mut cpus = Vec::new();
         let mut net_masters = Vec::new();
         for i in 0..n {
-            let (m, s) = channel(format!("cpu{i}"), MasterId(i as u16));
+            let (m, s) = links.channel(format!("cpu{i}"), MasterId(i as u16));
             cpus.push(m);
             net_masters.push(s);
         }
         let mut mems = Vec::new();
         let mut net_slaves = Vec::new();
         for (i, base) in [(0u16, 0x1000u32), (1, 0x2000)] {
-            let (m, s) = channel(format!("slave{i}"), MasterId(0));
+            let (m, s) = links.channel(format!("slave{i}"), MasterId(0));
             net_slaves.push(m);
             mems.push(MemoryDevice::new(format!("mem{i}"), base, 0x1000, s));
         }
-        let xbar = CrossbarBus::new("xbar", net_masters, net_slaves, Rc::new(map));
-        Rig { xbar, mems, cpus }
+        let xbar = CrossbarBus::new("xbar", net_masters, net_slaves, Arc::new(map));
+        Rig {
+            links,
+            xbar,
+            mems,
+            cpus,
+        }
     }
 
     fn step(r: &mut Rig, now: Cycle) {
-        r.xbar.tick(now);
+        r.xbar.tick(now, &mut r.links);
         for m in &mut r.mems {
-            m.tick(now);
+            m.tick(now, &mut r.links);
         }
     }
 
@@ -292,10 +300,10 @@ mod tests {
     fn single_read_latency_matches_bus() {
         let mut r = rig(1);
         r.mems[0].poke(0x1004, 9);
-        r.cpus[0].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         for now in 0..20 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 assert_eq!(resp.data, vec![9]);
                 assert_eq!(now, 6);
                 return;
@@ -307,13 +315,13 @@ mod tests {
     #[test]
     fn different_slaves_proceed_in_parallel() {
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x2000), 0);
         let mut done = [None, None];
         for now in 0..30 {
             step(&mut r, now);
             for c in 0..2 {
-                if done[c].is_none() && r.cpus[c].take_response(now).is_some() {
+                if done[c].is_none() && r.cpus[c].take_response(&mut r.links, now).is_some() {
                     done[c] = Some(now);
                 }
             }
@@ -325,13 +333,13 @@ mod tests {
     #[test]
     fn same_slave_still_serialises() {
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         let mut done = [None, None];
         for now in 0..30 {
             step(&mut r, now);
             for c in 0..2 {
-                if done[c].is_none() && r.cpus[c].take_response(now).is_some() {
+                if done[c].is_none() && r.cpus[c].take_response(&mut r.links, now).is_some() {
                     done[c] = Some(now);
                 }
             }
@@ -343,21 +351,21 @@ mod tests {
     #[test]
     fn unmapped_read_errors_and_write_drops() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::read(0x9000_0000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x9000_0000), 0);
         let mut status = None;
         for now in 0..20 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 status = Some(resp.status);
                 break;
             }
         }
         assert_eq!(status, Some(OcpStatus::Error));
-        r.cpus[0].assert_request(OcpRequest::write(0x9000_0000, 1), 20);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0x9000_0000, 1), 20);
         let mut accepted = false;
         for now in 20..40 {
             step(&mut r, now);
-            accepted |= r.cpus[0].take_accept(now).is_some();
+            accepted |= r.cpus[0].take_accept(&mut r.links, now).is_some();
         }
         assert!(accepted);
         assert_eq!(r.xbar.decode_errors(), 2);
@@ -367,12 +375,12 @@ mod tests {
     fn conflicts_only_arise_on_shared_lanes() {
         // Same slave: the loser marks the grant contended.
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         for now in 0..30 {
             step(&mut r, now);
             for c in 0..2 {
-                r.cpus[c].take_response(now);
+                r.cpus[c].take_response(&mut r.links, now);
             }
         }
         let c = r.xbar.contention();
@@ -384,12 +392,12 @@ mod tests {
 
         // Different slaves: fully parallel, no conflicts, no stalls.
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x2000), 0);
         for now in 0..30 {
             step(&mut r, now);
             for c in 0..2 {
-                r.cpus[c].take_response(now);
+                r.cpus[c].take_response(&mut r.links, now);
             }
         }
         let c = r.xbar.contention();
@@ -403,11 +411,11 @@ mod tests {
         let mut completions = [0u32; 3];
         for now in 0..600 {
             for c in 0..3 {
-                if r.cpus[c].take_response(now).is_some() {
+                if r.cpus[c].take_response(&mut r.links, now).is_some() {
                     completions[c] += 1;
                 }
-                if !r.cpus[c].request_pending() {
-                    r.cpus[c].assert_request(OcpRequest::read(0x1000), now);
+                if !r.cpus[c].request_pending(&r.links) {
+                    r.cpus[c].assert_request(&mut r.links, OcpRequest::read(0x1000), now);
                 }
             }
             step(&mut r, now);

@@ -1,10 +1,10 @@
 //! The idealised fixed-latency interconnect.
 
 use std::collections::VecDeque;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntg_mem::AddressMap;
-use ntg_ocp::{MasterPort, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{LinkArena, MasterPort, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
@@ -24,10 +24,10 @@ use crate::{Interconnect, InterconnectKind};
 /// translation produces identical TG programs regardless of the fabric
 /// traces were collected on.
 pub struct IdealInterconnect {
-    name: Rc<str>,
+    name: String,
     masters: Vec<SlavePort>,
     slaves: Vec<MasterPort>,
-    map: Rc<AddressMap>,
+    map: Arc<AddressMap>,
     latency: Cycle,
     /// Per-slave queue of requests in flight or waiting for the link.
     to_slave: Vec<VecDeque<(Cycle, usize, OcpRequest)>>,
@@ -50,10 +50,10 @@ impl IdealInterconnect {
     ///
     /// Indexing conventions match [`AmbaBus::new`](crate::AmbaBus::new).
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
-        map: Rc<AddressMap>,
+        map: Arc<AddressMap>,
     ) -> Self {
         let n_slaves = slaves.len();
         let n_masters = masters.len();
@@ -80,25 +80,25 @@ impl IdealInterconnect {
     }
 }
 
-impl Component for IdealInterconnect {
+impl Component<LinkArena> for IdealInterconnect {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         // 1. Accept every visible master request.
         for m in 0..self.masters.len() {
-            if !self.masters[m].has_request(now) {
+            if !self.masters[m].has_request(net, now) {
                 continue;
             }
             let req = self.masters[m]
-                .accept_request(now)
+                .accept_request(net, now)
                 .expect("peeked request is still there");
             match self.map.slave_for(req.addr) {
                 None => {
                     self.decode_errors += 1;
                     if req.cmd.expects_response() {
-                        self.masters[m].push_response(OcpResponse::error(req.tag), now);
+                        self.masters[m].push_response(net, OcpResponse::error(req.tag), now);
                     }
                 }
                 Some(slave) => {
@@ -115,16 +115,16 @@ impl Component for IdealInterconnect {
             // response.
             if let Some(&(owner, expects)) = self.owners[s].front() {
                 if expects {
-                    if let Some(resp) = self.slaves[s].take_response(now) {
+                    if let Some(resp) = self.slaves[s].take_response(net, now) {
                         self.owners[s].pop_front();
                         self.to_master[owner].push_back((now + self.latency, resp));
                     }
-                } else if self.slaves[s].take_accept(now).is_some() {
+                } else if self.slaves[s].take_accept(net, now).is_some() {
                     self.owners[s].pop_front();
                 }
             }
             let due = matches!(self.to_slave[s].front(), Some(&(at, _, _)) if at <= now);
-            if due && !self.slaves[s].request_pending() && self.owners[s].is_empty() {
+            if due && !self.slaves[s].request_pending(net) && self.owners[s].is_empty() {
                 let (at, m, req) = self.to_slave[s].pop_front().expect("front checked");
                 // The network itself is contention-free; any wait beyond
                 // the flight time is same-slave queueing delay.
@@ -136,7 +136,7 @@ impl Component for IdealInterconnect {
                 self.links[m].stall_cycles += queue_wait;
                 self.links[m].busy_cycles += self.latency;
                 self.owners[s].push_back((m, req.cmd.expects_response()));
-                self.slaves[s].forward_request(req, now);
+                self.slaves[s].forward_request(net, req, now);
             }
         }
         // 3. Deliver due responses to masters.
@@ -144,28 +144,28 @@ impl Component for IdealInterconnect {
             while matches!(self.to_master[m].front(), Some(&(at, _)) if at <= now) {
                 let (_, resp) = self.to_master[m].pop_front().expect("front checked");
                 self.links[m].busy_cycles += self.latency;
-                self.masters[m].push_response(resp, now);
+                self.masters[m].push_response(net, resp, now);
             }
         }
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, net: &LinkArena) -> bool {
         self.to_slave.iter().all(VecDeque::is_empty)
             && self.owners.iter().all(VecDeque::is_empty)
             && self.to_master.iter().all(VecDeque::is_empty)
-            && self.masters.iter().all(SlavePort::is_quiet)
-            && self.slaves.iter().all(MasterPort::is_quiet)
+            && self.masters.iter().all(|p| p.is_quiet(net))
+            && self.slaves.iter().all(|p| p.is_quiet(net))
     }
 
     // Ticks have no side effects while nothing is visible or due, so the
     // default no-op `skip` is exact.
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         let mut wake: Option<Cycle> = None;
         let merge = |wake: &mut Option<Cycle>, at: Cycle| {
             *wake = Some(wake.map_or(at, |w| w.min(at)));
         };
         for m in &self.masters {
-            match m.request_visible_at() {
+            match m.request_visible_at(net) {
                 Some(at) if at <= now => return Activity::Busy,
                 Some(at) => merge(&mut wake, at),
                 None => {}
@@ -175,7 +175,7 @@ impl Component for IdealInterconnect {
             if self.owners[s].front().is_some() {
                 // Waiting on the slave; a queued completion event gives
                 // the exact wake, an unfinished service does not.
-                match self.slaves[s].next_event_at() {
+                match self.slaves[s].next_event_at(net) {
                     Some(at) if at > now => merge(&mut wake, at),
                     Some(_) => return Activity::Busy,
                     // Passive wait: the slave device bounds the horizon.
@@ -198,7 +198,7 @@ impl Component for IdealInterconnect {
         }
         match wake {
             Some(at) => Activity::IdleUntil(at),
-            None if self.is_idle() => Activity::Drained,
+            None if self.is_idle(net) => Activity::Drained,
             None => Activity::Busy,
         }
     }
@@ -238,9 +238,10 @@ impl Interconnect for IdealInterconnect {
 mod tests {
     use super::*;
     use ntg_mem::{MemoryDevice, RegionKind};
-    use ntg_ocp::{channel, MasterId, OcpRequest, SlaveId};
+    use ntg_ocp::{MasterId, OcpRequest, SlaveId};
 
     struct Rig {
+        links: LinkArena,
         net: IdealInterconnect,
         mems: Vec<MemoryDevice>,
         cpus: Vec<MasterPort>,
@@ -252,28 +253,34 @@ mod tests {
             .unwrap();
         map.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
             .unwrap();
+        let mut links = LinkArena::new();
         let mut cpus = Vec::new();
         let mut net_masters = Vec::new();
         for i in 0..n {
-            let (m, s) = channel(format!("cpu{i}"), MasterId(i as u16));
+            let (m, s) = links.channel(format!("cpu{i}"), MasterId(i as u16));
             cpus.push(m);
             net_masters.push(s);
         }
         let mut mems = Vec::new();
         let mut net_slaves = Vec::new();
         for (i, base) in [(0u16, 0x1000u32), (1, 0x2000)] {
-            let (m, s) = channel(format!("slave{i}"), MasterId(0));
+            let (m, s) = links.channel(format!("slave{i}"), MasterId(0));
             net_slaves.push(m);
             mems.push(MemoryDevice::new(format!("mem{i}"), base, 0x1000, s));
         }
-        let net = IdealInterconnect::new("ideal", net_masters, net_slaves, Rc::new(map));
-        Rig { net, mems, cpus }
+        let net = IdealInterconnect::new("ideal", net_masters, net_slaves, Arc::new(map));
+        Rig {
+            links,
+            net,
+            mems,
+            cpus,
+        }
     }
 
     fn step(r: &mut Rig, now: Cycle) {
-        r.net.tick(now);
+        r.net.tick(now, &mut r.links);
         for m in &mut r.mems {
-            m.tick(now);
+            m.tick(now, &mut r.links);
         }
     }
 
@@ -281,10 +288,10 @@ mod tests {
     fn read_latency_includes_both_directions() {
         let mut r = rig(1);
         r.mems[0].poke(0x1000, 3);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
         for now in 0..30 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 assert_eq!(resp.data, vec![3]);
                 // accept @1, at slave @3 (+2), service visible @4, done
                 // @4+2=6... slave pushes @6? then +2 back, +1 visibility.
@@ -298,11 +305,11 @@ mod tests {
     #[test]
     fn writes_never_stall_the_master() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::write(0x1000, 1), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0x1000, 1), 0);
         let mut accepted_at = None;
         for now in 0..30 {
             step(&mut r, now);
-            if accepted_at.is_none() && r.cpus[0].take_accept(now).is_some() {
+            if accepted_at.is_none() && r.cpus[0].take_accept(&mut r.links, now).is_some() {
                 accepted_at = Some(now);
             }
         }
@@ -315,13 +322,13 @@ mod tests {
         // Masters targeting different slaves all complete at the same
         // cycle despite sharing the fabric.
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x2000), 0);
         let mut done = [None, None];
         for now in 0..30 {
             step(&mut r, now);
             for c in 0..2 {
-                if done[c].is_none() && r.cpus[c].take_response(now).is_some() {
+                if done[c].is_none() && r.cpus[c].take_response(&mut r.links, now).is_some() {
                     done[c] = Some(now);
                 }
             }
@@ -334,13 +341,13 @@ mod tests {
         let mut r = rig(2);
         r.mems[0].poke(0x1000, 10);
         r.mems[0].poke(0x1004, 20);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         let mut order = Vec::new();
         for now in 0..60 {
             step(&mut r, now);
             for c in 0..2 {
-                if let Some(resp) = r.cpus[c].take_response(now) {
+                if let Some(resp) = r.cpus[c].take_response(&mut r.links, now) {
                     order.push((c, resp.word()));
                 }
             }
@@ -355,12 +362,12 @@ mod tests {
         // Same slave: the second request waits at the device, which the
         // metrics report as a conflict with stall cycles.
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x1004), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x1004), 0);
         for now in 0..60 {
             step(&mut r, now);
             for c in 0..2 {
-                r.cpus[c].take_response(now);
+                r.cpus[c].take_response(&mut r.links, now);
             }
         }
         let c = r.net.contention();
@@ -377,12 +384,12 @@ mod tests {
 
         // Different slaves: an infinitely parallel network, no conflicts.
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x2000), 0);
         for now in 0..60 {
             step(&mut r, now);
             for c in 0..2 {
-                r.cpus[c].take_response(now);
+                r.cpus[c].take_response(&mut r.links, now);
             }
         }
         let c = r.net.contention();
@@ -394,10 +401,10 @@ mod tests {
     fn zero_latency_is_allowed() {
         let mut r = rig(1);
         r.net.set_latency(0);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
         for now in 0..20 {
             step(&mut r, now);
-            if r.cpus[0].take_response(now).is_some() {
+            if r.cpus[0].take_response(&mut r.links, now).is_some() {
                 assert!(now <= 6);
                 return;
             }
@@ -408,11 +415,11 @@ mod tests {
     #[test]
     fn goes_idle_after_posted_write_completes() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::write(0x1000, 1), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0x1000, 1), 0);
         for now in 0..30 {
             step(&mut r, now);
-            r.cpus[0].take_accept(now);
+            r.cpus[0].take_accept(&mut r.links, now);
         }
-        assert!(r.net.is_idle());
+        assert!(r.net.is_idle(&r.links));
     }
 }

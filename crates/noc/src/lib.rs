@@ -45,6 +45,7 @@ pub use crossbar::CrossbarBus;
 pub use ideal::IdealInterconnect;
 pub use xpipes::{XpipesConfig, XpipesNoc};
 
+use ntg_ocp::LinkArena;
 use ntg_sim::observe::Contention;
 use ntg_sim::Component;
 
@@ -75,9 +76,11 @@ impl std::fmt::Display for InterconnectKind {
 
 /// Common interface of every interconnect model.
 ///
-/// Implementors are [`Component`]s constructed from the network-side
-/// endpoints of all master and slave links plus the address map.
-pub trait Interconnect: Component {
+/// Implementors are [`Component`]s over the [`LinkArena`] context,
+/// constructed from the network-side endpoints of all master and slave
+/// links plus the address map. The `Send` supertrait is what lets a
+/// fully wired platform migrate to a campaign worker thread.
+pub trait Interconnect: Component<LinkArena> + Send {
     /// The model family.
     fn kind(&self) -> InterconnectKind;
 

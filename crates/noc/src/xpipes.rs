@@ -1,10 +1,10 @@
 //! The ×pipes-like wormhole packet-switched 2D-mesh NoC.
 
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntg_mem::AddressMap;
-use ntg_ocp::{MasterPort, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{LinkArena, MasterPort, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
@@ -190,9 +190,9 @@ pub struct NocStats {
 /// exactly the kind of architecture-dependent timing difference the
 /// paper's reactive traffic generators must absorb.
 pub struct XpipesNoc {
-    name: Rc<str>,
+    name: String,
     cfg: XpipesConfig,
-    map: Rc<AddressMap>,
+    map: Arc<AddressMap>,
     routers: Vec<Router>,
     master_nis: Vec<MasterNi>,
     slave_nis: Vec<SlaveNi>,
@@ -219,10 +219,10 @@ impl XpipesNoc {
     /// Panics if `cfg` is inconsistent with the number of masters/slaves
     /// (see [`XpipesConfig`]).
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         masters: Vec<SlavePort>,
         slaves: Vec<MasterPort>,
-        map: Rc<AddressMap>,
+        map: Arc<AddressMap>,
         cfg: XpipesConfig,
     ) -> Self {
         cfg.validate(masters.len(), slaves.len());
@@ -331,14 +331,14 @@ impl XpipesNoc {
 
     /// Link stage: move output-register flits into downstream input
     /// FIFOs (or deliver locally), honouring backpressure.
-    fn link_stage(&mut self, now: Cycle) {
+    fn link_stage(&mut self, net: &mut LinkArena, now: Cycle) {
         for r in 0..self.routers.len() {
             for p in 0..5 {
                 let Some(flit) = self.routers[r].out_reg[p] else {
                     continue;
                 };
                 if p == LOCAL {
-                    if self.deliver_local(r as u16, flit, now) {
+                    if self.deliver_local(net, r as u16, flit, now) {
                         self.routers[r].out_reg[p] = None;
                     }
                 } else {
@@ -356,7 +356,7 @@ impl XpipesNoc {
 
     /// Delivers a flit to the NI on `node`. Returns false on
     /// backpressure.
-    fn deliver_local(&mut self, node: u16, flit: Flit, now: Cycle) -> bool {
+    fn deliver_local(&mut self, net: &mut LinkArena, node: u16, flit: Flit, now: Cycle) -> bool {
         match self.attach[node as usize] {
             Attach::None => panic!("flit routed to node {node} which has no NI"),
             Attach::Master(i) => {
@@ -371,7 +371,7 @@ impl XpipesNoc {
                         panic!("request packet delivered to a master NI")
                     };
                     debug_assert_eq!(dst_master, i);
-                    self.master_nis[i].link.push_response(resp, now);
+                    self.master_nis[i].link.push_response(net, resp, now);
                 }
                 true
             }
@@ -457,34 +457,36 @@ impl XpipesNoc {
 
     /// NI stage: accept fresh requests, feed injection FIFOs, talk to
     /// devices.
-    fn ni_stage(&mut self, now: Cycle) {
+    fn ni_stage(&mut self, net: &mut LinkArena, now: Cycle) {
         // Master NIs: accept a new request once the previous packet fully
         // left the NI.
         for i in 0..self.master_nis.len() {
             if self.master_nis[i].tx.is_empty() {
-                if let Some((addr, _, _)) = self.master_nis[i].link.peek_meta(now) {
+                if let Some((addr, _, _)) = self.master_nis[i].link.peek_meta(net, now) {
                     match self.map.slave_for(addr) {
                         None => {
                             let req = self.master_nis[i]
                                 .link
-                                .accept_request(now)
+                                .accept_request(net, now)
                                 .expect("peeked request is still there");
                             self.decode_errors += 1;
                             if req.cmd.expects_response() {
-                                self.master_nis[i]
-                                    .link
-                                    .push_response(OcpResponse::error(req.tag), now);
+                                self.master_nis[i].link.push_response(
+                                    net,
+                                    OcpResponse::error(req.tag),
+                                    now,
+                                );
                             }
                         }
                         Some(slave) => {
                             let stall = now
                                 - self.master_nis[i]
                                     .link
-                                    .request_visible_at()
+                                    .request_visible_at(net)
                                     .expect("peeked request is visible");
                             let req = self.master_nis[i]
                                 .link
-                                .accept_request(now)
+                                .accept_request(net, now)
                                 .expect("peeked request is still there");
                             self.transactions += 1;
                             self.grant_wait.record(stall);
@@ -523,7 +525,7 @@ impl XpipesNoc {
             // Completion?
             if let Some((src_master, expects)) = self.slave_nis[i].busy {
                 if expects {
-                    if let Some(resp) = self.slave_nis[i].link.take_response(now) {
+                    if let Some(resp) = self.slave_nis[i].link.take_response(net, now) {
                         let dst = self.master_nis[src_master].node;
                         let len = 1 + resp.data.len() as u32;
                         self.links[src_master].busy_cycles += u64::from(len);
@@ -543,7 +545,7 @@ impl XpipesNoc {
                         self.stats.packets += 1;
                         self.slave_nis[i].busy = None;
                     }
-                } else if self.slave_nis[i].link.take_accept(now).is_some() {
+                } else if self.slave_nis[i].link.take_accept(net, now).is_some() {
                     self.slave_nis[i].busy = None;
                 }
             }
@@ -551,7 +553,7 @@ impl XpipesNoc {
             // response path are free.
             if self.slave_nis[i].busy.is_none()
                 && self.slave_nis[i].tx.is_empty()
-                && !self.slave_nis[i].link.request_pending()
+                && !self.slave_nis[i].link.request_pending(net)
             {
                 if let Some(pid) = self.slave_nis[i].pending.pop_front() {
                     let packet = self.packets.remove(&pid).expect("pending packet exists");
@@ -561,7 +563,7 @@ impl XpipesNoc {
                         panic!("response packet delivered to a slave NI")
                     };
                     let expects = req.cmd.expects_response();
-                    self.slave_nis[i].link.forward_request(req, now);
+                    self.slave_nis[i].link.forward_request(net, req, now);
                     self.slave_nis[i].busy = Some((src_master, expects));
                 }
             }
@@ -577,32 +579,35 @@ impl XpipesNoc {
     }
 }
 
-impl Component for XpipesNoc {
+impl Component<LinkArena> for XpipesNoc {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tick(&mut self, now: Cycle) {
-        self.link_stage(now);
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
+        self.link_stage(net, now);
         self.switch_stage();
-        self.ni_stage(now);
+        self.ni_stage(net, now);
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, net: &LinkArena) -> bool {
         self.packets.is_empty()
             && self.routers.iter().all(Router::is_empty)
             && self
                 .master_nis
                 .iter()
-                .all(|ni| ni.tx.is_empty() && ni.link.is_quiet())
+                .all(|ni| ni.tx.is_empty() && ni.link.is_quiet(net))
             && self.slave_nis.iter().all(|ni| {
-                ni.tx.is_empty() && ni.pending.is_empty() && ni.busy.is_none() && ni.link.is_quiet()
+                ni.tx.is_empty()
+                    && ni.pending.is_empty()
+                    && ni.busy.is_none()
+                    && ni.link.is_quiet(net)
             })
     }
 
     // Ticks are complete no-ops while the network is drained, so the
     // default no-op `skip` is exact.
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         // Any flit, pending delivery, or outstanding slave transaction
         // means the pipeline advances every cycle.
         let in_flight = !self.packets.is_empty()
@@ -617,7 +622,7 @@ impl Component for XpipesNoc {
         }
         let mut wake: Option<Cycle> = None;
         for ni in &self.master_nis {
-            match ni.link.request_visible_at() {
+            match ni.link.request_visible_at(net) {
                 Some(at) if at <= now => return Activity::Busy,
                 Some(at) => wake = Some(wake.map_or(at, |w| w.min(at))),
                 None => {}
@@ -625,7 +630,7 @@ impl Component for XpipesNoc {
         }
         match wake {
             Some(at) => Activity::IdleUntil(at),
-            None if self.is_idle() => Activity::Drained,
+            None if self.is_idle(net) => Activity::Drained,
             None => Activity::Busy,
         }
     }
@@ -668,9 +673,10 @@ impl Interconnect for XpipesNoc {
 mod tests {
     use super::*;
     use ntg_mem::{MemoryDevice, RegionKind};
-    use ntg_ocp::{channel, MasterId, OcpRequest, OcpStatus, SlaveId};
+    use ntg_ocp::{MasterId, OcpRequest, OcpStatus, SlaveId};
 
     struct Rig {
+        links: LinkArena,
         noc: XpipesNoc,
         mems: Vec<MemoryDevice>,
         cpus: Vec<MasterPort>,
@@ -682,29 +688,35 @@ mod tests {
             .unwrap();
         map.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
             .unwrap();
+        let mut links = LinkArena::new();
         let mut cpus = Vec::new();
         let mut net_masters = Vec::new();
         for i in 0..n_masters {
-            let (m, s) = channel(format!("cpu{i}"), MasterId(i as u16));
+            let (m, s) = links.channel(format!("cpu{i}"), MasterId(i as u16));
             cpus.push(m);
             net_masters.push(s);
         }
         let mut mems = Vec::new();
         let mut net_slaves = Vec::new();
         for (i, base) in [(0u16, 0x1000u32), (1, 0x2000)] {
-            let (m, s) = channel(format!("slave{i}"), MasterId(0));
+            let (m, s) = links.channel(format!("slave{i}"), MasterId(0));
             net_slaves.push(m);
             mems.push(MemoryDevice::new(format!("mem{i}"), base, 0x1000, s));
         }
         let cfg = XpipesConfig::auto(n_masters, 2);
-        let noc = XpipesNoc::new("xpipes", net_masters, net_slaves, Rc::new(map), cfg);
-        Rig { noc, mems, cpus }
+        let noc = XpipesNoc::new("xpipes", net_masters, net_slaves, Arc::new(map), cfg);
+        Rig {
+            links,
+            noc,
+            mems,
+            cpus,
+        }
     }
 
     fn step(r: &mut Rig, now: Cycle) {
-        r.noc.tick(now);
+        r.noc.tick(now, &mut r.links);
         for m in &mut r.mems {
-            m.tick(now);
+            m.tick(now, &mut r.links);
         }
     }
 
@@ -720,10 +732,10 @@ mod tests {
     fn read_round_trips_through_the_mesh() {
         let mut r = rig(1);
         r.mems[0].poke(0x1010, 4242);
-        r.cpus[0].assert_request(OcpRequest::read(0x1010), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1010), 0);
         for now in 0..100 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 assert_eq!(resp.data, vec![4242]);
                 assert!(
                     now > 6,
@@ -739,11 +751,11 @@ mod tests {
     #[test]
     fn posted_write_unblocks_at_the_ni() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::write(0x2000, 31), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::write(0x2000, 31), 0);
         let mut accepted_at = None;
         for now in 0..100 {
             step(&mut r, now);
-            if accepted_at.is_none() && r.cpus[0].take_accept(now).is_some() {
+            if accepted_at.is_none() && r.cpus[0].take_accept(&mut r.links, now).is_some() {
                 accepted_at = Some(now);
             }
         }
@@ -755,10 +767,10 @@ mod tests {
     fn burst_read_reassembles_whole_line() {
         let mut r = rig(1);
         r.mems[0].load_words(0x1000, &[5, 6, 7, 8]);
-        r.cpus[0].assert_request(OcpRequest::burst_read(0x1000, 4), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::burst_read(0x1000, 4), 0);
         for now in 0..200 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 assert_eq!(resp.data, vec![5, 6, 7, 8]);
                 return;
             }
@@ -769,13 +781,13 @@ mod tests {
     #[test]
     fn two_masters_different_slaves_overlap() {
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::read(0x1000), 0);
-        r.cpus[1].assert_request(OcpRequest::read(0x2000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0x1000), 0);
+        r.cpus[1].assert_request(&mut r.links, OcpRequest::read(0x2000), 0);
         let mut done = [None, None];
         for now in 0..200 {
             step(&mut r, now);
             for c in 0..2 {
-                if done[c].is_none() && r.cpus[c].take_response(now).is_some() {
+                if done[c].is_none() && r.cpus[c].take_response(&mut r.links, now).is_some() {
                     done[c] = Some(now);
                 }
             }
@@ -789,10 +801,10 @@ mod tests {
     #[test]
     fn unmapped_read_errors_without_touching_the_mesh() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::read(0xDEAD_0000), 0);
+        r.cpus[0].assert_request(&mut r.links, OcpRequest::read(0xDEAD_0000), 0);
         for now in 0..20 {
             step(&mut r, now);
-            if let Some(resp) = r.cpus[0].take_response(now) {
+            if let Some(resp) = r.cpus[0].take_response(&mut r.links, now) {
                 assert_eq!(resp.status, OcpStatus::Error);
                 assert_eq!(r.noc.stats().packets, 0);
                 return;
@@ -808,32 +820,40 @@ mod tests {
         let mut completions = 0u32;
         for now in 0..5_000 {
             for c in 0..2 {
-                if r.cpus[c].take_response(now).is_some() {
+                if r.cpus[c].take_response(&mut r.links, now).is_some() {
                     completions += 1;
                 }
-                if !r.cpus[c].request_pending() && remaining[c] > 0 {
-                    r.cpus[c].assert_request(OcpRequest::read(0x1000 + c as u32 * 8), now);
+                if !r.cpus[c].request_pending(&r.links) && remaining[c] > 0 {
+                    r.cpus[c].assert_request(
+                        &mut r.links,
+                        OcpRequest::read(0x1000 + c as u32 * 8),
+                        now,
+                    );
                     remaining[c] -= 1;
                 }
             }
             step(&mut r, now);
         }
         assert_eq!(completions, 20, "wormhole contention must not deadlock");
-        assert!(r.noc.is_idle());
+        assert!(r.noc.is_idle(&r.links));
     }
 
     #[test]
     fn write_data_flits_lengthen_packets() {
         let mut r = rig(1);
-        r.cpus[0].assert_request(OcpRequest::burst_write(0x1000, vec![1, 2, 3, 4]), 0);
+        r.cpus[0].assert_request(
+            &mut r.links,
+            OcpRequest::burst_write(0x1000, vec![1, 2, 3, 4]),
+            0,
+        );
         for now in 0..200 {
             step(&mut r, now);
-            r.cpus[0].take_accept(now);
+            r.cpus[0].take_accept(&mut r.links, now);
         }
         assert_eq!(r.mems[0].peek(0x100C), 4);
         // 6 flits request (head + cmd + 4 data), no response packet.
         assert_eq!(r.noc.stats().packets, 1);
-        assert!(r.noc.is_idle());
+        assert!(r.noc.is_idle(&r.links));
     }
 
     #[test]
@@ -862,9 +882,10 @@ mod tests {
             slave_nodes: vec![0],
             input_fifo_flits: 2,
         };
-        let map = Rc::new(AddressMap::new());
-        let (_, s) = channel("cpu", MasterId(0));
-        let (m, _) = channel("slave", MasterId(0));
+        let map = Arc::new(AddressMap::new());
+        let mut links = LinkArena::new();
+        let (_, s) = links.channel("cpu", MasterId(0));
+        let (m, _) = links.channel("slave", MasterId(0));
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             XpipesNoc::new("bad", vec![s], vec![m], map, bad)
         }));
@@ -879,21 +900,22 @@ mod tests {
             .unwrap();
         mapm.add("m1", 0x2000, 0x1000, SlaveId(1), RegionKind::SharedMemory)
             .unwrap();
-        let (cpu, s0) = channel("cpu0", MasterId(0));
-        let (m0, sl0) = channel("sl0", MasterId(0));
-        let (m1, sl1) = channel("sl1", MasterId(0));
+        let mut links = LinkArena::new();
+        let (cpu, s0) = links.channel("cpu0", MasterId(0));
+        let (m0, sl0) = links.channel("sl0", MasterId(0));
+        let (m1, sl1) = links.channel("sl1", MasterId(0));
         let mut mem0 = MemoryDevice::new("mem0", 0x1000, 0x1000, sl0);
         let mut mem1 = MemoryDevice::new("mem1", 0x2000, 0x1000, sl1);
         let mut cfg = XpipesConfig::auto(1, 2);
         cfg.input_fifo_flits = 1;
-        let mut noc = XpipesNoc::new("tight", vec![s0], vec![m0, m1], Rc::new(mapm), cfg);
+        let mut noc = XpipesNoc::new("tight", vec![s0], vec![m0, m1], Arc::new(mapm), cfg);
         mem0.poke(0x1004, 99);
-        cpu.assert_request(OcpRequest::burst_read(0x1000, 4), 0);
+        cpu.assert_request(&mut links, OcpRequest::burst_read(0x1000, 4), 0);
         for now in 0..500 {
-            noc.tick(now);
-            mem0.tick(now);
-            mem1.tick(now);
-            if let Some(resp) = cpu.take_response(now) {
+            noc.tick(now, &mut links);
+            mem0.tick(now, &mut links);
+            mem1.tick(now, &mut links);
+            if let Some(resp) = cpu.take_response(&mut links, now) {
                 assert_eq!(resp.data[1], 99);
                 return;
             }
@@ -906,14 +928,22 @@ mod tests {
         // Two long write packets race for the same slave: the second
         // head must lose arbitration somewhere along the shared path.
         let mut r = rig(2);
-        r.cpus[0].assert_request(OcpRequest::burst_write(0x1000, vec![1, 2, 3, 4]), 0);
-        r.cpus[1].assert_request(OcpRequest::burst_write(0x1010, vec![5, 6, 7, 8]), 0);
+        r.cpus[0].assert_request(
+            &mut r.links,
+            OcpRequest::burst_write(0x1000, vec![1, 2, 3, 4]),
+            0,
+        );
+        r.cpus[1].assert_request(
+            &mut r.links,
+            OcpRequest::burst_write(0x1010, vec![5, 6, 7, 8]),
+            0,
+        );
         for now in 0..300 {
             step(&mut r, now);
-            r.cpus[0].take_accept(now);
-            r.cpus[1].take_accept(now);
+            r.cpus[0].take_accept(&mut r.links, now);
+            r.cpus[1].take_accept(&mut r.links, now);
         }
-        assert!(r.noc.is_idle());
+        assert!(r.noc.is_idle(&r.links));
         let c = r.noc.contention();
         assert_eq!(c.links[0].grants, 1);
         assert_eq!(c.links[1].grants, 1);
@@ -935,9 +965,10 @@ mod tests {
             slave_nodes: vec![0],
             input_fifo_flits: 4,
         };
-        let map = Rc::new(AddressMap::new());
-        let (_, s) = channel("cpu", MasterId(0));
-        let (m, _) = channel("slave", MasterId(0));
+        let map = Arc::new(AddressMap::new());
+        let mut links = LinkArena::new();
+        let (_, s) = links.channel("cpu", MasterId(0));
+        let (m, _) = links.channel("slave", MasterId(0));
         let _ = XpipesNoc::new("bad", vec![s], vec![m], map, cfg);
     }
 }

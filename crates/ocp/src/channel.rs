@@ -1,131 +1,188 @@
-//! The single-slot handshaked channel connecting a master to the network.
+//! The single-slot handshaked link arena connecting masters to the network.
 
-use std::cell::{Cell, Ref, RefCell};
 use std::collections::VecDeque;
-use std::rc::Rc;
 
 use ntg_sim::Cycle;
 
 use crate::observer::ChannelObserver;
 use crate::types::{MasterId, OcpRequest, OcpResponse};
 
-/// Shared state of one OCP link.
+/// Identifies one OCP link inside a [`LinkArena`].
 ///
-/// Created through [`channel`]; user code interacts with the
-/// [`MasterPort`]/[`SlavePort`] endpoints rather than with the channel
-/// directly. All visibility rules (a value written in cycle *t* is only
-/// observable from cycle *t + 1*) are enforced here, centrally.
-pub struct OcpChannel {
-    /// Interned once at construction; `name()` hands out refcount bumps,
-    /// never string copies.
-    name: Rc<str>,
-    master: MasterId,
-    /// The request driving the wires; its visibility cycle lives in the
-    /// link's `req_visible_at` mirror.
-    req: Option<OcpRequest>,
-    /// Set when a request is accepted; consumed by the master.
-    accept: Option<(u64, Cycle)>,
-    resp: VecDeque<(OcpResponse, Cycle)>,
-    next_tag: u64,
-    observer: Option<Box<dyn ChannelObserver>>,
-}
+/// A plain index — `Copy`, `Send`, and meaningless without the arena it
+/// was minted by. Ports wrap one of these; components store ports (or
+/// ids) and borrow the arena on every access, so the whole component
+/// graph is an ordinary `Send` value with no shared-ownership
+/// bookkeeping on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LinkId(u32);
 
-/// One OCP link: the channel state plus lock-free visibility mirrors.
-///
-/// Masters, arbiters and slaves poll their ports every cycle, and most
-/// polls miss (nothing visible yet). The mirrors answer those misses
-/// with a plain [`Cell`] load — no `RefCell` borrow bookkeeping — while
-/// every mutating operation goes through the [`RefCell`] and refreshes
-/// the mirrors before returning. Invariant: each mirror holds the cycle
-/// from which the corresponding event is visible (`None` when absent).
-struct Link {
-    /// `asserted_at + 1` of the pending request.
-    req_visible_at: Cell<Option<Cycle>>,
-    /// `accepted_at + 1` of the unconsumed acceptance.
-    accept_visible_at: Cell<Option<Cycle>>,
-    /// `pushed_at + 1` of the oldest queued response.
-    resp_visible_at: Cell<Option<Cycle>>,
-    state: RefCell<OcpChannel>,
-}
-
-impl std::fmt::Debug for OcpChannel {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("OcpChannel")
-            .field("name", &self.name)
-            .field("master", &self.master)
-            .field("req", &self.req)
-            .field("accept", &self.accept)
-            .field("resp_queued", &self.resp.len())
-            .finish()
+impl LinkId {
+    /// The raw index into the arena's link slab.
+    pub fn index(self) -> usize {
+        self.0 as usize
     }
 }
 
-/// Creates a connected master/slave endpoint pair for one OCP link.
+/// State of one OCP link: the handshake slots plus their visibility
+/// cycles.
 ///
-/// `name` identifies the link in diagnostics and traces; `master` is
-/// stamped into every request asserted through the returned
-/// [`MasterPort`].
-pub fn channel(name: impl Into<Rc<str>>, master: MasterId) -> (MasterPort, SlavePort) {
-    let inner = Rc::new(Link {
-        req_visible_at: Cell::new(None),
-        accept_visible_at: Cell::new(None),
-        resp_visible_at: Cell::new(None),
-        state: RefCell::new(OcpChannel {
+/// All visibility rules (a value written in cycle *t* is only observable
+/// from cycle *t + 1*) are enforced here, centrally. Each `*_visible_at`
+/// field holds the cycle from which the corresponding event is visible
+/// (`None` when absent) — the every-cycle polls that dominate the tick
+/// path answer from these plain fields with one load and no interior-
+/// mutability bookkeeping.
+struct Link {
+    /// Link name, owned by the arena (the per-platform string table);
+    /// ports hand out `&str` borrows, never copies.
+    name: String,
+    master: MasterId,
+    /// The request driving the wires.
+    req: Option<OcpRequest>,
+    /// `asserted_at + 1` of the pending request.
+    req_visible_at: Option<Cycle>,
+    /// Set when a request is accepted; consumed by the master.
+    accept: Option<(u64, Cycle)>,
+    /// `accepted_at + 1` of the unconsumed acceptance.
+    accept_visible_at: Option<Cycle>,
+    resp: VecDeque<(OcpResponse, Cycle)>,
+    /// `pushed_at + 1` of the oldest queued response.
+    resp_visible_at: Option<Cycle>,
+    next_tag: u64,
+    observer: Option<Box<dyn ChannelObserver + Send>>,
+}
+
+/// The slab of every OCP link in one platform, owned by the simulation
+/// harness and lent (`&`/`&mut`) to components on each tick.
+///
+/// Created empty; [`LinkArena::channel`] mints connected
+/// [`MasterPort`]/[`SlavePort`] endpoint pairs. Because ports are plain
+/// indices and the arena is an ordinary owned value, a platform built on
+/// it is `Send`: a worker thread can own and run it outright.
+#[derive(Default)]
+pub struct LinkArena {
+    links: Vec<Link>,
+}
+
+impl LinkArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a connected master/slave endpoint pair for a new OCP link.
+    ///
+    /// `name` identifies the link in diagnostics and traces; `master` is
+    /// stamped into every request asserted through the returned
+    /// [`MasterPort`].
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        master: MasterId,
+    ) -> (MasterPort, SlavePort) {
+        let id = LinkId(u32::try_from(self.links.len()).expect("link arena overflow"));
+        self.links.push(Link {
             name: name.into(),
             master,
             req: None,
+            req_visible_at: None,
             accept: None,
+            accept_visible_at: None,
             resp: VecDeque::new(),
             next_tag: 0,
+            resp_visible_at: None,
             observer: None,
-        }),
-    });
-    (
-        MasterPort {
-            inner: inner.clone(),
-        },
-        SlavePort { inner },
-    )
+        });
+        (MasterPort { link: id }, SlavePort { link: id })
+    }
+
+    /// The number of links minted so far.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether no links have been minted.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// The name of link `id` (a borrow from the arena's string table).
+    pub fn name(&self, id: LinkId) -> &str {
+        &self.links[id.index()].name
+    }
+
+    #[inline]
+    fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    #[inline]
+    fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id.index()]
+    }
+}
+
+impl std::fmt::Debug for LinkArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_list();
+        for l in &self.links {
+            d.entry(&format_args!(
+                "{}: master={} req={:?} accept={:?} resp_queued={}",
+                l.name,
+                l.master,
+                l.req.as_ref().map(|r| r.cmd),
+                l.accept,
+                l.resp.len()
+            ));
+        }
+        d.finish()
+    }
 }
 
 /// The core-side endpoint of an OCP link.
 ///
-/// Owned by a CPU core or traffic generator. Cloning yields another handle
-/// to the same link (used to hand one half to a write buffer, say).
-#[derive(Clone)]
+/// Owned by a CPU core or traffic generator; a plain `Copy` index into
+/// the [`LinkArena`], which every method borrows explicitly.
+#[derive(Debug, Clone, Copy)]
 pub struct MasterPort {
-    inner: Rc<Link>,
+    link: LinkId,
 }
 
 /// The network-side endpoint of an OCP link.
 ///
 /// Owned by an interconnect (for master links) or by a slave device (for
-/// slave links).
-#[derive(Clone)]
+/// slave links); a plain `Copy` index into the [`LinkArena`].
+#[derive(Debug, Clone, Copy)]
 pub struct SlavePort {
-    inner: Rc<Link>,
+    link: LinkId,
 }
 
 impl MasterPort {
-    /// The link name supplied to [`channel`] (an interned handle:
-    /// cloning it is a refcount bump, not a string copy).
-    pub fn name(&self) -> Rc<str> {
-        self.inner.state.borrow().name.clone()
+    /// The id of the link this port is an endpoint of.
+    pub fn id(&self) -> LinkId {
+        self.link
+    }
+
+    /// The link name supplied to [`LinkArena::channel`] (borrowed from
+    /// the arena's string table).
+    pub fn name<'a>(&self, net: &'a LinkArena) -> &'a str {
+        &net.link(self.link).name
     }
 
     /// The master identity stamped into requests asserted here.
-    pub fn master(&self) -> MasterId {
-        self.inner.state.borrow().master
+    pub fn master(&self, net: &LinkArena) -> MasterId {
+        net.link(self.link).master
     }
 
     /// Installs a trace observer on this link, replacing any previous one.
-    pub fn set_observer(&self, observer: Box<dyn ChannelObserver>) {
-        self.inner.state.borrow_mut().observer = Some(observer);
+    pub fn set_observer(&self, net: &mut LinkArena, observer: Box<dyn ChannelObserver + Send>) {
+        net.link_mut(self.link).observer = Some(observer);
     }
 
     /// Removes and returns the installed observer, if any.
-    pub fn take_observer(&self) -> Option<Box<dyn ChannelObserver>> {
-        self.inner.state.borrow_mut().observer.take()
+    pub fn take_observer(&self, net: &mut LinkArena) -> Option<Box<dyn ChannelObserver + Send>> {
+        net.link_mut(self.link).observer.take()
     }
 
     /// Asserts `req` on the request wires in cycle `now`.
@@ -139,8 +196,8 @@ impl MasterPort {
     /// Panics if a previous request has not been accepted yet — a
     /// single-threaded blocking master can never legally do this, so it is
     /// a programming error in the master model.
-    pub fn assert_request(&self, mut req: OcpRequest, now: Cycle) -> u64 {
-        let mut ch = self.inner.state.borrow_mut();
+    pub fn assert_request(&self, net: &mut LinkArena, mut req: OcpRequest, now: Cycle) -> u64 {
+        let ch = net.link_mut(self.link);
         assert!(
             ch.req.is_none(),
             "master {} asserted a request while one is already pending on {}",
@@ -155,7 +212,7 @@ impl MasterPort {
             obs.on_request(now, &req);
         }
         ch.req = Some(req);
-        self.inner.req_visible_at.set(Some(now + 1));
+        ch.req_visible_at = Some(now + 1);
         tag
     }
 
@@ -168,8 +225,8 @@ impl MasterPort {
     /// # Panics
     ///
     /// Panics if a previous request has not been accepted yet.
-    pub fn forward_request(&self, req: OcpRequest, now: Cycle) {
-        let mut ch = self.inner.state.borrow_mut();
+    pub fn forward_request(&self, net: &mut LinkArena, req: OcpRequest, now: Cycle) {
+        let ch = net.link_mut(self.link);
         assert!(
             ch.req.is_none(),
             "forwarded a request while one is already pending on {}",
@@ -179,13 +236,13 @@ impl MasterPort {
             obs.on_request(now, &req);
         }
         ch.req = Some(req);
-        self.inner.req_visible_at.set(Some(now + 1));
+        ch.req_visible_at = Some(now + 1);
     }
 
     /// Whether a request is still driving the wires (not yet accepted).
     #[inline]
-    pub fn request_pending(&self) -> bool {
-        self.inner.req_visible_at.get().is_some()
+    pub fn request_pending(&self, net: &LinkArena) -> bool {
+        net.link(self.link).req_visible_at.is_some()
     }
 
     /// Consumes the acceptance event, if one is visible in cycle `now`.
@@ -193,14 +250,14 @@ impl MasterPort {
     /// Returns the accepted request's tag. An acceptance performed by the
     /// network in cycle *t* becomes visible in cycle *t + 1*.
     #[inline]
-    pub fn take_accept(&self, now: Cycle) -> Option<u64> {
-        match self.inner.accept_visible_at.get() {
+    pub fn take_accept(&self, net: &mut LinkArena, now: Cycle) -> Option<u64> {
+        let ch = net.link_mut(self.link);
+        match ch.accept_visible_at {
             Some(at) if at <= now => {}
             _ => return None,
         }
-        let mut ch = self.inner.state.borrow_mut();
-        let (tag, _) = ch.accept.take().expect("mirror said visible");
-        self.inner.accept_visible_at.set(None);
+        let (tag, _) = ch.accept.take().expect("visibility said present");
+        ch.accept_visible_at = None;
         Some(tag)
     }
 
@@ -209,22 +266,20 @@ impl MasterPort {
     /// A response pushed by the network in cycle *t* becomes visible in
     /// cycle *t + 1*.
     #[inline]
-    pub fn take_response(&self, now: Cycle) -> Option<OcpResponse> {
-        match self.inner.resp_visible_at.get() {
+    pub fn take_response(&self, net: &mut LinkArena, now: Cycle) -> Option<OcpResponse> {
+        let ch = net.link_mut(self.link);
+        match ch.resp_visible_at {
             Some(at) if at <= now => {}
             _ => return None,
         }
-        let mut ch = self.inner.state.borrow_mut();
-        let (resp, _) = ch.resp.pop_front().expect("mirror said visible");
-        self.inner
-            .resp_visible_at
-            .set(ch.resp.front().map(|&(_, at)| at + 1));
+        let (resp, _) = ch.resp.pop_front().expect("visibility said present");
+        ch.resp_visible_at = ch.resp.front().map(|&(_, at)| at + 1);
         // A response subsumes the acceptance of the same request: a master
         // blocking on the response would otherwise leave the acceptance
         // event behind to confuse its next posted write.
         if matches!(ch.accept, Some((tag, _)) if tag == resp.tag) {
             ch.accept = None;
-            self.inner.accept_visible_at.set(None);
+            ch.accept_visible_at = None;
         }
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_response_consumed(now, &resp);
@@ -235,10 +290,11 @@ impl MasterPort {
     /// Whether the link is completely quiet (no request, acceptance or
     /// response in flight).
     #[inline]
-    pub fn is_quiet(&self) -> bool {
-        self.inner.req_visible_at.get().is_none()
-            && self.inner.accept_visible_at.get().is_none()
-            && self.inner.resp_visible_at.get().is_none()
+    pub fn is_quiet(&self, net: &LinkArena) -> bool {
+        let ch = net.link(self.link);
+        ch.req_visible_at.is_none()
+            && ch.accept_visible_at.is_none()
+            && ch.resp_visible_at.is_none()
     }
 
     /// The earliest cycle at which a queued completion event (an
@@ -250,10 +306,9 @@ impl MasterPort {
     /// implementations of blocked masters to hint the engine's cycle
     /// skipper.
     #[inline]
-    pub fn next_event_at(&self) -> Option<Cycle> {
-        let accept = self.inner.accept_visible_at.get();
-        let resp = self.inner.resp_visible_at.get();
-        match (accept, resp) {
+    pub fn next_event_at(&self, net: &LinkArena) -> Option<Cycle> {
+        let ch = net.link(self.link);
+        match (ch.accept_visible_at, ch.resp_visible_at) {
             (Some(a), Some(r)) => Some(a.min(r)),
             (a, r) => a.or(r),
         }
@@ -261,10 +316,15 @@ impl MasterPort {
 }
 
 impl SlavePort {
-    /// The link name supplied to [`channel`] (an interned handle:
-    /// cloning it is a refcount bump, not a string copy).
-    pub fn name(&self) -> Rc<str> {
-        self.inner.state.borrow().name.clone()
+    /// The id of the link this port is an endpoint of.
+    pub fn id(&self) -> LinkId {
+        self.link
+    }
+
+    /// The link name supplied to [`LinkArena::channel`] (borrowed from
+    /// the arena's string table).
+    pub fn name<'a>(&self, net: &'a LinkArena) -> &'a str {
+        &net.link(self.link).name
     }
 
     /// Looks at the pending request without accepting it.
@@ -272,33 +332,28 @@ impl SlavePort {
     /// Returns `None` if there is no request or if it was asserted in this
     /// very cycle (assert-to-visible is one cycle). The request is
     /// *borrowed*, not cloned — ownership transfers only at
-    /// [`SlavePort::accept_request`]. The borrow locks the channel: drop
-    /// it before calling any `&self` method that mutates (assert, accept,
-    /// push).
+    /// [`SlavePort::accept_request`].
     #[inline]
-    pub fn peek_request(&self, now: Cycle) -> Option<Ref<'_, OcpRequest>> {
-        if !self.has_request(now) {
-            return None;
+    pub fn peek_request<'a>(&self, net: &'a LinkArena, now: Cycle) -> Option<&'a OcpRequest> {
+        let ch = net.link(self.link);
+        match ch.req_visible_at {
+            Some(at) if at <= now => ch.req.as_ref(),
+            _ => None,
         }
-        Ref::filter_map(self.inner.state.borrow(), |ch| ch.req.as_ref()).ok()
     }
 
     /// Whether a request is visible in cycle `now` (clone-free; what
     /// arbiters scan every cycle).
     #[inline]
-    pub fn has_request(&self, now: Cycle) -> bool {
-        matches!(self.inner.req_visible_at.get(), Some(at) if at <= now)
+    pub fn has_request(&self, net: &LinkArena, now: Cycle) -> bool {
+        matches!(net.link(self.link).req_visible_at, Some(at) if at <= now)
     }
 
     /// The visible request's `(addr, beats, expects_response)` without
     /// cloning its payload. Used by address decoders and slave timing.
     #[inline]
-    pub fn peek_meta(&self, now: Cycle) -> Option<(u32, u32, bool)> {
-        if !self.has_request(now) {
-            return None;
-        }
-        let ch = self.inner.state.borrow();
-        let req = ch.req.as_ref().expect("mirror said visible");
+    pub fn peek_meta(&self, net: &LinkArena, now: Cycle) -> Option<(u32, u32, bool)> {
+        let req = self.peek_request(net, now)?;
         Some((req.addr, req.beats(), req.cmd.expects_response()))
     }
 
@@ -308,18 +363,19 @@ impl SlavePort {
     /// [`SlavePort::peek_request`]. Acceptance is recorded so the master
     /// can unblock (posted-write semantics) and reported to the observer.
     #[inline]
-    pub fn accept_request(&self, now: Cycle) -> Option<OcpRequest> {
-        if !self.has_request(now) {
-            return None;
+    pub fn accept_request(&self, net: &mut LinkArena, now: Cycle) -> Option<OcpRequest> {
+        let ch = net.link_mut(self.link);
+        match ch.req_visible_at {
+            Some(at) if at <= now => {}
+            _ => return None,
         }
-        let mut ch = self.inner.state.borrow_mut();
-        let req = ch.req.take().expect("mirror said visible");
-        self.inner.req_visible_at.set(None);
+        let req = ch.req.take().expect("visibility said present");
+        ch.req_visible_at = None;
         // Acceptance is an edge notification: a master that does not care
         // about acceptances (it only ever waits on responses) may leave a
         // stale one behind, which the next acceptance simply replaces.
         ch.accept = Some((req.tag, now));
-        self.inner.accept_visible_at.set(Some(now + 1));
+        ch.accept_visible_at = Some(now + 1);
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_accept(now, &req);
         }
@@ -328,23 +384,24 @@ impl SlavePort {
 
     /// Pushes a response towards the master in cycle `now`.
     #[inline]
-    pub fn push_response(&self, resp: OcpResponse, now: Cycle) {
-        let mut ch = self.inner.state.borrow_mut();
+    pub fn push_response(&self, net: &mut LinkArena, resp: OcpResponse, now: Cycle) {
+        let ch = net.link_mut(self.link);
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_response(now, &resp);
         }
         ch.resp.push_back((resp, now));
-        if self.inner.resp_visible_at.get().is_none() {
-            self.inner.resp_visible_at.set(Some(now + 1));
+        if ch.resp_visible_at.is_none() {
+            ch.resp_visible_at = Some(now + 1);
         }
     }
 
     /// Whether the link is completely quiet; see [`MasterPort::is_quiet`].
     #[inline]
-    pub fn is_quiet(&self) -> bool {
-        self.inner.req_visible_at.get().is_none()
-            && self.inner.accept_visible_at.get().is_none()
-            && self.inner.resp_visible_at.get().is_none()
+    pub fn is_quiet(&self, net: &LinkArena) -> bool {
+        let ch = net.link(self.link);
+        ch.req_visible_at.is_none()
+            && ch.accept_visible_at.is_none()
+            && ch.resp_visible_at.is_none()
     }
 
     /// The cycle from which the pending request (if any) is visible on
@@ -354,8 +411,8 @@ impl SlavePort {
     /// so arbiters can hint the engine's cycle skipper about requests
     /// asserted this very cycle that only become actionable next cycle.
     #[inline]
-    pub fn request_visible_at(&self) -> Option<Cycle> {
-        self.inner.req_visible_at.get()
+    pub fn request_visible_at(&self, net: &LinkArena) -> Option<Cycle> {
+        net.link(self.link).req_visible_at
     }
 }
 
@@ -364,112 +421,130 @@ mod tests {
     use super::*;
     use crate::types::{OcpCmd, OcpStatus};
 
+    fn channel(name: &str, master: MasterId) -> (LinkArena, MasterPort, SlavePort) {
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel(name, master);
+        (net, m, s)
+    }
+
     #[test]
     fn request_invisible_in_assert_cycle() {
-        let (m, s) = channel("l", MasterId(0));
-        m.assert_request(OcpRequest::read(0x10), 5);
-        assert!(s.peek_request(5).is_none());
-        assert!(s.accept_request(5).is_none());
-        assert!(s.peek_request(6).is_some());
+        let (mut net, m, s) = channel("l", MasterId(0));
+        m.assert_request(&mut net, OcpRequest::read(0x10), 5);
+        assert!(s.peek_request(&net, 5).is_none());
+        assert!(s.accept_request(&mut net, 5).is_none());
+        assert!(s.peek_request(&net, 6).is_some());
     }
 
     #[test]
     fn accept_frees_wires_and_notifies_master_next_cycle() {
-        let (m, s) = channel("l", MasterId(2));
-        let tag = m.assert_request(OcpRequest::write(0x20, 1), 0);
-        assert!(m.request_pending());
-        let req = s.accept_request(1).expect("visible at cycle 1");
+        let (mut net, m, s) = channel("l", MasterId(2));
+        let tag = m.assert_request(&mut net, OcpRequest::write(0x20, 1), 0);
+        assert!(m.request_pending(&net));
+        let req = s.accept_request(&mut net, 1).expect("visible at cycle 1");
         assert_eq!(req.master, MasterId(2));
-        assert!(!m.request_pending());
+        assert!(!m.request_pending(&net));
         // Acceptance performed in cycle 1 is not visible in cycle 1…
-        assert_eq!(m.take_accept(1), None);
+        assert_eq!(m.take_accept(&mut net, 1), None);
         // …but is in cycle 2, exactly once.
-        assert_eq!(m.take_accept(2), Some(tag));
-        assert_eq!(m.take_accept(3), None);
+        assert_eq!(m.take_accept(&mut net, 2), Some(tag));
+        assert_eq!(m.take_accept(&mut net, 3), None);
     }
 
     #[test]
     fn response_visible_one_cycle_after_push() {
-        let (m, s) = channel("l", MasterId(0));
-        m.assert_request(OcpRequest::read(0x10), 0);
-        s.accept_request(1);
-        s.push_response(OcpResponse::ok(vec![42], 0), 4);
-        assert!(m.take_response(4).is_none());
-        let r = m.take_response(5).expect("visible at 5");
+        let (mut net, m, s) = channel("l", MasterId(0));
+        m.assert_request(&mut net, OcpRequest::read(0x10), 0);
+        s.accept_request(&mut net, 1);
+        s.push_response(&mut net, OcpResponse::ok(vec![42], 0), 4);
+        assert!(m.take_response(&mut net, 4).is_none());
+        let r = m.take_response(&mut net, 5).expect("visible at 5");
         assert_eq!(r.data, vec![42]);
         assert_eq!(r.status, OcpStatus::Ok);
-        assert!(m.take_response(6).is_none());
+        assert!(m.take_response(&mut net, 6).is_none());
     }
 
     #[test]
     fn tags_increase_monotonically() {
-        let (m, s) = channel("l", MasterId(0));
-        let t0 = m.assert_request(OcpRequest::read(0), 0);
-        s.accept_request(1);
-        m.take_accept(2);
-        let t1 = m.assert_request(OcpRequest::read(4), 2);
+        let (mut net, m, s) = channel("l", MasterId(0));
+        let t0 = m.assert_request(&mut net, OcpRequest::read(0), 0);
+        s.accept_request(&mut net, 1);
+        m.take_accept(&mut net, 2);
+        let t1 = m.assert_request(&mut net, OcpRequest::read(4), 2);
         assert_eq!(t1, t0 + 1);
     }
 
     #[test]
     #[should_panic(expected = "already pending")]
     fn double_assert_panics() {
-        let (m, _s) = channel("l", MasterId(0));
-        m.assert_request(OcpRequest::read(0), 0);
-        m.assert_request(OcpRequest::read(4), 1);
+        let (mut net, m, _s) = channel("l", MasterId(0));
+        m.assert_request(&mut net, OcpRequest::read(0), 0);
+        m.assert_request(&mut net, OcpRequest::read(4), 1);
     }
 
     #[test]
     fn quiet_reflects_all_in_flight_state() {
-        let (m, s) = channel("l", MasterId(0));
-        assert!(m.is_quiet() && s.is_quiet());
-        m.assert_request(OcpRequest::read(0), 0);
-        assert!(!m.is_quiet());
-        s.accept_request(1);
-        assert!(!m.is_quiet(), "unconsumed acceptance keeps link busy");
-        m.take_accept(2);
-        assert!(m.is_quiet());
-        s.push_response(OcpResponse::ok(vec![1], 0), 3);
-        assert!(!s.is_quiet());
-        m.take_response(4);
-        assert!(m.is_quiet() && s.is_quiet());
+        let (mut net, m, s) = channel("l", MasterId(0));
+        assert!(m.is_quiet(&net) && s.is_quiet(&net));
+        m.assert_request(&mut net, OcpRequest::read(0), 0);
+        assert!(!m.is_quiet(&net));
+        s.accept_request(&mut net, 1);
+        assert!(!m.is_quiet(&net), "unconsumed acceptance keeps link busy");
+        m.take_accept(&mut net, 2);
+        assert!(m.is_quiet(&net));
+        s.push_response(&mut net, OcpResponse::ok(vec![1], 0), 3);
+        assert!(!s.is_quiet(&net));
+        m.take_response(&mut net, 4);
+        assert!(m.is_quiet(&net) && s.is_quiet(&net));
     }
 
     #[test]
     fn responses_preserve_fifo_order() {
-        let (m, s) = channel("l", MasterId(0));
-        s.push_response(OcpResponse::ok(vec![1], 0), 0);
-        s.push_response(OcpResponse::ok(vec![2], 1), 1);
-        assert_eq!(m.take_response(5).unwrap().word(), 1);
-        assert_eq!(m.take_response(5).unwrap().word(), 2);
+        let (mut net, m, s) = channel("l", MasterId(0));
+        s.push_response(&mut net, OcpResponse::ok(vec![1], 0), 0);
+        s.push_response(&mut net, OcpResponse::ok(vec![2], 1), 1);
+        assert_eq!(m.take_response(&mut net, 5).unwrap().word(), 1);
+        assert_eq!(m.take_response(&mut net, 5).unwrap().word(), 2);
     }
 
     #[test]
     fn visibility_helpers_report_event_cycles() {
-        let (m, s) = channel("l", MasterId(0));
-        assert_eq!(s.request_visible_at(), None);
-        assert_eq!(m.next_event_at(), None);
-        m.assert_request(OcpRequest::read(0x10), 5);
+        let (mut net, m, s) = channel("l", MasterId(0));
+        assert_eq!(s.request_visible_at(&net), None);
+        assert_eq!(m.next_event_at(&net), None);
+        m.assert_request(&mut net, OcpRequest::read(0x10), 5);
         // Asserted at 5 → visible to the slave from 6.
-        assert_eq!(s.request_visible_at(), Some(6));
-        s.accept_request(6);
-        assert_eq!(s.request_visible_at(), None);
+        assert_eq!(s.request_visible_at(&net), Some(6));
+        s.accept_request(&mut net, 6);
+        assert_eq!(s.request_visible_at(&net), None);
         // Accepted at 6 → acceptance visible to the master from 7.
-        assert_eq!(m.next_event_at(), Some(7));
-        s.push_response(OcpResponse::ok(vec![1], 0), 6);
+        assert_eq!(m.next_event_at(&net), Some(7));
+        s.push_response(&mut net, OcpResponse::ok(vec![1], 0), 6);
         // Response also from 7; min of the two.
-        assert_eq!(m.next_event_at(), Some(7));
-        m.take_response(7);
-        m.take_accept(7);
-        assert_eq!(m.next_event_at(), None);
+        assert_eq!(m.next_event_at(&net), Some(7));
+        m.take_response(&mut net, 7);
+        m.take_accept(&mut net, 7);
+        assert_eq!(m.next_event_at(&net), None);
     }
 
     #[test]
     fn burst_request_round_trips_through_channel() {
-        let (m, s) = channel("l", MasterId(1));
-        m.assert_request(OcpRequest::burst_read(0x100, 4), 0);
-        let req = s.accept_request(1).unwrap();
+        let (mut net, m, s) = channel("l", MasterId(1));
+        m.assert_request(&mut net, OcpRequest::burst_read(0x100, 4), 0);
+        let req = s.accept_request(&mut net, 1).unwrap();
         assert_eq!(req.cmd, OcpCmd::BurstRead);
         assert_eq!(req.beats(), 4);
+    }
+
+    #[test]
+    fn ports_are_copy_and_arena_is_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let (net, m, s) = channel("l", MasterId(0));
+        let (m2, s2) = (m, s); // Copy, not move
+        assert_eq!(m2.id(), m.id());
+        assert_eq!(s2.id(), s.id());
+        assert_send(&net);
+        assert_eq!(net.name(m.id()), "l");
+        assert_eq!(net.len(), 1);
     }
 }

@@ -5,10 +5,15 @@
 //! socket; because both speak the same interface, cores and TGs are
 //! plug-compatible (the paper's Figure 1). This crate is our OCP: it
 //! defines the transaction vocabulary ([`OcpRequest`], [`OcpResponse`]),
-//! the single-slot handshaked channel that carries them ([`OcpChannel`]
-//! with its [`MasterPort`]/[`SlavePort`] endpoints), and the observer hook
-//! ([`ChannelObserver`]) that `ntg-trace` uses to capture `.trc` traces at
-//! the interface boundary.
+//! the arena of single-slot handshaked links that carries them
+//! ([`LinkArena`] with its `Copy` [`MasterPort`]/[`SlavePort`] index
+//! endpoints), and the observer hook ([`ChannelObserver`]) that
+//! `ntg-trace` uses to capture `.trc` traces at the interface boundary.
+//!
+//! The arena is owned by the simulation harness and lent by reference to
+//! every component callback: no `Rc`/`RefCell` shared-ownership
+//! bookkeeping on the hot path, and a fully wired platform is a plain
+//! `Send` value a worker thread can own.
 //!
 //! # Handshake timing
 //!
@@ -33,14 +38,15 @@
 //! # Example
 //!
 //! ```
-//! use ntg_ocp::{channel, MasterId, OcpRequest};
+//! use ntg_ocp::{LinkArena, MasterId, OcpRequest};
 //!
-//! let (master, slave) = channel("cpu0", MasterId(0));
+//! let mut net = LinkArena::new();
+//! let (master, slave) = net.channel("cpu0", MasterId(0));
 //! // Cycle 0: the master asserts a read.
-//! master.assert_request(OcpRequest::read(0x104), 0);
+//! master.assert_request(&mut net, OcpRequest::read(0x104), 0);
 //! // Cycle 1: the slave side can now see and accept it.
-//! assert!(slave.peek_request(1).is_some());
-//! let req = slave.accept_request(1).unwrap();
+//! assert!(slave.peek_request(&net, 1).is_some());
+//! let req = slave.accept_request(&mut net, 1).unwrap();
 //! assert_eq!(req.addr, 0x104);
 //! ```
 
@@ -52,7 +58,7 @@ mod data;
 mod observer;
 mod types;
 
-pub use channel::{channel, MasterPort, OcpChannel, SlavePort};
+pub use channel::{LinkArena, LinkId, MasterPort, SlavePort};
 pub use data::DataWords;
 pub use observer::{ChannelObserver, NullObserver};
 pub use types::{MasterId, OcpCmd, OcpRequest, OcpResponse, OcpStatus, SlaveId};

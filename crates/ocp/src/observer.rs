@@ -49,48 +49,50 @@ impl ChannelObserver for NullObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::channel::channel;
+    use crate::channel::LinkArena;
     use crate::types::{MasterId, OcpCmd};
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     #[derive(Default)]
     struct Log {
         events: Vec<(String, Cycle)>,
     }
 
-    struct SharedLog(Rc<RefCell<Log>>);
+    struct SharedLog(Arc<Mutex<Log>>);
 
     impl ChannelObserver for SharedLog {
         fn on_request(&mut self, now: Cycle, req: &OcpRequest) {
             self.0
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .events
                 .push((format!("req-{}", req.cmd), now));
         }
         fn on_accept(&mut self, now: Cycle, req: &OcpRequest) {
             self.0
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .events
                 .push((format!("ack-{}", req.cmd), now));
         }
         fn on_response(&mut self, now: Cycle, _resp: &OcpResponse) {
-            self.0.borrow_mut().events.push(("resp".into(), now));
+            self.0.lock().unwrap().events.push(("resp".into(), now));
         }
     }
 
     #[test]
     fn observer_sees_producer_side_timestamps() {
-        let log = Rc::new(RefCell::new(Log::default()));
-        let (m, s) = channel("l", MasterId(0));
-        m.set_observer(Box::new(SharedLog(log.clone())));
+        let log = Arc::new(Mutex::new(Log::default()));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
+        m.set_observer(&mut net, Box::new(SharedLog(log.clone())));
 
-        m.assert_request(crate::OcpRequest::read(0x40), 3);
-        s.accept_request(4);
-        s.push_response(crate::OcpResponse::ok(vec![9], 0), 8);
-        m.take_response(9);
+        m.assert_request(&mut net, crate::OcpRequest::read(0x40), 3);
+        s.accept_request(&mut net, 4);
+        s.push_response(&mut net, crate::OcpResponse::ok(vec![9], 0), 8);
+        m.take_response(&mut net, 9);
 
-        let events = log.borrow().events.clone();
+        let events = log.lock().unwrap().events.clone();
         assert_eq!(
             events,
             vec![
@@ -103,11 +105,12 @@ mod tests {
 
     #[test]
     fn null_observer_is_inert() {
-        let (m, s) = channel("l", MasterId(0));
-        m.set_observer(Box::new(NullObserver));
-        m.assert_request(crate::OcpRequest::write(0, 1), 0);
-        assert!(s.accept_request(1).is_some());
-        assert!(m.take_observer().is_some());
-        assert!(m.take_observer().is_none());
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("l", MasterId(0));
+        m.set_observer(&mut net, Box::new(NullObserver));
+        m.assert_request(&mut net, crate::OcpRequest::write(0, 1), 0);
+        assert!(s.accept_request(&mut net, 1).is_some());
+        assert!(m.take_observer(&mut net).is_some());
+        assert!(m.take_observer(&mut net).is_none());
     }
 }

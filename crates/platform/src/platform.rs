@@ -1,7 +1,7 @@
 //! Platform assembly and the run loop.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ntg_core::{
@@ -13,7 +13,7 @@ use ntg_mem::{AddressMap, MapError, MemoryDevice, SemaphoreBank};
 use ntg_noc::{
     AmbaBus, Arbitration, CrossbarBus, IdealInterconnect, Interconnect, XpipesConfig, XpipesNoc,
 };
-use ntg_ocp::{channel, MasterId};
+use ntg_ocp::{LinkArena, MasterId};
 use ntg_sim::{Activity, ClockConfig, Component, Cycle, WindowSeries};
 use ntg_trace::{shared_trace, MasterTrace, SharedTrace, TraceMonitor};
 
@@ -81,13 +81,16 @@ pub const ALL_INTERCONNECTS: [InterconnectChoice; 5] = [
 /// A master implemented outside this crate, plugged into a socket via
 /// [`MasterKind::Custom`].
 ///
-/// Implementors provide the [`Component`] tick protocol plus the
-/// lifecycle queries the run loop needs from every master. The contract
-/// matches the built-in masters: `halted` becomes true once all work is
-/// done (and stays true), `halt_cycle` records the completing cycle, and
-/// any `next_activity`/`skip` implementation must keep cycle counts
-/// bit-identical with skipping on or off.
-pub trait PlatformMaster: Component {
+/// Implementors provide the [`Component`] tick protocol over the
+/// platform's [`LinkArena`] plus the lifecycle queries the run loop
+/// needs from every master. The contract matches the built-in masters:
+/// `halted` becomes true once all work is done (and stays true),
+/// `halt_cycle` records the completing cycle, and any
+/// `next_activity`/`skip` implementation must keep cycle counts
+/// bit-identical with skipping on or off. The `Send` supertrait keeps
+/// the assembled [`Platform`] a plain `Send` value, which is what lets
+/// campaign workers own platforms on worker threads.
+pub trait PlatformMaster: Component<LinkArena> + Send {
     /// Whether the master has finished all its work.
     fn halted(&self) -> bool;
     /// The cycle the master completed in, if halted.
@@ -114,7 +117,10 @@ pub struct MasterCtx {
 /// Builds a custom master for a socket. A factory rather than a value
 /// because [`PlatformBuilder::build`] may be called repeatedly on the
 /// same builder — each build gets a fresh master wired to a fresh port.
-pub type MasterFactory = Box<dyn Fn(MasterCtx, ntg_ocp::MasterPort) -> Box<dyn PlatformMaster>>;
+/// `Send + Sync` so builders holding factories can be shared with or
+/// moved to campaign worker threads.
+pub type MasterFactory =
+    Box<dyn Fn(MasterCtx, ntg_ocp::MasterPort) -> Box<dyn PlatformMaster> + Send + Sync>;
 
 /// What kind of master occupies a socket.
 pub enum MasterKind {
@@ -147,7 +153,7 @@ enum Master {
 }
 
 impl Master {
-    fn as_component(&mut self) -> &mut dyn Component {
+    fn as_component(&mut self) -> &mut dyn Component<LinkArena> {
         match self {
             Master::Cpu(c) => c.as_mut(),
             Master::Tg(t) => t,
@@ -157,7 +163,7 @@ impl Master {
         }
     }
 
-    fn as_component_ref(&self) -> &dyn Component {
+    fn as_component_ref(&self) -> &dyn Component<LinkArena> {
         match self {
             Master::Cpu(c) => c.as_ref(),
             Master::Tg(t) => t,
@@ -172,13 +178,13 @@ impl Master {
     /// `as_component`'s `&mut dyn Component`) lets the common
     /// [`TgCore::tick`] inline into the loop.
     #[inline]
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match self {
-            Master::Cpu(c) => c.tick(now),
-            Master::Tg(t) => t.tick(now),
-            Master::TgMulti(m) => m.tick(now),
-            Master::Stochastic(s) => s.tick(now),
-            Master::Custom(c) => c.tick(now),
+            Master::Cpu(c) => c.tick(now, net),
+            Master::Tg(t) => t.tick(now, net),
+            Master::TgMulti(m) => m.tick(now, net),
+            Master::Stochastic(s) => s.tick(now, net),
+            Master::Custom(c) => c.tick(now, net),
         }
     }
 
@@ -245,14 +251,14 @@ enum Slave {
 }
 
 impl Slave {
-    fn as_component(&mut self) -> &mut dyn Component {
+    fn as_component(&mut self) -> &mut dyn Component<LinkArena> {
         match self {
             Slave::Mem(m) => m,
             Slave::Sem(s) => s,
         }
     }
 
-    fn as_component_ref(&self) -> &dyn Component {
+    fn as_component_ref(&self) -> &dyn Component<LinkArena> {
         match self {
             Slave::Mem(m) => m,
             Slave::Sem(s) => s,
@@ -261,17 +267,17 @@ impl Slave {
 
     /// Direct-dispatch tick; see [`Master::tick`].
     #[inline]
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match self {
-            Slave::Mem(m) => m.tick(now),
-            Slave::Sem(s) => s.tick(now),
+            Slave::Mem(m) => m.tick(now, net),
+            Slave::Sem(s) => s.tick(now, net),
         }
     }
 
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, net: &LinkArena) -> bool {
         match self {
-            Slave::Mem(m) => m.is_idle(),
-            Slave::Sem(s) => s.is_idle(),
+            Slave::Mem(m) => m.is_idle(net),
+            Slave::Sem(s) => s.is_idle(net),
         }
     }
 }
@@ -478,7 +484,8 @@ impl PlatformBuilder {
             return Err(PlatformError::NoMasters);
         }
         let n = self.masters.len();
-        let map = Rc::new(mem_map::build_map(
+        let mut net = LinkArena::new();
+        let map = Arc::new(mem_map::build_map(
             n,
             self.private_bytes,
             self.shared_bytes,
@@ -490,7 +497,7 @@ impl PlatformBuilder {
         let mut slaves = Vec::new();
         let mut net_slave_ports = Vec::new();
         for core in 0..n {
-            let (m, s) = channel(format!("link-priv{core}"), MasterId(0));
+            let (m, s) = net.channel(format!("link-priv{core}"), MasterId(0));
             net_slave_ports.push(m);
             slaves.push(Slave::Mem(MemoryDevice::new(
                 format!("private{core}"),
@@ -499,14 +506,14 @@ impl PlatformBuilder {
                 s,
             )));
         }
-        let (m, s) = channel("link-shared", MasterId(0));
+        let (m, s) = net.channel("link-shared", MasterId(0));
         net_slave_ports.push(m);
         let mut shared = MemoryDevice::new("shared", mem_map::SHARED_BASE, self.shared_bytes, s);
         for (addr, words) in &self.shared_preload {
             shared.load_words(*addr, words);
         }
         slaves.push(Slave::Mem(shared));
-        let (m, s) = channel("link-sync", MasterId(0));
+        let (m, s) = net.channel("link-sync", MasterId(0));
         net_slave_ports.push(m);
         slaves.push(Slave::Mem(MemoryDevice::new(
             "sync",
@@ -514,7 +521,7 @@ impl PlatformBuilder {
             self.sync_bytes,
             s,
         )));
-        let (m, s) = channel("link-sem", MasterId(0));
+        let (m, s) = net.channel("link-sem", MasterId(0));
         net_slave_ports.push(m);
         slaves.push(Slave::Sem(SemaphoreBank::new(
             "sem",
@@ -528,11 +535,14 @@ impl PlatformBuilder {
         let mut net_master_ports = Vec::new();
         let mut traces = Vec::new();
         for (core, kind) in self.masters.iter().enumerate() {
-            let (mport, sport) = channel(format!("link-m{core}"), MasterId(core as u16));
+            let (mport, sport) = net.channel(format!("link-m{core}"), MasterId(core as u16));
             net_master_ports.push(sport);
             if self.tracing {
                 let trace = shared_trace(core as u16, self.clock);
-                mport.set_observer(Box::new(TraceMonitor::new(trace.clone(), self.clock)));
+                mport.set_observer(
+                    &mut net,
+                    Box::new(TraceMonitor::new(trace.clone(), self.clock)),
+                );
                 traces.push(Some(trace));
             } else {
                 traces.push(None);
@@ -617,6 +627,7 @@ impl PlatformBuilder {
 
         Ok(Platform {
             clock: self.clock,
+            net,
             map,
             masters,
             interconnect,
@@ -645,9 +656,15 @@ struct MetricsRecorder {
 }
 
 /// A fully assembled platform, ready to simulate.
+///
+/// Owns the [`LinkArena`] every component communicates through, so the
+/// whole value is `Send` (compile-asserted in this crate's tests): a
+/// campaign worker thread can build, own and run platforms with no
+/// shared-ownership bookkeeping on the tick path.
 pub struct Platform {
     clock: ClockConfig,
-    map: Rc<AddressMap>,
+    net: LinkArena,
+    map: Arc<AddressMap>,
     masters: Vec<Master>,
     interconnect: Box<dyn Interconnect>,
     slaves: Vec<Slave>,
@@ -740,8 +757,8 @@ impl Platform {
     /// True when every master has halted and all traffic has drained.
     fn quiesced(&self) -> bool {
         self.masters.iter().all(Master::halted)
-            && self.interconnect.is_idle()
-            && self.slaves.iter().all(Slave::is_idle)
+            && self.interconnect.is_idle(&self.net)
+            && self.slaves.iter().all(|s| s.is_idle(&self.net))
     }
 
     /// The earliest cycle at which any component may act, capped at
@@ -756,19 +773,19 @@ impl Platform {
         // Masters first: they are the only spontaneous actors, so a busy
         // master is the common reason not to jump — bail out early.
         for m in &self.masters {
-            match m.as_component_ref().next_activity(now) {
+            match m.as_component_ref().next_activity(now, &self.net) {
                 Activity::Busy => return None,
                 Activity::IdleUntil(w) => h = h.min(w),
                 Activity::Drained => {}
             }
         }
-        match self.interconnect.next_activity(now) {
+        match self.interconnect.next_activity(now, &self.net) {
             Activity::Busy => return None,
             Activity::IdleUntil(w) => h = h.min(w),
             Activity::Drained => {}
         }
         for s in &self.slaves {
-            match s.as_component_ref().next_activity(now) {
+            match s.as_component_ref().next_activity(now, &self.net) {
                 Activity::Busy => return None,
                 Activity::IdleUntil(w) => h = h.min(w),
                 Activity::Drained => {}
@@ -807,11 +824,11 @@ impl Platform {
                 if let Some(next) = self.horizon(max_cycles) {
                     let now = self.now;
                     for m in &mut self.masters {
-                        m.as_component().skip(now, next);
+                        m.as_component().skip(now, next, &mut self.net);
                     }
-                    self.interconnect.skip(now, next);
+                    self.interconnect.skip(now, next, &mut self.net);
                     for s in &mut self.slaves {
-                        s.as_component().skip(now, next);
+                        s.as_component().skip(now, next, &mut self.net);
                     }
                     self.skipped_cycles += next - now;
                     self.sample_metrics(now);
@@ -825,11 +842,11 @@ impl Platform {
             }
             let now = self.now;
             for m in &mut self.masters {
-                m.tick(now);
+                m.tick(now, &mut self.net);
             }
-            self.interconnect.tick(now);
+            self.interconnect.tick(now, &mut self.net);
             for s in &mut self.slaves {
-                s.tick(now);
+                s.tick(now, &mut self.net);
             }
             self.sample_metrics(now);
             self.ticked_cycles += 1;
@@ -871,11 +888,11 @@ impl Platform {
             }
             let now = self.now;
             for m in &mut self.masters {
-                m.tick(now);
+                m.tick(now, &mut self.net);
             }
-            self.interconnect.tick(now);
+            self.interconnect.tick(now, &mut self.net);
             for s in &mut self.slaves {
-                s.tick(now);
+                s.tick(now, &mut self.net);
             }
             self.sample_metrics(now);
             self.ticked_cycles += 1;
@@ -898,7 +915,7 @@ impl Platform {
     /// for millions of cycles after its last bus transaction).
     pub fn trace(&self, core: usize) -> Option<MasterTrace> {
         let shared = self.traces.get(core).and_then(|t| t.as_ref())?;
-        let mut trace = shared.borrow().clone();
+        let mut trace = shared.lock().unwrap().clone();
         trace.halt_at = self.masters[core]
             .halt_cycle()
             .map(|c| self.clock.cycles_to_ns(c));
@@ -1058,6 +1075,51 @@ mod tests {
         a.stw(R1, R2, 0);
         a.halt();
         a.assemble(mem_map::private_base(core)).unwrap()
+    }
+
+    /// Compile-time proof that a fully wired platform can migrate to a
+    /// campaign worker thread: every master, slave, interconnect, trace
+    /// sink and the link arena itself must be `Send`.
+    #[test]
+    fn platform_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Platform>();
+        assert_send::<PlatformBuilder>();
+    }
+
+    /// The runtime counterpart of [`platform_is_send`]: a platform built
+    /// on one thread migrates to another and runs there, and two
+    /// platforms run concurrently without interfering — the campaign
+    /// runner's whole worker model in miniature.
+    #[test]
+    fn platforms_built_here_run_on_other_threads() {
+        let build = |value: u32| {
+            PlatformBuilder::new()
+                .add_cpu(store_program(0, value))
+                .build()
+                .unwrap()
+        };
+        let mut a = build(7);
+        let mut b = build(11);
+        let (ra, rb) = std::thread::scope(|s| {
+            let ta = s.spawn(move || {
+                let r = a.run(100_000);
+                (r, a.peek_shared(mem_map::SHARED_BASE))
+            });
+            let tb = s.spawn(move || {
+                let r = b.run(100_000);
+                (r, b.peek_shared(mem_map::SHARED_BASE))
+            });
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert!(ra.0.completed && rb.0.completed);
+        assert_eq!(ra.1, 7);
+        assert_eq!(rb.1, 11);
+        assert_eq!(
+            ra.0.execution_time(),
+            rb.0.execution_time(),
+            "identical workloads must time identically regardless of thread"
+        );
     }
 
     #[test]

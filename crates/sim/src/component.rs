@@ -60,6 +60,17 @@ impl Activity {
 /// they only become observable to other components in the following cycle;
 /// this is what keeps the simulation independent of tick order.
 ///
+/// # The shared context `C`
+///
+/// Components do not own the channels they communicate over: shared link
+/// state lives in a context value owned by the engine (for the OCP data
+/// plane, the `LinkArena` of `ntg-ocp`) and is threaded by `&`/`&mut`
+/// reference into every trait method. Components hold only `Copy` port
+/// handles (indices into the context), so a whole component graph —
+/// context plus components — is a plain `Send` value that a thread can
+/// own outright. Pure components that need no shared state use the
+/// default `C = ()`.
+///
 /// # Example
 ///
 /// ```
@@ -70,21 +81,22 @@ impl Activity {
 ///
 /// impl Component for TenCycles {
 ///     fn name(&self) -> &str { "ten-cycles" }
-///     fn tick(&mut self, _now: Cycle) {
+///     fn tick(&mut self, _now: Cycle, _net: &mut ()) {
 ///         if self.n < 10 { self.n += 1; }
 ///     }
-///     fn is_idle(&self) -> bool { self.n == 10 }
+///     fn is_idle(&self, _net: &()) -> bool { self.n == 10 }
 /// }
 /// ```
-pub trait Component {
+pub trait Component<C = ()> {
     /// A short, human-readable instance name used in diagnostics.
     fn name(&self) -> &str;
 
     /// Advances the component by one clock cycle.
     ///
     /// `now` is the index of the cycle being executed; the first call in a
-    /// simulation receives `now == 0`.
-    fn tick(&mut self, now: Cycle);
+    /// simulation receives `now == 0`. `net` is the shared context the
+    /// engine owns (the link arena for OCP systems).
+    fn tick(&mut self, now: Cycle, net: &mut C);
 
     /// Reports whether the component has no pending work.
     ///
@@ -95,7 +107,7 @@ pub trait Component {
     /// always safe.
     ///
     /// [`Simulator::run_until_idle`]: crate::Simulator::run_until_idle
-    fn is_idle(&self) -> bool {
+    fn is_idle(&self, _net: &C) -> bool {
         false
     }
 
@@ -105,7 +117,7 @@ pub trait Component {
     /// conservatively reports [`Activity::Busy`], which disables
     /// skipping for this component and is always safe. See [`Activity`]
     /// for the contract a non-`Busy` hint signs up to.
-    fn next_activity(&self, _now: Cycle) -> Activity {
+    fn next_activity(&self, _now: Cycle, _net: &C) -> Activity {
         Activity::Busy
     }
 
@@ -119,7 +131,7 @@ pub trait Component {
     /// bit-identical with skipping on or off. The default is a no-op,
     /// which is correct for components whose idle ticks have no side
     /// effects.
-    fn skip(&mut self, _now: Cycle, _next: Cycle) {}
+    fn skip(&mut self, _now: Cycle, _next: Cycle, _net: &mut C) {}
 }
 
 #[cfg(test)]
@@ -131,31 +143,72 @@ mod tests {
         fn name(&self) -> &str {
             "nop"
         }
-        fn tick(&mut self, _now: Cycle) {}
+        fn tick(&mut self, _now: Cycle, _net: &mut ()) {}
     }
 
     #[test]
     fn default_is_idle_is_false() {
         let n = Nop;
-        assert!(!n.is_idle());
+        assert!(!n.is_idle(&()));
         assert_eq!(n.name(), "nop");
     }
 
     #[test]
     fn default_activity_is_busy() {
         let mut n = Nop;
-        assert_eq!(n.next_activity(0), Activity::Busy);
-        assert_eq!(n.next_activity(1_000), Activity::Busy);
+        assert_eq!(n.next_activity(0, &()), Activity::Busy);
+        assert_eq!(n.next_activity(1_000, &()), Activity::Busy);
         // Default skip is a no-op and must not panic.
-        n.skip(0, 10);
+        n.skip(0, 10, &mut ());
     }
 
     #[test]
     fn trait_is_object_safe() {
         let mut boxed: Box<dyn Component> = Box::new(Nop);
-        boxed.tick(0);
-        boxed.skip(1, 2);
+        boxed.tick(0, &mut ());
+        boxed.skip(1, 2, &mut ());
         assert_eq!(boxed.name(), "nop");
-        assert_eq!(boxed.next_activity(1), Activity::Busy);
+        assert_eq!(boxed.next_activity(1, &()), Activity::Busy);
+    }
+
+    /// Ticks against a shared context counter — the ctx-threading shape
+    /// every OCP component uses with the link arena.
+    struct CtxAdder;
+    impl Component<u64> for CtxAdder {
+        fn name(&self) -> &str {
+            "ctx-adder"
+        }
+        fn tick(&mut self, _now: Cycle, net: &mut u64) {
+            *net += 1;
+        }
+    }
+
+    #[test]
+    fn context_is_threaded_by_reference() {
+        let mut ctx = 0u64;
+        let mut boxed: Box<dyn Component<u64>> = Box::new(CtxAdder);
+        boxed.tick(0, &mut ctx);
+        boxed.tick(1, &mut ctx);
+        assert_eq!(ctx, 2);
+        assert!(!boxed.is_idle(&ctx));
+    }
+
+    /// A boxed component graph over a plain context must be something a
+    /// thread can own: `Send` when its parts are.
+    #[test]
+    fn send_component_graphs_cross_threads() {
+        fn assert_send<T: Send>(_: &T) {}
+        let graph: (u64, Vec<Box<dyn Component<u64> + Send>>) = (0, vec![Box::new(CtxAdder)]);
+        assert_send(&graph);
+        let (mut ctx, mut comps) = graph;
+        std::thread::spawn(move || {
+            for c in &mut comps {
+                c.tick(0, &mut ctx);
+            }
+            ctx
+        })
+        .join()
+        .map(|n| assert_eq!(n, 1))
+        .unwrap();
     }
 }

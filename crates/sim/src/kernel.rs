@@ -17,11 +17,13 @@ pub enum RunOutcome {
 
 /// A deterministic cycle-driven simulation engine.
 ///
-/// Owns a set of boxed [`Component`]s and ticks each of them once per
-/// cycle, in registration order. Platform-level harnesses that know their
-/// components' concrete types (such as `ntg-platform`) may instead run
-/// their own tick loop; this engine is the general-purpose entry point for
-/// user-assembled systems.
+/// Owns a set of boxed [`Component`]s plus the shared context `C` they
+/// communicate through (the OCP link arena for `ntg` systems; `()` for
+/// pure components), and ticks each component once per cycle in
+/// registration order, lending the context to every callback.
+/// Platform-level harnesses that know their components' concrete types
+/// (such as `ntg-platform`) may instead run their own tick loop; this
+/// engine is the general-purpose entry point for user-assembled systems.
 ///
 /// # Example
 ///
@@ -31,10 +33,10 @@ pub enum RunOutcome {
 /// struct Pulse { remaining: u64 }
 /// impl Component for Pulse {
 ///     fn name(&self) -> &str { "pulse" }
-///     fn tick(&mut self, _now: Cycle) {
+///     fn tick(&mut self, _now: Cycle, _net: &mut ()) {
 ///         self.remaining = self.remaining.saturating_sub(1);
 ///     }
-///     fn is_idle(&self) -> bool { self.remaining == 0 }
+///     fn is_idle(&self, _net: &()) -> bool { self.remaining == 0 }
 /// }
 ///
 /// let mut sim = Simulator::new();
@@ -42,8 +44,9 @@ pub enum RunOutcome {
 /// assert_eq!(sim.run_until_idle(100), RunOutcome::Idle);
 /// assert_eq!(sim.now(), 3);
 /// ```
-pub struct Simulator {
-    components: Vec<Box<dyn Component>>,
+pub struct Simulator<C = ()> {
+    components: Vec<Box<dyn Component<C>>>,
+    ctx: C,
     now: Cycle,
     skipping: bool,
     skipped_cycles: Cycle,
@@ -51,21 +54,14 @@ pub struct Simulator {
     observer: Option<Box<dyn Observer>>,
 }
 
-impl Default for Simulator {
+impl<C: Default> Default for Simulator<C> {
     fn default() -> Self {
-        Self {
-            components: Vec::new(),
-            now: 0,
-            skipping: crate::cycle_skipping_enabled(),
-            skipped_cycles: 0,
-            ticked_cycles: 0,
-            observer: None,
-        }
+        Self::with_ctx(C::default())
     }
 }
 
-impl Simulator {
-    /// Creates an empty simulator at cycle zero.
+impl<C: Default> Simulator<C> {
+    /// Creates an empty simulator at cycle zero with a default context.
     ///
     /// Event-horizon cycle skipping is enabled unless the `NTG_NO_SKIP`
     /// environment variable disables it (see
@@ -73,6 +69,38 @@ impl Simulator {
     /// [`Simulator::set_cycle_skipping`] to override programmatically.
     pub fn new() -> Self {
         Self::default()
+    }
+}
+
+impl<C> Simulator<C> {
+    /// Creates an empty simulator at cycle zero owning the given shared
+    /// context (for OCP systems, a pre-wired link arena).
+    pub fn with_ctx(ctx: C) -> Self {
+        Self {
+            components: Vec::new(),
+            ctx,
+            now: 0,
+            skipping: crate::cycle_skipping_enabled(),
+            skipped_cycles: 0,
+            ticked_cycles: 0,
+            observer: None,
+        }
+    }
+
+    /// Borrows the shared context.
+    pub fn ctx(&self) -> &C {
+        &self.ctx
+    }
+
+    /// Mutably borrows the shared context (e.g. to wire new links before
+    /// the run starts).
+    pub fn ctx_mut(&mut self) -> &mut C {
+        &mut self.ctx
+    }
+
+    /// Consumes the engine and returns the shared context.
+    pub fn into_ctx(self) -> C {
+        self.ctx
     }
 
     /// Enables or disables event-horizon cycle skipping for this engine,
@@ -116,7 +144,7 @@ impl Simulator {
     ///
     /// Returns the component's index, which can be used with
     /// [`Simulator::component`].
-    pub fn add(&mut self, component: Box<dyn Component>) -> usize {
+    pub fn add(&mut self, component: Box<dyn Component<C>>) -> usize {
         self.components.push(component);
         self.components.len() - 1
     }
@@ -142,7 +170,7 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
-    pub fn component(&self, idx: usize) -> &dyn Component {
+    pub fn component(&self, idx: usize) -> &dyn Component<C> {
         self.components[idx].as_ref()
     }
 
@@ -150,7 +178,7 @@ impl Simulator {
     pub fn step(&mut self) {
         let now = self.now;
         for c in &mut self.components {
-            c.tick(now);
+            c.tick(now, &mut self.ctx);
         }
         self.now += 1;
         self.ticked_cycles += 1;
@@ -195,7 +223,7 @@ impl Simulator {
     pub fn run_until(
         &mut self,
         max_cycles: Cycle,
-        mut stop: impl FnMut(&Simulator) -> bool,
+        mut stop: impl FnMut(&Simulator<C>) -> bool,
     ) -> RunOutcome {
         let end = self.now.saturating_add(max_cycles);
         while self.now < end {
@@ -209,7 +237,7 @@ impl Simulator {
                 Some(next) => {
                     let now = self.now;
                     for c in &mut self.components {
-                        c.skip(now, next);
+                        c.skip(now, next, &mut self.ctx);
                     }
                     self.skipped_cycles += next - now;
                     self.now = next;
@@ -238,7 +266,7 @@ impl Simulator {
         }
         let mut h = end;
         for c in &self.components {
-            match c.next_activity(self.now) {
+            match c.next_activity(self.now, &self.ctx) {
                 Activity::Busy => return None,
                 Activity::IdleUntil(w) => h = h.min(w),
                 Activity::Drained => {}
@@ -248,11 +276,11 @@ impl Simulator {
     }
 
     fn all_idle(&self) -> bool {
-        !self.components.is_empty() && self.components.iter().all(|c| c.is_idle())
+        !self.components.is_empty() && self.components.iter().all(|c| c.is_idle(&self.ctx))
     }
 }
 
-impl std::fmt::Debug for Simulator {
+impl<C> std::fmt::Debug for Simulator<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("now", &self.now)
@@ -267,57 +295,48 @@ impl std::fmt::Debug for Simulator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::cell::Cell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
+    /// Ticks through a `Simulator<u64>` whose context is a global
+    /// sequence counter — verifying the ctx is lent to every callback.
     struct Recorder {
-        id: usize,
-        order: Rc<Cell<u64>>,
         seen: Vec<(Cycle, u64)>,
         idle_after: Cycle,
     }
 
-    impl Component for Recorder {
+    impl Component<u64> for Recorder {
         fn name(&self) -> &str {
             "recorder"
         }
-        fn tick(&mut self, now: Cycle) {
-            let seq = self.order.get();
-            self.order.set(seq + 1);
-            self.seen.push((now, seq));
-            let _ = self.id;
+        fn tick(&mut self, now: Cycle, order: &mut u64) {
+            self.seen.push((now, *order));
+            *order += 1;
         }
-        fn is_idle(&self) -> bool {
+        fn is_idle(&self, _order: &u64) -> bool {
             self.seen.len() as Cycle >= self.idle_after
         }
     }
 
     #[test]
     fn ticks_in_registration_order() {
-        let order = Rc::new(Cell::new(0));
-        let mut sim = Simulator::new();
-        for id in 0..3 {
+        let mut sim: Simulator<u64> = Simulator::new();
+        for _ in 0..3 {
             sim.add(Box::new(Recorder {
-                id,
-                order: order.clone(),
                 seen: Vec::new(),
                 idle_after: u64::MAX,
             }));
         }
         sim.run_for(2);
-        // Within each cycle the global sequence numbers must follow the
+        // Within each cycle the global sequence numbers follow the
         // registration order: component 0 first, then 1, then 2.
-        assert_eq!(order.get(), 6);
+        assert_eq!(*sim.ctx(), 6);
         assert_eq!(sim.now(), 2);
     }
 
     #[test]
     fn run_until_idle_stops_early() {
-        let order = Rc::new(Cell::new(0));
-        let mut sim = Simulator::new();
+        let mut sim: Simulator<u64> = Simulator::new();
         sim.add(Box::new(Recorder {
-            id: 0,
-            order,
             seen: Vec::new(),
             idle_after: 5,
         }));
@@ -327,11 +346,8 @@ mod tests {
 
     #[test]
     fn run_until_respects_cycle_limit() {
-        let order = Rc::new(Cell::new(0));
-        let mut sim = Simulator::new();
+        let mut sim: Simulator<u64> = Simulator::new();
         sim.add(Box::new(Recorder {
-            id: 0,
-            order,
             seen: Vec::new(),
             idle_after: u64::MAX,
         }));
@@ -341,11 +357,8 @@ mod tests {
 
     #[test]
     fn predicate_stops_between_cycles() {
-        let order = Rc::new(Cell::new(0));
-        let mut sim = Simulator::new();
+        let mut sim: Simulator<u64> = Simulator::new();
         sim.add(Box::new(Recorder {
-            id: 0,
-            order,
             seen: Vec::new(),
             idle_after: u64::MAX,
         }));
@@ -356,7 +369,7 @@ mod tests {
 
     #[test]
     fn empty_simulator_never_reports_idle() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<()>::new();
         assert!(sim.is_empty());
         assert_eq!(sim.run_until_idle(5), RunOutcome::CycleLimit);
         assert_eq!(sim.now(), 5);
@@ -364,7 +377,8 @@ mod tests {
 
     /// Works for `burst` cycles, sleeps for `gap` cycles, repeats
     /// `rounds` times, then drains. Counts every cycle it observes so
-    /// skip equivalence can be asserted on the bookkeeping too.
+    /// skip equivalence can be asserted on the bookkeeping too. Generic
+    /// over the context — a pure component fits any engine.
     struct Sleeper {
         burst: u64,
         gap: u64,
@@ -387,11 +401,11 @@ mod tests {
         }
     }
 
-    impl Component for Sleeper {
+    impl<C> Component<C> for Sleeper {
         fn name(&self) -> &str {
             "sleeper"
         }
-        fn tick(&mut self, _now: Cycle) {
+        fn tick(&mut self, _now: Cycle, _net: &mut C) {
             if self.rounds == 0 {
                 return;
             }
@@ -408,10 +422,10 @@ mod tests {
                 }
             }
         }
-        fn is_idle(&self) -> bool {
+        fn is_idle(&self, _net: &C) -> bool {
             self.rounds == 0
         }
-        fn next_activity(&self, now: Cycle) -> Activity {
+        fn next_activity(&self, now: Cycle, _net: &C) -> Activity {
             if self.rounds == 0 {
                 Activity::Drained
             } else if self.working {
@@ -420,7 +434,7 @@ mod tests {
                 Activity::IdleUntil(now + self.phase_left)
             }
         }
-        fn skip(&mut self, now: Cycle, next: Cycle) {
+        fn skip(&mut self, now: Cycle, next: Cycle, _net: &mut C) {
             if self.rounds == 0 {
                 return;
             }
@@ -437,7 +451,7 @@ mod tests {
     }
 
     fn run_sleepers(skipping: bool) -> (Cycle, Cycle, RunOutcome) {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<()>::new();
         sim.set_cycle_skipping(skipping);
         sim.add(Box::new(Sleeper::new(3, 40, 4)));
         sim.add(Box::new(Sleeper::new(5, 17, 6)));
@@ -457,38 +471,36 @@ mod tests {
 
     #[test]
     fn skip_counters_partition_the_run() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<()>::new();
         sim.set_cycle_skipping(true);
         sim.add(Box::new(Sleeper::new(2, 30, 3)));
         sim.run_until_idle(1_000);
         assert_eq!(sim.skipped_cycles() + sim.ticked_cycles(), sim.now());
     }
 
-    /// Counts cycles by attribution through a shared cell so the totals
+    /// Counts cycles by attribution through a shared handle so the totals
     /// survive the observer's ownership by the engine.
-    struct CycleLedger(Rc<Cell<(u64, u64)>>);
+    struct CycleLedger(Arc<Mutex<(u64, u64)>>);
 
     impl crate::observe::Observer for CycleLedger {
         fn on_tick(&mut self, _now: Cycle) {
-            let (t, s) = self.0.get();
-            self.0.set((t + 1, s));
+            self.0.lock().unwrap().0 += 1;
         }
         fn on_skip(&mut self, from: Cycle, next: Cycle) {
-            let (t, s) = self.0.get();
-            self.0.set((t, s + (next - from)));
+            self.0.lock().unwrap().1 += next - from;
         }
     }
 
     #[test]
     fn observer_sees_every_visited_and_skipped_cycle() {
-        let mut sim = Simulator::new();
+        let mut sim = Simulator::<()>::new();
         sim.set_cycle_skipping(true);
         sim.add(Box::new(Sleeper::new(3, 40, 4)));
-        let ledger = Rc::new(Cell::new((0u64, 0u64)));
+        let ledger = Arc::new(Mutex::new((0u64, 0u64)));
         sim.set_observer(Some(Box::new(CycleLedger(ledger.clone()))));
         sim.run_until_idle(10_000);
         assert!(sim.take_observer().is_some(), "observer stays installed");
-        let (ticked, skipped) = ledger.get();
+        let (ticked, skipped) = *ledger.lock().unwrap();
         assert_eq!(ticked, sim.ticked_cycles());
         assert_eq!(skipped, sim.skipped_cycles());
         assert!(skipped > 0, "idle gaps must be jumped");
@@ -497,13 +509,10 @@ mod tests {
 
     #[test]
     fn busy_component_disables_jumping() {
-        let order = Rc::new(Cell::new(0));
-        let mut sim = Simulator::new();
+        let mut sim: Simulator<u64> = Simulator::new();
         sim.set_cycle_skipping(true);
         // Recorder's default next_activity is Busy, so every cycle ticks.
         sim.add(Box::new(Recorder {
-            id: 0,
-            order,
             seen: Vec::new(),
             idle_after: u64::MAX,
         }));

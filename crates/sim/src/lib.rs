@@ -32,7 +32,7 @@
 //! struct Counter { n: u64 }
 //! impl Component for Counter {
 //!     fn name(&self) -> &str { "counter" }
-//!     fn tick(&mut self, _now: Cycle) { self.n += 1; }
+//!     fn tick(&mut self, _now: Cycle, _net: &mut ()) { self.n += 1; }
 //! }
 //!
 //! let mut sim = Simulator::new();

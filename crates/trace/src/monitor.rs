@@ -1,7 +1,6 @@
 //! Live trace capture at an OCP master interface.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use ntg_ocp::{ChannelObserver, OcpRequest, OcpResponse};
 use ntg_sim::{ClockConfig, Cycle};
@@ -12,12 +11,15 @@ use crate::event::{MasterTrace, TraceEvent};
 ///
 /// The platform keeps one of these per traced master and reads the trace
 /// out after the simulation finishes, while the [`TraceMonitor`] writing
-/// into it lives inside the OCP channel.
-pub type SharedTrace = Rc<RefCell<MasterTrace>>;
+/// into it lives inside the OCP link arena. The handle is `Send`, so a
+/// fully wired platform (observers included) can migrate to a campaign
+/// worker thread; the mutex is uncontended during simulation because only
+/// the monitor touches it until the run completes.
+pub type SharedTrace = Arc<Mutex<MasterTrace>>;
 
 /// Creates an empty [`SharedTrace`] for `master`.
 pub fn shared_trace(master: u16, clock: ClockConfig) -> SharedTrace {
-    Rc::new(RefCell::new(MasterTrace::new(master, clock.period_ns())))
+    Arc::new(Mutex::new(MasterTrace::new(master, clock.period_ns())))
 }
 
 /// A [`ChannelObserver`] that appends every interface event to a
@@ -26,17 +28,18 @@ pub fn shared_trace(master: u16, clock: ClockConfig) -> SharedTrace {
 /// Install it on the master port whose interface should be traced:
 ///
 /// ```
-/// use ntg_ocp::{channel, MasterId, OcpRequest};
+/// use ntg_ocp::{LinkArena, MasterId, OcpRequest};
 /// use ntg_sim::ClockConfig;
 /// use ntg_trace::{shared_trace, TraceMonitor};
 ///
-/// let (master, slave) = channel("cpu0", MasterId(0));
+/// let mut net = LinkArena::new();
+/// let (master, slave) = net.channel("cpu0", MasterId(0));
 /// let trace = shared_trace(0, ClockConfig::default());
-/// master.set_observer(Box::new(TraceMonitor::new(trace.clone(),
-///                                                ClockConfig::default())));
-/// master.assert_request(OcpRequest::read(0x104), 11); // cycle 11
-/// assert_eq!(trace.borrow().events.len(), 1);
-/// assert_eq!(trace.borrow().events[0].at(), 55); // 11 × 5 ns
+/// master.set_observer(&mut net, Box::new(TraceMonitor::new(trace.clone(),
+///                                                          ClockConfig::default())));
+/// master.assert_request(&mut net, OcpRequest::read(0x104), 11); // cycle 11
+/// assert_eq!(trace.lock().unwrap().events.len(), 1);
+/// assert_eq!(trace.lock().unwrap().events[0].at(), 55); // 11 × 5 ns
 /// ```
 pub struct TraceMonitor {
     sink: SharedTrace,
@@ -52,7 +55,7 @@ impl TraceMonitor {
 
 impl ChannelObserver for TraceMonitor {
     fn on_request(&mut self, now: Cycle, req: &OcpRequest) {
-        self.sink.borrow_mut().events.push(TraceEvent::Request {
+        self.sink.lock().unwrap().events.push(TraceEvent::Request {
             cmd: req.cmd,
             addr: req.addr,
             data: req.data.clone(),
@@ -62,13 +65,13 @@ impl ChannelObserver for TraceMonitor {
     }
 
     fn on_accept(&mut self, now: Cycle, _req: &OcpRequest) {
-        self.sink.borrow_mut().events.push(TraceEvent::Accept {
+        self.sink.lock().unwrap().events.push(TraceEvent::Accept {
             at: self.clock.cycles_to_ns(now),
         });
     }
 
     fn on_response(&mut self, now: Cycle, resp: &OcpResponse) {
-        self.sink.borrow_mut().events.push(TraceEvent::Response {
+        self.sink.lock().unwrap().events.push(TraceEvent::Response {
             data: resp.data.clone(),
             at: self.clock.cycles_to_ns(now),
         });
@@ -78,23 +81,24 @@ impl ChannelObserver for TraceMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ntg_ocp::{channel, MasterId, OcpCmd};
+    use ntg_ocp::{LinkArena, MasterId, OcpCmd};
 
     #[test]
     fn records_full_transaction_with_ns_timestamps() {
-        let (m, s) = channel("cpu0", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("cpu0", MasterId(0));
         let trace = shared_trace(0, ClockConfig::default());
-        m.set_observer(Box::new(TraceMonitor::new(
-            trace.clone(),
-            ClockConfig::default(),
-        )));
+        m.set_observer(
+            &mut net,
+            Box::new(TraceMonitor::new(trace.clone(), ClockConfig::default())),
+        );
 
-        m.assert_request(OcpRequest::read(0x104), 11);
-        s.accept_request(12);
-        s.push_response(OcpResponse::ok(vec![0xF0], 0), 15);
-        m.take_response(16);
+        m.assert_request(&mut net, OcpRequest::read(0x104), 11);
+        s.accept_request(&mut net, 12);
+        s.push_response(&mut net, OcpResponse::ok(vec![0xF0], 0), 15);
+        m.take_response(&mut net, 16);
 
-        let tr = trace.borrow();
+        let tr = trace.lock().unwrap();
         assert_eq!(tr.events.len(), 3);
         assert_eq!(
             tr.events[0],
@@ -121,11 +125,12 @@ mod tests {
 
     #[test]
     fn uninstalled_monitor_records_nothing() {
-        let (m, s) = channel("cpu0", MasterId(0));
+        let mut net = LinkArena::new();
+        let (m, s) = net.channel("cpu0", MasterId(0));
         let trace = shared_trace(0, ClockConfig::default());
         // No observer installed: channel runs silently.
-        m.assert_request(OcpRequest::write(0, 1), 0);
-        s.accept_request(1);
-        assert!(trace.borrow().events.is_empty());
+        m.assert_request(&mut net, OcpRequest::write(0, 1), 0);
+        s.accept_request(&mut net, 1);
+        assert!(trace.lock().unwrap().events.is_empty());
     }
 }

@@ -13,10 +13,9 @@
 use super::pattern::Pattern;
 use super::shape::Schedule;
 use ntg_core::rng::Xoshiro256;
-use ntg_ocp::{DataWords, MasterPort, OcpRequest};
+use ntg_ocp::{DataWords, LinkArena, MasterPort, OcpRequest};
 use ntg_platform::{mem_map, MasterReport, PlatformMaster};
 use ntg_sim::{Activity, Component, Cycle};
-use std::rc::Rc;
 
 /// Width in words of the per-destination address window packets land in
 /// (a 1 KiB scratch region at the base of each private memory).
@@ -63,7 +62,7 @@ enum State {
 
 /// A synthetic pattern × shape traffic generator.
 pub struct SyntheticTg {
-    name: Rc<str>,
+    name: String,
     port: MasterPort,
     rng: Xoshiro256,
     schedule: Schedule,
@@ -91,7 +90,7 @@ impl SyntheticTg {
     ///
     /// Panics if `cfg.words == 0` or `cfg.packets == 0`.
     pub fn new(
-        name: impl Into<Rc<str>>,
+        name: impl Into<String>,
         port: MasterPort,
         cfg: SyntheticConfig,
         core: usize,
@@ -133,7 +132,7 @@ impl SyntheticTg {
     }
 
     /// Builds and asserts the next packet; records its scheduled slot.
-    fn issue(&mut self, now: Cycle) {
+    fn issue(&mut self, now: Cycle, net: &mut LinkArena) {
         let dest = self.pattern.dest(self.core, self.cores, &mut self.rng);
         let span = WINDOW_WORDS - u64::from(self.words - 1).min(WINDOW_WORDS - 1);
         let addr = mem_map::private_base(dest) + self.rng.below(span) as u32 * 4;
@@ -143,29 +142,29 @@ impl SyntheticTg {
             let data: DataWords = (0..self.words).map(|_| self.rng.next_u32()).collect();
             OcpRequest::burst_write(addr, data)
         };
-        self.port.assert_request(req, now);
+        self.port.assert_request(net, req, now);
         self.last_scheduled = self.next_fire;
         self.state = State::WaitAccept;
     }
 }
 
-impl Component for SyntheticTg {
+impl Component<LinkArena> for SyntheticTg {
     fn name(&self) -> &str {
         &self.name
     }
 
-    fn tick(&mut self, now: Cycle) {
+    fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
         match self.state {
             State::Halted => {}
             State::Waiting => {
                 if now >= self.next_fire {
-                    self.issue(now);
+                    self.issue(now, net);
                 } else {
                     self.idle_cycles += 1;
                 }
             }
             State::WaitAccept => {
-                if self.port.take_accept(now).is_some() {
+                if self.port.take_accept(net, now).is_some() {
                     self.packets_done += 1;
                     if self.packets_done >= self.packets_target {
                         self.halt_cycle = Some(now);
@@ -177,7 +176,7 @@ impl Component for SyntheticTg {
                             // Behind schedule (back-pressure): inject the
                             // next packet in the same cycle, like every
                             // other master's zero-gap path.
-                            self.issue(now);
+                            self.issue(now, net);
                         }
                     }
                 } else {
@@ -187,11 +186,11 @@ impl Component for SyntheticTg {
         }
     }
 
-    fn is_idle(&self) -> bool {
-        self.state == State::Halted && self.port.is_quiet()
+    fn is_idle(&self, net: &LinkArena) -> bool {
+        self.state == State::Halted && self.port.is_quiet(net)
     }
 
-    fn next_activity(&self, now: Cycle) -> Activity {
+    fn next_activity(&self, now: Cycle, net: &LinkArena) -> Activity {
         match self.state {
             State::Waiting => {
                 if self.next_fire > now {
@@ -200,13 +199,13 @@ impl Component for SyntheticTg {
                     Activity::Busy
                 }
             }
-            State::WaitAccept => match self.port.next_event_at() {
+            State::WaitAccept => match self.port.next_event_at(net) {
                 Some(at) if at > now => Activity::IdleUntil(at),
                 Some(_) => Activity::Busy,
                 None => Activity::waiting(),
             },
             State::Halted => {
-                if self.port.is_quiet() {
+                if self.port.is_quiet(net) {
                     Activity::Drained
                 } else {
                     Activity::Busy
@@ -215,7 +214,7 @@ impl Component for SyntheticTg {
         }
     }
 
-    fn skip(&mut self, now: Cycle, next: Cycle) {
+    fn skip(&mut self, now: Cycle, next: Cycle, _net: &mut LinkArena) {
         match self.state {
             State::Waiting => {
                 debug_assert!(next <= self.next_fire);
@@ -253,16 +252,17 @@ mod tests {
     use super::super::shape::ShapeKind;
     use super::*;
     use ntg_mem::MemoryDevice;
-    use ntg_ocp::{channel, MasterId};
+    use ntg_ocp::MasterId;
 
     fn run_to_halt(cfg: SyntheticConfig) -> (SyntheticTg, MemoryDevice, Cycle) {
-        let (mport, sport) = channel("syn", MasterId(0));
+        let mut net = LinkArena::new();
+        let (mport, sport) = net.channel("syn", MasterId(0));
         // One memory standing in for node 1's private window.
         let mut mem = MemoryDevice::new("ram", mem_map::private_base(1), 0x1_0000, sport);
         let mut tg = SyntheticTg::new("syn", mport, cfg, 0, 2);
         for now in 0..4_000_000u64 {
-            tg.tick(now);
-            mem.tick(now);
+            tg.tick(now, &mut net);
+            mem.tick(now, &mut net);
             if tg.is_halted() {
                 return (tg, mem, now);
             }
@@ -343,8 +343,8 @@ mod tests {
     fn skip_bookkeeping_matches_ticked_idle() {
         // Drive the TG tick-by-tick and via skip() over the same idle
         // stretch; the idle counter must agree.
-        let mk = || {
-            let (mport, _s) = channel("syn", MasterId(0));
+        let mk = |net: &mut LinkArena| {
+            let (mport, _s) = net.channel("syn", MasterId(0));
             SyntheticTg::new(
                 "syn",
                 mport,
@@ -359,16 +359,17 @@ mod tests {
                 4,
             )
         };
-        let mut ticked = mk();
-        let Activity::IdleUntil(w) = ticked.next_activity(0) else {
+        let mut net = LinkArena::new();
+        let mut ticked = mk(&mut net);
+        let Activity::IdleUntil(w) = ticked.next_activity(0, &net) else {
             panic!("λ=0.01 with this seed should start with an idle gap");
         };
         assert!(w > 0 && w < 100_000);
         for now in 0..w {
-            ticked.tick(now);
+            ticked.tick(now, &mut net);
         }
-        let mut skipped = mk();
-        skipped.skip(0, w);
+        let mut skipped = mk(&mut net);
+        skipped.skip(0, w, &mut net);
         assert_eq!(ticked.idle_cycles, w);
         assert_eq!(skipped.idle_cycles, w);
     }

@@ -11,12 +11,13 @@
 //! [`Component`]: ntg::sim::Component
 //! [`Simulator`]: ntg::sim::Simulator
 
-use ntg::ocp::{channel, MasterId};
+use ntg::ocp::{LinkArena, MasterId};
 use ntg::sim::{RunOutcome, Simulator};
 use ntg::tg::{GapDistribution, StochasticConfig, StochasticTg, TgSlave, TgSlaveBehavior};
 
 fn main() {
-    let (mport, sport) = channel("link", MasterId(0));
+    let mut net = LinkArena::new();
+    let (mport, sport) = net.channel("link", MasterId(0));
 
     let source = StochasticTg::new(
         "source",
@@ -32,7 +33,8 @@ fn main() {
     );
     let sink = TgSlave::new("sink", 0x0, 0x1000, TgSlaveBehavior::Memory, sport);
 
-    let mut sim = Simulator::new();
+    // The simulator owns the link arena and lends it to every tick.
+    let mut sim = Simulator::with_ctx(net);
     sim.add(Box::new(source));
     sim.add(Box::new(sink));
 

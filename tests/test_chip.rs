@@ -10,12 +10,12 @@
 //! all-TG chip must reproduce the reference timing just as well as the
 //! simulation-grade replay does.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use ntg::cpu::isa::{R0, R1, R2, R3, R4};
 use ntg::cpu::Asm;
 use ntg::noc::AmbaBus;
-use ntg::ocp::{channel, MasterId};
+use ntg::ocp::{LinkArena, MasterId};
 use ntg::platform::{mem_map, InterconnectChoice, PlatformBuilder};
 use ntg::sim::Component;
 use ntg::tg::{assemble, TgCore, TgSlave, TgSlaveBehavior, TraceTranslator, TranslationMode};
@@ -68,11 +68,12 @@ fn all_tg_test_chip_matches_the_reference() {
     // 2. Hand-wire the all-TG chip: master TGs + slave TGs on an AMBA
     //    bus with the same memory map.
     let map =
-        Rc::new(ntg::platform::mem_map::build_map(CORES, 0x1_0000, 0x1_0000, 0x1000, 64).unwrap());
+        Arc::new(ntg::platform::mem_map::build_map(CORES, 0x1_0000, 0x1_0000, 0x1000, 64).unwrap());
+    let mut net = LinkArena::new();
     let mut masters = Vec::new();
     let mut net_masters = Vec::new();
     for (i, image) in images.into_iter().enumerate() {
-        let (m, s) = channel(format!("tg{i}"), MasterId(i as u16));
+        let (m, s) = net.channel(format!("tg{i}"), MasterId(i as u16));
         net_masters.push(s);
         masters.push(TgCore::new(format!("tg{i}"), m, image));
     }
@@ -83,7 +84,7 @@ fn all_tg_test_chip_matches_the_reference() {
     // trace as bursts), so cheap dummy responders suffice — exactly the
     // paper's entity 3.
     for core in 0..CORES {
-        let (m, s) = channel(format!("priv{core}"), MasterId(0));
+        let (m, s) = net.channel(format!("priv{core}"), MasterId(0));
         net_slaves.push(m);
         slaves.push(TgSlave::new(
             format!("priv{core}"),
@@ -96,7 +97,7 @@ fn all_tg_test_chip_matches_the_reference() {
     // Shared memory and sync flags need real storage (entity 2), and the
     // semaphore bank needs test-and-set semantics, or the reactive
     // Semchk loops would misbehave.
-    let (m, s) = channel("shared", MasterId(0));
+    let (m, s) = net.channel("shared", MasterId(0));
     net_slaves.push(m);
     slaves.push(TgSlave::new(
         "shared",
@@ -105,7 +106,7 @@ fn all_tg_test_chip_matches_the_reference() {
         TgSlaveBehavior::Memory,
         s,
     ));
-    let (m, s) = channel("sync", MasterId(0));
+    let (m, s) = net.channel("sync", MasterId(0));
     net_slaves.push(m);
     slaves.push(TgSlave::new(
         "sync",
@@ -114,7 +115,7 @@ fn all_tg_test_chip_matches_the_reference() {
         TgSlaveBehavior::Memory,
         s,
     ));
-    let (m, s) = channel("sem", MasterId(0));
+    let (m, s) = net.channel("sem", MasterId(0));
     net_slaves.push(m);
     slaves.push(TgSlave::new(
         "sem",
@@ -129,11 +130,11 @@ fn all_tg_test_chip_matches_the_reference() {
     let mut chip_cycles = None;
     for now in 0..1_000_000u64 {
         for tg in &mut masters {
-            tg.tick(now);
+            tg.tick(now, &mut net);
         }
-        bus.tick(now);
+        bus.tick(now, &mut net);
         for sl in &mut slaves {
-            sl.tick(now);
+            sl.tick(now, &mut net);
         }
         if masters.iter().all(TgCore::halted) {
             chip_cycles = masters.iter().map(|t| t.halt_cycle().unwrap()).max();
