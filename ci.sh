@@ -41,20 +41,22 @@ echo "==> bench smoke: ntg-sweep --dry-run"
 timeout 60 ./target/release/ntg-sweep --preset quick --dry-run > /dev/null
 
 # Hot-path perf harness smoke: run the fixed benchmark subset at smoke
-# scale, validate the emitted JSON against the v1 schema, and re-check
-# the cycle-skipping bit-identity contract from the recorded legs
-# (ntg-bench also asserts it internally; this guards the file format).
+# scale, validate the emitted JSON against the v3 schema, and re-check
+# the cycle-skipping and partitioning bit-identity contracts from the
+# recorded legs (ntg-bench also asserts them internally; this guards
+# the file format).
 echo "==> bench smoke: ntg-bench --smoke + schema check"
 BENCH_SMOKE_JSON=$(mktemp)
 timeout 300 ./target/release/ntg-bench --smoke --out "$BENCH_SMOKE_JSON" > /dev/null
 python3 - "$BENCH_SMOKE_JSON" <<'PYEOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == "ntg-bench-hotpath-v2", r.get("schema")
-for key in ("mode", "warmup", "repeats", "threads", "campaign",
-            "peak_rss_kb", "alloc", "points"):
+assert r["schema"] == "ntg-bench-hotpath-v3", r.get("schema")
+for key in ("mode", "warmup", "repeats", "threads", "host_cpus", "campaign",
+            "peak_rss_kb", "alloc", "points", "big_mesh"):
     assert key in r, f"missing {key}"
 assert r["threads"] >= 1, "worker count must be recorded"
+assert r["host_cpus"] >= 1, "host CPU count must be recorded"
 for key in ("jobs", "wall_s_threads_1", "wall_s_threads_n", "parallel_speedup"):
     assert key in r["campaign"], f"campaign missing {key}"
 assert r["campaign"]["jobs"] >= 1, "campaign leg ran no jobs"
@@ -69,14 +71,29 @@ for p in r["points"]:
     assert p["tg_skip"]["transactions"] == p["tg_noskip"]["transactions"], \
         f"{p['bench']}: skip on/off transaction mismatch"
     assert p["tg_noskip"]["skipped_cycles"] == 0
-print(f"ntg-bench smoke: {len(r['points'])} points OK")
+assert isinstance(r["big_mesh"], list) and r["big_mesh"], "no big-mesh points"
+for m in r["big_mesh"]:
+    for key in ("mesh", "masters", "packets", "spec", "sim_threads", "serial",
+                "partitioned", "partitions", "barrier_crossings",
+                "barrier_stalls", "parallel_speedup"):
+        assert key in m, f"big_mesh {m.get('mesh')}: missing {key}"
+    assert m["partitions"] >= 2, f"{m['mesh']}: did not partition"
+    assert m["serial"]["cycles"] == m["partitioned"]["cycles"], \
+        f"{m['mesh']}: serial/partitioned cycle mismatch"
+    assert m["serial"]["transactions"] == m["partitioned"]["transactions"], \
+        f"{m['mesh']}: serial/partitioned transaction mismatch"
+print(f"ntg-bench smoke: {len(r['points'])} points, "
+      f"{len(r['big_mesh'])} big-mesh points OK")
 PYEOF
 rm -f "$BENCH_SMOKE_JSON"
 
 # Zero-allocation steady state: the counting allocator asserts the
-# ticked hot path performs no heap allocations after warmup.
-echo "==> alloc-count regression test"
+# ticked hot path performs no heap allocations after warmup — for the
+# serial engine and for the partitioned lockstep engine (its test lives
+# in its own binary so the global counter measures alone).
+echo "==> alloc-count regression tests"
 cargo test -q -p ntg-bench --features alloc-count --test alloc_count
+cargo test -q -p ntg-bench --features alloc-count --test partition_alloc
 
 # Persistent-store smoke: the same tiny campaign twice against a scratch
 # store — the second run must pull every artifact from disk (zero
@@ -131,6 +148,24 @@ timeout 60 ./target/release/ntg-report crates/report/tests/data/synmini.jsonl \
     --md "$SYN_SMOKE_DIR/report.md" --csv "$SYN_SMOKE_DIR" 2> /dev/null
 cmp "$SYN_SMOKE_DIR/report.md" crates/report/tests/golden/synmini/report.md
 cmp "$SYN_SMOKE_DIR/saturation.csv" crates/report/tests/golden/synmini/saturation.csv
+
+# Partition smoke: one mesh campaign run serially and with four-way
+# intra-run partitioning — the canonical file and the metrics sidecar
+# must be byte-identical (partitioning is a pure wall-time knob). The
+# spec exercises both new axes: an explicit `xpipes:WxH` fabric and the
+# `--mesh-sizes` append.
+echo "==> partition smoke: --sim-threads 4 is byte-identical"
+PART_SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_SMOKE_DIR" "$REPORT_SMOKE_DIR" "$SYN_SMOKE_DIR" "$PART_SMOKE_DIR"' EXIT
+PSWEEP="timeout 300 ./target/release/ntg-sweep --workloads synthetic:48 \
+    --cores 4 --fabrics xpipes:4x4 --mesh-sizes 6x6 --masters synthetic \
+    --patterns transpose --shapes bernoulli --rates 0.1 --no-store --quiet"
+$PSWEEP --out "$PART_SMOKE_DIR/serial.jsonl" --sim-threads 1 > /dev/null
+$PSWEEP --out "$PART_SMOKE_DIR/banded.jsonl" --sim-threads 4 > /dev/null
+cmp "$PART_SMOKE_DIR/serial.jsonl" "$PART_SMOKE_DIR/banded.jsonl"
+# The timings sidecar is allowed to differ (it records sim_threads and
+# wall time); the metrics sidecar carries simulation results only.
+cmp "$PART_SMOKE_DIR/serial.jsonl.metrics.jsonl" "$PART_SMOKE_DIR/banded.jsonl.metrics.jsonl"
 
 echo "==> report smoke: figure2 timelines parse as JSON"
 timeout 120 ./target/release/figure2 "$REPORT_SMOKE_DIR" > /dev/null

@@ -25,6 +25,15 @@
 //! each point (`baseline` / `speedup_vs_baseline`), which is how the
 //! arena-vs-Rc before/after comparison is recorded.
 //!
+//! The v3 schema adds a big-mesh partitioning leg: synthetic uniform
+//! traffic on 8×8 and 16×16 xpipes meshes, advanced serially and as
+//! four row-band partitions in cycle lockstep
+//! (`Platform::run_with_threads`). Cycle and transaction counts are
+//! asserted identical across the two legs; the JSON records the
+//! partition count, barrier crossings/stalls and the measured parallel
+//! speedup, plus `host_cpus` so a single-CPU host's inevitably flat
+//! speedup reads as a host property rather than a regression.
+//!
 //! Usage:
 //!   `cargo run --release -p ntg-bench --bin ntg-bench -- [--smoke]
 //!    [--warmup N] [--repeats N] [--out PATH] [--baseline PATH]`
@@ -35,10 +44,11 @@
 
 use std::time::Duration;
 
-use ntg_bench::{alloc_count, peak_rss_kb, run_checked, time, trace_and_translate};
+use ntg_bench::{alloc_count, peak_rss_kb, run_checked, time, trace_and_translate, MAX_CYCLES};
 use ntg_core::TgImage;
 use ntg_explore::{run_campaign, CampaignSpec, CoreSelection, Json, RunOptions};
-use ntg_platform::{InterconnectChoice, Platform, RunReport};
+use ntg_platform::{InterconnectChoice, PartitionReport, Platform, RunReport};
+use ntg_workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
 use ntg_workloads::Workload;
 
 /// One benchmark point: a workload at a core count, on AMBA (the paper's
@@ -81,6 +91,56 @@ fn smoke_points() -> Vec<Point> {
         Point {
             workload: Workload::Des { blocks_per_core: 4 },
             cores: 2,
+        },
+    ]
+}
+
+/// One big-mesh partitioning point: a synthetic-traffic mesh large
+/// enough that intra-run parallelism is worth measuring. Masters are
+/// capped by the canonical layout's capacity rule (`2·masters + 3`
+/// sockets must fit on the mesh).
+struct MeshPoint {
+    width: u16,
+    height: u16,
+    masters: usize,
+    packets: u64,
+}
+
+/// How many partitions the big-mesh leg asks for. Matches the
+/// equivalence suite's thread count; on a 16-row mesh this yields four
+/// row bands.
+const MESH_SIM_THREADS: usize = 4;
+
+fn full_mesh_points() -> Vec<MeshPoint> {
+    vec![
+        MeshPoint {
+            width: 8,
+            height: 8,
+            masters: 24,
+            packets: 1024,
+        },
+        MeshPoint {
+            width: 16,
+            height: 16,
+            masters: 96,
+            packets: 512,
+        },
+    ]
+}
+
+fn smoke_mesh_points() -> Vec<MeshPoint> {
+    vec![
+        MeshPoint {
+            width: 4,
+            height: 4,
+            masters: 6,
+            packets: 64,
+        },
+        MeshPoint {
+            width: 8,
+            height: 8,
+            masters: 24,
+            packets: 32,
         },
     ]
 }
@@ -146,6 +206,61 @@ fn measure(what: &str, warmup: usize, repeats: usize, mut build: impl FnMut() ->
         transactions: report.transactions,
         wall: walls.iter().copied().min().expect("at least one repeat"),
     }
+}
+
+/// Like [`measure`], but drives the platform through
+/// [`Platform::run_with_threads`] and keeps the last run's partition
+/// diagnostics (`None` for the serial fallback at one thread).
+fn measure_mesh(
+    what: &str,
+    warmup: usize,
+    repeats: usize,
+    sim_threads: usize,
+    mut build: impl FnMut() -> Platform,
+) -> (Leg, Option<PartitionReport>) {
+    let mut last: Option<RunReport> = None;
+    let mut walls = Vec::with_capacity(repeats);
+    for i in 0..warmup + repeats {
+        let mut p = build();
+        let (report, wall) = time(|| p.run_with_threads(MAX_CYCLES, sim_threads));
+        assert!(report.completed, "{what}: hit the {MAX_CYCLES}-cycle bound");
+        assert!(
+            report.faults.is_empty(),
+            "{what}: faults {:?}",
+            report.faults
+        );
+        if i >= warmup {
+            walls.push(wall);
+        }
+        if let Some(prev) = &last {
+            assert_eq!(prev.cycles, report.cycles, "{what}: non-deterministic run");
+        }
+        last = Some(report);
+    }
+    let report = last.expect("at least one repeat");
+    let leg = Leg {
+        cycles: report.cycles,
+        ticked_cycles: report.ticked_cycles,
+        skipped_cycles: report.skipped_cycles,
+        transactions: report.transactions,
+        wall: walls.iter().copied().min().expect("at least one repeat"),
+    };
+    (leg, report.partition)
+}
+
+/// Pulls the matching big-mesh point's per-leg wall times out of a
+/// previous report. Absent in v1/v2 baselines — callers must tolerate
+/// `None`.
+fn baseline_mesh_walls(doc: &Json, mesh: &str, masters: usize) -> Option<[f64; 2]> {
+    let Json::Arr(points) = doc.get("big_mesh")? else {
+        return None;
+    };
+    let point = points.iter().find(|p| {
+        p.get("mesh").and_then(Json::as_str) == Some(mesh)
+            && p.get("masters").and_then(Json::as_u64) == Some(masters as u64)
+    })?;
+    let wall = |leg: &str| point.get(leg)?.get("wall_s")?.as_f64();
+    Some([wall("serial")?, wall("partitioned")?])
 }
 
 /// Pulls the matching point's per-leg wall times out of a previous
@@ -335,12 +450,121 @@ fn main() {
         point_jsons.push(Json::Obj(fields));
     }
 
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+
+    // Big-mesh partitioning leg: the same synthetic platform advanced by
+    // the serial loop and by MESH_SIM_THREADS row-band partitions in
+    // cycle lockstep. Results are asserted bit-identical; the speedup
+    // column is only meaningful when the host actually has cores — on a
+    // single-CPU host the partitioned wall records barrier overhead, and
+    // that honesty is part of the trajectory.
+    let mesh_points = if smoke {
+        smoke_mesh_points()
+    } else {
+        full_mesh_points()
+    };
+    let spec: SyntheticSpec = "uniform+bernoulli@0.1/4".parse().expect("descriptor");
+    let mut mesh_jsons = Vec::new();
+    for mp in &mesh_points {
+        let mesh = format!("{}x{}", mp.width, mp.height);
+        let masters = mp.masters;
+        assert!(
+            usize::from(mp.width) * usize::from(mp.height) >= 2 * masters + 3,
+            "{mesh}: {masters} masters do not fit"
+        );
+        println!(
+            "-- big mesh {mesh}, {masters} masters, {} packets each",
+            mp.packets
+        );
+        let build = || {
+            build_synthetic_platform(
+                masters,
+                InterconnectChoice::Mesh(mp.width, mp.height),
+                spec,
+                mp.packets,
+                0xB16_4E54,
+            )
+            .expect("build big-mesh platform")
+        };
+        let (serial, none) = measure_mesh(&format!("{mesh} serial"), warmup, repeats, 1, build);
+        assert!(none.is_none(), "{mesh}: 1-thread run must stay serial");
+        let (part, diag) = measure_mesh(
+            &format!("{mesh} {MESH_SIM_THREADS}T"),
+            warmup,
+            repeats,
+            MESH_SIM_THREADS,
+            build,
+        );
+        let diag = diag.expect("partitioned run must report diagnostics");
+        assert!(
+            diag.partitions >= 2,
+            "{mesh}: got {} bands",
+            diag.partitions
+        );
+        assert_eq!(serial.cycles, part.cycles, "{mesh}: cycle mismatch");
+        assert_eq!(
+            serial.transactions, part.transactions,
+            "{mesh}: transaction mismatch"
+        );
+        let speedup = serial.wall.as_secs_f64() / part.wall.as_secs_f64();
+        println!(
+            "   serial {:>8.3}s | {} bands {:>8.3}s ({speedup:.2}x, {} crossings, {} stalls)",
+            serial.wall.as_secs_f64(),
+            diag.partitions,
+            part.wall.as_secs_f64(),
+            diag.barrier_crossings,
+            diag.barrier_stalls,
+        );
+        let mut fields = vec![
+            ("mesh".into(), Json::Str(mesh.clone())),
+            ("masters".into(), Json::Int(masters as i64)),
+            ("packets".into(), Json::Int(mp.packets as i64)),
+            ("spec".into(), Json::Str(spec.to_string())),
+            ("sim_threads".into(), Json::Int(MESH_SIM_THREADS as i64)),
+            ("serial".into(), serial.to_json()),
+            ("partitioned".into(), part.to_json()),
+            ("partitions".into(), Json::Int(diag.partitions as i64)),
+            (
+                "barrier_crossings".into(),
+                Json::Int(diag.barrier_crossings as i64),
+            ),
+            (
+                "barrier_stalls".into(),
+                Json::Int(diag.barrier_stalls as i64),
+            ),
+            (
+                "parallel_speedup".into(),
+                Json::Float((speedup * 1000.0).round() / 1000.0),
+            ),
+        ];
+        if let Some([b_serial, b_part]) = baseline
+            .as_ref()
+            .and_then(|doc| baseline_mesh_walls(doc, &mesh, masters))
+        {
+            let ratio =
+                |base: f64, new: &Leg| (base / new.wall.as_secs_f64() * 1000.0).round() / 1000.0;
+            fields.push((
+                "baseline".into(),
+                Json::Obj(vec![
+                    ("serial_wall_s".into(), Json::Float(b_serial)),
+                    ("partitioned_wall_s".into(), Json::Float(b_part)),
+                ]),
+            ));
+            fields.push((
+                "speedup_vs_baseline".into(),
+                Json::Obj(vec![
+                    ("serial".into(), Json::Float(ratio(b_serial, &serial))),
+                    ("partitioned".into(), Json::Float(ratio(b_part, &part))),
+                ]),
+            ));
+        }
+        mesh_jsons.push(Json::Obj(fields));
+    }
+
     // At least two workers even on a single-core host: the point of the
     // leg is exercising concurrent workers against one shared cache and
     // store handle; the speedup column is only meaningful with cores.
-    let threads = std::thread::available_parallelism()
-        .map_or(2, usize::from)
-        .clamp(2, 8);
+    let threads = host_cpus.clamp(2, 8);
     println!("-- campaign leg: {threads} in-process workers, warm shared store");
     let (jobs, wall_1t, wall_nt) = campaign_leg(&points, smoke, threads);
     println!(
@@ -349,7 +573,7 @@ fn main() {
     );
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("ntg-bench-hotpath-v2".into())),
+        ("schema".into(), Json::Str("ntg-bench-hotpath-v3".into())),
         (
             "mode".into(),
             Json::Str(if smoke { "smoke" } else { "full" }.into()),
@@ -357,6 +581,7 @@ fn main() {
         ("warmup".into(), Json::Int(warmup as i64)),
         ("repeats".into(), Json::Int(repeats as i64)),
         ("threads".into(), Json::Int(threads as i64)),
+        ("host_cpus".into(), Json::Int(host_cpus as i64)),
         (
             "campaign".into(),
             Json::Obj(vec![
@@ -385,6 +610,7 @@ fn main() {
             ]),
         ),
         ("points".into(), Json::Arr(point_jsons)),
+        ("big_mesh".into(), Json::Arr(mesh_jsons)),
     ]);
 
     let mut text = report.render();

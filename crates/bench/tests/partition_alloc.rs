@@ -1,0 +1,57 @@
+//! Zero-allocation steady state for the *partitioned* engine.
+//!
+//! `Platform::run_with_threads` has no tick-by-tick entry point — the
+//! worker threads live exactly as long as one run — so the serial
+//! suite's warm-up-then-step pattern does not apply. Instead this test
+//! runs the same platform recipe twice with the partitioned engine,
+//! once to a 50k-cycle bound and once to 100k, and asserts the two
+//! runs' allocation counts are *equal*: thread spawns, queue growth to
+//! steady state, status-slot setup and report assembly are identical in
+//! both runs and cancel out, so any difference could only come from
+//! per-cycle allocations in the extra 50k cycles of lockstep ticking.
+//!
+//! The test sits in its own file (its own test binary) because the
+//! counting allocator is global: another test allocating concurrently
+//! would poison the diff. Cargo runs test binaries sequentially, so a
+//! single-test binary measures alone.
+//!
+//! Runs only under `--features alloc-count`, like the serial suite.
+
+#![cfg(feature = "alloc-count")]
+
+use ntg_bench::alloc_count;
+use ntg_platform::InterconnectChoice;
+use ntg_workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
+
+/// Allocations for one bounded partitioned run, start to finish.
+fn allocations_for(bound: u64) -> u64 {
+    // Effectively endless traffic: the packet budget outlives both
+    // bounds by orders of magnitude, so each run is cut off mid-flight
+    // with all four row bands still exchanging boundary traffic.
+    let spec: SyntheticSpec = "uniform+bernoulli@0.2/4".parse().unwrap();
+    let mut p = build_synthetic_platform(6, InterconnectChoice::Mesh(4, 4), spec, 1_000_000, 42)
+        .expect("build synthetic platform");
+    p.set_cycle_skipping(false);
+    p.enable_metrics();
+    let before = alloc_count::allocations();
+    let report = p.run_with_threads(bound, 4);
+    let allocs = alloc_count::allocations() - before;
+    assert!(!report.completed, "traffic must outlive the {bound} bound");
+    assert_eq!(report.cycles, bound, "run must stop at the bound");
+    let diag = report.partition.expect("run must actually partition");
+    assert!(diag.partitions >= 2, "got {} bands", diag.partitions);
+    allocs
+}
+
+#[test]
+fn partitioned_steady_state_ticks_do_not_allocate() {
+    let short = allocations_for(50_000);
+    let long = allocations_for(100_000);
+    assert_eq!(
+        long,
+        short,
+        "the extra 50k partitioned cycles allocated {} times — \
+         the lockstep hot path must stay on the zero-copy plane",
+        long - short
+    );
+}

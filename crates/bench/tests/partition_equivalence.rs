@@ -1,0 +1,174 @@
+//! Partitioned execution must be a pure wall-time optimisation, exactly
+//! like cycle skipping: `Platform::run` (the serial loop),
+//! `run_with_threads(…, 1)` (the serial fallback) and
+//! `run_with_threads(…, 4)` (an actual row-band mesh split) must agree
+//! bit-for-bit on every reported number — cycle counts, per-master halt
+//! cycles, statistics, recorded traces and the metrics sidecar — with
+//! cycle skipping on and off. Even the skipped/ticked split must match,
+//! because the control thread replicates the serial loop's poll-backoff
+//! decisions verbatim.
+
+use ntg_bench::{quick_workloads, trace_and_translate, MAX_CYCLES};
+use ntg_platform::{InterconnectChoice, Platform, RunReport};
+use ntg_workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
+use ntg_workloads::Workload;
+
+/// Everything a run leaves behind that must be reproduction-identical.
+struct Outcome {
+    report: RunReport,
+    trcs: Vec<String>,
+}
+
+/// `threads == 0` means the plain serial `run()` entry point.
+fn run(mut platform: Platform, skip: bool, threads: usize) -> Outcome {
+    platform.set_cycle_skipping(skip);
+    platform.enable_metrics();
+    let report = if threads == 0 {
+        platform.run(MAX_CYCLES)
+    } else {
+        platform.run_with_threads(MAX_CYCLES, threads)
+    };
+    assert!(report.completed, "run did not complete");
+    assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
+    let trcs = platform.traces().iter().map(|t| t.to_trc()).collect();
+    Outcome { report, trcs }
+}
+
+fn assert_identical(what: &str, a: &Outcome, b: &Outcome) {
+    assert_eq!(a.report.cycles, b.report.cycles, "{what}: cycles");
+    assert_eq!(
+        a.report.finish_cycles, b.report.finish_cycles,
+        "{what}: halt cycles"
+    );
+    assert_eq!(a.report.masters, b.report.masters, "{what}: master stats");
+    assert_eq!(
+        a.report.transactions, b.report.transactions,
+        "{what}: transactions"
+    );
+    assert_eq!(a.report.latency, b.report.latency, "{what}: latency");
+    assert_eq!(
+        a.report.skipped_cycles, b.report.skipped_cycles,
+        "{what}: skipped cycles"
+    );
+    assert_eq!(
+        a.report.ticked_cycles, b.report.ticked_cycles,
+        "{what}: ticked cycles"
+    );
+    assert_eq!(
+        a.report.metrics, b.report.metrics,
+        "{what}: metrics sidecar"
+    );
+    assert_eq!(a.trcs, b.trcs, "{what}: .trc streams");
+}
+
+/// Checks serial == 1-thread == 4-thread for one platform recipe, and
+/// that the 4-thread run really partitioned.
+fn three_way(what: &str, build: impl Fn() -> Platform, skip: bool) {
+    let serial = run(build(), skip, 0);
+    let one = run(build(), skip, 1);
+    let four = run(build(), skip, 4);
+    assert!(serial.report.partition.is_none(), "{what}: serial diag");
+    assert!(one.report.partition.is_none(), "{what}: 1-thread fallback");
+    let diag = four.report.partition.expect("4-thread run must partition");
+    assert!(
+        diag.partitions >= 2,
+        "{what}: got {} bands",
+        diag.partitions
+    );
+    assert_identical(&format!("{what} serial vs 1T"), &serial, &one);
+    assert_identical(&format!("{what} serial vs 4T"), &serial, &four);
+}
+
+/// The smallest canonical mesh holding `cores` masters and their
+/// `cores + 3` slaves with enough rows to split four ways.
+fn mesh_for(cores: usize) -> InterconnectChoice {
+    let nodes = 2 * cores + 3;
+    InterconnectChoice::Mesh(2, nodes.div_ceil(2) as u16)
+}
+
+#[test]
+fn cpu_workloads_partition_bit_identically() {
+    for workload in quick_workloads() {
+        let workload = workload.test_scale();
+        let cores = match workload {
+            Workload::SpMatrix { .. } => 1,
+            _ => 2,
+        };
+        let fabric = mesh_for(cores);
+        for skip in [true, false] {
+            three_way(
+                &format!("{workload} {cores}P cpu {fabric} skip={skip}"),
+                || {
+                    workload
+                        .build_platform(cores, fabric, true)
+                        .expect("build platform")
+                },
+                skip,
+            );
+        }
+    }
+}
+
+#[test]
+fn tg_replays_partition_bit_identically() {
+    // Trace + translate once on AMBA (translation is fabric-independent),
+    // replay the images on a partitionable mesh.
+    let workload = Workload::MpMatrix { n: 12 }.test_scale();
+    let cores = 2;
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let fabric = mesh_for(cores);
+    for skip in [true, false] {
+        three_way(
+            &format!("{workload} {cores}P tg {fabric} skip={skip}"),
+            || {
+                workload
+                    .build_tg_platform(images.clone(), fabric, true)
+                    .expect("build TG platform")
+            },
+            skip,
+        );
+    }
+}
+
+#[test]
+fn synthetic_traffic_partitions_bit_identically() {
+    // Same descriptors as the skip-equivalence suite: steady Bernoulli,
+    // bursty on/off with long idle phases, deterministic transpose under
+    // periodic bursts — plus enough load to keep boundary links busy.
+    let specs = [
+        "uniform+bernoulli@0.1/4",
+        "hotspot:80+onoff:64:192@0.02/2",
+        "transpose+burst:8@0.05/4",
+    ];
+    for desc in specs {
+        let spec: SyntheticSpec = desc.parse().expect("descriptor parses");
+        for skip in [true, false] {
+            three_way(
+                &format!("{desc} 4P synthetic skip={skip}"),
+                || {
+                    build_synthetic_platform(4, InterconnectChoice::Mesh(3, 4), spec, 96, 0xD15EA5E)
+                        .expect("build synthetic platform")
+                },
+                skip,
+            );
+        }
+    }
+}
+
+#[test]
+fn saturated_big_mesh_partitions_bit_identically() {
+    // A 4×4 mesh near saturation: heavy cross-boundary wormhole traffic
+    // with sustained backpressure is exactly where a handoff or
+    // occupancy-mirror bug would surface as divergence.
+    let spec: SyntheticSpec = "transpose+bernoulli@0.4/4".parse().expect("parses");
+    for skip in [true, false] {
+        three_way(
+            &format!("transpose@0.4 6P 4x4 skip={skip}"),
+            || {
+                build_synthetic_platform(6, InterconnectChoice::Mesh(4, 4), spec, 64, 0xBADCAFE)
+                    .expect("build synthetic platform")
+            },
+            skip,
+        );
+    }
+}

@@ -52,7 +52,10 @@ OPTIONS:
     --cores LIST|paper   comma-separated core counts, or `paper` for each
                          workload's Table-2 sweep
     --fabrics LIST|all   interconnects to evaluate (amba, amba-fixed,
-                         crossbar, xpipes, ideal)
+                         crossbar, xpipes, xpipes:WxH, ideal)
+    --mesh-sizes LIST    explicit xpipes mesh dimensions appended to the
+                         fabric axis, e.g. 4x4,8x8,16x16 (meshes too small
+                         for a job's core count are skipped)
     --masters LIST       master kinds: cpu, tg, stochastic, synthetic
     --modes LIST         translation modes for TG jobs: clone, timeshift, reactive
     --patterns LIST      synthetic destination patterns: uniform, complement,
@@ -68,6 +71,9 @@ OPTIONS:
     --max-cycles N       simulated-cycle bound per run (default 2000000000)
     --repeats N          timing repeats per job (default 1)
     --threads N          worker threads; 0 = one per hardware thread (default 1)
+    --sim-threads N      partition each mesh simulation across N threads
+                         (row bands in cycle lockstep; results stay
+                         bit-identical, default 1)
     --out PATH           result file (default <name>.jsonl)
     --resume             keep matching results from an earlier partial run
     --shard I/N          run only shard I of N (jobs are dealt round-robin by
@@ -109,6 +115,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         quiet: false,
         store: None,
         shard: None,
+        sim_threads: 1,
     };
     let mut store_flag: Option<PathBuf> = None;
     let mut no_store = false;
@@ -152,6 +159,10 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 } else {
                     parse_list(&v, |s| s.parse::<InterconnectChoice>())?
                 };
+            }
+            "--mesh-sizes" => {
+                spec.get_or_insert_with(default_spec).mesh_sizes =
+                    parse_list(&take(&mut it, "--mesh-sizes")?, parse_mesh_size)?;
             }
             "--masters" => {
                 spec.get_or_insert_with(default_spec).masters =
@@ -212,6 +223,11 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
                 opts.threads = take(&mut it, "--threads")?
                     .parse()
                     .map_err(|e| format!("--threads: {e}"))?;
+            }
+            "--sim-threads" => {
+                opts.sim_threads = take(&mut it, "--sim-threads")?
+                    .parse()
+                    .map_err(|e| format!("--sim-threads: {e}"))?;
             }
             "--out" => out = Some(PathBuf::from(take(&mut it, "--out")?)),
             "--resume" => opts.resume = true,
@@ -488,6 +504,21 @@ fn hit_char(hit: bool) -> char {
 
 fn default_spec() -> CampaignSpec {
     CampaignSpec::new("sweep")
+}
+
+/// Parses `WxH` for `--mesh-sizes` (both dimensions in 1..=255).
+fn parse_mesh_size(s: &str) -> Result<(u16, u16), String> {
+    let (w, h) = s
+        .split_once('x')
+        .ok_or(format!("--mesh-sizes: expected WxH, got `{s}`"))?;
+    let w: u16 = w.parse().map_err(|e| format!("--mesh-sizes: {e}"))?;
+    let h: u16 = h.parse().map_err(|e| format!("--mesh-sizes: {e}"))?;
+    if w == 0 || h == 0 || w > 255 || h > 255 {
+        return Err(format!(
+            "--mesh-sizes: dimensions must be in 1..=255, got {w}x{h}"
+        ));
+    }
+    Ok((w, h))
 }
 
 fn parse_list<T>(s: &str, parse: impl Fn(&str) -> Result<T, String>) -> Result<Vec<T>, String> {

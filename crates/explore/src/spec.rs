@@ -85,6 +85,15 @@ pub struct CampaignSpec {
     pub cores: CoreSelection,
     /// Interconnects to evaluate.
     pub interconnects: Vec<InterconnectChoice>,
+    /// Explicit xpipes mesh dimensions to evaluate *in addition to*
+    /// [`Self::interconnects`]: each `(width, height)` appends an
+    /// [`InterconnectChoice::Mesh`] point to the fabric axis. A mesh too
+    /// small to seat a job's sockets (`2 × cores + 3` nodes: one NI per
+    /// master, per private memory, plus shared memory, semaphore and
+    /// print slaves) is skipped for that core count — a structural
+    /// impossibility, not an error. Empty by default, so campaigns that
+    /// never sweep mesh sizes keep their fingerprints.
+    pub mesh_sizes: Vec<(u16, u16)>,
     /// Master kinds to evaluate.
     pub masters: Vec<MasterChoice>,
     /// Translation fidelity levels (multiplies TG jobs only).
@@ -121,6 +130,7 @@ impl CampaignSpec {
             workloads: Vec::new(),
             cores: CoreSelection::List(vec![1]),
             interconnects: vec![InterconnectChoice::Amba],
+            mesh_sizes: Vec::new(),
             masters: vec![MasterChoice::Cpu, MasterChoice::Tg],
             modes: vec![TranslationMode::Reactive],
             patterns: vec![Pattern::Uniform],
@@ -143,7 +153,22 @@ impl CampaignSpec {
                 CoreSelection::Paper => workload.paper_core_counts(),
             };
             for &cores in &core_counts {
-                for &interconnect in &self.interconnects {
+                // The fabric axis: the configured interconnects followed
+                // by the explicit mesh sizes (dimensioned xpipes points).
+                let fabrics = self.interconnects.iter().copied().chain(
+                    self.mesh_sizes
+                        .iter()
+                        .map(|&(w, h)| InterconnectChoice::Mesh(w, h)),
+                );
+                for interconnect in fabrics {
+                    // Skip mesh points that cannot seat this job's
+                    // sockets: cores masters + (cores + 3) slaves each
+                    // need a node of their own.
+                    if let InterconnectChoice::Mesh(w, h) = interconnect {
+                        if usize::from(w) * usize::from(h) < 2 * cores + 3 {
+                            continue;
+                        }
+                    }
                     for &master in &self.masters {
                         // Synthetic masters pair only with the synthetic
                         // workload (and vice versa): there is no program
@@ -418,6 +443,56 @@ mod tests {
         let mut other = small_spec();
         other.interconnects.pop();
         assert_ne!(base.fingerprint(), other.fingerprint());
+    }
+
+    #[test]
+    fn mesh_sizes_append_to_the_fabric_axis() {
+        let mut s = CampaignSpec::new("mesh");
+        s.workloads = vec![Workload::SpMatrix { n: 4 }];
+        s.cores = CoreSelection::List(vec![2]);
+        s.interconnects = vec![InterconnectChoice::Xpipes];
+        s.masters = vec![MasterChoice::Cpu];
+        let plain = s.expand();
+        assert_eq!(plain.len(), 1);
+        let fp_plain = s.fingerprint();
+
+        s.mesh_sizes = vec![(4, 4), (8, 8)];
+        let jobs = s.expand();
+        // Auto-layout xpipes plus the two explicit meshes.
+        assert_eq!(jobs.len(), 3);
+        let fabrics: Vec<String> = jobs.iter().map(|j| j.interconnect.to_string()).collect();
+        assert_eq!(fabrics, ["xpipes", "xpipes:4x4", "xpipes:8x8"]);
+        // Existing jobs keep their keys and seeds; the fingerprint moves.
+        assert_eq!(jobs[0].key(), plain[0].key());
+        assert_eq!(jobs[0].seed, plain[0].seed);
+        assert_ne!(s.fingerprint(), fp_plain);
+        // Keys stay unique across the mesh axis.
+        let mut keys: Vec<_> = jobs.iter().map(JobSpec::key).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), jobs.len());
+    }
+
+    #[test]
+    fn undersized_meshes_are_skipped_per_core_count() {
+        let mut s = CampaignSpec::new("mesh-cap");
+        s.workloads = vec![Workload::SpMatrix { n: 4 }];
+        s.cores = CoreSelection::List(vec![2, 8]);
+        s.interconnects = vec![];
+        s.masters = vec![MasterChoice::Cpu];
+        // 2 cores need 7 nodes, 8 cores need 19: the 3×3 mesh seats only
+        // the former, the 5×4 mesh seats both.
+        s.mesh_sizes = vec![(3, 3), (5, 4)];
+        let jobs = s.expand();
+        let keys: Vec<String> = jobs.iter().map(JobSpec::key).collect();
+        assert_eq!(
+            keys,
+            [
+                "sp_matrix:4|2P|xpipes:3x3|cpu|-",
+                "sp_matrix:4|2P|xpipes:5x4|cpu|-",
+                "sp_matrix:4|8P|xpipes:5x4|cpu|-",
+            ]
+        );
     }
 
     #[test]

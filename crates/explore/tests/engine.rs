@@ -63,6 +63,54 @@ fn jsonl_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn jsonl_is_byte_identical_across_sim_thread_counts() {
+    // Intra-run partitioning over mesh link ranges must be exactly as
+    // invisible as worker-pool parallelism: the canonical file AND the
+    // metrics sidecar come out byte-identical when every simulation is
+    // split four ways. The spec mixes partitionable mesh jobs (explicit
+    // mesh sizes) with auto-layout xpipes and AMBA jobs that fall back
+    // to the serial engine.
+    let mut spec = CampaignSpec::new("sim-threads-test");
+    spec.workloads = vec![Workload::MpMatrix { n: 8 }];
+    spec.cores = CoreSelection::List(vec![2]);
+    spec.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Xpipes];
+    spec.mesh_sizes = vec![(2, 4), (3, 3)];
+    let out1 = tmp_out("sim-threads1.jsonl");
+    let out4 = tmp_out("sim-threads4.jsonl");
+    for (sim_threads, out) in [(1, &out1), (4, &out4)] {
+        let outcome = run_campaign(
+            &spec,
+            &RunOptions {
+                sim_threads,
+                out: Some(out.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            outcome.results.iter().all(|r| r.error.is_none()),
+            "campaign failed: {:?}",
+            outcome.results.iter().find_map(|r| r.error.clone())
+        );
+    }
+    assert_eq!(
+        fs::read(&out1).unwrap(),
+        fs::read(&out4).unwrap(),
+        "canonical files must not depend on sim-thread count"
+    );
+    let m1 = fs::read_to_string(metrics_path(&out1)).unwrap();
+    let m4 = fs::read_to_string(metrics_path(&out4)).unwrap();
+    // The sidecar headers name their campaign (identical here); every
+    // job line after them must agree exactly, windowed series included.
+    assert!(!m1.is_empty());
+    assert_eq!(
+        m1.lines().skip(1).collect::<Vec<_>>(),
+        m4.lines().skip(1).collect::<Vec<_>>(),
+        "metrics sidecars must not depend on sim-thread count"
+    );
+}
+
+#[test]
 fn zero_threads_auto_detects_and_matches_single_thread() {
     let spec = small_spec();
     let out0 = tmp_out("threads0.jsonl");

@@ -1,7 +1,8 @@
 //! The ×pipes-like wormhole packet-switched 2D-mesh NoC.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use ntg_mem::AddressMap;
 use ntg_ocp::{LinkArena, MasterPort, OcpRequest, OcpResponse, SlavePort};
@@ -65,6 +66,30 @@ impl XpipesConfig {
             height,
             master_nodes: (0..n_masters as u16).collect(),
             slave_nodes: (n_masters as u16..total).collect(),
+            input_fifo_flits: Self::DEFAULT_FIFO_FLITS,
+        }
+    }
+
+    /// Builds an explicit `width`×`height` mesh with the canonical NI
+    /// layout ([`XpipesConfig::auto`]'s): masters on nodes
+    /// `0..n_masters` in row-major order, slaves directly after.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mesh has fewer nodes than NIs to attach.
+    pub fn with_dims(width: u16, height: u16, n_masters: usize, n_slaves: usize) -> Self {
+        assert!(width >= 1 && height >= 1, "mesh must be non-empty");
+        let total = n_masters + n_slaves;
+        assert!(
+            (width as usize) * (height as usize) >= total,
+            "{width}x{height} mesh has {} nodes but needs {total} for its NIs",
+            (width as usize) * (height as usize),
+        );
+        Self {
+            width,
+            height,
+            master_nodes: (0..n_masters as u16).collect(),
+            slave_nodes: (n_masters as u16..total as u16).collect(),
             input_fifo_flits: Self::DEFAULT_FIFO_FLITS,
         }
     }
@@ -164,6 +189,111 @@ enum Attach {
     Slave(usize),
 }
 
+/// Bit 63 of an encoded boundary flit: slot occupied.
+const FLIT_PRESENT: u64 = 1 << 63;
+
+/// Packs a [`Flit`] into one word for a boundary slot's atomic.
+fn encode_flit(f: Flit) -> u64 {
+    FLIT_PRESENT
+        | (u64::from(f.is_head) << 62)
+        | (u64::from(f.is_tail) << 61)
+        | (u64::from(f.dst) << 32)
+        | u64::from(f.pid)
+}
+
+fn decode_flit(bits: u64) -> Flit {
+    debug_assert!(bits & FLIT_PRESENT != 0);
+    Flit {
+        pid: bits as u32,
+        is_head: bits & (1 << 62) != 0,
+        is_tail: bits & (1 << 61) != 0,
+        dst: (bits >> 32) as u16,
+    }
+}
+
+/// One directed cross-partition link crossing.
+///
+/// A slot carries at most one flit per cycle — exactly the capacity of
+/// the mesh link it stands in for. The exporter writes between the
+/// partition scheduler's phase barriers, the importer drains at the start
+/// of the following phase; `occupancy` mirrors the destination input
+/// FIFO's end-of-cycle depth so the exporter can apply wormhole
+/// backpressure without touching the other partition's state. All
+/// accesses are relaxed: the phase barriers provide the ordering.
+struct BoundarySlot {
+    flit: AtomicU64,
+    /// Rides along with a head flit: the packet payload changes owner
+    /// when its head crosses the bisection.
+    packet: Mutex<Option<Packet>>,
+    occupancy: AtomicUsize,
+}
+
+impl BoundarySlot {
+    fn new() -> Self {
+        Self {
+            flit: AtomicU64::new(0),
+            packet: Mutex::new(None),
+            occupancy: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// The shared handoff fabric of a partitioned mesh: one [`BoundarySlot`]
+/// per directed link crossing each row-band bisection.
+///
+/// Row-band partitioning means only NORTH/SOUTH links ever cross a
+/// boundary, so boundary `b` (between region `b` and region `b + 1`)
+/// owns `width` southbound plus `width` northbound slots.
+pub struct MeshBoundary {
+    width: usize,
+    slots: Vec<BoundarySlot>,
+}
+
+impl MeshBoundary {
+    fn new(width: usize, regions: usize) -> Self {
+        let slots = (0..(regions - 1) * 2 * width)
+            .map(|_| BoundarySlot::new())
+            .collect();
+        Self { width, slots }
+    }
+
+    /// Southbound slot `x` of boundary `b` (flit leaving region `b`'s
+    /// last row through SOUTH, arriving in region `b + 1`'s first row).
+    fn south(&self, b: usize, x: usize) -> &BoundarySlot {
+        &self.slots[b * 2 * self.width + x]
+    }
+
+    /// Northbound slot `x` of boundary `b` (flit leaving region
+    /// `b + 1`'s first row through NORTH).
+    fn north(&self, b: usize, x: usize) -> &BoundarySlot {
+        &self.slots[b * 2 * self.width + self.width + x]
+    }
+}
+
+/// A region's handle onto the shared boundary fabric.
+struct RegionBoundary {
+    fabric: Arc<MeshBoundary>,
+    /// This region's index in the row-band order.
+    region: usize,
+    /// Total regions in the partition.
+    regions: usize,
+}
+
+/// One partition of a mesh: contiguous node, master-NI, slave-NI and
+/// arena-link ranges (all `lo..hi`), produced by
+/// [`XpipesNoc::partition_plan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionSpec {
+    /// Row-major mesh node range.
+    pub nodes: (u16, u16),
+    /// Master (and master-NI) index range.
+    pub masters: (usize, usize),
+    /// Slave (and slave-NI) index range.
+    pub slaves: (usize, usize),
+    /// `LinkArena` id range owned by the region.
+    pub links: (u32, u32),
+}
+
 /// Aggregate NoC statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NocStats {
@@ -206,6 +336,22 @@ pub struct XpipesNoc {
     conflicts: u64,
     grant_wait: Histogram,
     links: Vec<LinkMetrics>,
+    /// First mesh node owned by this instance: 0 for a whole mesh, the
+    /// region's band start for a split-off partition. `routers` holds
+    /// nodes `node_base .. node_base + routers.len()`.
+    node_base: u16,
+    /// Global index of `master_nis[0]` (0 for a whole mesh).
+    master_base: usize,
+    /// Global index of `slave_nis[0]` (0 for a whole mesh).
+    slave_base: usize,
+    /// Cross-partition handoff; present only on split-off regions.
+    boundary: Option<RegionBoundary>,
+    /// Local indices of routers currently holding flits — the
+    /// O(active-router) worklist the per-cycle stages iterate instead of
+    /// scanning every router, so idle routers in a big mesh cost nothing.
+    active: Vec<u32>,
+    /// Membership flags for `active`, indexed by local router.
+    in_active: Vec<bool>,
 }
 
 impl XpipesNoc {
@@ -254,7 +400,8 @@ impl XpipesNoc {
         for (i, ni) in slave_nis.iter().enumerate() {
             attach[ni.node as usize] = Attach::Slave(i);
         }
-        let routers = (0..cfg.nodes()).map(|_| Router::new()).collect();
+        let routers: Vec<Router> = (0..cfg.nodes()).map(|_| Router::new()).collect();
+        let nodes = routers.len();
         Self {
             name: name.into(),
             cfg,
@@ -272,6 +419,12 @@ impl XpipesNoc {
             conflicts: 0,
             grant_wait: Histogram::new("grant_wait_cycles"),
             links,
+            node_base: 0,
+            master_base: 0,
+            slave_base: 0,
+            boundary: None,
+            active: Vec::with_capacity(nodes),
+            in_active: vec![false; nodes],
         }
     }
 
@@ -329,27 +482,196 @@ impl XpipesNoc {
         }));
     }
 
+    /// Marks local router `r` as holding flits, enqueuing it on the
+    /// active worklist if it was idle.
+    #[inline]
+    fn mark_active(&mut self, r: usize) {
+        if !self.in_active[r] {
+            self.in_active[r] = true;
+            self.active.push(r as u32);
+        }
+    }
+
+    /// Drops routers that drained this cycle from the active worklist.
+    fn sweep_idle(&mut self) {
+        let routers = &self.routers;
+        let in_active = &mut self.in_active;
+        self.active.retain(|&r| {
+            let keep = !routers[r as usize].is_empty();
+            if !keep {
+                in_active[r as usize] = false;
+            }
+            keep
+        });
+    }
+
     /// Link stage: move output-register flits into downstream input
     /// FIFOs (or deliver locally), honouring backpressure.
+    ///
+    /// Iterates the active worklist, which may grow while iterating (a
+    /// push activates the downstream router); a freshly activated router
+    /// visited in the same pass has empty output registers, so the
+    /// late visit is a no-op and results match a full scan exactly.
     fn link_stage(&mut self, net: &mut LinkArena, now: Cycle) {
-        for r in 0..self.routers.len() {
+        let mut idx = 0;
+        while idx < self.active.len() {
+            let r = self.active[idx] as usize;
+            idx += 1;
+            let node = self.node_base + r as u16;
             for p in 0..5 {
                 let Some(flit) = self.routers[r].out_reg[p] else {
                     continue;
                 };
                 if p == LOCAL {
-                    if self.deliver_local(net, r as u16, flit, now) {
+                    if self.deliver_local(net, node, flit, now) {
                         self.routers[r].out_reg[p] = None;
                     }
-                } else {
-                    let nbr = self.neighbor(r as u16, p) as usize;
-                    let inp = opposite(p);
-                    if self.routers[nbr].inputs[inp].len() < self.cfg.input_fifo_flits {
-                        self.routers[nbr].inputs[inp].push_back(flit);
-                        self.routers[r].out_reg[p] = None;
-                        self.stats.flit_hops += 1;
-                    }
+                    continue;
                 }
+                let nbr = self.neighbor(node, p) as usize;
+                match (nbr).checked_sub(self.node_base as usize) {
+                    Some(local) if local < self.routers.len() => {
+                        let inp = opposite(p);
+                        if self.routers[local].inputs[inp].len() < self.cfg.input_fifo_flits {
+                            self.routers[local].inputs[inp].push_back(flit);
+                            self.routers[r].out_reg[p] = None;
+                            self.stats.flit_hops += 1;
+                            self.mark_active(local);
+                        }
+                    }
+                    _ => self.export_boundary(r, p, flit),
+                }
+            }
+        }
+    }
+
+    /// Hands a flit leaving this region across the bisection.
+    ///
+    /// The slot's occupancy mirror carries the destination FIFO's
+    /// end-of-previous-cycle depth — exactly the value a serial
+    /// `link_stage` would have read, since downstream pops only happen in
+    /// the (later) switch stage — so backpressure decisions stay
+    /// bit-identical to serial execution.
+    fn export_boundary(&mut self, r: usize, port: usize, flit: Flit) {
+        let node = self.node_base + r as u16;
+        let full = {
+            let b = self
+                .boundary
+                .as_ref()
+                .expect("flit crossed a region edge with no boundary fabric");
+            let x = (node % self.cfg.width) as usize;
+            let slot = match port {
+                SOUTH => b.fabric.south(b.region, x),
+                NORTH => b.fabric.north(b.region - 1, x),
+                _ => unreachable!("row-band regions only split north/south links"),
+            };
+            slot.occupancy.load(Ordering::Relaxed) >= self.cfg.input_fifo_flits
+        };
+        if full {
+            return;
+        }
+        // The head flit carries its packet across: payload ownership
+        // follows the wormhole's leading edge.
+        let packet = flit.is_head.then(|| {
+            self.packets
+                .remove(&flit.pid)
+                .expect("exported head flit of unknown packet")
+        });
+        let b = self.boundary.as_ref().expect("checked above");
+        let x = (node % self.cfg.width) as usize;
+        let slot = match port {
+            SOUTH => b.fabric.south(b.region, x),
+            NORTH => b.fabric.north(b.region - 1, x),
+            _ => unreachable!(),
+        };
+        if let Some(p) = packet {
+            *slot.packet.lock().expect("boundary mutex poisoned") = Some(p);
+        }
+        slot.flit.store(encode_flit(flit), Ordering::Relaxed);
+        self.routers[r].out_reg[port] = None;
+        self.stats.flit_hops += 1;
+    }
+
+    /// Drains inbound boundary slots into this region's edge FIFOs.
+    ///
+    /// Runs at the start of the switch phase, after the barrier that
+    /// ends every region's link phase: the flits land in their FIFOs
+    /// before any switch stage runs, exactly as a serial `link_stage`
+    /// pass would have left them. A push never overflows — the exporter
+    /// already applied this FIFO's backpressure through the mirror.
+    fn import_boundary(&mut self) {
+        let Some(b) = self.boundary.as_ref() else {
+            return;
+        };
+        let (fabric, region, regions) = (Arc::clone(&b.fabric), b.region, b.regions);
+        let w = self.cfg.width as usize;
+        for x in 0..w {
+            // From the boundary above: southbound flits into our first row.
+            if region > 0 {
+                let slot = fabric.south(region - 1, x);
+                let bits = slot.flit.swap(0, Ordering::Relaxed);
+                if bits & FLIT_PRESENT != 0 {
+                    let flit = decode_flit(bits);
+                    if flit.is_head {
+                        let packet = slot
+                            .packet
+                            .lock()
+                            .expect("boundary mutex poisoned")
+                            .take()
+                            .expect("imported head flit without packet");
+                        self.packets.insert(flit.pid, packet);
+                    }
+                    self.routers[x].inputs[NORTH].push_back(flit);
+                    self.mark_active(x);
+                }
+            }
+            // From the boundary below: northbound flits into our last row.
+            if region + 1 < regions {
+                let slot = fabric.north(region, x);
+                let bits = slot.flit.swap(0, Ordering::Relaxed);
+                if bits & FLIT_PRESENT != 0 {
+                    let flit = decode_flit(bits);
+                    if flit.is_head {
+                        let packet = slot
+                            .packet
+                            .lock()
+                            .expect("boundary mutex poisoned")
+                            .take()
+                            .expect("imported head flit without packet");
+                        self.packets.insert(flit.pid, packet);
+                    }
+                    let local = self.routers.len() - w + x;
+                    self.routers[local].inputs[SOUTH].push_back(flit);
+                    self.mark_active(local);
+                }
+            }
+        }
+    }
+
+    /// Publishes end-of-cycle occupancy of this region's edge FIFOs into
+    /// the boundary mirrors the upstream exporters read next cycle.
+    fn publish_boundary_occupancy(&self) {
+        let Some(b) = self.boundary.as_ref() else {
+            return;
+        };
+        let w = self.cfg.width as usize;
+        for x in 0..w {
+            if b.region > 0 {
+                // Southbound flits arrive on our first row's NORTH input.
+                let depth = self.routers[x].inputs[NORTH].len();
+                b.fabric
+                    .south(b.region - 1, x)
+                    .occupancy
+                    .store(depth, Ordering::Relaxed);
+            }
+            if b.region + 1 < b.regions {
+                // Northbound flits arrive on our last row's SOUTH input.
+                let local = self.routers.len() - w + x;
+                let depth = self.routers[local].inputs[SOUTH].len();
+                b.fabric
+                    .north(b.region, x)
+                    .occupancy
+                    .store(depth, Ordering::Relaxed);
             }
         }
     }
@@ -371,18 +693,21 @@ impl XpipesNoc {
                         panic!("request packet delivered to a master NI")
                     };
                     debug_assert_eq!(dst_master, i);
-                    self.master_nis[i].link.push_response(net, resp, now);
+                    self.master_nis[i - self.master_base]
+                        .link
+                        .push_response(net, resp, now);
                 }
                 true
             }
             Attach::Slave(i) => {
                 // Bounded reassembly: refuse new flits while two complete
                 // packets already wait, creating wormhole backpressure.
-                if self.slave_nis[i].pending.len() >= 2 {
+                let ni = &mut self.slave_nis[i - self.slave_base];
+                if ni.pending.len() >= 2 {
                     return false;
                 }
                 if flit.is_tail {
-                    self.slave_nis[i].pending.push_back(flit.pid);
+                    ni.pending.push_back(flit.pid);
                 }
                 true
             }
@@ -392,10 +717,14 @@ impl XpipesNoc {
     /// Switch stage: move one flit per input from input FIFOs into output
     /// registers, wormhole style.
     fn switch_stage(&mut self) {
-        for r in 0..self.routers.len() {
+        // Switching moves flits within one router, so the worklist
+        // cannot grow mid-pass.
+        for idx in 0..self.active.len() {
+            let r = self.active[idx] as usize;
+            let node = self.node_base + r as u16;
             let mut input_used = [false; 5];
             for p in 0..5 {
-                let want = |flit: &Flit, me: &Self| me.route(r as u16, flit.dst) == p;
+                let want = |flit: &Flit, me: &Self| me.route(node, flit.dst) == p;
                 // Heads currently requesting this output; every head that
                 // does not advance this cycle is a contention event
                 // (blocked by the output register, an owning packet, or a
@@ -488,19 +817,25 @@ impl XpipesNoc {
                                 .link
                                 .accept_request(net, now)
                                 .expect("peeked request is still there");
+                            let global = self.master_base + i;
                             self.transactions += 1;
                             self.grant_wait.record(stall);
-                            self.links[i].grants += 1;
-                            self.links[i].stall_cycles += stall;
-                            let dst = self.slave_nis[slave.0 as usize].node;
+                            self.links[global].grants += 1;
+                            self.links[global].stall_cycles += stall;
+                            // The destination may live in another region,
+                            // so resolve its node from the full config.
+                            let dst = self.cfg.slave_nodes[slave.0 as usize];
                             let len = 2 + req.data.len() as u32;
-                            self.links[i].busy_cycles += u64::from(len);
+                            self.links[global].busy_cycles += u64::from(len);
                             let pid = self.next_pid;
                             self.next_pid += 1;
                             self.packets.insert(
                                 pid,
                                 Packet {
-                                    payload: Payload::Req { req, src_master: i },
+                                    payload: Payload::Req {
+                                        req,
+                                        src_master: global,
+                                    },
                                     injected_at: now,
                                 },
                             );
@@ -511,12 +846,13 @@ impl XpipesNoc {
                 }
             }
             // Inject at most one flit per cycle.
-            let node = self.master_nis[i].node as usize;
+            let node = self.master_nis[i].node as usize - self.node_base as usize;
             if !self.master_nis[i].tx.is_empty()
                 && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
             {
                 let flit = self.master_nis[i].tx.pop_front().expect("non-empty");
                 self.routers[node].inputs[LOCAL].push_back(flit);
+                self.mark_active(node);
             }
         }
         // Slave NIs: service reassembled requests through the device
@@ -526,7 +862,9 @@ impl XpipesNoc {
             if let Some((src_master, expects)) = self.slave_nis[i].busy {
                 if expects {
                     if let Some(resp) = self.slave_nis[i].link.take_response(net, now) {
-                        let dst = self.master_nis[src_master].node;
+                        // `src_master` is a global index; its NI may live
+                        // in another region.
+                        let dst = self.cfg.master_nodes[src_master];
                         let len = 1 + resp.data.len() as u32;
                         self.links[src_master].busy_cycles += u64::from(len);
                         let pid = self.next_pid;
@@ -568,13 +906,216 @@ impl XpipesNoc {
                 }
             }
             // Inject at most one response flit per cycle.
-            let node = self.slave_nis[i].node as usize;
+            let node = self.slave_nis[i].node as usize - self.node_base as usize;
             if !self.slave_nis[i].tx.is_empty()
                 && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
             {
                 let flit = self.slave_nis[i].tx.pop_front().expect("non-empty");
                 self.routers[node].inputs[LOCAL].push_back(flit);
+                self.mark_active(node);
             }
+        }
+    }
+
+    /// Phase A of a partitioned cycle: the link stage, with boundary
+    /// crossings exported into the shared handoff slots. On a whole
+    /// (unsplit) mesh this is exactly the serial link stage.
+    pub fn phase_link(&mut self, net: &mut LinkArena, now: Cycle) {
+        self.link_stage(net, now);
+    }
+
+    /// Phase B of a partitioned cycle: import boundary flits, then run
+    /// the switch and NI stages and publish end-of-cycle occupancy
+    /// mirrors. Running [`XpipesNoc::phase_link`] then this method on a
+    /// whole mesh is exactly one serial tick.
+    pub fn phase_switch_ni(&mut self, net: &mut LinkArena, now: Cycle) {
+        self.import_boundary();
+        self.switch_stage();
+        self.ni_stage(net, now);
+        self.sweep_idle();
+        self.publish_boundary_occupancy();
+    }
+
+    /// Plans a row-band partition of this mesh into at most `threads`
+    /// regions of contiguous rows (balanced by row count).
+    ///
+    /// Returns `None` when the mesh cannot be partitioned: fewer than
+    /// two usable bands, or an NI layout other than the canonical
+    /// row-major one (masters on nodes `0..n`, slaves directly after)
+    /// on which node, NI and link ranges all stay contiguous.
+    pub fn partition_plan(&self, threads: usize) -> Option<Vec<RegionSpec>> {
+        let (w, h) = (self.cfg.width as usize, self.cfg.height as usize);
+        let p = threads.min(h);
+        if p < 2 {
+            return None;
+        }
+        let (n, s) = (self.master_nis.len(), self.slave_nis.len());
+        let canonical = self
+            .cfg
+            .master_nodes
+            .iter()
+            .enumerate()
+            .all(|(i, &nd)| nd as usize == i)
+            && self
+                .cfg
+                .slave_nodes
+                .iter()
+                .enumerate()
+                .all(|(i, &nd)| nd as usize == n + i);
+        if !canonical {
+            return None;
+        }
+        let (band, extra) = (h / p, h % p);
+        let mut specs = Vec::with_capacity(p);
+        let mut row = 0usize;
+        let mut prev_link_hi: Option<u32> = None;
+        for k in 0..p {
+            let rows = band + usize::from(k < extra);
+            let (lo, hi) = (row * w, (row + rows) * w);
+            row += rows;
+            let masters = (lo.min(n), hi.min(n));
+            let slaves = (lo.max(n).min(n + s) - n, hi.max(n).min(n + s) - n);
+            // The region's arena range spans its NIs' link ids; ranges
+            // must be contiguous and ascending for `LinkArena::split_off`.
+            let mut ids: Vec<u32> = (masters.0..masters.1)
+                .map(|i| self.master_nis[i].link.id().index() as u32)
+                .chain((slaves.0..slaves.1).map(|i| self.slave_nis[i].link.id().index() as u32))
+                .collect();
+            ids.sort_unstable();
+            let links = match (ids.first(), ids.last()) {
+                (Some(&first), Some(&last)) => {
+                    if (last - first) as usize + 1 != ids.len() {
+                        return None; // NI links are not a contiguous range
+                    }
+                    (first, last + 1)
+                }
+                // A band of unattached nodes owns no links.
+                _ => {
+                    let at = prev_link_hi.unwrap_or(0);
+                    (at, at)
+                }
+            };
+            if let Some(prev) = prev_link_hi {
+                if links.0 != prev {
+                    return None; // regions' link ranges must tile the arena
+                }
+            } else if links.0 != 0 {
+                return None;
+            }
+            prev_link_hi = Some(links.1);
+            specs.push(RegionSpec {
+                nodes: (lo as u16, hi as u16),
+                masters,
+                slaves,
+                links,
+            });
+        }
+        Some(specs)
+    }
+
+    /// Splits this mesh into per-region instances per `specs`, moving
+    /// each band's routers and NIs out of `self`. The returned regions
+    /// share a fresh [`MeshBoundary`]; ticking region `k` with the
+    /// two-phase protocol advances exactly the state a serial tick would
+    /// advance for its band. Reassemble with [`XpipesNoc::absorb`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a region, on a mesh with traffic in flight,
+    /// or with specs that do not tile this mesh.
+    pub fn split(&mut self, specs: &[RegionSpec]) -> Vec<XpipesNoc> {
+        assert!(self.boundary.is_none(), "cannot split a region");
+        assert!(
+            self.packets.is_empty() && self.routers.iter().all(Router::is_empty),
+            "split requires a drained mesh"
+        );
+        assert_eq!(
+            specs.last().map(|s| s.nodes.1),
+            Some(self.cfg.nodes()),
+            "specs must cover the whole mesh"
+        );
+        let fabric = Arc::new(MeshBoundary::new(self.cfg.width as usize, specs.len()));
+        let mut routers = std::mem::take(&mut self.routers).into_iter();
+        let mut master_nis = std::mem::take(&mut self.master_nis).into_iter();
+        let mut slave_nis = std::mem::take(&mut self.slave_nis).into_iter();
+        let total_masters = self.links.len();
+        specs
+            .iter()
+            .enumerate()
+            .map(|(k, spec)| {
+                let nodes = (spec.nodes.1 - spec.nodes.0) as usize;
+                XpipesNoc {
+                    name: format!("{}#r{k}", self.name),
+                    cfg: self.cfg.clone(),
+                    map: Arc::clone(&self.map),
+                    routers: routers.by_ref().take(nodes).collect(),
+                    master_nis: master_nis
+                        .by_ref()
+                        .take(spec.masters.1 - spec.masters.0)
+                        .collect(),
+                    slave_nis: slave_nis
+                        .by_ref()
+                        .take(spec.slaves.1 - spec.slaves.0)
+                        .collect(),
+                    attach: self.attach.clone(),
+                    packets: HashMap::new(),
+                    // Regions mint packet ids in disjoint tagged spaces;
+                    // ids are internal keys only, so tagging cannot leak
+                    // into any deterministic output.
+                    next_pid: (k as u32 + 1) << 28,
+                    stats: NocStats::default(),
+                    packet_latency: Histogram::new("packet_latency_cycles"),
+                    transactions: 0,
+                    decode_errors: 0,
+                    conflicts: 0,
+                    grant_wait: Histogram::new("grant_wait_cycles"),
+                    links: vec![LinkMetrics::default(); total_masters],
+                    node_base: spec.nodes.0,
+                    master_base: spec.masters.0,
+                    slave_base: spec.slaves.0,
+                    boundary: Some(RegionBoundary {
+                        fabric: Arc::clone(&fabric),
+                        region: k,
+                        regions: specs.len(),
+                    }),
+                    active: Vec::with_capacity(nodes),
+                    in_active: vec![false; nodes],
+                }
+            })
+            .collect()
+    }
+
+    /// Reassembles regions produced by [`XpipesNoc::split`] (in the same
+    /// order), summing every counter and histogram — each is additive
+    /// over the disjoint events the regions observed, so the merged
+    /// statistics are bit-identical to a serial run's.
+    pub fn absorb(&mut self, regions: Vec<XpipesNoc>) {
+        for region in regions {
+            self.routers.extend(region.routers);
+            self.master_nis.extend(region.master_nis);
+            self.slave_nis.extend(region.slave_nis);
+            self.packets.extend(region.packets);
+            self.stats.packets += region.stats.packets;
+            self.stats.flit_hops += region.stats.flit_hops;
+            self.packet_latency.merge(&region.packet_latency);
+            self.transactions += region.transactions;
+            self.decode_errors += region.decode_errors;
+            self.conflicts += region.conflicts;
+            self.grant_wait.merge(&region.grant_wait);
+            for (l, r) in self.links.iter_mut().zip(region.links.iter()) {
+                l.grants += r.grants;
+                l.stall_cycles += r.stall_cycles;
+                l.busy_cycles += r.busy_cycles;
+            }
+        }
+        debug_assert_eq!(self.routers.len(), self.cfg.nodes() as usize);
+        self.in_active = vec![false; self.routers.len()];
+        self.active = (0..self.routers.len())
+            .filter(|&r| !self.routers[r].is_empty())
+            .map(|r| r as u32)
+            .collect();
+        for &r in &self.active {
+            self.in_active[r as usize] = true;
         }
     }
 }
@@ -585,9 +1126,8 @@ impl Component<LinkArena> for XpipesNoc {
     }
 
     fn tick(&mut self, now: Cycle, net: &mut LinkArena) {
-        self.link_stage(net, now);
-        self.switch_stage();
-        self.ni_stage(net, now);
+        self.phase_link(net, now);
+        self.phase_switch_ni(net, now);
     }
 
     fn is_idle(&self, net: &LinkArena) -> bool {
@@ -665,6 +1205,10 @@ impl Interconnect for XpipesNoc {
             grant_wait: self.grant_wait.clone(),
             links: self.links.clone(),
         }
+    }
+
+    fn as_xpipes_mut(&mut self) -> Option<&mut XpipesNoc> {
+        Some(self)
     }
 }
 

@@ -63,6 +63,10 @@ struct Link {
 #[derive(Default)]
 pub struct LinkArena {
     links: Vec<Link>,
+    /// Id of the first link stored in `links`. Always 0 for a whole
+    /// platform arena; non-zero for a partition sub-arena produced by
+    /// [`LinkArena::split_off`], whose ports keep their original ids.
+    base: u32,
 }
 
 impl LinkArena {
@@ -81,7 +85,8 @@ impl LinkArena {
         name: impl Into<String>,
         master: MasterId,
     ) -> (MasterPort, SlavePort) {
-        let id = LinkId(u32::try_from(self.links.len()).expect("link arena overflow"));
+        let raw = self.base as usize + self.links.len();
+        let id = LinkId(u32::try_from(raw).expect("link arena overflow"));
         self.links.push(Link {
             name: name.into(),
             master,
@@ -109,17 +114,66 @@ impl LinkArena {
 
     /// The name of link `id` (a borrow from the arena's string table).
     pub fn name(&self, id: LinkId) -> &str {
-        &self.links[id.index()].name
+        &self.links[self.local(id)].name
+    }
+
+    /// Id of the first link this arena stores (0 for a whole-platform
+    /// arena, the range start for a partition sub-arena).
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// Splits off the tail of the arena: links with ids `>= at` move into
+    /// the returned sub-arena, which keeps serving those ids unchanged.
+    /// The partitioned mesh scheduler uses this to hand each worker
+    /// thread exclusive ownership of a contiguous `LinkId` range; a port
+    /// presented to the wrong sub-arena panics on its first access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is outside `[base, base + len]`.
+    pub fn split_off(&mut self, at: u32) -> LinkArena {
+        let local = (at as usize)
+            .checked_sub(self.base as usize)
+            .expect("split point below arena base");
+        assert!(local <= self.links.len(), "split point past arena end");
+        LinkArena {
+            links: self.links.split_off(local),
+            base: at,
+        }
+    }
+
+    /// Re-attaches a sub-arena produced by [`LinkArena::split_off`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tail` starts exactly where this arena ends.
+    pub fn append(&mut self, mut tail: LinkArena) {
+        assert_eq!(
+            tail.base as usize,
+            self.base as usize + self.links.len(),
+            "appended arena is not contiguous with this one"
+        );
+        self.links.append(&mut tail.links);
+    }
+
+    #[inline]
+    fn local(&self, id: LinkId) -> usize {
+        id.index()
+            .checked_sub(self.base as usize)
+            .expect("link id below this sub-arena's range")
     }
 
     #[inline]
     fn link(&self, id: LinkId) -> &Link {
-        &self.links[id.index()]
+        let at = self.local(id);
+        &self.links[at]
     }
 
     #[inline]
     fn link_mut(&mut self, id: LinkId) -> &mut Link {
-        &mut self.links[id.index()]
+        let at = self.local(id);
+        &mut self.links[at]
     }
 }
 
@@ -534,6 +588,47 @@ mod tests {
         let req = s.accept_request(&mut net, 1).unwrap();
         assert_eq!(req.cmd, OcpCmd::BurstRead);
         assert_eq!(req.beats(), 4);
+    }
+
+    #[test]
+    fn split_off_sub_arena_serves_original_ids() {
+        let mut net = LinkArena::new();
+        let (m0, _s0) = net.channel("a", MasterId(0));
+        let (m1, s1) = net.channel("b", MasterId(1));
+        let (m2, _s2) = net.channel("c", MasterId(2));
+        let mut tail = net.split_off(1);
+        assert_eq!(net.len(), 1);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail.base(), 1);
+        // Ports minted before the split keep working against the
+        // sub-arena that owns their range.
+        assert_eq!(m1.name(&tail), "b");
+        assert_eq!(m2.name(&tail), "c");
+        assert_eq!(m0.name(&net), "a");
+        m1.assert_request(&mut tail, OcpRequest::read(0x10), 3);
+        assert!(s1.peek_request(&tail, 4).is_some());
+        // New links minted on a sub-arena continue the global id space.
+        let (m3, _s3) = tail.channel("d", MasterId(3));
+        assert_eq!(m3.id().index(), 3);
+        net.append(tail);
+        assert_eq!(net.len(), 4);
+        assert!(s1.peek_request(&net, 4).is_some());
+        assert_eq!(net.name(m3.id()), "d");
+    }
+
+    #[test]
+    #[should_panic(expected = "not contiguous")]
+    fn append_rejects_non_contiguous_tail() {
+        let mut net = LinkArena::new();
+        net.channel("a", MasterId(0));
+        net.channel("b", MasterId(1));
+        let tail = {
+            let mut other = LinkArena::new();
+            other.channel("x", MasterId(0));
+            other.channel("y", MasterId(1));
+            other.split_off(1)
+        };
+        net.append(tail); // tail.base == 1 but net ends at 2
     }
 
     #[test]

@@ -20,6 +20,8 @@ use ntg_trace::{shared_trace, MasterTrace, SharedTrace, TraceMonitor};
 use crate::mem_map;
 use crate::report::{MasterReport, MetricsReport, RunReport};
 
+mod parallel;
+
 /// Which interconnect model the platform instantiates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum InterconnectChoice {
@@ -30,6 +32,12 @@ pub enum InterconnectChoice {
     AmbaFixedPriority,
     /// ×pipes-like mesh NoC with an auto-generated topology.
     Xpipes,
+    /// ×pipes-like mesh NoC on an explicit `width × height` grid with
+    /// the canonical row-major NI layout (masters on nodes `0..n`,
+    /// slaves directly after) — the layout the row-band partition
+    /// scheduler of [`Platform::run_with_threads`] requires, and the
+    /// variant the big-mesh sweeps (`8x8`, `16x16`, …) instantiate.
+    Mesh(u16, u16),
     /// STBus-like crossbar.
     Crossbar,
     /// Fixed-latency ideal fabric.
@@ -38,14 +46,14 @@ pub enum InterconnectChoice {
 
 impl fmt::Display for InterconnectChoice {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            InterconnectChoice::Amba => "amba",
-            InterconnectChoice::AmbaFixedPriority => "amba-fixed",
-            InterconnectChoice::Xpipes => "xpipes",
-            InterconnectChoice::Crossbar => "crossbar",
-            InterconnectChoice::Ideal => "ideal",
-        };
-        f.write_str(s)
+        match self {
+            InterconnectChoice::Amba => f.write_str("amba"),
+            InterconnectChoice::AmbaFixedPriority => f.write_str("amba-fixed"),
+            InterconnectChoice::Xpipes => f.write_str("xpipes"),
+            InterconnectChoice::Mesh(w, h) => write!(f, "xpipes:{w}x{h}"),
+            InterconnectChoice::Crossbar => f.write_str("crossbar"),
+            InterconnectChoice::Ideal => f.write_str("ideal"),
+        }
     }
 }
 
@@ -53,8 +61,19 @@ impl std::str::FromStr for InterconnectChoice {
     type Err = String;
 
     /// Parses the names printed by [`Display`] (`amba`, `amba-fixed`,
-    /// `xpipes`, `crossbar`, `ideal`).
+    /// `xpipes`, `xpipes:WxH`, `crossbar`, `ideal`).
     fn from_str(s: &str) -> Result<Self, String> {
+        if let Some(dims) = s.strip_prefix("xpipes:") {
+            let (w, h) = dims
+                .split_once('x')
+                .ok_or_else(|| format!("mesh dims `{dims}` are not WxH"))?;
+            let w: u16 = w.parse().map_err(|_| format!("bad mesh width `{w}`"))?;
+            let h: u16 = h.parse().map_err(|_| format!("bad mesh height `{h}`"))?;
+            if w == 0 || h == 0 {
+                return Err(format!("mesh `{dims}` must be non-empty"));
+            }
+            return Ok(InterconnectChoice::Mesh(w, h));
+        }
         match s {
             "amba" => Ok(InterconnectChoice::Amba),
             "amba-fixed" => Ok(InterconnectChoice::AmbaFixedPriority),
@@ -62,7 +81,8 @@ impl std::str::FromStr for InterconnectChoice {
             "crossbar" => Ok(InterconnectChoice::Crossbar),
             "ideal" => Ok(InterconnectChoice::Ideal),
             _ => Err(format!(
-                "unknown interconnect `{s}` (expected amba, amba-fixed, xpipes, crossbar or ideal)"
+                "unknown interconnect `{s}` (expected amba, amba-fixed, xpipes, \
+                 xpipes:WxH, crossbar or ideal)"
             )),
         }
     }
@@ -493,6 +513,31 @@ impl PlatformBuilder {
             self.semaphores,
         )?);
 
+        // Master links are minted first (ids `0..n`), slave links after
+        // (ids `n..n+s`): under the canonical mesh layout of
+        // [`InterconnectChoice::Mesh`] every link id then equals its
+        // NI's mesh node, so a row band of nodes owns one contiguous
+        // link-id range — the property `LinkArena::split_off` turns
+        // into per-partition sub-arenas.
+        let mut master_ports = Vec::with_capacity(n);
+        let mut net_master_ports = Vec::new();
+        let mut traces = Vec::new();
+        for core in 0..n {
+            let (mport, sport) = net.channel(format!("link-m{core}"), MasterId(core as u16));
+            net_master_ports.push(sport);
+            if self.tracing {
+                let trace = shared_trace(core as u16, self.clock);
+                mport.set_observer(
+                    &mut net,
+                    Box::new(TraceMonitor::new(trace.clone(), self.clock)),
+                );
+                traces.push(Some(trace));
+            } else {
+                traces.push(None);
+            }
+            master_ports.push(mport);
+        }
+
         // Slave devices (ids: privates, shared, sync, semaphores).
         let mut slaves = Vec::new();
         let mut net_slave_ports = Vec::new();
@@ -530,23 +575,9 @@ impl PlatformBuilder {
             s,
         )));
 
-        // Masters and their links.
+        // Masters, on the links minted above.
         let mut masters = Vec::new();
-        let mut net_master_ports = Vec::new();
-        let mut traces = Vec::new();
-        for (core, kind) in self.masters.iter().enumerate() {
-            let (mport, sport) = net.channel(format!("link-m{core}"), MasterId(core as u16));
-            net_master_ports.push(sport);
-            if self.tracing {
-                let trace = shared_trace(core as u16, self.clock);
-                mport.set_observer(
-                    &mut net,
-                    Box::new(TraceMonitor::new(trace.clone(), self.clock)),
-                );
-                traces.push(Some(trace));
-            } else {
-                traces.push(None);
-            }
+        for ((core, kind), mport) in self.masters.iter().enumerate().zip(master_ports) {
             let master =
                 match kind {
                     MasterKind::Cpu(program) => {
@@ -609,6 +640,16 @@ impl PlatformBuilder {
             )),
             InterconnectChoice::Xpipes => {
                 let cfg = XpipesConfig::auto(n, net_slave_ports.len());
+                Box::new(XpipesNoc::new(
+                    "xpipes",
+                    net_master_ports,
+                    net_slave_ports,
+                    map.clone(),
+                    cfg,
+                ))
+            }
+            InterconnectChoice::Mesh(w, h) => {
+                let cfg = XpipesConfig::with_dims(w, h, n, net_slave_ports.len());
                 Box::new(XpipesNoc::new(
                     "xpipes",
                     net_master_ports,
@@ -855,7 +896,20 @@ impl Platform {
         if !completed && self.quiesced() {
             completed = true;
         }
-        let wall_time = start.elapsed();
+        self.build_report(completed, start.elapsed(), None)
+    }
+
+    /// Assembles the [`RunReport`] of a finished run — shared by the
+    /// serial loop above and the partitioned scheduler
+    /// ([`run_with_threads`](Self::run_with_threads)), which must
+    /// produce byte-identical reports apart from the diagnostic
+    /// `wall_time`/`partition` fields.
+    fn build_report(
+        &self,
+        completed: bool,
+        wall_time: std::time::Duration,
+        partition: Option<crate::report::PartitionReport>,
+    ) -> RunReport {
         RunReport {
             completed,
             cycles: self.now,
@@ -869,6 +923,7 @@ impl Platform {
             skipped_cycles: self.skipped_cycles,
             ticked_cycles: self.ticked_cycles,
             metrics: self.metrics_report(),
+            partition,
         }
     }
 

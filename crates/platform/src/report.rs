@@ -75,6 +75,25 @@ pub struct MetricsReport {
     pub busy_windows: Vec<u64>,
 }
 
+/// Diagnostics of a partitioned run
+/// ([`Platform::run_with_threads`](crate::Platform::run_with_threads)
+/// with an actual mesh split).
+///
+/// Everything here is host-timing territory — barrier stalls depend on
+/// OS scheduling and are never deterministic. Like `wall_time`, these
+/// numbers are excluded from byte-reproducible campaign output; the
+/// benchmark harness reports them as a partition-imbalance signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// How many row-band partitions (= worker threads) the run used.
+    pub partitions: usize,
+    /// Completed barrier crossings (three per lockstep round).
+    pub barrier_crossings: u64,
+    /// Total spin iterations burned waiting at barriers, summed over
+    /// all workers — the partition-imbalance signal.
+    pub barrier_stalls: u64,
+}
+
 /// The outcome of [`Platform::run`](crate::Platform::run).
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -114,6 +133,12 @@ pub struct RunReport {
     /// [`Platform::enable_metrics`](crate::Platform::enable_metrics)
     /// was called before the run.
     pub metrics: Option<MetricsReport>,
+    /// Partitioned-run diagnostics, present only when
+    /// [`Platform::run_with_threads`](crate::Platform::run_with_threads)
+    /// actually split the mesh (serial runs and fallbacks report
+    /// `None`). Diagnostic like `wall_time` — never part of canonical
+    /// campaign output.
+    pub partition: Option<PartitionReport>,
 }
 
 impl RunReport {
@@ -200,6 +225,7 @@ mod tests {
             skipped_cycles: 0,
             ticked_cycles: 120,
             metrics: None,
+            partition: None,
         };
         assert_eq!(r.execution_time(), Some(110));
     }
@@ -219,6 +245,7 @@ mod tests {
             skipped_cycles: 0,
             ticked_cycles: 120,
             metrics: None,
+            partition: None,
         };
         assert_eq!(r.execution_time(), None);
     }
@@ -238,6 +265,7 @@ mod tests {
             skipped_cycles: 0,
             ticked_cycles: 1_000,
             metrics: None,
+            partition: None,
         };
         assert!((r.cycles_per_second() - 10_000.0).abs() < 1.0);
     }

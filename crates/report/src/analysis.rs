@@ -287,6 +287,67 @@ pub fn saturation(c: &Campaign) -> Vec<SaturationRow> {
         .collect()
 }
 
+/// A bounded per-job summary of link traffic for the report's link
+/// view. Big meshes carry thousands of link-cycle counters; this keeps
+/// every row O(top-K): the K hottest links by busy cycles plus a
+/// power-of-two histogram of busy cycles over *all* links.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSummary {
+    /// Job key of the configuration.
+    pub key: String,
+    /// Total number of per-link records in the sidecar.
+    pub links: usize,
+    /// `(link index, busy cycles)`, hottest first; ties break on the
+    /// lower index. At most K entries.
+    pub top: Vec<(usize, u64)>,
+    /// `(bucket upper bound, link count)` over busy cycles, ascending;
+    /// bucket bounds are `0, 1, 3, 7, …, 2^k − 1` and empty buckets are
+    /// omitted.
+    pub histogram: Vec<(u64, usize)>,
+}
+
+/// Builds the link view: one bounded [`LinkSummary`] per job that has
+/// link metrics, in job-id order.
+pub fn link_summaries(c: &Campaign, top_k: usize) -> Vec<LinkSummary> {
+    c.jobs
+        .iter()
+        .filter_map(|j| {
+            let m = j.metrics.as_ref()?;
+            let busy = &m.link_busy_cycles;
+            if busy.is_empty() {
+                return None;
+            }
+            let mut order: Vec<usize> = (0..busy.len()).collect();
+            order.sort_by(|&a, &b| busy[b].cmp(&busy[a]).then(a.cmp(&b)));
+            let top = order.iter().take(top_k).map(|&i| (i, busy[i])).collect();
+            // Bucket a count into [2^k, 2^(k+1)) by its upper bound
+            // 2^(k+1) − 1 (zero gets its own bucket).
+            let bound = |v: u64| {
+                if v == 0 {
+                    0
+                } else {
+                    u64::MAX >> v.leading_zeros()
+                }
+            };
+            let mut histogram: Vec<(u64, usize)> = Vec::new();
+            for &v in busy {
+                let b = bound(v);
+                match histogram.iter_mut().find(|(ub, _)| *ub == b) {
+                    Some((_, n)) => *n += 1,
+                    None => histogram.push((b, 1)),
+                }
+            }
+            histogram.sort_unstable_by_key(|&(ub, _)| ub);
+            Some(LinkSummary {
+                key: j.key.clone(),
+                links: busy.len(),
+                top,
+                histogram,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +394,27 @@ mod tests {
             has_timings: true,
             has_metrics: false,
         }
+    }
+
+    #[test]
+    fn link_summaries_bound_top_k_and_bucket_by_powers_of_two() {
+        let mut j = job(0, "w|4P|xpipes:4x4|synthetic|uniform", Some(10), 0.0, None);
+        j.metrics = Some(ntg_explore::JobMetrics {
+            link_grants: vec![1; 6],
+            link_stall_cycles: vec![0; 6],
+            link_busy_cycles: vec![5, 900, 0, 900, 17, 1],
+            ..Default::default()
+        });
+        let c = campaign(vec![j]);
+        let s = &link_summaries(&c, 3)[0];
+        assert_eq!(s.links, 6);
+        // Hottest first, exact ties on the lower index, capped at K.
+        assert_eq!(s.top, [(1, 900), (3, 900), (4, 17)]);
+        // 0 → ≤0; 1 → ≤1; 5 → ≤7; 17 → ≤31; 900×2 → ≤1023.
+        assert_eq!(s.histogram, [(0, 1), (1, 1), (7, 1), (31, 1), (1023, 2)]);
+        // Jobs without metrics produce no row.
+        let none = campaign(vec![job(0, "k", Some(1), 0.0, None)]);
+        assert!(link_summaries(&none, 3).is_empty());
     }
 
     #[test]

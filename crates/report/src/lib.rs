@@ -19,6 +19,9 @@
 //! * [`saturation`] tabulates gain vs core count annotated with the
 //!   measured fabric utilization and arbitration-conflict density from
 //!   the metrics sidecar — the §6 narrative as numbers;
+//! * [`link_summaries`] condenses per-link traffic into a bounded view
+//!   per job — the K hottest links plus a power-of-two busy-cycle
+//!   histogram — so thousand-link meshes summarise to one row;
 //! * [`render`] emits all of the above as deterministic markdown and
 //!   CSV (byte-identical for identical inputs, so reports can be
 //!   golden-tested and diffed in CI).
@@ -35,7 +38,7 @@ mod load;
 pub mod render;
 
 pub use analysis::{
-    pareto, pareto_frontier, rank, saturation, table2, ParetoPoint, RankAxis, RankEntry, Ranking,
-    SaturationRow, Table2Row,
+    link_summaries, pareto, pareto_frontier, rank, saturation, table2, LinkSummary, ParetoPoint,
+    RankAxis, RankEntry, Ranking, SaturationRow, Table2Row,
 };
 pub use load::{load_campaign, load_campaign_parts, Campaign};

@@ -8,7 +8,8 @@
 use std::fmt::Write as _;
 
 use crate::analysis::{
-    pareto, rank, saturation, table2, ParetoPoint, RankAxis, Ranking, SaturationRow, Table2Row,
+    link_summaries, pareto, rank, saturation, table2, ParetoPoint, RankAxis, Ranking,
+    SaturationRow, Table2Row,
 };
 use crate::load::Campaign;
 
@@ -143,8 +144,41 @@ pub fn markdown(c: &Campaign) -> String {
             );
         }
     }
+
+    let _ = writeln!(out, "\n## Links — hottest links and busy-cycle spread\n");
+    let sums = link_summaries(c, TOP_LINKS);
+    if sums.is_empty() {
+        let _ = writeln!(out, "(needs the metrics sidecar)");
+    } else {
+        let _ = writeln!(
+            out,
+            "| configuration | links | hottest (link:busy) | spread (≤bound:links) |"
+        );
+        let _ = writeln!(out, "|---|---|---|---|");
+        for s in &sums {
+            let top: Vec<String> = s.top.iter().map(|(i, b)| format!("{i}:{b}")).collect();
+            let hist: Vec<String> = s
+                .histogram
+                .iter()
+                .map(|(ub, n)| format!("≤{ub}:{n}"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} |",
+                md_cell(&s.key),
+                s.links,
+                top.join(" "),
+                hist.join(" "),
+            );
+        }
+    }
     out
 }
+
+/// How many hottest links the report's link view lists per job. The
+/// histogram column covers the rest, so a 16×16 mesh's links summarise
+/// to one bounded row instead of hundreds of columns.
+const TOP_LINKS: usize = 8;
 
 /// Saturation flag cell: `SAT` past the knee, `ok` under it, `-`
 /// without rate data.
@@ -256,5 +290,7 @@ mod tests {
         assert!(md.contains("## Pareto frontier"));
         assert!(md.contains("## Saturation"));
         assert!(md.contains("(no TG or synthetic jobs in this campaign)"));
+        assert!(md.contains("## Links"));
+        assert!(md.contains("(needs the metrics sidecar)"));
     }
 }

@@ -48,12 +48,14 @@ mod clock;
 mod component;
 mod kernel;
 pub mod observe;
+pub mod parallel;
 pub mod stats;
 
 pub use clock::{ClockConfig, Nanos};
 pub use component::{Activity, Component};
 pub use kernel::{RunOutcome, Simulator};
 pub use observe::{Contention, LinkMetrics, Observer, WindowSeries};
+pub use parallel::{SpinBarrier, StatusSlot};
 
 /// Whether event-horizon cycle skipping is enabled for this process.
 ///

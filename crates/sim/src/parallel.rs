@@ -1,0 +1,292 @@
+//! Primitives for partition-parallel simulation.
+//!
+//! A partitioned run splits one platform's component graph across worker
+//! threads and advances every partition in cycle lockstep: all workers
+//! execute the same cycle, separated by spin barriers, with
+//! cross-partition traffic handed over between barrier-delimited phases.
+//! The types here are the kernel-level building blocks that scheduler
+//! (`ntg-platform`) builds on:
+//!
+//! - [`SpinBarrier`] — a reusable sense-reversing barrier. Partition
+//!   workers synchronise a handful of times per simulated cycle, so a
+//!   parking barrier (mutex + condvar) would dominate the cycle cost;
+//!   spinning keeps a barrier crossing in the ~100ns range on idle-free
+//!   workers while counting the spins it burns as a contention signal.
+//! - [`StatusSlot`] — the one-value mailbox each worker publishes its
+//!   local quiesce flag and [`Activity`] wake hint through, so the
+//!   coordinating thread can make the *global* run-loop decision (stop,
+//!   skip, or tick) that the serial engine makes from a full scan.
+//! - [`combine_hints`]/[`encode_activity`] — the fold that makes the
+//!   global horizon of per-partition hints equal the serial engine's
+//!   single-scan horizon, which is what keeps partitioned runs
+//!   bit-identical to serial ones.
+//!
+//! Everything here is safe code (`ntg-sim` forbids `unsafe`): plain
+//! atomics plus `std::hint::spin_loop`.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crate::Activity;
+
+/// A reusable sense-reversing spin barrier.
+///
+/// All `participants` threads must call [`SpinBarrier::wait`] the same
+/// number of times; each call blocks (spinning) until every participant
+/// has arrived, then all are released together. A release at barrier
+/// crossing *n* happens-before every return from crossing *n*, so plain
+/// relaxed data written before a `wait` may be read relaxed after it.
+///
+/// The barrier keeps a relaxed count of spin iterations burned while
+/// waiting — the "barrier stall" signal the partition scheduler surfaces
+/// in benchmark output (a measure of partition imbalance, deliberately
+/// excluded from all deterministic results).
+#[derive(Debug)]
+pub struct SpinBarrier {
+    participants: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+    stalls: AtomicU64,
+    waits: AtomicU64,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `participants` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn new(participants: usize) -> Self {
+        assert!(participants > 0, "a barrier needs at least one participant");
+        Self {
+            participants,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// The number of threads that must arrive to release a crossing.
+    pub fn participants(&self) -> usize {
+        self.participants
+    }
+
+    /// Blocks until all participants have arrived at this crossing.
+    ///
+    /// Waiters spin a short bounded burst (the fast path when every
+    /// worker has its own core and arrivals are microseconds apart),
+    /// then fall back to `yield_now` so an oversubscribed host — more
+    /// workers than cores — degrades to scheduler-paced progress
+    /// instead of burning whole timeslices spinning at a gate the
+    /// missing participant cannot reach until it gets the CPU.
+    pub fn wait(&self) {
+        const SPIN_BURST: u32 = 128;
+        let generation = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
+            // Last arrival: reset the count for the next crossing, then
+            // open the gate. The reset is ordered before the release
+            // store, so re-entrant waiters always see a zeroed count.
+            self.waits.fetch_add(1, Ordering::Relaxed);
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins: u64 = 0;
+            while self.generation.load(Ordering::Acquire) == generation {
+                if spins < u64::from(SPIN_BURST) {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+                spins += 1;
+            }
+            if spins > 0 {
+                self.stalls.fetch_add(spins, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total spin iterations burned by waiting participants so far.
+    ///
+    /// A host-timing artifact (scheduling dependent, never
+    /// deterministic); read it only for diagnostics after the workers
+    /// have joined.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// The number of completed barrier crossings.
+    pub fn crossings(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+}
+
+/// `Busy` encoded for a [`StatusSlot`] (any hint decoding to 0).
+const HINT_BUSY: u64 = 0;
+/// `Drained` encoded for a [`StatusSlot`].
+const HINT_DRAINED: u64 = u64::MAX;
+
+/// Packs an [`Activity`] hint into one `u64` for atomic publication.
+///
+/// `IdleUntil(c)` maps to `c + 1` (saturating), so `Busy` and `Drained`
+/// get the two extreme encodings and the min-fold over encoded wake
+/// cycles stays order-preserving. `IdleUntil(Cycle::MAX)` (a passive
+/// wait, [`Activity::waiting()`]) collapses onto the `Drained` encoding;
+/// the two are interchangeable inside a horizon fold — neither bounds it.
+pub fn encode_activity(activity: Activity) -> u64 {
+    match activity {
+        Activity::Busy => HINT_BUSY,
+        Activity::IdleUntil(c) => c.saturating_add(1),
+        Activity::Drained => HINT_DRAINED,
+    }
+}
+
+/// Unpacks an [`encode_activity`] value.
+pub fn decode_activity(bits: u64) -> Activity {
+    match bits {
+        HINT_BUSY => Activity::Busy,
+        HINT_DRAINED => Activity::Drained,
+        wake => Activity::IdleUntil(wake - 1),
+    }
+}
+
+/// Folds two wake hints into the hint of the union of both component
+/// sets: `Busy` dominates, `Drained` is the identity, and two wake
+/// cycles keep the earlier one. Associative and commutative, so a
+/// partitioned horizon — each worker folding its own components, the
+/// coordinator folding the per-worker results — equals the serial
+/// engine's single fold over all components in any order.
+pub fn combine_hints(a: Activity, b: Activity) -> Activity {
+    match (a, b) {
+        (Activity::Busy, _) | (_, Activity::Busy) => Activity::Busy,
+        (Activity::Drained, other) | (other, Activity::Drained) => other,
+        (Activity::IdleUntil(x), Activity::IdleUntil(y)) => Activity::IdleUntil(x.min(y)),
+    }
+}
+
+/// The per-worker mailbox of a partitioned run.
+///
+/// After each lockstep round a worker publishes whether its partition is
+/// locally quiescent and (on horizon-poll rounds) its local wake hint;
+/// the coordinating thread reads every slot after the round's closing
+/// barrier and derives the global decision. Writes and reads are relaxed
+/// — the barrier crossing between them provides the ordering.
+#[derive(Debug)]
+pub struct StatusSlot {
+    quiesced: AtomicBool,
+    hint: AtomicU64,
+}
+
+impl Default for StatusSlot {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StatusSlot {
+    /// A fresh slot reporting "not quiesced, busy".
+    pub fn new() -> Self {
+        Self {
+            quiesced: AtomicBool::new(false),
+            hint: AtomicU64::new(HINT_BUSY),
+        }
+    }
+
+    /// Publishes this round's local status.
+    pub fn publish(&self, quiesced: bool, hint: Activity) {
+        self.quiesced.store(quiesced, Ordering::Relaxed);
+        self.hint.store(encode_activity(hint), Ordering::Relaxed);
+    }
+
+    /// The last published quiesce flag.
+    pub fn quiesced(&self) -> bool {
+        self.quiesced.load(Ordering::Relaxed)
+    }
+
+    /// The last published wake hint.
+    pub fn hint(&self) -> Activity {
+        decode_activity(self.hint.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64 as SharedCounter;
+
+    #[test]
+    fn barrier_releases_all_participants_each_crossing() {
+        let barrier = SpinBarrier::new(4);
+        let counter = SharedCounter::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for round in 0..100u64 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // Every participant observes all arrivals of the
+                        // finished round before anyone starts the next.
+                        let seen = counter.load(Ordering::Relaxed);
+                        assert!(seen >= (round + 1) * 4, "round {round} saw {seen}");
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 400);
+        assert_eq!(barrier.crossings(), 200);
+    }
+
+    #[test]
+    fn single_participant_barrier_never_blocks() {
+        let barrier = SpinBarrier::new(1);
+        for _ in 0..10 {
+            barrier.wait();
+        }
+        assert_eq!(barrier.stalls(), 0);
+        assert_eq!(barrier.crossings(), 10);
+    }
+
+    #[test]
+    fn activity_encoding_round_trips() {
+        for a in [
+            Activity::Busy,
+            Activity::Drained,
+            Activity::IdleUntil(0),
+            Activity::IdleUntil(1),
+            Activity::IdleUntil(123_456),
+        ] {
+            assert_eq!(decode_activity(encode_activity(a)), a);
+        }
+        // The unbounded passive wait folds onto Drained — equivalent
+        // inside any horizon computation.
+        assert_eq!(
+            decode_activity(encode_activity(Activity::waiting())),
+            Activity::Drained
+        );
+    }
+
+    #[test]
+    fn combine_matches_serial_horizon_fold() {
+        use Activity::*;
+        assert_eq!(combine_hints(Busy, Drained), Busy);
+        assert_eq!(combine_hints(IdleUntil(5), Busy), Busy);
+        assert_eq!(combine_hints(Drained, IdleUntil(9)), IdleUntil(9));
+        assert_eq!(combine_hints(IdleUntil(3), IdleUntil(9)), IdleUntil(3));
+        assert_eq!(combine_hints(Drained, Drained), Drained);
+        // Associativity spot check: fold order must not matter.
+        let items = [IdleUntil(7), Drained, IdleUntil(4), Busy];
+        let left = items.iter().copied().fold(Drained, combine_hints);
+        let right = items.iter().rev().copied().fold(Drained, combine_hints);
+        assert_eq!(left, right);
+    }
+
+    #[test]
+    fn status_slot_defaults_conservative() {
+        let slot = StatusSlot::new();
+        assert!(!slot.quiesced());
+        assert_eq!(slot.hint(), Activity::Busy);
+        slot.publish(true, Activity::IdleUntil(42));
+        assert!(slot.quiesced());
+        assert_eq!(slot.hint(), Activity::IdleUntil(42));
+    }
+}
