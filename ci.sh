@@ -41,17 +41,17 @@ echo "==> bench smoke: ntg-sweep --dry-run"
 timeout 60 ./target/release/ntg-sweep --preset quick --dry-run > /dev/null
 
 # Hot-path perf harness smoke: run the fixed benchmark subset at smoke
-# scale, validate the emitted JSON against the v3 schema, and re-check
-# the cycle-skipping and partitioning bit-identity contracts from the
-# recorded legs (ntg-bench also asserts them internally; this guards
-# the file format).
+# scale, validate the emitted JSON against the v4 schema, and re-check
+# the cycle-skipping, partitioning and sparse-scheduling bit-identity
+# contracts from the recorded legs (ntg-bench also asserts them
+# internally; this guards the file format).
 echo "==> bench smoke: ntg-bench --smoke + schema check"
 BENCH_SMOKE_JSON=$(mktemp)
 timeout 300 ./target/release/ntg-bench --smoke --out "$BENCH_SMOKE_JSON" > /dev/null
 python3 - "$BENCH_SMOKE_JSON" <<'PYEOF'
 import json, sys
 r = json.load(open(sys.argv[1]))
-assert r["schema"] == "ntg-bench-hotpath-v3", r.get("schema")
+assert r["schema"] == "ntg-bench-hotpath-v4", r.get("schema")
 for key in ("mode", "warmup", "repeats", "threads", "host_cpus", "campaign",
             "peak_rss_kb", "alloc", "points", "big_mesh"):
     assert key in r, f"missing {key}"
@@ -64,6 +64,7 @@ assert isinstance(r["points"], list) and r["points"], "no benchmark points"
 for p in r["points"]:
     for leg in ("arm", "tg_skip", "tg_noskip"):
         for field in ("cycles", "ticked_cycles", "skipped_cycles",
+                      "visited_component_cycles", "total_component_cycles",
                       "transactions", "wall_s", "ticked_per_sec"):
             assert field in p[leg], f"{p['bench']}: {leg} missing {field}"
     assert p["tg_skip"]["cycles"] == p["tg_noskip"]["cycles"], \
@@ -75,13 +76,24 @@ assert isinstance(r["big_mesh"], list) and r["big_mesh"], "no big-mesh points"
 for m in r["big_mesh"]:
     for key in ("mesh", "masters", "packets", "spec", "sim_threads", "serial",
                 "partitioned", "partitions", "barrier_crossings",
-                "barrier_stalls", "parallel_speedup"):
+                "barrier_stalls", "parallel_speedup", "active_sched",
+                "oversubscribed"):
         assert key in m, f"big_mesh {m.get('mesh')}: missing {key}"
     assert m["partitions"] >= 2, f"{m['mesh']}: did not partition"
     assert m["serial"]["cycles"] == m["partitioned"]["cycles"], \
         f"{m['mesh']}: serial/partitioned cycle mismatch"
     assert m["serial"]["transactions"] == m["partitioned"]["transactions"], \
         f"{m['mesh']}: serial/partitioned transaction mismatch"
+    sched = m["active_sched"]
+    for key in ("dense", "visited_component_cycles", "total_component_cycles",
+                "visit_ratio", "speedup_vs_dense"):
+        assert key in sched, f"{m['mesh']}: active_sched missing {key}"
+    assert sched["dense"]["cycles"] == m["serial"]["cycles"], \
+        f"{m['mesh']}: sparse/dense cycle mismatch"
+    assert sched["dense"]["transactions"] == m["serial"]["transactions"], \
+        f"{m['mesh']}: sparse/dense transaction mismatch"
+    assert 0 < sched["visited_component_cycles"] < sched["total_component_cycles"], \
+        f"{m['mesh']}: sparse scheduling never engaged"
 print(f"ntg-bench smoke: {len(r['points'])} points, "
       f"{len(r['big_mesh'])} big-mesh points OK")
 PYEOF
@@ -89,11 +101,13 @@ rm -f "$BENCH_SMOKE_JSON"
 
 # Zero-allocation steady state: the counting allocator asserts the
 # ticked hot path performs no heap allocations after warmup — for the
-# serial engine and for the partitioned lockstep engine (its test lives
-# in its own binary so the global counter measures alone).
+# serial engine, the partitioned lockstep engine and the sparse
+# O(active) scheduler (the latter two live in their own binaries so the
+# global counter measures alone).
 echo "==> alloc-count regression tests"
 cargo test -q -p ntg-bench --features alloc-count --test alloc_count
 cargo test -q -p ntg-bench --features alloc-count --test partition_alloc
+cargo test -q -p ntg-bench --features alloc-count --test sched_alloc
 
 # Persistent-store smoke: the same tiny campaign twice against a scratch
 # store — the second run must pull every artifact from disk (zero
@@ -166,6 +180,16 @@ cmp "$PART_SMOKE_DIR/serial.jsonl" "$PART_SMOKE_DIR/banded.jsonl"
 # The timings sidecar is allowed to differ (it records sim_threads and
 # wall time); the metrics sidecar carries simulation results only.
 cmp "$PART_SMOKE_DIR/serial.jsonl.metrics.jsonl" "$PART_SMOKE_DIR/banded.jsonl.metrics.jsonl"
+
+# Active-sched smoke: the same mesh campaign with the wake wheel
+# disabled via the env escape hatch must write byte-identical canonical
+# and metrics files — O(active) scheduling is a pure wall-time knob,
+# exactly like skipping and partitioning (the timings sidecar may
+# differ: it records the visited/total component-cycle diagnostics).
+echo "==> active-sched smoke: NTG_NO_ACTIVE_SCHED=1 is byte-identical"
+NTG_NO_ACTIVE_SCHED=1 $PSWEEP --out "$PART_SMOKE_DIR/dense.jsonl" --sim-threads 4 > /dev/null
+cmp "$PART_SMOKE_DIR/banded.jsonl" "$PART_SMOKE_DIR/dense.jsonl"
+cmp "$PART_SMOKE_DIR/banded.jsonl.metrics.jsonl" "$PART_SMOKE_DIR/dense.jsonl.metrics.jsonl"
 
 echo "==> report smoke: figure2 timelines parse as JSON"
 timeout 120 ./target/release/figure2 "$REPORT_SMOKE_DIR" > /dev/null

@@ -34,6 +34,17 @@
 //! speedup, plus `host_cpus` so a single-CPU host's inevitably flat
 //! speedup reads as a host property rather than a regression.
 //!
+//! The v4 schema adds the O(active) scheduling trajectory: every leg
+//! reports `visited_component_cycles` / `total_component_cycles` (the
+//! component-tick work actually done vs the dense `components × cycles`
+//! bound), and each big-mesh point gains an `active_sched` block — the
+//! same serial platform re-run with the sparse scheduler disabled
+//! (`Platform::set_active_scheduling(false)`), asserted bit-identical,
+//! with the sparse-vs-dense wall ratio and visit ratio recorded. The
+//! mesh points also record `oversubscribed` (the partition barrier
+//! dropped to immediate-yield because sim threads exceeded host CPUs),
+//! so flat partitioned speedups on small hosts are self-explaining.
+//!
 //! Usage:
 //!   `cargo run --release -p ntg-bench --bin ntg-bench -- [--smoke]
 //!    [--warmup N] [--repeats N] [--out PATH] [--baseline PATH]`
@@ -150,6 +161,8 @@ struct Leg {
     cycles: u64,
     ticked_cycles: u64,
     skipped_cycles: u64,
+    visited_component_cycles: u64,
+    total_component_cycles: u64,
     transactions: u64,
     wall: Duration,
 }
@@ -164,6 +177,14 @@ impl Leg {
         }
     }
 
+    fn visit_ratio(&self) -> f64 {
+        if self.total_component_cycles > 0 {
+            self.visited_component_cycles as f64 / self.total_component_cycles as f64
+        } else {
+            1.0
+        }
+    }
+
     fn to_json(&self) -> Json {
         Json::Obj(vec![
             ("cycles".into(), Json::Int(self.cycles as i64)),
@@ -172,10 +193,30 @@ impl Leg {
                 "skipped_cycles".into(),
                 Json::Int(self.skipped_cycles as i64),
             ),
+            (
+                "visited_component_cycles".into(),
+                Json::Int(self.visited_component_cycles as i64),
+            ),
+            (
+                "total_component_cycles".into(),
+                Json::Int(self.total_component_cycles as i64),
+            ),
             ("transactions".into(), Json::Int(self.transactions as i64)),
             ("wall_s".into(), Json::Float(self.wall.as_secs_f64())),
             ("ticked_per_sec".into(), Json::Float(self.ticked_per_sec())),
         ])
+    }
+}
+
+fn leg_from(report: &RunReport, wall: Duration) -> Leg {
+    Leg {
+        cycles: report.cycles,
+        ticked_cycles: report.ticked_cycles,
+        skipped_cycles: report.skipped_cycles,
+        visited_component_cycles: report.visited_component_cycles,
+        total_component_cycles: report.total_component_cycles,
+        transactions: report.transactions,
+        wall,
     }
 }
 
@@ -199,13 +240,10 @@ fn measure(what: &str, warmup: usize, repeats: usize, mut build: impl FnMut() ->
         last = Some(report);
     }
     let report = last.expect("at least one repeat");
-    Leg {
-        cycles: report.cycles,
-        ticked_cycles: report.ticked_cycles,
-        skipped_cycles: report.skipped_cycles,
-        transactions: report.transactions,
-        wall: walls.iter().copied().min().expect("at least one repeat"),
-    }
+    leg_from(
+        &report,
+        walls.iter().copied().min().expect("at least one repeat"),
+    )
 }
 
 /// Like [`measure`], but drives the platform through
@@ -238,13 +276,10 @@ fn measure_mesh(
         last = Some(report);
     }
     let report = last.expect("at least one repeat");
-    let leg = Leg {
-        cycles: report.cycles,
-        ticked_cycles: report.ticked_cycles,
-        skipped_cycles: report.skipped_cycles,
-        transactions: report.transactions,
-        wall: walls.iter().copied().min().expect("at least one repeat"),
-    };
+    let leg = leg_from(
+        &report,
+        walls.iter().copied().min().expect("at least one repeat"),
+    );
     (leg, report.partition)
 }
 
@@ -506,6 +541,54 @@ fn main() {
             serial.transactions, part.transactions,
             "{mesh}: transaction mismatch"
         );
+        // O(active) scheduling leg: the serial run above used the sparse
+        // scheduler (the default); re-run with it disabled so the
+        // trajectory records the horizon-scan wall side by side. Both
+        // runs must agree bit-exactly, and the sparse run must actually
+        // visit fewer component-cycles than the dense bound.
+        let build_dense = || {
+            let mut p = build();
+            p.set_active_scheduling(false);
+            p
+        };
+        let (dense, dense_diag) = measure_mesh(
+            &format!("{mesh} serial dense"),
+            warmup,
+            repeats,
+            1,
+            build_dense,
+        );
+        assert!(
+            dense_diag.is_none(),
+            "{mesh}: 1-thread run must stay serial"
+        );
+        assert_eq!(
+            serial.cycles, dense.cycles,
+            "{mesh}: sparse/dense cycle mismatch"
+        );
+        assert_eq!(
+            serial.transactions, dense.transactions,
+            "{mesh}: sparse/dense transaction mismatch"
+        );
+        assert!(
+            serial.visited_component_cycles < serial.total_component_cycles,
+            "{mesh}: sparse scheduler visited every component-cycle ({} of {})",
+            serial.visited_component_cycles,
+            serial.total_component_cycles,
+        );
+        assert_eq!(
+            serial.visited_component_cycles, part.visited_component_cycles,
+            "{mesh}: sparse serial/partitioned visit mismatch"
+        );
+        let sched_speedup = dense.wall.as_secs_f64() / serial.wall.as_secs_f64();
+        println!(
+            "   active-sched: visited {}/{} comp-cycles ({:.4}), dense {:>8.3}s -> sparse {:>8.3}s ({sched_speedup:.2}x)",
+            serial.visited_component_cycles,
+            serial.total_component_cycles,
+            serial.visit_ratio(),
+            dense.wall.as_secs_f64(),
+            serial.wall.as_secs_f64(),
+        );
         let speedup = serial.wall.as_secs_f64() / part.wall.as_secs_f64();
         println!(
             "   serial {:>8.3}s | {} bands {:>8.3}s ({speedup:.2}x, {} crossings, {} stalls)",
@@ -536,6 +619,29 @@ fn main() {
                 "parallel_speedup".into(),
                 Json::Float((speedup * 1000.0).round() / 1000.0),
             ),
+            (
+                "active_sched".into(),
+                Json::Obj(vec![
+                    ("dense".into(), dense.to_json()),
+                    (
+                        "visited_component_cycles".into(),
+                        Json::Int(serial.visited_component_cycles as i64),
+                    ),
+                    (
+                        "total_component_cycles".into(),
+                        Json::Int(serial.total_component_cycles as i64),
+                    ),
+                    (
+                        "visit_ratio".into(),
+                        Json::Float((serial.visit_ratio() * 10_000.0).round() / 10_000.0),
+                    ),
+                    (
+                        "speedup_vs_dense".into(),
+                        Json::Float((sched_speedup * 1000.0).round() / 1000.0),
+                    ),
+                ]),
+            ),
+            ("oversubscribed".into(), Json::Bool(diag.oversubscribed)),
         ];
         if let Some([b_serial, b_part]) = baseline
             .as_ref()
@@ -573,7 +679,7 @@ fn main() {
     );
 
     let report = Json::Obj(vec![
-        ("schema".into(), Json::Str("ntg-bench-hotpath-v3".into())),
+        ("schema".into(), Json::Str("ntg-bench-hotpath-v4".into())),
         (
             "mode".into(),
             Json::Str(if smoke { "smoke" } else { "full" }.into()),

@@ -8,7 +8,14 @@
 //! runs' allocation counts are *equal*: thread spawns, queue growth to
 //! steady state, status-slot setup and report assembly are identical in
 //! both runs and cancel out, so any difference could only come from
-//! per-cycle allocations in the extra 50k cycles of lockstep ticking.
+//! per-cycle allocations in the extra 150k cycles of lockstep ticking.
+//!
+//! Two measurement hazards, both handled the same way as the sparse
+//! suite (`sched_alloc.rs`): a discarded warm-up run absorbs one-time
+//! per-process lazy initialisation (thread spawn caches included), and
+//! both compared bounds sit on the same queue high-water plateau
+//! (50k/100k/200k bounds all allocate identically for this recipe; the
+//! next one-time growth step lands between 200k and 400k).
 //!
 //! The test sits in its own file (its own test binary) because the
 //! counting allocator is global: another test allocating concurrently
@@ -45,13 +52,15 @@ fn allocations_for(bound: u64) -> u64 {
 
 #[test]
 fn partitioned_steady_state_ticks_do_not_allocate() {
+    // Discarded: absorbs one-time per-process lazy initialisation.
+    let _warmup = allocations_for(50_000);
     let short = allocations_for(50_000);
-    let long = allocations_for(100_000);
+    let long = allocations_for(200_000);
     assert_eq!(
         long,
         short,
-        "the extra 50k partitioned cycles allocated {} times — \
+        "the extra 150k partitioned cycles allocated {} times — \
          the lockstep hot path must stay on the zero-copy plane",
-        long - short
+        long.abs_diff(short)
     );
 }

@@ -1,0 +1,245 @@
+//! O(active)-component scheduling must be a pure wall-time
+//! optimisation: with the per-component wake wheel on or off, every
+//! reported number — cycle counts, per-master halt cycles, statistics,
+//! recorded traces, the metrics sidecar and the canonical campaign
+//! JSONL — must be bit-identical. Only the `visited_component_cycles`
+//! diagnostic (how much work the engine did, a wall-time-class number
+//! that never enters canonical output) may differ.
+//!
+//! This suite lives in its own integration-test binary because one test
+//! exercises the `NTG_NO_ACTIVE_SCHED` escape hatch, which is read from
+//! the process environment when each platform is built. Tests inside
+//! one binary run concurrently, so every test here serialises on
+//! [`ENV_LOCK`] to keep the gate from leaking into a neighbouring
+//! build.
+
+use std::sync::Mutex;
+
+use ntg_bench::{quick_workloads, trace_and_translate, MAX_CYCLES};
+use ntg_explore::{CampaignSpec, CoreSelection, MasterChoice, RunOptions};
+use ntg_platform::{InterconnectChoice, Platform, RunReport};
+use ntg_workloads::synthetic::{build_synthetic_platform, SyntheticSpec};
+use ntg_workloads::Workload;
+
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Everything a run leaves behind that must be reproduction-identical.
+struct Outcome {
+    report: RunReport,
+    trcs: Vec<String>,
+}
+
+/// `threads == 0` means the plain serial `run()` entry point.
+fn run(mut platform: Platform, active: bool, threads: usize) -> Outcome {
+    platform.set_active_scheduling(active);
+    platform.enable_metrics();
+    let report = if threads == 0 {
+        platform.run(MAX_CYCLES)
+    } else {
+        platform.run_with_threads(MAX_CYCLES, threads)
+    };
+    assert!(report.completed, "run did not complete");
+    assert!(report.faults.is_empty(), "faults: {:?}", report.faults);
+    let trcs = platform.traces().iter().map(|t| t.to_trc()).collect();
+    Outcome { report, trcs }
+}
+
+/// `on` ran with the sparse scheduler, `off` with the dense horizon
+/// scan. Every *result* must match bit-for-bit. The skipped/ticked
+/// split is a wall-time-class diagnostic and may differ: the dense
+/// loop's exponential poll-backoff defers jumps while the platform is
+/// busy, while the wake wheel skips the moment every component sleeps —
+/// ticking through a skippable cycle is bit-identical to jumping it.
+fn assert_equivalent(what: &str, on: &Outcome, off: &Outcome) {
+    assert_eq!(on.report.cycles, off.report.cycles, "{what}: cycles");
+    assert_eq!(
+        on.report.finish_cycles, off.report.finish_cycles,
+        "{what}: halt cycles"
+    );
+    assert_eq!(
+        on.report.masters, off.report.masters,
+        "{what}: master stats"
+    );
+    assert_eq!(
+        on.report.transactions, off.report.transactions,
+        "{what}: transactions"
+    );
+    assert_eq!(on.report.latency, off.report.latency, "{what}: latency");
+    for (name, r) in [("sparse", &on.report), ("dense", &off.report)] {
+        assert_eq!(
+            r.skipped_cycles + r.ticked_cycles,
+            r.cycles,
+            "{what}: {name} counters must partition the run"
+        );
+    }
+    assert_eq!(
+        on.report.metrics, off.report.metrics,
+        "{what}: metrics sidecar"
+    );
+    assert_eq!(on.trcs, off.trcs, "{what}: .trc streams");
+    // The one permitted difference: the sparse engine never does *more*
+    // component-tick work than the dense loop.
+    assert!(
+        on.report.visited_component_cycles <= off.report.visited_component_cycles,
+        "{what}: sparse visited {} > dense visited {}",
+        on.report.visited_component_cycles,
+        off.report.visited_component_cycles,
+    );
+    assert_eq!(
+        on.report.total_component_cycles, off.report.total_component_cycles,
+        "{what}: dense work bound"
+    );
+}
+
+#[test]
+fn table2_runs_are_bit_identical_with_sparse_scheduling() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let mut sparse_won = false;
+    for workload in quick_workloads() {
+        let workload = workload.test_scale();
+        let cores = match workload {
+            Workload::SpMatrix { .. } => 1,
+            _ => 2,
+        };
+        for fabric in [InterconnectChoice::Amba, InterconnectChoice::Xpipes] {
+            let build = || {
+                workload
+                    .build_platform(cores, fabric, true)
+                    .expect("build platform")
+            };
+            let on = run(build(), true, 0);
+            let off = run(build(), false, 0);
+            assert_equivalent(&format!("{workload} {cores}P cpu {fabric}"), &on, &off);
+            sparse_won |= on.report.visited_component_cycles < off.report.visited_component_cycles;
+        }
+    }
+    assert!(sparse_won, "the wake wheel never saved a component visit");
+}
+
+#[test]
+fn tg_replays_are_bit_identical_with_sparse_scheduling() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let workload = Workload::MpMatrix { n: 12 }.test_scale();
+    let cores = 2;
+    let images = trace_and_translate(workload, cores, InterconnectChoice::Amba);
+    let mut sparse_won = false;
+    for fabric in [
+        InterconnectChoice::Amba,
+        InterconnectChoice::Xpipes,
+        InterconnectChoice::Crossbar,
+    ] {
+        let build = || {
+            workload
+                .build_tg_platform(images.clone(), fabric, true)
+                .expect("build TG platform")
+        };
+        let on = run(build(), true, 0);
+        let off = run(build(), false, 0);
+        assert_equivalent(&format!("{workload} {cores}P tg {fabric}"), &on, &off);
+        sparse_won |= on.report.visited_component_cycles < off.report.visited_component_cycles;
+    }
+    assert!(sparse_won, "the wake wheel never saved a component visit");
+}
+
+#[test]
+fn big_mesh_partitioned_runs_are_bit_identical_with_sparse_scheduling() {
+    // The bench harness's big-mesh shapes at test-friendly packet
+    // counts: serial and four row-band partitions, sparse vs dense,
+    // all four bit-identical. Low-rate uniform Bernoulli traffic is
+    // the sparse scheduler's home turf — most routers sleep most
+    // cycles — so this is also where a stale-worklist bug would
+    // surface as divergence.
+    let spec: SyntheticSpec = "uniform+bernoulli@0.1/4".parse().expect("descriptor");
+    let _guard = ENV_LOCK.lock().unwrap();
+    for (w, h, masters, packets) in [(8u16, 8u16, 24usize, 64u64), (16, 16, 96, 24)] {
+        let what = format!("{w}x{h} {masters} masters");
+        let build = || {
+            build_synthetic_platform(
+                masters,
+                InterconnectChoice::Mesh(w, h),
+                spec,
+                packets,
+                0xB16_4E54,
+            )
+            .expect("build big-mesh platform")
+        };
+        let serial_on = run(build(), true, 0);
+        let serial_off = run(build(), false, 0);
+        let part_on = run(build(), true, 4);
+        let part_off = run(build(), false, 4);
+        assert!(
+            part_on.report.partition.expect("diag").partitions >= 2,
+            "{what}: did not partition"
+        );
+        assert_equivalent(&format!("{what} serial"), &serial_on, &serial_off);
+        assert_equivalent(&format!("{what} partitioned"), &part_on, &part_off);
+        assert_equivalent(
+            &format!("{what} sparse serial vs partitioned"),
+            &serial_on,
+            &part_on,
+        );
+        // On a big idle-heavy mesh the win must be real, not incidental.
+        assert!(
+            serial_on.report.visited_component_cycles
+                < serial_off.report.visited_component_cycles / 2,
+            "{what}: sparse visited {} of dense {} — the wheel barely engaged",
+            serial_on.report.visited_component_cycles,
+            serial_off.report.visited_component_cycles,
+        );
+        // Serial-sparse and partitioned-sparse walk the same schedule.
+        assert_eq!(
+            serial_on.report.visited_component_cycles, part_on.report.visited_component_cycles,
+            "{what}: serial/partitioned sparse visit mismatch"
+        );
+    }
+}
+
+/// Tiny Table-2 + synthetic-saturation campaign for the env-gate check:
+/// CPU and TG masters on two fabrics, plus a synthetic rate sweep.
+fn gate_campaign() -> CampaignSpec {
+    let mut spec = CampaignSpec::new("sched-env-gate");
+    spec.workloads = vec![
+        Workload::SpMatrix { n: 6 },
+        Workload::Cacheloop { iterations: 500 },
+        Workload::Synthetic { packets: 48 },
+    ];
+    spec.cores = CoreSelection::List(vec![2]);
+    spec.interconnects = vec![InterconnectChoice::Amba, InterconnectChoice::Xpipes];
+    spec.masters = vec![MasterChoice::Cpu, MasterChoice::Tg, MasterChoice::Synthetic];
+    spec.rates = vec![0.05, 0.2];
+    spec
+}
+
+#[test]
+fn campaign_jsonl_is_identical_with_and_without_active_scheduling() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let spec = gate_campaign();
+    let opts = RunOptions::default();
+
+    std::env::set_var("NTG_NO_ACTIVE_SCHED", "1");
+    assert!(
+        !ntg_sim::active_scheduling_enabled(),
+        "gate did not register"
+    );
+    let dense = ntg_explore::run_campaign(&spec, &opts).expect("dense campaign");
+    std::env::remove_var("NTG_NO_ACTIVE_SCHED");
+    assert!(ntg_sim::active_scheduling_enabled(), "gate stuck");
+    let sparse = ntg_explore::run_campaign(&spec, &opts).expect("sparse campaign");
+
+    let lines = |r: &ntg_explore::CampaignOutcome| -> Vec<String> {
+        r.results.iter().map(|j| j.render_line()).collect()
+    };
+    assert_eq!(lines(&dense), lines(&sparse), "canonical JSONL differs");
+    // The gate really was honoured on both sides: the dense run visits
+    // every component on every ticked cycle, the sparse run provably
+    // skipped some of those visits.
+    let visited = |r: &ntg_explore::CampaignOutcome| -> u64 {
+        r.results.iter().map(|j| j.visited_component_cycles).sum()
+    };
+    assert!(
+        visited(&sparse) < visited(&dense),
+        "sparse scheduling never engaged ({} vs {})",
+        visited(&sparse),
+        visited(&dense),
+    );
+}

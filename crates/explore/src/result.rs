@@ -157,6 +157,13 @@ pub struct JobResult {
     /// Cycles simulated tick by tick. Timings sidecar only, like
     /// [`skipped_cycles`](Self::skipped_cycles).
     pub ticked_cycles: u64,
+    /// Component-cycles the engine actually executed — with O(active)
+    /// scheduling, only woken components count per ticked cycle.
+    /// Timings sidecar only, like the skip split.
+    pub visited_component_cycles: u64,
+    /// `components × cycles`, the dense-scan denominator for
+    /// [`visited_component_cycles`](Self::visited_component_cycles).
+    pub total_component_cycles: u64,
     /// Observability metrics for this job. **Not** part of the
     /// canonical line; written to the `.metrics.jsonl` sidecar.
     pub metrics: Option<JobMetrics>,
@@ -335,6 +342,8 @@ impl JobResult {
             wall_secs: 0.0,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
         }
     }
@@ -427,6 +436,8 @@ impl JobResult {
             wall_secs: 0.0,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
         })
     }
@@ -509,6 +520,8 @@ mod tests {
             wall_secs: 0.0,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
         }
     }

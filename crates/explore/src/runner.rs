@@ -535,6 +535,14 @@ fn write_timings(
             ("wall_secs".into(), Json::Float(r.wall_secs)),
             ("skipped_cycles".into(), Json::Int(r.skipped_cycles as i64)),
             ("ticked_cycles".into(), Json::Int(r.ticked_cycles as i64)),
+            (
+                "visited_component_cycles".into(),
+                Json::Int(r.visited_component_cycles as i64),
+            ),
+            (
+                "total_component_cycles".into(),
+                Json::Int(r.total_component_cycles as i64),
+            ),
         ];
         // Injection rates ride along for synthetic jobs so saturation
         // can be eyeballed straight from the sidecar (they are also in
@@ -859,6 +867,8 @@ fn finish(
         wall_secs: report.wall_time.as_secs_f64(),
         skipped_cycles: report.skipped_cycles,
         ticked_cycles: report.ticked_cycles,
+        visited_component_cycles: report.visited_component_cycles,
+        total_component_cycles: report.total_component_cycles,
         metrics,
     }
 }

@@ -45,7 +45,7 @@ pub use crossbar::CrossbarBus;
 pub use ideal::IdealInterconnect;
 pub use xpipes::{RegionSpec, XpipesConfig, XpipesNoc};
 
-use ntg_ocp::LinkArena;
+use ntg_ocp::{LinkArena, LinkId};
 use ntg_sim::observe::Contention;
 use ntg_sim::Component;
 
@@ -120,4 +120,22 @@ pub trait Interconnect: Component<LinkArena> + Send {
     fn as_xpipes_mut(&mut self) -> Option<&mut XpipesNoc> {
         None
     }
+
+    /// Switches the model between dense per-tick scanning (the default)
+    /// and event-driven endpoint worklists.
+    ///
+    /// In event mode the sparse scheduling engine promises to call
+    /// [`wake_link`](Self::wake_link) for every link touch whose reader
+    /// is this model, so the model may skip scanning endpoints nothing
+    /// has touched. Models whose scans are already proportional to the
+    /// traffic (buses with a handful of links) ignore this; behaviour
+    /// must be bit-identical either way.
+    fn set_event_driven(&mut self, _on: bool) {}
+
+    /// Notifies an event-driven model (see
+    /// [`set_event_driven`](Self::set_event_driven)) that `link` was
+    /// written this cycle with this model as the reader: a master
+    /// asserted a request, or a slave accepted/responded. No-op in
+    /// dense mode and for models that never go event-driven.
+    fn wake_link(&mut self, _link: LinkId) {}
 }

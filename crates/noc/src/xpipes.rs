@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ntg_mem::AddressMap;
-use ntg_ocp::{LinkArena, MasterPort, OcpRequest, OcpResponse, SlavePort};
+use ntg_ocp::{LinkArena, LinkId, MasterPort, OcpRequest, OcpResponse, SlavePort};
 use ntg_sim::observe::{Contention, LinkMetrics};
 use ntg_sim::stats::Histogram;
 use ntg_sim::{Activity, Component, Cycle};
@@ -352,6 +352,56 @@ pub struct XpipesNoc {
     active: Vec<u32>,
     /// Membership flags for `active`, indexed by local router.
     in_active: Vec<bool>,
+    /// Event-driven NI worklists (see
+    /// [`Interconnect::set_event_driven`]); `None` scans every NI each
+    /// tick.
+    event: Option<EventState>,
+}
+
+/// Which NI reads a given arena link — the routing table behind
+/// [`Interconnect::wake_link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NiTarget {
+    None,
+    Master(u32),
+    Slave(u32),
+}
+
+/// Armed-NI worklists for event-driven operation: an NI is armed while
+/// it has (or may have) per-cycle work, and every cross-component touch
+/// that could give an idle NI work re-arms it via
+/// [`Interconnect::wake_link`]. A disarmed NI's dense step is provably a
+/// no-op, so skipping it is bit-identical to scanning it.
+#[derive(Debug)]
+struct EventState {
+    /// Armed master-NI indices (local); sorted before each pass so the
+    /// per-cycle side-effect order (packet-id minting, statistics)
+    /// matches the dense ascending scan exactly.
+    mni_armed: Vec<u32>,
+    mni_in: Vec<bool>,
+    /// Armed slave-NI indices (local), same discipline.
+    sni_armed: Vec<u32>,
+    sni_in: Vec<bool>,
+    /// Arena link id → this instance's NI.
+    targets: Vec<NiTarget>,
+}
+
+impl EventState {
+    #[inline]
+    fn arm_mni(&mut self, i: usize) {
+        if !self.mni_in[i] {
+            self.mni_in[i] = true;
+            self.mni_armed.push(i as u32);
+        }
+    }
+
+    #[inline]
+    fn arm_sni(&mut self, i: usize) {
+        if !self.sni_in[i] {
+            self.sni_in[i] = true;
+            self.sni_armed.push(i as u32);
+        }
+    }
 }
 
 impl XpipesNoc {
@@ -425,6 +475,7 @@ impl XpipesNoc {
             boundary: None,
             active: Vec::with_capacity(nodes),
             in_active: vec![false; nodes],
+            event: None,
         }
     }
 
@@ -702,12 +753,18 @@ impl XpipesNoc {
             Attach::Slave(i) => {
                 // Bounded reassembly: refuse new flits while two complete
                 // packets already wait, creating wormhole backpressure.
-                let ni = &mut self.slave_nis[i - self.slave_base];
-                if ni.pending.len() >= 2 {
+                let local = i - self.slave_base;
+                if self.slave_nis[local].pending.len() >= 2 {
                     return false;
                 }
                 if flit.is_tail {
-                    ni.pending.push_back(flit.pid);
+                    self.slave_nis[local].pending.push_back(flit.pid);
+                    // The link stage runs before the NI stage, so the NI
+                    // can serve this packet in the same cycle it would
+                    // under a dense scan.
+                    if let Some(ev) = &mut self.event {
+                        ev.arm_sni(local);
+                    }
                 }
                 true
             }
@@ -786,134 +843,200 @@ impl XpipesNoc {
 
     /// NI stage: accept fresh requests, feed injection FIFOs, talk to
     /// devices.
+    ///
+    /// In event mode only armed NIs are stepped; the disarm conditions
+    /// guarantee a skipped NI's step would have been a no-op, and the
+    /// armed lists are sorted so side effects (packet-id minting,
+    /// statistics) land in the same ascending-index order as the dense
+    /// scan.
     fn ni_stage(&mut self, net: &mut LinkArena, now: Cycle) {
+        if let Some(mut ev) = self.event.take() {
+            ev.mni_armed.sort_unstable();
+            for k in 0..ev.mni_armed.len() {
+                self.mni_step(ev.mni_armed[k] as usize, net, now);
+            }
+            {
+                let mni_in = &mut ev.mni_in;
+                let nis = &self.master_nis;
+                ev.mni_armed.retain(|&i| {
+                    let ni = &nis[i as usize];
+                    // Keep while there are flits to inject or a request
+                    // (even a future-visible one) to accept; anything
+                    // that gives an idle master NI new work asserts a
+                    // request, which re-arms it via `wake_link`.
+                    let keep = !ni.tx.is_empty() || ni.link.request_visible_at(net).is_some();
+                    if !keep {
+                        mni_in[i as usize] = false;
+                    }
+                    keep
+                });
+            }
+            ev.sni_armed.sort_unstable();
+            for k in 0..ev.sni_armed.len() {
+                self.sni_step(ev.sni_armed[k] as usize, net, now);
+            }
+            {
+                let sni_in = &mut ev.sni_in;
+                let nis = &self.slave_nis;
+                ev.sni_armed.retain(|&i| {
+                    let ni = &nis[i as usize];
+                    // Keep while injecting or holding reassembled
+                    // packets. A busy-waiting NI (`busy` set, queues
+                    // empty) polls `take_response`/`take_accept`, and
+                    // both return `None` until the slave writes the
+                    // link — which re-arms it via `wake_link` — so
+                    // disarming it skips only no-op polls.
+                    let keep = !ni.tx.is_empty() || !ni.pending.is_empty();
+                    if !keep {
+                        sni_in[i as usize] = false;
+                    }
+                    keep
+                });
+            }
+            self.event = Some(ev);
+            return;
+        }
         // Master NIs: accept a new request once the previous packet fully
         // left the NI.
         for i in 0..self.master_nis.len() {
-            if self.master_nis[i].tx.is_empty() {
-                if let Some((addr, _, _)) = self.master_nis[i].link.peek_meta(net, now) {
-                    match self.map.slave_for(addr) {
-                        None => {
-                            let req = self.master_nis[i]
-                                .link
-                                .accept_request(net, now)
-                                .expect("peeked request is still there");
-                            self.decode_errors += 1;
-                            if req.cmd.expects_response() {
-                                self.master_nis[i].link.push_response(
-                                    net,
-                                    OcpResponse::error(req.tag),
-                                    now,
-                                );
-                            }
-                        }
-                        Some(slave) => {
-                            let stall = now
-                                - self.master_nis[i]
-                                    .link
-                                    .request_visible_at(net)
-                                    .expect("peeked request is visible");
-                            let req = self.master_nis[i]
-                                .link
-                                .accept_request(net, now)
-                                .expect("peeked request is still there");
-                            let global = self.master_base + i;
-                            self.transactions += 1;
-                            self.grant_wait.record(stall);
-                            self.links[global].grants += 1;
-                            self.links[global].stall_cycles += stall;
-                            // The destination may live in another region,
-                            // so resolve its node from the full config.
-                            let dst = self.cfg.slave_nodes[slave.0 as usize];
-                            let len = 2 + req.data.len() as u32;
-                            self.links[global].busy_cycles += u64::from(len);
-                            let pid = self.next_pid;
-                            self.next_pid += 1;
-                            self.packets.insert(
-                                pid,
-                                Packet {
-                                    payload: Payload::Req {
-                                        req,
-                                        src_master: global,
-                                    },
-                                    injected_at: now,
-                                },
-                            );
-                            Self::refill_flits(&mut self.master_nis[i].tx, pid, len, dst);
-                            self.stats.packets += 1;
-                        }
-                    }
-                }
-            }
-            // Inject at most one flit per cycle.
-            let node = self.master_nis[i].node as usize - self.node_base as usize;
-            if !self.master_nis[i].tx.is_empty()
-                && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
-            {
-                let flit = self.master_nis[i].tx.pop_front().expect("non-empty");
-                self.routers[node].inputs[LOCAL].push_back(flit);
-                self.mark_active(node);
-            }
+            self.mni_step(i, net, now);
         }
         // Slave NIs: service reassembled requests through the device
         // link; packetise read responses.
         for i in 0..self.slave_nis.len() {
-            // Completion?
-            if let Some((src_master, expects)) = self.slave_nis[i].busy {
-                if expects {
-                    if let Some(resp) = self.slave_nis[i].link.take_response(net, now) {
-                        // `src_master` is a global index; its NI may live
-                        // in another region.
-                        let dst = self.cfg.master_nodes[src_master];
-                        let len = 1 + resp.data.len() as u32;
-                        self.links[src_master].busy_cycles += u64::from(len);
+            self.sni_step(i, net, now);
+        }
+    }
+
+    /// One master NI's per-cycle work: accept a fresh request once the
+    /// previous packet fully left the NI, inject at most one flit.
+    fn mni_step(&mut self, i: usize, net: &mut LinkArena, now: Cycle) {
+        // Accept a fresh request once the previous packet left.
+        if self.master_nis[i].tx.is_empty() {
+            if let Some((addr, _, _)) = self.master_nis[i].link.peek_meta(net, now) {
+                match self.map.slave_for(addr) {
+                    None => {
+                        let req = self.master_nis[i]
+                            .link
+                            .accept_request(net, now)
+                            .expect("peeked request is still there");
+                        self.decode_errors += 1;
+                        if req.cmd.expects_response() {
+                            self.master_nis[i].link.push_response(
+                                net,
+                                OcpResponse::error(req.tag),
+                                now,
+                            );
+                        }
+                    }
+                    Some(slave) => {
+                        let stall = now
+                            - self.master_nis[i]
+                                .link
+                                .request_visible_at(net)
+                                .expect("peeked request is visible");
+                        let req = self.master_nis[i]
+                            .link
+                            .accept_request(net, now)
+                            .expect("peeked request is still there");
+                        let global = self.master_base + i;
+                        self.transactions += 1;
+                        self.grant_wait.record(stall);
+                        self.links[global].grants += 1;
+                        self.links[global].stall_cycles += stall;
+                        // The destination may live in another region,
+                        // so resolve its node from the full config.
+                        let dst = self.cfg.slave_nodes[slave.0 as usize];
+                        let len = 2 + req.data.len() as u32;
+                        self.links[global].busy_cycles += u64::from(len);
                         let pid = self.next_pid;
                         self.next_pid += 1;
                         self.packets.insert(
                             pid,
                             Packet {
-                                payload: Payload::Resp {
-                                    resp,
-                                    dst_master: src_master,
+                                payload: Payload::Req {
+                                    req,
+                                    src_master: global,
                                 },
                                 injected_at: now,
                             },
                         );
-                        Self::refill_flits(&mut self.slave_nis[i].tx, pid, len, dst);
+                        Self::refill_flits(&mut self.master_nis[i].tx, pid, len, dst);
                         self.stats.packets += 1;
-                        self.slave_nis[i].busy = None;
                     }
-                } else if self.slave_nis[i].link.take_accept(net, now).is_some() {
+                }
+            }
+        }
+        // Inject at most one flit per cycle.
+        let node = self.master_nis[i].node as usize - self.node_base as usize;
+        if !self.master_nis[i].tx.is_empty()
+            && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
+        {
+            let flit = self.master_nis[i].tx.pop_front().expect("non-empty");
+            self.routers[node].inputs[LOCAL].push_back(flit);
+            self.mark_active(node);
+        }
+    }
+
+    /// One slave NI's per-cycle work: complete the in-flight device
+    /// transaction, start the next reassembled request, inject at most
+    /// one response flit.
+    fn sni_step(&mut self, i: usize, net: &mut LinkArena, now: Cycle) {
+        // Completion?
+        if let Some((src_master, expects)) = self.slave_nis[i].busy {
+            if expects {
+                if let Some(resp) = self.slave_nis[i].link.take_response(net, now) {
+                    // `src_master` is a global index; its NI may live
+                    // in another region.
+                    let dst = self.cfg.master_nodes[src_master];
+                    let len = 1 + resp.data.len() as u32;
+                    self.links[src_master].busy_cycles += u64::from(len);
+                    let pid = self.next_pid;
+                    self.next_pid += 1;
+                    self.packets.insert(
+                        pid,
+                        Packet {
+                            payload: Payload::Resp {
+                                resp,
+                                dst_master: src_master,
+                            },
+                            injected_at: now,
+                        },
+                    );
+                    Self::refill_flits(&mut self.slave_nis[i].tx, pid, len, dst);
+                    self.stats.packets += 1;
                     self.slave_nis[i].busy = None;
                 }
+            } else if self.slave_nis[i].link.take_accept(net, now).is_some() {
+                self.slave_nis[i].busy = None;
             }
-            // Start the next pending request once the link and the
-            // response path are free.
-            if self.slave_nis[i].busy.is_none()
-                && self.slave_nis[i].tx.is_empty()
-                && !self.slave_nis[i].link.request_pending(net)
-            {
-                if let Some(pid) = self.slave_nis[i].pending.pop_front() {
-                    let packet = self.packets.remove(&pid).expect("pending packet exists");
-                    self.packet_latency
-                        .record(now.saturating_sub(packet.injected_at));
-                    let Payload::Req { req, src_master } = packet.payload else {
-                        panic!("response packet delivered to a slave NI")
-                    };
-                    let expects = req.cmd.expects_response();
-                    self.slave_nis[i].link.forward_request(net, req, now);
-                    self.slave_nis[i].busy = Some((src_master, expects));
-                }
+        }
+        // Start the next pending request once the link and the
+        // response path are free.
+        if self.slave_nis[i].busy.is_none()
+            && self.slave_nis[i].tx.is_empty()
+            && !self.slave_nis[i].link.request_pending(net)
+        {
+            if let Some(pid) = self.slave_nis[i].pending.pop_front() {
+                let packet = self.packets.remove(&pid).expect("pending packet exists");
+                self.packet_latency
+                    .record(now.saturating_sub(packet.injected_at));
+                let Payload::Req { req, src_master } = packet.payload else {
+                    panic!("response packet delivered to a slave NI")
+                };
+                let expects = req.cmd.expects_response();
+                self.slave_nis[i].link.forward_request(net, req, now);
+                self.slave_nis[i].busy = Some((src_master, expects));
             }
-            // Inject at most one response flit per cycle.
-            let node = self.slave_nis[i].node as usize - self.node_base as usize;
-            if !self.slave_nis[i].tx.is_empty()
-                && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
-            {
-                let flit = self.slave_nis[i].tx.pop_front().expect("non-empty");
-                self.routers[node].inputs[LOCAL].push_back(flit);
-                self.mark_active(node);
-            }
+        }
+        // Inject at most one response flit per cycle.
+        let node = self.slave_nis[i].node as usize - self.node_base as usize;
+        if !self.slave_nis[i].tx.is_empty()
+            && self.routers[node].inputs[LOCAL].len() < self.cfg.input_fifo_flits
+        {
+            let flit = self.slave_nis[i].tx.pop_front().expect("non-empty");
+            self.routers[node].inputs[LOCAL].push_back(flit);
+            self.mark_active(node);
         }
     }
 
@@ -1080,6 +1203,7 @@ impl XpipesNoc {
                     }),
                     active: Vec::with_capacity(nodes),
                     in_active: vec![false; nodes],
+                    event: None,
                 }
             })
             .collect()
@@ -1132,7 +1256,7 @@ impl Component<LinkArena> for XpipesNoc {
 
     fn is_idle(&self, net: &LinkArena) -> bool {
         self.packets.is_empty()
-            && self.routers.iter().all(Router::is_empty)
+            && self.active.is_empty()
             && self
                 .master_nis
                 .iter()
@@ -1151,7 +1275,7 @@ impl Component<LinkArena> for XpipesNoc {
         // Any flit, pending delivery, or outstanding slave transaction
         // means the pipeline advances every cycle.
         let in_flight = !self.packets.is_empty()
-            || self.routers.iter().any(|r| !r.is_empty())
+            || !self.active.is_empty()
             || self.master_nis.iter().any(|ni| !ni.tx.is_empty())
             || self
                 .slave_nis
@@ -1209,6 +1333,57 @@ impl Interconnect for XpipesNoc {
 
     fn as_xpipes_mut(&mut self) -> Option<&mut XpipesNoc> {
         Some(self)
+    }
+
+    fn set_event_driven(&mut self, on: bool) {
+        if !on {
+            self.event = None;
+            return;
+        }
+        let n_links = self
+            .master_nis
+            .iter()
+            .map(|ni| ni.link.id().index())
+            .chain(self.slave_nis.iter().map(|ni| ni.link.id().index()))
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut ev = EventState {
+            mni_armed: Vec::with_capacity(self.master_nis.len()),
+            mni_in: vec![false; self.master_nis.len()],
+            sni_armed: Vec::with_capacity(self.slave_nis.len()),
+            sni_in: vec![false; self.slave_nis.len()],
+            targets: vec![NiTarget::None; n_links],
+        };
+        for (i, ni) in self.master_nis.iter().enumerate() {
+            ev.targets[ni.link.id().index()] = NiTarget::Master(i as u32);
+        }
+        for (i, ni) in self.slave_nis.iter().enumerate() {
+            ev.targets[ni.link.id().index()] = NiTarget::Slave(i as u32);
+        }
+        // Conservative seed: every NI starts armed and proves itself
+        // idle through the disarm sweep.
+        for i in 0..ev.mni_in.len() {
+            ev.arm_mni(i);
+        }
+        for i in 0..ev.sni_in.len() {
+            ev.arm_sni(i);
+        }
+        self.event = Some(ev);
+    }
+
+    fn wake_link(&mut self, link: LinkId) {
+        if let Some(ev) = &mut self.event {
+            match ev
+                .targets
+                .get(link.index())
+                .copied()
+                .unwrap_or(NiTarget::None)
+            {
+                NiTarget::Master(i) => ev.arm_mni(i as usize),
+                NiTarget::Slave(i) => ev.arm_sni(i as usize),
+                NiTarget::None => {}
+            }
+        }
     }
 }
 

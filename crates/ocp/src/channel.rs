@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use ntg_sim::Cycle;
+use ntg_sim::{Cycle, WakeEvents};
 
 use crate::observer::ChannelObserver;
 use crate::types::{MasterId, OcpRequest, OcpResponse};
@@ -67,6 +67,19 @@ pub struct LinkArena {
     /// platform arena; non-zero for a partition sub-arena produced by
     /// [`LinkArena::split_off`], whose ports keep their original ids.
     base: u32,
+    /// When set, every write that becomes visible to the *other* side of
+    /// a link next cycle appends a wake token to `wakes` (see
+    /// [`LinkArena::set_wake_logging`]).
+    log_wakes: bool,
+    wakes: Vec<u32>,
+}
+
+/// Decodes a wake token logged by a [`LinkArena`] (see
+/// [`LinkArena::set_wake_logging`]): the touched link, and whether the
+/// component that must wake is the one holding the link's *master-side*
+/// port (`true`) or its slave-side port (`false`).
+pub fn wake_token(token: u32) -> (LinkId, bool) {
+    (LinkId(token >> 1), token & 1 != 0)
 }
 
 impl LinkArena {
@@ -140,6 +153,8 @@ impl LinkArena {
         LinkArena {
             links: self.links.split_off(local),
             base: at,
+            log_wakes: self.log_wakes,
+            wakes: Vec::new(),
         }
     }
 
@@ -155,6 +170,33 @@ impl LinkArena {
             "appended arena is not contiguous with this one"
         );
         self.links.append(&mut tail.links);
+        self.wakes.append(&mut tail.wakes);
+    }
+
+    /// Enables (or disables) wake-touch logging.
+    ///
+    /// While enabled, every port operation that makes new state visible
+    /// to the component on the *other* end of a link next cycle —
+    /// [`MasterPort::assert_request`]/[`MasterPort::forward_request`]
+    /// towards the slave side, [`SlavePort::accept_request`]/
+    /// [`SlavePort::push_response`] towards the master side — logs a
+    /// token identifying the reader, drained via [`WakeEvents`]. The
+    /// sparse scheduling engines use this to pull a sleeping component
+    /// out of its wheel exactly when an inbound event becomes visible;
+    /// consuming operations (`take_*`) wake nobody. Off by default and
+    /// free when off (one branch per write).
+    pub fn set_wake_logging(&mut self, on: bool) {
+        self.log_wakes = on;
+        if !on {
+            self.wakes.clear();
+        }
+    }
+
+    #[inline]
+    fn log_wake(&mut self, id: LinkId, master_side: bool) {
+        if self.log_wakes {
+            self.wakes.push(id.0 << 1 | master_side as u32);
+        }
     }
 
     #[inline]
@@ -174,6 +216,15 @@ impl LinkArena {
     fn link_mut(&mut self, id: LinkId) -> &mut Link {
         let at = self.local(id);
         &mut self.links[at]
+    }
+}
+
+impl WakeEvents for LinkArena {
+    fn drain_wakes(&mut self, wake: &mut dyn FnMut(u32)) {
+        for i in 0..self.wakes.len() {
+            wake(self.wakes[i]);
+        }
+        self.wakes.clear();
     }
 }
 
@@ -267,6 +318,7 @@ impl MasterPort {
         }
         ch.req = Some(req);
         ch.req_visible_at = Some(now + 1);
+        net.log_wake(self.link, false);
         tag
     }
 
@@ -291,6 +343,7 @@ impl MasterPort {
         }
         ch.req = Some(req);
         ch.req_visible_at = Some(now + 1);
+        net.log_wake(self.link, false);
     }
 
     /// Whether a request is still driving the wires (not yet accepted).
@@ -433,6 +486,7 @@ impl SlavePort {
         if let Some(obs) = ch.observer.as_mut() {
             obs.on_accept(now, &req);
         }
+        net.log_wake(self.link, true);
         Some(req)
     }
 
@@ -447,6 +501,7 @@ impl SlavePort {
         if ch.resp_visible_at.is_none() {
             ch.resp_visible_at = Some(now + 1);
         }
+        net.log_wake(self.link, true);
     }
 
     /// Whether the link is completely quiet; see [`MasterPort::is_quiet`].
@@ -629,6 +684,36 @@ mod tests {
             other.split_off(1)
         };
         net.append(tail); // tail.base == 1 but net ends at 2
+    }
+
+    #[test]
+    fn wake_log_records_producer_touches_only() {
+        let (mut net, m, s) = channel("l", MasterId(0));
+        let mut tokens = Vec::new();
+        let drain = |net: &mut LinkArena| {
+            let mut got = Vec::new();
+            net.drain_wakes(&mut |t| got.push(wake_token(t)));
+            got
+        };
+        // Logging off: nothing recorded.
+        m.assert_request(&mut net, OcpRequest::read(0x10), 0);
+        assert!(drain(&mut net).is_empty());
+        s.accept_request(&mut net, 1);
+        net.set_wake_logging(true);
+        // Producer ops log the reader's side; consumers log nothing.
+        s.push_response(&mut net, OcpResponse::ok(vec![1], 0), 2);
+        tokens.extend(drain(&mut net));
+        assert_eq!(tokens, vec![(m.id(), true)]);
+        m.take_response(&mut net, 3);
+        assert!(drain(&mut net).is_empty());
+        m.assert_request(&mut net, OcpRequest::read(0x14), 3);
+        assert_eq!(drain(&mut net), vec![(m.id(), false)]);
+        s.accept_request(&mut net, 4);
+        assert_eq!(drain(&mut net), vec![(m.id(), true)]);
+        // Disabling clears any undrained backlog.
+        s.push_response(&mut net, OcpResponse::ok(vec![2], 0), 5);
+        net.set_wake_logging(false);
+        assert!(drain(&mut net).is_empty());
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod data;
 mod observer;
 mod types;
 
-pub use channel::{LinkArena, LinkId, MasterPort, SlavePort};
+pub use channel::{wake_token, LinkArena, LinkId, MasterPort, SlavePort};
 pub use data::DataWords;
 pub use observer::{ChannelObserver, NullObserver};
 pub use types::{MasterId, OcpCmd, OcpRequest, OcpResponse, OcpStatus, SlaveId};

@@ -13,8 +13,8 @@ use ntg_mem::{AddressMap, MapError, MemoryDevice, SemaphoreBank};
 use ntg_noc::{
     AmbaBus, Arbitration, CrossbarBus, IdealInterconnect, Interconnect, XpipesConfig, XpipesNoc,
 };
-use ntg_ocp::{LinkArena, MasterId};
-use ntg_sim::{Activity, ClockConfig, Component, Cycle, WindowSeries};
+use ntg_ocp::{wake_token, LinkArena, MasterId};
+use ntg_sim::{ActiveSet, Activity, ClockConfig, Component, Cycle, WakeEvents, WindowSeries};
 use ntg_trace::{shared_trace, MasterTrace, SharedTrace, TraceMonitor};
 
 use crate::mem_map;
@@ -676,8 +676,10 @@ impl PlatformBuilder {
             traces,
             now: 0,
             skipping: ntg_sim::cycle_skipping_enabled(),
+            active_sched: ntg_sim::active_scheduling_enabled(),
             skipped_cycles: 0,
             ticked_cycles: 0,
+            visited_component_cycles: 0,
             metrics: None,
         })
     }
@@ -712,8 +714,10 @@ pub struct Platform {
     traces: Vec<Option<SharedTrace>>,
     now: Cycle,
     skipping: bool,
+    active_sched: bool,
     skipped_cycles: Cycle,
     ticked_cycles: Cycle,
+    visited_component_cycles: u64,
     metrics: Option<MetricsRecorder>,
 }
 
@@ -741,6 +745,16 @@ impl Platform {
     /// equivalence tests in `ntg-bench` pin this down).
     pub fn set_cycle_skipping(&mut self, on: bool) {
         self.skipping = on;
+    }
+
+    /// Enables or disables O(active)-component scheduling for this
+    /// platform, overriding the `NTG_NO_ACTIVE_SCHED` environment
+    /// default. Only effective while cycle skipping is on (the sparse
+    /// loop is built on the same `skip` catch-up contract); like
+    /// skipping itself it is a pure wall-time optimisation — reported
+    /// cycles, statistics and traces are bit-identical either way.
+    pub fn set_active_scheduling(&mut self, on: bool) {
+        self.active_sched = on;
     }
 
     /// Enables metrics collection for this platform's subsequent runs.
@@ -846,6 +860,9 @@ impl Platform {
     /// [`set_cycle_skipping`](Self::set_cycle_skipping)); skipping never
     /// changes reported cycles, statistics or traces, only wall time.
     pub fn run(&mut self, max_cycles: Cycle) -> RunReport {
+        if self.skipping && self.active_sched {
+            return self.run_sparse(max_cycles);
+        }
         // Ceiling for the exponential horizon-poll backoff. While the
         // platform stays busy each poll fails after touching every
         // component; backing off caps that overhead at ~1/64th of a tick
@@ -890,12 +907,184 @@ impl Platform {
                 s.tick(now, &mut self.net);
             }
             self.sample_metrics(now);
+            self.visited_component_cycles += self.components() as u64;
             self.ticked_cycles += 1;
             self.now += 1;
         }
         if !completed && self.quiesced() {
             completed = true;
         }
+        // Close the metrics windows up to the finish cycle: every engine
+        // records a final (possibly zero) sample at `self.now`, so the
+        // window structure depends only on where the run ended, not on
+        // where each engine's last jump happened to start.
+        self.sample_metrics(self.now);
+        self.build_report(completed, start.elapsed(), None)
+    }
+
+    /// Total components in the platform (masters + fabric + slaves) —
+    /// the per-cycle denominator of the sparse-visit ratio.
+    fn components(&self) -> usize {
+        self.masters.len() + 1 + self.slaves.len()
+    }
+
+    /// The sparse O(active) variant of [`run`](Self::run): per-component
+    /// wake tracking replaces the all-components horizon scan.
+    ///
+    /// Masters and slaves live in an [`ActiveSet`] keyed by their
+    /// `next_activity` hints; a ticked cycle visits only the components
+    /// whose wake arrived (plus `Busy` ones), and a sleeper is caught up
+    /// through its `skip` contract when next visited. The interconnect
+    /// is *not* scheduled — it ticks on every visited cycle and its hint
+    /// is consulted only when everything else sleeps, which keeps this
+    /// loop's skipped/ticked split identical to the partitioned
+    /// engine's (whose regions cannot observe remote fabric state).
+    /// Results are bit-identical to the dense loop; only the work per
+    /// ticked cycle changes.
+    fn run_sparse(&mut self, max_cycles: Cycle) -> RunReport {
+        let start = Instant::now();
+        let n_m = self.masters.len();
+        let start_now = self.now;
+        let mut sched = ActiveSet::new(n_m + self.slaves.len());
+        if start_now > 0 {
+            // Align the (empty) wheel's cursor with a resumed platform.
+            sched.advance(start_now);
+        }
+        for (m, master) in self.masters.iter().enumerate() {
+            let hint = master
+                .as_component_ref()
+                .next_activity(start_now, &self.net);
+            sched.seed(m as u32, hint, start_now);
+        }
+        for (s, slave) in self.slaves.iter().enumerate() {
+            let hint = slave.as_component_ref().next_activity(start_now, &self.net);
+            sched.seed((n_m + s) as u32, hint, start_now);
+        }
+        // O(1) gate in front of the full quiesce predicate: quiescence
+        // requires every master halted, and halting only happens inside
+        // a master's tick, where the counter is maintained.
+        let mut live_masters = self.masters.iter().filter(|m| !m.halted()).count();
+        self.net.set_wake_logging(true);
+        self.interconnect.set_event_driven(true);
+        let ticked_before = self.ticked_cycles;
+        let mut tokens: Vec<u32> = Vec::new();
+        let mut visit_buf: Vec<u32> = Vec::with_capacity(sched.components());
+        let mut completed = false;
+        while self.now < max_cycles {
+            if live_masters == 0 && self.quiesced() {
+                completed = true;
+                break;
+            }
+            let now = self.now;
+            if sched.idle() {
+                // Everything with timed work sleeps in the wheel, so
+                // the fabric is the only possible actor: one hint check
+                // replaces the dense engine's full-platform horizon
+                // fold. Sleepers catch up lazily when next visited;
+                // only the fabric is fast-forwarded eagerly, exactly
+                // like the partitioned engine's skip rounds.
+                let mut target = sched.next_wake().unwrap_or(max_cycles).min(max_cycles);
+                match self.interconnect.next_activity(now, &self.net) {
+                    Activity::Busy => target = now,
+                    Activity::IdleUntil(w) => target = target.min(w.max(now)),
+                    Activity::Drained => {}
+                }
+                if target > now {
+                    self.interconnect.skip(now, target, &mut self.net);
+                    self.skipped_cycles += target - now;
+                    self.sample_metrics(now);
+                    self.now = target;
+                    sched.advance(target);
+                    continue;
+                }
+            }
+            visit_buf.clear();
+            visit_buf.extend_from_slice(sched.visit(now));
+            let split = visit_buf.partition_point(|&id| (id as usize) < n_m);
+            for &id in &visit_buf[..split] {
+                let i = id as usize;
+                if let Some(since) = sched.take_catch_up(id, now) {
+                    self.masters[i]
+                        .as_component()
+                        .skip(since, now, &mut self.net);
+                }
+                let was_halted = self.masters[i].halted();
+                self.masters[i].tick(now, &mut self.net);
+                if !was_halted && self.masters[i].halted() {
+                    live_masters -= 1;
+                }
+            }
+            self.interconnect.tick(now, &mut self.net);
+            for &id in &visit_buf[split..] {
+                let i = id as usize - n_m;
+                if let Some(since) = sched.take_catch_up(id, now) {
+                    self.slaves[i]
+                        .as_component()
+                        .skip(since, now, &mut self.net);
+                }
+                self.slaves[i].tick(now, &mut self.net);
+            }
+            let next = now + 1;
+            for &id in &visit_buf {
+                let i = id as usize;
+                let hint = if i < n_m {
+                    self.masters[i]
+                        .as_component_ref()
+                        .next_activity(next, &self.net)
+                } else {
+                    self.slaves[i - n_m]
+                        .as_component_ref()
+                        .next_activity(next, &self.net)
+                };
+                sched.reinsert(id, hint, next);
+            }
+            // Producer touches this cycle become visible at `next`;
+            // route each to its reader. Component ids coincide with
+            // link ids by construction (master `m` owns link `m`, slave
+            // `s` owns link `n_m + s`), so a component-side wake is
+            // just the link index.
+            self.net.drain_wakes(&mut |t| tokens.push(t));
+            for &t in &tokens {
+                let (link, master_side) = wake_token(t);
+                let l = link.index();
+                let to_fabric = if l < n_m { !master_side } else { master_side };
+                if to_fabric {
+                    self.interconnect.wake_link(link);
+                } else {
+                    sched.wake(l as u32, next);
+                }
+            }
+            tokens.clear();
+            sched.end_cycle(now);
+            self.sample_metrics(now);
+            self.ticked_cycles += 1;
+            self.now = next;
+        }
+        if !completed && self.quiesced() {
+            completed = true;
+        }
+        // Settle every sleeper's bookkeeping up to the finish cycle so
+        // reports and traces observe exactly the dense engine's state.
+        let final_now = self.now;
+        sched.drain_catch_ups(final_now, |id, since| {
+            let i = id as usize;
+            if i < n_m {
+                self.masters[i]
+                    .as_component()
+                    .skip(since, final_now, &mut self.net);
+            } else {
+                self.slaves[i - n_m]
+                    .as_component()
+                    .skip(since, final_now, &mut self.net);
+            }
+        });
+        self.net.set_wake_logging(false);
+        self.interconnect.set_event_driven(false);
+        // The fabric is visited once per ticked cycle on top of the
+        // scheduler's master/slave visits.
+        self.visited_component_cycles +=
+            sched.visited_component_cycles() + (self.ticked_cycles - ticked_before);
+        self.sample_metrics(self.now);
         self.build_report(completed, start.elapsed(), None)
     }
 
@@ -922,6 +1111,8 @@ impl Platform {
             tg_reused: None,
             skipped_cycles: self.skipped_cycles,
             ticked_cycles: self.ticked_cycles,
+            visited_component_cycles: self.visited_component_cycles,
+            total_component_cycles: self.components() as u64 * self.now,
             metrics: self.metrics_report(),
             partition,
         }
@@ -950,6 +1141,7 @@ impl Platform {
                 s.tick(now, &mut self.net);
             }
             self.sample_metrics(now);
+            self.visited_component_cycles += self.components() as u64;
             self.ticked_cycles += 1;
             self.now += 1;
         }

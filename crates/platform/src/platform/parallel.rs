@@ -29,9 +29,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use ntg_noc::{Interconnect, RegionSpec, XpipesNoc};
-use ntg_ocp::LinkArena;
+use ntg_ocp::{wake_token, LinkArena};
 use ntg_sim::parallel::combine_hints;
-use ntg_sim::{Activity, Component, Cycle, SpinBarrier, StatusSlot, WindowSeries};
+use ntg_sim::{
+    ActiveSet, Activity, Component, Cycle, SpinBarrier, StatusSlot, WakeEvents, WindowSeries,
+};
 
 use super::{Master, Platform, Slave};
 use crate::report::{PartitionReport, RunReport};
@@ -60,6 +62,22 @@ struct Region {
     slaves: Vec<Slave>,
     net: LinkArena,
     metrics: Option<RegionMetrics>,
+    /// O(active) scheduling state over this band's masters and slaves
+    /// (`None` runs the band dense). Local component id = global link id
+    /// minus `link_base`: the band owns one contiguous link range with
+    /// its master links first, slave links after — the same id space
+    /// the wake tokens use.
+    sched: Option<ActiveSet>,
+    /// First global link id of this band's arena slice.
+    link_base: usize,
+    /// Masters not yet halted — O(1) gate for the quiesce predicate
+    /// (maintained only when `sched` is active).
+    live_masters: usize,
+    /// Visit-set and wake-token scratch, reused every round.
+    visit_buf: Vec<u32>,
+    tokens: Vec<u32>,
+    /// Final `ActiveSet::visited_component_cycles`, latched at exit.
+    visited: u64,
 }
 
 /// Per-worker metric state; merged into the platform recorder after the
@@ -73,15 +91,90 @@ struct RegionMetrics {
 
 impl Region {
     /// One ticked cycle: phase A, barrier, phase B, status, barrier.
+    ///
+    /// With O(active) scheduling on, each phase visits only the band's
+    /// woken masters/slaves (sleepers catch up through `skip` when
+    /// revisited); the band's mesh share always ticks, exactly like the
+    /// serial sparse loop's interconnect.
     fn tick_round(&mut self, now: Cycle, barrier: &SpinBarrier, slot: &StatusSlot, hint: bool) {
-        for m in &mut self.masters {
-            m.tick(now, &mut self.net);
-        }
+        let n_m = self.masters.len();
+        let split = if let Some(sched) = &mut self.sched {
+            self.visit_buf.clear();
+            self.visit_buf.extend_from_slice(sched.visit(now));
+            let split = self.visit_buf.partition_point(|&id| (id as usize) < n_m);
+            for &id in &self.visit_buf[..split] {
+                let i = id as usize;
+                if let Some(since) = sched.take_catch_up(id, now) {
+                    self.masters[i]
+                        .as_component()
+                        .skip(since, now, &mut self.net);
+                }
+                let was_halted = self.masters[i].halted();
+                self.masters[i].tick(now, &mut self.net);
+                if !was_halted && self.masters[i].halted() {
+                    self.live_masters -= 1;
+                }
+            }
+            split
+        } else {
+            for m in &mut self.masters {
+                m.tick(now, &mut self.net);
+            }
+            0
+        };
         self.noc.phase_link(&mut self.net, now);
         barrier.wait(); // every region's boundary exports are in place
         self.noc.phase_switch_ni(&mut self.net, now);
-        for s in &mut self.slaves {
-            s.tick(now, &mut self.net);
+        if let Some(sched) = &mut self.sched {
+            for &id in &self.visit_buf[split..] {
+                let i = id as usize - n_m;
+                if let Some(since) = sched.take_catch_up(id, now) {
+                    self.slaves[i]
+                        .as_component()
+                        .skip(since, now, &mut self.net);
+                }
+                self.slaves[i].tick(now, &mut self.net);
+            }
+            let next = now + 1;
+            for &id in &self.visit_buf {
+                let i = id as usize;
+                let hint = if i < n_m {
+                    self.masters[i]
+                        .as_component_ref()
+                        .next_activity(next, &self.net)
+                } else {
+                    self.slaves[i - n_m]
+                        .as_component_ref()
+                        .next_activity(next, &self.net)
+                };
+                sched.reinsert(id, hint, next);
+            }
+            // Producer touches become visible at `next`; the band's
+            // links are all intra-band (each master/slave attaches to
+            // an NI of its own band), so tokens never cross regions.
+            let tokens = &mut self.tokens;
+            self.net.drain_wakes(&mut |t| tokens.push(t));
+            let base = self.link_base;
+            for &t in tokens.iter() {
+                let (link, master_side) = wake_token(t);
+                let local = link.index() - base;
+                let to_fabric = if local < n_m {
+                    !master_side
+                } else {
+                    master_side
+                };
+                if to_fabric {
+                    self.noc.wake_link(link);
+                } else {
+                    sched.wake(local as u32, next);
+                }
+            }
+            tokens.clear();
+            sched.end_cycle(now);
+        } else {
+            for s in &mut self.slaves {
+                s.tick(now, &mut self.net);
+            }
         }
         self.sample(now);
         self.publish(slot, now + 1, hint);
@@ -91,19 +184,51 @@ impl Region {
     /// One horizon jump `now → to`; no flits move (skips only fire on a
     /// globally idle fabric), so the mid barrier separates nothing and
     /// is crossed purely to keep every round's crossing count uniform.
+    ///
+    /// With O(active) scheduling on, only the mesh share fast-forwards
+    /// eagerly; sleeping masters/slaves settle via catch-up skips when
+    /// next visited, like the serial sparse loop.
     fn skip_round(&mut self, now: Cycle, to: Cycle, barrier: &SpinBarrier, slot: &StatusSlot) {
-        for m in &mut self.masters {
-            m.as_component().skip(now, to, &mut self.net);
-        }
-        self.noc.skip(now, to, &mut self.net);
-        for s in &mut self.slaves {
-            s.as_component().skip(now, to, &mut self.net);
+        if self.sched.is_some() {
+            self.noc.skip(now, to, &mut self.net);
+        } else {
+            for m in &mut self.masters {
+                m.as_component().skip(now, to, &mut self.net);
+            }
+            self.noc.skip(now, to, &mut self.net);
+            for s in &mut self.slaves {
+                s.as_component().skip(now, to, &mut self.net);
+            }
         }
         barrier.wait();
         // The serial loop samples a jump at its first cycle.
         self.sample(now);
+        if let Some(sched) = &mut self.sched {
+            sched.advance(to);
+        }
         self.publish(slot, to, true);
         barrier.wait();
+    }
+
+    /// End-of-run settlement for a sparse band: fast-forwards every
+    /// sleeper's bookkeeping to the finish cycle and latches the visit
+    /// counter. No-op for dense bands.
+    fn finalize(&mut self, now: Cycle) {
+        let Some(sched) = &mut self.sched else { return };
+        let n_m = self.masters.len();
+        sched.drain_catch_ups(now, |id, since| {
+            let i = id as usize;
+            if i < n_m {
+                self.masters[i]
+                    .as_component()
+                    .skip(since, now, &mut self.net);
+            } else {
+                self.slaves[i - n_m]
+                    .as_component()
+                    .skip(since, now, &mut self.net);
+            }
+        });
+        self.visited = sched.visited_component_cycles();
     }
 
     /// A status-only round — the very first command, so the control
@@ -127,7 +252,29 @@ impl Region {
     /// Publishes this region's quiesce flag and (when the next control
     /// decision polls the horizon) its folded wake hint, evaluated at
     /// cycle `at` — the cycle the control loop is about to decide for.
+    ///
+    /// A sparse band's hint comes from its scheduler instead of a
+    /// component scan: `Busy` while anything runs or is due at `at`,
+    /// otherwise the fold of the wheel's earliest wake with the band's
+    /// mesh hint — the same value the serial sparse loop computes for
+    /// its jump decision.
     fn publish(&self, slot: &StatusSlot, at: Cycle, want_hint: bool) {
+        if let Some(sched) = &self.sched {
+            let quiesced = self.live_masters == 0
+                && self.noc.is_idle(&self.net)
+                && self.slaves.iter().all(|s| s.is_idle(&self.net));
+            let hint = if !want_hint || !sched.idle() {
+                Activity::Busy
+            } else {
+                let wheel = match sched.next_wake() {
+                    Some(w) => Activity::IdleUntil(w),
+                    None => Activity::Drained,
+                };
+                combine_hints(wheel, self.noc.next_activity(at, &self.net))
+            };
+            slot.publish(quiesced, hint);
+            return;
+        }
         let quiesced = self.masters.iter().all(Master::halted)
             && self.noc.is_idle(&self.net)
             && self.slaves.iter().all(|s| s.is_idle(&self.net));
@@ -161,7 +308,10 @@ fn worker_loop(region: &mut Region, barrier: &SpinBarrier, command: &AtomicU64, 
         let bits = command.load(Ordering::Relaxed);
         let (op, hint, target) = (bits >> OP_SHIFT, bits & WANT_HINT != 0, bits & TARGET_MASK);
         match op {
-            OP_EXIT => break,
+            OP_EXIT => {
+                region.finalize(now);
+                break;
+            }
             OP_PROBE => region.probe_round(now, barrier, slot, hint),
             OP_TICK => {
                 region.tick_round(now, barrier, slot, hint);
@@ -216,6 +366,11 @@ fn control_loop(
     skipping: bool,
 ) -> ControlOutcome {
     const MAX_POLL_BACKOFF: Cycle = 64;
+    // With O(active) scheduling the idle test is one flag per band, so
+    // the control polls the horizon every round (backoff pinned at 1),
+    // exactly like the serial sparse loop checks `ActiveSet::idle`
+    // every cycle — keeping the two engines' skip schedules identical.
+    let sparse = region.sched.is_some();
     let mut now: Cycle = 0;
     let mut skipped: Cycle = 0;
     let mut ticked: Cycle = 0;
@@ -241,7 +396,7 @@ fn control_loop(
             completed = true;
             break;
         }
-        if skipping && now >= poll_at {
+        if skipping && (sparse || now >= poll_at) {
             if let Some(next) = horizon(slots, now, max_cycles) {
                 command.store(encode_command(OP_SKIP, true, next), Ordering::Relaxed);
                 barrier.wait();
@@ -252,10 +407,12 @@ fn control_loop(
                 poll_at = now;
                 continue;
             }
-            backoff = (backoff * 2).min(MAX_POLL_BACKOFF);
-            poll_at = now + backoff;
+            if !sparse {
+                backoff = (backoff * 2).min(MAX_POLL_BACKOFF);
+                poll_at = now + backoff;
+            }
         }
-        let want_hint = skipping && now + 1 >= poll_at;
+        let want_hint = skipping && (sparse || now + 1 >= poll_at);
         command.store(encode_command(OP_TICK, want_hint, 0), Ordering::Relaxed);
         barrier.wait();
         region.tick_round(now, barrier, &slots[0], want_hint);
@@ -343,10 +500,28 @@ impl Platform {
         self.now = outcome.now;
         self.skipped_cycles += outcome.skipped;
         self.ticked_cycles += outcome.ticked;
+        control_region.finalize(outcome.now);
         let mut all = Vec::with_capacity(p);
         all.push(control_region);
         all.extend(joined);
+        // Sparse bands visited only what they woke (the mesh counts once
+        // per ticked round, as in the serial sparse loop); dense rounds
+        // visit every component of every region.
+        let region_visited: u64 = all.iter().map(|r| r.visited).sum();
+        let sparse = all[0].sched.is_some();
         self.reassemble(all);
+        self.visited_component_cycles += if sparse {
+            region_visited + outcome.ticked
+        } else {
+            self.components() as u64 * outcome.ticked
+        };
+        if sparse {
+            self.net.set_wake_logging(false);
+            self.interconnect.set_event_driven(false);
+        }
+        // Final window-closing sample at the finish cycle, mirroring the
+        // serial engines (keeps metric sidecars byte-identical).
+        self.sample_metrics(self.now);
 
         self.build_report(
             outcome.completed,
@@ -355,6 +530,7 @@ impl Platform {
                 partitions: p,
                 barrier_crossings: barrier.crossings(),
                 barrier_stalls: barrier.stalls(),
+                oversubscribed: barrier.immediate_yield(),
             }),
         )
     }
@@ -363,6 +539,11 @@ impl Platform {
     /// splits the mesh, slices the link arena at the band boundaries and
     /// deals out the masters and slave devices.
     fn carve(&mut self, specs: &[RegionSpec]) -> Vec<Region> {
+        let sparse = self.skipping && self.active_sched;
+        if sparse {
+            // Sub-arenas inherit the logging flag through `split_off`.
+            self.net.set_wake_logging(true);
+        }
         let nocs = self
             .interconnect
             .as_xpipes_mut()
@@ -383,21 +564,45 @@ impl Platform {
             .iter()
             .zip(nocs)
             .zip(arenas)
-            .map(|((spec, noc), net)| Region {
-                masters: masters
+            .map(|((spec, mut noc), net)| {
+                let masters: Vec<Master> = masters
                     .by_ref()
                     .take(spec.masters.1 - spec.masters.0)
-                    .collect(),
-                slaves: slaves
+                    .collect();
+                let slaves: Vec<Slave> = slaves
                     .by_ref()
                     .take(spec.slaves.1 - spec.slaves.0)
-                    .collect(),
-                metrics: self.metrics.as_ref().map(|_| RegionMetrics {
-                    busy: WindowSeries::new("fabric_busy", 1024, 64),
-                    last_util: noc.utilization_cycles(),
-                }),
-                noc,
-                net,
+                    .collect();
+                let n_m = masters.len();
+                let sched = sparse.then(|| {
+                    let mut sched = ActiveSet::new(n_m + slaves.len());
+                    for (m, master) in masters.iter().enumerate() {
+                        let hint = master.as_component_ref().next_activity(0, &net);
+                        sched.seed(m as u32, hint, 0);
+                    }
+                    for (s, slave) in slaves.iter().enumerate() {
+                        let hint = slave.as_component_ref().next_activity(0, &net);
+                        sched.seed((n_m + s) as u32, hint, 0);
+                    }
+                    Interconnect::set_event_driven(&mut noc, true);
+                    sched
+                });
+                Region {
+                    live_masters: masters.iter().filter(|m| !m.halted()).count(),
+                    masters,
+                    slaves,
+                    metrics: self.metrics.as_ref().map(|_| RegionMetrics {
+                        busy: WindowSeries::new("fabric_busy", 1024, 64),
+                        last_util: noc.utilization_cycles(),
+                    }),
+                    visit_buf: Vec::with_capacity(sched.as_ref().map_or(0, ActiveSet::components)),
+                    tokens: Vec::new(),
+                    visited: 0,
+                    sched,
+                    link_base: spec.links.0 as usize,
+                    noc,
+                    net,
+                }
             })
             .collect()
     }

@@ -92,6 +92,12 @@ pub struct PartitionReport {
     /// Total spin iterations burned waiting at barriers, summed over
     /// all workers — the partition-imbalance signal.
     pub barrier_stalls: u64,
+    /// Whether the barrier ran in immediate-yield mode because the run
+    /// asked for more worker threads than the host has logical CPUs
+    /// (see [`ntg_sim::SpinBarrier::immediate_yield`]). Throughput
+    /// numbers from an oversubscribed run measure the OS scheduler as
+    /// much as the simulator.
+    pub oversubscribed: bool,
 }
 
 /// The outcome of [`Platform::run`](crate::Platform::run).
@@ -129,6 +135,14 @@ pub struct RunReport {
     pub skipped_cycles: Cycle,
     /// Cycles simulated tick by tick.
     pub ticked_cycles: Cycle,
+    /// Component-cycles actually visited: per ticked cycle, the dense
+    /// engines count every component while the O(active) scheduler
+    /// counts only the components it woke (plus the fabric). Diagnostic
+    /// like the skip split — the sparse-visit numerator.
+    pub visited_component_cycles: u64,
+    /// `components × cycles` — the work a scan-everything engine would
+    /// have done; denominator of the sparse-visit ratio.
+    pub total_component_cycles: u64,
     /// Observability summary, present only when
     /// [`Platform::enable_metrics`](crate::Platform::enable_metrics)
     /// was called before the run.
@@ -224,6 +238,8 @@ mod tests {
             tg_reused: None,
             skipped_cycles: 0,
             ticked_cycles: 120,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
             partition: None,
         };
@@ -244,6 +260,8 @@ mod tests {
             tg_reused: None,
             skipped_cycles: 0,
             ticked_cycles: 120,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
             partition: None,
         };
@@ -264,6 +282,8 @@ mod tests {
             tg_reused: None,
             skipped_cycles: 0,
             ticked_cycles: 1_000,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
             partition: None,
         };

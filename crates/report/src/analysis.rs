@@ -304,6 +304,23 @@ pub struct LinkSummary {
     /// bucket bounds are `0, 1, 3, 7, …, 2^k − 1` and empty buckets are
     /// omitted.
     pub histogram: Vec<(u64, usize)>,
+    /// Component-cycles the engine actually executed for this job
+    /// (timings sidecar; 0 when absent).
+    pub visited_component_cycles: u64,
+    /// The dense-scan denominator `components × cycles` (timings
+    /// sidecar; 0 when absent).
+    pub total_component_cycles: u64,
+}
+
+impl LinkSummary {
+    /// Fraction of dense-scan component-cycles the engine actually
+    /// executed — the O(active) scheduler's win on this job (1.0 means
+    /// no win, small means mostly-idle components were skipped).
+    /// `None` without timings-sidecar visit counters.
+    pub fn visit_ratio(&self) -> Option<f64> {
+        (self.total_component_cycles > 0)
+            .then(|| self.visited_component_cycles as f64 / self.total_component_cycles as f64)
+    }
 }
 
 /// Builds the link view: one bounded [`LinkSummary`] per job that has
@@ -343,6 +360,8 @@ pub fn link_summaries(c: &Campaign, top_k: usize) -> Vec<LinkSummary> {
                 links: busy.len(),
                 top,
                 histogram,
+                visited_component_cycles: j.visited_component_cycles,
+                total_component_cycles: j.total_component_cycles,
             })
         })
         .collect()
@@ -379,6 +398,8 @@ mod tests {
             wall_secs: wall,
             skipped_cycles: 0,
             ticked_cycles: 0,
+            visited_component_cycles: 0,
+            total_component_cycles: 0,
             metrics: None,
         }
     }

@@ -85,6 +85,14 @@ pub fn load_campaign_parts(
                 jobs[i].skipped_cycles =
                     v.get("skipped_cycles").and_then(Json::as_u64).unwrap_or(0);
                 jobs[i].ticked_cycles = v.get("ticked_cycles").and_then(Json::as_u64).unwrap_or(0);
+                jobs[i].visited_component_cycles = v
+                    .get("visited_component_cycles")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
+                jobs[i].total_component_cycles = v
+                    .get("total_component_cycles")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0);
             }
         }
     }
@@ -144,7 +152,8 @@ mod tests {
     fn sidecars_join_by_job_id() {
         let timings = "{\"campaign\":\"t\",\"threads\":1,\"wall_secs\":3.0}\n\
              {\"id\":1,\"key\":\"w|2P|amba|tg|reactive\",\"wall_secs\":0.5,\
-             \"skipped_cycles\":40,\"ticked_cycles\":70}\n";
+             \"skipped_cycles\":40,\"ticked_cycles\":70,\
+             \"visited_component_cycles\":150,\"total_component_cycles\":440}\n";
         let metrics = "{\"campaign\":\"t\",\"fingerprint\":\"00000000000000ab\"}\n".to_string()
             + &ntg_explore::JobMetrics {
                 fabric_utilization_cycles: 55,
@@ -157,6 +166,8 @@ mod tests {
         assert!(c.has_timings && c.has_metrics);
         assert_eq!(c.jobs[1].wall_secs, 0.5);
         assert_eq!(c.jobs[1].skipped_cycles, 40);
+        assert_eq!(c.jobs[1].visited_component_cycles, 150);
+        assert_eq!(c.jobs[1].total_component_cycles, 440);
         assert_eq!(
             c.jobs[1]
                 .metrics

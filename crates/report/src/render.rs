@@ -150,11 +150,23 @@ pub fn markdown(c: &Campaign) -> String {
     if sums.is_empty() {
         let _ = writeln!(out, "(needs the metrics sidecar)");
     } else {
-        let _ = writeln!(
-            out,
-            "| configuration | links | hottest (link:busy) | spread (≤bound:links) |"
-        );
-        let _ = writeln!(out, "|---|---|---|---|");
+        // The visit column appears only when the timings sidecar carries
+        // the O(active) scheduler's counters, so older campaigns render
+        // unchanged.
+        let visits = sums.iter().any(|s| s.visit_ratio().is_some());
+        if visits {
+            let _ = writeln!(
+                out,
+                "| configuration | links | hottest (link:busy) | spread (≤bound:links) | visited/total comp-cycles |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|---|");
+        } else {
+            let _ = writeln!(
+                out,
+                "| configuration | links | hottest (link:busy) | spread (≤bound:links) |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|");
+        }
         for s in &sums {
             let top: Vec<String> = s.top.iter().map(|(i, b)| format!("{i}:{b}")).collect();
             let hist: Vec<String> = s
@@ -162,7 +174,7 @@ pub fn markdown(c: &Campaign) -> String {
                 .iter()
                 .map(|(ub, n)| format!("≤{ub}:{n}"))
                 .collect();
-            let _ = writeln!(
+            let _ = write!(
                 out,
                 "| {} | {} | {} | {} |",
                 md_cell(&s.key),
@@ -170,6 +182,17 @@ pub fn markdown(c: &Campaign) -> String {
                 top.join(" "),
                 hist.join(" "),
             );
+            if visits {
+                let cell = match s.visit_ratio() {
+                    Some(r) => format!(
+                        "{}/{} ({:.4})",
+                        s.visited_component_cycles, s.total_component_cycles, r
+                    ),
+                    None => "-".into(),
+                };
+                let _ = write!(out, " {cell} |");
+            }
+            let _ = writeln!(out);
         }
     }
     out

@@ -51,6 +51,10 @@ pub struct Simulator<C = ()> {
     skipping: bool,
     skipped_cycles: Cycle,
     ticked_cycles: Cycle,
+    visited_component_cycles: u64,
+    /// Wake-token → component-index routing table for
+    /// [`Simulator::run_active_until`]; `u32::MAX` marks unrouted tokens.
+    watches: Vec<u32>,
     observer: Option<Box<dyn Observer>>,
 }
 
@@ -83,6 +87,8 @@ impl<C> Simulator<C> {
             skipping: crate::cycle_skipping_enabled(),
             skipped_cycles: 0,
             ticked_cycles: 0,
+            visited_component_cycles: 0,
+            watches: Vec::new(),
             observer: None,
         }
     }
@@ -140,6 +146,31 @@ impl<C> Simulator<C> {
         self.ticked_cycles
     }
 
+    /// Component-cycles actually executed: the dense loops count every
+    /// component per ticked cycle, [`Simulator::run_active_until`]
+    /// counts only the components it woke. The sparse-visit numerator
+    /// (divide by `len() × now()` for the visit ratio).
+    pub fn visited_component_cycles(&self) -> u64 {
+        self.visited_component_cycles
+    }
+
+    /// Routes wake token `token` to the component at `idx`: whenever the
+    /// context logs the token during a cycle of an active-scheduled run
+    /// (see [`Simulator::run_active_until`]), that component is
+    /// scheduled for the following cycle. Tokens without a watch are
+    /// discarded; watching the same token again re-routes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is not a registered component index.
+    pub fn watch(&mut self, token: u32, idx: usize) {
+        assert!(idx < self.components.len(), "watch on unknown component");
+        if token as usize >= self.watches.len() {
+            self.watches.resize(token as usize + 1, u32::MAX);
+        }
+        self.watches[token as usize] = idx as u32;
+    }
+
     /// Registers a component. Components are ticked in registration order.
     ///
     /// Returns the component's index, which can be used with
@@ -182,6 +213,7 @@ impl<C> Simulator<C> {
         }
         self.now += 1;
         self.ticked_cycles += 1;
+        self.visited_component_cycles += self.components.len() as u64;
         if let Some(obs) = &mut self.observer {
             obs.on_tick(now);
         }
@@ -277,6 +309,160 @@ impl<C> Simulator<C> {
 
     fn all_idle(&self) -> bool {
         !self.components.is_empty() && self.components.iter().all(|c| c.is_idle(&self.ctx))
+    }
+}
+
+impl<C: crate::WakeEvents> Simulator<C> {
+    /// [`Simulator::run_active_until`] with no predicate.
+    pub fn run_active_until_idle(&mut self, max_cycles: Cycle) -> RunOutcome {
+        self.run_active_until(max_cycles, |_| false)
+    }
+
+    /// Like [`Simulator::run_until`], but scheduled O(active): instead
+    /// of ticking every component each visited cycle, an [`ActiveSet`]
+    /// wake wheel tracks each component's own hint and only woken
+    /// components run; everything a component slept through is settled
+    /// by one [`Component::skip`] catch-up right before its next tick.
+    /// Results are bit-identical to the dense loops for components that
+    /// honour the hint contract.
+    ///
+    /// Two extra obligations beyond [`Simulator::run_until`]'s:
+    ///
+    /// - cross-component touches must be observable: the shared context
+    ///   logs a wake token per touch ([`WakeEvents`]) and every token
+    ///   whose addressee is a registered component has a
+    ///   [`Simulator::watch`] route. A touch wakes its addressee for
+    ///   the following cycle (the engine's write-visibility delay).
+    /// - `is_idle` must imply a parked hint ([`Activity::Drained`] or a
+    ///   passive wait), so quiescence is decidable from scheduler state
+    ///   alone.
+    ///
+    /// The `stop` predicate runs at visited cycles only (a superset may
+    /// be visited compared to the dense engine) and observes lazily
+    /// settled state: a sleeping component's fields lag until its next
+    /// catch-up, so predicates should depend on `now()` or on awake
+    /// components' state.
+    ///
+    /// [`ActiveSet`]: crate::ActiveSet
+    /// [`WakeEvents`]: crate::WakeEvents
+    pub fn run_active_until(
+        &mut self,
+        max_cycles: Cycle,
+        mut stop: impl FnMut(&Simulator<C>) -> bool,
+    ) -> RunOutcome {
+        if !self.skipping {
+            // Sparse scheduling rides on the skip contract; without it
+            // the dense loop is the only exact engine.
+            return self.run_until(max_cycles, stop);
+        }
+        let end = self.now.saturating_add(max_cycles);
+        let n = self.components.len();
+        let mut sched = crate::ActiveSet::new(n);
+        for i in 0..n {
+            let hint = self.components[i].next_activity(self.now, &self.ctx);
+            sched.seed(i as u32, hint, self.now);
+        }
+        let visited_before = sched.visited_component_cycles();
+        let mut visit_buf: Vec<u32> = Vec::with_capacity(n);
+        let outcome = loop {
+            if self.now >= end {
+                break if stop(self) {
+                    RunOutcome::Predicate
+                } else if self.all_idle() {
+                    RunOutcome::Idle
+                } else {
+                    RunOutcome::CycleLimit
+                };
+            }
+            if stop(self) {
+                break RunOutcome::Predicate;
+            }
+            if sched.idle() {
+                // Everything sleeps: jump to the earliest wheel wake.
+                // With no wake pending nothing will ever run again
+                // without external input, so settle and classify —
+                // mirroring the dense engine, which would see all-idle
+                // (or a horizon at `end`) at this same cycle.
+                let Some(wake) = sched.next_wake() else {
+                    let now = self.now;
+                    let components = &mut self.components;
+                    let ctx = &mut self.ctx;
+                    sched.drain_catch_ups(now, |id, since| {
+                        components[id as usize].skip(since, now, ctx);
+                    });
+                    if self.all_idle() {
+                        break RunOutcome::Idle;
+                    }
+                    // Passive waiters only: fast-forward to the limit.
+                    for c in &mut self.components {
+                        c.skip(now, end, &mut self.ctx);
+                    }
+                    // The spans are settled; nothing for the final
+                    // catch-up drain to replay.
+                    sched.drain_catch_ups(end, |_, _| {});
+                    self.skipped_cycles += end - now;
+                    self.now = end;
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_skip(now, end);
+                    }
+                    continue;
+                };
+                let target = wake.min(end);
+                if target > self.now {
+                    let now = self.now;
+                    self.skipped_cycles += target - now;
+                    self.now = target;
+                    if let Some(obs) = &mut self.observer {
+                        obs.on_skip(now, target);
+                    }
+                }
+                sched.advance(self.now);
+                continue;
+            }
+            // Visit cycle: catch up and tick exactly the woken set, in
+            // index (= registration) order like the dense loop.
+            let now = self.now;
+            visit_buf.clear();
+            visit_buf.extend_from_slice(sched.visit(now));
+            for &id in &visit_buf {
+                let i = id as usize;
+                if let Some(since) = sched.take_catch_up(id, now) {
+                    self.components[i].skip(since, now, &mut self.ctx);
+                }
+                self.components[i].tick(now, &mut self.ctx);
+            }
+            let next = now + 1;
+            for &id in &visit_buf {
+                let hint = self.components[id as usize].next_activity(now, &self.ctx);
+                sched.reinsert(id, hint, next);
+            }
+            // Route this cycle's cross-component touches; they become
+            // visible (and the addressee runnable) next cycle.
+            let (ctx, watches) = (&mut self.ctx, &self.watches);
+            ctx.drain_wakes(&mut |token| {
+                if let Some(&idx) = watches.get(token as usize) {
+                    if idx != u32::MAX {
+                        sched.wake(idx, next);
+                    }
+                }
+            });
+            sched.end_cycle(now);
+            self.now = next;
+            self.ticked_cycles += 1;
+            if let Some(obs) = &mut self.observer {
+                obs.on_tick(now);
+            }
+        };
+        // Settle every component that is still lagging so callers see
+        // the same end state as after a dense run.
+        let now = self.now;
+        let components = &mut self.components;
+        let ctx = &mut self.ctx;
+        sched.drain_catch_ups(now, |id, since| {
+            components[id as usize].skip(since, now, ctx);
+        });
+        self.visited_component_cycles += sched.visited_component_cycles() - visited_before;
+        outcome
     }
 }
 
@@ -505,6 +691,152 @@ mod tests {
         assert_eq!(skipped, sim.skipped_cycles());
         assert!(skipped > 0, "idle gaps must be jumped");
         assert_eq!(ticked + skipped, sim.now());
+    }
+
+    fn run_sleepers_active(skipping: bool) -> (Cycle, Cycle, RunOutcome, u64) {
+        let mut sim = Simulator::<()>::new();
+        sim.set_cycle_skipping(skipping);
+        sim.add(Box::new(Sleeper::new(3, 40, 4)));
+        sim.add(Box::new(Sleeper::new(5, 17, 6)));
+        let outcome = sim.run_active_until_idle(10_000);
+        (
+            sim.now(),
+            sim.skipped_cycles(),
+            outcome,
+            sim.visited_component_cycles(),
+        )
+    }
+
+    #[test]
+    fn active_scheduling_matches_dense_runs() {
+        let (dense_now, _, dense_out) = run_sleepers(false);
+        let (now, skipped, out, visited) = run_sleepers_active(true);
+        assert_eq!(now, dense_now);
+        assert_eq!(out, dense_out);
+        assert!(skipped > 0, "overlapping idle windows must be skipped");
+        // The sleepers' bursts overlap only partially, so the woken sets
+        // are strictly smaller than ticking both every visited cycle.
+        let mut ticked = Simulator::<()>::new();
+        ticked.set_cycle_skipping(true);
+        ticked.add(Box::new(Sleeper::new(3, 40, 4)));
+        ticked.add(Box::new(Sleeper::new(5, 17, 6)));
+        ticked.run_until_idle(10_000);
+        assert!(
+            visited < ticked.visited_component_cycles(),
+            "sparse visits {visited} must undercut dense {}",
+            ticked.visited_component_cycles()
+        );
+        // With skipping off the active engine degrades to the dense loop.
+        let (now_off, skipped_off, out_off, _) = run_sleepers_active(false);
+        assert_eq!((now_off, skipped_off, out_off), (dense_now, 0, dense_out));
+    }
+
+    /// A shared mailbox with next-cycle visibility and a wake-token log
+    /// — a miniature of the OCP link arena's contract.
+    #[derive(Default)]
+    struct Channel {
+        pending_at: Option<Cycle>,
+        tokens: Vec<u32>,
+    }
+
+    impl crate::WakeEvents for Channel {
+        fn drain_wakes(&mut self, wake: &mut dyn FnMut(u32)) {
+            for t in self.tokens.drain(..) {
+                wake(t);
+            }
+        }
+    }
+
+    const ECHO_TOKEN: u32 = 7;
+
+    /// Sends `count` messages, one every `period` cycles, logging a wake
+    /// token per send.
+    struct Pinger {
+        period: u64,
+        count: u64,
+        next_send: Cycle,
+        sent: u64,
+    }
+
+    impl Component<Channel> for Pinger {
+        fn name(&self) -> &str {
+            "pinger"
+        }
+        fn tick(&mut self, now: Cycle, ch: &mut Channel) {
+            if self.sent < self.count && now == self.next_send {
+                ch.pending_at = Some(now + 1);
+                ch.tokens.push(ECHO_TOKEN);
+                self.sent += 1;
+                self.next_send += self.period;
+            }
+        }
+        fn is_idle(&self, _ch: &Channel) -> bool {
+            self.sent == self.count
+        }
+        fn next_activity(&self, _now: Cycle, _ch: &Channel) -> Activity {
+            if self.sent == self.count {
+                Activity::Drained
+            } else {
+                Activity::IdleUntil(self.next_send)
+            }
+        }
+    }
+
+    /// Passively waits for messages; records the cycle each one becomes
+    /// visible through a shared handle.
+    struct Echo(Arc<Mutex<Vec<Cycle>>>);
+
+    impl Component<Channel> for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn tick(&mut self, now: Cycle, ch: &mut Channel) {
+            if ch.pending_at.is_some_and(|at| at <= now) {
+                ch.pending_at = None;
+                self.0.lock().unwrap().push(now);
+            }
+        }
+        fn is_idle(&self, ch: &Channel) -> bool {
+            ch.pending_at.is_none()
+        }
+        fn next_activity(&self, now: Cycle, ch: &Channel) -> Activity {
+            match ch.pending_at {
+                Some(at) if at <= now => Activity::Busy,
+                Some(at) => Activity::IdleUntil(at),
+                None => Activity::Drained,
+            }
+        }
+    }
+
+    fn run_ping_echo(active: bool, skipping: bool) -> (Cycle, RunOutcome, Vec<Cycle>) {
+        let heard = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulator::<Channel>::new();
+        sim.set_cycle_skipping(skipping);
+        sim.add(Box::new(Pinger {
+            period: 50,
+            count: 4,
+            next_send: 10,
+            sent: 0,
+        }));
+        let echo = sim.add(Box::new(Echo(heard.clone())));
+        let outcome = if active {
+            sim.watch(ECHO_TOKEN, echo);
+            sim.run_active_until_idle(10_000)
+        } else {
+            sim.run_until_idle(10_000)
+        };
+        let heard = heard.lock().unwrap().clone();
+        (sim.now(), outcome, heard)
+    }
+
+    #[test]
+    fn wake_routing_matches_dense_delivery() {
+        let dense = run_ping_echo(false, false);
+        let skipping = run_ping_echo(false, true);
+        let active = run_ping_echo(true, true);
+        assert_eq!(dense.2, vec![11, 61, 111, 161]);
+        assert_eq!(dense, skipping);
+        assert_eq!(dense, active);
     }
 
     #[test]

@@ -49,6 +49,7 @@ mod component;
 mod kernel;
 pub mod observe;
 pub mod parallel;
+pub mod sched;
 pub mod stats;
 
 pub use clock::{ClockConfig, Nanos};
@@ -56,6 +57,7 @@ pub use component::{Activity, Component};
 pub use kernel::{RunOutcome, Simulator};
 pub use observe::{Contention, LinkMetrics, Observer, WindowSeries};
 pub use parallel::{SpinBarrier, StatusSlot};
+pub use sched::{active_scheduling_enabled, ActiveSet, WakeEvents, WakeWheel};
 
 /// Whether event-horizon cycle skipping is enabled for this process.
 ///

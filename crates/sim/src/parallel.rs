@@ -43,22 +43,52 @@ use crate::Activity;
 #[derive(Debug)]
 pub struct SpinBarrier {
     participants: usize,
+    spin_burst: u32,
     arrived: AtomicUsize,
     generation: AtomicU64,
     stalls: AtomicU64,
     waits: AtomicU64,
 }
 
+/// Spin iterations a waiter burns before falling back to `yield_now`
+/// when every participant can hold its own core.
+const DEFAULT_SPIN_BURST: u32 = 128;
+
 impl SpinBarrier {
-    /// Creates a barrier for `participants` threads.
+    /// Creates a barrier for `participants` threads, probing the host:
+    /// when `participants` exceeds [`std::thread::available_parallelism`]
+    /// the barrier starts in immediate-yield mode (spin burst 0), because
+    /// at least one participant is necessarily descheduled at every
+    /// crossing and spinning at the gate only steals the timeslice it
+    /// needs to arrive.
     ///
     /// # Panics
     ///
     /// Panics if `participants` is zero.
     pub fn new(participants: usize) -> Self {
+        let oversubscribed =
+            std::thread::available_parallelism().is_ok_and(|host| participants > host.get());
+        Self::with_spin_burst(
+            participants,
+            if oversubscribed {
+                0
+            } else {
+                DEFAULT_SPIN_BURST
+            },
+        )
+    }
+
+    /// Creates a barrier with an explicit spin burst (0 = always yield),
+    /// bypassing the host-parallelism probe of [`SpinBarrier::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` is zero.
+    pub fn with_spin_burst(participants: usize, spin_burst: u32) -> Self {
         assert!(participants > 0, "a barrier needs at least one participant");
         Self {
             participants,
+            spin_burst,
             arrived: AtomicUsize::new(0),
             generation: AtomicU64::new(0),
             stalls: AtomicU64::new(0),
@@ -71,6 +101,19 @@ impl SpinBarrier {
         self.participants
     }
 
+    /// The configured spin burst; 0 means every wait yields immediately
+    /// (the oversubscribed-host mode).
+    pub fn spin_burst(&self) -> u32 {
+        self.spin_burst
+    }
+
+    /// Whether this barrier runs in immediate-yield mode — set at
+    /// construction when the participant count exceeds the host's
+    /// available parallelism.
+    pub fn immediate_yield(&self) -> bool {
+        self.spin_burst == 0
+    }
+
     /// Blocks until all participants have arrived at this crossing.
     ///
     /// Waiters spin a short bounded burst (the fast path when every
@@ -80,7 +123,7 @@ impl SpinBarrier {
     /// instead of burning whole timeslices spinning at a gate the
     /// missing participant cannot reach until it gets the CPU.
     pub fn wait(&self) {
-        const SPIN_BURST: u32 = 128;
+        let spin_burst = self.spin_burst;
         let generation = self.generation.load(Ordering::Acquire);
         if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.participants {
             // Last arrival: reset the count for the next crossing, then
@@ -92,7 +135,7 @@ impl SpinBarrier {
         } else {
             let mut spins: u64 = 0;
             while self.generation.load(Ordering::Acquire) == generation {
-                if spins < u64::from(SPIN_BURST) {
+                if spins < u64::from(spin_burst) {
                     std::hint::spin_loop();
                 } else {
                     std::thread::yield_now();
@@ -244,6 +287,34 @@ mod tests {
         }
         assert_eq!(barrier.stalls(), 0);
         assert_eq!(barrier.crossings(), 10);
+    }
+
+    #[test]
+    fn oversubscribed_barrier_yields_immediately() {
+        // An explicit burst of 0 is the immediate-yield mode `new`
+        // selects when participants exceed host parallelism.
+        let barrier = SpinBarrier::with_spin_burst(2, 0);
+        assert!(barrier.immediate_yield());
+        assert_eq!(barrier.spin_burst(), 0);
+        let counter = SharedCounter::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    for _ in 0..50u64 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+        assert_eq!(barrier.crossings(), 50);
+
+        // A barrier never larger than the host keeps the spinning fast
+        // path; one the host cannot co-schedule starts in yield mode.
+        let host = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert!(!SpinBarrier::new(1).immediate_yield());
+        assert!(SpinBarrier::new(host + 1).immediate_yield());
     }
 
     #[test]
