@@ -204,4 +204,48 @@ for name in ("figure2a.trace.json", "figure2b.trace.json"):
 print("figure2 timelines OK")
 PYEOF
 
+# Campaign-service smoke: an ntg-serve daemon on an ephemeral loopback
+# port, a 12-job campaign submitted / watched / fetched through the
+# ntg-sweep client — the fetched canonical file must be byte-identical
+# to a local run of the same spec. Then the tiered store: a cold run
+# publishes every artifact to the daemon, a warm run from an empty
+# local store rebuilds nothing (the remote counters prove it).
+echo "==> serve smoke: submit/watch/fetch matches local run"
+SERVE_SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$STORE_SMOKE_DIR" "$REPORT_SMOKE_DIR" "$SYN_SMOKE_DIR" "$PART_SMOKE_DIR" "$SERVE_SMOKE_DIR"; kill "${SERVE_PID:-0}" 2> /dev/null || true' EXIT
+./target/release/ntg-serve --listen 127.0.0.1:0 --data "$SERVE_SMOKE_DIR/data" \
+    --workers 2 --addr-file "$SERVE_SMOKE_DIR/addr" --quiet > /dev/null &
+SERVE_PID=$!
+for _ in $(seq 100); do [ -s "$SERVE_SMOKE_DIR/addr" ] && break; sleep 0.1; done
+ADDR=$(cat "$SERVE_SMOKE_DIR/addr")
+SPEC_AXES="--workloads mp_matrix:8,cacheloop:500 --cores 2 --fabrics amba,xpipes \
+    --masters cpu,tg,stochastic"
+timeout 300 ./target/release/ntg-sweep $SPEC_AXES --no-store --quiet \
+    --out "$SERVE_SMOKE_DIR/local.jsonl" > /dev/null
+timeout 60 ./target/release/ntg-sweep submit --server "$ADDR" $SPEC_AXES \
+    > "$SERVE_SMOKE_DIR/submit.txt"
+JOB=$(sed -n 's/^job \([0-9a-f]*\):.*/\1/p' "$SERVE_SMOKE_DIR/submit.txt")
+timeout 300 ./target/release/ntg-sweep watch --server "$ADDR" "$JOB" > /dev/null
+timeout 60 ./target/release/ntg-sweep fetch --server "$ADDR" "$JOB" \
+    --out "$SERVE_SMOKE_DIR/fetched.jsonl" > /dev/null
+cmp "$SERVE_SMOKE_DIR/fetched.jsonl" "$SERVE_SMOKE_DIR/local.jsonl"
+timeout 60 ./target/release/ntg-sweep fetch --server "$ADDR" "$JOB" --view table2 \
+    | grep -q mp_matrix
+
+echo "==> serve smoke: warm remote store rebuilds nothing"
+RSWEEP="timeout 300 ./target/release/ntg-sweep $SPEC_AXES --quiet --remote $ADDR"
+$RSWEEP --store "$SERVE_SMOKE_DIR/store-a" --out "$SERVE_SMOKE_DIR/cold.jsonl" \
+    | grep -q "remote 0 hits / 4 misses / 4 published / 0 errors"
+$RSWEEP --store "$SERVE_SMOKE_DIR/store-b" --out "$SERVE_SMOKE_DIR/warm.jsonl" \
+    > "$SERVE_SMOKE_DIR/warm.txt"
+grep -q "remote 4 hits / 0 misses / 0 published / 0 errors" "$SERVE_SMOKE_DIR/warm.txt"
+grep -q "traces 0 built" "$SERVE_SMOKE_DIR/warm.txt"
+grep -q "TG binaries 0 built" "$SERVE_SMOKE_DIR/warm.txt"
+cmp "$SERVE_SMOKE_DIR/cold.jsonl" "$SERVE_SMOKE_DIR/warm.jsonl"
+cmp "$SERVE_SMOKE_DIR/cold.jsonl" "$SERVE_SMOKE_DIR/local.jsonl"
+timeout 60 ./target/release/ntg-sweep store stats --store "$SERVE_SMOKE_DIR/store-b" \
+    | grep -q "4 entries"
+kill "$SERVE_PID"
+wait "$SERVE_PID" 2> /dev/null || true
+
 echo "CI OK"

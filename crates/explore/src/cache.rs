@@ -42,7 +42,7 @@ use ntg_workloads::Workload;
 use crate::spec::MasterChoice;
 use crate::store::{
     decode_images, decode_trace_artifact, encode_images, encode_trace_artifact, image_store_key,
-    trace_store_key, DiskStore, StoreKind,
+    trace_store_key, DiskStore, RemoteSnapshot, StoreKind,
 };
 
 /// Key of the trace level: one traced reference run.
@@ -171,13 +171,15 @@ pub struct CacheSnapshot {
     pub image_disk_hits: u64,
     /// Published entry bytes in the attached store (0 without a store).
     pub store_bytes: u64,
+    /// Remote-tier traffic (`None` when no remote tier is attached).
+    pub remote: Option<RemoteSnapshot>,
 }
 
 impl CacheSnapshot {
     /// Formats the counters for CLI summaries — the campaign's cache
     /// economics in one line.
     pub fn summary_line(&self) -> String {
-        format!(
+        let mut line = format!(
             "cache: traces {} built / {} reused / {} from store, \
              TG binaries {} built / {} reused / {} from store, \
              store {} bytes",
@@ -188,7 +190,14 @@ impl CacheSnapshot {
             self.image_hits,
             self.image_disk_hits,
             self.store_bytes
-        )
+        );
+        if let Some(r) = self.remote {
+            line.push_str(&format!(
+                ", remote {} hits / {} misses / {} published / {} errors",
+                r.hits, r.misses, r.publishes, r.errors
+            ));
+        }
+        line
     }
 }
 
@@ -335,6 +344,11 @@ impl ArtifactCache {
             image_misses: self.image_misses.load(Ordering::Relaxed),
             image_disk_hits: self.image_disk_hits.load(Ordering::Relaxed),
             store_bytes: self.store.as_ref().map_or(0, |s| s.size_bytes()),
+            remote: self
+                .store
+                .as_ref()
+                .filter(|s| s.has_remote())
+                .map(|s| s.remote_snapshot()),
         }
     }
 

@@ -60,8 +60,11 @@ pub use cache::{ArtifactCache, CacheSnapshot, TraceArtifact};
 pub use json::Json;
 pub use result::{parse_results, CampaignHeader, JobMetrics, JobResult, LoadedResults};
 pub use runner::{
-    merge_shards, metrics_path, partial_path, run_campaign, shard_path, timings_path,
-    CampaignOutcome, MergeSummary, RunOptions,
+    collect_shard_files, merge_shards, metrics_path, partial_path, run_campaign, shard_path,
+    timings_path, CampaignOutcome, MergeSummary, RunOptions,
 };
 pub use spec::{CampaignSpec, CoreSelection, JobSpec, MasterChoice};
-pub use store::{DiskStore, GcStats, StoreKind};
+pub use store::{
+    entry_file_name, verify_entry, DiskStore, GcStats, RemoteSnapshot, RemoteTier, StoreKind,
+    StoreStats,
+};

@@ -71,6 +71,11 @@ pub struct RunOptions {
     /// [`threads`](Self::threads) (parallelism across jobs) and, like
     /// it, affects only wall time: results are bit-identical.
     pub sim_threads: usize,
+    /// Remote artifact tier attached behind the disk store. Ignored
+    /// without [`store`](Self::store) — the remote tier only exchanges
+    /// framed entries with a local disk level, never feeds the
+    /// in-memory cache directly.
+    pub remote: Option<std::sync::Arc<dyn crate::store::RemoteTier>>,
 }
 
 impl Default for RunOptions {
@@ -83,6 +88,7 @@ impl Default for RunOptions {
             store: None,
             shard: None,
             sim_threads: 1,
+            remote: None,
         }
     }
 }
@@ -176,7 +182,13 @@ pub fn run_campaign(spec: &CampaignSpec, opts: &RunOptions) -> Result<CampaignOu
     };
 
     let store = match &opts.store {
-        Some(base) => Some(std::sync::Arc::new(crate::store::DiskStore::open(base)?)),
+        Some(base) => {
+            let mut store = crate::store::DiskStore::open(base)?;
+            if let Some(remote) = &opts.remote {
+                store = store.with_remote(remote.clone());
+            }
+            Some(std::sync::Arc::new(store))
+        }
         None => None,
     };
     let cache = ArtifactCache::with_store(store);
@@ -278,6 +290,43 @@ pub fn metrics_path(out: &Path) -> PathBuf {
 /// (used by `ntg-sweep --shard`; `merge_shards` accepts any paths).
 pub fn shard_path(out: &Path, shard: (usize, usize)) -> PathBuf {
     with_suffix(out, &format!(".shard-{}-of-{}", shard.0, shard.1))
+}
+
+/// Collects the shard result files in `dir` for `merge_shards`:
+/// regular files whose name contains `.shard-` and does not end in a
+/// sidecar suffix (`.partial.jsonl`, `.timings.jsonl`,
+/// `.metrics.jsonl`). Sorted by file name, so the merge input order —
+/// and therefore any error message — is deterministic regardless of
+/// directory enumeration order. (Merge output is order-independent
+/// anyway: results are reassembled by job id.)
+///
+/// # Errors
+///
+/// Returns a message if `dir` is unreadable or holds no shard files.
+pub fn collect_shard_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+    let mut files = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("read dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let sidecar = name.ends_with(".partial.jsonl")
+            || name.ends_with(".timings.jsonl")
+            || name.ends_with(".metrics.jsonl");
+        if name.contains(".shard-") && !sidecar {
+            files.push(path);
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no shard files in {}", dir.display()));
+    }
+    files.sort();
+    Ok(files)
 }
 
 /// What [`merge_shards`] merged.

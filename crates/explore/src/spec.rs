@@ -21,6 +21,8 @@ use ntg_platform::InterconnectChoice;
 use ntg_workloads::synthetic::{Pattern, ShapeKind, SyntheticSpec};
 use ntg_workloads::Workload;
 
+use crate::json::Json;
+
 /// What kind of master occupies every socket of a job's platform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MasterChoice {
@@ -249,6 +251,213 @@ impl CampaignSpec {
         }
         fnv1a(acc.as_bytes())
     }
+
+    /// The spec as a JSON object — the wire format `ntg-serve` accepts.
+    /// Every axis value renders through its `Display` form (the same
+    /// strings the CLI flags take), so specs are writable by hand and
+    /// round-trip exactly: `from_json(to_json(s)) == s`, which also
+    /// pins the fingerprint across the wire.
+    pub fn to_json(&self) -> Json {
+        let strs = |items: &[String]| Json::Arr(items.iter().cloned().map(Json::Str).collect());
+        let shown = |items: Vec<String>| strs(&items);
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            (
+                "workloads".into(),
+                shown(self.workloads.iter().map(ToString::to_string).collect()),
+            ),
+            (
+                "cores".into(),
+                match &self.cores {
+                    CoreSelection::Paper => Json::Str("paper".into()),
+                    CoreSelection::List(l) => {
+                        Json::Arr(l.iter().map(|&c| Json::Int(c as i64)).collect())
+                    }
+                },
+            ),
+            (
+                "interconnects".into(),
+                shown(self.interconnects.iter().map(ToString::to_string).collect()),
+            ),
+            (
+                "mesh_sizes".into(),
+                shown(
+                    self.mesh_sizes
+                        .iter()
+                        .map(|&(w, h)| format!("{w}x{h}"))
+                        .collect(),
+                ),
+            ),
+            (
+                "masters".into(),
+                shown(self.masters.iter().map(ToString::to_string).collect()),
+            ),
+            (
+                "modes".into(),
+                shown(self.modes.iter().map(ToString::to_string).collect()),
+            ),
+            (
+                "patterns".into(),
+                shown(self.patterns.iter().map(ToString::to_string).collect()),
+            ),
+            (
+                "shapes".into(),
+                shown(self.shapes.iter().map(ToString::to_string).collect()),
+            ),
+            (
+                "rates".into(),
+                Json::Arr(self.rates.iter().map(|&r| Json::Float(r)).collect()),
+            ),
+            (
+                "packet_words".into(),
+                Json::Int(i64::from(self.packet_words)),
+            ),
+            (
+                "trace_interconnect".into(),
+                Json::Str(self.trace_interconnect.to_string()),
+            ),
+            ("base_seed".into(), json_u64(self.base_seed)),
+            ("max_cycles".into(), json_u64(self.max_cycles)),
+            ("repeats".into(), Json::Int(self.repeats as i64)),
+        ])
+    }
+
+    /// Parses a spec from the object [`Self::to_json`] renders.
+    /// Missing fields take the [`Self::new`] defaults, so a minimal
+    /// hand-written submission (`{"name": ..., "workloads": [...]}`)
+    /// is a complete campaign.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed field.
+    pub fn from_json(v: &Json) -> Result<Self, String> {
+        if !matches!(v, Json::Obj(_)) {
+            return Err("campaign spec must be a JSON object".into());
+        }
+        let mut spec = CampaignSpec::new("");
+        spec.name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("spec: missing or non-string `name`")?
+            .to_string();
+        if let Some(w) = v.get("workloads") {
+            spec.workloads = parse_axis(w, "workloads")?;
+        }
+        if let Some(c) = v.get("cores") {
+            spec.cores = match c {
+                Json::Str(s) if s == "paper" => CoreSelection::Paper,
+                Json::Arr(items) => {
+                    let mut list = Vec::with_capacity(items.len());
+                    for item in items {
+                        let n = item
+                            .as_u64()
+                            .filter(|&n| n >= 1)
+                            .ok_or("spec: `cores` entries must be integers >= 1")?;
+                        list.push(n as usize);
+                    }
+                    CoreSelection::List(list)
+                }
+                _ => return Err("spec: `cores` must be \"paper\" or an integer array".into()),
+            };
+        }
+        if let Some(i) = v.get("interconnects") {
+            spec.interconnects = parse_axis(i, "interconnects")?;
+        }
+        if let Some(m) = v.get("mesh_sizes") {
+            let dims: Vec<String> = parse_axis(m, "mesh_sizes")?;
+            spec.mesh_sizes = dims
+                .iter()
+                .map(|d| {
+                    let (w, h) = d
+                        .split_once('x')
+                        .ok_or_else(|| format!("spec: mesh size `{d}` is not WxH"))?;
+                    Ok((
+                        w.parse()
+                            .map_err(|_| format!("spec: mesh width in `{d}`"))?,
+                        h.parse()
+                            .map_err(|_| format!("spec: mesh height in `{d}`"))?,
+                    ))
+                })
+                .collect::<Result<_, String>>()?;
+        }
+        if let Some(m) = v.get("masters") {
+            spec.masters = parse_axis(m, "masters")?;
+        }
+        if let Some(m) = v.get("modes") {
+            spec.modes = parse_axis(m, "modes")?;
+        }
+        if let Some(p) = v.get("patterns") {
+            spec.patterns = parse_axis(p, "patterns")?;
+        }
+        if let Some(s) = v.get("shapes") {
+            spec.shapes = parse_axis(s, "shapes")?;
+        }
+        if let Some(r) = v.get("rates") {
+            let Json::Arr(items) = r else {
+                return Err("spec: `rates` must be a number array".into());
+            };
+            spec.rates = items
+                .iter()
+                .map(|i| i.as_f64().ok_or("spec: `rates` entries must be numbers"))
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(w) = v.get("packet_words") {
+            spec.packet_words = u32::try_from(w.as_u64().ok_or("spec: `packet_words`")?)
+                .map_err(|_| "spec: `packet_words` out of range")?;
+        }
+        if let Some(t) = v.get("trace_interconnect") {
+            let s = t.as_str().ok_or("spec: `trace_interconnect`")?;
+            spec.trace_interconnect = s
+                .parse()
+                .map_err(|e| format!("spec: trace_interconnect: {e}"))?;
+        }
+        if let Some(s) = v.get("base_seed") {
+            spec.base_seed = parse_u64(s).ok_or("spec: `base_seed`")?;
+        }
+        if let Some(m) = v.get("max_cycles") {
+            spec.max_cycles = parse_u64(m).ok_or("spec: `max_cycles`")?;
+        }
+        if let Some(r) = v.get("repeats") {
+            spec.repeats =
+                r.as_u64()
+                    .filter(|&n| n >= 1)
+                    .ok_or("spec: `repeats` must be an integer >= 1")? as usize;
+        }
+        Ok(spec)
+    }
+}
+
+/// `u64` as JSON: an `Int` when it fits `i64`, else a decimal string
+/// (lossless for the full range; [`parse_u64`] accepts both).
+fn json_u64(n: u64) -> Json {
+    match i64::try_from(n) {
+        Ok(i) => Json::Int(i),
+        Err(_) => Json::Str(n.to_string()),
+    }
+}
+
+fn parse_u64(v: &Json) -> Option<u64> {
+    v.as_u64().or_else(|| v.as_str()?.parse().ok())
+}
+
+/// Parses a string array through each element's `FromStr`.
+fn parse_axis<T>(v: &Json, field: &str) -> Result<Vec<T>, String>
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    let Json::Arr(items) = v else {
+        return Err(format!("spec: `{field}` must be a string array"));
+    };
+    items
+        .iter()
+        .map(|item| {
+            let s = item
+                .as_str()
+                .ok_or_else(|| format!("spec: `{field}` entries must be strings"))?;
+            s.parse().map_err(|e| format!("spec: {field}: {e}"))
+        })
+        .collect()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -506,6 +715,51 @@ mod tests {
             assert_eq!(m.to_string().parse::<MasterChoice>().unwrap(), m);
         }
         assert!("arm".parse::<MasterChoice>().is_err());
+    }
+
+    #[test]
+    fn json_codec_round_trips_spec_and_fingerprint() {
+        let mut s = small_spec();
+        s.mesh_sizes = vec![(4, 4), (8, 2)];
+        s.patterns = vec![Pattern::Uniform, Pattern::Transpose];
+        s.shapes = vec![ShapeKind::Bernoulli, ShapeKind::Burst { len: 8 }];
+        s.rates = vec![0.05, 0.125];
+        s.packet_words = 2;
+        s.base_seed = 42;
+        s.repeats = 3;
+        let rendered = s.to_json().render();
+        let back = CampaignSpec::from_json(&Json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.fingerprint(), s.fingerprint());
+
+        // Paper core selection and >i64 seeds survive the wire.
+        s.cores = CoreSelection::Paper;
+        s.base_seed = u64::MAX - 1;
+        let back = CampaignSpec::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn json_codec_defaults_missing_fields_and_names_bad_ones() {
+        let v = Json::parse(r#"{"name":"mini","workloads":["sp_matrix:4"]}"#).unwrap();
+        let spec = CampaignSpec::from_json(&v).unwrap();
+        let defaults = CampaignSpec::new("mini");
+        assert_eq!(spec.cores, defaults.cores);
+        assert_eq!(spec.masters, defaults.masters);
+        assert_eq!(spec.max_cycles, defaults.max_cycles);
+        assert_eq!(spec.workloads, vec![Workload::SpMatrix { n: 4 }]);
+
+        for bad in [
+            r#"{"workloads":[]}"#,                   // no name
+            r#"{"name":"x","workloads":["nope"]}"#,  // bad workload
+            r#"{"name":"x","cores":[0]}"#,           // zero cores
+            r#"{"name":"x","mesh_sizes":["4by4"]}"#, // bad mesh dims
+            r#"{"name":"x","rates":["fast"]}"#,      // non-numeric rate
+            r#"{"name":"x","repeats":0}"#,           // zero repeats
+        ] {
+            let v = Json::parse(bad).unwrap();
+            assert!(CampaignSpec::from_json(&v).is_err(), "{bad}");
+        }
     }
 
     #[test]

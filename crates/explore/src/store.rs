@@ -49,6 +49,8 @@
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, SystemTime};
 
 use ntg_core::{StochasticConfig, TgImage, STORE_FORMAT_VERSION};
@@ -75,7 +77,8 @@ pub enum StoreKind {
 }
 
 impl StoreKind {
-    fn dir(self) -> &'static str {
+    /// The store subdirectory (and remote URL segment) of this level.
+    pub fn dir(self) -> &'static str {
         match self {
             StoreKind::Trace => "traces",
             StoreKind::Image => "images",
@@ -87,6 +90,90 @@ impl StoreKind {
             StoreKind::Trace => "trace",
             StoreKind::Image => "img",
         }
+    }
+
+    /// Parses the URL segment back into a kind (inverse of
+    /// [`Self::dir`]).
+    pub fn from_dir(dir: &str) -> Option<Self> {
+        match dir {
+            "traces" => Some(StoreKind::Trace),
+            "images" => Some(StoreKind::Image),
+            _ => None,
+        }
+    }
+}
+
+/// A remote artifact tier behind the local [`DiskStore`]: write-once,
+/// content-addressed PUT/GET of *framed* store entries (the exact bytes
+/// [`encode_entry`] produces — magic, version, embedded key, FNV-1a
+/// checksum), keyed by [`entry_file_name`]. S3-style semantics: objects
+/// are immutable once published; a PUT of an existing object is a
+/// no-op. Implementations must be infallibility-agnostic — any error is
+/// treated by the store as a miss (local rebuild), never a failure.
+pub trait RemoteTier: std::fmt::Debug + Send + Sync {
+    /// Fetches the framed entry named `name`, `Ok(None)` on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure (degrades to a miss).
+    fn fetch(&self, kind: StoreKind, name: &str) -> Result<Option<Vec<u8>>, String>;
+
+    /// Publishes the framed entry named `name` (write-once: publishing
+    /// an existing name is a no-op, not an error).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on transport failure (publish is best-effort).
+    fn publish(&self, kind: StoreKind, name: &str, bytes: &[u8]) -> Result<(), String>;
+}
+
+/// Counters of the remote tier's traffic, shared by all clones of a
+/// [`DiskStore`].
+#[derive(Debug, Default)]
+struct RemoteCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    publishes: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// A point-in-time copy of a store's remote-tier counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RemoteSnapshot {
+    /// Entries fetched from the remote tier (verified frames only).
+    pub hits: u64,
+    /// Remote lookups that found nothing (local build follows).
+    pub misses: u64,
+    /// Entries published upward after a local build.
+    pub publishes: u64,
+    /// Transport or corruption failures, each degraded to a local
+    /// rebuild.
+    pub errors: u64,
+}
+
+/// Per-kind entry counts and byte totals of a [`DiskStore`] — the
+/// `ntg-sweep store stats` view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Published trace-level entries.
+    pub trace_entries: usize,
+    /// Bytes held by trace-level entries.
+    pub trace_bytes: u64,
+    /// Published image-level entries.
+    pub image_entries: usize,
+    /// Bytes held by image-level entries.
+    pub image_bytes: u64,
+}
+
+impl StoreStats {
+    /// Total published entry bytes across both levels.
+    pub fn total_bytes(&self) -> u64 {
+        self.trace_bytes + self.image_bytes
+    }
+
+    /// Total published entries across both levels.
+    pub fn total_entries(&self) -> usize {
+        self.trace_entries + self.image_entries
     }
 }
 
@@ -101,10 +188,15 @@ pub struct GcStats {
     pub remaining_bytes: u64,
 }
 
-/// A content-addressed, write-once, cross-process artifact store.
+/// A content-addressed, write-once, cross-process artifact store —
+/// optionally tiered over a [`RemoteTier`] (local miss fetches from
+/// remote and populates disk; local build publishes upward; remote
+/// failures and corruption degrade to a local rebuild).
 #[derive(Debug, Clone)]
 pub struct DiskStore {
     root: PathBuf,
+    remote: Option<Arc<dyn RemoteTier>>,
+    remote_counters: Arc<RemoteCounters>,
 }
 
 impl DiskStore {
@@ -121,7 +213,33 @@ impl DiskStore {
             let dir = root.join(kind.dir());
             fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
         }
-        Ok(Self { root })
+        Ok(Self {
+            root,
+            remote: None,
+            remote_counters: Arc::new(RemoteCounters::default()),
+        })
+    }
+
+    /// Attaches a remote tier behind this store's disk level.
+    #[must_use]
+    pub fn with_remote(mut self, remote: Arc<dyn RemoteTier>) -> Self {
+        self.remote = Some(remote);
+        self
+    }
+
+    /// Whether a remote tier is attached.
+    pub fn has_remote(&self) -> bool {
+        self.remote.is_some()
+    }
+
+    /// Current remote-tier counters (all zero without a remote).
+    pub fn remote_snapshot(&self) -> RemoteSnapshot {
+        RemoteSnapshot {
+            hits: self.remote_counters.hits.load(Ordering::Relaxed),
+            misses: self.remote_counters.misses.load(Ordering::Relaxed),
+            publishes: self.remote_counters.publishes.load(Ordering::Relaxed),
+            errors: self.remote_counters.errors.load(Ordering::Relaxed),
+        }
     }
 
     /// The default store base: `$NTG_STORE`, else `$HOME/.cache/ntg`.
@@ -143,12 +261,7 @@ impl DiskStore {
     }
 
     fn entry_path(&self, kind: StoreKind, key: &str) -> PathBuf {
-        let mut name = sanitise(key);
-        name.push('-');
-        name.push_str(&format!("{:016x}", ntg_trace::fnv64(key.as_bytes())));
-        name.push('.');
-        name.push_str(kind.ext());
-        self.root.join(kind.dir()).join(name)
+        self.root.join(kind.dir()).join(entry_file_name(kind, key))
     }
 
     /// Loads an entry's payload, verifying the frame (magic, version,
@@ -233,8 +346,20 @@ impl DiskStore {
                         }
                         let _ = fs::remove_file(self.entry_path(kind, key));
                     }
+                    // Remote tier: a verified fetch populates the disk
+                    // level and counts as a hit; any failure (transport,
+                    // corruption, inner-codec drift) degrades to a local
+                    // build exactly like a corrupt disk entry.
+                    if let Some(payload) = self.fetch_remote(kind, key) {
+                        if let Ok(v) = decode(&payload) {
+                            self.save(kind, key, &payload)?;
+                            drop(lock);
+                            return Ok((v, true));
+                        }
+                    }
                     let (v, payload) = (build.take().expect("build consumed once"))()?;
                     self.save(kind, key, &payload)?;
+                    self.publish_remote(kind, key, &payload);
                     drop(lock);
                     return Ok((v, false));
                 }
@@ -261,6 +386,51 @@ impl DiskStore {
             |payload| Ok(payload.to_vec()),
             || build().map(|payload| (payload.clone(), payload)),
         )
+    }
+
+    /// Fetches `key` from the remote tier, returning the verified
+    /// payload. Every failure mode — no remote, transport error, miss,
+    /// bad frame — returns `None`; the caller falls back to a local
+    /// build.
+    fn fetch_remote(&self, kind: StoreKind, key: &str) -> Option<Vec<u8>> {
+        let remote = self.remote.as_ref()?;
+        let name = entry_file_name(kind, key);
+        match remote.fetch(kind, &name) {
+            Ok(Some(bytes)) => match decode_entry(&bytes, key) {
+                Some(payload) => {
+                    self.remote_counters.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(payload)
+                }
+                None => {
+                    // A corrupt (or colliding) remote object is the
+                    // network edition of a bit-rotted disk entry.
+                    self.remote_counters.errors.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            },
+            Ok(None) => {
+                self.remote_counters.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => {
+                self.remote_counters.errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes a freshly built entry upward, best-effort: a remote
+    /// failure costs the fleet a future rebuild, never this run.
+    fn publish_remote(&self, kind: StoreKind, key: &str, payload: &[u8]) {
+        let Some(remote) = self.remote.as_ref() else {
+            return;
+        };
+        let name = entry_file_name(kind, key);
+        let counter = match remote.publish(kind, &name, &encode_entry(key, payload)) {
+            Ok(()) => &self.remote_counters.publishes,
+            Err(_) => &self.remote_counters.errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Tries to take the key's build lock. `Ok(None)` means another
@@ -305,8 +475,10 @@ impl DiskStore {
     }
 
     /// Prunes least-recently-used entries until the store's entry bytes
-    /// fit `budget_bytes`.
-    pub fn gc(&self, budget_bytes: u64) -> GcStats {
+    /// fit `budget_bytes`. With `dry_run` the same walk runs and the
+    /// same [`GcStats`] come back, but nothing is removed — operators
+    /// preview what a budget would evict before committing.
+    pub fn gc(&self, budget_bytes: u64, dry_run: bool) -> GcStats {
         let mut entries = self.entries();
         // Most recently used last; evict from the front.
         entries.sort_by_key(|e| e.last_used);
@@ -316,8 +488,10 @@ impl DiskStore {
             if total <= budget_bytes {
                 break;
             }
-            if fs::remove_file(&e.path).is_ok() {
-                let _ = fs::remove_file(used_marker(&e.path));
+            if dry_run || fs::remove_file(&e.path).is_ok() {
+                if !dry_run {
+                    let _ = fs::remove_file(used_marker(&e.path));
+                }
                 total -= e.size;
                 stats.removed += 1;
                 stats.freed_bytes += e.size;
@@ -327,28 +501,55 @@ impl DiskStore {
         stats
     }
 
-    fn entries(&self) -> Vec<Entry> {
-        let mut out = Vec::new();
+    /// Per-kind entry counts and byte totals, for `ntg-sweep store
+    /// stats`.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats::default();
         for kind in [StoreKind::Trace, StoreKind::Image] {
-            let dir = self.root.join(kind.dir());
-            let Ok(rd) = fs::read_dir(&dir) else { continue };
-            for entry in rd.flatten() {
-                let path = entry.path();
-                let is_entry = path.extension().is_some_and(|e| e == kind.ext());
-                if !is_entry {
-                    continue;
+            for e in self.entries_of(kind) {
+                match kind {
+                    StoreKind::Trace => {
+                        s.trace_entries += 1;
+                        s.trace_bytes += e.size;
+                    }
+                    StoreKind::Image => {
+                        s.image_entries += 1;
+                        s.image_bytes += e.size;
+                    }
                 }
-                let Ok(meta) = entry.metadata() else { continue };
-                let published = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
-                let used = fs::metadata(used_marker(&path))
-                    .and_then(|m| m.modified())
-                    .unwrap_or(SystemTime::UNIX_EPOCH);
-                out.push(Entry {
-                    path,
-                    size: meta.len(),
-                    last_used: published.max(used),
-                });
             }
+        }
+        s
+    }
+
+    fn entries(&self) -> Vec<Entry> {
+        let mut out = self.entries_of(StoreKind::Trace);
+        out.extend(self.entries_of(StoreKind::Image));
+        out
+    }
+
+    fn entries_of(&self, kind: StoreKind) -> Vec<Entry> {
+        let mut out = Vec::new();
+        let dir = self.root.join(kind.dir());
+        let Ok(rd) = fs::read_dir(&dir) else {
+            return out;
+        };
+        for entry in rd.flatten() {
+            let path = entry.path();
+            let is_entry = path.extension().is_some_and(|e| e == kind.ext());
+            if !is_entry {
+                continue;
+            }
+            let Ok(meta) = entry.metadata() else { continue };
+            let published = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            let used = fs::metadata(used_marker(&path))
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            out.push(Entry {
+                path,
+                size: meta.len(),
+                last_used: published.max(used),
+            });
         }
         out
     }
@@ -391,6 +592,48 @@ fn sanitise(key: &str) -> String {
         .collect();
     out.truncate(48);
     out
+}
+
+/// The canonical file (and remote object) name of an entry: a
+/// sanitised key prefix for human grepping plus the FNV-64 of the full
+/// key for uniqueness. Local disk and the remote tier share this
+/// naming, so a warm remote hit lands in the same slot a local build
+/// would have filled.
+pub fn entry_file_name(kind: StoreKind, key: &str) -> String {
+    format!(
+        "{}-{:016x}.{}",
+        sanitise(key),
+        ntg_trace::fnv64(key.as_bytes()),
+        kind.ext()
+    )
+}
+
+/// Validates a framed store entry without knowing its key in advance
+/// and returns `(embedded_key, payload)`. Servers use this to vet
+/// uploads: the frame must decode, and the caller can then check the
+/// embedded key hashes to the object name it was PUT under.
+///
+/// # Errors
+///
+/// Returns a description of the first malformation found (short frame,
+/// bad magic/version, checksum mismatch, trailing bytes).
+pub fn verify_entry(bytes: &[u8]) -> Result<(String, Vec<u8>), String> {
+    let mut r = ByteReader::new_checksummed(bytes).map_err(|e| format!("checksum: {e}"))?;
+    let magic = r.take(4).map_err(|e| format!("magic: {e}"))?;
+    if magic != STORE_ENTRY_MAGIC {
+        return Err("bad entry magic".to_string());
+    }
+    let version = r.u32().map_err(|e| format!("version: {e}"))?;
+    if version != STORE_FORMAT_VERSION {
+        return Err(format!(
+            "entry format v{version}, expected v{STORE_FORMAT_VERSION}"
+        ));
+    }
+    let key = String::from_utf8(r.lp_bytes().map_err(|e| format!("key: {e}"))?.to_vec())
+        .map_err(|_| "entry key is not UTF-8".to_string())?;
+    let payload = r.lp_bytes().map_err(|e| format!("payload: {e}"))?.to_vec();
+    r.expect_end().map_err(|e| format!("trailing bytes: {e}"))?;
+    Ok((key, payload))
 }
 
 fn encode_entry(key: &str, payload: &[u8]) -> Vec<u8> {
@@ -595,6 +838,84 @@ mod tests {
         assert_eq!(decode_images(&encode_images(&images)).unwrap(), images);
     }
 
+    /// Every possible truncation of a valid payload must come back as
+    /// an error — the decoders sit behind the corruption firewall and
+    /// can never be allowed to panic on hostile bytes.
+    #[test]
+    fn truncated_payloads_error_and_never_panic() {
+        let trace_bytes = encode_trace_artifact(&sample_artifact());
+        for len in 0..trace_bytes.len() {
+            assert!(
+                decode_trace_artifact(&trace_bytes[..len]).is_err(),
+                "truncation at {len}/{} must not decode",
+                trace_bytes.len()
+            );
+        }
+        let image_bytes = encode_images(&[TgImage {
+            master: 1,
+            thread: 0,
+            inits: vec![(TgReg::new(2), 0x104)],
+            instrs: vec![TgInstr::Idle { cycles: 3 }, TgInstr::Halt],
+        }]);
+        for len in 0..image_bytes.len() {
+            assert!(
+                decode_images(&image_bytes[..len]).is_err(),
+                "truncation at {len}/{} must not decode",
+                image_bytes.len()
+            );
+        }
+    }
+
+    /// A flipped byte anywhere in a framed entry (including the
+    /// FNV-1a trailer itself) fails checksum verification.
+    #[test]
+    fn flipped_entry_bytes_fail_verification() {
+        let entry = encode_entry("trace|wk|2P|amba|trc1", b"payload-bytes");
+        assert!(verify_entry(&entry).is_ok());
+        for pos in [0, entry.len() / 2, entry.len() - 1] {
+            let mut bad = entry.clone();
+            bad[pos] ^= 0x40;
+            let err = verify_entry(&bad).unwrap_err();
+            assert!(
+                err.contains("checksum") || err.contains("magic"),
+                "flip at {pos}: unexpected error `{err}`"
+            );
+        }
+        // decode_entry treats the same malformations as a miss, not an
+        // error — the store rebuilds instead of failing the campaign.
+        let mut bad = entry;
+        let len = bad.len();
+        bad[len - 1] ^= 0x40;
+        assert_eq!(decode_entry(&bad, "trace|wk|2P|amba|trc1"), None);
+    }
+
+    /// An entry from a future (or past) store format version is
+    /// rejected even when its checksum is intact.
+    #[test]
+    fn wrong_format_version_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.bytes(&STORE_ENTRY_MAGIC);
+        w.u32(STORE_FORMAT_VERSION + 1);
+        w.lp_bytes(b"some-key");
+        w.lp_bytes(b"payload");
+        let entry = w.finish_checksummed();
+        let err = verify_entry(&entry).unwrap_err();
+        assert!(err.contains("format"), "{err}");
+        assert_eq!(decode_entry(&entry, "some-key"), None);
+    }
+
+    /// A checksummed frame whose embedded key differs from the
+    /// requested one (an FNV-64 filename collision) reads as absent,
+    /// while `verify_entry` surfaces the embedded key to the caller.
+    #[test]
+    fn key_mismatch_is_a_miss_not_a_hit() {
+        let entry = encode_entry("key-a", b"payload");
+        assert_eq!(decode_entry(&entry, "key-b"), None);
+        let (key, payload) = verify_entry(&entry).unwrap();
+        assert_eq!(key, "key-a");
+        assert_eq!(payload, b"payload");
+    }
+
     #[test]
     fn save_load_round_trips_and_touches_marker() {
         let store = tmp_store("roundtrip");
@@ -718,7 +1039,13 @@ mod tests {
         std::thread::sleep(Duration::from_millis(30));
         assert!(store.load(StoreKind::Trace, "hot").is_some());
         let total = store.size_bytes();
-        let stats = store.gc(total - 1); // force at least one eviction
+        // A dry run reports the same eviction plan without removing
+        // anything.
+        let preview = store.gc(total - 1, true);
+        assert!(preview.removed >= 1);
+        assert_eq!(store.size_bytes(), total, "dry run must not delete");
+        let stats = store.gc(total - 1, false); // force at least one eviction
+        assert_eq!(stats, preview, "dry run predicts the real gc exactly");
         assert!(stats.removed >= 1);
         assert_eq!(stats.remaining_bytes, store.size_bytes());
         assert!(
@@ -726,7 +1053,7 @@ mod tests {
             "most recently used entry survives"
         );
         // A zero budget clears everything.
-        let stats = store.gc(0);
+        let stats = store.gc(0, false);
         assert_eq!(stats.remaining_bytes, 0);
         assert_eq!(store.size_bytes(), 0);
     }

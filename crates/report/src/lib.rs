@@ -42,3 +42,44 @@ pub use analysis::{
     RankAxis, RankEntry, Ranking, SaturationRow, Table2Row,
 };
 pub use load::{load_campaign, load_campaign_parts, Campaign};
+
+/// The view names [`render_view`] accepts, in presentation order.
+pub const VIEW_NAMES: [&str; 5] = ["markdown", "table2", "rankings", "pareto", "saturation"];
+
+/// Renders one named view straight from file *contents* — the
+/// render-from-bytes entry point `ntg-serve` uses to answer
+/// `GET /jobs/<id>/report/<view>` without touching the filesystem.
+/// `markdown` is the full report; the other views are the
+/// corresponding CSVs. Output is deterministic for identical inputs,
+/// exactly like the file-based CLI path.
+///
+/// # Errors
+///
+/// Returns a message for an unknown view name or malformed campaign
+/// content.
+pub fn render_view(
+    view: &str,
+    canonical: &str,
+    timings: Option<&str>,
+    metrics: Option<&str>,
+) -> Result<String, String> {
+    let c = load_campaign_parts(canonical, timings, metrics)?;
+    match view {
+        "markdown" => Ok(render::markdown(&c)),
+        "table2" => Ok(render::csv_table2(&table2(&c))),
+        "rankings" => {
+            let rankings = [
+                rank(&c, RankAxis::Cycles),
+                rank(&c, RankAxis::WallSecs),
+                rank(&c, RankAxis::ErrorPct),
+            ];
+            Ok(render::csv_rankings(&rankings))
+        }
+        "pareto" => Ok(render::csv_pareto(&pareto(&c))),
+        "saturation" => Ok(render::csv_saturation(&saturation(&c))),
+        other => Err(format!(
+            "unknown view `{other}` (expected one of: {})",
+            VIEW_NAMES.join(", ")
+        )),
+    }
+}

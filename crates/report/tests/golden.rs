@@ -67,7 +67,7 @@ fn csvs_match_the_goldens_byte_for_byte() {
 /// 2 rates of Bernoulli traffic at 4 cores). Regenerate with:
 ///
 /// ```text
-/// cargo run -p ntg-explore --bin ntg-sweep -- \
+/// cargo run -p ntg-serve --bin ntg-sweep -- \
 ///     --name synmini --workloads synthetic:64 --cores 4 \
 ///     --fabrics xpipes,crossbar --masters synthetic \
 ///     --patterns uniform,transpose --shapes bernoulli \

@@ -4,6 +4,9 @@
 //! interconnects × master kinds × translation modes) into jobs, runs
 //! them on a worker pool with trace/TG-image caching, and writes a
 //! byte-reproducible JSONL result file (see `ntg_explore` docs).
+//! With a campaign service running (`ntg-serve`), the same spec can be
+//! submitted over HTTP instead — `submit`/`watch`/`fetch` — and local
+//! runs can share the service's artifact store via `--remote`.
 //!
 //! ```text
 //! ntg-sweep --preset quick --threads 4 --out quick.jsonl
@@ -12,18 +15,22 @@
 //! ntg-sweep --preset table2 --resume --out table2.jsonl
 //! ntg-sweep --preset table2 --shard 1/2 --out table2.jsonl   # machine A
 //! ntg-sweep --preset table2 --shard 2/2 --out table2.jsonl   # machine B
-//! ntg-sweep merge --out table2.jsonl \
-//!           table2.jsonl.shard-1-of-2 table2.jsonl.shard-2-of-2
+//! ntg-sweep merge --out table2.jsonl shards/                 # or explicit files
+//! ntg-sweep submit --server 127.0.0.1:7070 --preset quick
+//! ntg-sweep watch --server 127.0.0.1:7070 <job-id>
+//! ntg-sweep fetch --server 127.0.0.1:7070 <job-id> --out quick.jsonl
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ntg_explore::{
-    merge_shards, run_campaign, shard_path, CampaignSpec, CoreSelection, DiskStore, MasterChoice,
-    RunOptions,
+    collect_shard_files, merge_shards, run_campaign, shard_path, CampaignSpec, CoreSelection,
+    DiskStore, Json, MasterChoice, RunOptions,
 };
 use ntg_platform::{InterconnectChoice, ALL_INTERCONNECTS};
+use ntg_serve::{http, normalize_addr, HttpRemote};
 use ntg_workloads::synthetic::{Pattern, ShapeKind};
 use ntg_workloads::Workload;
 
@@ -36,7 +43,12 @@ ntg-sweep — run a design-space-exploration campaign
 
 USAGE:
     ntg-sweep [--preset NAME] [OPTIONS]
-    ntg-sweep merge --out PATH SHARD_FILE...
+    ntg-sweep merge --out PATH SHARD_FILE_OR_DIR...
+    ntg-sweep submit --server ADDR [--preset NAME] [AXIS OPTIONS]
+    ntg-sweep watch --server ADDR JOB_ID
+    ntg-sweep fetch --server ADDR JOB_ID [--out PATH] [--view NAME] [--sidecars]
+    ntg-sweep store stats [--store PATH]
+    ntg-sweep store gc --budget BYTES [--dry-run] [--store PATH]
 
 PRESETS (a starting point; later options override):
     table2     paper Table 2: 4 workloads, paper core sweeps, CPU vs TG on AMBA
@@ -82,12 +94,27 @@ OPTIONS:
     --store PATH         persistent artifact store for traces/TG binaries
                          (default: $NTG_STORE, else ~/.cache/ntg)
     --no-store           skip the persistent store for this run
+    --remote ADDR        tier the store over an ntg-serve artifact daemon:
+                         local misses fetch from it, local builds publish to it
     --store-gc BYTES     prune the store to BYTES (least recently used
                          artifacts first) and exit
     --dry-run            print the expanded job list, shard assignment, and
                          an estimate of trace/image store reuse, then exit
+                         (for `store gc`: preview evictions without deleting)
     --quiet              suppress per-job progress on stderr
     -h, --help           this text
+
+SERVICE COMMANDS:
+    submit   POST the spec to an ntg-serve daemon; prints the job id
+             (the campaign fingerprint — resubmitting the same spec is
+             idempotent and resumes crashed campaigns)
+    watch    poll the job's NDJSON progress events until it finishes
+    fetch    download the merged canonical JSONL (byte-identical to a
+             local run of the same spec), a report view (--view
+             markdown|table2|rankings|pareto|saturation), and
+             optionally the timing/metrics sidecars (--sidecars)
+    store    stats: local artifact store entry counts, bytes, root
+             gc:    prune like --store-gc; --dry-run previews
 ";
 
 fn main() -> ExitCode {
@@ -100,9 +127,18 @@ fn main() -> ExitCode {
     }
 }
 
+fn take(it: &mut dyn Iterator<Item = String>, flag: &str) -> Result<String, String> {
+    it.next().ok_or(format!("{flag} needs a value"))
+}
+
 fn run(args: Vec<String>) -> Result<ExitCode, String> {
-    if args.first().map(String::as_str) == Some("merge") {
-        return run_merge(args[1..].to_vec());
+    match args.first().map(String::as_str) {
+        Some("merge") => return run_merge(args[1..].to_vec()),
+        Some("submit") => return run_submit(args[1..].to_vec()),
+        Some("watch") => return run_watch(args[1..].to_vec()),
+        Some("fetch") => return run_fetch(args[1..].to_vec()),
+        Some("store") => return run_store(args[1..].to_vec()),
+        _ => {}
     }
 
     let mut spec: Option<CampaignSpec> = None;
@@ -116,109 +152,21 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         store: None,
         shard: None,
         sim_threads: 1,
+        remote: None,
     };
     let mut store_flag: Option<PathBuf> = None;
     let mut no_store = false;
+    let mut remote_flag: Option<String> = None;
     let mut store_gc: Option<u64> = None;
     let mut dry_run = false;
 
     let mut it = args.into_iter();
-    // The spec starts from a preset if `--preset` comes first; any axis
-    // flag before a default spec creates one.
-    let take = |it: &mut dyn Iterator<Item = String>, flag: &str| {
-        it.next().ok_or(format!("{flag} needs a value"))
-    };
     while let Some(arg) = it.next() {
+        if parse_axis_flag(&mut spec, &arg, &mut it)? {
+            continue;
+        }
         match arg.as_str() {
-            "--preset" => {
-                let p = take(&mut it, "--preset")?;
-                if spec.is_some() {
-                    return Err("--preset must come before axis options".into());
-                }
-                spec = Some(preset(&p)?);
-            }
             "--name" => name = Some(take(&mut it, "--name")?),
-            "--workloads" => {
-                spec.get_or_insert_with(default_spec).workloads =
-                    parse_list(&take(&mut it, "--workloads")?, |s| s.parse::<Workload>())?;
-            }
-            "--cores" => {
-                let v = take(&mut it, "--cores")?;
-                spec.get_or_insert_with(default_spec).cores = if v == "paper" {
-                    CoreSelection::Paper
-                } else {
-                    CoreSelection::List(parse_list(&v, |s| {
-                        s.parse::<usize>().map_err(|e| format!("core count: {e}"))
-                    })?)
-                };
-            }
-            "--fabrics" => {
-                let v = take(&mut it, "--fabrics")?;
-                spec.get_or_insert_with(default_spec).interconnects = if v == "all" {
-                    ALL_INTERCONNECTS.to_vec()
-                } else {
-                    parse_list(&v, |s| s.parse::<InterconnectChoice>())?
-                };
-            }
-            "--mesh-sizes" => {
-                spec.get_or_insert_with(default_spec).mesh_sizes =
-                    parse_list(&take(&mut it, "--mesh-sizes")?, parse_mesh_size)?;
-            }
-            "--masters" => {
-                spec.get_or_insert_with(default_spec).masters =
-                    parse_list(&take(&mut it, "--masters")?, |s| s.parse::<MasterChoice>())?;
-            }
-            "--modes" => {
-                spec.get_or_insert_with(default_spec).modes =
-                    parse_list(&take(&mut it, "--modes")?, |s| s.parse())?;
-            }
-            "--patterns" => {
-                spec.get_or_insert_with(default_spec).patterns =
-                    parse_list(&take(&mut it, "--patterns")?, |s| s.parse())?;
-            }
-            "--shapes" => {
-                spec.get_or_insert_with(default_spec).shapes =
-                    parse_list(&take(&mut it, "--shapes")?, |s| s.parse())?;
-            }
-            "--rates" => {
-                spec.get_or_insert_with(default_spec).rates =
-                    parse_list(&take(&mut it, "--rates")?, |s| {
-                        s.parse::<f64>()
-                            .map_err(|e| format!("--rates: {e}"))
-                            .and_then(|r| {
-                                if r > 0.0 && r <= 1.0 {
-                                    Ok(r)
-                                } else {
-                                    Err(format!("--rates: {r} outside (0, 1]"))
-                                }
-                            })
-                    })?;
-            }
-            "--packet-words" => {
-                spec.get_or_insert_with(default_spec).packet_words =
-                    take(&mut it, "--packet-words")?
-                        .parse()
-                        .map_err(|e| format!("--packet-words: {e}"))?;
-            }
-            "--trace-fabric" => {
-                spec.get_or_insert_with(default_spec).trace_interconnect =
-                    take(&mut it, "--trace-fabric")?.parse()?;
-            }
-            "--seed" => {
-                spec.get_or_insert_with(default_spec).base_seed = take(&mut it, "--seed")?
-                    .parse()
-                    .map_err(|e| format!("--seed: {e}"))?;
-            }
-            "--max-cycles" => {
-                spec.get_or_insert_with(default_spec).max_cycles = take(&mut it, "--max-cycles")?
-                    .parse()
-                    .map_err(|e| format!("--max-cycles: {e}"))?;
-            }
-            "--repeats" => {
-                spec.get_or_insert_with(default_spec).repeats = take(&mut it, "--repeats")?
-                    .parse()
-                    .map_err(|e| format!("--repeats: {e}"))?;
-            }
             "--threads" => {
                 opts.threads = take(&mut it, "--threads")?
                     .parse()
@@ -234,6 +182,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
             "--shard" => opts.shard = Some(parse_shard(&take(&mut it, "--shard")?)?),
             "--store" => store_flag = Some(PathBuf::from(take(&mut it, "--store")?)),
             "--no-store" => no_store = true,
+            "--remote" => remote_flag = Some(take(&mut it, "--remote")?),
             "--store-gc" => {
                 store_gc = Some(
                     take(&mut it, "--store-gc")?
@@ -260,16 +209,7 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     if let Some(budget) = store_gc {
         let base = store_base
             .ok_or("--store-gc: no store configured (give --store or set NTG_STORE/HOME)")?;
-        let store = DiskStore::open(&base)?;
-        let stats = store.gc(budget);
-        println!(
-            "store {}: pruned {} artifact(s), freed {} bytes, {} bytes remain",
-            store.root().display(),
-            stats.removed,
-            stats.freed_bytes,
-            stats.remaining_bytes
-        );
-        return Ok(ExitCode::SUCCESS);
+        return gc_store(&base, budget, false);
     }
 
     let mut spec = spec.ok_or("nothing to do: give --preset or axis options (see --help)")?;
@@ -287,6 +227,14 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
     }
 
     opts.store = store_base;
+    if let Some(addr) = remote_flag {
+        if opts.store.is_none() {
+            return Err(
+                "--remote needs a local store tier (drop --no-store or give --store)".into(),
+            );
+        }
+        opts.remote = Some(Arc::new(HttpRemote::new(&addr)));
+    }
     let base_out = out.unwrap_or_else(|| PathBuf::from(format!("{}.jsonl", spec.name)));
     opts.out = Some(match opts.shard {
         // Shards write next to the canonical path, never to it — the
@@ -363,6 +311,368 @@ fn run(args: Vec<String>) -> Result<ExitCode, String> {
         eprintln!("ntg-sweep: {failures} job(s) failed");
         ExitCode::FAILURE
     })
+}
+
+/// Consumes one campaign-axis flag (shared by the local runner and
+/// `submit`). Returns `false` when `arg` is not an axis flag.
+fn parse_axis_flag(
+    spec: &mut Option<CampaignSpec>,
+    arg: &str,
+    it: &mut dyn Iterator<Item = String>,
+) -> Result<bool, String> {
+    match arg {
+        "--preset" => {
+            let p = take(it, "--preset")?;
+            if spec.is_some() {
+                return Err("--preset must come before axis options".into());
+            }
+            *spec = Some(preset(&p)?);
+        }
+        "--workloads" => {
+            spec.get_or_insert_with(default_spec).workloads =
+                parse_list(&take(it, "--workloads")?, |s| s.parse::<Workload>())?;
+        }
+        "--cores" => {
+            let v = take(it, "--cores")?;
+            spec.get_or_insert_with(default_spec).cores = if v == "paper" {
+                CoreSelection::Paper
+            } else {
+                CoreSelection::List(parse_list(&v, |s| {
+                    s.parse::<usize>().map_err(|e| format!("core count: {e}"))
+                })?)
+            };
+        }
+        "--fabrics" => {
+            let v = take(it, "--fabrics")?;
+            spec.get_or_insert_with(default_spec).interconnects = if v == "all" {
+                ALL_INTERCONNECTS.to_vec()
+            } else {
+                parse_list(&v, |s| s.parse::<InterconnectChoice>())?
+            };
+        }
+        "--mesh-sizes" => {
+            spec.get_or_insert_with(default_spec).mesh_sizes =
+                parse_list(&take(it, "--mesh-sizes")?, parse_mesh_size)?;
+        }
+        "--masters" => {
+            spec.get_or_insert_with(default_spec).masters =
+                parse_list(&take(it, "--masters")?, |s| s.parse::<MasterChoice>())?;
+        }
+        "--modes" => {
+            spec.get_or_insert_with(default_spec).modes =
+                parse_list(&take(it, "--modes")?, |s| s.parse())?;
+        }
+        "--patterns" => {
+            spec.get_or_insert_with(default_spec).patterns =
+                parse_list(&take(it, "--patterns")?, |s| s.parse())?;
+        }
+        "--shapes" => {
+            spec.get_or_insert_with(default_spec).shapes =
+                parse_list(&take(it, "--shapes")?, |s| s.parse())?;
+        }
+        "--rates" => {
+            spec.get_or_insert_with(default_spec).rates = parse_list(&take(it, "--rates")?, |s| {
+                s.parse::<f64>()
+                    .map_err(|e| format!("--rates: {e}"))
+                    .and_then(|r| {
+                        if r > 0.0 && r <= 1.0 {
+                            Ok(r)
+                        } else {
+                            Err(format!("--rates: {r} outside (0, 1]"))
+                        }
+                    })
+            })?;
+        }
+        "--packet-words" => {
+            spec.get_or_insert_with(default_spec).packet_words = take(it, "--packet-words")?
+                .parse()
+                .map_err(|e| format!("--packet-words: {e}"))?;
+        }
+        "--trace-fabric" => {
+            spec.get_or_insert_with(default_spec).trace_interconnect =
+                take(it, "--trace-fabric")?.parse()?;
+        }
+        "--seed" => {
+            spec.get_or_insert_with(default_spec).base_seed = take(it, "--seed")?
+                .parse()
+                .map_err(|e| format!("--seed: {e}"))?;
+        }
+        "--max-cycles" => {
+            spec.get_or_insert_with(default_spec).max_cycles = take(it, "--max-cycles")?
+                .parse()
+                .map_err(|e| format!("--max-cycles: {e}"))?;
+        }
+        "--repeats" => {
+            spec.get_or_insert_with(default_spec).repeats = take(it, "--repeats")?
+                .parse()
+                .map_err(|e| format!("--repeats: {e}"))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// `ntg-sweep submit --server ADDR [axis options]`
+fn run_submit(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut server: Option<String> = None;
+    let mut spec: Option<CampaignSpec> = None;
+    let mut name: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        if parse_axis_flag(&mut spec, &arg, &mut it)? {
+            continue;
+        }
+        match arg.as_str() {
+            "--server" => server = Some(take(&mut it, "--server")?),
+            "--name" => name = Some(take(&mut it, "--name")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("submit: unknown option `{other}` (see --help)")),
+        }
+    }
+    let server = normalize_addr(&server.ok_or("submit: --server is required")?);
+    let mut spec = spec.ok_or("submit: give --preset or axis options")?;
+    if let Some(n) = name {
+        spec.name = n;
+    }
+    if spec.workloads.is_empty() {
+        return Err("submit: no workloads selected".into());
+    }
+    let (status, body) = http::post_json(&server, "/jobs", &spec.to_json().render())?;
+    let text = String::from_utf8_lossy(&body);
+    if !matches!(status, 200 | 202) {
+        return Err(format!("submit: HTTP {status}: {}", text.trim_end()));
+    }
+    let v = Json::parse(&text).map_err(|e| format!("submit: bad response: {e}"))?;
+    let id = v.get("id").and_then(Json::as_str).unwrap_or("?");
+    let state = v.get("state").and_then(Json::as_str).unwrap_or("?");
+    let jobs = v.get("jobs").and_then(Json::as_u64).unwrap_or(0);
+    println!("job {id}: {state} ({jobs} jobs)");
+    println!("watch with: ntg-sweep watch --server {server} {id}");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Polls a job's status; returns `(state, printable error)`.
+fn job_state(server: &str, id: &str) -> Result<(String, Option<String>), String> {
+    let (status, body) = http::get(server, &format!("/jobs/{id}"))?;
+    let text = String::from_utf8_lossy(&body);
+    if status != 200 {
+        return Err(format!("job {id}: HTTP {status}: {}", text.trim_end()));
+    }
+    let v = Json::parse(&text).map_err(|e| format!("job {id}: bad response: {e}"))?;
+    let state = v
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let error = v.get("error").and_then(Json::as_str).map(str::to_string);
+    Ok((state, error))
+}
+
+/// `ntg-sweep watch --server ADDR JOB_ID`
+fn run_watch(args: Vec<String>) -> Result<ExitCode, String> {
+    let (server, id) = parse_server_and_id(args, "watch")?;
+    let mut from = 0usize;
+    loop {
+        let (status, body) = http::get(&server, &format!("/jobs/{id}/events?from={from}"))?;
+        if status != 200 {
+            return Err(format!(
+                "watch: HTTP {status}: {}",
+                String::from_utf8_lossy(&body).trim_end()
+            ));
+        }
+        let text = String::from_utf8_lossy(&body);
+        for line in text.lines().filter(|l| !l.is_empty()) {
+            println!("{line}");
+            from += 1;
+        }
+        let (state, error) = job_state(&server, &id)?;
+        match state.as_str() {
+            "done" => return Ok(ExitCode::SUCCESS),
+            "failed" => {
+                return Err(format!(
+                    "watch: job {id} failed: {}",
+                    error.unwrap_or_default()
+                ));
+            }
+            _ => std::thread::sleep(std::time::Duration::from_millis(200)),
+        }
+    }
+}
+
+/// `ntg-sweep fetch --server ADDR JOB_ID [--out PATH] [--view NAME] [--sidecars]`
+fn run_fetch(args: Vec<String>) -> Result<ExitCode, String> {
+    let mut server: Option<String> = None;
+    let mut id: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut view: Option<String> = None;
+    let mut sidecars = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--server" => server = Some(take(&mut it, "--server")?),
+            "--out" => out = Some(PathBuf::from(take(&mut it, "--out")?)),
+            "--view" => view = Some(take(&mut it, "--view")?),
+            "--sidecars" => sidecars = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("fetch: unknown option `{other}` (see --help)"));
+            }
+            positional => {
+                if id.replace(positional.to_string()).is_some() {
+                    return Err("fetch: more than one job id".into());
+                }
+            }
+        }
+    }
+    let server = normalize_addr(&server.ok_or("fetch: --server is required")?);
+    let id = id.ok_or("fetch: job id is required")?;
+
+    if let Some(view) = view {
+        let (status, body) = http::get(&server, &format!("/jobs/{id}/report/{view}"))?;
+        if status != 200 {
+            return Err(format!(
+                "fetch: HTTP {status}: {}",
+                String::from_utf8_lossy(&body).trim_end()
+            ));
+        }
+        print!("{}", String::from_utf8_lossy(&body));
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let (status, body) = http::get(&server, &format!("/jobs/{id}/results"))?;
+    if status != 200 {
+        return Err(format!(
+            "fetch: HTTP {status}: {}",
+            String::from_utf8_lossy(&body).trim_end()
+        ));
+    }
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &body).map_err(|e| format!("write {}: {e}", path.display()))?;
+            println!("results: {} ({} bytes)", path.display(), body.len());
+        }
+        None => print!("{}", String::from_utf8_lossy(&body)),
+    }
+    if sidecars {
+        let base = out.ok_or("fetch: --sidecars needs --out")?;
+        for (endpoint, suffix) in [("timings", ".timings.jsonl"), ("metrics", ".metrics.jsonl")] {
+            let (status, body) = http::get(&server, &format!("/jobs/{id}/{endpoint}"))?;
+            if status == 200 {
+                let mut s = base.as_os_str().to_os_string();
+                s.push(suffix);
+                let path = PathBuf::from(s);
+                std::fs::write(&path, &body)
+                    .map_err(|e| format!("write {}: {e}", path.display()))?;
+                println!("sidecar: {} ({} bytes)", path.display(), body.len());
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse_server_and_id(args: Vec<String>, cmd: &str) -> Result<(String, String), String> {
+    let mut server: Option<String> = None;
+    let mut id: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--server" => server = Some(take(&mut it, "--server")?),
+            "-h" | "--help" => print!("{USAGE}"),
+            other if other.starts_with('-') => {
+                return Err(format!("{cmd}: unknown option `{other}` (see --help)"));
+            }
+            positional => {
+                if id.replace(positional.to_string()).is_some() {
+                    return Err(format!("{cmd}: more than one job id"));
+                }
+            }
+        }
+    }
+    Ok((
+        normalize_addr(&server.ok_or(format!("{cmd}: --server is required"))?),
+        id.ok_or(format!("{cmd}: job id is required"))?,
+    ))
+}
+
+/// `ntg-sweep store stats|gc ...`
+fn run_store(args: Vec<String>) -> Result<ExitCode, String> {
+    let sub = args
+        .first()
+        .cloned()
+        .ok_or("store: expected `stats` or `gc`")?;
+    let mut store_flag: Option<PathBuf> = None;
+    let mut budget: Option<u64> = None;
+    let mut dry_run = false;
+    let mut it = args.into_iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--store" => store_flag = Some(PathBuf::from(take(&mut it, "--store")?)),
+            "--budget" => {
+                budget = Some(
+                    take(&mut it, "--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                );
+            }
+            "--dry-run" => dry_run = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("store: unknown option `{other}` (see --help)")),
+        }
+    }
+    let base = store_flag
+        .or_else(DiskStore::default_base)
+        .ok_or("store: no store configured (give --store or set NTG_STORE/HOME)")?;
+    match sub.as_str() {
+        "stats" => {
+            let store = DiskStore::open(&base)?;
+            let stats = store.stats();
+            println!("store {}", store.root().display());
+            println!(
+                "  traces: {:>8} entries, {:>12} bytes",
+                stats.trace_entries, stats.trace_bytes
+            );
+            println!(
+                "  images: {:>8} entries, {:>12} bytes",
+                stats.image_entries, stats.image_bytes
+            );
+            println!(
+                "  total:  {:>8} entries, {:>12} bytes",
+                stats.total_entries(),
+                stats.total_bytes()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        "gc" => {
+            let budget = budget.ok_or("store gc: --budget is required")?;
+            gc_store(&base, budget, dry_run)
+        }
+        other => Err(format!("store: unknown subcommand `{other}` (see --help)")),
+    }
+}
+
+fn gc_store(base: &PathBuf, budget: u64, dry_run: bool) -> Result<ExitCode, String> {
+    let store = DiskStore::open(base)?;
+    let stats = store.gc(budget, dry_run);
+    let verb = if dry_run { "would prune" } else { "pruned" };
+    println!(
+        "store {}: {verb} {} artifact(s), {} {} bytes, {} bytes {}",
+        store.root().display(),
+        stats.removed,
+        if dry_run { "freeing" } else { "freed" },
+        stats.freed_bytes,
+        stats.remaining_bytes,
+        if dry_run { "would remain" } else { "remain" },
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 /// `--dry-run`: the expanded job list, per-job shard assignment (when
@@ -445,7 +755,8 @@ fn print_dry_run(
     );
 }
 
-/// `ntg-sweep merge --out PATH SHARD_FILE...`
+/// `ntg-sweep merge --out PATH SHARD_FILE_OR_DIR...` — a directory
+/// argument stands for every shard file inside it, in sorted order.
 fn run_merge(args: Vec<String>) -> Result<ExitCode, String> {
     let mut out: Option<PathBuf> = None;
     let mut shards: Vec<PathBuf> = Vec::new();
@@ -464,7 +775,14 @@ fn run_merge(args: Vec<String>) -> Result<ExitCode, String> {
             flag if flag.starts_with('-') => {
                 return Err(format!("merge: unknown option `{flag}` (see --help)"));
             }
-            path => shards.push(PathBuf::from(path)),
+            path => {
+                let path = PathBuf::from(path);
+                if path.is_dir() {
+                    shards.extend(collect_shard_files(&path)?);
+                } else {
+                    shards.push(path);
+                }
+            }
         }
     }
     let out = out.ok_or("merge: --out is required")?;

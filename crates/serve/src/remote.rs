@@ -1,0 +1,268 @@
+//! The remote artifact tier: server-side blob storage and the HTTP
+//! client that plugs into [`DiskStore`] as a [`RemoteTier`].
+//!
+//! Remote objects are the *framed* store entry bytes — exactly what
+//! the local disk level persists (magic, format version, embedded key,
+//! FNV-1a checksum) — named by [`entry_file_name`]. That choice makes
+//! the corruption firewall end-to-end: the server refuses uploads
+//! whose frame doesn't verify or whose embedded key doesn't hash to
+//! the object name ([`verify_entry`]), and the client re-verifies
+//! every fetched frame against the key it asked for before the bytes
+//! touch the local disk tier. A flipped bit anywhere along the path
+//! degrades to a local rebuild, never a wrong artifact.
+//!
+//! Write-once semantics (S3-style immutable objects): the first PUT of
+//! a name wins; later PUTs of the same name are acknowledged no-ops.
+//! Content addressing makes this safe — two builders producing the
+//! same name hold byte-identical payloads by construction.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ntg_explore::store::{entry_file_name, verify_entry};
+use ntg_explore::{RemoteTier, StoreKind};
+
+use crate::http;
+
+/// Server-side blob storage: one directory per [`StoreKind`], one file
+/// per object, atomically published (tmp + rename) and never mutated.
+#[derive(Debug)]
+pub struct BlobStore {
+    root: PathBuf,
+}
+
+impl BlobStore {
+    /// Opens (creating if needed) blob storage under `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the directories cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        for kind in [StoreKind::Trace, StoreKind::Image] {
+            let dir = root.join(kind.dir());
+            fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        }
+        Ok(Self { root })
+    }
+
+    fn object_path(&self, kind: StoreKind, name: &str) -> PathBuf {
+        self.root.join(kind.dir()).join(name)
+    }
+
+    /// Reads an object, `None` when absent.
+    pub fn get(&self, kind: StoreKind, name: &str) -> Option<Vec<u8>> {
+        if !valid_object_name(name) {
+            return None;
+        }
+        fs::read(self.object_path(kind, name)).ok()
+    }
+
+    /// Stores an object write-once. The frame must verify and its
+    /// embedded key must hash to `name`; an existing object is left
+    /// untouched (`Ok(false)`), a fresh publish returns `Ok(true)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an invalid name, a frame that fails
+    /// verification, a key/name mismatch, or an I/O failure.
+    pub fn put(&self, kind: StoreKind, name: &str, bytes: &[u8]) -> Result<bool, String> {
+        if !valid_object_name(name) {
+            return Err(format!("invalid object name `{name}`"));
+        }
+        let (key, _payload) = verify_entry(bytes)?;
+        let expected = entry_file_name(kind, &key);
+        if expected != name {
+            return Err(format!(
+                "object name `{name}` does not match embedded key (expected `{expected}`)"
+            ));
+        }
+        let path = self.object_path(kind, name);
+        if path.exists() {
+            return Ok(false); // write-once: first publish wins
+        }
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        fs::write(&tmp, bytes).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        match fs::rename(&tmp, &path) {
+            Ok(()) => Ok(true),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                // A concurrent publisher may have won the rename race;
+                // content addressing makes that a success.
+                if path.exists() {
+                    Ok(false)
+                } else {
+                    Err(format!("publish {}: {e}", path.display()))
+                }
+            }
+        }
+    }
+
+    /// Object count and byte total per kind, `(traces, trace_bytes,
+    /// images, image_bytes)`.
+    pub fn stats(&self) -> (usize, u64, usize, u64) {
+        let mut out = (0usize, 0u64, 0usize, 0u64);
+        for kind in [StoreKind::Trace, StoreKind::Image] {
+            let Ok(rd) = fs::read_dir(self.root.join(kind.dir())) else {
+                continue;
+            };
+            for entry in rd.flatten() {
+                let Ok(meta) = entry.metadata() else { continue };
+                if !meta.is_file() {
+                    continue;
+                }
+                match kind {
+                    StoreKind::Trace => {
+                        out.0 += 1;
+                        out.1 += meta.len();
+                    }
+                    StoreKind::Image => {
+                        out.2 += 1;
+                        out.3 += meta.len();
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The storage root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+}
+
+/// Object names come off the wire and become file names: restrict them
+/// to what [`entry_file_name`] can produce (alphanumerics, `-`, `.`)
+/// so path traversal is structurally impossible.
+fn valid_object_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.len() <= 96
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'.')
+}
+
+/// An HTTP [`RemoteTier`]: fetches and publishes framed entries
+/// against an `ntg-serve` daemon's `/store/<kind>/<name>` endpoints.
+#[derive(Debug)]
+pub struct HttpRemote {
+    addr: String,
+    requests: AtomicU64,
+}
+
+impl HttpRemote {
+    /// A remote tier talking to `addr` (`host:port`, an optional
+    /// `http://` prefix is accepted and stripped).
+    pub fn new(addr: &str) -> Self {
+        Self {
+            addr: normalize_addr(addr),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The normalized `host:port` this tier talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// HTTP requests issued so far (fetches + publishes).
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// Strips an optional `http://` scheme and any trailing `/` so both
+/// `http://127.0.0.1:8080/` and `127.0.0.1:8080` address the daemon.
+pub fn normalize_addr(addr: &str) -> String {
+    let addr = addr.strip_prefix("http://").unwrap_or(addr);
+    addr.trim_end_matches('/').to_string()
+}
+
+impl RemoteTier for HttpRemote {
+    fn fetch(&self, kind: StoreKind, name: &str) -> Result<Option<Vec<u8>>, String> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let path = format!("/store/{}/{name}", kind.dir());
+        match http::get(&self.addr, &path)? {
+            (200, body) => Ok(Some(body)),
+            (404, _) => Ok(None),
+            (status, body) => Err(format!(
+                "GET {path}: HTTP {status}: {}",
+                String::from_utf8_lossy(&body).trim_end()
+            )),
+        }
+    }
+
+    fn publish(&self, kind: StoreKind, name: &str, bytes: &[u8]) -> Result<(), String> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let path = format!("/store/{}/{name}", kind.dir());
+        match http::put(&self.addr, &path, bytes)? {
+            (200 | 201 | 204, _) => Ok(()),
+            (status, body) => Err(format!(
+                "PUT {path}: HTTP {status}: {}",
+                String::from_utf8_lossy(&body).trim_end()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ntg_explore::DiskStore;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ntg-serve-remote-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Round-trips a framed entry through a BlobStore by building it
+    /// with a real DiskStore (the only public framer).
+    fn framed_entry(dir: &Path, key: &str, payload: &[u8]) -> (String, Vec<u8>) {
+        let store = DiskStore::open(dir).unwrap();
+        store.save(StoreKind::Trace, key, payload).unwrap();
+        let name = entry_file_name(StoreKind::Trace, key);
+        let bytes = fs::read(store.root().join("traces").join(&name)).unwrap();
+        (name, bytes)
+    }
+
+    #[test]
+    fn put_verifies_names_frames_and_is_write_once() {
+        let dir = tmp_dir("put");
+        let blobs = BlobStore::open(dir.join("blobs")).unwrap();
+        let (name, bytes) = framed_entry(&dir.join("seed"), "trace|k", b"payload");
+
+        assert!(blobs.put(StoreKind::Trace, &name, &bytes).unwrap());
+        // Second publish of the same object: acknowledged no-op.
+        assert!(!blobs.put(StoreKind::Trace, &name, &bytes).unwrap());
+        assert_eq!(blobs.get(StoreKind::Trace, &name).unwrap(), bytes);
+
+        // Wrong name for the embedded key.
+        let wrong = entry_file_name(StoreKind::Trace, "trace|other");
+        assert!(blobs.put(StoreKind::Trace, &wrong, &bytes).is_err());
+
+        // Corrupt frame.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        let other = entry_file_name(StoreKind::Trace, "trace|x");
+        assert!(blobs.put(StoreKind::Trace, &other, &bad).is_err());
+
+        // Traversal-shaped names never touch the filesystem.
+        for evil in ["../escape", "a/b", "", ".hidden"] {
+            assert!(blobs.get(StoreKind::Trace, evil).is_none());
+            assert!(blobs.put(StoreKind::Trace, evil, &bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn addr_normalization() {
+        assert_eq!(normalize_addr("http://127.0.0.1:80/"), "127.0.0.1:80");
+        assert_eq!(normalize_addr("127.0.0.1:80"), "127.0.0.1:80");
+    }
+}

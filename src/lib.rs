@@ -26,6 +26,7 @@
 //! | [`workloads`] | `ntg-workloads` | the four paper benchmarks |
 //! | [`explore`] | `ntg-explore` | sweep campaigns, TG artifact cache, JSONL results |
 //! | [`report`] | `ntg-report` | Table-2 views, rankings, Pareto, saturation curves |
+//! | [`serve`] | `ntg-serve` | campaign job server + tiered remote artifact store |
 //!
 //! # Quickstart
 //!
@@ -43,6 +44,7 @@ pub use ntg_noc as noc;
 pub use ntg_ocp as ocp;
 pub use ntg_platform as platform;
 pub use ntg_report as report;
+pub use ntg_serve as serve;
 pub use ntg_sim as sim;
 pub use ntg_trace as trace;
 pub use ntg_workloads as workloads;
